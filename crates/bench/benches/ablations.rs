@@ -1,0 +1,99 @@
+//! Bench A1/A2 — the design-choice ablations DESIGN.md calls out:
+//!
+//! * A1 — fork pressure vs the oracle bound `k` and operation latency
+//!   (how much synchronization the frugal oracle buys);
+//! * A2 — longest-chain vs GHOST selection under fork pressure
+//!   (what the Ethereum rule buys at high block rates).
+
+use btadt_core::criteria::{check_strong_consistency, ConsistencyParams, LivenessMode};
+use btadt_core::score::LengthScore;
+use btadt_core::validity::AcceptAll;
+use btadt_oracle::{run_workload, Merits, ThetaOracle, WorkloadConfig};
+use btadt_protocols::{bitcoin, ethereum};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_a1_k_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_a1/k_sweep");
+    g.sample_size(15);
+    for (label, k) in [
+        ("k1", Some(1u32)),
+        ("k2", Some(2)),
+        ("k4", Some(4)),
+        ("prodigal", None),
+    ] {
+        for &latency in &[2u64, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(label, latency),
+                &(k, latency),
+                |b, &(k, latency)| {
+                    b.iter(|| {
+                        let merits = Merits::uniform(4);
+                        let oracle = match k {
+                            Some(k) => ThetaOracle::frugal(k, merits, 2.0, 3),
+                            None => ThetaOracle::prodigal(merits, 2.0, 3),
+                        };
+                        let out = run_workload(
+                            oracle,
+                            &WorkloadConfig {
+                                max_latency: latency,
+                                seed: 3,
+                                ..Default::default()
+                            },
+                        );
+                        let params = ConsistencyParams {
+                            store: &out.store,
+                            predicate: &AcceptAll,
+                            score: &LengthScore,
+                            liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+                        };
+                        black_box((
+                            out.fork_points,
+                            check_strong_consistency(&out.history, &params).holds(),
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_a2_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_a2/selection");
+    g.sample_size(10);
+    for &rate in &[0.6f64, 1.2] {
+        g.bench_with_input(
+            BenchmarkId::new("longest", format!("r{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let run = bitcoin::run(&bitcoin::BitcoinConfig {
+                        rate,
+                        seed: 4,
+                        ..Default::default()
+                    });
+                    black_box((run.blocks_minted, run.max_fork_degree))
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("ghost", format!("r{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let run = ethereum::run(&ethereum::EthereumConfig {
+                        rate,
+                        seed: 4,
+                        ..Default::default()
+                    });
+                    black_box((run.blocks_minted, run.max_fork_degree))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_a1_k_sweep, bench_a2_selection);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Bench F1 — BlockTree primitive operations (the substrate behind the
+//! Fig. 1 transition system): append, read, graft, ancestor queries, and
+//! prefix tests as the tree grows.
+
+use btadt_core::blocktree::{BlockTree, CandidateBlock};
+use btadt_core::chain::Blockchain;
+use btadt_core::ids::{BlockId, ProcessId};
+use btadt_core::selection::{Ghost, HeaviestWork, LongestChain, SelectionFn};
+use btadt_core::store::{BlockStore, TreeMembership};
+use btadt_core::validity::AcceptAll;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn linear_tree(n: u64) -> BlockTree<LongestChain, AcceptAll> {
+    let mut bt = BlockTree::new(LongestChain, AcceptAll);
+    for i in 0..n {
+        bt.append(CandidateBlock::simple(ProcessId(0), i));
+    }
+    bt
+}
+
+/// A store with a comb shape: a trunk of length n with a fork at every
+/// vertex (worst-ish case for leaves/selection scans).
+fn comb_store(n: u32) -> (BlockStore, TreeMembership) {
+    use btadt_core::block::Payload;
+    let mut s = BlockStore::new();
+    let mut trunk = BlockId::GENESIS;
+    for i in 0..n {
+        let next = s.mint(trunk, ProcessId(0), 0, 1, i as u64 * 2, Payload::Empty);
+        s.mint(trunk, ProcessId(1), 1, 1, i as u64 * 2 + 1, Payload::Empty);
+        trunk = next;
+    }
+    let m = TreeMembership::full(&s);
+    (s, m)
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocktree/append");
+    for &n in &[100u64, 1_000, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(linear_tree(n).len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocktree/read");
+    for &n in &[100u64, 1_000, 10_000] {
+        let bt = linear_tree(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &bt, |b, bt| {
+            b.iter(|| black_box(bt.read().len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_selection_functions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocktree/selection");
+    let (store, members) = comb_store(500);
+    let fns: Vec<(&str, Box<dyn SelectionFn>)> = vec![
+        ("longest", Box::new(LongestChain)),
+        ("heaviest", Box::new(HeaviestWork)),
+        ("ghost", Box::new(Ghost::default())),
+    ];
+    for (name, f) in &fns {
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(f.select_tip(&store, &members)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ancestry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocktree/ancestry");
+    let bt = linear_tree(10_000);
+    let store = bt.store();
+    let tip = bt.selected_tip();
+    g.bench_function("is_ancestor_depth_10k", |b| {
+        b.iter(|| black_box(store.is_ancestor(BlockId(1), tip)));
+    });
+    g.bench_function("common_ancestor_depth_10k", |b| {
+        b.iter(|| black_box(store.common_ancestor(tip, BlockId(5_000))));
+    });
+    let chain_a = Blockchain::from_tip(store, tip);
+    let chain_b = Blockchain::from_tip(store, BlockId(9_000));
+    g.bench_function("prefix_test_len_10k", |b| {
+        b.iter(|| black_box(chain_b.is_prefix_of(&chain_a)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_append,
+    bench_read,
+    bench_selection_functions,
+    bench_ancestry
+);
+criterion_main!(benches);

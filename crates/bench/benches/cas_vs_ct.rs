@@ -1,0 +1,84 @@
+//! Bench F9/F10 — the Fig. 9 objects under real contention: native CAS,
+//! the k = 1 consumeToken cell, and the Fig. 10 CAS-from-CT reduction.
+
+use btadt_registers::{CasFromCt, CasRegister, ConsumeTokenCell, EMPTY};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn race_cas(threads: usize) -> u64 {
+    let cell = Arc::new(CasRegister::new(EMPTY));
+    std::thread::scope(|s| {
+        for v in 1..=threads as u64 {
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                black_box(cell.compare_and_swap(EMPTY, v));
+            });
+        }
+    });
+    cell.read()
+}
+
+fn race_ct(threads: usize) -> u64 {
+    let cell = Arc::new(ConsumeTokenCell::new());
+    std::thread::scope(|s| {
+        for v in 1..=threads as u64 {
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                black_box(cell.consume_token(v));
+            });
+        }
+    });
+    cell.get()
+}
+
+fn race_reduced(threads: usize) -> u64 {
+    let cell = Arc::new(CasFromCt::new());
+    std::thread::scope(|s| {
+        for v in 1..=threads as u64 {
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                black_box(cell.compare_and_swap_from_empty(v));
+            });
+        }
+    });
+    cell.read()
+}
+
+fn bench_one_shot_race(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registers/one_shot_race");
+    g.sample_size(30);
+    for &threads in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("cas", threads), &threads, |b, &t| {
+            b.iter(|| black_box(race_cas(t)));
+        });
+        g.bench_with_input(BenchmarkId::new("ct", threads), &threads, |b, &t| {
+            b.iter(|| black_box(race_ct(t)));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("cas_from_ct", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(race_reduced(t)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_uncontended_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registers/uncontended");
+    g.bench_function("cas_fail_path", |b| {
+        let cell = CasRegister::new(7);
+        b.iter(|| black_box(cell.compare_and_swap(EMPTY, 9)));
+    });
+    g.bench_function("ct_occupied_path", |b| {
+        let cell = ConsumeTokenCell::new();
+        cell.consume_token(7);
+        b.iter(|| black_box(cell.consume_token(9)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_one_shot_race, bench_uncontended_ops);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Bench F2/A3 — consistency-criteria checkers: the naive O(n²) vs sorted
+//! O(n log n) Strong-Prefix checkers (ablation A3), plus the liveness
+//! checkers, across history sizes.
+
+use btadt_core::chain::Blockchain;
+use btadt_core::criteria::{eventual_prefix, ever_growing_tree, strong_prefix, LivenessMode};
+use btadt_core::history::{History, Invocation, Response};
+use btadt_core::ids::{splitmix64_at, BlockId, ProcessId, Time};
+use btadt_core::score::LengthScore;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// A history of `n` reads over a linear chain (comparable: SP holds).
+fn linear_history(n: u64) -> History {
+    let mut h = History::new();
+    for i in 0..n {
+        let len = (i / 2 + 1) as u32;
+        let chain = Blockchain::from_ids((0..=len).map(BlockId).collect());
+        h.push_complete(
+            ProcessId((i % 4) as u32),
+            Invocation::Read,
+            Time(i * 10),
+            Response::Chain(chain),
+            Time(i * 10 + 1),
+        );
+    }
+    h
+}
+
+/// A history of `n` reads over two diverging branches (SP fails late).
+fn forked_history(n: u64, seed: u64) -> History {
+    let mut h = History::new();
+    for i in 0..n {
+        let len = (i / 2 + 1) as u32;
+        let branch = splitmix64_at(seed, i) % 2;
+        let mut ids = vec![BlockId::GENESIS];
+        // Branch blocks: even ids for branch 0, odd for branch 1.
+        for d in 1..=len {
+            ids.push(BlockId(d * 2 + branch as u32));
+        }
+        h.push_complete(
+            ProcessId((i % 4) as u32),
+            Invocation::Read,
+            Time(i * 10),
+            Response::Chain(Blockchain::from_ids(ids)),
+            Time(i * 10 + 1),
+        );
+    }
+    h
+}
+
+fn bench_strong_prefix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("criteria/strong_prefix");
+    for &n in &[50u64, 200, 800] {
+        let linear = linear_history(n);
+        let forked = forked_history(n, 7);
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("sorted/linear", n), &linear, |b, h| {
+            b.iter(|| black_box(strong_prefix::check(h).holds));
+        });
+        g.bench_with_input(BenchmarkId::new("naive/linear", n), &linear, |b, h| {
+            b.iter(|| black_box(strong_prefix::check_naive(h).holds));
+        });
+        g.bench_with_input(BenchmarkId::new("sorted/forked", n), &forked, |b, h| {
+            b.iter(|| black_box(strong_prefix::check(h).holds));
+        });
+        g.bench_with_input(BenchmarkId::new("naive/forked", n), &forked, |b, h| {
+            b.iter(|| black_box(strong_prefix::check_naive(h).holds));
+        });
+    }
+    g.finish();
+}
+
+fn bench_liveness_checkers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("criteria/liveness");
+    for &n in &[200u64, 800] {
+        let h = linear_history(n);
+        let cut = LivenessMode::ConvergenceCut(Time(n * 5));
+        g.bench_with_input(BenchmarkId::new("ever_growing_tree", n), &h, |b, h| {
+            b.iter(|| black_box(ever_growing_tree::check(h, &LengthScore, cut).holds));
+        });
+        g.bench_with_input(BenchmarkId::new("eventual_prefix", n), &h, |b, h| {
+            b.iter(|| black_box(eventual_prefix::check(h, &LengthScore, cut).holds));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strong_prefix, bench_liveness_checkers);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench F8 — hierarchy sampling: generating one refined workload history
+//! and classifying it, per oracle model (the unit of the Fig. 8
+//! empirical-inclusion experiment).
+
+use btadt_core::criteria::{classify, ConsistencyParams, LivenessMode};
+use btadt_core::score::LengthScore;
+use btadt_core::validity::AcceptAll;
+use btadt_oracle::{run_workload, Merits, ThetaOracle, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_generate_and_classify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy/generate_classify");
+    g.sample_size(20);
+    for (label, k) in [("k1", Some(1u32)), ("k2", Some(2)), ("prodigal", None)] {
+        for &steps in &[200u64, 600] {
+            g.bench_with_input(
+                BenchmarkId::new(label, steps),
+                &(k, steps),
+                |b, &(k, steps)| {
+                    b.iter(|| {
+                        let merits = Merits::uniform(4);
+                        let oracle = match k {
+                            Some(k) => ThetaOracle::frugal(k, merits, 2.0, 5),
+                            None => ThetaOracle::prodigal(merits, 2.0, 5),
+                        };
+                        let out = run_workload(
+                            oracle,
+                            &WorkloadConfig {
+                                steps,
+                                seed: 5,
+                                ..Default::default()
+                            },
+                        );
+                        let params = ConsistencyParams {
+                            store: &out.store,
+                            predicate: &AcceptAll,
+                            score: &LengthScore,
+                            liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+                        };
+                        black_box(classify(&out.history, &params))
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate_and_classify);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Bench F5/F6 — token-oracle operations: tape evaluation, getToken /
+//! consumeToken across fork bounds, and the refined append.
+
+use btadt_core::block::Payload;
+use btadt_core::ids::{BlockId, ProcessId};
+use btadt_core::selection::LongestChain;
+use btadt_core::validity::AcceptAll;
+use btadt_oracle::{Merits, RefinedBlockTree, Tape, ThetaOracle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_tape(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/tape");
+    let tape = Tape::new(0xFEED, 0.3);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("cell_at", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tape.cell_at(i).is_token())
+        });
+    });
+    g.bench_function("pop", |b| {
+        let mut t = Tape::new(1, 0.3);
+        b.iter(|| black_box(t.pop().is_token()));
+    });
+    g.finish();
+}
+
+fn bench_token_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/get_consume_cycle");
+    for (label, k) in [("k1", Some(1u32)), ("k4", Some(4)), ("prodigal", None)] {
+        g.bench_function(label, |b| {
+            let merits = Merits::uniform(4);
+            let mut oracle = match k {
+                Some(k) => ThetaOracle::frugal(k, merits, 4.0, 9),
+                None => ThetaOracle::prodigal(merits, 4.0, 9),
+            };
+            let mut parent = 0u32;
+            b.iter(|| {
+                parent += 1;
+                // Fresh parent every iteration so K never saturates.
+                let p = BlockId(parent);
+                if let Some(grant) = oracle.get_token((parent % 4) as usize, p) {
+                    black_box(oracle.consume_token(&grant, BlockId(parent + 1_000_000)).len());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_refined_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle/refined_append");
+    for &n in &[100u64, 1_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let oracle = ThetaOracle::frugal(1, Merits::uniform(4), 4.0, 11);
+                let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+                for i in 0..n {
+                    black_box(
+                        tree.append(ProcessId((i % 4) as u32), Payload::Empty)
+                            .succeeded(),
+                    );
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tape, bench_token_cycle, bench_refined_append);
+criterion_main!(benches);

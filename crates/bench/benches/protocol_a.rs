@@ -1,0 +1,83 @@
+//! Bench F11 — Protocol A (Fig. 11): wait-free consensus from Θ_F,k=1,
+//! latency vs proposer count, against the CAS-consensus baseline.
+
+use btadt_oracle::{Merits, SharedOracle, ThetaOracle};
+use btadt_registers::{run_trial, CasConsensus, OracleConsensus};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_protocol_a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus/protocol_a");
+    g.sample_size(20);
+    for &n in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let oracle =
+                    ThetaOracle::frugal(1, Merits::uniform(n), n as f64 * 0.8, n as u64);
+                let consensus = OracleConsensus::new(SharedOracle::new(oracle));
+                let report = run_trial(&consensus, n);
+                assert!(report.agreement());
+                black_box(report.decided())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cas_consensus_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus/cas_baseline");
+    g.sample_size(20);
+    for &n in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let consensus = CasConsensus::new();
+                let report = run_trial(&consensus, n);
+                assert!(report.agreement());
+                black_box(report.decided())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_token_grant_probability(c: &mut Criterion) {
+    // How the getToken loop length scales with per-attempt probability:
+    // the oracle-side cost model of Protocol A's termination argument.
+    let mut g = c.benchmark_group("consensus/token_loop");
+    for &rate in &[0.1f64, 0.5, 0.9] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let mut oracle = ThetaOracle::frugal(
+                        1,
+                        Merits::uniform(1),
+                        rate,
+                        0xDEAD,
+                    );
+                    let mut tries = 0u64;
+                    loop {
+                        tries += 1;
+                        if oracle
+                            .get_token(0, btadt_core::ids::BlockId::GENESIS)
+                            .is_some()
+                        {
+                            break;
+                        }
+                    }
+                    black_box(tries)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocol_a,
+    bench_cas_consensus_baseline,
+    bench_token_grant_probability
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Bench T1 — the Table-1 system models: full classified run per system
+//! (the unit of the Table-1 experiment).
+
+use btadt_protocols::{algorand, bitcoin, byzcoin, ethereum, hyperledger, peercensus, redbelly};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_systems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols/full_run");
+    g.sample_size(10);
+    g.bench_function("bitcoin", |b| {
+        b.iter(|| {
+            let run = bitcoin::run(&bitcoin::BitcoinConfig::default());
+            black_box(run.consistency_class())
+        });
+    });
+    g.bench_function("ethereum", |b| {
+        b.iter(|| {
+            let run = ethereum::run(&ethereum::EthereumConfig::default());
+            black_box(run.consistency_class())
+        });
+    });
+    g.bench_function("algorand", |b| {
+        b.iter(|| {
+            let run = algorand::run(&algorand::AlgorandConfig::default());
+            black_box(run.consistency_class())
+        });
+    });
+    g.bench_function("byzcoin", |b| {
+        b.iter(|| {
+            let run = byzcoin::run(&byzcoin::ByzCoinConfig::default());
+            black_box(run.consistency_class())
+        });
+    });
+    g.bench_function("peercensus", |b| {
+        b.iter(|| {
+            let run = peercensus::run(&peercensus::PeerCensusConfig::default());
+            black_box(run.consistency_class())
+        });
+    });
+    g.bench_function("redbelly", |b| {
+        b.iter(|| {
+            let run = redbelly::run(&redbelly::RedBellyConfig::default());
+            black_box(run.consistency_class())
+        });
+    });
+    g.bench_function("hyperledger", |b| {
+        b.iter(|| {
+            let run = hyperledger::run(&hyperledger::FabricConfig::default());
+            black_box(run.consistency_class())
+        });
+    });
+    g.finish();
+}
+
+fn bench_security_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocols/peercensus_security");
+    g.bench_function("monte_carlo_2k_trials", |b| {
+        b.iter(|| {
+            black_box(peercensus::secure_state_probability(
+                0.25, 30, 10, 2_000, 7,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_systems, bench_security_analysis);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Bench F13/F14 — the message-passing substrate: simulation throughput
+//! vs process count and synchrony model, plus the trace checkers
+//! (Update Agreement, LRC) on grown traces.
+
+use btadt_core::selection::LongestChain;
+use btadt_oracle::{Merits, ThetaOracle};
+use btadt_sim::{
+    check_lrc, check_update_agreement, NetworkModel, SimpleMiner, Synchrony, World,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn gossip_world(n: usize, net: NetworkModel, seed: u64) -> World<SimpleMiner> {
+    let oracle = ThetaOracle::prodigal(Merits::uniform(n), 0.5, seed);
+    let miners = (0..n).map(|_| SimpleMiner::gossiping()).collect();
+    World::new(miners, oracle, net, Box::new(LongestChain), seed)
+}
+
+fn bench_ticks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/ticks");
+    g.sample_size(20);
+    for &n in &[4usize, 8, 16] {
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("synchronous", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut w = gossip_world(n, NetworkModel::synchronous(3, 1), 1);
+                w.run_ticks(100);
+                black_box(w.store.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("asynchronous", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut w = gossip_world(
+                    n,
+                    NetworkModel::new(Synchrony::Asynchronous { max: 12 }, 1),
+                    1,
+                );
+                w.run_ticks(100);
+                black_box(w.store.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_checkers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/trace_checkers");
+    let mut w = gossip_world(8, NetworkModel::synchronous(3, 2), 2);
+    w.read_every = Some(4);
+    w.run_ticks(200);
+    let correct = w.correct_mask();
+    g.bench_function("update_agreement", |b| {
+        b.iter(|| black_box(check_update_agreement(&w.trace, &w.store, &correct).holds()));
+    });
+    g.bench_function("lrc", |b| {
+        b.iter(|| black_box(check_lrc(&w.trace, &correct).holds()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ticks, bench_trace_checkers);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Bench F12 — the wait-free Atomic Snapshot behind the prodigal
+//! consumeToken (Fig. 12): update/scan cost vs component count and under
+//! concurrent writers.
+
+use btadt_registers::{AtomicSnapshot, ProdigalCtCell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sequential_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot/sequential");
+    for &n in &[4usize, 16, 64] {
+        let snap = AtomicSnapshot::new(n, 0u64);
+        g.bench_with_input(BenchmarkId::new("scan", n), &snap, |b, snap| {
+            b.iter(|| black_box(snap.scan().len()));
+        });
+        g.bench_with_input(BenchmarkId::new("update", n), &snap, |b, snap| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                snap.update((i % n as u64) as usize, i);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_contended_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot/contended_scan");
+    g.sample_size(20);
+    for &writers in &[1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(writers),
+            &writers,
+            |b, &writers| {
+                b.iter(|| {
+                    let snap = Arc::new(AtomicSnapshot::new(8, 0u64));
+                    std::thread::scope(|s| {
+                        for w in 0..writers {
+                            let snap = Arc::clone(&snap);
+                            s.spawn(move || {
+                                for i in 1..=200u64 {
+                                    snap.update(w, i);
+                                }
+                            });
+                        }
+                        let snap = Arc::clone(&snap);
+                        s.spawn(move || {
+                            for _ in 0..200 {
+                                black_box(snap.scan().len());
+                            }
+                        });
+                    });
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_prodigal_ct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot/prodigal_ct");
+    g.sample_size(30);
+    for &n in &[4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let cell = Arc::new(ProdigalCtCell::new(n));
+                std::thread::scope(|s| {
+                    for m in 0..n {
+                        let cell = Arc::clone(&cell);
+                        s.spawn(move || {
+                            black_box(cell.consume_token(m, m as u64 + 1).len());
+                        });
+                    }
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_ops,
+    bench_contended_scan,
+    bench_prodigal_ct
+);
+criterion_main!(benches);

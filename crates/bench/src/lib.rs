@@ -1,0 +1,764 @@
+//! Experiment drivers regenerating every figure and table of
+//! *Blockchain Abstract Data Type* as text output (see EXPERIMENTS.md for
+//! the recorded results). Each `fig*`/`table*` function prints one
+//! artifact; the `experiments` binary dispatches on names.
+
+use btadt_core::adt::{check_sequential_history, AbstractDataType, Operation};
+use btadt_core::blocktree::{BlockTreeAdt, BtInput, BtOutput, CandidateBlock};
+use btadt_core::chain::Blockchain;
+use btadt_core::criteria::{
+    check_eventual_consistency, check_strong_consistency, ConsistencyParams, LivenessMode,
+};
+use btadt_core::hierarchy::{figure8_edges, figure_nodes};
+use btadt_core::history::{History, Invocation, Response};
+use btadt_core::ids::{BlockId, ProcessId, Time};
+use btadt_core::score::LengthScore;
+use btadt_core::selection::LongestChain;
+use btadt_core::store::BlockStore;
+use btadt_core::validity::{AcceptAll, DigestPrefix};
+use btadt_oracle::{
+    run_workload, KBound, Merits, RefinedBlockTree, SharedOracle, ThetaOracle, WorkloadConfig,
+};
+use btadt_registers::adversary::{divergent_schedule, PickRule};
+use btadt_registers::{
+    run_trial, CasFromCt, CasRegister, ConsumeTokenCell, OracleConsensus, ProdigalCtCell, EMPTY,
+};
+use btadt_sim::{
+    check_lrc, check_update_agreement, lemma_4_4, lemma_4_5, theorem_4_8,
+    update_agreement_positive,
+};
+use std::time::Instant;
+
+const SEED: u64 = 0xB10C;
+
+fn hr(title: &str) {
+    println!("\n──────────────────────────────────────────────────────────────");
+    println!("{title}");
+    println!("──────────────────────────────────────────────────────────────");
+}
+
+/// Fig. 1 — a path of the BT-ADT transition system.
+pub fn fig1() {
+    hr("Figure 1 — BT-ADT transition system path (Def. 3.1)");
+    let adt = BlockTreeAdt::new(LongestChain, DigestPrefix { zero_bits: 1 });
+    // Digests commit to ancestry, so candidate validity depends on the
+    // state a block is appended in: probe each step against the *current*
+    // state while building the path.
+    let probe = |state: &<BlockTreeAdt<LongestChain, DigestPrefix> as AbstractDataType>::State,
+                 want: bool| {
+        (0..256u64)
+            .find(|&nonce| {
+                let cand = CandidateBlock::simple(ProcessId(0), nonce);
+                adt.output(state, &BtInput::Append(cand)) == BtOutput::Appended(want)
+            })
+            .expect("a 1-bit digest condition flips within 256 nonces")
+    };
+    let s0 = adt.initial_state();
+    let b1 = probe(&s0, true);
+    let s1 = adt.transition(&s0, &BtInput::Append(CandidateBlock::simple(ProcessId(0), b1)));
+    // Both the failing and the second successful append execute in ξ1.
+    let b3 = probe(&s1, false);
+    let b2 = probe(&s1, true);
+    let word = vec![
+        Operation::with_output(
+            BtInput::Append(CandidateBlock::simple(ProcessId(0), b1)),
+            BtOutput::Appended(true),
+        ),
+        Operation::with_output(
+            BtInput::Append(CandidateBlock::simple(ProcessId(0), b3)),
+            BtOutput::Appended(false),
+        ),
+        Operation::input_only(BtInput::Read),
+        Operation::with_output(
+            BtInput::Append(CandidateBlock::simple(ProcessId(0), b2)),
+            BtOutput::Appended(true),
+        ),
+        Operation::input_only(BtInput::Read),
+    ];
+    let states = check_sequential_history(&adt, &word).expect("path is in L(T)");
+    let labels = [
+        format!("append(b1)/true   (nonce {b1}, b1 ∈ B')"),
+        format!("append(b3)/false  (nonce {b3}, b3 ∉ B')"),
+        "read()/b0⌢b1".to_string(),
+        format!("append(b2)/true   (nonce {b2}, b2 ∈ B')"),
+        "read()/b0⌢b1⌢b2".to_string(),
+    ];
+    for (i, label) in labels.iter().enumerate() {
+        println!(
+            "ξ{i} (|bt| = {}) ── {label} ──▶ ξ{} (|bt| = {})",
+            states[i].tree().len(),
+            i + 1,
+            states[i + 1].tree().len()
+        );
+    }
+    println!("\nword ∈ L(BT-ADT): ✓  (replayed by check_sequential_history)");
+}
+
+fn render_reads(history: &History, cut: Time) {
+    println!(
+        "{:<6} {:<5} {:>10} {:>7}  chain",
+        "op", "proc", "responded", "score"
+    );
+    for v in history.read_views(&LengthScore) {
+        let marker = if v.responded_at <= cut { " " } else { "*" };
+        let chain = format!("{}", v.chain);
+        let chain: String = if chain.chars().count() > 42 {
+            let tail: String = chain
+                .chars()
+                .rev()
+                .take(41)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            format!("…{tail}")
+        } else {
+            chain
+        };
+        println!(
+            "{:<6} {:<5} {:>10} {:>7}{marker} {chain}",
+            format!("{:?}", v.op),
+            format!("{}", v.process),
+            format!("{}", v.responded_at),
+            v.score
+        );
+    }
+    println!("(* = after the convergence cut {cut})");
+}
+
+/// Fig. 2 — a concurrent history satisfying BT Strong Consistency.
+pub fn fig2() {
+    hr("Figure 2 — SC-admissible history (Θ_F,k=1 workload)");
+    let oracle = ThetaOracle::frugal(1, Merits::uniform(2), 2.0, SEED);
+    let out = run_workload(
+        oracle,
+        &WorkloadConfig {
+            processes: 2,
+            steps: 60,
+            append_prob: 0.4,
+            read_prob: 0.3,
+            max_latency: 4,
+            seed: SEED,
+        },
+    );
+    render_reads(&out.history, out.suggested_cut);
+    let params = ConsistencyParams {
+        store: &out.store,
+        predicate: &AcceptAll,
+        score: &LengthScore,
+        liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+    };
+    println!("\n{}", check_strong_consistency(&out.history, &params));
+}
+
+/// The paper's literal Fig. 3 / Fig. 4 histories.
+fn paper_history(converging: bool) -> (BlockStore, History) {
+    use btadt_core::block::Payload;
+    let mut store = BlockStore::new();
+    // odd branch 1-3-5, even branch 2-4-6 (the paper's vertex labels).
+    let mut odd = vec![BlockId::GENESIS];
+    let mut even = vec![BlockId::GENESIS];
+    for i in 0..3 {
+        odd.push(store.mint(
+            *odd.last().unwrap(),
+            ProcessId(1),
+            1,
+            1,
+            100 + i,
+            Payload::Empty,
+        ));
+        even.push(store.mint(
+            *even.last().unwrap(),
+            ProcessId(0),
+            0,
+            1,
+            200 + i,
+            Payload::Empty,
+        ));
+    }
+    let mut h = History::new();
+    let mut t = 0u64;
+    for i in 1..=3 {
+        for &b in &[odd[i], even[i]] {
+            t += 2;
+            h.push_complete(
+                ProcessId(9),
+                Invocation::Append { block: b },
+                Time(t - 1),
+                Response::Appended(true),
+                Time(t),
+            );
+        }
+    }
+    let read = |h: &mut History, p: u32, t0: u64, ids: &[BlockId], n: usize| {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(Blockchain::from_ids(ids[..n].to_vec())),
+            Time(t0 + 1),
+        );
+    };
+    // Early divergence (as drawn: i on the even branch, j on the odd).
+    read(&mut h, 0, 20, &even, 3); // b0⌢2⌢4
+    read(&mut h, 1, 22, &odd, 2); // b0⌢1
+    read(&mut h, 1, 24, &odd, 3); // b0⌢1⌢3
+    if converging {
+        // Fig. 3: everybody adopts the odd branch.
+        read(&mut h, 0, 40, &odd, 4);
+        read(&mut h, 1, 42, &odd, 4);
+    } else {
+        // Fig. 4: the branches never merge.
+        read(&mut h, 0, 40, &even, 4);
+        read(&mut h, 1, 42, &odd, 4);
+    }
+    (store, h)
+}
+
+/// Fig. 3 — the paper's EC-but-not-SC history.
+pub fn fig3() {
+    hr("Figure 3 — Eventual-but-not-Strong history (paper's drawing)");
+    let (store, h) = paper_history(true);
+    let cut = Time(30);
+    render_reads(&h, cut);
+    let params = ConsistencyParams {
+        store: &store,
+        predicate: &AcceptAll,
+        score: &LengthScore,
+        liveness: LivenessMode::ConvergenceCut(cut),
+    };
+    println!("\n{}", check_strong_consistency(&h, &params));
+    println!("{}", check_eventual_consistency(&h, &params));
+}
+
+/// Fig. 4 — the paper's history violating both criteria.
+pub fn fig4() {
+    hr("Figure 4 — history violating every BT consistency criterion");
+    let (store, h) = paper_history(false);
+    let cut = Time(30);
+    render_reads(&h, cut);
+    let params = ConsistencyParams {
+        store: &store,
+        predicate: &AcceptAll,
+        score: &LengthScore,
+        liveness: LivenessMode::ConvergenceCut(cut),
+    };
+    println!("\n{}", check_strong_consistency(&h, &params));
+    println!("{}", check_eventual_consistency(&h, &params));
+}
+
+/// Fig. 5 — the Θ_F abstract state.
+pub fn fig5() {
+    hr("Figure 5 — Θ_F abstract state (tapes + K array)");
+    let merits = Merits::from_weights(vec![3.0, 1.0]);
+    let mut oracle = ThetaOracle::frugal(2, merits, 1.2, SEED);
+    let mut grants = Vec::new();
+    for attempt in 0..8 {
+        let who = attempt % 2;
+        if let Some(g) = oracle.get_token(who, BlockId::GENESIS) {
+            grants.push(g);
+        }
+    }
+    for (i, g) in grants.iter().take(3).enumerate() {
+        oracle.consume_token(g, BlockId(i as u32 + 1));
+    }
+    println!("merits: α_0 = 0.75 (p = 0.90), α_1 = 0.25 (p = 0.30), k = 2\n");
+    for i in 0..2usize {
+        let tape = btadt_oracle::Tape::new(
+            btadt_core::ids::mix2(SEED, i as u64),
+            oracle.merits().token_probability(i, oracle.rate()),
+        );
+        let cells: String = (0..16)
+            .map(|j| {
+                if tape.cell_at(j).is_token() {
+                    "tkn "
+                } else {
+                    " ⊥  "
+                }
+            })
+            .collect();
+        println!(
+            "tape_α{i} (consumed {:>2} cells): {cells}…",
+            oracle.attempts(i)
+        );
+    }
+    println!("\nK array:");
+    let mut degrees: Vec<_> = oracle.fork_degrees().collect();
+    degrees.sort();
+    for (parent, deg) in degrees {
+        println!(
+            "  K[{parent}] = {:?} (|K| = {deg} ≤ k = 2)",
+            oracle.consumed_for(parent)
+        );
+    }
+    println!("\nk-fork coherent (Thm 3.2): {}", oracle.fork_coherent());
+}
+
+/// Fig. 6 — a path of the Θ transition system.
+pub fn fig6() {
+    hr("Figure 6 — Θ_F/Θ_P transition path (getToken / consumeToken)");
+    let mut oracle = ThetaOracle::frugal(1, Merits::uniform(1), 1.0, 7);
+    println!("ξ0: K[b0] = {{}}, tape head = tkn (p = 1)");
+    let g = oracle.get_token(0, BlockId::GENESIS).expect("p = 1");
+    println!(
+        "ξ0 ── getToken(b0, b_k)/b_k^tkn (serial {}) ──▶ ξ1 (tape popped)",
+        g.serial
+    );
+    let set = oracle.consume_token(&g, BlockId(1));
+    println!(
+        "ξ1 ── consumeToken(b_k^tkn)/{{{}}} ──▶ ξ2 (K[b0] = {set:?})",
+        set[0]
+    );
+    let g2 = oracle.get_token(0, BlockId::GENESIS).expect("p = 1");
+    let set2 = oracle.consume_token(&g2, BlockId(2));
+    println!("ξ2 ── consumeToken(second token)/{set2:?} ──▶ ξ2 (|K[b0]| = k = 1: unchanged)");
+}
+
+/// Fig. 7 — the refined append path.
+pub fn fig7() {
+    hr("Figure 7 — refinement of append() (Def. 3.7)");
+    let oracle = ThetaOracle::frugal(1, Merits::uniform(1), 0.4, 3);
+    let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+    println!("state: bt = {{b0}}, K[b0] = {{}}");
+    let out = tree.append(ProcessId(0), btadt_core::block::Payload::Empty);
+    println!(
+        "append(b): getToken* looped {} tape cells, then consumeToken — {out:?}",
+        tree.oracle().attempts(0)
+    );
+    println!("read() = {}", tree.read(ProcessId(0)));
+    println!(
+        "K[b0]  = {:?}",
+        tree.oracle().consumed_for(BlockId::GENESIS)
+    );
+}
+
+/// Fig. 8 — the hierarchy with empirical inclusion sampling.
+pub fn fig8() {
+    hr("Figure 8 — hierarchy of refinements R(BT-ADT, Θ)");
+    for node in figure_nodes(2) {
+        println!("  {}", node.label());
+    }
+    println!("\nedges:");
+    for e in figure8_edges(2) {
+        println!("  {} ⊆ {}   [{}]", e.from, e.to, e.justification);
+    }
+    println!("\nempirical sampling (12 seeds × 3 oracles, 4-process workloads):");
+    println!("{:<10} {:>8} {:>8}", "oracle", "SC runs", "EC runs");
+    for (label, k) in [("Θ_F,k=1", Some(1u32)), ("Θ_F,k=2", Some(2)), ("Θ_P", None)] {
+        let (mut sc, mut ec) = (0, 0);
+        for seed in 0..12u64 {
+            let merits = Merits::uniform(4);
+            let oracle = match k {
+                Some(k) => ThetaOracle::frugal(k, merits, 2.0, seed),
+                None => ThetaOracle::prodigal(merits, 2.0, seed),
+            };
+            let out = run_workload(
+                oracle,
+                &WorkloadConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let params = ConsistencyParams {
+                store: &out.store,
+                predicate: &AcceptAll,
+                score: &LengthScore,
+                liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+            };
+            sc += check_strong_consistency(&out.history, &params).holds() as u32;
+            ec += check_eventual_consistency(&out.history, &params).holds() as u32;
+        }
+        println!("{label:<10} {sc:>7}/12 {ec:>7}/12");
+    }
+}
+
+/// Fig. 9 — CAS and consumeToken objects under contention.
+pub fn fig9() {
+    hr("Figure 9 — Compare&Swap and consumeToken (k = 1) objects");
+    let cas = CasRegister::new(EMPTY);
+    println!(
+        "cas(EMPTY→7)  returned {:>2} (success: old value)",
+        cas.compare_and_swap(EMPTY, 7)
+    );
+    println!(
+        "cas(EMPTY→9)  returned {:>2} (failure: incumbent)",
+        cas.compare_and_swap(EMPTY, 9)
+    );
+    let ct = ConsumeTokenCell::new();
+    println!("consume(3)    returned {:>2} (installed)", ct.consume_token(3));
+    println!(
+        "consume(5)    returned {:>2} (k = 1: incumbent)",
+        ct.consume_token(5)
+    );
+
+    let winners: usize = {
+        let c = std::sync::Arc::new(ConsumeTokenCell::new());
+        std::thread::scope(|s| {
+            (1..=8u64)
+                .map(|v| {
+                    let c = std::sync::Arc::clone(&c);
+                    s.spawn(move || (c.consume_token(v) == v) as usize)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        })
+    };
+    println!("\n8 threads racing consumeToken: {winners} winner (expected 1)");
+}
+
+/// Fig. 10 — CAS from CT (Thm. 4.1).
+pub fn fig10() {
+    hr("Figure 10 — wait-free CAS from consumeToken (Thm 4.1)");
+    let reduced = CasFromCt::new();
+    let native = CasRegister::new(EMPTY);
+    println!("{:<14} {:>10} {:>10}", "operation", "reduced", "native");
+    for v in [5u64, 9, 13] {
+        println!(
+            "cas({{}}, {v:<2})    {:>10} {:>10}",
+            reduced.compare_and_swap_from_empty(v),
+            native.compare_and_swap(EMPTY, v)
+        );
+    }
+    println!(
+        "final values:  {:>10} {:>10}",
+        reduced.read(),
+        native.read()
+    );
+}
+
+/// Fig. 11 — Protocol A (consensus from Θ_F,k=1, Thm. 4.2).
+pub fn fig11() {
+    hr("Figure 11 — Protocol A: consensus from Θ_F,k=1 (Thm 4.2)");
+    println!(
+        "{:>8} {:>10} {:>11} {:>9} {:>9} {:>12}",
+        "threads", "decided", "agreement", "validity", "term.", "wall time"
+    );
+    for &n in &[2usize, 4, 8, 16] {
+        let oracle = ThetaOracle::frugal(1, Merits::uniform(n), n as f64 * 0.8, n as u64);
+        let consensus = OracleConsensus::new(SharedOracle::new(oracle));
+        let start = Instant::now();
+        let report = run_trial(&consensus, n);
+        let dt = start.elapsed();
+        println!(
+            "{n:>8} {:>10} {:>11} {:>9} {:>9} {:>12}",
+            report
+                .decided()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "—".into()),
+            tick(report.agreement()),
+            tick(report.validity()),
+            tick(report.termination()),
+            format!("{dt:.1?}")
+        );
+    }
+}
+
+fn tick(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        "✗"
+    }
+}
+
+/// Fig. 12 — prodigal CT from Atomic Snapshot (Thm. 4.3).
+pub fn fig12() {
+    hr("Figure 12 — consumeToken from Atomic Snapshot (Θ_P, Thm 4.3)");
+    let cell = ProdigalCtCell::new(4);
+    for m in 0..4usize {
+        let view = cell.consume_token(m, (m as u64 + 1) * 10);
+        println!(
+            "consumeToken(slot {m}, token {:>2}) -> K = {view:?}",
+            (m + 1) * 10
+        );
+    }
+    println!("\nall four consumes succeeded: Θ_P exercises no synchronization power.");
+    let (a, b) = divergent_schedule(PickRule::MinSlot);
+    println!("naive consensus over it admits divergence: A decided {a}, B decided {b}");
+}
+
+/// Fig. 13 — Update Agreement.
+pub fn fig13() {
+    hr("Figure 13 — Update Agreement (R1/R2/R3, Def. 4.3)");
+    let out = update_agreement_positive(SEED);
+    let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+    let lrc = check_lrc(&out.trace, &out.correct);
+    println!(
+        "gossip-echo run: {} sends, {} receives, {} updates\n",
+        out.trace.sends().count(),
+        out.trace.receives().count(),
+        out.trace.updates().count()
+    );
+    println!("{ua}");
+    println!("{lrc}");
+    let (_, ec) = out.consistency();
+    println!(
+        "Eventual Consistency: {}",
+        if ec.holds() { "SATISFIED" } else { "VIOLATED" }
+    );
+}
+
+/// Fig. 14 — the hierarchy after the impossibility results.
+pub fn fig14() {
+    hr("Figure 14 — message-passing frontier (Thm 4.8, Lemmas 4.4/4.5, Thm 4.7)");
+    println!("Thm 4.8 schedules (2 procs, synchronous, simultaneous PoW wins):");
+    for (label, k) in [
+        ("Θ_F,k=1", KBound::Finite(1)),
+        ("Θ_F,k=2", KBound::Finite(2)),
+        ("Θ_P    ", KBound::Infinite),
+    ] {
+        let out = theorem_4_8(k, 42);
+        let (sc, ec) = out.consistency();
+        println!(
+            "  {label}: Strong Prefix {}  Eventual Consistency {}",
+            if sc
+                .strong_prefix
+                .as_ref()
+                .map(|v| v.holds)
+                .unwrap_or(true)
+            {
+                "preserved"
+            } else {
+                "VIOLATED "
+            },
+            tick(ec.holds())
+        );
+    }
+    println!("\nnecessity chain:");
+    let out = lemma_4_4(SEED);
+    let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+    let (_, ec) = out.consistency();
+    println!(
+        "  Lemma 4.4 (silent miner):  R1 {}  ⇒ EC {}",
+        tick(ua.r1),
+        tick(ec.holds())
+    );
+    let out = lemma_4_5(SEED);
+    let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+    let lrc = check_lrc(&out.trace, &out.correct);
+    let (_, ec) = out.consistency();
+    println!(
+        "  Lemma 4.5 (dropped link):  LRC-Agreement {}  R3 {}  ⇒ EC {}",
+        tick(lrc.agreement),
+        tick(ua.r3),
+        tick(ec.holds())
+    );
+    println!("\nsurviving message-passing classes:");
+    for node in figure_nodes(2) {
+        if node.message_passing_implementable() {
+            println!("  {}", node.label());
+        } else {
+            println!("  {}   [impossible: Thm 4.8]", node.label());
+        }
+    }
+}
+
+/// Table 1 — the system mapping.
+pub fn table1_exp() {
+    hr("Table 1 — mapping of existing systems");
+    println!(
+        "{:<12} {:<28} {:<8} {:<9} {:<11} match",
+        "system", "paper mapping", "observed", "max-fork", "blocks"
+    );
+    for row in btadt_protocols::table1(SEED) {
+        println!("{row}");
+    }
+}
+
+/// Ablation A1 — fork rate vs k and operation latency.
+pub fn ablate_k() {
+    hr("Ablation A1 — fork pressure vs oracle bound k and latency");
+    println!(
+        "{:<8} {:>10} {:>12} {:>14} {:>10}",
+        "k", "latency", "fork points", "max degree", "SC?"
+    );
+    for &k in &[Some(1u32), Some(2), Some(4), None] {
+        for &lat in &[2u64, 6, 12] {
+            let (mut forks, mut deg, mut sc_runs) = (0usize, 0usize, 0u32);
+            let runs = 6u64;
+            for seed in 0..runs {
+                let merits = Merits::uniform(4);
+                let oracle = match k {
+                    Some(k) => ThetaOracle::frugal(k, merits, 2.0, seed),
+                    None => ThetaOracle::prodigal(merits, 2.0, seed),
+                };
+                let out = run_workload(
+                    oracle,
+                    &WorkloadConfig {
+                        max_latency: lat,
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                forks += out.fork_points;
+                deg = deg.max(out.max_fork_degree);
+                let params = ConsistencyParams {
+                    store: &out.store,
+                    predicate: &AcceptAll,
+                    score: &LengthScore,
+                    liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+                };
+                sc_runs += check_strong_consistency(&out.history, &params).holds() as u32;
+            }
+            let klabel = k.map(|k| format!("k={k}")).unwrap_or_else(|| "∞".to_string());
+            println!(
+                "{:<8} {:>10} {:>12.1} {:>14} {:>9}/6",
+                klabel,
+                lat,
+                forks as f64 / runs as f64,
+                deg,
+                sc_runs
+            );
+        }
+    }
+}
+
+/// Ablation A2 — longest-chain vs GHOST under fork pressure.
+pub fn ablate_selection() {
+    hr("Ablation A2 — longest-chain vs GHOST (Ethereum §5.2) under forks");
+    use btadt_protocols::{bitcoin, ethereum};
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>10}",
+        "selection", "blocks", "chain len", "orphan rate", "class"
+    );
+    for rate in [0.6f64, 1.2] {
+        let b = bitcoin::run(&bitcoin::BitcoinConfig {
+            rate,
+            seed: SEED,
+            ..Default::default()
+        });
+        let e = ethereum::run(&ethereum::EthereumConfig {
+            rate,
+            seed: SEED,
+            ..Default::default()
+        });
+        for (name, run) in [
+            (format!("longest r={rate}"), b),
+            (format!("ghost   r={rate}"), e),
+        ] {
+            let chain_len = run.final_chains[0].len() - 1;
+            let orphans = run.blocks_minted.saturating_sub(chain_len);
+            println!(
+                "{:<16} {:>8} {:>12} {:>11.1}% {:>10}",
+                name,
+                run.blocks_minted,
+                chain_len,
+                100.0 * orphans as f64 / run.blocks_minted.max(1) as f64,
+                format!("{}", run.consistency_class())
+            );
+        }
+    }
+}
+
+/// Ablation A4 — PeerCensus secure-state probability vs adversary power.
+pub fn peercensus_security() {
+    hr("Ablation A4 — PeerCensus secure state vs adversarial power (§5.5)");
+    use btadt_protocols::peercensus::secure_state_probability;
+    println!("{:>8} {:>22}", "α_A", "P[10 secure quorums]");
+    for a in [0.05f64, 0.10, 0.15, 0.20, 0.25, 0.30, 0.33] {
+        let p = secure_state_probability(a, 30, 10, 2_000, SEED);
+        let bar = "█".repeat((p * 40.0) as usize);
+        println!("{a:>8.2} {p:>10.3}  {bar}");
+    }
+    println!("\n(committee size 30, 10 successive quorums, 2000 Monte-Carlo trials)");
+}
+
+/// Ablation A5 — oracle & reward fairness (the paper's §6 future-work
+/// thread plus the FruitChain §5.1 comparison).
+pub fn fairness() {
+    hr("Ablation A5 — merit fairness: token grants & FruitChain rewards");
+    use btadt_oracle::token_fairness;
+    use btadt_protocols::fruitchain::{run as run_fruit, FruitChainConfig};
+
+    println!("token-grant fairness (Θ_P, 4000 attempts per process):");
+    for (label, weights) in [
+        ("uniform", vec![1.0, 1.0, 1.0, 1.0]),
+        ("3:1:1:1", vec![3.0, 1.0, 1.0, 1.0]),
+        ("8:4:2:1", vec![8.0, 4.0, 2.0, 1.0]),
+    ] {
+        let rep = token_fairness(Merits::from_weights(weights), 1.0, SEED, 4_000);
+        println!(
+            "  {label:<8} max deviation {:.4} over {} grants",
+            rep.max_deviation, rep.total
+        );
+    }
+
+    println!("\nreward fairness, skewed power 4:1:1:1 (FruitChain [27] vs Bitcoin):");
+    println!(
+        "{:>6} {:>18} {:>18}",
+        "seed", "fruit max-dev", "block max-dev"
+    );
+    let merits = Merits::from_weights(vec![4.0, 1.0, 1.0, 1.0]);
+    for seed in [1u64, 2, 3, 4] {
+        let out = run_fruit(&FruitChainConfig {
+            n: 4,
+            hash_power: Some(vec![4.0, 1.0, 1.0, 1.0]),
+            seed,
+            ..Default::default()
+        });
+        println!(
+            "{seed:>6} {:>18.4} {:>18.4}",
+            out.fruit_fairness(&merits).max_deviation,
+            out.block_fairness(&merits).max_deviation
+        );
+    }
+    println!("\n(per-fruit rewards track merit more tightly: the FruitChain claim)");
+}
+
+/// Runs every experiment in paper order.
+pub fn all() {
+    fig1();
+    fig2();
+    fig3();
+    fig4();
+    fig5();
+    fig6();
+    fig7();
+    fig8();
+    fig9();
+    fig10();
+    fig11();
+    fig12();
+    fig13();
+    fig14();
+    table1_exp();
+    ablate_k();
+    ablate_selection();
+    peercensus_security();
+    fairness();
+}
+
+#[cfg(test)]
+mod tests {
+    // Smoke-test every experiment driver end to end (they assert
+    // internally via expect/unwrap on the paper-predicted outcomes).
+    #[test]
+    fn figures_1_to_7_run() {
+        super::fig1();
+        super::fig2();
+        super::fig3();
+        super::fig4();
+        super::fig5();
+        super::fig6();
+        super::fig7();
+    }
+
+    #[test]
+    fn figures_8_to_14_run() {
+        super::fig8();
+        super::fig9();
+        super::fig10();
+        super::fig11();
+        super::fig12();
+        super::fig13();
+        super::fig14();
+    }
+
+    #[test]
+    fn tables_and_ablations_run() {
+        super::table1_exp();
+        super::ablate_selection();
+    }
+}

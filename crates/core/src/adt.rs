@@ -1,0 +1,213 @@
+//! The abstract-data-type formalism of §2.
+//!
+//! An ADT is a transducer `T = ⟨A, B, Z, ξ0, τ, δ⟩` (Def. 2.1): input
+//! alphabet `A`, output alphabet `B`, abstract states `Z` with initial state
+//! `ξ0`, transition function `τ : Z×A → Z` and output function
+//! `δ : Z×A → B`. Operations are `Σ = A ∪ (A×B)` (Def. 2.2) — an input
+//! symbol alone, or an input/output couple `α/β`.
+//!
+//! The paper's input symbols carry no arguments ("the call of the same
+//! operation with different arguments is encoded by different symbols"); the
+//! standard implementation encoding is an input *type* whose values are the
+//! symbols, which is what `Input` is here.
+//!
+//! [`check_sequential_history`] implements Def. 2.3: a word `σ ∈ Σ*` is a
+//! sequential history of `T` iff replaying it from `ξ0` finds every output
+//! compatible with the current state. Since our transducers are
+//! deterministic, membership in `L(T)` reduces to a fold.
+
+use std::fmt;
+
+/// A deterministic abstract data type `⟨A, B, Z, ξ0, τ, δ⟩` (Def. 2.1).
+pub trait AbstractDataType {
+    /// The input alphabet `A` (a value = a symbol).
+    type Input: Clone + fmt::Debug;
+    /// The output alphabet `B`.
+    type Output: Clone + PartialEq + fmt::Debug;
+    /// The abstract state set `Z`.
+    type State: Clone;
+
+    /// The initial abstract state `ξ0`.
+    fn initial_state(&self) -> Self::State;
+
+    /// The transition function `τ(ξ, α)`.
+    fn transition(&self, state: &Self::State, input: &Self::Input) -> Self::State;
+
+    /// The output function `δ(ξ, α)`.
+    fn output(&self, state: &Self::State, input: &Self::Input) -> Self::Output;
+
+    /// Applies one operation: returns `(τ(ξ,α), δ(ξ,α))`.
+    fn step(&self, state: &Self::State, input: &Self::Input) -> (Self::State, Self::Output) {
+        (self.transition(state, input), self.output(state, input))
+    }
+}
+
+/// An element of `Σ = A ∪ (A×B)` (Def. 2.2): `output = None` encodes a bare
+/// input symbol `α`, `Some(β)` encodes the couple `α/β`.
+#[derive(Clone, Debug)]
+pub struct Operation<I, O> {
+    pub input: I,
+    pub output: Option<O>,
+}
+
+impl<I, O> Operation<I, O> {
+    /// A bare input symbol `α ∈ A`.
+    pub fn input_only(input: I) -> Self {
+        Operation {
+            input,
+            output: None,
+        }
+    }
+
+    /// A couple `α/β ∈ A×B`.
+    pub fn with_output(input: I, output: O) -> Self {
+        Operation {
+            input,
+            output: Some(output),
+        }
+    }
+}
+
+/// Why a word is not in `L(T)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqSpecViolation {
+    /// Index of the offending operation in the word.
+    pub index: usize,
+    /// Rendered expected output `δ(ξi, σi)`.
+    pub expected: String,
+    /// Rendered output the word claimed.
+    pub got: String,
+}
+
+impl fmt::Display for SeqSpecViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operation #{} incompatible with state: expected output {}, word claims {}",
+            self.index, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for SeqSpecViolation {}
+
+/// Def. 2.3 membership test: replays `word` from `ξ0`; on success returns
+/// the visited state sequence `ξ0, ξ1, …, ξ|σ|` (one state more than
+/// operations). An operation with `output = None` is compatible with any
+/// state (it constrains only via `τ`).
+pub fn check_sequential_history<T: AbstractDataType>(
+    adt: &T,
+    word: &[Operation<T::Input, T::Output>],
+) -> Result<Vec<T::State>, SeqSpecViolation> {
+    let mut states = Vec::with_capacity(word.len() + 1);
+    let mut state = adt.initial_state();
+    for (index, op) in word.iter().enumerate() {
+        if let Some(claimed) = &op.output {
+            let expected = adt.output(&state, &op.input);
+            if &expected != claimed {
+                return Err(SeqSpecViolation {
+                    index,
+                    expected: format!("{expected:?}"),
+                    got: format!("{claimed:?}"),
+                });
+            }
+        }
+        let next = adt.transition(&state, &op.input);
+        states.push(state);
+        state = next;
+    }
+    states.push(state);
+    Ok(states)
+}
+
+/// Convenience: is the word a member of `L(T)`?
+pub fn is_sequential_history<T: AbstractDataType>(
+    adt: &T,
+    word: &[Operation<T::Input, T::Output>],
+) -> bool {
+    check_sequential_history(adt, word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy counter ADT: A = {Inc, Get}, B = N, Z = N.
+    struct Counter;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum In {
+        Inc,
+        Get,
+    }
+
+    impl AbstractDataType for Counter {
+        type Input = In;
+        type Output = u64;
+        type State = u64;
+
+        fn initial_state(&self) -> u64 {
+            0
+        }
+
+        fn transition(&self, s: &u64, i: &In) -> u64 {
+            match i {
+                In::Inc => s + 1,
+                In::Get => *s,
+            }
+        }
+
+        fn output(&self, s: &u64, i: &In) -> u64 {
+            match i {
+                In::Inc => s + 1,
+                In::Get => *s,
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_valid_word() {
+        let word = vec![
+            Operation::with_output(In::Inc, 1),
+            Operation::with_output(In::Inc, 2),
+            Operation::with_output(In::Get, 2),
+        ];
+        let states = check_sequential_history(&Counter, &word).unwrap();
+        assert_eq!(states, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn rejects_incompatible_output() {
+        let word = vec![
+            Operation::with_output(In::Inc, 1),
+            Operation::with_output(In::Get, 7),
+        ];
+        let err = check_sequential_history(&Counter, &word).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.expected, "1");
+        assert_eq!(err.got, "7");
+        assert!(!is_sequential_history(&Counter, &word));
+    }
+
+    #[test]
+    fn bare_inputs_constrain_only_via_transition() {
+        let word = vec![
+            Operation::input_only(In::Inc),
+            Operation::input_only(In::Inc),
+            Operation::with_output(In::Get, 2),
+        ];
+        assert!(is_sequential_history(&Counter, &word));
+    }
+
+    #[test]
+    fn empty_word_is_in_language() {
+        let states = check_sequential_history(&Counter, &[]).unwrap();
+        assert_eq!(states, vec![0]);
+    }
+
+    #[test]
+    fn step_pairs_transition_and_output() {
+        let (s, o) = Counter.step(&5, &In::Inc);
+        assert_eq!((s, o), (6, 6));
+    }
+}

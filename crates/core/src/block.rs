@@ -1,0 +1,211 @@
+//! Blocks and their payloads.
+//!
+//! §3.1 of the paper models blocks abstractly: a countable set `B` of blocks,
+//! of which a subset `B' ⊆ B` is *valid* with respect to an
+//! application-dependent predicate `P` (see [`crate::validity`]). To make the
+//! framework exercisable on realistic workloads, a block here carries:
+//!
+//! * its tree position (`parent`, memoized `height`),
+//! * the producing process and that producer's *merit index* (the α of
+//!   §3.2.1 — hashing power, stake, …),
+//! * a `work` weight (difficulty share) feeding work-based scores and
+//!   heaviest-chain selection,
+//! * a pseudo-`digest` (deterministic hash of contents) used for
+//!   lexicographic tie-breaking (Fig. 2) and ByzCoin's smallest-digest rule
+//!   (§5.3),
+//! * an application [`Payload`].
+
+use crate::ids::{mix2, mix_slice, BlockId, ProcessId};
+use std::fmt;
+
+/// A toy transfer transaction. Just enough structure for the
+/// double-spend-rejecting validity predicate of [`crate::validity`] to have
+/// something real to check; the framework never inspects payload semantics
+/// beyond the predicate `P`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Tx {
+    /// Unique transaction identifier (used for double-spend detection).
+    pub id: u64,
+    /// Spending account.
+    pub from: u32,
+    /// Receiving account.
+    pub to: u32,
+    /// Transferred amount.
+    pub amount: u64,
+}
+
+impl Tx {
+    pub fn new(id: u64, from: u32, to: u32, amount: u64) -> Self {
+        Tx {
+            id,
+            from,
+            to,
+            amount,
+        }
+    }
+
+    fn digest_word(&self) -> u64 {
+        mix_slice(
+            0x7478, // "tx"
+            &[self.id, self.from as u64, self.to as u64, self.amount],
+        )
+    }
+}
+
+/// Application content of a block.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum Payload {
+    /// No application content (pure-structure experiments).
+    #[default]
+    Empty,
+    /// An opaque word, useful for adversarial/property tests.
+    Opaque(u64),
+    /// A batch of transactions (cryptocurrency-style workloads).
+    Transactions(Vec<Tx>),
+}
+
+impl Payload {
+    /// Deterministic content hash.
+    pub fn digest_word(&self) -> u64 {
+        match self {
+            Payload::Empty => 0x656D_7074_79,
+            Payload::Opaque(w) => mix2(0x6F70_6171, *w),
+            Payload::Transactions(txs) => {
+                let words: Vec<u64> = txs.iter().map(Tx::digest_word).collect();
+                mix_slice(0x7478_7321, &words)
+            }
+        }
+    }
+
+    /// Number of transactions carried (0 for non-transaction payloads).
+    pub fn tx_count(&self) -> usize {
+        match self {
+            Payload::Transactions(txs) => txs.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// An immutable vertex of the BlockTree.
+///
+/// Blocks live in a [`BlockStore`](crate::store::BlockStore) arena and are
+/// referred to by [`BlockId`]; each edge points backward to the root
+/// (`parent`), exactly the directed rooted tree `bt = (V_bt, E_bt)` of §3.1.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Arena slot of this block (self reference, for convenience).
+    pub id: BlockId,
+    /// Backward edge towards the genesis block; `None` only for `b0`.
+    pub parent: Option<BlockId>,
+    /// Distance to the root (`b0` has height 0). Memoized at insertion.
+    pub height: u32,
+    /// Process that produced the block.
+    pub producer: ProcessId,
+    /// Index into the merit vector of the producing process (the α_i of the
+    /// token oracle that granted the block's token).
+    pub merit_index: u32,
+    /// Work/difficulty weight of this single block.
+    pub work: u64,
+    /// Deterministic pseudo-digest of the block contents.
+    pub digest: u64,
+    /// Application payload.
+    pub payload: Payload,
+}
+
+impl Block {
+    /// Computes the canonical digest for a prospective block. Incorporates
+    /// the parent digest so digests commit to the whole chain, like a real
+    /// hash chain.
+    pub fn compute_digest(
+        parent_digest: u64,
+        producer: ProcessId,
+        nonce: u64,
+        payload: &Payload,
+    ) -> u64 {
+        mix_slice(
+            parent_digest,
+            &[producer.0 as u64, nonce, payload.digest_word()],
+        )
+    }
+
+    /// True iff this block is the genesis block.
+    #[inline]
+    pub fn is_genesis(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}(h={}, by {}, work={}, digest={:016x})",
+            self.id, self.height, self.producer, self.work, self.digest
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_digests_differ() {
+        let a = Payload::Empty;
+        let b = Payload::Opaque(1);
+        let c = Payload::Opaque(2);
+        let d = Payload::Transactions(vec![Tx::new(1, 0, 1, 10)]);
+        let e = Payload::Transactions(vec![Tx::new(2, 0, 1, 10)]);
+        let words = [
+            a.digest_word(),
+            b.digest_word(),
+            c.digest_word(),
+            d.digest_word(),
+            e.digest_word(),
+        ];
+        for i in 0..words.len() {
+            for j in (i + 1)..words.len() {
+                assert_ne!(words[i], words[j], "payloads {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn payload_digest_is_stable() {
+        let p = Payload::Transactions(vec![Tx::new(1, 2, 3, 4), Tx::new(5, 6, 7, 8)]);
+        assert_eq!(p.digest_word(), p.digest_word());
+    }
+
+    #[test]
+    fn tx_order_matters() {
+        let p1 = Payload::Transactions(vec![Tx::new(1, 0, 1, 1), Tx::new(2, 0, 1, 1)]);
+        let p2 = Payload::Transactions(vec![Tx::new(2, 0, 1, 1), Tx::new(1, 0, 1, 1)]);
+        assert_ne!(p1.digest_word(), p2.digest_word());
+    }
+
+    #[test]
+    fn tx_count() {
+        assert_eq!(Payload::Empty.tx_count(), 0);
+        assert_eq!(Payload::Opaque(9).tx_count(), 0);
+        assert_eq!(
+            Payload::Transactions(vec![Tx::new(1, 0, 1, 1)]).tx_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn block_digest_commits_to_parent() {
+        let p = Payload::Empty;
+        let d1 = Block::compute_digest(1, ProcessId(0), 0, &p);
+        let d2 = Block::compute_digest(2, ProcessId(0), 0, &p);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn block_digest_commits_to_nonce_and_producer() {
+        let p = Payload::Empty;
+        let base = Block::compute_digest(0, ProcessId(0), 0, &p);
+        assert_ne!(base, Block::compute_digest(0, ProcessId(1), 0, &p));
+        assert_ne!(base, Block::compute_digest(0, ProcessId(0), 1, &p));
+    }
+}

@@ -1,0 +1,228 @@
+//! Blockchains: root-to-leaf paths of the BlockTree.
+//!
+//! §3.1: "a blockchain is a path from a leaf of `bt` to `b0`". A `read()`
+//! returns `{b0}⌢f(bt)` — the concatenation of the genesis block with the
+//! selected chain. We materialize returned chains genesis-first, which makes
+//! the prefix relation `⊑` a plain slice-prefix test and keeps recorded
+//! histories self-contained (checkable without the originating store).
+
+use crate::ids::BlockId;
+use crate::score::ScoreFn;
+use crate::store::BlockStore;
+use std::fmt;
+use std::sync::Arc;
+
+/// A materialized blockchain `{b0}⌢…`, genesis first.
+///
+/// Cheap to clone (`Arc`-backed): histories record many reads of slowly
+/// growing chains.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Blockchain {
+    ids: Arc<[BlockId]>,
+}
+
+impl Blockchain {
+    /// The chain containing only the genesis block (`read` on the initial
+    /// state returns `b0`, Def. 3.1).
+    pub fn genesis() -> Self {
+        Blockchain {
+            ids: Arc::from(vec![BlockId::GENESIS]),
+        }
+    }
+
+    /// Builds a chain from a genesis-first id sequence.
+    ///
+    /// Panics if the sequence is empty or does not start at `b0`: every
+    /// blockchain of the model contains the genesis block.
+    pub fn from_ids(ids: Vec<BlockId>) -> Self {
+        assert!(
+            ids.first() == Some(&BlockId::GENESIS),
+            "blockchain must start at the genesis block"
+        );
+        Blockchain {
+            ids: Arc::from(ids),
+        }
+    }
+
+    /// Materializes the genesis→`tip` path of `store`.
+    pub fn from_tip(store: &BlockStore, tip: BlockId) -> Self {
+        Blockchain {
+            ids: Arc::from(store.path_from_genesis(tip)),
+        }
+    }
+
+    /// Blocks, genesis first.
+    #[inline]
+    pub fn ids(&self) -> &[BlockId] {
+        &self.ids
+    }
+
+    /// The leaf (deepest block) of the chain; genesis if the chain is `{b0}`.
+    #[inline]
+    pub fn tip(&self) -> BlockId {
+        *self.ids.last().expect("chains are never empty")
+    }
+
+    /// Number of blocks including genesis.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Chains always contain at least `b0`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The prefix relation `bc ⊑ bc'` (§3.1.2): `self` is a prefix of
+    /// `other`. Reflexive.
+    #[inline]
+    pub fn is_prefix_of(&self, other: &Blockchain) -> bool {
+        other.ids.starts_with(&self.ids)
+    }
+
+    /// True iff one of the two chains prefixes the other — the comparability
+    /// test used by the Strong Prefix property (Def. 3.2).
+    #[inline]
+    pub fn comparable(&self, other: &Blockchain) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// Length (in blocks) of the maximal common prefix.
+    pub fn common_prefix_len(&self, other: &Blockchain) -> usize {
+        self.ids
+            .iter()
+            .zip(other.ids.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The maximal common prefix as a chain (always contains `b0`).
+    pub fn common_prefix(&self, other: &Blockchain) -> Blockchain {
+        let n = self.common_prefix_len(other);
+        Blockchain {
+            ids: Arc::from(&self.ids[..n]),
+        }
+    }
+
+    /// `mcps(bc, bc')` (§3.1.2): the *score* of the maximal common prefix of
+    /// two blockchains, under a given score function.
+    pub fn mcps(&self, other: &Blockchain, score: &dyn ScoreFn) -> u64 {
+        score.score_prefix(self, self.common_prefix_len(other))
+    }
+
+    /// The chain truncated to its first `n` blocks (`n ≥ 1`).
+    pub fn prefix(&self, n: usize) -> Blockchain {
+        assert!(n >= 1 && n <= self.len(), "prefix length out of range");
+        Blockchain {
+            ids: Arc::from(&self.ids[..n]),
+        }
+    }
+
+    /// `{b0}⌢f(bt)⌢{b}` notation support: this chain extended by one block.
+    pub fn extended(&self, b: BlockId) -> Blockchain {
+        let mut v = Vec::with_capacity(self.len() + 1);
+        v.extend_from_slice(&self.ids);
+        v.push(b);
+        Blockchain { ids: Arc::from(v) }
+    }
+}
+
+impl fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for id in self.ids.iter() {
+            if !first {
+                write!(f, "⌢")?;
+            }
+            write!(f, "{id}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Blockchain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Payload;
+    use crate::ids::ProcessId;
+    use crate::score::LengthScore;
+
+    fn chain(ids: &[u32]) -> Blockchain {
+        Blockchain::from_ids(ids.iter().map(|&i| BlockId(i)).collect())
+    }
+
+    #[test]
+    fn genesis_chain() {
+        let g = Blockchain::genesis();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.tip(), BlockId::GENESIS);
+        assert_eq!(format!("{g}"), "b0");
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at the genesis")]
+    fn rejects_rootless_chain() {
+        Blockchain::from_ids(vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = chain(&[0, 1, 2]);
+        let b = chain(&[0, 1, 2, 3]);
+        let c = chain(&[0, 1, 4]);
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a), "⊑ is reflexive");
+        assert!(a.comparable(&b));
+        assert!(!a.comparable(&c) || a.is_prefix_of(&c));
+        assert!(!b.comparable(&c));
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = chain(&[0, 1, 2, 3]);
+        let b = chain(&[0, 1, 4, 5]);
+        assert_eq!(a.common_prefix_len(&b), 2);
+        assert_eq!(a.common_prefix(&b), chain(&[0, 1]));
+        let g = Blockchain::genesis();
+        assert_eq!(a.common_prefix(&g), g);
+    }
+
+    #[test]
+    fn mcps_with_length_score() {
+        let a = chain(&[0, 1, 2, 3]);
+        let b = chain(&[0, 1, 4, 5]);
+        // common prefix b0⌢b1 has length-score 1 (genesis scores s0 = 0).
+        assert_eq!(a.mcps(&b, &LengthScore), 1);
+        assert_eq!(a.mcps(&a, &LengthScore), 3);
+    }
+
+    #[test]
+    fn extended_and_prefix() {
+        let a = chain(&[0, 1]);
+        let b = a.extended(BlockId(9));
+        assert_eq!(b, chain(&[0, 1, 9]));
+        assert!(a.is_prefix_of(&b));
+        assert_eq!(b.prefix(2), a);
+        assert_eq!(b.prefix(1), Blockchain::genesis());
+    }
+
+    #[test]
+    fn from_tip_matches_store_path() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b = s.mint(a, ProcessId(0), 0, 1, 1, Payload::Empty);
+        let c = Blockchain::from_tip(&s, b);
+        assert_eq!(c.ids(), &[BlockId::GENESIS, a, b]);
+        assert_eq!(c.tip(), b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Block Validity (Def. 3.2, first clause).
+//!
+//! Every block of every chain returned by a `read()` must (i) satisfy the
+//! validity predicate `P` (i.e. be in `B'`) and (ii) have been submitted to
+//! the tree by an `append` whose *invocation* precedes the read's
+//! *response* in program order: `∃ einv(append(b)) ր ersp(r)`.
+//!
+//! The genesis block is exempt: `b0 ∈ B'` by assumption and exists without
+//! an append.
+
+use crate::criteria::{Verdict, Violation};
+use crate::history::{History, Invocation, Response};
+use crate::ids::{BlockId, Time};
+use crate::store::BlockStore;
+use crate::validity::ValidityPredicate;
+use std::collections::HashMap;
+
+pub const PROPERTY: &str = "block-validity";
+
+/// Checks Block Validity of `history` against the predicate and the store
+/// the blocks live in.
+pub fn check(history: &History, store: &BlockStore, predicate: &dyn ValidityPredicate) -> Verdict {
+    // Earliest append invocation per block.
+    let mut first_append: HashMap<BlockId, Time> = HashMap::new();
+    for op in history.appends() {
+        if let Invocation::Append { block } = op.invocation {
+            let t = first_append.entry(block).or_insert(op.invoked_at);
+            if op.invoked_at < *t {
+                *t = op.invoked_at;
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    for read in history.reads() {
+        let chain = match &read.response {
+            Some(Response::Chain(c)) => c,
+            _ => continue,
+        };
+        let responded = read.responded_at.expect("completed read");
+        for &b in chain.ids() {
+            if b.is_genesis() {
+                continue;
+            }
+            match store.try_get(b) {
+                Some(block) if predicate.is_valid(store, block) => {}
+                _ => {
+                    violations.push(Violation::InvalidBlock {
+                        read: read.id,
+                        block: b,
+                    });
+                    continue;
+                }
+            }
+            match first_append.get(&b) {
+                Some(&t_inv) if t_inv < responded => {}
+                _ => violations.push(Violation::UnappendedBlock {
+                    read: read.id,
+                    block: b,
+                }),
+            }
+        }
+    }
+    Verdict::from_violations(PROPERTY, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Payload;
+    use crate::chain::Blockchain;
+    use crate::ids::ProcessId;
+    use crate::validity::{AcceptAll, RejectAll};
+
+    fn setup() -> (BlockStore, BlockId, BlockId) {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b = s.mint(a, ProcessId(0), 0, 1, 1, Payload::Empty);
+        (s, a, b)
+    }
+
+    fn append_at(h: &mut History, block: BlockId, t0: u64, t1: u64) {
+        h.push_complete(
+            ProcessId(9),
+            Invocation::Append { block },
+            Time(t0),
+            Response::Appended(true),
+            Time(t1),
+        );
+    }
+
+    fn read_at(h: &mut History, t0: u64, t1: u64, chain: Blockchain) {
+        h.push_complete(
+            ProcessId(0),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(chain),
+            Time(t1),
+        );
+    }
+
+    #[test]
+    fn valid_appended_blocks_pass() {
+        let (s, a, b) = setup();
+        let mut h = History::new();
+        append_at(&mut h, a, 0, 1);
+        append_at(&mut h, b, 2, 3);
+        read_at(&mut h, 4, 5, Blockchain::from_tip(&s, b));
+        let v = check(&h, &s, &AcceptAll);
+        assert!(v.holds, "{v}");
+    }
+
+    #[test]
+    fn genesis_only_read_needs_no_append() {
+        let (s, ..) = setup();
+        let mut h = History::new();
+        read_at(&mut h, 0, 1, Blockchain::genesis());
+        assert!(check(&h, &s, &RejectAll).holds);
+    }
+
+    #[test]
+    fn invalid_block_detected() {
+        let (s, a, _) = setup();
+        let mut h = History::new();
+        append_at(&mut h, a, 0, 1);
+        read_at(&mut h, 2, 3, Blockchain::from_tip(&s, a));
+        let v = check(&h, &s, &RejectAll);
+        assert!(!v.holds);
+        assert!(matches!(
+            v.violations[0],
+            Violation::InvalidBlock { block, .. } if block == a
+        ));
+    }
+
+    #[test]
+    fn unappended_block_detected() {
+        let (s, a, _) = setup();
+        let mut h = History::new();
+        read_at(&mut h, 2, 3, Blockchain::from_tip(&s, a));
+        let v = check(&h, &s, &AcceptAll);
+        assert!(!v.holds);
+        assert!(matches!(
+            v.violations[0],
+            Violation::UnappendedBlock { block, .. } if block == a
+        ));
+    }
+
+    #[test]
+    fn append_after_read_response_is_a_violation() {
+        let (s, a, _) = setup();
+        let mut h = History::new();
+        // Read responds at t=3, append invoked at t=5: not einv ր ersp.
+        read_at(&mut h, 2, 3, Blockchain::from_tip(&s, a));
+        append_at(&mut h, a, 5, 6);
+        let v = check(&h, &s, &AcceptAll);
+        assert!(!v.holds);
+    }
+
+    #[test]
+    fn append_invocation_suffices_even_if_pending() {
+        let (s, a, _) = setup();
+        let mut h = History::new();
+        // Pending append (no response) still provides einv.
+        h.push_invocation(ProcessId(1), Invocation::Append { block: a }, Time(0));
+        read_at(&mut h, 2, 3, Blockchain::from_tip(&s, a));
+        assert!(check(&h, &s, &AcceptAll).holds);
+    }
+
+    #[test]
+    fn unknown_block_id_reported_not_panicking() {
+        let (s, ..) = setup();
+        let mut h = History::new();
+        let phantom = BlockId(999);
+        read_at(
+            &mut h,
+            0,
+            1,
+            Blockchain::from_ids(vec![BlockId::GENESIS, phantom]),
+        );
+        let v = check(&h, &s, &AcceptAll);
+        assert!(!v.holds);
+        assert!(matches!(
+            v.violations[0],
+            Violation::InvalidBlock { block, .. } if block == phantom
+        ));
+    }
+}

@@ -1,0 +1,308 @@
+//! The BT Strong Consistency (Def. 3.2) and BT Eventual Consistency
+//! (Def. 3.4) criteria as conjunctions of the individual properties, plus a
+//! classifier used by the Table-1 experiments.
+
+use crate::criteria::{
+    block_validity, eventual_prefix, ever_growing_tree, local_monotonic_read, strong_prefix,
+    LivenessMode, Verdict,
+};
+use crate::history::History;
+use crate::score::ScoreFn;
+use crate::store::BlockStore;
+use crate::validity::ValidityPredicate;
+use std::fmt;
+
+/// Everything the conjunction checkers need besides the history itself.
+pub struct ConsistencyParams<'a> {
+    /// Arena the history's block ids point into.
+    pub store: &'a BlockStore,
+    /// The validity predicate `P` of the BT-ADT instance.
+    pub predicate: &'a dyn ValidityPredicate,
+    /// The score function of the criteria.
+    pub score: &'a dyn ScoreFn,
+    /// Finite-trace semantics for the liveness clauses.
+    pub liveness: LivenessMode,
+}
+
+/// Which criterion a report evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CriterionKind {
+    /// BT Strong Consistency (Def. 3.2).
+    Strong,
+    /// BT Eventual Consistency (Def. 3.4).
+    Eventual,
+}
+
+impl fmt::Display for CriterionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CriterionKind::Strong => write!(f, "BT Strong Consistency"),
+            CriterionKind::Eventual => write!(f, "BT Eventual Consistency"),
+        }
+    }
+}
+
+/// Per-property verdicts of one criterion check.
+#[derive(Clone, Debug)]
+pub struct ConsistencyReport {
+    pub criterion: CriterionKind,
+    pub block_validity: Verdict,
+    pub local_monotonic_read: Verdict,
+    /// Present iff `criterion == Strong`.
+    pub strong_prefix: Option<Verdict>,
+    pub ever_growing_tree: Verdict,
+    /// Present iff `criterion == Eventual`.
+    pub eventual_prefix: Option<Verdict>,
+}
+
+impl ConsistencyReport {
+    /// Did the conjunction hold?
+    pub fn holds(&self) -> bool {
+        self.block_validity.holds
+            && self.local_monotonic_read.holds
+            && self.strong_prefix.as_ref().map_or(true, |v| v.holds)
+            && self.ever_growing_tree.holds
+            && self.eventual_prefix.as_ref().map_or(true, |v| v.holds)
+    }
+
+    /// The verdicts present in this report, in definition order.
+    pub fn verdicts(&self) -> Vec<&Verdict> {
+        let mut out = vec![&self.block_validity, &self.local_monotonic_read];
+        if let Some(v) = &self.strong_prefix {
+            out.push(v);
+        }
+        out.push(&self.ever_growing_tree);
+        if let Some(v) = &self.eventual_prefix {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConsistencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {}",
+            self.criterion,
+            if self.holds() { "SATISFIED" } else { "VIOLATED" }
+        )?;
+        for v in self.verdicts() {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the BT Strong Consistency criterion (Def. 3.2).
+pub fn check_strong_consistency(history: &History, p: &ConsistencyParams<'_>) -> ConsistencyReport {
+    ConsistencyReport {
+        criterion: CriterionKind::Strong,
+        block_validity: block_validity::check(history, p.store, p.predicate),
+        local_monotonic_read: local_monotonic_read::check(history, p.score),
+        strong_prefix: Some(strong_prefix::check(history)),
+        ever_growing_tree: ever_growing_tree::check(history, p.score, p.liveness),
+        eventual_prefix: None,
+    }
+}
+
+/// Checks the BT Eventual Consistency criterion (Def. 3.4).
+pub fn check_eventual_consistency(
+    history: &History,
+    p: &ConsistencyParams<'_>,
+) -> ConsistencyReport {
+    ConsistencyReport {
+        criterion: CriterionKind::Eventual,
+        block_validity: block_validity::check(history, p.store, p.predicate),
+        local_monotonic_read: local_monotonic_read::check(history, p.score),
+        strong_prefix: None,
+        ever_growing_tree: ever_growing_tree::check(history, p.score, p.liveness),
+        eventual_prefix: Some(eventual_prefix::check(history, p.score, p.liveness)),
+    }
+}
+
+/// The strongest criterion a history satisfies. By Thm. 3.1 the classes
+/// nest (`H_SC ⊂ H_EC`), so the classification is a three-point scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConsistencyClass {
+    /// Satisfies neither criterion.
+    Neither,
+    /// Satisfies Eventual but not Strong consistency.
+    Eventual,
+    /// Satisfies Strong (hence also Eventual) consistency.
+    Strong,
+}
+
+impl fmt::Display for ConsistencyClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyClass::Neither => write!(f, "neither"),
+            ConsistencyClass::Eventual => write!(f, "EC"),
+            ConsistencyClass::Strong => write!(f, "SC"),
+        }
+    }
+}
+
+/// Classifies a history on the SC / EC / Neither scale.
+pub fn classify(history: &History, p: &ConsistencyParams<'_>) -> ConsistencyClass {
+    if check_strong_consistency(history, p).holds() {
+        ConsistencyClass::Strong
+    } else if check_eventual_consistency(history, p).holds() {
+        ConsistencyClass::Eventual
+    } else {
+        ConsistencyClass::Neither
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Blockchain;
+    use crate::history::{Invocation, Response};
+    use crate::ids::{BlockId, ProcessId, Time};
+    use crate::score::LengthScore;
+    use crate::validity::AcceptAll;
+
+    /// Store with a fork: b0 → 1 → 3 → 5 and b0 → 2 → 4 → 6,
+    /// mirroring the odd/even branches the paper's Figs. 3–4 draw.
+    struct Fixture {
+        store: BlockStore,
+        odd: Vec<BlockId>,  // [b0, 1, 3, 5]
+        even: Vec<BlockId>, // [b0, 2, 4, 6]
+    }
+
+    fn fixture() -> Fixture {
+        use crate::block::Payload;
+        let mut store = BlockStore::new();
+        let mut odd = vec![BlockId::GENESIS];
+        let mut even = vec![BlockId::GENESIS];
+        let mut p_odd = BlockId::GENESIS;
+        let mut p_even = BlockId::GENESIS;
+        for i in 0..3 {
+            p_odd = store.mint(p_odd, ProcessId(1), 1, 1, 100 + i, Payload::Empty);
+            odd.push(p_odd);
+            p_even = store.mint(p_even, ProcessId(0), 0, 1, 200 + i, Payload::Empty);
+            even.push(p_even);
+        }
+        Fixture { store, odd, even }
+    }
+
+    fn chain_of(ids: &[BlockId], n: usize) -> Blockchain {
+        Blockchain::from_ids(ids[..n].to_vec())
+    }
+
+    fn read(h: &mut History, p: u32, t0: u64, t1: u64, c: Blockchain) {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(c),
+            Time(t1),
+        );
+    }
+
+    fn append(h: &mut History, b: BlockId, t: u64) {
+        h.push_complete(
+            ProcessId(5),
+            Invocation::Append { block: b },
+            Time(t),
+            Response::Appended(true),
+            Time(t + 1),
+        );
+    }
+
+    fn append_all(h: &mut History, fx: &Fixture) {
+        for (i, &b) in fx.odd.iter().skip(1).enumerate() {
+            append(h, b, i as u64);
+        }
+        for (i, &b) in fx.even.iter().skip(1).enumerate() {
+            append(h, b, i as u64);
+        }
+    }
+
+    fn params<'a>(fx: &'a Fixture, cut: u64) -> ConsistencyParams<'a> {
+        ConsistencyParams {
+            store: &fx.store,
+            predicate: &AcceptAll,
+            score: &LengthScore,
+            liveness: LivenessMode::ConvergenceCut(Time(cut)),
+        }
+    }
+
+    /// A linear (forkless) history: SC holds, hence EC holds (Thm. 3.1).
+    #[test]
+    fn strong_history_is_also_eventual() {
+        let fx = fixture();
+        let mut h = History::new();
+        append_all(&mut h, &fx);
+        read(&mut h, 0, 10, 11, chain_of(&fx.odd, 2));
+        read(&mut h, 1, 12, 13, chain_of(&fx.odd, 3));
+        read(&mut h, 0, 30, 31, chain_of(&fx.odd, 4));
+        read(&mut h, 1, 32, 33, chain_of(&fx.odd, 4));
+        let p = params(&fx, 20);
+        let sc = check_strong_consistency(&h, &p);
+        let ec = check_eventual_consistency(&h, &p);
+        assert!(sc.holds(), "{sc}");
+        assert!(ec.holds(), "{ec}");
+        assert_eq!(classify(&h, &p), ConsistencyClass::Strong);
+    }
+
+    /// Fig. 3-shaped history: EC holds, SC does not (the EC∖SC witness of
+    /// Thm. 3.1).
+    #[test]
+    fn eventual_but_not_strong() {
+        let fx = fixture();
+        let mut h = History::new();
+        append_all(&mut h, &fx);
+        // Early divergence…
+        read(&mut h, 0, 10, 11, chain_of(&fx.even, 3)); // b0·2·4 (score 2)
+        read(&mut h, 1, 12, 13, chain_of(&fx.odd, 2)); // b0·1   (score 1)
+        // …then everybody adopts the odd branch and keeps growing.
+        read(&mut h, 0, 30, 31, chain_of(&fx.odd, 4));
+        read(&mut h, 1, 32, 33, chain_of(&fx.odd, 4));
+        let p = params(&fx, 20);
+        assert!(!check_strong_consistency(&h, &p).holds());
+        let ec = check_eventual_consistency(&h, &p);
+        assert!(ec.holds(), "{ec}");
+        assert_eq!(classify(&h, &p), ConsistencyClass::Eventual);
+    }
+
+    /// Fig. 4-shaped history: the branches never converge — neither
+    /// criterion holds.
+    #[test]
+    fn neither_criterion() {
+        let fx = fixture();
+        let mut h = History::new();
+        append_all(&mut h, &fx);
+        read(&mut h, 0, 10, 11, chain_of(&fx.even, 3));
+        read(&mut h, 1, 12, 13, chain_of(&fx.odd, 3));
+        read(&mut h, 0, 30, 31, chain_of(&fx.even, 4));
+        read(&mut h, 1, 32, 33, chain_of(&fx.odd, 4));
+        let p = params(&fx, 20);
+        assert!(!check_strong_consistency(&h, &p).holds());
+        assert!(!check_eventual_consistency(&h, &p).holds());
+        assert_eq!(classify(&h, &p), ConsistencyClass::Neither);
+    }
+
+    #[test]
+    fn report_display_lists_properties() {
+        let fx = fixture();
+        let mut h = History::new();
+        append_all(&mut h, &fx);
+        read(&mut h, 0, 10, 11, chain_of(&fx.odd, 2));
+        read(&mut h, 0, 30, 31, chain_of(&fx.odd, 3));
+        let p = params(&fx, 20);
+        let sc = check_strong_consistency(&h, &p);
+        let text = format!("{sc}");
+        assert!(text.contains("block-validity"));
+        assert!(text.contains("strong-prefix"));
+        assert!(text.contains("ever-growing-tree"));
+        assert!(!text.contains("eventual-prefix"));
+    }
+
+    #[test]
+    fn class_ordering() {
+        assert!(ConsistencyClass::Strong > ConsistencyClass::Eventual);
+        assert!(ConsistencyClass::Eventual > ConsistencyClass::Neither);
+    }
+}

@@ -1,0 +1,160 @@
+//! Ever-Growing Tree (Def. 3.2, fourth clause).
+//!
+//! For each read `r` returning score `s`, the set of reads invoked after
+//! `ersp(r)` whose chains do not out-score `s` must be *finite*:
+//!
+//! `|{einv(r') ∈ E | ersp(r) ր einv(r'), score(ersp(r'):bc') ≤ s}| < ∞`.
+//!
+//! Under [`LivenessMode::ConvergenceCut`]`(c)` the finite set must be
+//! contained in the window `(ersp(r), c]`: every read invoked strictly
+//! after `c` must score **more** than every read that responded at or
+//! before `c`. The trace must actually contain post-cut reads (otherwise
+//! convergence is unwitnessed and the checker reports
+//! [`Violation::NoReadsAfterCut`]).
+
+use crate::criteria::{LivenessMode, Verdict, Violation};
+use crate::history::History;
+use crate::score::ScoreFn;
+
+pub const PROPERTY: &str = "ever-growing-tree";
+
+/// Checks Ever-Growing Tree under the given liveness semantics.
+pub fn check(history: &History, score: &dyn ScoreFn, mode: LivenessMode) -> Verdict {
+    let cut = match mode {
+        LivenessMode::Vacuous => return Verdict::passing(PROPERTY),
+        LivenessMode::ConvergenceCut(c) => c,
+    };
+    let views = history.read_views(score);
+    let pre: Vec<_> = views.iter().filter(|v| v.responded_at <= cut).collect();
+    let post: Vec<_> = views.iter().filter(|v| v.invoked_at > cut).collect();
+
+    if pre.is_empty() {
+        // No reference reads: nothing to grow past.
+        return Verdict::passing(PROPERTY);
+    }
+    if post.is_empty() {
+        return Verdict::from_violations(PROPERTY, vec![Violation::NoReadsAfterCut { cut }]);
+    }
+
+    // It suffices to compare against the highest-scoring pre-cut read.
+    let reference = pre
+        .iter()
+        .max_by_key(|v| (v.score, v.op))
+        .expect("non-empty");
+    let mut violations = Vec::new();
+    for late in &post {
+        if late.score <= reference.score {
+            violations.push(Violation::StagnantRead {
+                reference: reference.op,
+                reference_score: reference.score,
+                late: late.op,
+                late_score: late.score,
+            });
+        }
+    }
+    Verdict::from_violations(PROPERTY, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Blockchain;
+    use crate::history::{Invocation, Response};
+    use crate::ids::{BlockId, ProcessId, Time};
+    use crate::score::LengthScore;
+
+    fn chain(len: u32) -> Blockchain {
+        Blockchain::from_ids((0..=len).map(BlockId).collect())
+    }
+
+    fn read(h: &mut History, p: u32, t0: u64, t1: u64, c: Blockchain) {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(c),
+            Time(t1),
+        );
+    }
+
+    #[test]
+    fn vacuous_mode_always_passes() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(5));
+        read(&mut h, 0, 2, 3, chain(0));
+        assert!(check(&h, &LengthScore, LivenessMode::Vacuous).holds);
+    }
+
+    #[test]
+    fn growing_tail_passes() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(2));
+        read(&mut h, 1, 2, 3, chain(3));
+        // Post-cut reads out-score every pre-cut read.
+        read(&mut h, 0, 11, 12, chain(4));
+        read(&mut h, 1, 13, 14, chain(5));
+        let v = check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+        assert!(v.holds, "{v}");
+    }
+
+    #[test]
+    fn stagnant_tail_fails() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(3));
+        read(&mut h, 0, 11, 12, chain(3)); // equal score after cut: ≤ s
+        let v = check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+        assert!(!v.holds);
+        assert!(matches!(
+            v.violations[0],
+            Violation::StagnantRead {
+                reference_score: 3,
+                late_score: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn missing_post_cut_reads_reported() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(3));
+        let v = check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+        assert!(!v.holds);
+        assert_eq!(
+            v.violations,
+            vec![Violation::NoReadsAfterCut { cut: Time(10) }]
+        );
+    }
+
+    #[test]
+    fn no_pre_cut_reads_passes() {
+        let mut h = History::new();
+        read(&mut h, 0, 11, 12, chain(1));
+        assert!(check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10))).holds);
+    }
+
+    #[test]
+    fn straddling_reads_ignored() {
+        // A read invoked before but responding after the cut is neither a
+        // reference nor a post-cut read.
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(2));
+        read(&mut h, 1, 5, 15, chain(1)); // straddles the cut; low score OK
+        read(&mut h, 0, 11, 12, chain(3));
+        let v = check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+        assert!(v.holds, "{v}");
+    }
+
+    #[test]
+    fn figure_2_sets_partition_as_in_paper() {
+        // The Fig. 2 reference read returns score 3; later reads score 4, 5…
+        // With the cut placed after the ≤3 reads, the criterion holds.
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(3)); // the boxed read() l=3
+        read(&mut h, 1, 2, 3, chain(3)); // finite set with score ≤ l
+        read(&mut h, 0, 20, 21, chain(4)); // infinite set with score > l
+        read(&mut h, 1, 22, 23, chain(5));
+        let v = check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+        assert!(v.holds, "{v}");
+    }
+}

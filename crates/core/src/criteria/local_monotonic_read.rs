@@ -1,0 +1,130 @@
+//! Local Monotonic Read (Def. 3.2, second clause).
+//!
+//! For any two reads `r, r'` of the *same* process with
+//! `ersp(r) ↦→ einv(r')`, the scores must not decrease:
+//! `score(ersp(r):bc) ≤ score(ersp(r'):bc')`.
+//!
+//! Processes are sequential, so per-process reads are totally ordered by
+//! the clock; the check is a per-process scan over response-ordered reads.
+
+use crate::criteria::{Verdict, Violation};
+use crate::history::{History, ReadView};
+use crate::ids::ProcessId;
+use crate::score::ScoreFn;
+use std::collections::HashMap;
+
+pub const PROPERTY: &str = "local-monotonic-read";
+
+/// Checks Local Monotonic Read under the given score function.
+pub fn check(history: &History, score: &dyn ScoreFn) -> Verdict {
+    let views = history.read_views(score);
+    let mut per_process: HashMap<ProcessId, Vec<&ReadView>> = HashMap::new();
+    for v in &views {
+        per_process.entry(v.process).or_default().push(v);
+    }
+
+    let mut violations = Vec::new();
+    for (process, mut reads) in per_process {
+        // Sequential processes: order by invocation time.
+        reads.sort_by_key(|v| (v.invoked_at, v.op));
+        for w in reads.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b.score < a.score {
+                violations.push(Violation::NonMonotonicRead {
+                    process,
+                    earlier: a.op,
+                    later: b.op,
+                    earlier_score: a.score,
+                    later_score: b.score,
+                });
+            }
+        }
+    }
+    // Deterministic report order.
+    violations.sort_by_key(|v| match v {
+        Violation::NonMonotonicRead { earlier, later, .. } => (*earlier, *later),
+        _ => unreachable!("only monotonicity violations emitted here"),
+    });
+    Verdict::from_violations(PROPERTY, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Blockchain;
+    use crate::history::{Invocation, Response};
+    use crate::ids::{BlockId, Time};
+    use crate::score::LengthScore;
+
+    fn chain(ids: &[u32]) -> Blockchain {
+        Blockchain::from_ids(ids.iter().map(|&i| BlockId(i)).collect())
+    }
+
+    fn read(h: &mut History, p: u32, t0: u64, t1: u64, c: Blockchain) {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(c),
+            Time(t1),
+        );
+    }
+
+    #[test]
+    fn monotone_process_passes() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(&[0]));
+        read(&mut h, 0, 2, 3, chain(&[0, 1]));
+        read(&mut h, 0, 4, 5, chain(&[0, 1, 2]));
+        assert!(check(&h, &LengthScore).holds);
+    }
+
+    #[test]
+    fn equal_scores_allowed() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(&[0, 1]));
+        read(&mut h, 0, 2, 3, chain(&[0, 2])); // different chain, same score
+        assert!(check(&h, &LengthScore).holds, "≤ permits equality");
+    }
+
+    #[test]
+    fn decreasing_score_detected() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(&[0, 1, 2]));
+        read(&mut h, 0, 2, 3, chain(&[0, 1]));
+        let v = check(&h, &LengthScore);
+        assert!(!v.holds);
+        assert!(matches!(
+            v.violations[0],
+            Violation::NonMonotonicRead {
+                earlier_score: 2,
+                later_score: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn different_processes_do_not_interact() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(&[0, 1, 2]));
+        read(&mut h, 1, 2, 3, chain(&[0])); // lower score, other process
+        assert!(check(&h, &LengthScore).holds);
+    }
+
+    #[test]
+    fn multiple_violations_reported() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, 1, chain(&[0, 1, 2]));
+        read(&mut h, 0, 2, 3, chain(&[0, 1]));
+        read(&mut h, 0, 4, 5, chain(&[0]));
+        let v = check(&h, &LengthScore);
+        assert_eq!(v.violations.len(), 2);
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        let h = History::new();
+        assert!(check(&h, &LengthScore).holds);
+    }
+}

@@ -1,0 +1,189 @@
+//! Strong Prefix (Def. 3.2, third clause).
+//!
+//! For every couple of read responses, one returned blockchain is a prefix
+//! of the other: `(bc' ⊑ bc) ∨ (bc ⊑ bc')`. This is the property that makes
+//! a BlockTree behave like an eventually-consistent append-only *queue*
+//! ("the prefix never diverges"), and the property Thm. 4.8 shows to require
+//! the strongest oracle.
+//!
+//! Two checkers are provided:
+//!
+//! * [`check_naive`] — the literal O(n²·len) pairwise test, enumerating
+//!   *all* violating pairs (useful for small adversarial histories and as
+//!   the reference implementation);
+//! * [`check`] — O(n log n + n·len): sort chains by length; prefix-
+//!   comparability is a total order on comparable sets, so the whole
+//!   history is pairwise-comparable iff every *adjacent* sorted pair is
+//!   (equal-length chains must be equal). Ablation A3 benches the two.
+
+use crate::criteria::{Verdict, Violation};
+use crate::history::History;
+use crate::score::LengthScore;
+
+pub const PROPERTY: &str = "strong-prefix";
+
+/// Reference O(n²) checker; reports every violating pair.
+pub fn check_naive(history: &History) -> Verdict {
+    let views = history.read_views(&LengthScore);
+    let mut violations = Vec::new();
+    for i in 0..views.len() {
+        for j in (i + 1)..views.len() {
+            if !views[i].chain.comparable(&views[j].chain) {
+                violations.push(Violation::IncomparableReads {
+                    a: views[i].op.min(views[j].op),
+                    b: views[i].op.max(views[j].op),
+                });
+            }
+        }
+    }
+    Verdict::from_violations(PROPERTY, violations)
+}
+
+/// Sorted checker: same verdict as [`check_naive`], with a single witness
+/// pair on failure.
+///
+/// Soundness: sort views by chain length `|c1| ≤ … ≤ |cn|`. If every
+/// adjacent pair is comparable then `ci ⊑ ci+1` (for equal lengths,
+/// comparability forces equality), and `⊑` chains transitively, so *all*
+/// pairs are comparable. Conversely a violating adjacent pair is already a
+/// counterexample; if a non-adjacent pair were incomparable while all
+/// adjacent pairs chain, transitivity would be contradicted.
+pub fn check(history: &History) -> Verdict {
+    let mut views = history.read_views(&LengthScore);
+    views.sort_by_key(|v| (v.chain.len(), v.op));
+    for w in views.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if !a.chain.is_prefix_of(&b.chain) {
+            return Verdict::from_violations(
+                PROPERTY,
+                vec![Violation::IncomparableReads {
+                    a: a.op.min(b.op),
+                    b: a.op.max(b.op),
+                }],
+            );
+        }
+    }
+    Verdict::passing(PROPERTY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Blockchain;
+    use crate::history::{Invocation, Response};
+    use crate::ids::{BlockId, ProcessId, Time};
+
+    fn chain(ids: &[u32]) -> Blockchain {
+        Blockchain::from_ids(ids.iter().map(|&i| BlockId(i)).collect())
+    }
+
+    fn read(h: &mut History, p: u32, t0: u64, c: Blockchain) {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(c),
+            Time(t0 + 1),
+        );
+    }
+
+    #[test]
+    fn totally_ordered_chains_pass() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, chain(&[0]));
+        read(&mut h, 1, 2, chain(&[0, 1]));
+        read(&mut h, 0, 4, chain(&[0, 1, 2]));
+        read(&mut h, 1, 6, chain(&[0, 1]));
+        assert!(check(&h).holds);
+        assert!(check_naive(&h).holds);
+    }
+
+    #[test]
+    fn diverging_chains_fail_both_checkers() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, chain(&[0, 1]));
+        read(&mut h, 1, 2, chain(&[0, 2]));
+        let fast = check(&h);
+        let slow = check_naive(&h);
+        assert!(!fast.holds);
+        assert!(!slow.holds);
+        assert_eq!(slow.violations.len(), 1);
+    }
+
+    #[test]
+    fn equal_length_distinct_chains_fail() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, chain(&[0, 1, 2]));
+        read(&mut h, 1, 2, chain(&[0, 1, 3]));
+        assert!(!check(&h).holds);
+    }
+
+    #[test]
+    fn figure_2_history_satisfies_strong_prefix() {
+        // Fig. 2: process i reads b0·1·2, b0·1·2·3, b0·1·2·3·4;
+        //         process j reads b0·1, b0·1·2, b0·1·2·3·4.
+        let mut h = History::new();
+        read(&mut h, 0, 0, chain(&[0, 1, 2]));
+        read(&mut h, 0, 10, chain(&[0, 1, 2, 3]));
+        read(&mut h, 0, 20, chain(&[0, 1, 2, 3, 4]));
+        read(&mut h, 1, 1, chain(&[0, 1]));
+        read(&mut h, 1, 11, chain(&[0, 1, 2]));
+        read(&mut h, 1, 21, chain(&[0, 1, 2, 3, 4]));
+        assert!(check(&h).holds);
+        assert!(check_naive(&h).holds);
+    }
+
+    #[test]
+    fn figure_3_history_violates_strong_prefix() {
+        // Fig. 3: i's first read returns b0⌢2⌢4 while j's first read
+        // returns b0⌢1 — neither prefixes the other.
+        let mut h = History::new();
+        read(&mut h, 0, 0, chain(&[0, 2, 4]));
+        read(&mut h, 1, 1, chain(&[0, 1]));
+        let v = check(&h);
+        assert!(!v.holds);
+    }
+
+    #[test]
+    fn naive_counts_all_pairs() {
+        let mut h = History::new();
+        read(&mut h, 0, 0, chain(&[0, 1]));
+        read(&mut h, 1, 2, chain(&[0, 2]));
+        read(&mut h, 2, 4, chain(&[0, 3]));
+        let v = check_naive(&h);
+        assert_eq!(v.violations.len(), 3, "all three pairs incomparable");
+    }
+
+    #[test]
+    fn checkers_agree_on_random_histories() {
+        use crate::ids::splitmix64_at;
+        // Deterministic pseudo-random tree reads; both checkers must agree.
+        for seed in 0..50u64 {
+            let mut h = History::new();
+            for i in 0..12u64 {
+                let r = splitmix64_at(seed, i);
+                // Build chains over a tiny fork space.
+                let c = match r % 4 {
+                    0 => chain(&[0]),
+                    1 => chain(&[0, 1]),
+                    2 => chain(&[0, 1, 2]),
+                    _ => chain(&[0, 1, 3]),
+                };
+                read(&mut h, (r % 3) as u32, i * 10, c);
+            }
+            assert_eq!(
+                check(&h).holds,
+                check_naive(&h).holds,
+                "checkers disagree on seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_pass() {
+        let mut h = History::new();
+        assert!(check(&h).holds);
+        read(&mut h, 0, 0, chain(&[0, 1]));
+        assert!(check(&h).holds);
+    }
+}

@@ -1,0 +1,262 @@
+//! The refinement hierarchy of §3.4 (Fig. 8) and its message-passing
+//! restriction of §4.4 (Fig. 14).
+//!
+//! A refinement `R(BT-ADT_C, Θ)` pairs a consistency criterion `C ∈ {SC,EC}`
+//! with an oracle model `Θ ∈ {Θ_F,k, Θ_P}`. Refinements are ordered by
+//! inclusion of their (purged) history sets `Ĥ`:
+//!
+//! * Thm. 3.3 — `Ĥ(R(BT, Θ_F)) ⊆ Ĥ(R(BT, Θ_P))`;
+//! * Thm. 3.4 — `k1 ≤ k2 ⟹ Ĥ(R(BT, Θ_F,k1)) ⊆ Ĥ(R(BT, Θ_F,k2))`;
+//! * Cor. 3.4.1 — `Ĥ(R(BT-ADT_SC, Θ)) ⊆ Ĥ(R(BT-ADT_EC, Θ))`;
+//! * Thm. 4.8 — in a message-passing system, `R(BT-ADT_SC, Θ)` is
+//!   implementable **only** for `Θ = Θ_F,k=1` (the grey nodes of Fig. 14).
+//!
+//! This module encodes the hierarchy as data so experiments F8/F14 can walk
+//! it, and [`RefinementClass::includes`] gives the closed partial order.
+
+use crate::criteria::conjunctions::CriterionKind;
+use std::fmt;
+
+/// The oracle models of §3.2 as descriptors (implementations live in the
+/// `btadt-oracle` crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OracleModel {
+    /// Frugal oracle Θ_F,k: at most `k` tokens consumed per object.
+    Frugal { k: u32 },
+    /// Prodigal oracle Θ_P = Θ_F with k = ∞.
+    Prodigal,
+}
+
+impl OracleModel {
+    /// `self` allows at most as many forks as `other` (the oracle-side
+    /// inclusion of Thms. 3.3/3.4).
+    pub fn at_most_as_permissive_as(&self, other: &OracleModel) -> bool {
+        match (self, other) {
+            (_, OracleModel::Prodigal) => true,
+            (OracleModel::Frugal { k: k1 }, OracleModel::Frugal { k: k2 }) => k1 <= k2,
+            (OracleModel::Prodigal, OracleModel::Frugal { .. }) => false,
+        }
+    }
+
+    /// Does this oracle permit forks at all?
+    pub fn allows_forks(&self) -> bool {
+        !matches!(self, OracleModel::Frugal { k: 1 })
+    }
+}
+
+impl fmt::Display for OracleModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleModel::Frugal { k } => write!(f, "Θ_F,k={k}"),
+            OracleModel::Prodigal => write!(f, "Θ_P"),
+        }
+    }
+}
+
+/// One node of Figs. 8/14: `R(BT-ADT_C, Θ)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RefinementClass {
+    pub criterion: CriterionKind,
+    pub oracle: OracleModel,
+}
+
+impl RefinementClass {
+    pub const fn new(criterion: CriterionKind, oracle: OracleModel) -> Self {
+        RefinementClass { criterion, oracle }
+    }
+
+    /// History-set inclusion `Ĥ(self) ⊆ Ĥ(other)`: the criterion must relax
+    /// (SC ⊆ EC, Cor. 3.4.1) and the oracle must be at most as permissive
+    /// (Thms. 3.3/3.4). Reflexive and transitive by construction.
+    pub fn includes_into(&self, other: &RefinementClass) -> bool {
+        let criterion_ok = match (self.criterion, other.criterion) {
+            (a, b) if a == b => true,
+            (CriterionKind::Strong, CriterionKind::Eventual) => true,
+            _ => false,
+        };
+        criterion_ok && self.oracle.at_most_as_permissive_as(&other.oracle)
+    }
+
+    /// Thm. 4.8 / Fig. 14: an SC refinement is implementable in a
+    /// message-passing system only with the fork-free oracle Θ_F,k=1.
+    pub fn message_passing_implementable(&self) -> bool {
+        match self.criterion {
+            CriterionKind::Eventual => true,
+            CriterionKind::Strong => !self.oracle.allows_forks(),
+        }
+    }
+
+    /// The label used in the paper's figures, e.g. `R(BT-ADT_SC, Θ_F,k=1)`.
+    pub fn label(&self) -> String {
+        let c = match self.criterion {
+            CriterionKind::Strong => "SC",
+            CriterionKind::Eventual => "EC",
+        };
+        format!("R(BT-ADT_{c}, {})", self.oracle)
+    }
+}
+
+impl fmt::Display for RefinementClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The five nodes drawn in Figs. 8 and 14 (with `k>1` represented by a
+/// concrete witness `k = 2` where a number is needed).
+pub fn figure_nodes(k_gt_1: u32) -> Vec<RefinementClass> {
+    assert!(k_gt_1 > 1, "witness for k>1 must exceed 1");
+    vec![
+        RefinementClass::new(
+            CriterionKind::Strong,
+            OracleModel::Frugal { k: 1 },
+        ),
+        RefinementClass::new(
+            CriterionKind::Strong,
+            OracleModel::Frugal { k: k_gt_1 },
+        ),
+        RefinementClass::new(CriterionKind::Strong, OracleModel::Prodigal),
+        RefinementClass::new(
+            CriterionKind::Eventual,
+            OracleModel::Frugal { k: k_gt_1 },
+        ),
+        RefinementClass::new(CriterionKind::Eventual, OracleModel::Prodigal),
+    ]
+}
+
+/// A directed inclusion edge of Fig. 8, annotated with the theorem that
+/// justifies it.
+#[derive(Clone, Debug)]
+pub struct HierarchyEdge {
+    pub from: RefinementClass,
+    pub to: RefinementClass,
+    pub justification: &'static str,
+}
+
+/// The edges of Fig. 8 (inclusions between the five drawn nodes).
+pub fn figure8_edges(k_gt_1: u32) -> Vec<HierarchyEdge> {
+    let sc_k1 = RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: 1 });
+    let sc_k = RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: k_gt_1 });
+    let sc_p = RefinementClass::new(CriterionKind::Strong, OracleModel::Prodigal);
+    let ec_k = RefinementClass::new(CriterionKind::Eventual, OracleModel::Frugal { k: k_gt_1 });
+    let ec_p = RefinementClass::new(CriterionKind::Eventual, OracleModel::Prodigal);
+    vec![
+        HierarchyEdge {
+            from: sc_k1,
+            to: sc_k,
+            justification: "Theorem 3.4",
+        },
+        HierarchyEdge {
+            from: sc_k,
+            to: sc_p,
+            justification: "Theorem 3.3",
+        },
+        HierarchyEdge {
+            from: ec_k,
+            to: ec_p,
+            justification: "Theorem 3.3",
+        },
+        HierarchyEdge {
+            from: sc_k,
+            to: ec_k,
+            justification: "Corollary 3.4.1",
+        },
+        HierarchyEdge {
+            from: sc_p,
+            to: ec_p,
+            justification: "Corollary 3.4.1",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_permissiveness() {
+        let f1 = OracleModel::Frugal { k: 1 };
+        let f2 = OracleModel::Frugal { k: 2 };
+        let p = OracleModel::Prodigal;
+        assert!(f1.at_most_as_permissive_as(&f1));
+        assert!(f1.at_most_as_permissive_as(&f2));
+        assert!(f2.at_most_as_permissive_as(&p));
+        assert!(!f2.at_most_as_permissive_as(&f1));
+        assert!(!p.at_most_as_permissive_as(&f2));
+        assert!(p.at_most_as_permissive_as(&p));
+    }
+
+    #[test]
+    fn fork_permission() {
+        assert!(!OracleModel::Frugal { k: 1 }.allows_forks());
+        assert!(OracleModel::Frugal { k: 2 }.allows_forks());
+        assert!(OracleModel::Prodigal.allows_forks());
+    }
+
+    #[test]
+    fn inclusion_partial_order() {
+        let sc_k1 = RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: 1 });
+        let ec_p = RefinementClass::new(CriterionKind::Eventual, OracleModel::Prodigal);
+        let ec_k2 = RefinementClass::new(CriterionKind::Eventual, OracleModel::Frugal { k: 2 });
+        // The bottom embeds everywhere.
+        assert!(sc_k1.includes_into(&ec_p));
+        assert!(sc_k1.includes_into(&ec_k2));
+        assert!(sc_k1.includes_into(&sc_k1), "reflexive");
+        // EC never includes into SC.
+        assert!(!ec_p.includes_into(&sc_k1));
+        assert!(!ec_k2.includes_into(&sc_k1));
+    }
+
+    #[test]
+    fn figure8_edges_are_valid_inclusions() {
+        for e in figure8_edges(2) {
+            assert!(
+                e.from.includes_into(&e.to),
+                "{} ⊆ {} ({}) must hold",
+                e.from,
+                e.to,
+                e.justification
+            );
+        }
+    }
+
+    #[test]
+    fn inclusion_is_transitive_on_figure_nodes() {
+        let nodes = figure_nodes(2);
+        for a in &nodes {
+            for b in &nodes {
+                for c in &nodes {
+                    if a.includes_into(b) && b.includes_into(c) {
+                        assert!(a.includes_into(c), "{a} ⊆ {b} ⊆ {c} not transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure14_greys_out_forking_sc() {
+        let sc_k1 = RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: 1 });
+        let sc_k2 = RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: 2 });
+        let sc_p = RefinementClass::new(CriterionKind::Strong, OracleModel::Prodigal);
+        let ec_p = RefinementClass::new(CriterionKind::Eventual, OracleModel::Prodigal);
+        assert!(sc_k1.message_passing_implementable());
+        assert!(!sc_k2.message_passing_implementable(), "Theorem 4.8");
+        assert!(!sc_p.message_passing_implementable(), "Theorem 4.8");
+        assert!(ec_p.message_passing_implementable());
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        let sc_k1 = RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: 1 });
+        assert_eq!(sc_k1.label(), "R(BT-ADT_SC, Θ_F,k=1)");
+        let ec_p = RefinementClass::new(CriterionKind::Eventual, OracleModel::Prodigal);
+        assert_eq!(ec_p.label(), "R(BT-ADT_EC, Θ_P)");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn figure_nodes_validates_witness() {
+        figure_nodes(1);
+    }
+}

@@ -1,0 +1,435 @@
+//! Concurrent histories `H = ⟨Σ, E, Λ, ↦→, ≺, ր⟩` (Def. 2.4).
+//!
+//! A history is the record of a program's ADT operations: a countable event
+//! set `E` holding every invocation and response, labelled by `Λ` with
+//! operations in `Σ`, with three orders:
+//!
+//! * `↦→` — *process order*: events of the same (sequential) process;
+//! * `≺` — *operation order*: the invocation of an operation precedes its
+//!   response, and a response at global time `t` precedes every invocation
+//!   occurring at `t' > t`;
+//! * `ր` — *program order*: the transitive closure of `↦→ ∪ ≺`.
+//!
+//! Events carry timestamps of the *fictional global clock* (§4.2) that
+//! processes cannot read; the clock exists precisely so histories can state
+//! `≺`. With such timestamps, `e ր e'` between events of the paper's
+//! relevant shapes reduces to timestamp comparison (same-process events are
+//! clock-ordered too), which is how [`History`] evaluates the orders.
+//!
+//! Operations are recorded as invocation/response *pairs* ([`OpRecord`]);
+//! pending operations simply lack the response half. Well-formedness
+//! (sequential processes ⇒ non-overlapping operations per process) is
+//! checkable via [`History::validate`].
+
+use crate::chain::Blockchain;
+use crate::ids::{BlockId, ProcessId, Time};
+use crate::score::ScoreFn;
+use std::fmt;
+
+/// Identifier of an operation inside one [`History`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u32);
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Invocation labels: the `A` part of `Σ` for the BT-ADT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Invocation {
+    /// `append(b)` — the block is identified globally; validity and token
+    /// bookkeeping live with the store/oracle.
+    Append { block: BlockId },
+    /// `read()`
+    Read,
+}
+
+/// Response labels: the `B` part of `Σ` for the BT-ADT.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Outcome of `append` (`true` iff the block entered the tree).
+    Appended(bool),
+    /// The blockchain returned by `read`.
+    Chain(Blockchain),
+}
+
+/// One operation: an invocation event and (if completed) a response event.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    pub id: OpId,
+    pub process: ProcessId,
+    pub invocation: Invocation,
+    pub invoked_at: Time,
+    pub response: Option<Response>,
+    pub responded_at: Option<Time>,
+}
+
+impl OpRecord {
+    pub fn is_read(&self) -> bool {
+        matches!(self.invocation, Invocation::Read)
+    }
+
+    pub fn is_append(&self) -> bool {
+        matches!(self.invocation, Invocation::Append { .. })
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.response.is_some()
+    }
+}
+
+/// Ill-formedness diagnoses from [`History::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryError {
+    /// Response recorded at or before its own invocation.
+    ResponseBeforeInvocation(OpId),
+    /// Two operations of one (sequential) process overlap in time.
+    OverlappingOps(OpId, OpId),
+    /// Response value shape does not match the invocation kind.
+    MismatchedResponse(OpId),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::ResponseBeforeInvocation(op) => {
+                write!(f, "{op:?}: response not after invocation")
+            }
+            HistoryError::OverlappingOps(a, b) => {
+                write!(f, "{a:?} and {b:?} overlap at the same sequential process")
+            }
+            HistoryError::MismatchedResponse(op) => {
+                write!(f, "{op:?}: response shape does not match invocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+/// A recorded concurrent history.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    ops: Vec<OpRecord>,
+}
+
+impl History {
+    pub fn new() -> Self {
+        History { ops: Vec::new() }
+    }
+
+    /// Records a complete operation; returns its id.
+    pub fn push_complete(
+        &mut self,
+        process: ProcessId,
+        invocation: Invocation,
+        invoked_at: Time,
+        response: Response,
+        responded_at: Time,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpRecord {
+            id,
+            process,
+            invocation,
+            invoked_at,
+            response: Some(response),
+            responded_at: Some(responded_at),
+        });
+        id
+    }
+
+    /// Records a pending invocation (no response yet).
+    pub fn push_invocation(
+        &mut self,
+        process: ProcessId,
+        invocation: Invocation,
+        invoked_at: Time,
+    ) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        self.ops.push(OpRecord {
+            id,
+            process,
+            invocation,
+            invoked_at,
+            response: None,
+            responded_at: None,
+        });
+        id
+    }
+
+    /// Completes a pending operation.
+    pub fn complete(&mut self, id: OpId, response: Response, responded_at: Time) {
+        let op = &mut self.ops[id.0 as usize];
+        debug_assert!(op.response.is_none(), "{id:?} completed twice");
+        op.response = Some(response);
+        op.responded_at = Some(responded_at);
+    }
+
+    /// All operations, in recording order.
+    pub fn ops(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    pub fn get(&self, id: OpId) -> &OpRecord {
+        &self.ops[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Completed `read()` operations, in recording order.
+    pub fn reads(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops
+            .iter()
+            .filter(|op| op.is_read() && op.is_complete())
+    }
+
+    /// All `append` operations (complete or pending: Block-validity only
+    /// needs the *invocation* event, Def. 3.2).
+    pub fn appends(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|op| op.is_append())
+    }
+
+    /// Number of append invocations — distinguishes `E(a, r*)` (finite
+    /// appends) workloads from `E(a*, r*)` ones.
+    pub fn append_count(&self) -> usize {
+        self.appends().count()
+    }
+
+    /// Process order `↦→`: both events at the same process, `a` first.
+    /// Evaluated on completed operations via their clock interval.
+    pub fn process_ordered(&self, a: OpId, b: OpId) -> bool {
+        let (oa, ob) = (self.get(a), self.get(b));
+        oa.process == ob.process
+            && match (oa.responded_at, Some(ob.invoked_at)) {
+                (Some(ra), Some(ib)) => ra <= ib,
+                _ => false,
+            }
+    }
+
+    /// Operation order `≺` between whole operations: `a`'s response precedes
+    /// `b`'s invocation on the global clock ("returns-before").
+    pub fn returns_before(&self, a: OpId, b: OpId) -> bool {
+        match (self.get(a).responded_at, Some(self.get(b).invoked_at)) {
+            (Some(ra), Some(ib)) => ra < ib,
+            _ => false,
+        }
+    }
+
+    /// Program order `ր` (union of the two, which timestamped events make
+    /// transitive already).
+    pub fn program_ordered(&self, a: OpId, b: OpId) -> bool {
+        self.process_ordered(a, b) || self.returns_before(a, b)
+    }
+
+    /// `einv(append(b)) ր ersp(r)` as needed by Block Validity: the append
+    /// *invocation* precedes the read *response* on the global clock.
+    pub fn append_invoked_before_response_of(&self, append: OpId, read: OpId) -> bool {
+        match self.get(read).responded_at {
+            Some(rr) => self.get(append).invoked_at < rr,
+            None => false,
+        }
+    }
+
+    /// Checks well-formedness; returns every diagnosis found.
+    pub fn validate(&self) -> Vec<HistoryError> {
+        let mut errs = Vec::new();
+        for op in &self.ops {
+            if let (Some(r), i) = (op.responded_at, op.invoked_at) {
+                if r <= i {
+                    errs.push(HistoryError::ResponseBeforeInvocation(op.id));
+                }
+            }
+            match (&op.invocation, &op.response) {
+                (Invocation::Read, Some(Response::Appended(_)))
+                | (Invocation::Append { .. }, Some(Response::Chain(_))) => {
+                    errs.push(HistoryError::MismatchedResponse(op.id));
+                }
+                _ => {}
+            }
+        }
+        // Per-process overlap check.
+        let mut by_proc: Vec<&OpRecord> = self.ops.iter().collect();
+        by_proc.sort_by_key(|op| (op.process, op.invoked_at));
+        for w in by_proc.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.process == b.process {
+                let a_end = a.responded_at.unwrap_or(Time(u64::MAX));
+                if b.invoked_at < a_end {
+                    errs.push(HistoryError::OverlappingOps(a.id, b.id));
+                }
+            }
+        }
+        errs
+    }
+
+    /// Extracts the completed reads as [`ReadView`]s scored by `score`,
+    /// sorted by response time (ties by op id — deterministic).
+    pub fn read_views(&self, score: &dyn ScoreFn) -> Vec<ReadView> {
+        let mut views: Vec<ReadView> = self
+            .reads()
+            .filter_map(|op| match &op.response {
+                Some(Response::Chain(chain)) => Some(ReadView {
+                    op: op.id,
+                    process: op.process,
+                    invoked_at: op.invoked_at,
+                    responded_at: op.responded_at.expect("complete"),
+                    score: score.score(chain),
+                    chain: chain.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        views.sort_by_key(|v| (v.responded_at, v.op));
+        views
+    }
+}
+
+/// A completed read, scored: the unit the consistency criteria quantify
+/// over.
+#[derive(Clone, Debug)]
+pub struct ReadView {
+    pub op: OpId,
+    pub process: ProcessId,
+    pub invoked_at: Time,
+    pub responded_at: Time,
+    pub chain: Blockchain,
+    pub score: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::LengthScore;
+
+    fn chain(ids: &[u32]) -> Blockchain {
+        Blockchain::from_ids(ids.iter().map(|&i| BlockId(i)).collect())
+    }
+
+    fn read_at(h: &mut History, p: u32, t0: u64, t1: u64, c: Blockchain) -> OpId {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(c),
+            Time(t1),
+        )
+    }
+
+    #[test]
+    fn orders() {
+        let mut h = History::new();
+        let a = read_at(&mut h, 0, 0, 2, chain(&[0]));
+        let b = read_at(&mut h, 0, 3, 4, chain(&[0]));
+        let c = read_at(&mut h, 1, 1, 5, chain(&[0]));
+
+        assert!(h.process_ordered(a, b));
+        assert!(!h.process_ordered(b, a));
+        assert!(!h.process_ordered(a, c), "different processes");
+
+        assert!(h.returns_before(a, b));
+        assert!(!h.returns_before(a, c), "c invoked before a responded");
+
+        assert!(h.program_ordered(a, b));
+        assert!(!h.program_ordered(a, c));
+        assert!(h.program_ordered(b, c) == false);
+        // c responds after b invoked: no order between b and c either way.
+        assert!(!h.program_ordered(c, b));
+    }
+
+    #[test]
+    fn pending_then_complete() {
+        let mut h = History::new();
+        let id = h.push_invocation(ProcessId(0), Invocation::Read, Time(1));
+        assert!(!h.get(id).is_complete());
+        assert_eq!(h.reads().count(), 0, "pending reads not yielded");
+        h.complete(id, Response::Chain(chain(&[0])), Time(2));
+        assert!(h.get(id).is_complete());
+        assert_eq!(h.reads().count(), 1);
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let mut h = History::new();
+        let a = read_at(&mut h, 0, 0, 10, chain(&[0]));
+        let b = read_at(&mut h, 0, 5, 15, chain(&[0]));
+        let errs = h.validate();
+        assert!(errs.contains(&HistoryError::OverlappingOps(a, b)));
+    }
+
+    #[test]
+    fn validate_catches_bad_interval_and_shape() {
+        let mut h = History::new();
+        let a = h.push_complete(
+            ProcessId(0),
+            Invocation::Read,
+            Time(5),
+            Response::Chain(chain(&[0])),
+            Time(5),
+        );
+        let b = h.push_complete(
+            ProcessId(1),
+            Invocation::Read,
+            Time(1),
+            Response::Appended(true),
+            Time(2),
+        );
+        let errs = h.validate();
+        assert!(errs.contains(&HistoryError::ResponseBeforeInvocation(a)));
+        assert!(errs.contains(&HistoryError::MismatchedResponse(b)));
+    }
+
+    #[test]
+    fn clean_history_validates() {
+        let mut h = History::new();
+        read_at(&mut h, 0, 0, 1, chain(&[0]));
+        read_at(&mut h, 0, 2, 3, chain(&[0, 1]));
+        read_at(&mut h, 1, 0, 4, chain(&[0, 1]));
+        h.push_complete(
+            ProcessId(2),
+            Invocation::Append { block: BlockId(1) },
+            Time(0),
+            Response::Appended(true),
+            Time(1),
+        );
+        assert!(h.validate().is_empty());
+        assert_eq!(h.append_count(), 1);
+    }
+
+    #[test]
+    fn read_views_sorted_and_scored() {
+        let mut h = History::new();
+        read_at(&mut h, 1, 4, 9, chain(&[0, 1, 2]));
+        read_at(&mut h, 0, 0, 3, chain(&[0, 1]));
+        let views = h.read_views(&LengthScore);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].responded_at, Time(3));
+        assert_eq!(views[0].score, 1);
+        assert_eq!(views[1].score, 2);
+    }
+
+    #[test]
+    fn append_before_read_response() {
+        let mut h = History::new();
+        let ap = h.push_complete(
+            ProcessId(0),
+            Invocation::Append { block: BlockId(1) },
+            Time(0),
+            Response::Appended(true),
+            Time(2),
+        );
+        let rd = read_at(&mut h, 1, 1, 5, chain(&[0, 1]));
+        assert!(h.append_invoked_before_response_of(ap, rd));
+        let rd_early = read_at(&mut h, 1, 6, 7, chain(&[0, 1]));
+        // append invoked at 0 < 7: still ordered.
+        assert!(h.append_invoked_before_response_of(ap, rd_early));
+    }
+}

@@ -1,0 +1,238 @@
+//! Small identifier newtypes and the deterministic hashing primitives used
+//! throughout the workspace.
+//!
+//! Everything in this reproduction is deterministic: all pseudo-randomness
+//! flows from explicit `u64` seeds through [SplitMix64][splitmix64], a tiny
+//! statistically strong mixer (Steele et al., "Fast splittable pseudorandom
+//! number generators", OOPSLA 2014). The paper's token-oracle tapes
+//! (§3.2.1, footnote 3) assume a pseudorandom Bernoulli sequence; SplitMix64
+//! gives us exactly that with O(1) random access per cell.
+
+use std::fmt;
+
+/// Index of a block inside a [`BlockStore`](crate::store::BlockStore).
+///
+/// Blocks are globally identified: every replica, oracle, and history event
+/// refers to the same arena slot, so prefix checks and `mcps` computations
+/// never need to reconcile per-replica naming.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The genesis block `b0` occupies slot 0 of every store by construction.
+    pub const GENESIS: BlockId = BlockId(0);
+
+    /// Raw index into the owning arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True iff this is the genesis block `b0`.
+    #[inline]
+    pub fn is_genesis(self) -> bool {
+        self == Self::GENESIS
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_genesis() {
+            write!(f, "b0")
+        } else {
+            write!(f, "b{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a sequential process (§2: "processes are sequential and
+/// communicate through message-passing").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A point on the *fictional global clock* of §4.2. Processes never read it;
+/// it only orders events in recorded histories (the `≺` relation) and drives
+/// the discrete-event simulator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    pub const ZERO: Time = Time(0);
+
+    #[inline]
+    pub fn tick(self) -> Time {
+        Time(self.0 + 1)
+    }
+
+    #[inline]
+    pub fn plus(self, d: u64) -> Time {
+        Time(self.0 + d)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Advances `state` and returns the next SplitMix64 output.
+///
+/// This is the canonical finalizer from Steele et al.; each output is a
+/// bijective mix of the incremented Weyl sequence, so distinct `(seed, i)`
+/// pairs give independent-looking values.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless random access: the `i`-th cell of the stream seeded by `seed`.
+#[inline]
+pub fn splitmix64_at(seed: u64, i: u64) -> u64 {
+    let mut s = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut z = s;
+    // One extra advance decorrelates adjacent seeds.
+    z = splitmix64(&mut s) ^ z.rotate_left(23);
+    let mut s2 = z;
+    splitmix64(&mut s2)
+}
+
+/// Order-dependent hash combine, used to derive block digests and child seeds.
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.rotate_left(32) ^ 0xD6E8_FEB8_6659_FD93;
+    splitmix64(&mut s) ^ a.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Hash-combines a whole slice (order dependent).
+pub fn mix_slice(seed: u64, xs: &[u64]) -> u64 {
+    let mut acc = seed;
+    for &x in xs {
+        acc = mix2(acc, x);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn block_id_genesis() {
+        assert!(BlockId::GENESIS.is_genesis());
+        assert!(!BlockId(1).is_genesis());
+        assert_eq!(BlockId(7).index(), 7);
+        assert_eq!(format!("{}", BlockId::GENESIS), "b0");
+        assert_eq!(format!("{}", BlockId(3)), "b3");
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::ZERO;
+        assert_eq!(t.tick(), Time(1));
+        assert_eq!(t.plus(10), Time(10));
+        assert!(Time(3) < Time(4));
+        assert_eq!(format!("{}", Time(5)), "t5");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..100 {
+            assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        }
+    }
+
+    #[test]
+    fn splitmix_random_access_matches_itself() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            for i in 0..50 {
+                assert_eq!(splitmix64_at(seed, i), splitmix64_at(seed, i));
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_outputs_are_distinct() {
+        let mut seen = HashSet::new();
+        let mut s = 7u64;
+        for _ in 0..10_000 {
+            assert!(seen.insert(splitmix64(&mut s)), "collision in 10k outputs");
+        }
+    }
+
+    #[test]
+    fn splitmix_at_distinct_across_seeds_and_indices() {
+        let mut seen = HashSet::new();
+        for seed in 0..100u64 {
+            for i in 0..100u64 {
+                seen.insert(splitmix64_at(seed, i));
+            }
+        }
+        // A few collisions would be astronomically unlikely for 10k values.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn splitmix_bits_are_balanced() {
+        // Each bit position should be set roughly half the time.
+        let n = 4096u64;
+        let mut counts = [0u32; 64];
+        for i in 0..n {
+            let v = splitmix64_at(0xABCD, i);
+            for (bit, count) in counts.iter_mut().enumerate() {
+                *count += ((v >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (0.45..0.55).contains(&frac),
+                "bit {bit} set fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn mix2_is_order_dependent() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+        assert_ne!(mix_slice(0, &[1, 2, 3]), mix_slice(0, &[3, 2, 1]));
+    }
+}

@@ -1,0 +1,359 @@
+//! Linearizability of concurrent BT-ADT histories against the sequential
+//! specification `L(BT-ADT)` (Def. 2.3).
+//!
+//! The paper relates its Strong Prefix criterion to "eventual consistency
+//! of an append-only queue"; the natural stronger question for a recorded
+//! history is whether it *linearizes*: does some permutation of its
+//! operations, respecting the real-time (returns-before) order `≺`, replay
+//! as a word of the sequential specification?
+//!
+//! Replay semantics against a history's block arena:
+//!
+//! * `append(b)` is legal at a point iff `b`'s parent in the store equals
+//!   the currently selected tip `last_block(f(bt))` — the sequential τ of
+//!   Def. 3.1 always chains onto `f(bt)`;
+//! * `read()/bc` is legal iff `bc = {b0}⌢f(bt)` at that point.
+//!
+//! The checker is a Wing–Gong style DFS with memoization on the set of
+//! applied operations — exponential in the worst case, fine for the
+//! adversarial histories (tens of operations) it is meant for.
+
+use crate::history::{History, Invocation, OpId, Response};
+use crate::selection::SelectionFn;
+use crate::store::{BlockStore, TreeMembership};
+use std::collections::HashSet;
+
+/// Result of a linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Linearizability {
+    /// A witness linearization (operation order).
+    Linearizable(Vec<OpId>),
+    /// No linearization exists.
+    NotLinearizable,
+    /// Search aborted: too many operations for exhaustive search.
+    TooLarge { ops: usize, limit: usize },
+}
+
+impl Linearizability {
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, Linearizability::Linearizable(_))
+    }
+}
+
+/// Default operation-count cap for the exhaustive search.
+pub const DEFAULT_OP_LIMIT: usize = 24;
+
+/// Checks whether `history` linearizes against the sequential BT-ADT with
+/// selection function `f` over the given arena.
+///
+/// Only completed operations participate (pending invocations may always
+/// be pushed past the end). Failed appends (`Appended(false)`) are treated
+/// as no-ops that may linearize anywhere, matching the purged-history view
+/// `Ĥ` of §3.4.
+pub fn check_linearizable(
+    history: &History,
+    store: &BlockStore,
+    selection: &dyn SelectionFn,
+) -> Linearizability {
+    check_linearizable_with_limit(history, store, selection, DEFAULT_OP_LIMIT)
+}
+
+/// [`check_linearizable`] with an explicit search-size cap.
+pub fn check_linearizable_with_limit(
+    history: &History,
+    store: &BlockStore,
+    selection: &dyn SelectionFn,
+    limit: usize,
+) -> Linearizability {
+    // Collect the relevant complete operations.
+    let ops: Vec<&crate::history::OpRecord> = history
+        .ops()
+        .iter()
+        .filter(|op| {
+            op.is_complete()
+                && !matches!(op.response, Some(Response::Appended(false)))
+        })
+        .collect();
+    if ops.len() > limit {
+        return Linearizability::TooLarge {
+            ops: ops.len(),
+            limit,
+        };
+    }
+
+    // Precompute the real-time precedence matrix: i must come before j.
+    let n = ops.len();
+    let mut precedes = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                // ≺ between whole operations: response(i) < invocation(j);
+                // plus per-process sequential order.
+                let ri = ops[i].responded_at.expect("complete");
+                let ij = ops[j].invoked_at;
+                if ri < ij
+                    || (ops[i].process == ops[j].process
+                        && ops[i].invoked_at < ops[j].invoked_at)
+                {
+                    precedes[i][j] = true;
+                }
+            }
+        }
+    }
+
+    // DFS over schedules; state = membership tree (rebuilt incrementally),
+    // visited = bitmask sets already proven fruitless.
+    let mut tree = TreeMembership::genesis_only();
+    let mut schedule = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+    let mut dead: HashSet<u64> = HashSet::new();
+    if dfs(
+        &ops,
+        store,
+        selection,
+        &precedes,
+        &mut tree,
+        &mut schedule,
+        &mut done,
+        0u64,
+        &mut dead,
+    ) {
+        Linearizability::Linearizable(schedule)
+    } else {
+        Linearizability::NotLinearizable
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    ops: &[&crate::history::OpRecord],
+    store: &BlockStore,
+    selection: &dyn SelectionFn,
+    precedes: &[Vec<bool>],
+    tree: &mut TreeMembership,
+    schedule: &mut Vec<OpId>,
+    done: &mut [bool],
+    mask: u64,
+    dead: &mut HashSet<u64>,
+) -> bool {
+    let n = ops.len();
+    if schedule.len() == n {
+        return true;
+    }
+    if dead.contains(&mask) {
+        return false;
+    }
+    for i in 0..n {
+        if done[i] {
+            continue;
+        }
+        // Minimal ops only: all predecessors already scheduled.
+        if (0..n).any(|j| !done[j] && precedes[j][i]) {
+            continue;
+        }
+        let legal = match (&ops[i].invocation, &ops[i].response) {
+            (Invocation::Append { block }, Some(Response::Appended(true))) => {
+                let tip = selection.select_tip(store, tree);
+                store.try_get(*block).map(|b| b.parent) == Some(Some(tip))
+            }
+            (Invocation::Read, Some(Response::Chain(chain))) => {
+                let tip = selection.select_tip(store, tree);
+                chain.tip() == tip && chain.len() as u32 == store.height(tip) + 1
+            }
+            _ => true,
+        };
+        if !legal {
+            continue;
+        }
+        // Apply.
+        let applied_block = match (&ops[i].invocation, &ops[i].response) {
+            (Invocation::Append { block }, Some(Response::Appended(true))) => {
+                tree.insert(store, *block);
+                Some(*block)
+            }
+            _ => None,
+        };
+        done[i] = true;
+        schedule.push(ops[i].id);
+        if dfs(
+            ops,
+            store,
+            selection,
+            precedes,
+            tree,
+            schedule,
+            done,
+            mask | (1 << i),
+            dead,
+        ) {
+            return true;
+        }
+        // Undo. TreeMembership has no removal: rebuild from schedule.
+        schedule.pop();
+        done[i] = false;
+        if applied_block.is_some() {
+            *tree = TreeMembership::genesis_only();
+            for &op_id in schedule.iter() {
+                let op = ops.iter().find(|o| o.id == op_id).expect("scheduled");
+                if let (Invocation::Append { block }, Some(Response::Appended(true))) =
+                    (&op.invocation, &op.response)
+                {
+                    tree.insert(store, *block);
+                }
+            }
+        }
+    }
+    dead.insert(mask);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Payload;
+    use crate::chain::Blockchain;
+    use crate::history::{History, Invocation, Response};
+    use crate::ids::{BlockId, ProcessId, Time};
+    use crate::selection::LongestChain;
+
+    fn linear_store(n: u32) -> (BlockStore, Vec<BlockId>) {
+        let mut s = BlockStore::new();
+        let mut ids = vec![BlockId::GENESIS];
+        for i in 0..n {
+            let prev = *ids.last().unwrap();
+            ids.push(s.mint(prev, ProcessId(0), 0, 1, i as u64, Payload::Empty));
+        }
+        (s, ids)
+    }
+
+    fn append(h: &mut History, p: u32, b: BlockId, t0: u64, t1: u64) {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Append { block: b },
+            Time(t0),
+            Response::Appended(true),
+            Time(t1),
+        );
+    }
+
+    fn read(h: &mut History, p: u32, ids: &[BlockId], n: usize, t0: u64, t1: u64) {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Read,
+            Time(t0),
+            Response::Chain(Blockchain::from_ids(ids[..n].to_vec())),
+            Time(t1),
+        );
+    }
+
+    #[test]
+    fn sequential_history_linearizes() {
+        let (s, ids) = linear_store(3);
+        let mut h = History::new();
+        append(&mut h, 0, ids[1], 1, 2);
+        read(&mut h, 0, &ids, 2, 3, 4);
+        append(&mut h, 0, ids[2], 5, 6);
+        read(&mut h, 0, &ids, 3, 7, 8);
+        append(&mut h, 0, ids[3], 9, 10);
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert!(r.is_linearizable(), "{r:?}");
+        if let Linearizability::Linearizable(w) = r {
+            assert_eq!(w.len(), 5);
+        }
+    }
+
+    #[test]
+    fn overlapping_reads_reorder_to_linearize() {
+        // A read of the longer chain responds before a concurrent read of
+        // the shorter chain — legal: the short read linearizes first.
+        let (s, ids) = linear_store(2);
+        let mut h = History::new();
+        append(&mut h, 0, ids[1], 1, 2);
+        append(&mut h, 0, ids[2], 3, 4);
+        read(&mut h, 1, &ids, 3, 5, 6); // sees b0·b1·b2
+        read(&mut h, 2, &ids, 2, 5, 8); // overlaps, sees b0·b1
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert!(
+            !r.is_linearizable(),
+            "short read responds after long read *and* is invoked after \
+             both appends responded — stale reads do not linearize"
+        );
+    }
+
+    #[test]
+    fn concurrent_stale_read_linearizes() {
+        // Same shape, but the short read's invocation overlaps the second
+        // append: now it may linearize before it.
+        let (s, ids) = linear_store(2);
+        let mut h = History::new();
+        append(&mut h, 0, ids[1], 1, 2);
+        append(&mut h, 0, ids[2], 3, 6);
+        read(&mut h, 1, &ids, 3, 7, 8);
+        read(&mut h, 2, &ids, 2, 4, 9); // invoked during append(b2)
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert!(r.is_linearizable(), "{r:?}");
+    }
+
+    #[test]
+    fn forked_reads_do_not_linearize() {
+        // Divergent reads (the Thm 4.8 shape): no sequential BT-ADT word
+        // returns two incomparable chains — appends always extend f(bt).
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 1, Payload::Empty);
+        let b = s.mint(BlockId::GENESIS, ProcessId(1), 1, 1, 2, Payload::Empty);
+        let mut h = History::new();
+        append(&mut h, 0, a, 1, 2);
+        append(&mut h, 1, b, 1, 2);
+        read(&mut h, 0, &[BlockId::GENESIS, a], 2, 3, 4);
+        read(&mut h, 1, &[BlockId::GENESIS, b], 2, 3, 4);
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert_eq!(r, Linearizability::NotLinearizable);
+    }
+
+    #[test]
+    fn failed_appends_are_ignored() {
+        let (s, ids) = linear_store(1);
+        let mut h = History::new();
+        append(&mut h, 0, ids[1], 1, 2);
+        h.push_complete(
+            ProcessId(1),
+            Invocation::Append { block: BlockId(99) },
+            Time(3),
+            Response::Appended(false),
+            Time(4),
+        );
+        read(&mut h, 0, &ids, 2, 5, 6);
+        assert!(check_linearizable(&h, &s, &LongestChain).is_linearizable());
+    }
+
+    #[test]
+    fn size_cap_reports_too_large() {
+        let (s, ids) = linear_store(1);
+        let mut h = History::new();
+        for i in 0..30 {
+            read(&mut h, 0, &ids, 1, i * 10, i * 10 + 1);
+        }
+        match check_linearizable(&h, &s, &LongestChain) {
+            Linearizability::TooLarge { ops: 30, .. } => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn k1_refined_histories_linearize() {
+        // End-to-end: a frugal k=1 workload over one shared tree always
+        // linearizes (the object behaves like the sequential spec).
+        let (s, ids) = linear_store(4);
+        let mut h = History::new();
+        // Interleaved processes, overlapping ops, all consistent.
+        append(&mut h, 0, ids[1], 1, 4);
+        read(&mut h, 1, &ids, 1, 2, 3); // genesis read fits before append
+        append(&mut h, 1, ids[2], 5, 7);
+        read(&mut h, 0, &ids, 3, 6, 9); // sees both once append lands
+        append(&mut h, 0, ids[3], 10, 11);
+        append(&mut h, 1, ids[4], 12, 13);
+        read(&mut h, 2, &ids, 5, 14, 15);
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert!(r.is_linearizable(), "{r:?}");
+    }
+}

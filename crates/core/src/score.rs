@@ -1,0 +1,146 @@
+//! Score functions over blockchains.
+//!
+//! §3.1.2: `score: BC → N` is a *monotonic increasing deterministic* function
+//! — `score(bc⌢{b}) > score(bc)` — abstracting "the height, the weight,
+//! etc.". The score of the genesis-only chain is the conventional `s0`.
+//!
+//! The trait is object-safe so history checkers can take `&dyn ScoreFn`.
+
+use crate::chain::Blockchain;
+use crate::store::BlockStore;
+
+/// A monotonic chain score (§3.1.2).
+///
+/// Implementations must guarantee `score(bc⌢{b}) > score(bc)` for every
+/// extension; [`monotonicity tests`](self::tests) and proptests in this
+/// module enforce it for the provided implementations.
+pub trait ScoreFn: Sync {
+    /// Score of the whole chain.
+    fn score(&self, chain: &Blockchain) -> u64 {
+        self.score_prefix(chain, chain.len())
+    }
+
+    /// Score of the prefix consisting of the first `n` blocks (`n ≥ 1`;
+    /// `n = 1` is the genesis-only chain, scoring `s0`).
+    fn score_prefix(&self, chain: &Blockchain, n: usize) -> u64;
+
+    /// The conventional score `s0` of `{b0}`.
+    fn s0(&self) -> u64 {
+        0
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Chain length: `score(bc) = |bc| − 1`, i.e. the number of non-genesis
+/// blocks (so `s0 = 0`). This is the score used in the paper's Figs. 2–4
+/// ("the score is the length l").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LengthScore;
+
+impl ScoreFn for LengthScore {
+    #[inline]
+    fn score_prefix(&self, chain: &Blockchain, n: usize) -> u64 {
+        assert!(n >= 1 && n <= chain.len(), "prefix length out of range");
+        (n - 1) as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "length"
+    }
+}
+
+/// Cumulative work: the "blockchain which has required the most
+/// computational work" view of Bitcoin/Ethereum (§5.1–5.2).
+///
+/// Monotonic provided every minted block carries `work ≥ 1` (all workload
+/// generators in this workspace do; a debug assertion fires otherwise).
+pub struct WorkScore<'s> {
+    store: &'s BlockStore,
+}
+
+impl<'s> WorkScore<'s> {
+    pub fn new(store: &'s BlockStore) -> Self {
+        WorkScore { store }
+    }
+}
+
+impl ScoreFn for WorkScore<'_> {
+    #[inline]
+    fn score_prefix(&self, chain: &Blockchain, n: usize) -> u64 {
+        assert!(n >= 1 && n <= chain.len(), "prefix length out of range");
+        let tip = chain.ids()[n - 1];
+        debug_assert!(
+            chain.ids()[1..n]
+                .iter()
+                .all(|&b| self.store.get(b).work >= 1),
+            "WorkScore monotonicity requires work ≥ 1 on every block"
+        );
+        self.store.cumulative_work(tip)
+    }
+
+    fn name(&self) -> &'static str {
+        "work"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Payload;
+    use crate::ids::{BlockId, ProcessId};
+
+    fn chain(ids: &[u32]) -> Blockchain {
+        Blockchain::from_ids(ids.iter().map(|&i| BlockId(i)).collect())
+    }
+
+    #[test]
+    fn length_score_basics() {
+        assert_eq!(LengthScore.score(&Blockchain::genesis()), 0);
+        assert_eq!(LengthScore.s0(), 0);
+        assert_eq!(LengthScore.score(&chain(&[0, 1, 2, 3])), 3);
+        assert_eq!(LengthScore.score_prefix(&chain(&[0, 1, 2, 3]), 2), 1);
+        assert_eq!(LengthScore.name(), "length");
+    }
+
+    #[test]
+    fn length_score_is_monotonic() {
+        let c = chain(&[0, 1, 2]);
+        let e = c.extended(BlockId(3));
+        assert!(LengthScore.score(&e) > LengthScore.score(&c));
+    }
+
+    #[test]
+    fn work_score_accumulates() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 5, 0, Payload::Empty);
+        let b = s.mint(a, ProcessId(0), 0, 3, 1, Payload::Empty);
+        let ws = WorkScore::new(&s);
+        let c = Blockchain::from_tip(&s, b);
+        assert_eq!(ws.score(&c), 8);
+        assert_eq!(ws.score_prefix(&c, 2), 5);
+        assert_eq!(ws.score_prefix(&c, 1), 0, "s0 for genesis prefix");
+        assert_eq!(ws.name(), "work");
+    }
+
+    #[test]
+    fn work_score_is_monotonic_with_positive_work() {
+        let mut s = BlockStore::new();
+        let mut prev = BlockId::GENESIS;
+        let mut last_score = 0u64;
+        for i in 0..20 {
+            prev = s.mint(prev, ProcessId(0), 0, 1 + (i % 4), i, Payload::Empty);
+            let ws = WorkScore::new(&s);
+            let sc = ws.score(&Blockchain::from_tip(&s, prev));
+            assert!(sc > last_score);
+            last_score = sc;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn score_prefix_rejects_zero() {
+        LengthScore.score_prefix(&Blockchain::genesis(), 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Selection functions `f ∈ F : BT → BC` (§3.1).
+//!
+//! A selection function picks one blockchain out of a BlockTree; the paper
+//! leaves `f` generic "to suit the different blockchain implementations" and
+//! names the longest-chain rule (Bitcoin), the heaviest-chain rule, GHOST
+//! (Ethereum, §5.2), and the trivial projection of single-chain trees
+//! (Red Belly, §5.6). All four are implemented here.
+//!
+//! Determinism matters: `f` is "encoded in the state and do[es] not change
+//! over the computation", and ties must break identically at every replica
+//! (Fig. 2 breaks length ties by "the largest based on the lexicographical
+//! order"). We compare candidate chains by their digest sequences, which is
+//! a total, replica-independent order.
+
+use crate::ids::BlockId;
+use crate::store::{BlockStore, TreeMembership};
+use std::cmp::Ordering;
+
+/// A deterministic selection function `f : BT → BC`, given by the tip of the
+/// selected chain (the chain itself is the genesis→tip path).
+pub trait SelectionFn: Sync {
+    /// Tip of `f(bt)` for the tree `(store, tree)`. Returns the genesis id
+    /// iff the tree contains only `b0` (Def. 3.1: `f(b0) = b0`).
+    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Lexicographic comparison of the genesis→tip digest sequences of two
+/// chains. Total order on distinct chains (digest sequences differ as soon
+/// as the paths diverge, since digests commit to ancestry).
+fn cmp_paths_lexicographic(store: &BlockStore, a: BlockId, b: BlockId) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    let pa = store.path_from_genesis(a);
+    let pb = store.path_from_genesis(b);
+    for (x, y) in pa.iter().zip(pb.iter()) {
+        let ord = store.get(*x).digest.cmp(&store.get(*y).digest);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    pa.len().cmp(&pb.len())
+}
+
+/// The longest-chain rule with lexicographic tie-break (largest wins), as in
+/// the paper's running examples (Figs. 2–4) and Bitcoin's original rule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LongestChain;
+
+impl SelectionFn for LongestChain {
+    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+        let mut best: Option<BlockId> = None;
+        for leaf in tree.leaves(store) {
+            best = Some(match best {
+                None => leaf,
+                Some(cur) => {
+                    let (hl, hc) = (store.height(leaf), store.height(cur));
+                    match hl.cmp(&hc) {
+                        Ordering::Greater => leaf,
+                        Ordering::Less => cur,
+                        Ordering::Equal => {
+                            if cmp_paths_lexicographic(store, leaf, cur) == Ordering::Greater {
+                                leaf
+                            } else {
+                                cur
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        best.expect("tree always contains genesis")
+    }
+
+    fn name(&self) -> &'static str {
+        "longest-chain"
+    }
+}
+
+/// The heaviest-work rule: maximize cumulative work along the path
+/// ("the blockchain which has required the most computational work", §5.1),
+/// lexicographic tie-break.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeaviestWork;
+
+impl SelectionFn for HeaviestWork {
+    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+        let mut best: Option<BlockId> = None;
+        for leaf in tree.leaves(store) {
+            best = Some(match best {
+                None => leaf,
+                Some(cur) => {
+                    let (wl, wc) = (store.cumulative_work(leaf), store.cumulative_work(cur));
+                    match wl.cmp(&wc) {
+                        Ordering::Greater => leaf,
+                        Ordering::Less => cur,
+                        Ordering::Equal => {
+                            if cmp_paths_lexicographic(store, leaf, cur) == Ordering::Greater {
+                                leaf
+                            } else {
+                                cur
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        best.expect("tree always contains genesis")
+    }
+
+    fn name(&self) -> &'static str {
+        "heaviest-work"
+    }
+}
+
+/// What GHOST weighs when descending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GhostWeight {
+    /// Number of member blocks in the subtree (classic GHOST).
+    BlockCount,
+    /// Total work of member blocks in the subtree.
+    Work,
+}
+
+/// The Greedy Heaviest-Observed SubTree rule (Sompolinsky & Zohar [30]),
+/// used by Ethereum (§5.2): descend from the root, at each step entering the
+/// child whose *subtree* is heaviest, until reaching a leaf.
+#[derive(Clone, Copy, Debug)]
+pub struct Ghost {
+    pub weight: GhostWeight,
+}
+
+impl Default for Ghost {
+    fn default() -> Self {
+        Ghost {
+            weight: GhostWeight::BlockCount,
+        }
+    }
+}
+
+impl Ghost {
+    /// Subtree weights for every member block, computed in one reverse pass
+    /// (children have larger arena indices than parents, so a single
+    /// back-to-front scan accumulates bottom-up).
+    fn subtree_weights(&self, store: &BlockStore, tree: &TreeMembership) -> Vec<u64> {
+        let n = store.len();
+        let mut w = vec![0u64; n];
+        for idx in (0..n).rev() {
+            let id = BlockId(idx as u32);
+            if !tree.contains(id) {
+                continue;
+            }
+            let own = match self.weight {
+                GhostWeight::BlockCount => 1,
+                GhostWeight::Work => store.get(id).work.max(1),
+            };
+            w[idx] += own;
+            if let Some(p) = store.parent(id) {
+                w[p.index()] += w[idx];
+            }
+        }
+        w
+    }
+}
+
+impl SelectionFn for Ghost {
+    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+        let weights = self.subtree_weights(store, tree);
+        let mut cur = BlockId::GENESIS;
+        loop {
+            let mut next: Option<BlockId> = None;
+            for &c in store.children(cur) {
+                if !tree.contains(c) {
+                    continue;
+                }
+                next = Some(match next {
+                    None => c,
+                    Some(b) => match weights[c.index()].cmp(&weights[b.index()]) {
+                        Ordering::Greater => c,
+                        Ordering::Less => b,
+                        // Deterministic tie-break: larger digest wins.
+                        Ordering::Equal => {
+                            if store.get(c).digest > store.get(b).digest {
+                                c
+                            } else {
+                                b
+                            }
+                        }
+                    },
+                });
+            }
+            match next {
+                Some(n) => cur = n,
+                None => return cur,
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ghost"
+    }
+}
+
+/// The trivial projection `BT ↦ BC` of Red Belly (§5.6): the tree *is* a
+/// single chain by construction (consensus decides a unique block), so `f`
+/// just returns it.
+///
+/// Panics if the tree has a fork — that would mean the protocol driving it
+/// broke its k = 1 guarantee, which is a bug worth failing loudly on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TrivialProjection;
+
+impl SelectionFn for TrivialProjection {
+    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+        let leaves = tree.leaves(store);
+        assert!(
+            leaves.len() == 1,
+            "TrivialProjection requires a forkless tree, found {} leaves",
+            leaves.len()
+        );
+        leaves[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "trivial-projection"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Payload;
+    use crate::ids::ProcessId;
+
+    /// b0 ── a ─┬─ b1 ── c1
+    ///           └─ b2
+    fn forked() -> (BlockStore, BlockId, BlockId, BlockId, BlockId) {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 10, Payload::Empty);
+        let b1 = s.mint(a, ProcessId(0), 0, 1, 11, Payload::Empty);
+        let b2 = s.mint(a, ProcessId(1), 1, 5, 12, Payload::Empty);
+        let c1 = s.mint(b1, ProcessId(0), 0, 1, 13, Payload::Empty);
+        (s, a, b1, b2, c1)
+    }
+
+    #[test]
+    fn longest_picks_deepest() {
+        let (s, _, _, _, c1) = forked();
+        let t = TreeMembership::full(&s);
+        assert_eq!(LongestChain.select_tip(&s, &t), c1);
+    }
+
+    #[test]
+    fn longest_on_genesis_only() {
+        let s = BlockStore::new();
+        let t = TreeMembership::full(&s);
+        assert_eq!(LongestChain.select_tip(&s, &t), BlockId::GENESIS);
+    }
+
+    #[test]
+    fn longest_tie_break_is_deterministic() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b = s.mint(BlockId::GENESIS, ProcessId(1), 1, 1, 1, Payload::Empty);
+        let t = TreeMembership::full(&s);
+        let pick = LongestChain.select_tip(&s, &t);
+        // Largest digest path wins.
+        let expect = if s.get(a).digest > s.get(b).digest { a } else { b };
+        assert_eq!(pick, expect);
+        // Stable across repeated calls.
+        assert_eq!(LongestChain.select_tip(&s, &t), pick);
+    }
+
+    #[test]
+    fn heaviest_prefers_work_over_length() {
+        let (s, _, _, b2, c1) = forked();
+        let t = TreeMembership::full(&s);
+        // Path to c1 has work 3; path to b2 has work 6.
+        assert_eq!(s.cumulative_work(c1), 3);
+        assert_eq!(s.cumulative_work(b2), 6);
+        assert_eq!(HeaviestWork.select_tip(&s, &t), b2);
+    }
+
+    #[test]
+    fn ghost_follows_heavier_subtree() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b = s.mint(BlockId::GENESIS, ProcessId(1), 1, 1, 1, Payload::Empty);
+        // Two children under `a`, one under `b`: GHOST must enter `a`'s
+        // subtree (weight 3 > 2) even though both leaves have equal height.
+        let a1 = s.mint(a, ProcessId(0), 0, 1, 2, Payload::Empty);
+        let _a2 = s.mint(a, ProcessId(2), 2, 1, 3, Payload::Empty);
+        let _b1 = s.mint(b, ProcessId(1), 1, 1, 4, Payload::Empty);
+        let t = TreeMembership::full(&s);
+        let tip = Ghost::default().select_tip(&s, &t);
+        assert!(
+            tip == a1 || s.parent(tip) == Some(a),
+            "GHOST must land in a's subtree, got {tip}"
+        );
+        assert!(s.is_ancestor(a, tip));
+    }
+
+    #[test]
+    fn ghost_work_weighting() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 10, 0, Payload::Empty);
+        let b = s.mint(BlockId::GENESIS, ProcessId(1), 1, 1, 1, Payload::Empty);
+        let _b1 = s.mint(b, ProcessId(1), 1, 1, 2, Payload::Empty);
+        let _b2 = s.mint(b, ProcessId(1), 1, 1, 3, Payload::Empty);
+        let t = TreeMembership::full(&s);
+        // By count, b's subtree (3) beats a's (1); by work, a (10) beats b (3).
+        let by_count = Ghost {
+            weight: GhostWeight::BlockCount,
+        }
+        .select_tip(&s, &t);
+        let by_work = Ghost {
+            weight: GhostWeight::Work,
+        }
+        .select_tip(&s, &t);
+        assert!(s.is_ancestor(b, by_count));
+        assert_eq!(by_work, a);
+    }
+
+    #[test]
+    fn ghost_respects_membership() {
+        let (s, a, b1, b2, c1) = forked();
+        let mut t = TreeMembership::genesis_only();
+        t.insert(&s, a);
+        t.insert(&s, b2);
+        // b1/c1 exist globally but are not in this replica's view.
+        let tip = Ghost::default().select_tip(&s, &t);
+        assert_eq!(tip, b2);
+        let _ = (b1, c1);
+    }
+
+    #[test]
+    fn trivial_projection_on_chain() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b = s.mint(a, ProcessId(0), 0, 1, 1, Payload::Empty);
+        let t = TreeMembership::full(&s);
+        assert_eq!(TrivialProjection.select_tip(&s, &t), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "forkless")]
+    fn trivial_projection_rejects_forks() {
+        let (s, ..) = forked();
+        let t = TreeMembership::full(&s);
+        TrivialProjection.select_tip(&s, &t);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LongestChain.name(), "longest-chain");
+        assert_eq!(HeaviestWork.name(), "heaviest-work");
+        assert_eq!(Ghost::default().name(), "ghost");
+        assert_eq!(TrivialProjection.name(), "trivial-projection");
+    }
+}

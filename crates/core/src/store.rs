@@ -1,0 +1,444 @@
+//! The global append-only block arena and per-replica tree membership.
+//!
+//! Blocks are never removed or mutated: the BlockTree of §3.1 is an
+//! *append-only* directed rooted tree. We exploit this by storing every block
+//! of an execution in one arena (`BlockStore`) and representing each
+//! replica's local BlockTree `bt_i` (§4.2) as a *membership set* over that
+//! arena. Identity is global, so histories recorded at different replicas
+//! can be compared directly (prefix tests, `mcps`) without renaming.
+//!
+//! Heights and cumulative work are memoized at insertion, making
+//! `score`/ancestor queries cheap — an arena-with-indices layout as
+//! recommended by the Rust Performance Book (no pointer graphs, no `Rc`
+//! cycles).
+
+use crate::block::{Block, Payload};
+use crate::ids::{BlockId, ProcessId};
+
+/// Append-only arena of all blocks minted during an execution.
+///
+/// Slot 0 always holds the genesis block `b0`, which is valid by assumption
+/// (§3.1: `b0 ∈ B'`).
+#[derive(Clone, Debug)]
+pub struct BlockStore {
+    blocks: Vec<Block>,
+    /// children[i] = blocks whose parent is block i (forward edges; the
+    /// paper's tree has backward edges only, children lists are an index).
+    children: Vec<Vec<BlockId>>,
+    /// cumulative work along the path from genesis (inclusive).
+    cum_work: Vec<u64>,
+}
+
+impl BlockStore {
+    /// Creates a store holding only the genesis block.
+    pub fn new() -> Self {
+        let genesis = Block {
+            id: BlockId::GENESIS,
+            parent: None,
+            height: 0,
+            producer: ProcessId(u32::MAX), // no producer: exists by assumption
+            merit_index: u32::MAX,
+            work: 0,
+            digest: 0x6765_6E65_7369_73, // "genesis"
+            payload: Payload::Empty,
+        };
+        BlockStore {
+            blocks: vec![genesis],
+            children: vec![Vec::new()],
+            cum_work: vec![0],
+        }
+    }
+
+    /// Number of blocks (including genesis).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A store is never empty (genesis always present).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Mints a new block under `parent` and returns its id.
+    ///
+    /// Panics if `parent` is not in the store: the BlockTree grows only by
+    /// chaining to existing vertices (§3.2: "the new block must be closely
+    /// related to an already existing valid block").
+    pub fn mint(
+        &mut self,
+        parent: BlockId,
+        producer: ProcessId,
+        merit_index: u32,
+        work: u64,
+        nonce: u64,
+        payload: Payload,
+    ) -> BlockId {
+        let parent_block = self.get(parent);
+        let height = parent_block.height + 1;
+        let digest = Block::compute_digest(parent_block.digest, producer, nonce, &payload);
+        let id = BlockId(self.blocks.len() as u32);
+        let cum = self.cum_work[parent.index()] + work;
+        self.blocks.push(Block {
+            id,
+            parent: Some(parent),
+            height,
+            producer,
+            merit_index,
+            work,
+            digest,
+            payload,
+        });
+        self.children.push(Vec::new());
+        self.cum_work.push(cum);
+        self.children[parent.index()].push(id);
+        id
+    }
+
+    /// Immutable access to a block. Panics on out-of-range ids (ids are only
+    /// produced by `mint`, so this indicates a cross-store mixup — a bug).
+    #[inline]
+    pub fn get(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Checked access.
+    #[inline]
+    pub fn try_get(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(id.index())
+    }
+
+    /// Parent of `id` (`None` for genesis).
+    #[inline]
+    pub fn parent(&self, id: BlockId) -> Option<BlockId> {
+        self.get(id).parent
+    }
+
+    /// Height of `id` (genesis = 0).
+    #[inline]
+    pub fn height(&self, id: BlockId) -> u32 {
+        self.get(id).height
+    }
+
+    /// Total work on the genesis→`id` path (inclusive of `id`).
+    #[inline]
+    pub fn cumulative_work(&self, id: BlockId) -> u64 {
+        self.cum_work[id.index()]
+    }
+
+    /// Forward edges: blocks minted directly under `id`.
+    #[inline]
+    pub fn children(&self, id: BlockId) -> &[BlockId] {
+        &self.children[id.index()]
+    }
+
+    /// All block ids, in minting order.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Walks `steps` edges towards the root.
+    pub fn ancestor(&self, mut id: BlockId, steps: u32) -> BlockId {
+        for _ in 0..steps {
+            id = self.parent(id).expect("walked past genesis");
+        }
+        id
+    }
+
+    /// The ancestor of `id` at exactly `height`, which must not exceed
+    /// `height(id)`.
+    pub fn ancestor_at_height(&self, id: BlockId, height: u32) -> BlockId {
+        let h = self.height(id);
+        assert!(height <= h, "requested height {height} above block at {h}");
+        self.ancestor(id, h - height)
+    }
+
+    /// True iff `a` lies on the genesis→`b` path (reflexively).
+    pub fn is_ancestor(&self, a: BlockId, b: BlockId) -> bool {
+        let (ha, hb) = (self.height(a), self.height(b));
+        if ha > hb {
+            return false;
+        }
+        self.ancestor_at_height(b, ha) == a
+    }
+
+    /// Deepest common ancestor of `a` and `b` (exists: the tree is rooted).
+    pub fn common_ancestor(&self, a: BlockId, b: BlockId) -> BlockId {
+        let (ha, hb) = (self.height(a), self.height(b));
+        let (mut x, mut y) = if ha <= hb {
+            (a, self.ancestor_at_height(b, ha))
+        } else {
+            (self.ancestor_at_height(a, hb), b)
+        };
+        while x != y {
+            x = self.parent(x).expect("disjoint roots");
+            y = self.parent(y).expect("disjoint roots");
+        }
+        x
+    }
+
+    /// Materializes the genesis→`tip` path, genesis first.
+    pub fn path_from_genesis(&self, tip: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(self.height(tip) as usize + 1);
+        let mut cur = Some(tip);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.parent(id);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Iterates `tip`, parent(tip), …, genesis.
+    pub fn ancestors(&self, tip: BlockId) -> Ancestors<'_> {
+        Ancestors {
+            store: self,
+            cur: Some(tip),
+        }
+    }
+}
+
+impl Default for BlockStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator over the backward path from a block to the root.
+pub struct Ancestors<'s> {
+    store: &'s BlockStore,
+    cur: Option<BlockId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<BlockId> {
+        let id = self.cur?;
+        self.cur = self.store.parent(id);
+        Some(id)
+    }
+}
+
+/// A replica's view of which globally minted blocks it has locally inserted
+/// (its `bt_i`). Must stay *parent-closed*: a block may only be inserted
+/// after its parent (enforced in debug builds).
+///
+/// Maintains a leaves cache (ordered for determinism): parent-closed
+/// insertion means a block's children always arrive after it, so `insert`
+/// can keep the leaf set exact in O(log n) — selection functions then scan
+/// O(#leaves) instead of O(#blocks).
+#[derive(Clone, Debug)]
+pub struct TreeMembership {
+    present: Vec<bool>,
+    count: usize,
+    leaves: std::collections::BTreeSet<BlockId>,
+}
+
+impl TreeMembership {
+    /// A membership containing only genesis.
+    pub fn genesis_only() -> Self {
+        TreeMembership {
+            present: vec![true],
+            count: 1,
+            leaves: std::iter::once(BlockId::GENESIS).collect(),
+        }
+    }
+
+    /// A membership containing every block currently in `store`.
+    pub fn full(store: &BlockStore) -> Self {
+        let leaves = store
+            .ids()
+            .filter(|&id| store.children(id).is_empty())
+            .collect();
+        TreeMembership {
+            present: vec![true; store.len()],
+            count: store.len(),
+            leaves,
+        }
+    }
+
+    /// Number of member blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True iff `id` is a member.
+    #[inline]
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.present.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Inserts `id`; returns whether it was newly inserted.
+    ///
+    /// Debug-asserts parent-closure with respect to `store`.
+    pub fn insert(&mut self, store: &BlockStore, id: BlockId) -> bool {
+        debug_assert!(
+            store
+                .parent(id)
+                .map(|p| self.contains(p))
+                .unwrap_or(true),
+            "membership must be parent-closed: {id} inserted before its parent"
+        );
+        if self.present.len() <= id.index() {
+            self.present.resize(id.index() + 1, false);
+        }
+        if self.present[id.index()] {
+            false
+        } else {
+            self.present[id.index()] = true;
+            self.count += 1;
+            // Leaf bookkeeping: the new block is a leaf (its children, if
+            // minted, cannot be members yet by parent-closure); its parent
+            // stops being one.
+            if let Some(p) = store.parent(id) {
+                self.leaves.remove(&p);
+            }
+            self.leaves.insert(id);
+            true
+        }
+    }
+
+    /// Member blocks with no member children: the leaves of `bt_i`
+    /// (cached; O(#leaves) to materialize, deterministic order).
+    pub fn leaves(&self, store: &BlockStore) -> Vec<BlockId> {
+        debug_assert!(
+            self.leaves.iter().all(|&l| {
+                self.contains(l) && !store.children(l).iter().any(|&c| self.contains(c))
+            }),
+            "leaves cache out of sync"
+        );
+        self.leaves.iter().copied().collect()
+    }
+
+    /// Iterates all member ids in minting order.
+    pub fn iter<'a>(&'a self, store: &'a BlockStore) -> impl Iterator<Item = BlockId> + 'a {
+        store.ids().filter(move |&id| self.contains(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_store(n: u32) -> (BlockStore, Vec<BlockId>) {
+        let mut s = BlockStore::new();
+        let mut ids = vec![BlockId::GENESIS];
+        for i in 0..n {
+            let prev = *ids.last().unwrap();
+            ids.push(s.mint(prev, ProcessId(0), 0, 1, i as u64, Payload::Empty));
+        }
+        (s, ids)
+    }
+
+    #[test]
+    fn genesis_is_slot_zero() {
+        let s = BlockStore::new();
+        assert_eq!(s.len(), 1);
+        assert!(s.get(BlockId::GENESIS).is_genesis());
+        assert_eq!(s.height(BlockId::GENESIS), 0);
+        assert_eq!(s.cumulative_work(BlockId::GENESIS), 0);
+    }
+
+    #[test]
+    fn mint_links_and_memoizes() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(1), 0, 5, 0, Payload::Empty);
+        let b = s.mint(a, ProcessId(2), 1, 7, 1, Payload::Empty);
+        assert_eq!(s.parent(b), Some(a));
+        assert_eq!(s.height(b), 2);
+        assert_eq!(s.cumulative_work(b), 12);
+        assert_eq!(s.children(BlockId::GENESIS), &[a]);
+        assert_eq!(s.children(a), &[b]);
+        assert_eq!(s.get(b).producer, ProcessId(2));
+        assert_eq!(s.get(b).merit_index, 1);
+    }
+
+    #[test]
+    fn ancestor_walks() {
+        let (s, ids) = linear_store(10);
+        assert_eq!(s.ancestor(ids[10], 10), BlockId::GENESIS);
+        assert_eq!(s.ancestor_at_height(ids[10], 4), ids[4]);
+        assert!(s.is_ancestor(ids[3], ids[9]));
+        assert!(s.is_ancestor(ids[9], ids[9]));
+        assert!(!s.is_ancestor(ids[9], ids[3]));
+    }
+
+    #[test]
+    fn common_ancestor_on_fork() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b1 = s.mint(a, ProcessId(0), 0, 1, 1, Payload::Empty);
+        let b2 = s.mint(a, ProcessId(1), 1, 1, 2, Payload::Empty);
+        let c1 = s.mint(b1, ProcessId(0), 0, 1, 3, Payload::Empty);
+        assert_eq!(s.common_ancestor(c1, b2), a);
+        assert_eq!(s.common_ancestor(b1, b2), a);
+        assert_eq!(s.common_ancestor(c1, b1), b1);
+        assert_eq!(s.common_ancestor(c1, c1), c1);
+        assert_eq!(s.common_ancestor(c1, BlockId::GENESIS), BlockId::GENESIS);
+    }
+
+    #[test]
+    fn path_from_genesis_is_ordered() {
+        let (s, ids) = linear_store(5);
+        let path = s.path_from_genesis(ids[5]);
+        assert_eq!(path, ids);
+        assert_eq!(path[0], BlockId::GENESIS);
+    }
+
+    #[test]
+    fn ancestors_iterator() {
+        let (s, ids) = linear_store(3);
+        let back: Vec<_> = s.ancestors(ids[3]).collect();
+        assert_eq!(back, vec![ids[3], ids[2], ids[1], ids[0]]);
+    }
+
+    #[test]
+    fn membership_insert_and_leaves() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b1 = s.mint(a, ProcessId(0), 0, 1, 1, Payload::Empty);
+        let b2 = s.mint(a, ProcessId(1), 1, 1, 2, Payload::Empty);
+
+        let mut m = TreeMembership::genesis_only();
+        assert_eq!(m.leaves(&s), vec![BlockId::GENESIS]);
+        assert!(m.insert(&s, a));
+        assert!(!m.insert(&s, a), "double insert reports false");
+        assert!(m.insert(&s, b1));
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(b1));
+        assert!(!m.contains(b2));
+        assert_eq!(m.leaves(&s), vec![b1]);
+
+        assert!(m.insert(&s, b2));
+        let mut leaves = m.leaves(&s);
+        leaves.sort();
+        assert_eq!(leaves, vec![b1, b2]);
+    }
+
+    #[test]
+    fn membership_full_tracks_store() {
+        let (s, _) = linear_store(4);
+        let m = TreeMembership::full(&s);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.iter(&s).count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent-closed")]
+    #[cfg(debug_assertions)]
+    fn membership_rejects_orphan_insert() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        let b = s.mint(a, ProcessId(0), 0, 1, 1, Payload::Empty);
+        let mut m = TreeMembership::genesis_only();
+        m.insert(&s, b); // parent a missing
+    }
+}

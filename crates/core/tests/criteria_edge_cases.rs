@@ -1,0 +1,220 @@
+//! Edge-case coverage for the consistency checkers: degenerate histories,
+//! pending operations, work-based scores, and cut-boundary conditions.
+
+use btadt_core::block::Payload;
+use btadt_core::chain::Blockchain;
+use btadt_core::criteria::{
+    block_validity, check_eventual_consistency, check_strong_consistency, eventual_prefix,
+    ever_growing_tree, local_monotonic_read, strong_prefix, ConsistencyParams, LivenessMode,
+    Violation,
+};
+use btadt_core::history::{History, Invocation, Response};
+use btadt_core::ids::{BlockId, ProcessId, Time};
+use btadt_core::score::{LengthScore, WorkScore};
+use btadt_core::store::BlockStore;
+use btadt_core::validity::AcceptAll;
+
+fn linear_store(n: u32, work: u64) -> (BlockStore, Vec<BlockId>) {
+    let mut s = BlockStore::new();
+    let mut ids = vec![BlockId::GENESIS];
+    for i in 0..n {
+        let prev = *ids.last().unwrap();
+        ids.push(s.mint(prev, ProcessId(0), 0, work, i as u64, Payload::Empty));
+    }
+    (s, ids)
+}
+
+fn read(h: &mut History, p: u32, t0: u64, t1: u64, c: Blockchain) {
+    h.push_complete(
+        ProcessId(p),
+        Invocation::Read,
+        Time(t0),
+        Response::Chain(c),
+        Time(t1),
+    );
+}
+
+fn append(h: &mut History, b: BlockId, t: u64) {
+    h.push_complete(
+        ProcessId(7),
+        Invocation::Append { block: b },
+        Time(t),
+        Response::Appended(true),
+        Time(t + 1),
+    );
+}
+
+#[test]
+fn empty_history_satisfies_everything() {
+    let (store, _) = linear_store(1, 1);
+    let h = History::new();
+    let params = ConsistencyParams {
+        store: &store,
+        predicate: &AcceptAll,
+        score: &LengthScore,
+        liveness: LivenessMode::ConvergenceCut(Time(10)),
+    };
+    assert!(check_strong_consistency(&h, &params).holds());
+    assert!(check_eventual_consistency(&h, &params).holds());
+}
+
+#[test]
+fn pending_reads_are_excluded_everywhere() {
+    let (store, ids) = linear_store(2, 1);
+    let mut h = History::new();
+    append(&mut h, ids[1], 0);
+    append(&mut h, ids[2], 2);
+    read(&mut h, 0, 4, 5, Blockchain::from_tip(&store, ids[1]));
+    // A pending read (no response) would be incomparable if completed with
+    // a rogue chain — but pending invocations never count.
+    h.push_invocation(ProcessId(1), Invocation::Read, Time(6));
+    read(&mut h, 0, 20, 21, Blockchain::from_tip(&store, ids[2]));
+    assert!(strong_prefix::check(&h).holds);
+    assert!(block_validity::check(&h, &store, &AcceptAll).holds);
+    let egt = ever_growing_tree::check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+    assert!(egt.holds, "{egt}");
+}
+
+#[test]
+fn work_score_criteria_differ_from_length() {
+    // A heavy short chain out-scores a light long one under WorkScore:
+    // Local Monotonic Read can pass under length yet fail under work.
+    let mut s = BlockStore::new();
+    let heavy = s.mint(BlockId::GENESIS, ProcessId(0), 0, 100, 1, Payload::Empty);
+    let l1 = s.mint(BlockId::GENESIS, ProcessId(1), 1, 1, 2, Payload::Empty);
+    let l2 = s.mint(l1, ProcessId(1), 1, 1, 3, Payload::Empty);
+
+    let mut h = History::new();
+    read(&mut h, 0, 0, 1, Blockchain::from_tip(&s, heavy)); // work 100, len 1
+    read(&mut h, 0, 2, 3, Blockchain::from_tip(&s, l2)); // work 2, len 2
+    assert!(
+        local_monotonic_read::check(&h, &LengthScore).holds,
+        "lengths 1 then 2: monotone"
+    );
+    let ws = WorkScore::new(&s);
+    let v = local_monotonic_read::check(&h, &ws);
+    assert!(!v.holds, "work 100 then 2: non-monotonic under WorkScore");
+}
+
+#[test]
+fn cut_exactly_at_response_time_is_inclusive() {
+    let mut h = History::new();
+    read(&mut h, 0, 0, 10, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    read(
+        &mut h,
+        0,
+        20,
+        21,
+        Blockchain::from_ids(vec![BlockId(0), BlockId(1), BlockId(2)]),
+    );
+    // Cut at exactly t10: the first read is a reference (inclusive ≤).
+    let v = ever_growing_tree::check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+    assert!(v.holds, "{v}");
+    // Cut at t9: the first read responds after the cut — no references, no
+    // post-cut constraint beyond existence.
+    let v = ever_growing_tree::check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(9)));
+    assert!(v.holds, "{v}");
+}
+
+#[test]
+fn read_invoked_exactly_at_cut_is_not_post_cut() {
+    let mut h = History::new();
+    read(&mut h, 0, 0, 1, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    // Invoked exactly at the cut (10): not strictly after ⇒ not a post-cut
+    // read ⇒ the only post-cut material is the last read.
+    read(&mut h, 0, 10, 12, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    read(
+        &mut h,
+        0,
+        15,
+        16,
+        Blockchain::from_ids(vec![BlockId(0), BlockId(1), BlockId(2)]),
+    );
+    let v = ever_growing_tree::check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+    assert!(v.holds, "straddling read is exempt: {v}");
+}
+
+#[test]
+fn eventual_prefix_all_pairs_reported() {
+    let mut h = History::new();
+    read(&mut h, 0, 0, 1, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    // Three divergent post-cut reads: 3 violating pairs.
+    for (i, b) in [(0u32, 11u32), (1, 12), (2, 13)] {
+        read(
+            &mut h,
+            i,
+            20 + u64::from(i) * 2,
+            21 + u64::from(i) * 2,
+            Blockchain::from_ids(vec![BlockId(0), BlockId(b)]),
+        );
+    }
+    let v = eventual_prefix::check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+    assert!(!v.holds);
+    assert_eq!(v.violations.len(), 3, "{v}");
+}
+
+#[test]
+fn block_validity_multiple_violations_enumerated() {
+    let (store, ids) = linear_store(3, 1);
+    let mut h = History::new();
+    // No appends at all: every non-genesis block unappended.
+    read(&mut h, 0, 0, 1, Blockchain::from_tip(&store, ids[3]));
+    let v = block_validity::check(&h, &store, &AcceptAll);
+    assert_eq!(v.violations.len(), 3);
+    assert!(v
+        .violations
+        .iter()
+        .all(|x| matches!(x, Violation::UnappendedBlock { .. })));
+}
+
+#[test]
+fn strong_prefix_duplicate_chains_are_fine() {
+    let (store, ids) = linear_store(2, 1);
+    let mut h = History::new();
+    for t in 0..5u64 {
+        read(&mut h, (t % 2) as u32, t * 10, t * 10 + 1, Blockchain::from_tip(&store, ids[2]));
+    }
+    assert!(strong_prefix::check(&h).holds);
+    assert!(strong_prefix::check_naive(&h).holds);
+}
+
+#[test]
+fn genesis_only_reads_forever_is_strongly_consistent_vacuously() {
+    // No appends, all reads return {b0}: SC with vacuous liveness.
+    let (store, _) = linear_store(0, 1);
+    let mut h = History::new();
+    for t in 0..4u64 {
+        read(&mut h, 0, t * 10, t * 10 + 1, Blockchain::genesis());
+    }
+    let params = ConsistencyParams {
+        store: &store,
+        predicate: &AcceptAll,
+        score: &LengthScore,
+        liveness: LivenessMode::Vacuous,
+    };
+    assert!(check_strong_consistency(&h, &params).holds());
+    // With a cut and no growth, EGT rightly complains.
+    let params = ConsistencyParams {
+        liveness: LivenessMode::ConvergenceCut(Time(15)),
+        ..params
+    };
+    assert!(!check_strong_consistency(&h, &params).holds());
+}
+
+#[test]
+fn verdict_display_truncates_long_witness_lists() {
+    let mut h = History::new();
+    read(&mut h, 0, 0, 1, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    for i in 0..8u32 {
+        read(
+            &mut h,
+            i,
+            20 + u64::from(i) * 2,
+            21 + u64::from(i) * 2,
+            Blockchain::from_ids(vec![BlockId(0), BlockId(100 + i)]),
+        );
+    }
+    let v = eventual_prefix::check(&h, &LengthScore, LivenessMode::ConvergenceCut(Time(10)));
+    let text = format!("{v}");
+    assert!(text.contains("… and"), "long lists are truncated: {text}");
+}

@@ -1,0 +1,61 @@
+//! # blockchain-adt
+//!
+//! A unified, executable framework for blockchain consistency, reproducing
+//! *Blockchain Abstract Data Type* (Anceaume, Del Pozzo, Ludinard,
+//! Potop-Butucaru, Tucci-Piergiovanni — PPoPP 2019 poster /
+//! arXiv:1802.09877) as a production-grade Rust workspace.
+//!
+//! This facade re-exports the five member crates:
+//!
+//! * [`core`] (`btadt-core`) — the BlockTree ADT, concurrent histories,
+//!   the BT Strong/Eventual consistency criteria, the refinement
+//!   hierarchy;
+//! * [`oracle`] (`btadt-oracle`) — the frugal/prodigal token oracles and
+//!   the refined append `R(BT-ADT, Θ)`;
+//! * [`registers`] (`btadt-registers`) — shared-memory substrate: CAS,
+//!   consumeToken cells, wait-free atomic snapshot, consensus from the
+//!   oracle (the §4.1 consensus-number results, on real threads);
+//! * [`sim`] (`btadt-sim`) — the deterministic message-passing simulator,
+//!   Update Agreement and LRC checkers, impossibility drivers (§4.2–4.4);
+//! * [`protocols`] (`btadt-protocols`) — the Table-1 system models
+//!   (Bitcoin, Ethereum, ByzCoin, Algorand, PeerCensus, Red Belly,
+//!   Hyperledger Fabric) and the empirical classifier.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use blockchain_adt::prelude::*;
+//!
+//! // A BlockTree with the longest-chain rule, fed through a frugal
+//! // (k = 1) token oracle: the strongest, fork-free configuration.
+//! let oracle = ThetaOracle::frugal(1, Merits::uniform(2), 2.0, 42);
+//! let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+//! assert!(tree.append(ProcessId(0), Payload::Empty).succeeded());
+//! let chain = tree.read(ProcessId(1));
+//! assert_eq!(chain.len(), 2); // {b0}⌢f(bt)
+//! ```
+
+pub use btadt_core as core;
+pub use btadt_oracle as oracle;
+pub use btadt_registers as registers;
+pub use btadt_sim as sim;
+pub use btadt_protocols as protocols;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use btadt_core::prelude::*;
+    pub use btadt_oracle::{
+        purge_unsuccessful, run_workload, AppendOutcome, KBound, Merits, RefinedBlockTree,
+        SharedOracle, Tape, ThetaOracle, TokenGrant, WorkloadConfig,
+    };
+    pub use btadt_registers::{
+        run_trial, AtomicSnapshot, CasConsensus, CasFromCt, CasRegister, Consensus,
+        ConsensusReport, ConsumeTokenCell, OracleConsensus, ProdigalCtCell, EMPTY,
+    };
+    pub use btadt_sim::{
+        check_lrc, check_update_agreement, gossip_applied, lemma_4_4, lemma_4_5, theorem_4_8,
+        update_agreement_positive, Ctx, DropPolicy, Msg, NetworkModel, Partition, Protocol,
+        Replica, RunOutcome, SimpleMiner, Synchrony, Trace, TraceEvent, World,
+    };
+    pub use btadt_protocols::{table1, Classification, RunSchedule, SystemRun, TxStream};
+}

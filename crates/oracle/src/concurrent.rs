@@ -1,0 +1,137 @@
+//! Thread-safe oracle access for the shared-memory experiments of §4.1.
+//!
+//! The Θ-ADT is specified sequentially; when real threads race on it
+//! (Protocol A, Fig. 11), each `getToken`/`consumeToken` must be atomic.
+//! [`SharedOracle`] provides that via a `parking_lot::Mutex` — the oracle
+//! *object* is the linearization point, which is exactly the atomicity the
+//! paper's concurrent model grants its base objects. (The dedicated
+//! lock-free `consumeToken` cell used to prove the Consensus-number results
+//! lives in `btadt-registers`.)
+
+use crate::theta::{KBound, ThetaOracle, TokenGrant};
+use btadt_core::hierarchy::OracleModel;
+use btadt_core::ids::BlockId;
+use parking_lot::Mutex;
+
+/// A `Sync` wrapper around [`ThetaOracle`] with per-operation atomicity.
+pub struct SharedOracle {
+    inner: Mutex<ThetaOracle>,
+}
+
+impl SharedOracle {
+    pub fn new(oracle: ThetaOracle) -> Self {
+        SharedOracle {
+            inner: Mutex::new(oracle),
+        }
+    }
+
+    /// Atomic `getToken`.
+    pub fn get_token(&self, merit_index: usize, parent: BlockId) -> Option<TokenGrant> {
+        self.inner.lock().get_token(merit_index, parent)
+    }
+
+    /// Atomic `consumeToken`.
+    pub fn consume_token(&self, grant: &TokenGrant, block: BlockId) -> Vec<BlockId> {
+        self.inner.lock().consume_token(grant, block)
+    }
+
+    /// Snapshot of `K[parent]`.
+    pub fn consumed_for(&self, parent: BlockId) -> Vec<BlockId> {
+        self.inner.lock().consumed_for(parent).to_vec()
+    }
+
+    /// Thm. 3.2 invariant.
+    pub fn fork_coherent(&self) -> bool {
+        self.inner.lock().fork_coherent()
+    }
+
+    /// The fork bound.
+    pub fn k(&self) -> KBound {
+        self.inner.lock().k()
+    }
+
+    /// Hierarchy descriptor.
+    pub fn model(&self) -> OracleModel {
+        self.inner.lock().model()
+    }
+
+    /// Total tokens granted so far.
+    pub fn tokens_granted(&self) -> u64 {
+        self.inner.lock().tokens_granted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merit::Merits;
+    use std::sync::Arc;
+
+    #[test]
+    fn threads_race_for_k1_token_exactly_one_wins() {
+        for trial in 0..10u64 {
+            let oracle = ThetaOracle::frugal(1, Merits::uniform(8), 8.0, trial);
+            let shared = Arc::new(SharedOracle::new(oracle));
+            let winners = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for who in 0..8usize {
+                    let shared = Arc::clone(&shared);
+                    handles.push(s.spawn(move || {
+                        // Win a token, then try to consume own block.
+                        for _ in 0..10_000 {
+                            if let Some(g) = shared.get_token(who, BlockId::GENESIS) {
+                                let block = BlockId(who as u32 + 1);
+                                let set = shared.consume_token(&g, block);
+                                return set.contains(&block) as usize;
+                            }
+                        }
+                        0
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .sum::<usize>()
+            });
+            assert_eq!(winners, 1, "trial {trial}: exactly one thread appends");
+            assert!(shared.fork_coherent());
+            let consumed = shared.consumed_for(BlockId::GENESIS);
+            assert_eq!(consumed.len(), 1);
+        }
+    }
+
+    #[test]
+    fn prodigal_admits_all_threads() {
+        let oracle = ThetaOracle::prodigal(Merits::uniform(4), 4.0, 9);
+        let shared = Arc::new(SharedOracle::new(oracle));
+        let winners = std::thread::scope(|s| {
+            (0..4usize)
+                .map(|who| {
+                    let shared = Arc::clone(&shared);
+                    s.spawn(move || {
+                        for _ in 0..10_000 {
+                            if let Some(g) = shared.get_token(who, BlockId::GENESIS) {
+                                let block = BlockId(who as u32 + 1);
+                                let set = shared.consume_token(&g, block);
+                                return set.contains(&block) as usize;
+                            }
+                        }
+                        0
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        });
+        assert_eq!(winners, 4, "Θ_P admits everyone");
+        assert_eq!(shared.consumed_for(BlockId::GENESIS).len(), 4);
+    }
+
+    #[test]
+    fn model_and_k_pass_through() {
+        let shared = SharedOracle::new(ThetaOracle::frugal(2, Merits::uniform(1), 1.0, 0));
+        assert_eq!(shared.k(), KBound::Finite(2));
+        assert_eq!(shared.model(), OracleModel::Frugal { k: 2 });
+    }
+}

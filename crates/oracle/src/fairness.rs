@@ -1,0 +1,172 @@
+//! Oracle fairness — the §6 future-work thread made executable.
+//!
+//! The paper: "we only offer a generic merit parameter that can be used to
+//! define fairness" (related-work discussion of [1]'s fairness property),
+//! and lists "fairness properties for oracles" as future work. The natural
+//! definition over our tapes: an oracle is *fair* when each process's share
+//! of granted tokens converges to its normalized merit `α_i`.
+//!
+//! [`token_fairness`] measures grant shares against merit shares over a
+//! budget of attempts; [`chain_fairness`] measures the block-production
+//! shares of a finished execution (the reward-fairness lens under which
+//! FruitChain [27] improves on Bitcoin — see
+//! `btadt_protocols::fruitchain`).
+
+use crate::merit::Merits;
+use crate::theta::ThetaOracle;
+use btadt_core::ids::BlockId;
+use btadt_core::store::BlockStore;
+use std::fmt;
+
+/// Expected-vs-observed share per merit index.
+#[derive(Clone, Debug)]
+pub struct FairnessReport {
+    /// `(expected α_i, observed share)` per merit index.
+    pub shares: Vec<(f64, f64)>,
+    /// `max_i |observed_i − α_i|`.
+    pub max_deviation: f64,
+    /// Total events (token grants / blocks) counted.
+    pub total: u64,
+}
+
+impl FairnessReport {
+    fn from_counts(merits: &Merits, counts: &[u64]) -> Self {
+        let total: u64 = counts.iter().sum();
+        let shares: Vec<(f64, f64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let observed = if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                };
+                (merits.alpha(i), observed)
+            })
+            .collect();
+        let max_deviation = shares
+            .iter()
+            .map(|(e, o)| (e - o).abs())
+            .fold(0.0, f64::max);
+        FairnessReport {
+            shares,
+            max_deviation,
+            total,
+        }
+    }
+
+    /// Fair within tolerance `eps` on every share?
+    pub fn is_fair_within(&self, eps: f64) -> bool {
+        self.max_deviation <= eps
+    }
+}
+
+impl fmt::Display for FairnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fairness over {} events (max deviation {:.4}):",
+            self.total, self.max_deviation
+        )?;
+        for (i, (e, o)) in self.shares.iter().enumerate() {
+            writeln!(f, "  α_{i}: expected {e:.3}, observed {o:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Grants each process `attempts` getToken calls against a fresh oracle
+/// and reports the token-share fairness.
+pub fn token_fairness(merits: Merits, rate: f64, seed: u64, attempts: u64) -> FairnessReport {
+    let n = merits.len();
+    let mut oracle = ThetaOracle::prodigal(merits, rate, seed);
+    let mut counts = vec![0u64; n];
+    for a in 0..attempts {
+        for (i, c) in counts.iter_mut().enumerate() {
+            if oracle
+                .get_token(i, BlockId(((a % 7) + 1) as u32))
+                .is_some()
+            {
+                *c += 1;
+            }
+        }
+    }
+    FairnessReport::from_counts(oracle.merits(), &counts)
+}
+
+/// Block-production shares of a finished execution versus merit shares.
+/// Counts every minted block (main chain and orphans alike — production
+/// fairness, not reward fairness; pass a chain-restricted store view for
+/// the latter).
+pub fn chain_fairness(store: &BlockStore, merits: &Merits) -> FairnessReport {
+    let mut counts = vec![0u64; merits.len()];
+    for id in store.ids().skip(1) {
+        let m = store.get(id).merit_index as usize;
+        if m < counts.len() {
+            counts[m] += 1;
+        }
+    }
+    FairnessReport::from_counts(merits, &counts)
+}
+
+/// Reward-share fairness over an explicit reward vector (used by the
+/// FruitChain comparison, where rewards are per-fruit not per-block).
+pub fn reward_fairness(merits: &Merits, rewards: &[u64]) -> FairnessReport {
+    assert_eq!(rewards.len(), merits.len());
+    FairnessReport::from_counts(merits, rewards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::block::Payload;
+    use btadt_core::ids::ProcessId;
+
+    #[test]
+    fn uniform_merits_yield_uniform_tokens() {
+        let rep = token_fairness(Merits::uniform(4), 1.0, 7, 4_000);
+        assert!(rep.total > 3_000, "p = 0.25 each over 16k draws");
+        assert!(rep.is_fair_within(0.02), "{rep}");
+    }
+
+    #[test]
+    fn skewed_merits_yield_skewed_tokens() {
+        let rep = token_fairness(Merits::from_weights(vec![3.0, 1.0]), 1.0, 9, 6_000);
+        let (e0, o0) = rep.shares[0];
+        assert!((e0 - 0.75).abs() < 1e-9);
+        assert!((o0 - 0.75).abs() < 0.02, "{rep}");
+        assert!(rep.is_fair_within(0.02));
+    }
+
+    #[test]
+    fn chain_fairness_counts_producers() {
+        let merits = Merits::from_weights(vec![1.0, 1.0]);
+        let mut store = BlockStore::new();
+        let mut parent = BlockId::GENESIS;
+        for i in 0..9u32 {
+            // producer 0 mints 6, producer 1 mints 3.
+            let who = if i % 3 == 2 { 1 } else { 0 };
+            parent = store.mint(parent, ProcessId(who), who, 1, i as u64, Payload::Empty);
+        }
+        let rep = chain_fairness(&store, &merits);
+        assert_eq!(rep.total, 9);
+        assert!((rep.shares[0].1 - 6.0 / 9.0).abs() < 1e-9);
+        assert!(!rep.is_fair_within(0.1), "6:3 against 1:1 merits is unfair");
+    }
+
+    #[test]
+    fn reward_fairness_explicit_vector() {
+        let merits = Merits::uniform(2);
+        let rep = reward_fairness(&merits, &[50, 50]);
+        assert!(rep.is_fair_within(1e-9));
+        let rep = reward_fairness(&merits, &[90, 10]);
+        assert!((rep.max_deviation - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_events_report_is_degenerate_but_sane() {
+        let rep = reward_fairness(&Merits::uniform(2), &[0, 0]);
+        assert_eq!(rep.total, 0);
+        assert!(rep.max_deviation <= 0.5);
+    }
+}

@@ -1,0 +1,32 @@
+//! # btadt-oracle — Token oracles Θ and the refinement R(BT-ADT, Θ)
+//!
+//! Implements §3.2–§3.4 of *Blockchain Abstract Data Type*: the frugal
+//! (Θ_F,k) and prodigal (Θ_P) token oracles with their merit-indexed
+//! pseudorandom tapes, the refined `append` of Defs. 3.7–3.8, purged
+//! history extraction `Ĥ`, and a concurrent workload driver for sampling
+//! the hierarchy's history sets.
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §3.2.1 tapes `m(α_i) ∈ {tkn,⊥}*` | [`tape`] |
+//! | §3.2.1 merit `α_i`, `p_{α_i}` | [`merit`] |
+//! | Defs. 3.5/3.6 Θ_F / Θ_P, Def. 3.9 k-Fork Coherence | [`theta`] |
+//! | Defs. 3.7/3.8 refinement, §3.4 `Ĥ` purging | [`refinement`] |
+//! | shared-memory atomicity (§4.1 experiments) | [`concurrent`] |
+//! | history-set sampling (Figs. 8/14 experiments) | [`runner`] |
+
+pub mod concurrent;
+pub mod fairness;
+pub mod merit;
+pub mod refinement;
+pub mod runner;
+pub mod tape;
+pub mod theta;
+
+pub use concurrent::SharedOracle;
+pub use fairness::{chain_fairness, reward_fairness, token_fairness, FairnessReport};
+pub use merit::Merits;
+pub use refinement::{purge_unsuccessful, AppendOutcome, RefinedBlockTree};
+pub use runner::{run_workload, WorkloadConfig, WorkloadOutput};
+pub use tape::{Cell, Tape};
+pub use theta::{KBound, ThetaOracle, TokenGrant};

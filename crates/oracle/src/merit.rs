@@ -1,0 +1,137 @@
+//! Merit parameters (§3.2.1).
+//!
+//! "When `getToken` is invoked, the oracle provides a token with a certain
+//! probability `p_{α_i} > 0` where `α_i` is a *merit* parameter
+//! characterizing the invoking process" — hashing power in Bitcoin (§5.1),
+//! memory bandwidth in Ethereum (§5.2), stake in Algorand (§5.4),
+//! `1/|M|` for consortium members and `0` for outsiders in Red Belly /
+//! Hyperledger (§5.6–5.7).
+//!
+//! [`Merits`] holds the raw weights and exposes the normalized `α` vector
+//! (`Σ α_p = 1` over the positive weights) plus the per-attempt token
+//! probability given a global rate (difficulty) parameter.
+
+/// A merit vector over `n` processes/merit-indices.
+#[derive(Clone, Debug)]
+pub struct Merits {
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl Merits {
+    /// Equal merit for all `n` processes.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "need at least one merit");
+        Merits {
+            weights: vec![1.0; n],
+            total: n as f64,
+        }
+    }
+
+    /// Arbitrary non-negative weights (at least one must be positive).
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one merit");
+        assert!(
+            weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        Merits { weights, total }
+    }
+
+    /// Consortium merits (§5.6): members share `1/|M|` each, outsiders get 0.
+    pub fn consortium(n: usize, members: &[usize]) -> Self {
+        assert!(!members.is_empty(), "consortium needs members");
+        let mut w = vec![0.0; n];
+        for &m in members {
+            assert!(m < n, "member index out of range");
+            w[m] = 1.0;
+        }
+        Merits::from_weights(w)
+    }
+
+    /// Number of merit indices.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Normalized merit `α_i` (`Σ α = 1`).
+    pub fn alpha(&self, i: usize) -> f64 {
+        self.weights[i] / self.total
+    }
+
+    /// Raw weight.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Per-attempt token probability `p_{α_i}` for a global `rate`
+    /// (the difficulty knob: expected tokens per attempt across everyone),
+    /// clamped to [0, 1].
+    pub fn token_probability(&self, i: usize, rate: f64) -> f64 {
+        (self.alpha(i) * rate).clamp(0.0, 1.0)
+    }
+
+    /// The normalized vector.
+    pub fn alphas(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.alpha(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_normalizes() {
+        let m = Merits::uniform(4);
+        assert_eq!(m.len(), 4);
+        for i in 0..4 {
+            assert!((m.alpha(i) - 0.25).abs() < 1e-12);
+        }
+        let sum: f64 = m.alphas().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_normalizes() {
+        let m = Merits::from_weights(vec![3.0, 1.0]);
+        assert!((m.alpha(0) - 0.75).abs() < 1e-12);
+        assert!((m.alpha(1) - 0.25).abs() < 1e-12);
+        assert_eq!(m.weight(0), 3.0);
+    }
+
+    #[test]
+    fn consortium_zeroes_outsiders() {
+        let m = Merits::consortium(4, &[1, 2]);
+        assert_eq!(m.alpha(0), 0.0);
+        assert!((m.alpha(1) - 0.5).abs() < 1e-12);
+        assert!((m.alpha(2) - 0.5).abs() < 1e-12);
+        assert_eq!(m.alpha(3), 0.0);
+    }
+
+    #[test]
+    fn token_probability_scales_and_clamps() {
+        let m = Merits::from_weights(vec![1.0, 3.0]);
+        assert!((m.token_probability(0, 0.4) - 0.1).abs() < 1e-12);
+        assert!((m.token_probability(1, 0.4) - 0.3).abs() < 1e-12);
+        assert_eq!(m.token_probability(1, 10.0), 1.0, "clamped");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn all_zero_weights_rejected() {
+        Merits::from_weights(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        Merits::from_weights(vec![1.0, -0.1]);
+    }
+}

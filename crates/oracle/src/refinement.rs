@@ -1,0 +1,409 @@
+//! The refinement `R(BT-ADT, Θ)` (Defs. 3.7–3.8).
+//!
+//! `append(b)` is refined into oracle operations: repeatedly invoke
+//! `getToken(b_h ← last_block(f(bt)), b_ℓ)` until a token is granted
+//! (`τ_b ∘ τ_a*`), then `consumeToken` — whose side effect inserts the block
+//! into `K[h]` *and*, when the block made it into the set, chains it under
+//! `b_h` in the tree (`{b0}⌢f(bt)|⌢_h{b_ℓ}`). The evaluation function
+//! reports `true` iff the block is found in the returned set.
+//!
+//! [`RefinedBlockTree`] implements this sequence atomically (the paper:
+//! "those two operations and the concatenation occur atomically") and
+//! records every operation into a [`History`] so runs can be checked
+//! against the consistency criteria and purged into `Ĥ` (§3.4).
+
+use crate::theta::{KBound, ThetaOracle};
+use btadt_core::block::Payload;
+use btadt_core::blocktree::{BlockTree, CandidateBlock};
+use btadt_core::chain::Blockchain;
+use btadt_core::history::{History, Invocation, Response};
+use btadt_core::ids::{BlockId, ProcessId, Time};
+use btadt_core::selection::SelectionFn;
+use btadt_core::store::BlockStore;
+use btadt_core::validity::ValidityPredicate;
+
+/// Result of a refined `append`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// The token was consumed and the block entered `K[h]` and the tree:
+    /// `evaluate(..) = true`.
+    Appended(BlockId),
+    /// A token was granted and consumed, but `K[h]` was already full
+    /// (frugal bound hit): `evaluate(..) = false`, no tree change.
+    SetFull,
+    /// The minted block failed the tree's validity predicate `P`; the token
+    /// was spent but the block never entered the tree.
+    PredicateRejected(BlockId),
+    /// No token within the configured attempt budget. In the formal model
+    /// the `getToken` loop runs forever; a bounded run gives up and the
+    /// append counts as unsuccessful (purged from `Ĥ`).
+    TokenExhausted,
+}
+
+impl AppendOutcome {
+    /// The `evaluate` verdict of Def. 3.7 (`true` iff appended).
+    pub fn succeeded(&self) -> bool {
+        matches!(self, AppendOutcome::Appended(_))
+    }
+}
+
+/// `R(BT-ADT, Θ)`: a BlockTree whose appends are gated by a token oracle.
+pub struct RefinedBlockTree<F: SelectionFn, P: ValidityPredicate> {
+    bt: BlockTree<F, P>,
+    oracle: ThetaOracle,
+    history: History,
+    clock: Time,
+    nonce: u64,
+    /// Bound on the `getToken` retry loop (`τ_a*`).
+    pub max_token_attempts: u64,
+}
+
+impl<F: SelectionFn, P: ValidityPredicate> RefinedBlockTree<F, P> {
+    pub fn new(selection: F, predicate: P, oracle: ThetaOracle) -> Self {
+        RefinedBlockTree {
+            bt: BlockTree::new(selection, predicate),
+            oracle,
+            history: History::new(),
+            clock: Time::ZERO,
+            nonce: 0,
+            max_token_attempts: 10_000,
+        }
+    }
+
+    /// The refined `append` of Def. 3.7: parent is `last_block(f(bt))` at
+    /// invocation, merit index defaults to `process.0`, unit work.
+    pub fn append(&mut self, process: ProcessId, payload: Payload) -> AppendOutcome {
+        let invoked_at = self.tick();
+        let parent = self.bt.selected_tip();
+        self.append_impl(process, process.0 as usize, parent, payload, 1, invoked_at)
+    }
+
+    /// The refined `append` with explicit merit index and block work.
+    pub fn append_as(
+        &mut self,
+        process: ProcessId,
+        merit_index: usize,
+        payload: Payload,
+        work: u64,
+    ) -> AppendOutcome {
+        let invoked_at = self.tick();
+        let parent = self.bt.selected_tip();
+        self.append_impl(process, merit_index, parent, payload, work, invoked_at)
+    }
+
+    /// The refined `append` against an *explicitly chosen* parent — the
+    /// entry point for concurrent drivers where the parent was captured at
+    /// invocation time (the tip the invoking process observed), which may
+    /// be stale by the time the token settles. This is what makes forks
+    /// reachable under Θ_P and `k > 1`.
+    ///
+    /// `invoked_at` lets the driver backdate the invocation event to the
+    /// capture point, producing genuinely overlapping operations in the
+    /// history.
+    pub fn append_at(
+        &mut self,
+        process: ProcessId,
+        merit_index: usize,
+        parent: BlockId,
+        payload: Payload,
+        invoked_at: Time,
+    ) -> AppendOutcome {
+        self.append_impl(process, merit_index, parent, payload, 1, invoked_at)
+    }
+
+    fn append_impl(
+        &mut self,
+        process: ProcessId,
+        merit_index: usize,
+        parent: BlockId,
+        payload: Payload,
+        work: u64,
+        invoked_at: Time,
+    ) -> AppendOutcome {
+        // τ_b ∘ τ_a*: loop getToken until granted (bounded).
+        let mut grant = None;
+        for _ in 0..self.max_token_attempts {
+            if let Some(g) = self.oracle.get_token(merit_index, parent) {
+                grant = Some(g);
+                break;
+            }
+        }
+        let grant = match grant {
+            Some(g) => g,
+            None => {
+                let responded_at = self.tick();
+                self.history.push_complete(
+                    process,
+                    Invocation::Append {
+                        block: BlockId(u32::MAX), // never minted
+                    },
+                    invoked_at,
+                    Response::Appended(false),
+                    responded_at,
+                );
+                return AppendOutcome::TokenExhausted;
+            }
+        };
+
+        // Oracle capacity check: `add(K, h, ·)` refuses once |K[h]| = k, in
+        // which case evaluate = false and the tree must stay unchanged.
+        let admits = match self.oracle.k() {
+            KBound::Finite(k) => self.oracle.consumed_for(parent).len() < k as usize,
+            KBound::Infinite => true,
+        };
+        let outcome = if admits {
+            self.nonce += 1;
+            let candidate = CandidateBlock {
+                producer: process,
+                merit_index: merit_index as u32,
+                work,
+                nonce: self.nonce,
+                payload,
+            };
+            match self.bt.graft(parent, candidate) {
+                None => {
+                    // P rejected the minted block (last slot of the store).
+                    let rejected = BlockId(self.bt.store().len() as u32 - 1);
+                    let _ = self.oracle.consume_token(&grant, rejected);
+                    AppendOutcome::PredicateRejected(rejected)
+                }
+                Some(id) => {
+                    let set = self.oracle.consume_token(&grant, id);
+                    debug_assert!(set.contains(&id), "admitted block must enter K[h]");
+                    AppendOutcome::Appended(id)
+                }
+            }
+        } else {
+            // Token consumed against a full set: evaluate = false, no graft.
+            let _ = self.oracle.consume_token(&grant, BlockId(u32::MAX));
+            AppendOutcome::SetFull
+        };
+
+        let responded_at = self.tick();
+        // Histories must be well-formed even if a driver's backdated
+        // invocation collides with the internal clock.
+        let invoked_at = invoked_at.min(Time(responded_at.0.saturating_sub(1)));
+        let block = match outcome {
+            AppendOutcome::Appended(id) | AppendOutcome::PredicateRejected(id) => id,
+            _ => BlockId(u32::MAX),
+        };
+        self.history.push_complete(
+            process,
+            Invocation::Append { block },
+            invoked_at,
+            Response::Appended(outcome.succeeded()),
+            responded_at,
+        );
+        outcome
+    }
+
+    /// `read()`: `{b0}⌢f(bt)`, recorded in the history.
+    pub fn read(&mut self, process: ProcessId) -> Blockchain {
+        let invoked_at = self.tick();
+        self.read_at(process, invoked_at)
+    }
+
+    /// `read()` with a driver-supplied (possibly backdated) invocation time.
+    pub fn read_at(&mut self, process: ProcessId, invoked_at: Time) -> Blockchain {
+        let chain = self.bt.read();
+        let responded_at = self.tick();
+        let invoked_at = invoked_at.min(Time(responded_at.0.saturating_sub(1)));
+        self.history.push_complete(
+            process,
+            Invocation::Read,
+            invoked_at,
+            Response::Chain(chain.clone()),
+            responded_at,
+        );
+        chain
+    }
+
+    /// `read()` without recording (for drivers that record themselves).
+    pub fn read_quiet(&self) -> Blockchain {
+        self.bt.read()
+    }
+
+    /// Current selected tip `last_block(f(bt))`.
+    pub fn selected_tip(&self) -> BlockId {
+        self.bt.selected_tip()
+    }
+
+    fn tick(&mut self) -> Time {
+        self.clock = self.clock.tick();
+        self.clock
+    }
+
+    /// Advances the logical clock (drivers simulating latency).
+    pub fn advance_time(&mut self, d: u64) {
+        self.clock = self.clock.plus(d);
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    pub fn store(&self) -> &BlockStore {
+        self.bt.store()
+    }
+
+    pub fn oracle(&self) -> &ThetaOracle {
+        &self.oracle
+    }
+
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    pub fn blocktree(&self) -> &BlockTree<F, P> {
+        &self.bt
+    }
+}
+
+/// `Ĥ`: the history purged of unsuccessful append *response* events
+/// (§3.4: "purged from the unsuccessful append() response events").
+pub fn purge_unsuccessful(history: &History) -> History {
+    let mut out = History::new();
+    for op in history.ops() {
+        if matches!(op.response, Some(Response::Appended(false))) {
+            continue;
+        }
+        match (&op.response, op.responded_at) {
+            (Some(resp), Some(t)) => {
+                out.push_complete(
+                    op.process,
+                    op.invocation.clone(),
+                    op.invoked_at,
+                    resp.clone(),
+                    t,
+                );
+            }
+            _ => {
+                out.push_invocation(op.process, op.invocation.clone(), op.invoked_at);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merit::Merits;
+    use btadt_core::selection::LongestChain;
+    use btadt_core::validity::{AcceptAll, DigestPrefix};
+
+    fn refined(k: KBound, rate: f64) -> RefinedBlockTree<LongestChain, AcceptAll> {
+        let merits = Merits::uniform(3);
+        let oracle = match k {
+            KBound::Finite(k) => ThetaOracle::frugal(k, merits, rate, 11),
+            KBound::Infinite => ThetaOracle::prodigal(merits, rate, 11),
+        };
+        RefinedBlockTree::new(LongestChain, AcceptAll, oracle)
+    }
+
+    #[test]
+    fn sequential_appends_build_a_chain() {
+        let mut r = refined(KBound::Finite(1), 3.0);
+        for i in 0..5 {
+            let out = r.append(ProcessId(i % 3), Payload::Empty);
+            assert!(out.succeeded(), "append {i}: {out:?}");
+        }
+        let chain = r.read(ProcessId(0));
+        assert_eq!(chain.len(), 6);
+        assert!(r.oracle().fork_coherent());
+    }
+
+    #[test]
+    fn stale_parent_appends_fork_under_prodigal() {
+        let mut r = refined(KBound::Infinite, 3.0);
+        let t0 = r.now();
+        // Two overlapping appends both captured b0 as parent.
+        let a = r.append_at(ProcessId(0), 0, BlockId::GENESIS, Payload::Empty, t0);
+        let b = r.append_at(ProcessId(1), 1, BlockId::GENESIS, Payload::Empty, t0);
+        assert!(a.succeeded() && b.succeeded(), "Θ_P admits both");
+        // Both children of genesis: a fork.
+        assert_eq!(r.store().children(BlockId::GENESIS).len(), 2);
+    }
+
+    #[test]
+    fn stale_parent_appends_serialize_under_k1() {
+        let mut r = refined(KBound::Finite(1), 3.0);
+        let t0 = r.now();
+        let a = r.append_at(ProcessId(0), 0, BlockId::GENESIS, Payload::Empty, t0);
+        let b = r.append_at(ProcessId(1), 1, BlockId::GENESIS, Payload::Empty, t0);
+        assert!(a.succeeded());
+        assert_eq!(b, AppendOutcome::SetFull, "k=1 blocks the fork");
+        assert_eq!(r.store().children(BlockId::GENESIS).len(), 1);
+        assert!(r.oracle().fork_coherent());
+    }
+
+    #[test]
+    fn k2_admits_exactly_two_forks() {
+        let mut r = refined(KBound::Finite(2), 3.0);
+        let t0 = r.now();
+        let outcomes: Vec<_> = (0..3)
+            .map(|i| r.append_at(ProcessId(i), i as usize, BlockId::GENESIS, Payload::Empty, t0))
+            .collect();
+        let wins = outcomes.iter().filter(|o| o.succeeded()).count();
+        assert_eq!(wins, 2);
+        assert_eq!(r.store().children(BlockId::GENESIS).len(), 2);
+    }
+
+    #[test]
+    fn zero_rate_exhausts_tokens() {
+        let mut r = refined(KBound::Infinite, 0.0);
+        r.max_token_attempts = 50;
+        let out = r.append(ProcessId(0), Payload::Empty);
+        assert_eq!(out, AppendOutcome::TokenExhausted);
+        assert!(!out.succeeded());
+        // Recorded as a failed append, purgeable.
+        assert_eq!(r.history().len(), 1);
+        assert_eq!(purge_unsuccessful(r.history()).len(), 0);
+    }
+
+    #[test]
+    fn predicate_rejection_keeps_tree_clean() {
+        let oracle = ThetaOracle::prodigal(Merits::uniform(1), 1.0, 5);
+        let mut r = RefinedBlockTree::new(LongestChain, DigestPrefix { zero_bits: 64 }, oracle);
+        let out = r.append(ProcessId(0), Payload::Empty);
+        assert!(matches!(out, AppendOutcome::PredicateRejected(_)));
+        assert_eq!(r.read(ProcessId(0)), Blockchain::genesis());
+    }
+
+    #[test]
+    fn history_records_reads_and_appends() {
+        let mut r = refined(KBound::Finite(1), 3.0);
+        r.append(ProcessId(0), Payload::Empty);
+        r.read(ProcessId(1));
+        r.read(ProcessId(2));
+        let h = r.history();
+        assert_eq!(h.append_count(), 1);
+        assert_eq!(h.reads().count(), 2);
+        assert!(h.validate().is_empty());
+    }
+
+    #[test]
+    fn purge_drops_only_failures() {
+        let mut r = refined(KBound::Finite(1), 3.0);
+        let t0 = r.now();
+        r.append_at(ProcessId(0), 0, BlockId::GENESIS, Payload::Empty, t0);
+        r.append_at(ProcessId(1), 1, BlockId::GENESIS, Payload::Empty, t0); // fails
+        r.read(ProcessId(2));
+        let purged = purge_unsuccessful(r.history());
+        assert_eq!(purged.append_count(), 1);
+        assert_eq!(purged.reads().count(), 1);
+    }
+
+    #[test]
+    fn work_parameter_reaches_store() {
+        let mut r = refined(KBound::Infinite, 3.0);
+        if let AppendOutcome::Appended(id) =
+            r.append_as(ProcessId(0), 0, Payload::Empty, 9)
+        {
+            assert_eq!(r.store().get(id).work, 9);
+        } else {
+            panic!("append failed");
+        }
+    }
+}

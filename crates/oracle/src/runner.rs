@@ -1,0 +1,338 @@
+//! Concurrent workload driver over `R(BT-ADT, Θ)`.
+//!
+//! Generates the history sets `Ĥ(R(BT-ADT, Θ))` that the hierarchy
+//! experiments (Figs. 8/14, Thms. 3.1/3.3/3.4) sample: `n` sequential
+//! processes issue overlapping `append`/`read` operations against one
+//! refined BlockTree; an append *captures the selected tip at invocation*
+//! and settles with the oracle at response time. Overlap is therefore the
+//! fork engine — two appends that both captured `b_h` race for `K[h]`, and
+//! the oracle's `k` decides how many win.
+//!
+//! Everything is driven by SplitMix64 streams: same config ⇒ same history.
+
+use crate::refinement::{purge_unsuccessful, RefinedBlockTree};
+use crate::theta::ThetaOracle;
+use btadt_core::block::Payload;
+use btadt_core::chain::Blockchain;
+use btadt_core::history::History;
+use btadt_core::ids::{mix2, splitmix64_at, BlockId, ProcessId, Time};
+use btadt_core::selection::LongestChain;
+use btadt_core::store::BlockStore;
+use btadt_core::validity::AcceptAll;
+
+/// Parameters of a workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of sequential processes.
+    pub processes: u32,
+    /// Logical ticks of the main phase.
+    pub steps: u64,
+    /// Per-tick probability that an idle process starts an `append`.
+    pub append_prob: f64,
+    /// Per-tick probability that an idle process starts a `read`.
+    pub read_prob: f64,
+    /// Operation latency is uniform in `1..=max_latency` ticks; larger
+    /// latency ⇒ more overlap ⇒ more fork pressure.
+    pub max_latency: u64,
+    /// Seed for all workload randomness (oracle tapes are seeded
+    /// separately, in the oracle itself).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            processes: 4,
+            steps: 400,
+            append_prob: 0.20,
+            read_prob: 0.15,
+            max_latency: 6,
+            seed: 0xB70C_7EE5,
+        }
+    }
+}
+
+/// Outcome of a workload run.
+pub struct WorkloadOutput {
+    /// The purged history `Ĥ` (unsuccessful appends removed).
+    pub history: History,
+    /// The raw history including failed appends.
+    pub raw_history: History,
+    /// The block arena (needed by the criteria checkers).
+    pub store: BlockStore,
+    /// The final `read()` result.
+    pub final_chain: Blockchain,
+    /// Number of tree vertices with ≥ 2 children *in the tree* (forks).
+    pub fork_points: usize,
+    /// Largest branching degree observed.
+    pub max_fork_degree: usize,
+    /// Appends that returned `true` / `false`.
+    pub successful_appends: usize,
+    pub failed_appends: usize,
+    /// Recommended convergence cut: the last mid-run response time; the
+    /// quiescent tail reads all respond after it.
+    pub suggested_cut: Time,
+}
+
+#[derive(Clone, Copy)]
+enum OpKind {
+    Append { parent: BlockId },
+    Read,
+}
+
+#[derive(Clone, Copy)]
+struct InFlight {
+    kind: OpKind,
+    started: Time,
+    finishes: u64,
+}
+
+/// Runs the workload against the given oracle, returning the recorded
+/// histories and fork statistics.
+pub fn run_workload(oracle: ThetaOracle, cfg: &WorkloadConfig) -> WorkloadOutput {
+    assert!(cfg.processes > 0 && cfg.steps > 0 && cfg.max_latency > 0);
+    let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+    let n = cfg.processes as usize;
+    let mut in_flight: Vec<Option<InFlight>> = vec![None; n];
+    // Last response time per process: sequential processes must not start
+    // a new op before their previous one responded (well-formed histories).
+    let mut last_resp: Vec<u64> = vec![0; n];
+    let mut rng_stream = 0u64;
+    let mut draw = |seed: u64| {
+        rng_stream += 1;
+        splitmix64_at(mix2(seed, 0x5EED), rng_stream)
+    };
+    let to_unit = |x: u64| (x >> 11) as f64 / (1u64 << 53) as f64;
+
+    let mut last_response = Time::ZERO;
+    for t in 1..=cfg.steps {
+        // Complete operations due this tick (process order: deterministic).
+        for p in 0..n {
+            let due = matches!(in_flight[p], Some(op) if op.finishes <= t);
+            if !due {
+                continue;
+            }
+            let op = in_flight[p].take().expect("checked above");
+            // Align the tree clock so the response lands at `t`.
+            let now = tree.now().0;
+            if now < t {
+                tree.advance_time(t - now - 1);
+            }
+            match op.kind {
+                OpKind::Append { parent } => {
+                    tree.append_at(
+                        ProcessId(p as u32),
+                        p,
+                        parent,
+                        Payload::Opaque(t),
+                        op.started,
+                    );
+                }
+                OpKind::Read => {
+                    tree.read_at(ProcessId(p as u32), op.started);
+                }
+            }
+            last_response = tree.now();
+            last_resp[p] = tree.now().0;
+        }
+        // Start new operations on idle processes.
+        for p in 0..n {
+            if in_flight[p].is_some() {
+                continue;
+            }
+            let coin = to_unit(draw(cfg.seed ^ p as u64));
+            let kind = if coin < cfg.append_prob {
+                Some(OpKind::Append {
+                    parent: tree.selected_tip(),
+                })
+            } else if coin < cfg.append_prob + cfg.read_prob {
+                Some(OpKind::Read)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                let latency = 1 + draw(cfg.seed ^ 0xA11) % cfg.max_latency;
+                let start = t.max(last_resp[p] + 1);
+                in_flight[p] = Some(InFlight {
+                    kind,
+                    started: Time(start),
+                    finishes: start + latency,
+                });
+            }
+        }
+    }
+
+    // Post-cut tail. Ever-Growing Tree quantifies over `E(a*, r*)` —
+    // histories where appends never stop — so the trace must keep growing
+    // past the convergence cut: (a) a few *non-overlapping* appends (atomic
+    // at the current tip: no new forks), then (b) two read rounds per
+    // process, which now strictly out-score every pre-cut read and all sit
+    // on one grown branch.
+    let cut = last_response;
+    let now = tree.now().0;
+    tree.advance_time(cfg.max_latency + cfg.steps.max(now) - now + 1);
+    let mut grown = 0u32;
+    let mut guard = 0u32;
+    while grown < 3 && guard < 1_000 {
+        let p = (guard as usize) % n;
+        if tree
+            .append(ProcessId(p as u32), Payload::Opaque(u64::from(guard)))
+            .succeeded()
+        {
+            grown += 1;
+        }
+        guard += 1;
+    }
+    for round in 0..2 {
+        for p in 0..n {
+            let _ = round;
+            let started = tree.now().tick();
+            tree.advance_time(1);
+            tree.read_at(ProcessId(p as u32), started);
+        }
+    }
+
+    // Fork statistics over the *tree* (membership), not the raw store.
+    let store = tree.store();
+    let mut fork_points = 0;
+    let mut max_fork_degree = 0;
+    for id in store.ids() {
+        if !tree.blocktree().tree().contains(id) {
+            continue;
+        }
+        let deg = store
+            .children(id)
+            .iter()
+            .filter(|&&c| tree.blocktree().tree().contains(c))
+            .count();
+        if deg >= 2 {
+            fork_points += 1;
+        }
+        max_fork_degree = max_fork_degree.max(deg);
+    }
+
+    let raw_history = tree.history().clone();
+    let history = purge_unsuccessful(&raw_history);
+    let successful_appends = history.append_count();
+    let failed_appends = raw_history.append_count() - successful_appends;
+    let final_chain = tree.read_quiet();
+    WorkloadOutput {
+        history,
+        raw_history,
+        store: store.clone(),
+        final_chain,
+        fork_points,
+        max_fork_degree,
+        successful_appends,
+        failed_appends,
+        suggested_cut: cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merit::Merits;
+    use btadt_core::criteria::{
+        check_eventual_consistency, check_strong_consistency, ConsistencyParams, LivenessMode,
+    };
+    use btadt_core::score::LengthScore;
+    use btadt_core::validity::AcceptAll;
+
+    fn cfg(seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            processes: 4,
+            steps: 300,
+            append_prob: 0.3,
+            read_prob: 0.2,
+            max_latency: 5,
+            seed,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let o = ThetaOracle::prodigal(Merits::uniform(4), 2.0, 7);
+            let out = run_workload(o, &cfg(seed));
+            (
+                out.successful_appends,
+                out.failed_appends,
+                out.fork_points,
+                out.final_chain.len(),
+            )
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds explore different runs");
+    }
+
+    #[test]
+    fn k1_workload_never_forks_and_is_strongly_consistent() {
+        for seed in [3u64, 4, 5] {
+            let o = ThetaOracle::frugal(1, Merits::uniform(4), 2.0, seed);
+            let out = run_workload(o, &cfg(seed));
+            assert_eq!(out.fork_points, 0, "k=1 admits no forks");
+            assert!(out.successful_appends > 0, "workload must make progress");
+            let params = ConsistencyParams {
+                store: &out.store,
+                predicate: &AcceptAll,
+                score: &LengthScore,
+                liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+            };
+            let sc = check_strong_consistency(&out.history, &params);
+            assert!(sc.holds(), "seed {seed}: {sc}");
+        }
+    }
+
+    #[test]
+    fn prodigal_workload_forks_but_converges() {
+        let mut saw_fork = false;
+        let mut saw_sp_violation = false;
+        for seed in [1u64, 2, 3, 4, 5] {
+            let o = ThetaOracle::prodigal(Merits::uniform(4), 2.0, seed);
+            let out = run_workload(o, &cfg(seed));
+            saw_fork |= out.fork_points > 0;
+            let params = ConsistencyParams {
+                store: &out.store,
+                predicate: &AcceptAll,
+                score: &LengthScore,
+                liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+            };
+            let ec = check_eventual_consistency(&out.history, &params);
+            assert!(ec.holds(), "seed {seed}: shared tree must converge\n{ec}");
+            let sc = check_strong_consistency(&out.history, &params);
+            saw_sp_violation |= !sc.holds();
+        }
+        assert!(saw_fork, "Θ_P under overlap must fork somewhere");
+        assert!(
+            saw_sp_violation,
+            "forked runs must violate Strong Prefix somewhere"
+        );
+    }
+
+    #[test]
+    fn k_bounds_fork_degree() {
+        for &k in &[1u32, 2, 3] {
+            for seed in [10u64, 11] {
+                let o = ThetaOracle::frugal(k, Merits::uniform(4), 2.0, seed);
+                let out = run_workload(o, &cfg(seed));
+                assert!(
+                    out.max_fork_degree <= k as usize,
+                    "k={k}: fork degree {} exceeds bound",
+                    out.max_fork_degree
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histories_are_well_formed() {
+        let o = ThetaOracle::prodigal(Merits::uniform(4), 2.0, 99);
+        let out = run_workload(o, &cfg(99));
+        assert!(
+            out.raw_history.validate().is_empty(),
+            "{:?}",
+            out.raw_history.validate()
+        );
+    }
+}

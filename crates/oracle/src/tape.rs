@@ -1,0 +1,206 @@
+//! The oracle's pseudorandom tapes (§3.2.1).
+//!
+//! "For each merit α_i, the state of the token oracle embeds an infinite
+//! tape where each cell of the tape contains either `tkn` or `⊥` … each tape
+//! contains a pseudorandom sequence of values in {tkn, ⊥} depending on α_i",
+//! indistinguishable from a Bernoulli sequence with
+//! `P[cell = tkn] = p_{α_i}` (footnote 3).
+//!
+//! A [`Tape`] realizes this literally: cell `j` is `tkn` iff
+//! `SplitMix64(seed, j) < p·2⁶⁴`. Random access is O(1), the tape never
+//! materializes, and two oracles built from the same seed are identical —
+//! determinism the whole workspace relies on.
+
+use btadt_core::ids::splitmix64_at;
+
+/// One cell of a tape: the mapping functions `m(α_i) ∈ {tkn, ⊥}*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cell {
+    /// `tkn` — the oracle grants a token.
+    Token,
+    /// `⊥` — no token this attempt.
+    Bottom,
+}
+
+impl Cell {
+    /// True iff the cell holds `tkn`.
+    #[inline]
+    pub fn is_token(self) -> bool {
+        matches!(self, Cell::Token)
+    }
+}
+
+/// An infinite Bernoulli(`p`) tape with `pop`/`head` (§3.2.1), evaluated
+/// lazily by SplitMix64.
+#[derive(Clone, Debug)]
+pub struct Tape {
+    seed: u64,
+    /// `p` scaled to u64: cell j is `tkn` iff `hash(seed, j) < threshold`.
+    threshold: u64,
+    /// Number of cells already popped.
+    position: u64,
+    /// The underlying probability, kept for reporting.
+    p: f64,
+}
+
+impl Tape {
+    /// Creates the tape for one merit value: `p` is the per-cell token
+    /// probability `p_{α_i}` (clamped to [0, 1]).
+    pub fn new(seed: u64, p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        let threshold = if p >= 1.0 {
+            u64::MAX
+        } else {
+            (p * (u64::MAX as f64)) as u64
+        };
+        Tape {
+            seed,
+            threshold,
+            position: 0,
+            p,
+        }
+    }
+
+    /// The cell at absolute index `j` (independent of the read position).
+    #[inline]
+    pub fn cell_at(&self, j: u64) -> Cell {
+        if splitmix64_at(self.seed, j) < self.threshold {
+            Cell::Token
+        } else {
+            Cell::Bottom
+        }
+    }
+
+    /// `head(tape)`: the current first cell, without consuming it.
+    #[inline]
+    pub fn head(&self) -> Cell {
+        self.cell_at(self.position)
+    }
+
+    /// `pop(tape)`: consumes and returns the current first cell.
+    #[inline]
+    pub fn pop(&mut self) -> Cell {
+        let c = self.head();
+        self.position += 1;
+        c
+    }
+
+    /// Number of cells consumed so far.
+    #[inline]
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// The per-cell token probability.
+    #[inline]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Index of the next `tkn` cell at or after the current position
+    /// (useful for simulators that jump straight to the next success).
+    /// Returns `None` if no token within `limit` cells.
+    pub fn next_token_within(&self, limit: u64) -> Option<u64> {
+        (self.position..self.position + limit).find(|&j| self.cell_at(j).is_token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_advances_head_does_not() {
+        let mut t = Tape::new(42, 0.5);
+        let h0 = t.head();
+        assert_eq!(t.head(), h0, "head is idempotent");
+        let p0 = t.pop();
+        assert_eq!(p0, h0);
+        assert_eq!(t.position(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_clones_and_reconstruction() {
+        let mut a = Tape::new(7, 0.3);
+        let mut b = Tape::new(7, 0.3);
+        for _ in 0..1000 {
+            assert_eq!(a.pop(), b.pop());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Tape::new(1, 0.5);
+        let b = Tape::new(2, 0.5);
+        let same = (0..256).filter(|&j| a.cell_at(j) == b.cell_at(j)).count();
+        assert!(same < 256, "independent tapes must not coincide");
+    }
+
+    #[test]
+    fn probability_zero_never_tokens() {
+        let mut t = Tape::new(3, 0.0);
+        assert!((0..1000).all(|_| !t.pop().is_token()));
+    }
+
+    #[test]
+    fn probability_one_always_tokens() {
+        let mut t = Tape::new(3, 1.0);
+        assert!((0..1000).all(|_| t.pop().is_token()));
+    }
+
+    #[test]
+    fn clamps_out_of_range_probability() {
+        assert_eq!(Tape::new(0, -0.5).probability(), 0.0);
+        assert_eq!(Tape::new(0, 1.5).probability(), 1.0);
+    }
+
+    #[test]
+    fn empirical_frequency_matches_p() {
+        for &p in &[0.1f64, 0.25, 0.5, 0.9] {
+            let t = Tape::new(0xFEED, p);
+            let n = 20_000u64;
+            let hits = (0..n).filter(|&j| t.cell_at(j).is_token()).count() as f64;
+            let freq = hits / n as f64;
+            assert!(
+                (freq - p).abs() < 0.02,
+                "p={p}: measured {freq}, expected within ±0.02"
+            );
+        }
+    }
+
+    #[test]
+    fn no_long_range_bias() {
+        // The second half of a window should hit at the same rate as the
+        // first half (stationarity of the Bernoulli stream).
+        let t = Tape::new(0xBEE, 0.3);
+        let n = 20_000u64;
+        let first = (0..n).filter(|&j| t.cell_at(j).is_token()).count() as f64;
+        let second = (n..2 * n).filter(|&j| t.cell_at(j).is_token()).count() as f64;
+        assert!(((first - second) / n as f64).abs() < 0.02);
+    }
+
+    #[test]
+    fn next_token_within_finds_first() {
+        let mut t = Tape::new(99, 0.2);
+        match t.next_token_within(10_000) {
+            Some(j) => {
+                assert!(t.cell_at(j).is_token());
+                for i in t.position()..j {
+                    assert!(!t.cell_at(i).is_token());
+                }
+            }
+            None => panic!("p=0.2 must hit within 10k cells"),
+        }
+        // After popping past the token, the next search starts fresh.
+        for _ in 0..=t.next_token_within(10_000).unwrap() {
+            t.pop();
+        }
+        assert!(t.next_token_within(10_000).is_some());
+    }
+
+    #[test]
+    fn next_token_within_respects_limit() {
+        let t = Tape::new(3, 0.0);
+        assert_eq!(t.next_token_within(1000), None);
+    }
+}

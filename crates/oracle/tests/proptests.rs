@@ -1,0 +1,174 @@
+//! Property-based tests for the token oracles: tape statistics, k-fork
+//! coherence under arbitrary schedules (Thm. 3.2), grant/consume
+//! accounting, purge idempotence, and hierarchy monotonicity in `k`.
+
+use btadt_core::ids::BlockId;
+use btadt_oracle::{
+    purge_unsuccessful, run_workload, Merits, Tape, ThetaOracle, TokenGrant, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ── Tapes ───────────────────────────────────────────────────────────
+
+    #[test]
+    fn tape_pop_equals_random_access(seed in any::<u64>(), p in 0.0f64..1.0) {
+        let mut tape = Tape::new(seed, p);
+        let reference = Tape::new(seed, p);
+        for j in 0..200u64 {
+            prop_assert_eq!(tape.pop(), reference.cell_at(j));
+        }
+        prop_assert_eq!(tape.position(), 200);
+    }
+
+    #[test]
+    fn tape_frequency_tracks_probability(seed in any::<u64>(), p in 0.05f64..0.95) {
+        let tape = Tape::new(seed, p);
+        let n = 8_000u64;
+        let hits = (0..n).filter(|&j| tape.cell_at(j).is_token()).count() as f64;
+        let freq = hits / n as f64;
+        prop_assert!((freq - p).abs() < 0.05, "p={p} freq={freq}");
+    }
+
+    // ── Thm. 3.2: k-fork coherence under arbitrary schedules ────────────
+
+    #[test]
+    fn fork_coherence_is_invariant(
+        seed in any::<u64>(),
+        k in 1u32..5,
+        script in prop::collection::vec((0usize..3, 0u32..4, any::<bool>()), 0..200),
+    ) {
+        let mut oracle = ThetaOracle::frugal(k, Merits::uniform(3), 3.0, seed);
+        let mut pending: Vec<TokenGrant> = Vec::new();
+        let mut next_block = 1u32;
+        for (who, parent, consume) in script {
+            if consume {
+                if let Some(g) = pending.pop() {
+                    oracle.consume_token(&g, BlockId(next_block));
+                    next_block += 1;
+                }
+            } else if let Some(g) = oracle.get_token(who, BlockId(parent)) {
+                pending.push(g);
+            }
+            prop_assert!(oracle.fork_coherent());
+            // Every K set is bounded by k.
+            for (_, deg) in oracle.fork_degrees() {
+                prop_assert!(deg <= k as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn consume_accounting(
+        seed in any::<u64>(),
+        attempts in 1u64..200,
+    ) {
+        let mut oracle = ThetaOracle::prodigal(Merits::uniform(2), 1.0, seed);
+        let mut consumed = 0u64;
+        for a in 0..attempts {
+            if let Some(g) = oracle.get_token((a % 2) as usize, BlockId::GENESIS) {
+                oracle.consume_token(&g, BlockId(a as u32 + 1));
+                consumed += 1;
+            }
+        }
+        prop_assert_eq!(oracle.tokens_granted(), consumed);
+        prop_assert_eq!(oracle.tokens_consumed() as u64, consumed);
+        prop_assert_eq!(oracle.consumed_for(BlockId::GENESIS).len() as u64, consumed);
+    }
+
+    #[test]
+    fn double_consume_is_always_inert(seed in any::<u64>()) {
+        let mut oracle = ThetaOracle::prodigal(Merits::uniform(1), 1.0, seed);
+        let g = oracle.get_token(0, BlockId::GENESIS).unwrap();
+        let first = oracle.consume_token(&g, BlockId(1));
+        for replay_block in [1u32, 2, 3] {
+            let again = oracle.consume_token(&g, BlockId(replay_block));
+            prop_assert_eq!(&again, &first, "spent tokens are inert");
+        }
+    }
+
+    // ── Workload runner & purging ───────────────────────────────────────
+
+    #[test]
+    fn purge_is_idempotent_and_complete(seed in 0u64..500) {
+        let oracle = ThetaOracle::frugal(1, Merits::uniform(3), 2.0, seed);
+        let out = run_workload(
+            oracle,
+            &WorkloadConfig {
+                processes: 3,
+                steps: 80,
+                seed,
+                ..Default::default()
+            },
+        );
+        let once = purge_unsuccessful(&out.raw_history);
+        let twice = purge_unsuccessful(&once);
+        prop_assert_eq!(once.len(), twice.len());
+        // No failed appends survive.
+        for op in once.ops() {
+            prop_assert!(!matches!(
+                op.response,
+                Some(btadt_core::history::Response::Appended(false))
+            ));
+        }
+        // Reads are preserved exactly.
+        prop_assert_eq!(once.reads().count(), out.raw_history.reads().count());
+    }
+
+    #[test]
+    fn fork_degrees_monotone_in_k(seed in 0u64..200) {
+        let run = |k: u32| {
+            let oracle = ThetaOracle::frugal(k, Merits::uniform(4), 2.0, seed);
+            run_workload(
+                oracle,
+                &WorkloadConfig {
+                    seed,
+                    steps: 150,
+                    ..Default::default()
+                },
+            )
+            .max_fork_degree
+        };
+        let d1 = run(1);
+        prop_assert!(d1 <= 1);
+        prop_assert!(run(2) <= 2);
+        prop_assert!(run(3) <= 3);
+    }
+
+    #[test]
+    fn workload_histories_always_well_formed(
+        seed in any::<u64>(),
+        procs in 1u32..6,
+        latency in 1u64..10,
+    ) {
+        let oracle = ThetaOracle::prodigal(Merits::uniform(procs as usize), 2.0, seed);
+        let out = run_workload(
+            oracle,
+            &WorkloadConfig {
+                processes: procs,
+                steps: 60,
+                max_latency: latency,
+                seed,
+                ..Default::default()
+            },
+        );
+        prop_assert!(out.raw_history.validate().is_empty());
+        // Final chain is never empty and starts at genesis.
+        prop_assert_eq!(out.final_chain.ids()[0], BlockId::GENESIS);
+    }
+
+    // ── Merit algebra ───────────────────────────────────────────────────
+
+    #[test]
+    fn alphas_always_normalize(weights in prop::collection::vec(0.01f64..100.0, 1..10)) {
+        let merits = Merits::from_weights(weights);
+        let sum: f64 = merits.alphas().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for i in 0..merits.len() {
+            prop_assert!(merits.alpha(i) > 0.0);
+            prop_assert!(merits.token_probability(i, 0.5) <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Bitcoin (§5.1): the pioneer permissionless blockchain, mapped to
+//! **R(BT-ADT_EC, Θ_P)**.
+//!
+//! The model, following the paper's mapping:
+//!
+//! * merit `α_p` = normalized hashing power; `getToken` is the
+//!   proof-of-work lottery (one tape cell per tick of hashing);
+//! * `consumeToken` "returns true for all valid blocks" — the **prodigal**
+//!   oracle: no bound on consumed tokens, so concurrent miners fork;
+//! * valid blocks are **flooded** (gossip echo — the LRC implementation
+//!   over reliable FIFO channels);
+//! * `f` selects the chain that required the most work (longest /
+//!   heaviest chain with deterministic tie-break);
+//! * blocks carry transaction batches drawn from a deterministic mempool.
+//!
+//! Under a synchronous environment the run satisfies BT *Eventual*
+//! consistency but (whenever a fork surfaces in reads) not Strong
+//! consistency — Garay et al. [17] for the real system, experiment T1
+//! here.
+
+use crate::common::{standard_run, RunSchedule, SystemRun, Throttle, TxStream};
+use btadt_core::block::Payload;
+use btadt_core::ids::{BlockId, ProcessId};
+use btadt_core::selection::{HeaviestWork, LongestChain};
+use btadt_sim::{gossip_applied, Ctx, NetworkModel, Protocol, World};
+use btadt_oracle::{Merits, ThetaOracle};
+
+/// A Nakamoto-style miner: tape-lottery mining at the local tip, flooding
+/// dissemination, longest/heaviest-chain selection (selection lives in the
+/// world). Reused by the Ethereum model.
+#[derive(Clone, Debug)]
+pub struct NakamotoMiner {
+    txs: TxStream,
+    txs_per_block: usize,
+    producing: bool,
+}
+
+impl NakamotoMiner {
+    pub fn new(seed: u64, txs_per_block: usize) -> Self {
+        NakamotoMiner {
+            txs: TxStream::new(seed),
+            txs_per_block,
+            producing: true,
+        }
+    }
+}
+
+impl Protocol for NakamotoMiner {
+    type Custom = ();
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if !self.producing {
+            return;
+        }
+        let payload = Payload::Transactions(self.txs.take(self.txs_per_block));
+        if let Some(block) = ctx.mine(payload, 1) {
+            let parent = ctx.store.get(block).parent.expect("mined block");
+            ctx.broadcast_block(parent, block);
+        }
+    }
+
+    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+        // Valid blocks are flooded in the system (gossip echo ⇒ LRC).
+        gossip_applied(ctx, parent, block);
+    }
+}
+
+impl Throttle for NakamotoMiner {
+    fn stop_producing(&mut self) {
+        self.producing = false;
+    }
+}
+
+/// Configuration of a Bitcoin run.
+#[derive(Clone, Debug)]
+pub struct BitcoinConfig {
+    /// Number of miners.
+    pub n: usize,
+    /// Hashing-power weights (uniform if `None`).
+    pub hash_power: Option<Vec<f64>>,
+    /// Expected token wins per tick across the whole network (the inverse
+    /// "difficulty": higher ⇒ more simultaneous wins ⇒ more forks).
+    pub rate: f64,
+    /// Synchronous delivery bound δ (ticks).
+    pub delta: u64,
+    pub schedule: RunSchedule,
+    pub seed: u64,
+}
+
+impl Default for BitcoinConfig {
+    fn default() -> Self {
+        BitcoinConfig {
+            n: 8,
+            hash_power: None,
+            rate: 0.7,
+            delta: 3,
+            schedule: RunSchedule::default(),
+            seed: 0xB17C_0117,
+        }
+    }
+}
+
+/// Runs the Bitcoin model and returns the recorded system run.
+pub fn run(cfg: &BitcoinConfig) -> SystemRun {
+    let merits = match &cfg.hash_power {
+        Some(w) => Merits::from_weights(w.clone()),
+        None => Merits::uniform(cfg.n),
+    };
+    let oracle = ThetaOracle::prodigal(merits, cfg.rate, cfg.seed);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let miners = (0..cfg.n)
+        .map(|i| NakamotoMiner::new(cfg.seed ^ (i as u64) << 8, 3))
+        .collect();
+    let world: World<NakamotoMiner> = World::new(
+        miners,
+        oracle,
+        net,
+        Box::new(LongestChain),
+        cfg.seed,
+    );
+    standard_run(world, &cfg.schedule)
+}
+
+/// Bitcoin with the heaviest-work rule (difficulty-weighted variant, used
+/// by ablation A2 alongside GHOST).
+pub fn run_heaviest(cfg: &BitcoinConfig) -> SystemRun {
+    let merits = match &cfg.hash_power {
+        Some(w) => Merits::from_weights(w.clone()),
+        None => Merits::uniform(cfg.n),
+    };
+    let oracle = ThetaOracle::prodigal(merits, cfg.rate, cfg.seed);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let miners = (0..cfg.n)
+        .map(|i| NakamotoMiner::new(cfg.seed ^ (i as u64) << 8, 3))
+        .collect();
+    let world: World<NakamotoMiner> = World::new(
+        miners,
+        oracle,
+        net,
+        Box::new(HeaviestWork),
+        cfg.seed,
+    );
+    standard_run(world, &cfg.schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::criteria::ConsistencyClass;
+
+    #[test]
+    fn bitcoin_is_eventually_consistent_with_forks() {
+        let mut any_forked = false;
+        for seed in [1u64, 2, 3] {
+            let cfg = BitcoinConfig {
+                seed,
+                ..Default::default()
+            };
+            let run = run(&cfg);
+            assert!(run.blocks_minted > 5, "seed {seed}: chain must grow");
+            assert!(run.converged(), "seed {seed}: synchronous net converges");
+            let class = run.consistency_class();
+            assert!(
+                class >= ConsistencyClass::Eventual,
+                "seed {seed}: Bitcoin must be at least EC, got {class}"
+            );
+            any_forked |= run.max_fork_degree > 1;
+        }
+        assert!(any_forked, "prodigal PoW at rate 0.7 must fork somewhere");
+    }
+
+    #[test]
+    fn forks_surface_as_strong_prefix_violations() {
+        // At least one seed must show EC-but-not-SC — Bitcoin's class.
+        let eventual_only = [1u64, 2, 3, 4, 5].iter().any(|&seed| {
+            let run = run(&BitcoinConfig {
+                seed,
+                ..Default::default()
+            });
+            run.consistency_class() == ConsistencyClass::Eventual
+        });
+        assert!(eventual_only, "some run must be EC∖SC");
+    }
+
+    #[test]
+    fn hash_power_skews_block_production() {
+        // One miner with 8× the power of the other seven together.
+        let mut weights = vec![1.0; 8];
+        weights[0] = 56.0;
+        let run = run(&BitcoinConfig {
+            hash_power: Some(weights),
+            seed: 9,
+            ..Default::default()
+        });
+        let store = &run.store;
+        let by_p0 = store
+            .ids()
+            .skip(1)
+            .filter(|&b| store.get(b).producer == ProcessId(0))
+            .count();
+        let total = store.len() - 1;
+        assert!(
+            by_p0 * 2 > total,
+            "dominant miner must produce the majority: {by_p0}/{total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(&BitcoinConfig::default());
+        let b = run(&BitcoinConfig::default());
+        assert_eq!(a.blocks_minted, b.blocks_minted);
+        assert_eq!(a.max_fork_degree, b.max_fork_degree);
+        assert_eq!(a.trace.history.len(), b.trace.history.len());
+    }
+}

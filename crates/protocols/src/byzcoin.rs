@@ -1,0 +1,227 @@
+//! ByzCoin (§5.3): PoW keyblocks + PBFT-style collective commit, mapped to
+//! **R(BT-ADT_SC, Θ_F,k=1)**.
+//!
+//! The paper's mapping: `getToken` is the keyblock proof-of-work (several
+//! concurrent winners possible); `consumeToken` "guarantees that during
+//! the synchronous periods … a single key block will be appended … by
+//! relying on a deterministic function which selects the key block whose
+//! digest has the smallest least significant bits among the concurrent
+//! key blocks".
+//!
+//! The model: miners run the tape lottery; a winner proposes a *candidate*
+//! (broadcast as a custom message, not yet a tree block). At the end of
+//! each commit round (length = the synchronous bound), every process
+//! deterministically picks the candidate with the smallest digest for the
+//! round's parent; the pick is committed through the frugal k = 1 oracle —
+//! exactly one commit per parent can succeed, so the tree is forkless.
+//! Committee micro-blocks (transaction batches) ride inside the committed
+//! keyblocks as payloads.
+
+use crate::common::{standard_run, RunSchedule, SystemRun, Throttle, TxStream};
+use btadt_core::block::Payload;
+use btadt_core::ids::{BlockId, ProcessId};
+use btadt_core::selection::LongestChain;
+use btadt_oracle::{Merits, ThetaOracle};
+use btadt_sim::{gossip_applied, Ctx, NetworkModel, Protocol, World};
+
+/// Candidate keyblock announcement: `(parent, digest, proposer)`.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    pub parent: BlockId,
+    pub digest: u64,
+    pub proposer: ProcessId,
+}
+
+/// One ByzCoin process.
+#[derive(Clone, Debug)]
+pub struct ByzCoinNode {
+    txs: TxStream,
+    producing: bool,
+    /// Round length in ticks (≥ the synchronous bound δ so all candidates
+    /// are visible before the pick).
+    round_len: u64,
+    /// Candidates observed for the current round, keyed by parent.
+    candidates: Vec<Candidate>,
+    /// PoW wins of this node awaiting the round boundary.
+    my_wins: Vec<Candidate>,
+    ticks: u64,
+}
+
+impl ByzCoinNode {
+    pub fn new(seed: u64, round_len: u64) -> Self {
+        ByzCoinNode {
+            txs: TxStream::new(seed),
+            producing: true,
+            round_len,
+            candidates: Vec::new(),
+            my_wins: Vec::new(),
+            ticks: 0,
+        }
+    }
+}
+
+impl Protocol for ByzCoinNode {
+    type Custom = Candidate;
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Candidate>) {
+        self.ticks += 1;
+
+        // PoW lottery on the current local tip: a win announces a
+        // candidate (costs a tape cell; the token itself is only taken at
+        // commit time, so we burn the cell through the oracle's tape by a
+        // getToken that we deliberately do not consume — modeled here as a
+        // plain probability draw via the candidate digest race).
+        if self.producing {
+            let parent = ctx.tip();
+            if let Some(grant) = ctx.oracle.get_token(ctx.me.index(), parent) {
+                // A keyblock PoW win: announce the candidate. The grant is
+                // deliberately dropped — ByzCoin's commit is the PBFT
+                // round, not the PoW itself.
+                let _ = grant;
+                let digest = ctx.random();
+                let cand = Candidate {
+                    parent,
+                    digest,
+                    proposer: ctx.me,
+                };
+                self.my_wins.push(cand.clone());
+                self.candidates.push(cand.clone());
+                ctx.broadcast_custom(cand);
+            }
+        }
+
+        // Round boundary: deterministic smallest-digest pick, committed
+        // through the k = 1 oracle by the winning proposer itself.
+        if self.ticks % self.round_len == 0 {
+            let parent = ctx.tip();
+            let pick = self
+                .candidates
+                .iter()
+                .filter(|c| c.parent == parent)
+                .min_by_key(|c| (c.digest, c.proposer));
+            if let Some(pick) = pick {
+                if pick.proposer == ctx.me {
+                    // The elected proposer performs the commit: the k = 1
+                    // consume is the PBFT decision. The election already
+                    // happened, so the commit loops the token lottery (a
+                    // bounded τ_a* retry) — the oracle still mediates so
+                    // k-fork coherence is enforced by Θ_F,k=1 even if two
+                    // processes ever disagree on the pick.
+                    let payload = Payload::Transactions(self.txs.take(4));
+                    for _ in 0..64 {
+                        if let Some(block) = ctx.mine_at(parent, payload.clone(), 1) {
+                            ctx.broadcast_block(parent, block);
+                            break;
+                        }
+                    }
+                }
+            }
+            self.candidates.clear();
+            self.my_wins.clear();
+        }
+    }
+
+    fn on_custom(&mut self, _ctx: &mut Ctx<'_, Candidate>, _from: ProcessId, msg: Candidate) {
+        self.candidates.push(msg);
+    }
+
+    fn on_block(&mut self, ctx: &mut Ctx<'_, Candidate>, _from: ProcessId, parent: BlockId, block: BlockId) {
+        gossip_applied(ctx, parent, block);
+    }
+}
+
+impl Throttle for ByzCoinNode {
+    fn stop_producing(&mut self) {
+        self.producing = false;
+    }
+}
+
+/// Configuration of a ByzCoin run.
+#[derive(Clone, Debug)]
+pub struct ByzCoinConfig {
+    pub n: usize,
+    /// PoW win rate across the network per tick.
+    pub rate: f64,
+    pub delta: u64,
+    /// Commit round length (must be ≥ delta for the synchronous pick).
+    pub round_len: u64,
+    pub schedule: RunSchedule,
+    pub seed: u64,
+}
+
+impl Default for ByzCoinConfig {
+    fn default() -> Self {
+        ByzCoinConfig {
+            n: 8,
+            rate: 1.2,
+            delta: 3,
+            round_len: 5,
+            schedule: RunSchedule::default(),
+            seed: 0xB42C_0117,
+        }
+    }
+}
+
+/// Runs the ByzCoin model.
+pub fn run(cfg: &ByzCoinConfig) -> SystemRun {
+    assert!(cfg.round_len >= cfg.delta, "round must cover δ");
+    let merits = Merits::uniform(cfg.n);
+    // Frugal k = 1: the PBFT commit admits one keyblock per parent, ever.
+    let oracle = ThetaOracle::frugal(1, merits, cfg.rate, cfg.seed);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let nodes = (0..cfg.n)
+        .map(|i| ByzCoinNode::new(cfg.seed ^ ((i as u64) << 8), cfg.round_len))
+        .collect();
+    let world: World<ByzCoinNode> =
+        World::new(nodes, oracle, net, Box::new(LongestChain), cfg.seed);
+    standard_run(world, &cfg.schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::criteria::ConsistencyClass;
+
+    #[test]
+    fn byzcoin_is_strongly_consistent() {
+        for seed in [1u64, 2, 3] {
+            let run = run(&ByzCoinConfig {
+                seed,
+                ..Default::default()
+            });
+            assert!(run.blocks_minted > 3, "seed {seed}: progress");
+            assert_eq!(run.max_fork_degree, 1, "seed {seed}: k=1 ⇒ forkless");
+            assert_eq!(
+                run.consistency_class(),
+                ConsistencyClass::Strong,
+                "seed {seed}"
+            );
+            assert!(run.converged());
+        }
+    }
+
+    #[test]
+    fn commit_rate_below_pow_rate() {
+        // Many PoW wins race per round but at most one commit per round
+        // lands: chain length ≤ rounds.
+        let cfg = ByzCoinConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let run = run(&cfg);
+        let total_ticks = cfg.schedule.main_ticks + cfg.schedule.growth_ticks + 20;
+        let rounds = total_ticks / cfg.round_len;
+        assert!(
+            (run.blocks_minted as u64) <= rounds + 1,
+            "{} blocks in {rounds} rounds",
+            run.blocks_minted
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&ByzCoinConfig::default());
+        let b = run(&ByzCoinConfig::default());
+        assert_eq!(a.blocks_minted, b.blocks_minted);
+    }
+}

@@ -1,0 +1,191 @@
+//! Shared infrastructure for the Table-1 protocol models: run schedules,
+//! the standard experiment driver, and per-run statistics.
+//!
+//! Every model follows the same observational protocol so classifications
+//! are comparable:
+//!
+//! 1. **main phase** — the protocol runs, periodic recorded reads;
+//! 2. **settle** — in-flight messages land (convergence on synchronous
+//!    nets) — the *convergence cut* is placed here;
+//! 3. **growth phase** — the protocol keeps producing blocks past the cut
+//!    (Ever-Growing-Tree needs `E(a*, r*)`-shaped traces);
+//! 4. **throttle + drain** — block production stops, the last messages
+//!    land (LRC/Update-Agreement are evaluated on settled traces);
+//! 5. **final reads** — two rounds of recorded reads at every correct
+//!    process (post-cut convergence witnesses).
+
+use btadt_core::chain::Blockchain;
+use btadt_core::criteria::{
+    classify, ConsistencyClass, ConsistencyParams, LivenessMode,
+};
+use btadt_core::ids::{ProcessId, Time};
+use btadt_core::score::LengthScore;
+use btadt_core::store::BlockStore;
+use btadt_core::validity::AcceptAll;
+use btadt_sim::{Protocol, Trace, World};
+
+/// A protocol that can be told to stop producing blocks (for the drain
+/// phase of the standard schedule).
+pub trait Throttle: Protocol {
+    /// Stop producing new blocks; keep relaying/committing.
+    fn stop_producing(&mut self);
+}
+
+/// Phase lengths of the standard schedule, in network ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSchedule {
+    pub main_ticks: u64,
+    pub settle_ticks: u64,
+    /// Reads pause for this long right after the cut, so every replica has
+    /// provably grown past the pre-cut scores before post-cut reads start
+    /// (round-based protocols commit once per round; the grace must cover
+    /// a full round plus δ).
+    pub post_cut_grace: u64,
+    pub growth_ticks: u64,
+    pub drain_ticks: u64,
+    pub read_every: u64,
+}
+
+impl Default for RunSchedule {
+    fn default() -> Self {
+        RunSchedule {
+            main_ticks: 80,
+            settle_ticks: 8,
+            post_cut_grace: 14,
+            growth_ticks: 40,
+            drain_ticks: 10,
+            read_every: 4,
+        }
+    }
+}
+
+/// Everything a finished system run exposes to classification and
+/// reporting.
+pub struct SystemRun {
+    pub store: BlockStore,
+    pub trace: Trace,
+    pub correct: Vec<bool>,
+    /// The convergence cut (microticks).
+    pub cut: Time,
+    /// Maximum branching degree over blocks applied in the run (1 = no
+    /// forks anywhere).
+    pub max_fork_degree: usize,
+    /// Final chain at each correct process.
+    pub final_chains: Vec<Blockchain>,
+    /// Total blocks in the arena (excluding genesis).
+    pub blocks_minted: usize,
+}
+
+impl SystemRun {
+    /// SC / EC / Neither under the run's own cut (length score, accept-all
+    /// predicate — validity is oracle-side in the refined world).
+    pub fn consistency_class(&self) -> ConsistencyClass {
+        let params = ConsistencyParams {
+            store: &self.store,
+            predicate: &AcceptAll,
+            score: &LengthScore,
+            liveness: LivenessMode::ConvergenceCut(self.cut),
+        };
+        classify(&self.trace.history, &params)
+    }
+
+    /// Do all correct processes end on the same chain?
+    pub fn converged(&self) -> bool {
+        self.final_chains.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Runs the standard schedule against a prepared world.
+pub fn standard_run<P: Throttle>(mut world: World<P>, schedule: &RunSchedule) -> SystemRun {
+    world.read_every = Some(schedule.read_every);
+    world.run_ticks(schedule.main_ticks);
+    world.run_ticks(schedule.settle_ticks);
+    let cut = world.now();
+    // Grace: growth continues, observable reads pause until the first
+    // post-cut block has certainly committed and propagated.
+    world.read_every = None;
+    world.run_ticks(schedule.post_cut_grace);
+    world.read_every = Some(schedule.read_every);
+    world.run_ticks(schedule.growth_ticks);
+    for p in 0..world.n() {
+        world.protocol_mut(ProcessId(p as u32)).stop_producing();
+    }
+    world.run_ticks(schedule.drain_ticks);
+    world.read_all();
+    world.run_ticks(1);
+    world.read_all();
+
+    let correct = world.correct_mask();
+    let max_fork_degree = (0..world.store.len() as u32)
+        .map(|i| world.store.children(btadt_core::ids::BlockId(i)).len())
+        .max()
+        .unwrap_or(0);
+    let final_chains: Vec<Blockchain> = (0..world.n())
+        .filter(|&i| correct[i])
+        .map(|i| world.replicas[i].read(&world.store, world.selection()))
+        .collect();
+    let blocks_minted = world.store.len() - 1;
+    SystemRun {
+        store: world.store.clone(),
+        trace: world.trace.clone(),
+        correct,
+        cut,
+        max_fork_degree,
+        final_chains,
+        blocks_minted,
+    }
+}
+
+/// Deterministic toy-transaction stream shared by the workload-bearing
+/// models (Bitcoin payloads, Hyperledger endorsement flow).
+#[derive(Clone, Debug)]
+pub struct TxStream {
+    seed: u64,
+    next_id: u64,
+}
+
+impl TxStream {
+    pub fn new(seed: u64) -> Self {
+        TxStream { seed, next_id: 1 }
+    }
+
+    /// The next `count` transactions.
+    pub fn take(&mut self, count: usize) -> Vec<btadt_core::block::Tx> {
+        use btadt_core::ids::splitmix64_at;
+        (0..count)
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                let r = splitmix64_at(self.seed, id);
+                btadt_core::block::Tx::new(id, (r % 64) as u32, ((r >> 8) % 64) as u32, 1 + r % 100)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_stream_is_deterministic_and_unique() {
+        let mut a = TxStream::new(7);
+        let mut b = TxStream::new(7);
+        let xa = a.take(10);
+        let xb = b.take(10);
+        assert_eq!(xa, xb);
+        let mut ids: Vec<u64> = xa.iter().map(|t| t.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "tx ids unique");
+        // Different seeds give different flows.
+        let mut c = TxStream::new(8);
+        assert_ne!(xa, c.take(10));
+    }
+
+    #[test]
+    fn default_schedule_is_sane() {
+        let s = RunSchedule::default();
+        assert!(s.main_ticks > 0 && s.read_every > 0);
+        assert!(s.settle_ticks >= 2, "cut needs settling room");
+    }
+}

@@ -1,0 +1,303 @@
+//! FruitChain (Pass & Shi [27], cited in §5.1): "a protocol similar to
+//! Bitcoin except for the rewarding mechanism" — the same
+//! **R(BT-ADT_EC, Θ_P)** class, with rewards attached to high-rate,
+//! low-difficulty *fruits* instead of blocks, which slashes reward
+//! variance and makes small miners' income track their merit.
+//!
+//! The model: every miner runs **two** lotteries per tick —
+//!
+//! * the *block* lottery (low rate): identical to the Bitcoin model,
+//!   longest-chain, flooding;
+//! * the *fruit* lottery (high rate, a second tape seeded independently):
+//!   a win broadcasts a fruit; fruits ride in the next block any miner
+//!   commits and pay their *producer* one reward unit.
+//!
+//! The fairness experiment (A5): compare the reward-share deviation from
+//! merit shares between per-block rewards (Bitcoin) and per-fruit rewards
+//! (FruitChain) on matched runs.
+
+use crate::common::{standard_run, RunSchedule, SystemRun, Throttle};
+use btadt_core::block::Payload;
+use btadt_core::ids::{mix2, BlockId, ProcessId};
+use btadt_core::selection::LongestChain;
+use btadt_oracle::fairness::{reward_fairness, FairnessReport};
+use btadt_oracle::{Merits, Tape, ThetaOracle};
+use btadt_sim::{gossip_applied, Ctx, NetworkModel, Protocol, World};
+
+/// Fruit-lottery attempts per tick per miner.
+pub const FRUIT_ATTEMPTS: u64 = 8;
+
+/// A fruit: `(producer, serial)` — a micro-PoW win carrying a reward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fruit {
+    pub producer: ProcessId,
+    pub serial: u64,
+}
+
+/// One FruitChain miner.
+#[derive(Clone, Debug)]
+pub struct FruitMiner {
+    producing: bool,
+    fruit_tape: Tape,
+    fruit_serial: u64,
+    /// Fruits observed but not yet included in a block this miner mined.
+    pending_fruits: Vec<Fruit>,
+    /// Fruits credited on the local chain view: rewards[i] = fruit count.
+    rewards: Vec<u64>,
+}
+
+impl FruitMiner {
+    pub fn new(seed: u64, fruit_p: f64, n: usize) -> Self {
+        FruitMiner {
+            producing: true,
+            fruit_tape: Tape::new(mix2(seed, 0xF2017), fruit_p),
+            fruit_serial: 0,
+            pending_fruits: Vec::new(),
+            rewards: vec![0; n],
+        }
+    }
+
+    /// Per-producer fruit rewards credited at this miner.
+    pub fn rewards(&self) -> &[u64] {
+        &self.rewards
+    }
+}
+
+impl Protocol for FruitMiner {
+    type Custom = Fruit;
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Fruit>) {
+        if !self.producing {
+            return;
+        }
+        // Fruit lottery (high rate, low value): several independent
+        // attempts per tick so per-attempt probabilities stay well below 1
+        // even for dominant miners (a clamped Bernoulli would destroy the
+        // merit-proportionality the fairness claim rests on).
+        for _ in 0..FRUIT_ATTEMPTS {
+            if self.fruit_tape.pop().is_token() {
+                self.fruit_serial += 1;
+                let fruit = Fruit {
+                    producer: ctx.me,
+                    serial: (u64::from(ctx.me.0) << 32) | self.fruit_serial,
+                };
+                // Broadcast only; the producer's own copy arrives through
+                // self-delivery, so every fruit enters each pending set
+                // exactly once (a local push would double-credit it).
+                ctx.broadcast_custom(fruit);
+            }
+        }
+        // Block lottery (the Bitcoin path). A mined block "includes" the
+        // pending fruits: their producers get credited.
+        if let Some(block) = ctx.mine(Payload::Opaque(self.fruit_serial), 1) {
+            for f in self.pending_fruits.drain(..) {
+                self.rewards[f.producer.index()] += 1;
+            }
+            let parent = ctx.store.get(block).parent.expect("mined");
+            ctx.broadcast_block(parent, block);
+        }
+    }
+
+    fn on_custom(&mut self, _ctx: &mut Ctx<'_, Fruit>, _from: ProcessId, fruit: Fruit) {
+        if !self.pending_fruits.contains(&fruit) {
+            self.pending_fruits.push(fruit);
+        }
+    }
+
+    fn on_block(&mut self, ctx: &mut Ctx<'_, Fruit>, _from: ProcessId, parent: BlockId, block: BlockId) {
+        let applied = gossip_applied(ctx, parent, block);
+        // A committed remote block also settles the pending fruits
+        // (every replica credits identically under full dissemination).
+        if !applied.is_empty() {
+            for f in self.pending_fruits.drain(..) {
+                self.rewards[f.producer.index()] += 1;
+            }
+        }
+    }
+}
+
+impl Throttle for FruitMiner {
+    fn stop_producing(&mut self) {
+        self.producing = false;
+    }
+}
+
+/// Configuration of a FruitChain run.
+#[derive(Clone, Debug)]
+pub struct FruitChainConfig {
+    pub n: usize,
+    pub hash_power: Option<Vec<f64>>,
+    /// Block-lottery rate (network-wide wins per tick).
+    pub block_rate: f64,
+    /// Per-miner fruit probability per tick (scaled by merit below).
+    pub fruit_rate: f64,
+    pub delta: u64,
+    pub schedule: RunSchedule,
+    pub seed: u64,
+}
+
+impl Default for FruitChainConfig {
+    fn default() -> Self {
+        FruitChainConfig {
+            n: 8,
+            hash_power: None,
+            block_rate: 0.7,
+            fruit_rate: 4.0,
+            delta: 3,
+            schedule: RunSchedule::default(),
+            seed: 0xF271_C4A1,
+        }
+    }
+}
+
+/// Outcome: the system run plus the per-producer fruit rewards (taken from
+/// process 0's credit view; under full dissemination all views agree).
+pub struct FruitChainRun {
+    pub run: SystemRun,
+    pub fruit_rewards: Vec<u64>,
+    pub block_rewards: Vec<u64>,
+}
+
+impl FruitChainRun {
+    /// Reward fairness under per-fruit rewards.
+    pub fn fruit_fairness(&self, merits: &Merits) -> FairnessReport {
+        reward_fairness(merits, &self.fruit_rewards)
+    }
+
+    /// Reward fairness under per-block rewards (the Bitcoin baseline on
+    /// the same run).
+    pub fn block_fairness(&self, merits: &Merits) -> FairnessReport {
+        reward_fairness(merits, &self.block_rewards)
+    }
+}
+
+/// Runs the FruitChain model.
+pub fn run(cfg: &FruitChainConfig) -> FruitChainRun {
+    let merits = match &cfg.hash_power {
+        Some(w) => Merits::from_weights(w.clone()),
+        None => Merits::uniform(cfg.n),
+    };
+    let oracle = ThetaOracle::prodigal(merits.clone(), cfg.block_rate, cfg.seed);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let miners: Vec<FruitMiner> = (0..cfg.n)
+        .map(|i| {
+            let p = merits.token_probability(i, cfg.fruit_rate / FRUIT_ATTEMPTS as f64);
+            FruitMiner::new(cfg.seed ^ ((i as u64) << 8), p, cfg.n)
+        })
+        .collect();
+    let mut world: World<FruitMiner> =
+        World::new(miners, oracle, net, Box::new(LongestChain), cfg.seed);
+    // standard_run consumes the world; capture rewards via the store
+    // afterwards (block rewards) and by re-walking the trace for fruits is
+    // impossible — so run the schedule inline instead.
+    world.read_every = Some(cfg.schedule.read_every);
+    world.run_ticks(cfg.schedule.main_ticks + cfg.schedule.settle_ticks);
+    world.run_ticks(cfg.schedule.post_cut_grace + cfg.schedule.growth_ticks);
+    for p in 0..world.n() {
+        world.protocol_mut(ProcessId(p as u32)).stop_producing();
+    }
+    world.run_ticks(cfg.schedule.drain_ticks);
+    world.read_all();
+
+    let fruit_rewards = world.protocol(ProcessId(0)).rewards().to_vec();
+    let mut block_rewards = vec![0u64; cfg.n];
+    for id in world.store.ids().skip(1) {
+        block_rewards[world.store.get(id).producer.index()] += 1;
+    }
+
+    // Package a SystemRun-compatible view through the standard driver by
+    // re-running the same seeds — cheap and keeps one code path for the
+    // consistency classification.
+    let run = standard_run(
+        {
+            let oracle = ThetaOracle::prodigal(merits, cfg.block_rate, cfg.seed);
+            let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+            let miners: Vec<FruitMiner> = (0..cfg.n)
+                .map(|i| {
+                    let m = match &cfg.hash_power {
+                        Some(w) => Merits::from_weights(w.clone()),
+                        None => Merits::uniform(cfg.n),
+                    };
+                    let p = m.token_probability(i, cfg.fruit_rate / FRUIT_ATTEMPTS as f64);
+                    FruitMiner::new(cfg.seed ^ ((i as u64) << 8), p, cfg.n)
+                })
+                .collect();
+            World::new(miners, oracle, net, Box::new(LongestChain), cfg.seed)
+        },
+        &cfg.schedule,
+    );
+
+    FruitChainRun {
+        run,
+        fruit_rewards,
+        block_rewards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::criteria::ConsistencyClass;
+
+    #[test]
+    fn fruitchain_is_eventually_consistent_like_bitcoin() {
+        let out = run(&FruitChainConfig::default());
+        assert!(out.run.blocks_minted > 5);
+        assert!(out.run.consistency_class() >= ConsistencyClass::Eventual);
+        assert!(out.run.converged());
+    }
+
+    #[test]
+    fn fruit_rewards_track_merit_better_than_block_rewards() {
+        // Skewed power: 4:1:1:1. Fruit rewards (high-rate lottery) must
+        // deviate from merit no more than block rewards (low-rate lottery)
+        // — the FruitChain fairness claim.
+        let mut devs = (0.0f64, 0.0f64);
+        let mut seeds_checked = 0;
+        for seed in [1u64, 2, 3, 4] {
+            let cfg = FruitChainConfig {
+                n: 4,
+                hash_power: Some(vec![4.0, 1.0, 1.0, 1.0]),
+                seed,
+                ..Default::default()
+            };
+            let merits = Merits::from_weights(vec![4.0, 1.0, 1.0, 1.0]);
+            let out = run(&cfg);
+            let ff = out.fruit_fairness(&merits);
+            let bf = out.block_fairness(&merits);
+            if ff.total > 20 && bf.total > 10 {
+                devs.0 += ff.max_deviation;
+                devs.1 += bf.max_deviation;
+                seeds_checked += 1;
+            }
+        }
+        assert!(seeds_checked >= 3, "enough material in the runs");
+        assert!(
+            devs.0 <= devs.1 + 0.02,
+            "mean fruit deviation {:.3} must not exceed block deviation {:.3}",
+            devs.0 / seeds_checked as f64,
+            devs.1 / seeds_checked as f64
+        );
+    }
+
+    #[test]
+    fn fruits_flow_and_get_credited() {
+        let out = run(&FruitChainConfig::default());
+        let total_fruit_rewards: u64 = out.fruit_rewards.iter().sum();
+        assert!(total_fruit_rewards > 0, "fruits must be credited");
+        // Uniform power: every miner earns some fruit over a long run.
+        assert!(
+            out.fruit_rewards.iter().filter(|&&r| r > 0).count() >= 6,
+            "most miners earn fruit: {:?}",
+            out.fruit_rewards
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&FruitChainConfig::default());
+        let b = run(&FruitChainConfig::default());
+        assert_eq!(a.fruit_rewards, b.fruit_rewards);
+        assert_eq!(a.block_rewards, b.block_rewards);
+    }
+}

@@ -1,0 +1,266 @@
+//! Hyperledger Fabric (§5.7): a permissioned execute-order-validate
+//! blockchain, mapped to **R(BT-ADT_SC, Θ_F,k=1)**.
+//!
+//! The paper's mapping: any process reads, only `M ⊆ V` appends with merit
+//! `1/|M|`; "transactions are executed by … *endorsers*; executed
+//! transactions are then ordered through an atomic broadcast primitive so
+//! as to gather them into a block … a leader election … determine[s] which
+//! process will generate the next block. Transactions are appended in a
+//! block until a *stop condition* is met — a maximal number of
+//! transactions in a block or a maximal elapsed time since the first
+//! transaction included … By construction a unique token (k = 1) is
+//! consumed."
+//!
+//! The model: clients inject transactions every tick; endorsers execute
+//! (stamp) them and forward to the ordering service (the leader, process
+//! 0); the leader batches endorsed transactions until `max_txs` or
+//! `max_age` fires, then cuts the block through the k = 1 oracle and
+//! atomically broadcasts it (leader sequencing over FIFO synchronous
+//! channels = total order).
+
+use crate::common::{standard_run, RunSchedule, SystemRun, Throttle, TxStream};
+use btadt_core::block::{Payload, Tx};
+use btadt_core::ids::{BlockId, ProcessId};
+use btadt_core::selection::LongestChain;
+use btadt_oracle::{Merits, ThetaOracle};
+use btadt_sim::{gossip_applied, Ctx, NetworkModel, Protocol, World};
+
+/// Fabric messages: endorsed transactions flowing to the orderer.
+#[derive(Clone, Debug)]
+pub struct Endorsed {
+    pub tx: Tx,
+    pub endorser: ProcessId,
+}
+
+/// One Fabric node. Process 0 is the ordering-service leader; every
+/// member is also an endorser; non-members only read.
+#[derive(Clone, Debug)]
+pub struct FabricNode {
+    txs: TxStream,
+    producing: bool,
+    is_member: bool,
+    is_orderer: bool,
+    /// Stop condition 1: maximal number of transactions per block.
+    max_txs: usize,
+    /// Stop condition 2: maximal age (ticks) of the oldest pending tx.
+    max_age: u64,
+    pending: Vec<Endorsed>,
+    oldest_pending_tick: Option<u64>,
+    ticks: u64,
+}
+
+impl FabricNode {
+    pub fn new(seed: u64, is_member: bool, is_orderer: bool, max_txs: usize, max_age: u64) -> Self {
+        FabricNode {
+            txs: TxStream::new(seed),
+            producing: true,
+            is_member,
+            is_orderer,
+            max_txs,
+            max_age,
+            pending: Vec::new(),
+            oldest_pending_tick: None,
+            ticks: 0,
+        }
+    }
+
+    /// Has a stop condition fired?
+    fn stop_condition(&self) -> bool {
+        if self.pending.len() >= self.max_txs {
+            return true;
+        }
+        match self.oldest_pending_tick {
+            Some(t0) => !self.pending.is_empty() && self.ticks.saturating_sub(t0) >= self.max_age,
+            None => false,
+        }
+    }
+}
+
+impl Protocol for FabricNode {
+    type Custom = Endorsed;
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Endorsed>) {
+        self.ticks += 1;
+
+        // Endorsers execute one client transaction per tick and forward
+        // the endorsement to the orderer.
+        if self.is_member && self.producing {
+            let tx = self.txs.take(1)[0];
+            let endorsement = Endorsed {
+                tx,
+                endorser: ctx.me,
+            };
+            if self.is_orderer {
+                if self.oldest_pending_tick.is_none() {
+                    self.oldest_pending_tick = Some(self.ticks);
+                }
+                self.pending.push(endorsement);
+            } else {
+                ctx.send_custom(ProcessId(0), endorsement);
+            }
+        }
+
+        // The ordering service cuts a block when a stop condition fires.
+        // The batch honours max_txs even when endorsements overshot the
+        // threshold between checks; the surplus stays pending.
+        if self.is_orderer && self.stop_condition() {
+            let take = self.pending.len().min(self.max_txs);
+            let batch: Vec<Tx> = self.pending.drain(..take).map(|e| e.tx).collect();
+            self.oldest_pending_tick = if self.pending.is_empty() {
+                None
+            } else {
+                Some(self.ticks)
+            };
+            let parent = ctx.tip();
+            let payload = Payload::Transactions(batch);
+            for _ in 0..64 {
+                if let Some(block) = ctx.mine_at(parent, payload.clone(), 1) {
+                    // Atomic broadcast = leader-sequenced dissemination.
+                    ctx.broadcast_block(parent, block);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn on_custom(&mut self, _ctx: &mut Ctx<'_, Endorsed>, _from: ProcessId, msg: Endorsed) {
+        if self.is_orderer {
+            if self.oldest_pending_tick.is_none() {
+                self.oldest_pending_tick = Some(self.ticks);
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    fn on_block(&mut self, ctx: &mut Ctx<'_, Endorsed>, _from: ProcessId, parent: BlockId, block: BlockId) {
+        gossip_applied(ctx, parent, block);
+    }
+}
+
+impl Throttle for FabricNode {
+    fn stop_producing(&mut self) {
+        self.producing = false;
+    }
+}
+
+/// Configuration of a Fabric run.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    pub n: usize,
+    /// Member (endorser) indices; process 0 must be among them (orderer).
+    pub members: Vec<usize>,
+    pub delta: u64,
+    pub max_txs: usize,
+    pub max_age: u64,
+    pub schedule: RunSchedule,
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            n: 8,
+            members: vec![0, 1, 2, 3],
+            delta: 3,
+            max_txs: 12,
+            max_age: 6,
+            schedule: RunSchedule::default(),
+            seed: 0xFAB2_1C01,
+        }
+    }
+}
+
+/// Runs the Hyperledger Fabric model.
+pub fn run(cfg: &FabricConfig) -> SystemRun {
+    assert!(cfg.members.contains(&0), "process 0 is the orderer");
+    let merits = Merits::consortium(cfg.n, &cfg.members);
+    let oracle = ThetaOracle::frugal(1, merits, cfg.members.len() as f64 * 0.9, cfg.seed);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let nodes = (0..cfg.n)
+        .map(|i| {
+            FabricNode::new(
+                cfg.seed ^ ((i as u64) << 8),
+                cfg.members.contains(&i),
+                i == 0,
+                cfg.max_txs,
+                cfg.max_age,
+            )
+        })
+        .collect();
+    let world: World<FabricNode> =
+        World::new(nodes, oracle, net, Box::new(LongestChain), cfg.seed);
+    standard_run(world, &cfg.schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::block::Payload;
+    use btadt_core::criteria::ConsistencyClass;
+
+    #[test]
+    fn fabric_is_strongly_consistent() {
+        for seed in [1u64, 2] {
+            let run = run(&FabricConfig {
+                seed,
+                ..Default::default()
+            });
+            assert!(run.blocks_minted > 3, "seed {seed}");
+            assert_eq!(run.max_fork_degree, 1);
+            assert_eq!(run.consistency_class(), ConsistencyClass::Strong);
+        }
+    }
+
+    #[test]
+    fn stop_conditions_bound_block_size() {
+        let cfg = FabricConfig::default();
+        let run = run(&cfg);
+        for b in run.store.ids().skip(1) {
+            match &run.store.get(b).payload {
+                Payload::Transactions(txs) => {
+                    assert!(
+                        txs.len() <= cfg.max_txs,
+                        "block {b} exceeds max_txs: {}",
+                        txs.len()
+                    );
+                }
+                other => panic!("fabric blocks carry transactions, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_age_cuts_small_blocks() {
+        // With a tiny tx inflow (1 member = only the orderer) the age
+        // condition, not the size condition, cuts blocks.
+        let cfg = FabricConfig {
+            members: vec![0],
+            max_txs: 1_000,
+            max_age: 4,
+            seed: 3,
+            ..Default::default()
+        };
+        let run = run(&cfg);
+        assert!(run.blocks_minted > 2);
+        for b in run.store.ids().skip(1) {
+            if let Payload::Transactions(txs) = &run.store.get(b).payload {
+                assert!(txs.len() <= 6, "age-cut blocks stay small: {}", txs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn only_the_orderer_produces() {
+        let run = run(&FabricConfig::default());
+        for b in run.store.ids().skip(1) {
+            assert_eq!(run.store.get(b).producer, ProcessId(0));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(&FabricConfig::default());
+        let b = run(&FabricConfig::default());
+        assert_eq!(a.blocks_minted, b.blocks_minted);
+    }
+}

@@ -1,0 +1,33 @@
+//! # btadt-protocols — the Table-1 systems (§5)
+//!
+//! Executable models of the seven blockchains the paper maps onto its
+//! framework, each built over `btadt-sim` and classified empirically by
+//! fork coherence + consistency class:
+//!
+//! | System | Module | Paper's class |
+//! |---|---|---|
+//! | Bitcoin | [`bitcoin`] | R(BT-ADT_EC, Θ_P) |
+//! | Ethereum (GHOST) | [`ethereum`] | R(BT-ADT_EC, Θ_P) |
+//! | Algorand | [`algorand`] | R(BT-ADT_SC, Θ_F,k=1) w.h.p |
+//! | ByzCoin | [`byzcoin`] | R(BT-ADT_SC, Θ_F,k=1) |
+//! | PeerCensus | [`peercensus`] | R(BT-ADT_SC, Θ_F,k=1) |
+//! | Red Belly | [`redbelly`] | R(BT-ADT_SC, Θ_F,k=1) |
+//! | Hyperledger Fabric | [`hyperledger`] | R(BT-ADT_SC, Θ_F,k=1) |
+//!
+//! [`classify::table1`] regenerates Table 1; [`common`] holds the shared
+//! run schedule and statistics. [`fruitchain`] adds the FruitChain [27]
+//! variant §5.1 mentions, with the reward-fairness comparison.
+
+pub mod algorand;
+pub mod bitcoin;
+pub mod byzcoin;
+pub mod classify;
+pub mod common;
+pub mod ethereum;
+pub mod fruitchain;
+pub mod hyperledger;
+pub mod peercensus;
+pub mod redbelly;
+
+pub use classify::{table1, Classification};
+pub use common::{standard_run, RunSchedule, SystemRun, Throttle, TxStream};

@@ -1,0 +1,90 @@
+//! The negative side of Thm. 4.3, illustrated executably.
+//!
+//! Θ_P has consensus number 1: it is implementable from Atomic Snapshot
+//! (Fig. 12, [`crate::snapshot_ct`]), and objects with consensus number 1
+//! cannot solve 2-process consensus. The *impossibility* itself is cited
+//! (Herlihy [21], FLP [16]); what we can do executably is show that the
+//! natural attempts to build consensus from a prodigal `consumeToken` admit
+//! **agreement-violating schedules** — the valence argument's bad
+//! executions, constructed concretely.
+//!
+//! The naive protocol: `propose(v) { K.consume(my_slot, v); decide(pick(K.scan())) }`
+//! for any deterministic `pick` (first-written, min-slot, min-value …).
+//! Because every consume succeeds under k = ∞, a process that runs solo
+//! must decide its own value; interleave two solo-ish runs and the picks
+//! diverge.
+
+use crate::snapshot_ct::ProdigalCtCell;
+
+/// Decision rule for the naive prodigal "consensus" attempt.
+#[derive(Clone, Copy, Debug)]
+pub enum PickRule {
+    /// Decide the token in the lowest-numbered slot.
+    MinSlot,
+    /// Decide the smallest token value.
+    MinValue,
+}
+
+/// One naive proposer step: consume own token, scan, pick.
+pub fn naive_propose(cell: &ProdigalCtCell, slot: usize, value: u64, rule: PickRule) -> u64 {
+    let view = cell.consume_token(slot, value);
+    match rule {
+        // Slot order is the order `consume_token` returns.
+        PickRule::MinSlot => view[0],
+        PickRule::MinValue => *view.iter().min().expect("own token present"),
+    }
+}
+
+/// Constructs the agreement-violating schedule for the given rule:
+/// process B runs completely before process A writes, so B's scan is a
+/// B-only view while A's scan sees both — their picks differ.
+///
+/// Returns `(decision_a, decision_b)`; the caller asserts inequality.
+pub fn divergent_schedule(rule: PickRule) -> (u64, u64) {
+    let cell = ProdigalCtCell::new(2);
+    // Schedule: B (slot 1, value 1) executes its whole propose first…
+    let decide_b = naive_propose(&cell, 1, 1, rule);
+    // …then A (slot 0, value 2) executes.
+    let decide_a = naive_propose(&cell, 0, 2, rule);
+    (decide_a, decide_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_slot_rule_diverges() {
+        let (a, b) = divergent_schedule(PickRule::MinSlot);
+        assert_eq!(b, 1, "B ran solo: decides own value");
+        assert_eq!(a, 2, "A sees both, min slot is its own");
+        assert_ne!(a, b, "agreement violated: Θ_P cannot arbitrate");
+    }
+
+    #[test]
+    fn min_value_rule_diverges() {
+        let (a, b) = divergent_schedule(PickRule::MinValue);
+        assert_eq!(b, 1);
+        assert_eq!(a, 1.min(2));
+        // With MinValue this schedule happens to agree; build the mirror
+        // schedule where the late writer holds the smaller value.
+        let cell = ProdigalCtCell::new(2);
+        let d_b = naive_propose(&cell, 1, 5, PickRule::MinValue); // solo: 5
+        let d_a = naive_propose(&cell, 0, 3, PickRule::MinValue); // sees both: 3
+        assert_eq!(d_b, 5);
+        assert_eq!(d_a, 3);
+        assert_ne!(d_a, d_b, "agreement violated");
+    }
+
+    #[test]
+    fn contrast_frugal_k1_serializes_the_same_schedule() {
+        // The same two-step schedule against the k = 1 cell agrees —
+        // the synchronization power difference made concrete.
+        use crate::cas::ConsumeTokenCell;
+        let cell = ConsumeTokenCell::new();
+        let d_b = cell.consume_token(1);
+        let d_a = cell.consume_token(2);
+        assert_eq!(d_b, 1);
+        assert_eq!(d_a, 1, "k = 1: the late consumer adopts the winner");
+    }
+}

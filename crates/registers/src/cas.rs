@@ -1,0 +1,170 @@
+//! The `Compare&Swap` object and the `consumeToken` object of Fig. 9, as
+//! linearizable lock-free cells.
+//!
+//! Fig. 9 (left): `compare&swap(register, old, new)` writes `new` iff the
+//! register holds `old`, and in any case returns the value held at the
+//! start of the operation. CAS has consensus number ∞ (Herlihy [21]).
+//!
+//! Fig. 9 (right): `consumeToken(b^tknh_ℓ)` for Θ_F,k=1 — if `K[h]` is
+//! empty (and the token genuine), install `{b}`; in any case return
+//! `K[h]`'s content at the end of the operation. The correspondence the
+//! paper draws: `b` is the *new value*, `K[h]` is the *register*, and the
+//! implicit *old value* is "empty" — which is why Thm. 4.1 can implement
+//! CAS from CT (see [`crate::reduction`]).
+//!
+//! Values are `u64` with `EMPTY = 0` reserved (block ids are stored +1 by
+//! the consensus layer, so genuine payloads are never 0).
+
+use crate::register::WordRegister;
+use std::sync::atomic::Ordering;
+
+/// Reserved encoding of "the cell is empty" / `{}`.
+pub const EMPTY: u64 = 0;
+
+/// A linearizable Compare&Swap register (Fig. 9 left).
+#[derive(Debug, Default)]
+pub struct CasRegister {
+    cell: WordRegister,
+}
+
+impl CasRegister {
+    pub fn new(initial: u64) -> Self {
+        CasRegister {
+            cell: WordRegister::new(initial),
+        }
+    }
+
+    /// `compare&swap(register, old_value, new_value)`: installs
+    /// `new_value` iff the register holds `old_value`; returns the value
+    /// the register held when the operation took effect.
+    pub fn compare_and_swap(&self, old_value: u64, new_value: u64) -> u64 {
+        match self
+            .cell
+            .atomic()
+            .compare_exchange(old_value, new_value, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        }
+    }
+
+    /// Plain atomic read.
+    pub fn read(&self) -> u64 {
+        self.cell.read()
+    }
+}
+
+/// The `consumeToken` object for Θ_F,k=1 (Fig. 9 right): a one-shot cell
+/// `K[h]` holding at most one block.
+#[derive(Debug, Default)]
+pub struct ConsumeTokenCell {
+    cell: WordRegister,
+}
+
+impl ConsumeTokenCell {
+    pub fn new() -> Self {
+        ConsumeTokenCell {
+            cell: WordRegister::new(EMPTY),
+        }
+    }
+
+    /// `consumeToken(b^tknh_ℓ)`: if `K[h] == {}` install `{b}`; return the
+    /// content of `K[h]` as the operation completes. `block` must not be
+    /// `EMPTY` (that encoding is reserved; genuine tokens always carry a
+    /// block — `tkn_h ∈ T` in the pseudo-code guard).
+    pub fn consume_token(&self, block: u64) -> u64 {
+        assert_ne!(block, EMPTY, "EMPTY encoding is reserved");
+        match self
+            .cell
+            .atomic()
+            .compare_exchange(EMPTY, block, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => block,    // we installed it: K[h] = {b}
+            Err(prev) => prev, // already occupied: K[h] unchanged
+        }
+    }
+
+    /// `get(K, h)` — current content (EMPTY if nothing consumed yet).
+    pub fn get(&self) -> u64 {
+        self.cell.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let c = CasRegister::new(EMPTY);
+        assert_eq!(c.compare_and_swap(EMPTY, 5), EMPTY, "success returns old");
+        assert_eq!(c.read(), 5);
+        assert_eq!(c.compare_and_swap(EMPTY, 9), 5, "failure returns current");
+        assert_eq!(c.read(), 5, "failed CAS does not write");
+        assert_eq!(c.compare_and_swap(5, 9), 5);
+        assert_eq!(c.read(), 9);
+    }
+
+    #[test]
+    fn cas_exactly_one_winner_under_contention() {
+        for trial in 0..20 {
+            let c = Arc::new(CasRegister::new(EMPTY));
+            let winners: usize = std::thread::scope(|s| {
+                (1..=8u64)
+                    .map(|v| {
+                        let c = Arc::clone(&c);
+                        s.spawn(move || (c.compare_and_swap(EMPTY, v) == EMPTY) as usize)
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(winners, 1, "trial {trial}");
+            assert_ne!(c.read(), EMPTY);
+        }
+    }
+
+    #[test]
+    fn ct_first_consume_installs() {
+        let k = ConsumeTokenCell::new();
+        assert_eq!(k.get(), EMPTY);
+        assert_eq!(k.consume_token(3), 3);
+        assert_eq!(k.get(), 3);
+        assert_eq!(k.consume_token(7), 3, "k=1: second consume sees first");
+        assert_eq!(k.get(), 3);
+    }
+
+    #[test]
+    fn ct_exactly_one_winner_under_contention() {
+        for trial in 0..20 {
+            let k = Arc::new(ConsumeTokenCell::new());
+            let results: Vec<u64> = std::thread::scope(|s| {
+                (1..=8u64)
+                    .map(|v| {
+                        let k = Arc::clone(&k);
+                        s.spawn(move || k.consume_token(v))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            // Every invocation returns the same single winner (the cell is
+            // decided forever after the first install).
+            let winner = k.get();
+            assert_ne!(winner, EMPTY);
+            assert!(
+                results.iter().all(|&r| r == winner),
+                "trial {trial}: all consumers must observe the winner; got {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn ct_rejects_empty_encoding() {
+        ConsumeTokenCell::new().consume_token(EMPTY);
+    }
+}

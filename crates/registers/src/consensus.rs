@@ -1,0 +1,259 @@
+//! Consensus (Def. 4.1) and Protocol A (Fig. 11): wait-free consensus from
+//! the frugal oracle with k = 1 — the constructive half of Thm. 4.2
+//! (Θ_F,k=1 has consensus number ∞).
+//!
+//! Def. 4.1 (blockchain-flavoured Consensus, Validity as in [11]):
+//!
+//! * **Termination** — every correct process eventually decides;
+//! * **Integrity** — no process decides twice;
+//! * **Agreement** — all deciding processes decide the same block;
+//! * **Validity** — the decided block satisfies the predicate `P` (it is a
+//!   *valid* block — possibly proposed by a faulty process).
+//!
+//! Protocol A (Fig. 11):
+//!
+//! ```text
+//! propose(b):
+//!     validBlock ← ⊥; validBlockSet ← ∅          // k = 1 ⇒ singleton
+//!     while validBlock = ⊥:
+//!         validBlock ← getToken(b0, b)
+//!     validBlockSet ← consumeToken(validBlock)    // may differ from own!
+//!     decide(validBlockSet)
+//! ```
+//!
+//! The first consumer installs its block into `K[b0]` (cardinality 1); the
+//! set returned to *every* consumer is that singleton, so everyone decides
+//! the same valid block.
+
+use crate::cas::{CasRegister, EMPTY};
+use btadt_core::ids::BlockId;
+use btadt_oracle::{KBound, SharedOracle};
+
+/// A single-shot consensus object: `propose` returns the decided value.
+pub trait Consensus: Sync {
+    /// Proposes `value` on behalf of process `who`; returns the decision.
+    fn propose(&self, who: usize, value: u64) -> u64;
+}
+
+/// Protocol A: consensus from Θ_F,k=1 (Fig. 11).
+pub struct OracleConsensus {
+    oracle: SharedOracle,
+    /// The object all tokens/consumes target (the paper uses `b0`).
+    anchor: BlockId,
+}
+
+impl OracleConsensus {
+    /// Wraps a shared Θ_F,k=1 oracle. Panics if the oracle's bound is not
+    /// k = 1: Protocol A's Agreement argument needs the singleton set.
+    pub fn new(oracle: SharedOracle) -> Self {
+        assert_eq!(
+            oracle.k(),
+            KBound::Finite(1),
+            "Protocol A requires the frugal oracle with k = 1"
+        );
+        OracleConsensus {
+            oracle,
+            anchor: BlockId::GENESIS,
+        }
+    }
+
+    /// The oracle (inspection).
+    pub fn oracle(&self) -> &SharedOracle {
+        &self.oracle
+    }
+}
+
+impl Consensus for OracleConsensus {
+    fn propose(&self, who: usize, value: u64) -> u64 {
+        assert_ne!(value, EMPTY, "EMPTY encoding reserved");
+        // while validBlock = ⊥: validBlock ← getToken(b0, b)
+        let grant = loop {
+            if let Some(g) = self.oracle.get_token(who, self.anchor) {
+                break g;
+            }
+            std::hint::spin_loop();
+        };
+        // validBlockSet ← consumeToken(validBlock)
+        let set = self
+            .oracle
+            .consume_token(&grant, BlockId(value as u32));
+        // k = 1: the set is the singleton everyone decides on.
+        debug_assert_eq!(set.len(), 1, "K[b0] has cardinality 1 under k = 1");
+        set[0].0 as u64
+    }
+}
+
+/// Consensus from Compare&Swap (the Herlihy-style construction the paper
+/// leans on via Thm. 4.1: CT ⇒ CAS ⇒ consensus). Also usable with
+/// [`crate::reduction::CasFromCt`]-backed cells.
+pub struct CasConsensus {
+    cell: CasRegister,
+}
+
+impl CasConsensus {
+    pub fn new() -> Self {
+        CasConsensus {
+            cell: CasRegister::new(EMPTY),
+        }
+    }
+}
+
+impl Default for CasConsensus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Consensus for CasConsensus {
+    fn propose(&self, _who: usize, value: u64) -> u64 {
+        assert_ne!(value, EMPTY, "EMPTY encoding reserved");
+        let prev = self.cell.compare_and_swap(EMPTY, value);
+        if prev == EMPTY {
+            value
+        } else {
+            prev
+        }
+    }
+}
+
+/// Result of running one multi-threaded consensus trial, with the four
+/// Def. 4.1 properties evaluated.
+#[derive(Clone, Debug)]
+pub struct ConsensusReport {
+    /// Decision of each process, in process order.
+    pub decisions: Vec<u64>,
+    /// The proposed values, in process order.
+    pub proposals: Vec<u64>,
+}
+
+impl ConsensusReport {
+    /// Agreement: all decisions equal.
+    pub fn agreement(&self) -> bool {
+        self.decisions.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Validity (Def. 4.1 / [11]): the decided value was proposed by *some*
+    /// process (all proposals here are valid blocks by construction — the
+    /// oracle only grants tokens on valid blocks).
+    pub fn validity(&self) -> bool {
+        self.decisions.iter().all(|d| self.proposals.contains(d))
+    }
+
+    /// Termination: every process decided (vacuously encoded by the report
+    /// existing with one decision per process).
+    pub fn termination(&self) -> bool {
+        self.decisions.len() == self.proposals.len()
+    }
+
+    /// The agreed value (when agreement holds).
+    pub fn decided(&self) -> Option<u64> {
+        if self.agreement() {
+            self.decisions.first().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs `n` real threads proposing distinct values through `consensus`;
+/// Integrity is structural (each thread calls `propose` exactly once).
+pub fn run_trial<C: Consensus>(consensus: &C, n: usize) -> ConsensusReport {
+    let proposals: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+    let decisions: Vec<u64> = std::thread::scope(|s| {
+        proposals
+            .iter()
+            .enumerate()
+            .map(|(who, &v)| s.spawn(move || consensus.propose(who, v)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("proposer must not panic"))
+            .collect()
+    });
+    ConsensusReport {
+        decisions,
+        proposals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_oracle::{Merits, ThetaOracle};
+
+    fn oracle_consensus(n: usize, seed: u64) -> OracleConsensus {
+        let oracle = ThetaOracle::frugal(1, Merits::uniform(n), n as f64 * 0.8, seed);
+        OracleConsensus::new(SharedOracle::new(oracle))
+    }
+
+    #[test]
+    fn protocol_a_single_proposer() {
+        let c = oracle_consensus(1, 1);
+        assert_eq!(c.propose(0, 42), 42);
+    }
+
+    #[test]
+    fn protocol_a_satisfies_def_4_1_across_seeds() {
+        for seed in 0..15u64 {
+            let n = 6;
+            let c = oracle_consensus(n, seed);
+            let report = run_trial(&c, n);
+            assert!(report.termination(), "seed {seed}");
+            assert!(report.agreement(), "seed {seed}: {:?}", report.decisions);
+            assert!(report.validity(), "seed {seed}: {:?}", report.decisions);
+            assert!(c.oracle().fork_coherent());
+        }
+    }
+
+    #[test]
+    fn cas_consensus_satisfies_def_4_1() {
+        for _ in 0..20 {
+            let c = CasConsensus::new();
+            let report = run_trial(&c, 8);
+            assert!(report.termination());
+            assert!(report.agreement(), "{:?}", report.decisions);
+            assert!(report.validity());
+        }
+    }
+
+    #[test]
+    fn decisions_are_sticky() {
+        // Integrity across late proposers: a proposer arriving after the
+        // decision still decides the same value.
+        let c = oracle_consensus(3, 7);
+        let first = c.propose(0, 1);
+        let second = c.propose(1, 2);
+        let third = c.propose(2, 3);
+        assert_eq!(first, second);
+        assert_eq!(second, third);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let good = ConsensusReport {
+            decisions: vec![2, 2],
+            proposals: vec![1, 2],
+        };
+        assert!(good.agreement() && good.validity() && good.termination());
+        assert_eq!(good.decided(), Some(2));
+
+        let split = ConsensusReport {
+            decisions: vec![1, 2],
+            proposals: vec![1, 2],
+        };
+        assert!(!split.agreement());
+        assert_eq!(split.decided(), None);
+
+        let invalid = ConsensusReport {
+            decisions: vec![9, 9],
+            proposals: vec![1, 2],
+        };
+        assert!(!invalid.validity());
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 1")]
+    fn protocol_a_rejects_prodigal_oracle() {
+        let oracle = ThetaOracle::prodigal(Merits::uniform(2), 1.0, 0);
+        let _ = OracleConsensus::new(SharedOracle::new(oracle));
+    }
+}

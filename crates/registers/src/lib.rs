@@ -1,0 +1,31 @@
+//! # btadt-registers — shared-memory substrate for §4.1
+//!
+//! The concurrent model of §4.1: `n` processes (threads), up to `f`
+//! crash-prone, communicating through atomic registers. This crate builds
+//! every object the implementability results manipulate and validates the
+//! paper's two consensus-number theorems with real threads:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | atomic registers (base objects) | [`register`] |
+//! | Fig. 9 — `Compare&Swap` and `consumeToken` (k = 1) | [`cas`] |
+//! | Fig. 10 / Thm. 4.1 — CAS from CT | [`reduction`] |
+//! | Fig. 11 / Thm. 4.2 — Protocol A: consensus from Θ_F,k=1 | [`consensus`] |
+//! | Atomic Snapshot (Aspnes–Herlihy [7]) | [`snapshot`] |
+//! | Fig. 12 / Thm. 4.3 — prodigal CT from snapshot | [`snapshot_ct`] |
+//! | Θ_P agreement-violating schedules (illustration) | [`adversary`] |
+
+pub mod adversary;
+pub mod cas;
+pub mod consensus;
+pub mod reduction;
+pub mod register;
+pub mod snapshot;
+pub mod snapshot_ct;
+
+pub use cas::{CasRegister, ConsumeTokenCell, EMPTY};
+pub use consensus::{run_trial, CasConsensus, Consensus, ConsensusReport, OracleConsensus};
+pub use reduction::CasFromCt;
+pub use register::{WideRegister, WordRegister};
+pub use snapshot::AtomicSnapshot;
+pub use snapshot_ct::ProdigalCtCell;

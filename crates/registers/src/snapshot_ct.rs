@@ -1,0 +1,114 @@
+//! Fig. 12 / Thm. 4.3: `consumeToken` for the **prodigal** oracle Θ_P
+//! implemented from Atomic Snapshot — hence Θ_P has consensus number 1
+//! (Atomic Snapshot is wait-free implementable from plain registers [7]).
+//!
+//! ```text
+//! consumeToken_h(tkn_m):
+//!     R_{h,m} ← update(R_{h,m}, tkn_m)
+//!     returned_value ← scan(R_{h,1}, …, R_{h,n})
+//!     return returned_value
+//! ```
+//!
+//! With `k = ∞` there is always room: token `tkn_m` gets its own register
+//! `R_{h,m}`, the consume *always* succeeds, and the operation returns a
+//! snapshot of `K[h]` including the caller's token. No synchronization
+//! power is exercised — which is exactly why Θ_P cannot arbitrate forks.
+
+use crate::snapshot::AtomicSnapshot;
+
+/// `K[h]` for the prodigal oracle: one snapshot component per token slot.
+pub struct ProdigalCtCell {
+    registers: AtomicSnapshot<Option<u64>>,
+}
+
+impl ProdigalCtCell {
+    /// `n` = number of token slots (the paper: "cardinality of T is n,
+    /// finite but not known" — the object works for any preallocated n).
+    pub fn new(n: usize) -> Self {
+        ProdigalCtCell {
+            registers: AtomicSnapshot::new(n, None),
+        }
+    }
+
+    /// `consumeToken_h(tkn_m)`: write the block into slot `m`, then return
+    /// an atomic read of all slots that includes the last written token.
+    pub fn consume_token(&self, m: usize, block: u64) -> Vec<u64> {
+        self.registers.update(m, Some(block));
+        self.registers
+            .scan()
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// A plain read of `K[h]` (scan without writing).
+    pub fn get(&self) -> Vec<u64> {
+        self.registers.scan().into_iter().flatten().collect()
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn consume_includes_own_token() {
+        let k = ProdigalCtCell::new(4);
+        let seen = k.consume_token(2, 22);
+        assert_eq!(seen, vec![22]);
+        let seen = k.consume_token(0, 10);
+        assert_eq!(seen, vec![10, 22], "slot order");
+    }
+
+    #[test]
+    fn every_concurrent_consume_succeeds() {
+        // The prodigal signature: k = ∞ means *all* consumers get in —
+        // contrast with ConsumeTokenCell where exactly one wins.
+        for trial in 0..10 {
+            let n = 8usize;
+            let k = Arc::new(ProdigalCtCell::new(n));
+            let views: Vec<Vec<u64>> = std::thread::scope(|s| {
+                (0..n)
+                    .map(|m| {
+                        let k = Arc::clone(&k);
+                        s.spawn(move || k.consume_token(m, (m as u64 + 1) * 100))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            for (m, view) in views.iter().enumerate() {
+                assert!(
+                    view.contains(&((m as u64 + 1) * 100)),
+                    "trial {trial}: consumer {m} must see its own token in {view:?}"
+                );
+            }
+            assert_eq!(k.get().len(), n, "all tokens consumed");
+        }
+    }
+
+    #[test]
+    fn views_grow_monotonically_for_sequential_consumes() {
+        let k = ProdigalCtCell::new(4);
+        let mut prev = 0;
+        for m in 0..4 {
+            let view = k.consume_token(m, m as u64 + 1);
+            assert!(view.len() > prev);
+            prev = view.len();
+        }
+    }
+
+    #[test]
+    fn get_on_fresh_cell_is_empty() {
+        let k = ProdigalCtCell::new(3);
+        assert!(k.get().is_empty());
+        assert_eq!(k.slots(), 3);
+    }
+}

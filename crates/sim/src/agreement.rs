@@ -1,0 +1,254 @@
+//! Update Agreement (Def. 4.3, Fig. 13) — the necessary condition for
+//! Eventual Prefix in message passing (Thm. 4.6).
+//!
+//! * **R1** — `∀ update_i(b_g, b_i) ∈ H, ∃ send_i(b_g, b_i) ∈ H`: a
+//!   process that applies a *locally generated* block must send it;
+//! * **R2** — `∀ update_i(b_g, b_j) ∈ H, ∃ receive_i(b_g, b_j)` preceding
+//!   it: applying a *remote* block requires having received it;
+//! * **R3** — `∀ update_i(b_g, b_j) ∈ H, ∀k, ∃ receive_k(b_g, b_j)`: any
+//!   applied update is eventually received by **every** correct process.
+//!
+//! The checker evaluates all three on a recorded [`Trace`], restricted to
+//! correct processes (Def. 4.2).
+
+use crate::trace::Trace;
+use btadt_core::ids::{BlockId, ProcessId, Time};
+use btadt_core::store::BlockStore;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The verdicts and witnesses for R1–R3.
+#[derive(Clone, Debug)]
+pub struct UpdateAgreementReport {
+    pub r1: bool,
+    pub r2: bool,
+    pub r3: bool,
+    /// `(process, block)` updates of local blocks never sent.
+    pub r1_violations: Vec<(ProcessId, BlockId)>,
+    /// `(process, block)` remote updates applied without a prior receive.
+    pub r2_violations: Vec<(ProcessId, BlockId)>,
+    /// `(missing_receiver, block)` applied updates never received by a
+    /// correct process.
+    pub r3_violations: Vec<(ProcessId, BlockId)>,
+}
+
+impl UpdateAgreementReport {
+    pub fn holds(&self) -> bool {
+        self.r1 && self.r2 && self.r3
+    }
+}
+
+impl fmt::Display for UpdateAgreementReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Update Agreement: {}",
+            if self.holds() { "HOLDS" } else { "VIOLATED" }
+        )?;
+        writeln!(f, "  R1 (local update ⇒ sent):        {}", ok(self.r1))?;
+        writeln!(f, "  R2 (remote update ⇒ received):   {}", ok(self.r2))?;
+        writeln!(f, "  R3 (update ⇒ received by all):   {}", ok(self.r3))?;
+        for (p, b) in self.r1_violations.iter().take(3) {
+            writeln!(f, "    R1 witness: update_{p}(·, {b}) without send_{p}")?;
+        }
+        for (p, b) in self.r2_violations.iter().take(3) {
+            writeln!(f, "    R2 witness: update_{p}(·, {b}) without receive_{p}")?;
+        }
+        for (p, b) in self.r3_violations.iter().take(3) {
+            writeln!(f, "    R3 witness: {b} never received by {p}")?;
+        }
+        Ok(())
+    }
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        "✗"
+    }
+}
+
+/// Checks R1–R3 on a trace. `correct[i]` marks the correct processes; the
+/// trace is first restricted to them (Def. 4.2).
+pub fn check_update_agreement(
+    trace: &Trace,
+    store: &BlockStore,
+    correct: &[bool],
+) -> UpdateAgreementReport {
+    let trace = trace.restrict_correct(correct);
+    let is_correct = |p: ProcessId| correct.get(p.index()).copied().unwrap_or(false);
+
+    // Index sends and receives.
+    let mut sent_by: HashSet<(ProcessId, BlockId)> = HashSet::new();
+    for (_, by, _, block) in trace.sends() {
+        sent_by.insert((by, block));
+    }
+    let mut first_receive: HashMap<(ProcessId, BlockId), Time> = HashMap::new();
+    for (at, by, _, block) in trace.receives() {
+        let e = first_receive.entry((by, block)).or_insert(at);
+        if at < *e {
+            *e = at;
+        }
+    }
+
+    let mut r1_violations = Vec::new();
+    let mut r2_violations = Vec::new();
+    let mut r3_violations = Vec::new();
+
+    let mut applied_blocks: HashSet<BlockId> = HashSet::new();
+    for (at, by, _parent, block) in trace.updates() {
+        applied_blocks.insert(block);
+        let producer = store.get(block).producer;
+        if producer == by {
+            // R1: local generation must be followed by a send (anywhere in
+            // H — liveness, so we just require existence).
+            if !sent_by.contains(&(by, block)) {
+                r1_violations.push((by, block));
+            }
+        } else {
+            // R2: remote application needs a receive before the update.
+            match first_receive.get(&(by, block)) {
+                Some(&t) if t <= at => {}
+                _ => r2_violations.push((by, block)),
+            }
+        }
+    }
+
+    // R3: every applied block reaches every correct process.
+    let n = correct.len();
+    for &block in &applied_blocks {
+        for k in 0..n {
+            let k = ProcessId(k as u32);
+            if !is_correct(k) {
+                continue;
+            }
+            if !first_receive.contains_key(&(k, block)) {
+                r3_violations.push((k, block));
+            }
+        }
+    }
+
+    r1_violations.sort();
+    r2_violations.sort();
+    r3_violations.sort();
+    UpdateAgreementReport {
+        r1: r1_violations.is_empty(),
+        r2: r2_violations.is_empty(),
+        r3: r3_violations.is_empty(),
+        r1_violations,
+        r2_violations,
+        r3_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::block::Payload;
+
+    fn store_with_block(producer: u32) -> (BlockStore, BlockId) {
+        let mut s = BlockStore::new();
+        let b = s.mint(
+            BlockId::GENESIS,
+            ProcessId(producer),
+            producer,
+            1,
+            1,
+            Payload::Empty,
+        );
+        (s, b)
+    }
+
+    /// The Fig. 13 history: i updates, sends; i, j, k all receive; j and k
+    /// update after their receives — R1, R2, R3 all hold.
+    #[test]
+    fn figure_13_history_satisfies_update_agreement() {
+        let (store, b) = store_with_block(0);
+        let g = BlockId::GENESIS;
+        let (i, j, k) = (ProcessId(0), ProcessId(1), ProcessId(2));
+        let mut t = Trace::new();
+        t.record_update(Time(1), i, g, b);
+        t.record_send(Time(2), i, g, b);
+        t.record_receive(Time(4), i, i, g, b);
+        t.record_receive(Time(5), j, i, g, b);
+        t.record_receive(Time(6), k, i, g, b);
+        t.record_update(Time(7), j, g, b);
+        t.record_update(Time(8), k, g, b);
+        let rep = check_update_agreement(&t, &store, &[true, true, true]);
+        assert!(rep.holds(), "{rep}");
+    }
+
+    #[test]
+    fn missing_send_violates_r1() {
+        let (store, b) = store_with_block(0);
+        let mut t = Trace::new();
+        t.record_update(Time(1), ProcessId(0), BlockId::GENESIS, b);
+        let rep = check_update_agreement(&t, &store, &[true, true]);
+        assert!(!rep.r1);
+        assert_eq!(rep.r1_violations, vec![(ProcessId(0), b)]);
+        // R3 also fails: nobody received it.
+        assert!(!rep.r3);
+    }
+
+    #[test]
+    fn remote_update_without_receive_violates_r2() {
+        let (store, b) = store_with_block(0);
+        let g = BlockId::GENESIS;
+        let mut t = Trace::new();
+        t.record_update(Time(1), ProcessId(0), g, b);
+        t.record_send(Time(2), ProcessId(0), g, b);
+        // p1 applies without ever receiving (e.g. out-of-band cheat).
+        t.record_update(Time(3), ProcessId(1), g, b);
+        // Give everyone receives so R3 isolates R2... except p1.
+        t.record_receive(Time(4), ProcessId(0), ProcessId(0), g, b);
+        t.record_receive(Time(5), ProcessId(1), ProcessId(0), g, b); // after update!
+        let rep = check_update_agreement(&t, &store, &[true, true]);
+        assert!(rep.r1);
+        assert!(!rep.r2, "receive after update does not satisfy R2");
+        assert_eq!(rep.r2_violations, vec![(ProcessId(1), b)]);
+    }
+
+    #[test]
+    fn missing_receiver_violates_r3() {
+        let (store, b) = store_with_block(0);
+        let g = BlockId::GENESIS;
+        let mut t = Trace::new();
+        t.record_update(Time(1), ProcessId(0), g, b);
+        t.record_send(Time(2), ProcessId(0), g, b);
+        t.record_receive(Time(3), ProcessId(0), ProcessId(0), g, b);
+        t.record_receive(Time(4), ProcessId(1), ProcessId(0), g, b);
+        t.record_update(Time(5), ProcessId(1), g, b);
+        // ProcessId(2) never receives.
+        let rep = check_update_agreement(&t, &store, &[true, true, true]);
+        assert!(rep.r1 && rep.r2);
+        assert!(!rep.r3);
+        assert_eq!(rep.r3_violations, vec![(ProcessId(2), b)]);
+    }
+
+    #[test]
+    fn faulty_processes_are_exempt() {
+        let (store, b) = store_with_block(0);
+        let g = BlockId::GENESIS;
+        let mut t = Trace::new();
+        t.record_update(Time(1), ProcessId(0), g, b);
+        t.record_send(Time(2), ProcessId(0), g, b);
+        t.record_receive(Time(3), ProcessId(0), ProcessId(0), g, b);
+        t.record_receive(Time(4), ProcessId(1), ProcessId(0), g, b);
+        t.record_update(Time(5), ProcessId(1), g, b);
+        // p2 is faulty: its missing receive does not violate R3.
+        let rep = check_update_agreement(&t, &store, &[true, true, false]);
+        assert!(rep.holds(), "{rep}");
+    }
+
+    #[test]
+    fn report_display_shows_witnesses() {
+        let (store, b) = store_with_block(0);
+        let mut t = Trace::new();
+        t.record_update(Time(1), ProcessId(0), BlockId::GENESIS, b);
+        let rep = check_update_agreement(&t, &store, &[true]);
+        let text = format!("{rep}");
+        assert!(text.contains("VIOLATED"));
+        assert!(text.contains("R1 witness"));
+    }
+}

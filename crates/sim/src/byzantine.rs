@@ -1,0 +1,283 @@
+//! Byzantine process behaviours (§4.2: "processes can exhibit a Byzantine
+//! behavior, i.e. arbitrarily deviate from the protocol").
+//!
+//! Def. 4.2 restricts histories to events at *correct* processes — the
+//! criteria say nothing about what Byzantine processes read. These
+//! adversarial protocol wrappers let experiments check that the correct
+//! processes' restricted history still satisfies the expected criterion in
+//! the presence of:
+//!
+//! * [`Equivocator`] — mines two blocks under the same parent and sends
+//!   *different* ones to different halves of the network (the classic
+//!   split-view attack; needs a fork-permitting oracle to even mint both);
+//! * [`Withholder`] — mines honestly but announces blocks only after a
+//!   configurable delay (a crude selfish-mining ingredient).
+
+use crate::lrc::gossip_applied;
+use crate::world::{Ctx, Protocol};
+use btadt_core::block::Payload;
+use btadt_core::ids::{BlockId, ProcessId};
+
+/// A split-view attacker: on each mining win it tries to mint a *second*
+/// block under the same parent, then sends one branch to even-numbered
+/// processes and the other to odd-numbered ones.
+#[derive(Clone, Debug)]
+pub struct Equivocator {
+    pub producing: bool,
+}
+
+impl Equivocator {
+    pub fn new() -> Self {
+        Equivocator { producing: true }
+    }
+}
+
+impl Default for Equivocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for Equivocator {
+    type Custom = ();
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if !self.producing {
+            return;
+        }
+        let parent = ctx.tip();
+        let first = ctx.mine_at(parent, Payload::Opaque(1), 1);
+        let second = ctx.mine_at(parent, Payload::Opaque(2), 1);
+        match (first, second) {
+            (Some(a), Some(b)) => {
+                // Split the network: evens get a, odds get b.
+                for p in 0..ctx.n {
+                    let target = ProcessId(p as u32);
+                    let block = if p % 2 == 0 { a } else { b };
+                    ctx.send_block_to(target, parent, block);
+                }
+            }
+            (Some(a), None) => {
+                let p = ctx.store.get(a).parent.expect("mined");
+                ctx.broadcast_block(p, a);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+        // Even the attacker keeps its replica coherent (it needs tips).
+        ctx.apply_update(parent, block);
+    }
+}
+
+/// Mines honestly but delays every announcement by `delay` ticks.
+#[derive(Clone, Debug)]
+pub struct Withholder {
+    pub delay: u64,
+    pub producing: bool,
+    queue: Vec<(u64, BlockId, BlockId)>,
+    ticks: u64,
+}
+
+impl Withholder {
+    pub fn new(delay: u64) -> Self {
+        Withholder {
+            delay,
+            producing: true,
+            queue: Vec::new(),
+            ticks: 0,
+        }
+    }
+}
+
+impl Protocol for Withholder {
+    type Custom = ();
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+        self.ticks += 1;
+        // Release matured announcements.
+        let due: Vec<(BlockId, BlockId)> = {
+            let ticks = self.ticks;
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                self.queue.drain(..).partition(|(t, _, _)| *t <= ticks);
+            self.queue = rest;
+            ready.into_iter().map(|(_, p, b)| (p, b)).collect()
+        };
+        for (parent, block) in due {
+            ctx.broadcast_block(parent, block);
+        }
+        if !self.producing {
+            return;
+        }
+        if let Some(block) = ctx.mine(Payload::Empty, 1) {
+            let parent = ctx.store.get(block).parent.expect("mined");
+            self.queue.push((self.ticks + self.delay, parent, block));
+        }
+    }
+
+    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+        gossip_applied(ctx, parent, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counterexamples::SimpleMiner;
+    use crate::network::NetworkModel;
+    use crate::world::World;
+    use btadt_core::selection::LongestChain;
+    use btadt_oracle::{Merits, ThetaOracle};
+
+    /// A mixed world: one process runs protocol `B`, the rest honest
+    /// gossiping miners. We encode the mix with an enum.
+    #[derive(Clone, Debug)]
+    enum Node {
+        Honest(SimpleMiner),
+        Equivocator(Equivocator),
+    }
+
+    impl Protocol for Node {
+        type Custom = ();
+
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+            match self {
+                Node::Honest(m) => m.on_tick(ctx),
+                Node::Equivocator(e) => e.on_tick(ctx),
+            }
+        }
+
+        fn on_block(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            from: ProcessId,
+            parent: BlockId,
+            block: BlockId,
+        ) {
+            match self {
+                Node::Honest(m) => m.on_block(ctx, from, parent, block),
+                Node::Equivocator(e) => e.on_block(ctx, from, parent, block),
+            }
+        }
+    }
+
+    #[test]
+    fn equivocation_splits_views_transiently_but_gossip_heals() {
+        use btadt_core::criteria::{
+            check_eventual_consistency, ConsistencyParams, LivenessMode,
+        };
+        use btadt_core::score::LengthScore;
+        use btadt_core::validity::AcceptAll;
+
+        let seed = 3u64;
+        // The attacker holds modest power; honest majority gossips.
+        let merits = Merits::from_weights(vec![1.0, 1.0, 1.0, 1.0]);
+        let oracle = ThetaOracle::prodigal(merits, 0.8, seed);
+        let nodes = vec![
+            Node::Equivocator(Equivocator::new()),
+            Node::Honest(SimpleMiner::gossiping()),
+            Node::Honest(SimpleMiner::gossiping()),
+            Node::Honest(SimpleMiner::gossiping()),
+        ];
+        let mut w: World<Node> = World::new(
+            nodes,
+            oracle,
+            NetworkModel::synchronous(2, seed),
+            Box::new(LongestChain),
+            seed,
+        );
+        w.mark_byzantine(ProcessId(0));
+        w.read_every = Some(5);
+        w.run_ticks(50);
+        w.run_ticks(5);
+        let cut = w.now();
+        w.run_ticks(25);
+        w.read_all();
+
+        // Equivocation really happened: some parent has ≥ 2 children.
+        let forked = w
+            .store
+            .ids()
+            .any(|b| w.store.children(b).len() >= 2);
+        assert!(forked, "the attacker must have produced a split");
+
+        // The correct-restricted history still satisfies EC.
+        let restricted = w.trace.restrict_correct(&w.correct_mask());
+        let params = ConsistencyParams {
+            store: &w.store,
+            predicate: &AcceptAll,
+            score: &LengthScore,
+            liveness: LivenessMode::ConvergenceCut(cut),
+        };
+        let ec = check_eventual_consistency(&restricted.history, &params);
+        assert!(ec.holds(), "honest gossip heals the split:\n{ec}");
+    }
+
+    #[test]
+    fn withholding_delays_but_does_not_break_convergence() {
+        use btadt_core::criteria::{
+            check_eventual_consistency, ConsistencyParams, LivenessMode,
+        };
+        use btadt_core::score::LengthScore;
+        use btadt_core::validity::AcceptAll;
+
+        #[derive(Clone, Debug)]
+        enum N {
+            H(SimpleMiner),
+            W(Withholder),
+        }
+        impl Protocol for N {
+            type Custom = ();
+            fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+                match self {
+                    N::H(m) => m.on_tick(ctx),
+                    N::W(w) => w.on_tick(ctx),
+                }
+            }
+            fn on_block(
+                &mut self,
+                ctx: &mut Ctx<'_, ()>,
+                from: ProcessId,
+                parent: BlockId,
+                block: BlockId,
+            ) {
+                match self {
+                    N::H(m) => m.on_block(ctx, from, parent, block),
+                    N::W(w) => w.on_block(ctx, from, parent, block),
+                }
+            }
+        }
+
+        let seed = 9u64;
+        let oracle = ThetaOracle::prodigal(Merits::uniform(3), 0.6, seed);
+        let nodes = vec![
+            N::W(Withholder::new(6)),
+            N::H(SimpleMiner::gossiping()),
+            N::H(SimpleMiner::gossiping()),
+        ];
+        let mut w: World<N> = World::new(
+            nodes,
+            oracle,
+            NetworkModel::synchronous(2, seed),
+            Box::new(LongestChain),
+            seed,
+        );
+        w.mark_byzantine(ProcessId(0));
+        w.read_every = Some(5);
+        w.run_ticks(60);
+        w.run_ticks(10); // settle: longer than the withholding delay
+        let cut = w.now();
+        w.run_ticks(30);
+        w.read_all();
+        let restricted = w.trace.restrict_correct(&w.correct_mask());
+        let params = ConsistencyParams {
+            store: &w.store,
+            predicate: &AcceptAll,
+            score: &LengthScore,
+            liveness: LivenessMode::ConvergenceCut(cut),
+        };
+        let ec = check_eventual_consistency(&restricted.history, &params);
+        assert!(ec.holds(), "{ec}");
+    }
+}

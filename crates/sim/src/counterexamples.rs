@@ -1,0 +1,350 @@
+//! Executable adversarial constructions for the impossibility/necessity
+//! results of §4.2–4.4:
+//!
+//! * **Thm. 4.8** — with any fork-permitting oracle (Θ_P or Θ_F,k>1), a
+//!   synchronous fault-free execution exists whose reads violate Strong
+//!   Prefix; with Θ_F,k=1 the same schedule stays strongly consistent.
+//! * **Lemma 4.4** — violating R1 (a process applies its local update but
+//!   never sends it) yields a history violating Eventual Prefix.
+//! * **Lemma 4.5** — violating R3 (one correct process never receives an
+//!   update others applied) yields a history violating Eventual Prefix.
+//! * **Thm. 4.7** — an LRC-Agreement violation implies an Update-Agreement
+//!   violation implies an Eventual-Consistency violation (the same run
+//!   exhibits all three).
+//!
+//! Each driver returns a [`RunOutcome`] bundling the store, trace, fault
+//! mask and suggested convergence cut, ready for the core criteria
+//! checkers and the sim-side UA/LRC checkers.
+
+use crate::lrc::gossip_applied;
+use crate::network::{DropPolicy, NetworkModel};
+use crate::trace::Trace;
+use crate::world::{Ctx, Protocol, World};
+use btadt_core::block::Payload;
+use btadt_core::criteria::{
+    check_eventual_consistency, check_strong_consistency, ConsistencyParams, ConsistencyReport,
+    LivenessMode,
+};
+use btadt_core::ids::{BlockId, ProcessId, Time};
+use btadt_core::score::LengthScore;
+use btadt_core::selection::LongestChain;
+use btadt_core::store::BlockStore;
+use btadt_core::validity::AcceptAll;
+use btadt_oracle::{KBound, Merits, ThetaOracle};
+
+/// A generic miner for the counterexample worlds.
+///
+/// * `silent` — never announces its blocks (the R1 violation of Lemma 4.4);
+/// * `gossip` — re-broadcasts blocks on first receipt (flooding echo: the
+///   LRC implementation); without it, delivery is whatever the raw network
+///   provides;
+/// * `max_blocks` — stop mining after this many own blocks (`None` =
+///   unbounded).
+#[derive(Clone, Debug)]
+pub struct SimpleMiner {
+    pub silent: bool,
+    pub gossip: bool,
+    pub max_blocks: Option<u32>,
+    mined: u32,
+}
+
+impl SimpleMiner {
+    pub fn new() -> Self {
+        SimpleMiner {
+            silent: false,
+            gossip: false,
+            max_blocks: None,
+            mined: 0,
+        }
+    }
+
+    pub fn silent() -> Self {
+        SimpleMiner {
+            silent: true,
+            ..Self::new()
+        }
+    }
+
+    pub fn gossiping() -> Self {
+        SimpleMiner {
+            gossip: true,
+            ..Self::new()
+        }
+    }
+
+    pub fn with_max_blocks(mut self, n: u32) -> Self {
+        self.max_blocks = Some(n);
+        self
+    }
+
+    /// Blocks mined so far.
+    pub fn mined(&self) -> u32 {
+        self.mined
+    }
+}
+
+impl Default for SimpleMiner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for SimpleMiner {
+    type Custom = ();
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if let Some(max) = self.max_blocks {
+            if self.mined >= max {
+                return;
+            }
+        }
+        if let Some(block) = ctx.mine(Payload::Empty, 1) {
+            self.mined += 1;
+            if !self.silent {
+                let parent = ctx.store.get(block).parent.expect("mined block");
+                ctx.broadcast_block(parent, block);
+            }
+        }
+    }
+
+    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+        if self.gossip {
+            gossip_applied(ctx, parent, block);
+        } else {
+            ctx.apply_update(parent, block);
+        }
+    }
+}
+
+/// Everything a counterexample run produces.
+pub struct RunOutcome {
+    pub store: BlockStore,
+    pub trace: Trace,
+    pub correct: Vec<bool>,
+    /// Convergence cut (microticks) for the bounded liveness checkers.
+    pub cut: Time,
+}
+
+impl RunOutcome {
+    /// Evaluates both criteria with the run's cut.
+    pub fn consistency(&self) -> (ConsistencyReport, ConsistencyReport) {
+        let params = ConsistencyParams {
+            store: &self.store,
+            predicate: &AcceptAll,
+            score: &LengthScore,
+            liveness: LivenessMode::ConvergenceCut(self.cut),
+        };
+        (
+            check_strong_consistency(&self.trace.history, &params),
+            check_eventual_consistency(&self.trace.history, &params),
+        )
+    }
+}
+
+/// Thm. 4.8 driver. Two correct processes on synchronous channels (δ = 4
+/// ticks) simultaneously win tokens for `b0` and append; before the
+/// cross-deliveries land, each reads its own branch. Returns the outcome;
+/// under Θ_P / Θ_F,k>1 the reads are incomparable (Strong Prefix violated),
+/// under Θ_F,k=1 the oracle serializes and Strong Prefix survives.
+pub fn theorem_4_8(k: KBound, seed: u64) -> RunOutcome {
+    // rate 2.0 over 2 uniform merits ⇒ p = 1: both processes win their
+    // very first attempt, at the same tick.
+    let merits = Merits::uniform(2);
+    let oracle = match k {
+        KBound::Finite(k) => ThetaOracle::frugal(k, merits, 2.0, seed),
+        KBound::Infinite => ThetaOracle::prodigal(merits, 2.0, seed),
+    };
+    let net = NetworkModel::synchronous(4, seed);
+    let miners = vec![
+        SimpleMiner::new().with_max_blocks(1),
+        SimpleMiner::new().with_max_blocks(1),
+    ];
+    let mut w: World<SimpleMiner> = World::new(miners, oracle, net, Box::new(LongestChain), seed);
+
+    // Tick 1: both mine concurrently (process order within the tick, but
+    // both target b0 since neither has seen the other's block).
+    w.run_ticks(1);
+    // Reads before any cross delivery can land (δ ≥ 2): the divergent pair.
+    w.read_all();
+    // Let deliveries land and the system converge, then the post-cut reads.
+    w.run_ticks(10);
+    let cut = w.now();
+    // Growth after the cut (EGT): mine a couple more blocks, synchronized.
+    w.protocol_mut(ProcessId(0)).max_blocks = Some(3);
+    w.run_ticks(12);
+    w.read_all();
+    w.run_ticks(1);
+    w.read_all();
+
+    RunOutcome {
+        store: w.store.clone(),
+        trace: w.trace.clone(),
+        correct: w.correct_mask(),
+        cut,
+    }
+}
+
+/// Lemma 4.4 driver: process 0 mines but **never sends** (R1 violated);
+/// process 1 mines nothing (merit 0). Process 1's view stays at `{b0}`
+/// forever while process 0 grows — Eventual Prefix is violated.
+pub fn lemma_4_4(seed: u64) -> RunOutcome {
+    let merits = Merits::from_weights(vec![1.0, 0.0]);
+    let oracle = ThetaOracle::prodigal(merits, 0.6, seed);
+    let net = NetworkModel::synchronous(2, seed);
+    let miners = vec![SimpleMiner::silent(), SimpleMiner::new()];
+    let mut w: World<SimpleMiner> = World::new(miners, oracle, net, Box::new(LongestChain), seed);
+    w.read_every = Some(5);
+    w.run_ticks(40);
+    let cut = w.now();
+    w.run_ticks(20); // p0 keeps mining (growth for its own reads)
+    w.read_all();
+    RunOutcome {
+        store: w.store.clone(),
+        trace: w.trace.clone(),
+        correct: w.correct_mask(),
+        cut,
+    }
+}
+
+/// Lemma 4.5 / Thm. 4.7 driver: three processes; the channel 0 → 2 drops
+/// everything and nobody echoes (no LRC), so process 2 never receives
+/// process 0's updates (R3 and LRC-Agreement violated) while process 1
+/// applies them — Eventual Prefix is violated.
+pub fn lemma_4_5(seed: u64) -> RunOutcome {
+    let merits = Merits::from_weights(vec![1.0, 0.0, 0.0]);
+    let oracle = ThetaOracle::prodigal(merits, 0.6, seed);
+    let net = NetworkModel::synchronous(2, seed).with_drops(DropPolicy::All {
+        from: Some(ProcessId(0)),
+        to: Some(ProcessId(2)),
+    });
+    let miners = vec![SimpleMiner::new(), SimpleMiner::new(), SimpleMiner::new()];
+    let mut w: World<SimpleMiner> = World::new(miners, oracle, net, Box::new(LongestChain), seed);
+    w.read_every = Some(5);
+    w.run_ticks(40);
+    let cut = w.now();
+    w.run_ticks(20);
+    w.read_all();
+    RunOutcome {
+        store: w.store.clone(),
+        trace: w.trace.clone(),
+        correct: w.correct_mask(),
+        cut,
+    }
+}
+
+/// Positive control (Fig. 13): gossip-echoing miners on synchronous
+/// channels satisfy LRC, Update Agreement, and Eventual Consistency.
+pub fn update_agreement_positive(seed: u64) -> RunOutcome {
+    let merits = Merits::uniform(3);
+    let oracle = ThetaOracle::prodigal(merits, 0.5, seed);
+    let net = NetworkModel::synchronous(2, seed);
+    let miners = vec![
+        SimpleMiner::gossiping(),
+        SimpleMiner::gossiping(),
+        SimpleMiner::gossiping(),
+    ];
+    let mut w: World<SimpleMiner> = World::new(miners, oracle, net, Box::new(LongestChain), seed);
+    w.read_every = Some(8);
+    w.run_ticks(60);
+    // Let in-flight messages settle before cutting, so post-cut reads are
+    // convergent.
+    w.run_ticks(6);
+    let cut = w.now();
+    w.run_ticks(30);
+    // Stop mining, then drain so every send is delivered before the trace
+    // ends (LRC/UA are liveness properties: evaluate on a settled trace).
+    for p in 0..3u32 {
+        let mined = w.protocol(ProcessId(p)).mined();
+        w.protocol_mut(ProcessId(p)).max_blocks = Some(mined);
+    }
+    w.run_ticks(8);
+    w.read_all();
+    RunOutcome {
+        store: w.store.clone(),
+        trace: w.trace.clone(),
+        correct: w.correct_mask(),
+        cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agreement::check_update_agreement;
+    use crate::lrc::check_lrc;
+
+    #[test]
+    fn theorem_4_8_forking_oracles_violate_strong_prefix() {
+        for k in [KBound::Infinite, KBound::Finite(2)] {
+            let out = theorem_4_8(k, 42);
+            let (sc, _ec) = out.consistency();
+            assert!(
+                !sc.holds(),
+                "{k:?}: fork-permitting oracle must break Strong Prefix"
+            );
+            let sp = sc.strong_prefix.as_ref().unwrap();
+            assert!(!sp.holds, "the violation must be in Strong Prefix itself");
+        }
+    }
+
+    #[test]
+    fn theorem_4_8_k1_preserves_strong_prefix() {
+        let out = theorem_4_8(KBound::Finite(1), 42);
+        let (sc, ec) = out.consistency();
+        assert!(sc.holds(), "Θ_F,k=1 must serialize:\n{sc}");
+        assert!(ec.holds(), "Thm 3.1: SC ⇒ EC\n{ec}");
+    }
+
+    #[test]
+    fn lemma_4_4_r1_violation_breaks_eventual_prefix() {
+        let out = lemma_4_4(7);
+        let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+        assert!(!ua.r1, "the silent miner violates R1:\n{ua}");
+        let (_sc, ec) = out.consistency();
+        assert!(!ec.holds(), "Lemma 4.4: EC must fail");
+        let ep = ec.eventual_prefix.as_ref().unwrap();
+        assert!(!ep.holds, "specifically Eventual Prefix:\n{ec}");
+    }
+
+    #[test]
+    fn lemma_4_5_r3_violation_breaks_eventual_prefix() {
+        let out = lemma_4_5(7);
+        let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+        assert!(ua.r1, "sends do happen");
+        assert!(!ua.r3, "p2 never receives:\n{ua}");
+        let (_sc, ec) = out.consistency();
+        assert!(!ec.holds());
+        assert!(!ec.eventual_prefix.as_ref().unwrap().holds);
+    }
+
+    #[test]
+    fn theorem_4_7_lrc_violation_chain() {
+        let out = lemma_4_5(13);
+        let lrc = check_lrc(&out.trace, &out.correct);
+        assert!(!lrc.agreement, "LRC Agreement violated:\n{lrc}");
+        let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+        assert!(!ua.holds(), "⇒ Update Agreement violated");
+        let (_sc, ec) = out.consistency();
+        assert!(!ec.holds(), "⇒ Eventual Consistency violated");
+    }
+
+    #[test]
+    fn positive_control_satisfies_everything() {
+        let out = update_agreement_positive(5);
+        let lrc = check_lrc(&out.trace, &out.correct);
+        assert!(lrc.holds(), "{lrc}");
+        let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+        assert!(ua.holds(), "{ua}");
+        let (_sc, ec) = out.consistency();
+        assert!(ec.holds(), "{ec}");
+    }
+
+    #[test]
+    fn outcomes_are_deterministic() {
+        let a = lemma_4_4(3);
+        let b = lemma_4_4(3);
+        assert_eq!(a.trace.events.len(), b.trace.events.len());
+        assert_eq!(a.store.len(), b.store.len());
+        assert_eq!(a.cut, b.cut);
+    }
+}

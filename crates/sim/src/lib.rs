@@ -1,0 +1,39 @@
+//! # btadt-sim — deterministic message-passing substrate (§4.2–4.4)
+//!
+//! A seeded discrete-event simulator for the paper's message-passing
+//! system model: `n` processes running a [`Protocol`](world::Protocol),
+//! Byzantine/crash faults, synchronous / weakly-synchronous / asynchronous
+//! channels with drop and partition fault layers, replicated BlockTrees
+//! with the `send/receive/update` vocabulary of Def. 4.2, and trace-level
+//! checkers for Update Agreement (Def. 4.3) and Light Reliable
+//! Communication (Def. 4.4).
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §4.2 channel models | [`network`] |
+//! | §4.2 replicated `bt_i`, update semantics | [`replica`] |
+//! | Def. 4.2 event vocabulary | [`trace`] |
+//! | Def. 4.3 / Fig. 13 Update Agreement | [`agreement`] |
+//! | Def. 4.4 LRC | [`lrc`] |
+//! | the simulator itself | [`world`] |
+//! | Thm. 4.8, Lemmas 4.4/4.5, Thm. 4.7 drivers | [`counterexamples`] |
+
+pub mod agreement;
+pub mod byzantine;
+pub mod counterexamples;
+pub mod lrc;
+pub mod network;
+pub mod replica;
+pub mod trace;
+pub mod world;
+
+pub use agreement::{check_update_agreement, UpdateAgreementReport};
+pub use byzantine::{Equivocator, Withholder};
+pub use counterexamples::{
+    lemma_4_4, lemma_4_5, theorem_4_8, update_agreement_positive, RunOutcome, SimpleMiner,
+};
+pub use lrc::{check_lrc, gossip_applied, LrcReport};
+pub use network::{DropPolicy, NetworkModel, Partition, Synchrony};
+pub use replica::Replica;
+pub use trace::{Trace, TraceEvent};
+pub use world::{Ctx, Msg, Protocol, World, TICK};

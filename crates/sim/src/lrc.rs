@@ -1,0 +1,190 @@
+//! Light Reliable Communication (Def. 4.4) — the communication abstraction
+//! Thm. 4.7 proves necessary for BT Eventual Consistency.
+//!
+//! * **Validity** — `∀ send_i(b, b_i) ∈ H, ∃ receive_i(b, b_i) ∈ H`: a
+//!   correct sender eventually receives its own message;
+//! * **Agreement** — if any correct process receives `m`, every correct
+//!   process eventually receives `m`.
+//!
+//! [`check_lrc`] evaluates both on a recorded trace. The standard
+//! *implementation* of LRC over fair channels is flooding-with-echo
+//! (re-broadcast on first receipt, cf. reliable broadcast [9]);
+//! [`gossip_applied`] is the reusable protocol fragment for it.
+
+use crate::trace::Trace;
+use crate::world::Ctx;
+use btadt_core::ids::{BlockId, ProcessId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Verdicts for the two LRC properties.
+#[derive(Clone, Debug)]
+pub struct LrcReport {
+    pub validity: bool,
+    pub agreement: bool,
+    /// `(sender, block)` sends never self-received.
+    pub validity_violations: Vec<(ProcessId, BlockId)>,
+    /// `(missing_receiver, block)` blocks received somewhere but not
+    /// everywhere (among correct processes).
+    pub agreement_violations: Vec<(ProcessId, BlockId)>,
+}
+
+impl LrcReport {
+    pub fn holds(&self) -> bool {
+        self.validity && self.agreement
+    }
+}
+
+impl fmt::Display for LrcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Light Reliable Communication: {}",
+            if self.holds() { "HOLDS" } else { "VIOLATED" }
+        )?;
+        writeln!(
+            f,
+            "  Validity  (send_i ⇒ receive_i):      {}",
+            if self.validity { "✓" } else { "✗" }
+        )?;
+        writeln!(
+            f,
+            "  Agreement (one receives ⇒ all do):   {}",
+            if self.agreement { "✓" } else { "✗" }
+        )?;
+        for (p, b) in self.validity_violations.iter().take(3) {
+            writeln!(f, "    validity witness: send_{p}(·, {b}) never self-received")?;
+        }
+        for (p, b) in self.agreement_violations.iter().take(3) {
+            writeln!(f, "    agreement witness: {b} received somewhere, never by {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the LRC properties on a trace, restricted to correct processes.
+pub fn check_lrc(trace: &Trace, correct: &[bool]) -> LrcReport {
+    let trace = trace.restrict_correct(correct);
+    let is_correct = |p: ProcessId| correct.get(p.index()).copied().unwrap_or(false);
+
+    let received: HashSet<(ProcessId, BlockId)> = trace
+        .receives()
+        .map(|(_, by, _, block)| (by, block))
+        .collect();
+
+    let mut validity_violations = Vec::new();
+    for (_, by, _, block) in trace.sends() {
+        if !received.contains(&(by, block)) {
+            validity_violations.push((by, block));
+        }
+    }
+    validity_violations.sort();
+    validity_violations.dedup();
+
+    // Agreement: blocks received by at least one correct process.
+    let mut somewhere: Vec<BlockId> = received.iter().map(|(_, b)| *b).collect();
+    somewhere.sort();
+    somewhere.dedup();
+
+    let n = correct.len();
+    let mut agreement_violations = Vec::new();
+    for &block in &somewhere {
+        for k in 0..n {
+            let k = ProcessId(k as u32);
+            if is_correct(k) && !received.contains(&(k, block)) {
+                agreement_violations.push((k, block));
+            }
+        }
+    }
+    agreement_violations.sort();
+
+    LrcReport {
+        validity: validity_violations.is_empty(),
+        agreement: agreement_violations.is_empty(),
+        validity_violations,
+        agreement_violations,
+    }
+}
+
+/// Flooding-with-echo fragment: apply an incoming block and re-broadcast
+/// everything that newly took effect. Using this in `on_block` implements
+/// LRC over connected fair-lossy-free networks.
+pub fn gossip_applied<X: Clone>(
+    ctx: &mut Ctx<'_, X>,
+    parent: BlockId,
+    block: BlockId,
+) -> Vec<BlockId> {
+    let applied = ctx.apply_update(parent, block);
+    for &b in &applied {
+        let p = ctx.store.get(b).parent.expect("applied blocks are non-genesis");
+        ctx.broadcast_block(p, b);
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::ids::Time;
+
+    #[test]
+    fn complete_dissemination_holds() {
+        let g = BlockId::GENESIS;
+        let b = BlockId(1);
+        let mut t = Trace::new();
+        t.record_send(Time(1), ProcessId(0), g, b);
+        for p in 0..3u32 {
+            t.record_receive(Time(2 + p as u64), ProcessId(p), ProcessId(0), g, b);
+        }
+        let rep = check_lrc(&t, &[true, true, true]);
+        assert!(rep.holds(), "{rep}");
+    }
+
+    #[test]
+    fn missing_self_receive_violates_validity() {
+        let g = BlockId::GENESIS;
+        let b = BlockId(1);
+        let mut t = Trace::new();
+        t.record_send(Time(1), ProcessId(0), g, b);
+        t.record_receive(Time(2), ProcessId(1), ProcessId(0), g, b);
+        let rep = check_lrc(&t, &[true, true]);
+        assert!(!rep.validity);
+        assert_eq!(rep.validity_violations, vec![(ProcessId(0), b)]);
+    }
+
+    #[test]
+    fn partial_dissemination_violates_agreement() {
+        let g = BlockId::GENESIS;
+        let b = BlockId(1);
+        let mut t = Trace::new();
+        t.record_send(Time(1), ProcessId(0), g, b);
+        t.record_receive(Time(2), ProcessId(0), ProcessId(0), g, b);
+        t.record_receive(Time(3), ProcessId(1), ProcessId(0), g, b);
+        // ProcessId(2), correct, never receives b.
+        let rep = check_lrc(&t, &[true, true, true]);
+        assert!(rep.validity);
+        assert!(!rep.agreement);
+        assert_eq!(rep.agreement_violations, vec![(ProcessId(2), b)]);
+    }
+
+    #[test]
+    fn faulty_receivers_are_exempt() {
+        let g = BlockId::GENESIS;
+        let b = BlockId(1);
+        let mut t = Trace::new();
+        t.record_send(Time(1), ProcessId(0), g, b);
+        t.record_receive(Time(2), ProcessId(0), ProcessId(0), g, b);
+        let rep = check_lrc(&t, &[true, false]);
+        assert!(rep.holds(), "faulty p1 need not receive: {rep}");
+    }
+
+    #[test]
+    fn sends_by_faulty_processes_ignored() {
+        let g = BlockId::GENESIS;
+        let b = BlockId(1);
+        let mut t = Trace::new();
+        t.record_send(Time(1), ProcessId(1), g, b); // p1 is faulty
+        let rep = check_lrc(&t, &[true, false]);
+        assert!(rep.holds(), "{rep}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Channel models of §4.2.
+//!
+//! "Communication channels are *asynchronous* if there is no upper bound on
+//! the message delivery delay … *synchronous* if messages sent by correct
+//! processes at time `t` are delivered by correct processes by time `t+δ` …
+//! *weakly synchronous* if there exists an a-priori-unknown time `τ` after
+//! which the communication channels behave as synchronous."
+//!
+//! On top of the synchrony model sit fault layers: targeted or
+//! probabilistic message drops (for the Lemma 4.4/4.5 and Thm. 4.7
+//! necessity counterexamples) and partitions (healing or permanent).
+//! Everything is seeded and deterministic.
+
+use btadt_core::ids::{splitmix64_at, ProcessId, Time};
+
+/// The synchrony regime of the channels.
+#[derive(Clone, Copy, Debug)]
+pub enum Synchrony {
+    /// Delivery within `1..=delta` ticks.
+    Synchronous { delta: u64 },
+    /// Before `tau`: delivery within `1..=wild` (unbounded in spirit);
+    /// from `tau` on: within `1..=delta`.
+    WeaklySynchronous { tau: u64, delta: u64, wild: u64 },
+    /// No bound known to the processes; the simulator draws delays in
+    /// `1..=max` with a heavy tail (delays are always finite — messages
+    /// sent by correct processes are eventually delivered unless a fault
+    /// layer drops them).
+    Asynchronous { max: u64 },
+}
+
+/// Deterministic message-drop policies (the fault layer).
+#[derive(Clone, Debug, Default)]
+pub enum DropPolicy {
+    /// No drops.
+    #[default]
+    None,
+    /// Drop every message matching the (optional) source/destination
+    /// filters — `All { from: Some(i), to: Some(k) }` silences the i→k
+    /// channel (Lemma 4.5); `All { from: Some(i), to: None }` silences
+    /// process i's sends entirely (Lemma 4.4 / R1 violation).
+    All {
+        from: Option<ProcessId>,
+        to: Option<ProcessId>,
+    },
+    /// Drop each message independently with probability `p`.
+    Probabilistic { p: f64 },
+}
+
+/// A network partition: messages across groups are dropped until `heals_at`
+/// (`None` = permanent partition).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// group id per process (same id = same side).
+    pub group_of: Vec<u32>,
+    /// When the partition heals (cross-group messages flow again).
+    pub heals_at: Option<Time>,
+}
+
+impl Partition {
+    /// Splits processes `0..n` into two halves at `split`.
+    pub fn halves(n: usize, split: usize, heals_at: Option<Time>) -> Self {
+        Partition {
+            group_of: (0..n).map(|p| u32::from(p >= split)).collect(),
+            heals_at,
+        }
+    }
+
+    fn separates(&self, from: ProcessId, to: ProcessId, now: Time) -> bool {
+        if let Some(h) = self.heals_at {
+            if now >= h {
+                return false;
+            }
+        }
+        self.group_of[from.index()] != self.group_of[to.index()]
+    }
+}
+
+/// The full network model: synchrony + faults, with its own random stream.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    pub synchrony: Synchrony,
+    pub drops: DropPolicy,
+    pub partition: Option<Partition>,
+    seed: u64,
+    draws: u64,
+}
+
+impl NetworkModel {
+    pub fn new(synchrony: Synchrony, seed: u64) -> Self {
+        NetworkModel {
+            synchrony,
+            drops: DropPolicy::None,
+            partition: None,
+            seed,
+            draws: 0,
+        }
+    }
+
+    /// Convenience: synchronous channels with bound `delta`.
+    pub fn synchronous(delta: u64, seed: u64) -> Self {
+        Self::new(Synchrony::Synchronous { delta }, seed)
+    }
+
+    pub fn with_drops(mut self, drops: DropPolicy) -> Self {
+        self.drops = drops;
+        self
+    }
+
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    fn draw(&mut self) -> u64 {
+        let v = splitmix64_at(self.seed, self.draws);
+        self.draws += 1;
+        v
+    }
+
+    /// Decides the fate of a message sent `from → to` at `now`:
+    /// `Some(delivery_time)` or `None` (dropped).
+    pub fn route(&mut self, from: ProcessId, to: ProcessId, now: Time) -> Option<Time> {
+        // Fault layers first (cloned out so the RNG can advance).
+        let drops = self.drops.clone();
+        match drops {
+            DropPolicy::None => {}
+            DropPolicy::All { from: f, to: t } => {
+                let f_match = f.map_or(true, |x| x == from);
+                let t_match = t.map_or(true, |x| x == to);
+                if f_match && t_match {
+                    return None;
+                }
+            }
+            DropPolicy::Probabilistic { p } => {
+                let x = (self.draw() >> 11) as f64 / (1u64 << 53) as f64;
+                if x < p {
+                    return None;
+                }
+            }
+        }
+        let partition = self.partition.clone();
+        if let Some(part) = partition {
+            if part.separates(from, to, now) {
+                match part.heals_at {
+                    // Queued at the healing boundary (eventual delivery).
+                    Some(h) => {
+                        let jitter = 1 + self.draw() % 3;
+                        return Some(Time(h.0 + jitter));
+                    }
+                    None => return None,
+                }
+            }
+        }
+        // Synchrony delay.
+        let delay = match self.synchrony {
+            Synchrony::Synchronous { delta } => 1 + self.draw() % delta.max(1),
+            Synchrony::WeaklySynchronous { tau, delta, wild } => {
+                if now.0 < tau {
+                    1 + self.draw() % wild.max(1)
+                } else {
+                    1 + self.draw() % delta.max(1)
+                }
+            }
+            Synchrony::Asynchronous { max } => {
+                // Heavy-ish tail: occasionally take the full range.
+                let r = self.draw();
+                if r % 8 == 0 {
+                    1 + self.draw() % max.max(1)
+                } else {
+                    1 + self.draw() % (max / 4).max(1)
+                }
+            }
+        };
+        Some(now.plus(delay))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_respects_delta() {
+        let mut net = NetworkModel::synchronous(5, 1);
+        for t in 0..200u64 {
+            let d = net
+                .route(ProcessId(0), ProcessId(1), Time(t))
+                .expect("no drops configured");
+            assert!(d.0 > t && d.0 <= t + 5, "delivery {d} outside (t, t+5]");
+        }
+    }
+
+    #[test]
+    fn weakly_synchronous_stabilizes() {
+        let mut net = NetworkModel::new(
+            Synchrony::WeaklySynchronous {
+                tau: 100,
+                delta: 3,
+                wild: 50,
+            },
+            2,
+        );
+        let mut early_max = 0;
+        for t in 0..100u64 {
+            let d = net.route(ProcessId(0), ProcessId(1), Time(t)).unwrap();
+            early_max = early_max.max(d.0 - t);
+        }
+        assert!(early_max > 3, "pre-τ delays exceed δ somewhere");
+        for t in 100..300u64 {
+            let d = net.route(ProcessId(0), ProcessId(1), Time(t)).unwrap();
+            assert!(d.0 - t <= 3, "post-τ delay must be ≤ δ");
+        }
+    }
+
+    #[test]
+    fn asynchronous_is_finite_and_varied() {
+        let mut net = NetworkModel::new(Synchrony::Asynchronous { max: 64 }, 3);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..500u64 {
+            let d = net.route(ProcessId(0), ProcessId(1), Time(t)).unwrap();
+            assert!(d.0 > t && d.0 <= t + 64);
+            seen.insert(d.0 - t);
+        }
+        assert!(seen.len() > 5, "delays should vary");
+    }
+
+    #[test]
+    fn targeted_drop_silences_one_channel() {
+        let mut net = NetworkModel::synchronous(2, 4).with_drops(DropPolicy::All {
+            from: Some(ProcessId(0)),
+            to: Some(ProcessId(2)),
+        });
+        assert!(net.route(ProcessId(0), ProcessId(2), Time(0)).is_none());
+        assert!(net.route(ProcessId(0), ProcessId(1), Time(0)).is_some());
+        assert!(net.route(ProcessId(1), ProcessId(2), Time(0)).is_some());
+    }
+
+    #[test]
+    fn sender_wide_drop() {
+        let mut net = NetworkModel::synchronous(2, 5).with_drops(DropPolicy::All {
+            from: Some(ProcessId(1)),
+            to: None,
+        });
+        assert!(net.route(ProcessId(1), ProcessId(0), Time(0)).is_none());
+        assert!(net.route(ProcessId(1), ProcessId(2), Time(0)).is_none());
+        assert!(net.route(ProcessId(0), ProcessId(1), Time(0)).is_some());
+    }
+
+    #[test]
+    fn probabilistic_drop_rate() {
+        let mut net =
+            NetworkModel::synchronous(2, 6).with_drops(DropPolicy::Probabilistic { p: 0.3 });
+        let n = 5000;
+        let dropped = (0..n)
+            .filter(|&t| net.route(ProcessId(0), ProcessId(1), Time(t)).is_none())
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn healing_partition_queues_messages() {
+        let part = Partition::halves(4, 2, Some(Time(100)));
+        let mut net = NetworkModel::synchronous(2, 7).with_partition(part);
+        // Cross-group before healing: delivered after the heal point.
+        let d = net.route(ProcessId(0), ProcessId(3), Time(10)).unwrap();
+        assert!(d.0 > 100);
+        // Same-group: normal.
+        let d = net.route(ProcessId(0), ProcessId(1), Time(10)).unwrap();
+        assert!(d.0 <= 12);
+        // After healing: normal.
+        let d = net.route(ProcessId(0), ProcessId(3), Time(150)).unwrap();
+        assert!(d.0 <= 152);
+    }
+
+    #[test]
+    fn permanent_partition_drops() {
+        let part = Partition::halves(2, 1, None);
+        let mut net = NetworkModel::synchronous(2, 8).with_partition(part);
+        assert!(net.route(ProcessId(0), ProcessId(1), Time(5)).is_none());
+        assert!(net.route(ProcessId(1), ProcessId(0), Time(5)).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net = NetworkModel::new(Synchrony::Asynchronous { max: 32 }, seed);
+            (0..50u64)
+                .map(|t| net.route(ProcessId(0), ProcessId(1), Time(t)).unwrap().0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

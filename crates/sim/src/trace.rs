@@ -1,0 +1,301 @@
+//! Execution traces: the event vocabulary of §4.2 / Def. 4.2.
+//!
+//! A message-passing execution is recorded as a sequence of
+//! `send_i(b_g, b_i)`, `receive_j(b_g, b_i)`, and `update_i(b_g, b_i)`
+//! events (block dissemination), plus the BT-ADT `read`/`append` operations
+//! which are stored as a [`History`] for the consistency checkers.
+//!
+//! Def. 4.2 restricts the history to events at *correct* processes (plus
+//! all valid `append` invocations); [`Trace::restrict_correct`] applies
+//! that restriction given the fault sets.
+
+use btadt_core::chain::Blockchain;
+use btadt_core::history::{History, Invocation, Response};
+use btadt_core::ids::{BlockId, ProcessId, Time};
+use std::fmt;
+
+/// One recorded dissemination event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `send_i(b_g, b_i)`: process `by` broadcast block `block` (chained
+    /// under `parent`).
+    Send {
+        at: Time,
+        by: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    },
+    /// `receive_j(b_g, b_i)`: process `by` received the announcement
+    /// originally sent by `from`.
+    Receive {
+        at: Time,
+        by: ProcessId,
+        from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    },
+    /// `update_i(b_g, b_i)`: process `by` inserted `block` into its local
+    /// BlockTree replica.
+    Update {
+        at: Time,
+        by: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    },
+}
+
+impl TraceEvent {
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Receive { at, .. }
+            | TraceEvent::Update { at, .. } => *at,
+        }
+    }
+
+    pub fn by(&self) -> ProcessId {
+        match self {
+            TraceEvent::Send { by, .. }
+            | TraceEvent::Receive { by, .. }
+            | TraceEvent::Update { by, .. } => *by,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Send {
+                at,
+                by,
+                parent,
+                block,
+            } => write!(f, "[{at}] send_{by}({parent}, {block})"),
+            TraceEvent::Receive {
+                at,
+                by,
+                from,
+                parent,
+                block,
+            } => write!(f, "[{at}] receive_{by}({parent}, {block}) from {from}"),
+            TraceEvent::Update {
+                at,
+                by,
+                parent,
+                block,
+            } => write!(f, "[{at}] update_{by}({parent}, {block})"),
+        }
+    }
+}
+
+/// The full record of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Dissemination events, in global-clock order of recording.
+    pub events: Vec<TraceEvent>,
+    /// BT-ADT operations (reads/appends) for the consistency checkers.
+    pub history: History,
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_send(&mut self, at: Time, by: ProcessId, parent: BlockId, block: BlockId) {
+        self.events.push(TraceEvent::Send {
+            at,
+            by,
+            parent,
+            block,
+        });
+    }
+
+    pub fn record_receive(
+        &mut self,
+        at: Time,
+        by: ProcessId,
+        from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
+        self.events.push(TraceEvent::Receive {
+            at,
+            by,
+            from,
+            parent,
+            block,
+        });
+    }
+
+    pub fn record_update(&mut self, at: Time, by: ProcessId, parent: BlockId, block: BlockId) {
+        self.events.push(TraceEvent::Update {
+            at,
+            by,
+            parent,
+            block,
+        });
+    }
+
+    /// Records a completed `append(b)` operation (invocation + response).
+    pub fn record_append(&mut self, by: ProcessId, block: BlockId, invoked: Time, responded: Time) {
+        self.history.push_complete(
+            by,
+            Invocation::Append { block },
+            invoked,
+            Response::Appended(true),
+            responded,
+        );
+    }
+
+    /// Records a completed `read()` operation.
+    pub fn record_read(
+        &mut self,
+        by: ProcessId,
+        chain: Blockchain,
+        invoked: Time,
+        responded: Time,
+    ) {
+        self.history.push_complete(
+            by,
+            Invocation::Read,
+            invoked,
+            Response::Chain(chain),
+            responded,
+        );
+    }
+
+    /// Iterates all `update` events.
+    pub fn updates(&self) -> impl Iterator<Item = (Time, ProcessId, BlockId, BlockId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Update {
+                at,
+                by,
+                parent,
+                block,
+            } => Some((*at, *by, *parent, *block)),
+            _ => None,
+        })
+    }
+
+    /// Iterates all `send` events.
+    pub fn sends(&self) -> impl Iterator<Item = (Time, ProcessId, BlockId, BlockId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Send {
+                at,
+                by,
+                parent,
+                block,
+            } => Some((*at, *by, *parent, *block)),
+            _ => None,
+        })
+    }
+
+    /// Iterates all `receive` events as `(at, by, parent, block)`.
+    pub fn receives(&self) -> impl Iterator<Item = (Time, ProcessId, BlockId, BlockId)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Receive {
+                at, by, parent, block, ..
+            } => Some((*at, *by, *parent, *block)),
+            _ => None,
+        })
+    }
+
+    /// Def. 4.2: restrict the trace to the admissible event set —
+    /// (i)/(ii) `read()` operations at *correct* processes, (iii) **all**
+    /// `append(b)` invocations whose block satisfies `P` (a valid block
+    /// "can be decided even if sent by a faulty process", so Byzantine
+    /// appends stay), and (iv) send/receive/update events at correct
+    /// processes.
+    pub fn restrict_correct(&self, correct: &[bool]) -> Trace {
+        let is_correct = |p: ProcessId| correct.get(p.index()).copied().unwrap_or(false);
+        let mut out = Trace::new();
+        for e in &self.events {
+            if is_correct(e.by()) {
+                out.events.push(e.clone());
+            }
+        }
+        for op in self.history.ops() {
+            let keep = match op.invocation {
+                // (iii): append invocations survive regardless of who
+                // issued them.
+                Invocation::Append { .. } => true,
+                Invocation::Read => is_correct(op.process),
+            };
+            if !keep {
+                continue;
+            }
+            match (&op.response, op.responded_at) {
+                (Some(r), Some(t)) => {
+                    out.history.push_complete(
+                        op.process,
+                        op.invocation.clone(),
+                        op.invoked_at,
+                        r.clone(),
+                        t,
+                    );
+                }
+                _ => {
+                    out.history
+                        .push_invocation(op.process, op.invocation.clone(), op.invoked_at);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_iterate() {
+        let mut t = Trace::new();
+        t.record_send(Time(1), ProcessId(0), BlockId::GENESIS, BlockId(1));
+        t.record_receive(Time(3), ProcessId(1), ProcessId(0), BlockId::GENESIS, BlockId(1));
+        t.record_update(Time(3), ProcessId(1), BlockId::GENESIS, BlockId(1));
+        assert_eq!(t.sends().count(), 1);
+        assert_eq!(t.receives().count(), 1);
+        assert_eq!(t.updates().count(), 1);
+        let (at, by, parent, block) = t.updates().next().unwrap();
+        assert_eq!(
+            (at, by, parent, block),
+            (Time(3), ProcessId(1), BlockId::GENESIS, BlockId(1))
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent::Send {
+            at: Time(2),
+            by: ProcessId(1),
+            parent: BlockId::GENESIS,
+            block: BlockId(3),
+        };
+        assert_eq!(format!("{e}"), "[t2] send_p1(b0, b3)");
+    }
+
+    #[test]
+    fn history_side_records_ops() {
+        let mut t = Trace::new();
+        t.record_append(ProcessId(0), BlockId(1), Time(1), Time(2));
+        t.record_read(ProcessId(1), Blockchain::genesis(), Time(3), Time(4));
+        assert_eq!(t.history.append_count(), 1);
+        assert_eq!(t.history.reads().count(), 1);
+        assert!(t.history.validate().is_empty());
+    }
+
+    #[test]
+    fn restrict_correct_filters_both_sides() {
+        let mut t = Trace::new();
+        t.record_send(Time(1), ProcessId(0), BlockId::GENESIS, BlockId(1));
+        t.record_send(Time(2), ProcessId(1), BlockId::GENESIS, BlockId(2));
+        t.record_read(ProcessId(0), Blockchain::genesis(), Time(3), Time(4));
+        t.record_read(ProcessId(1), Blockchain::genesis(), Time(3), Time(4));
+        let restricted = t.restrict_correct(&[true, false]);
+        assert_eq!(restricted.events.len(), 1);
+        assert_eq!(restricted.history.reads().count(), 1);
+        assert_eq!(restricted.events[0].by(), ProcessId(0));
+    }
+}

@@ -1,0 +1,576 @@
+//! The deterministic discrete-event simulator: `n` processes running a
+//! [`Protocol`], a [`NetworkModel`], a global block arena, a token oracle,
+//! and a [`Trace`] recording the §4.2 event vocabulary.
+//!
+//! # Clock
+//!
+//! The fictional global clock (§4.2) runs in **microticks**: one network
+//! tick = [`TICK`] microticks. Events inside a tick get distinct,
+//! monotonically increasing microtick stamps, so recorded histories are
+//! well-formed (every response strictly after its invocation) while
+//! network delays stay expressed in whole ticks. Processes never read the
+//! clock — only the harness does.
+//!
+//! # Determinism
+//!
+//! Message delivery order is a `BTreeMap` keyed by `(delivery_tick, seq)`;
+//! process callbacks run in process-id order; all randomness is SplitMix64
+//! streams. Same seeds ⇒ same execution, bit for bit.
+
+use crate::network::NetworkModel;
+use crate::replica::Replica;
+use crate::trace::Trace;
+use btadt_core::block::Payload;
+use btadt_core::chain::Blockchain;
+use btadt_core::ids::{mix2, splitmix64_at, BlockId, ProcessId, Time};
+use btadt_core::selection::SelectionFn;
+use btadt_core::store::BlockStore;
+use btadt_oracle::{KBound, ThetaOracle};
+use std::collections::BTreeMap;
+
+/// Microticks per network tick.
+pub const TICK: u64 = 1_000;
+
+/// Messages exchanged by protocols: block announcements (the `send/receive`
+/// events of §4.2) plus protocol-specific payloads.
+#[derive(Clone, Debug)]
+pub enum Msg<X: Clone> {
+    /// Announcement of `block` chained under `parent`.
+    Block { parent: BlockId, block: BlockId },
+    /// Protocol-specific message.
+    Custom(X),
+}
+
+/// A protocol running at every process of the world.
+pub trait Protocol: Sized {
+    /// Protocol-specific message payload.
+    type Custom: Clone + std::fmt::Debug;
+
+    /// Called once before the first tick.
+    fn on_init(&mut self, _ctx: &mut Ctx<'_, Self::Custom>) {}
+
+    /// Called every network tick (in process-id order).
+    fn on_tick(&mut self, _ctx: &mut Ctx<'_, Self::Custom>) {}
+
+    /// A block announcement arrived. Default: apply it to the local
+    /// replica (no re-gossip — override for flooding protocols).
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Custom>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
+        ctx.apply_update(parent, block);
+    }
+
+    /// A custom message arrived.
+    fn on_custom(&mut self, _ctx: &mut Ctx<'_, Self::Custom>, _from: ProcessId, _msg: Self::Custom) {
+    }
+}
+
+/// Everything a protocol callback may touch. Borrows split out of the
+/// [`World`] for the duration of one callback.
+pub struct Ctx<'a, X: Clone> {
+    /// The executing process.
+    pub me: ProcessId,
+    /// Current global time (microticks). Protocols in the formal model
+    /// cannot read the clock; implementations may use it only for
+    /// harness-level bookkeeping (e.g. round numbers derived from ticks
+    /// are fine under the synchronous assumption that grants rounds).
+    pub now: Time,
+    /// Number of processes.
+    pub n: usize,
+    /// The global block arena.
+    pub store: &'a mut BlockStore,
+    /// The token oracle (shared abstraction; see §4.4's observation that
+    /// synchronization on the block to append is oracle-side).
+    pub oracle: &'a mut ThetaOracle,
+    /// This process's local BlockTree.
+    pub replica: &'a mut Replica,
+    /// The run's trace (records happen through helper methods).
+    pub trace: &'a mut Trace,
+    /// The selection function `f` (common to all replicas).
+    pub selection: &'a dyn SelectionFn,
+    outbox: &'a mut Vec<(Option<ProcessId>, Msg<X>)>,
+    rng_seed: u64,
+    rng_ctr: &'a mut u64,
+    micro: &'a mut u64,
+    nonce: &'a mut u64,
+}
+
+impl<X: Clone> Ctx<'_, X> {
+    fn next_micro(&mut self) -> Time {
+        *self.micro += 1;
+        Time(*self.micro)
+    }
+
+    /// Deterministic per-world random word.
+    pub fn random(&mut self) -> u64 {
+        let v = splitmix64_at(self.rng_seed, *self.rng_ctr);
+        *self.rng_ctr += 1;
+        v
+    }
+
+    /// One mining attempt at the local tip (one tape cell): the refined
+    /// append specialised to the message-passing world. On success the
+    /// block is minted, the token consumed, the local replica updated, and
+    /// an `append` operation recorded. Returns the new block.
+    pub fn mine(&mut self, payload: Payload, work: u64) -> Option<BlockId> {
+        let parent = self.replica.tip(self.store, self.selection);
+        self.mine_at(parent, payload, work)
+    }
+
+    /// One mining attempt against an explicit parent.
+    pub fn mine_at(&mut self, parent: BlockId, payload: Payload, work: u64) -> Option<BlockId> {
+        let invoked = self.next_micro();
+        let grant = self.oracle.get_token(self.me.index(), parent)?;
+        let admits = match self.oracle.k() {
+            KBound::Finite(k) => self.oracle.consumed_for(parent).len() < k as usize,
+            KBound::Infinite => true,
+        };
+        if !admits {
+            // Token burned against a full K[parent]: unsuccessful append,
+            // not part of Ĥ; nothing minted.
+            let _ = self.oracle.consume_token(&grant, BlockId(u32::MAX));
+            return None;
+        }
+        *self.nonce += 1;
+        let block = self.store.mint(
+            parent,
+            self.me,
+            self.me.0,
+            work,
+            *self.nonce,
+            payload,
+        );
+        let set = self.oracle.consume_token(&grant, block);
+        debug_assert!(set.contains(&block));
+        let responded = self.next_micro();
+        self.trace.record_append(self.me, block, invoked, responded);
+        let at = self.next_micro();
+        self.replica.update(self.store, parent, block, self.trace, at);
+        Some(block)
+    }
+
+    /// Applies a remote block to the local replica (`update_i`), returning
+    /// the blocks that took effect (orphan cascade included).
+    pub fn apply_update(&mut self, parent: BlockId, block: BlockId) -> Vec<BlockId> {
+        let at = self.next_micro();
+        self.replica.update(self.store, parent, block, self.trace, at)
+    }
+
+    /// Broadcasts a block announcement to every process (including self —
+    /// LRC Validity wants `send_i ⇒ receive_i`), recording the
+    /// `send_i(b_g, b_i)` event.
+    pub fn broadcast_block(&mut self, parent: BlockId, block: BlockId) {
+        let at = self.next_micro();
+        self.trace.record_send(at, self.me, parent, block);
+        self.outbox.push((None, Msg::Block { parent, block }));
+    }
+
+    /// Point-to-point block send (recorded as a send event).
+    pub fn send_block_to(&mut self, to: ProcessId, parent: BlockId, block: BlockId) {
+        let at = self.next_micro();
+        self.trace.record_send(at, self.me, parent, block);
+        self.outbox.push((Some(to), Msg::Block { parent, block }));
+    }
+
+    /// Broadcasts a protocol message.
+    pub fn broadcast_custom(&mut self, msg: X) {
+        self.outbox.push((None, Msg::Custom(msg)));
+    }
+
+    /// Point-to-point protocol message.
+    pub fn send_custom(&mut self, to: ProcessId, msg: X) {
+        self.outbox.push((Some(to), Msg::Custom(msg)));
+    }
+
+    /// The local chain `{b0}⌢f(bt_i)` (not recorded).
+    pub fn read_local(&self) -> Blockchain {
+        self.replica.read(self.store, self.selection)
+    }
+
+    /// The local selected tip.
+    pub fn tip(&self) -> BlockId {
+        self.replica.tip(self.store, self.selection)
+    }
+
+    /// Records an observable `read()` operation in the history.
+    pub fn read_recorded(&mut self) -> Blockchain {
+        let invoked = self.next_micro();
+        let chain = self.read_local();
+        let responded = self.next_micro();
+        self.trace
+            .record_read(self.me, chain.clone(), invoked, responded);
+        chain
+    }
+}
+
+struct Envelope<X: Clone> {
+    from: ProcessId,
+    to: ProcessId,
+    msg: Msg<X>,
+}
+
+/// The simulator.
+pub struct World<P: Protocol> {
+    pub store: BlockStore,
+    pub oracle: ThetaOracle,
+    pub trace: Trace,
+    procs: Vec<Option<P>>,
+    pub replicas: Vec<Replica>,
+    net: NetworkModel,
+    selection: Box<dyn SelectionFn>,
+    inbox: BTreeMap<(u64, u64), Envelope<P::Custom>>,
+    tick: u64,
+    micro: u64,
+    crashed: Vec<bool>,
+    byzantine: Vec<bool>,
+    seq: u64,
+    rng_seed: u64,
+    rng_ctr: u64,
+    nonce: u64,
+    outbox_buf: Vec<(Option<ProcessId>, Msg<P::Custom>)>,
+    /// If set, every correct process performs a recorded `read()` every
+    /// this-many ticks.
+    pub read_every: Option<u64>,
+}
+
+impl<P: Protocol> World<P> {
+    pub fn new(
+        protocols: Vec<P>,
+        oracle: ThetaOracle,
+        net: NetworkModel,
+        selection: Box<dyn SelectionFn>,
+        seed: u64,
+    ) -> Self {
+        let n = protocols.len();
+        assert!(n > 0, "need at least one process");
+        let mut w = World {
+            store: BlockStore::new(),
+            oracle,
+            trace: Trace::new(),
+            procs: protocols.into_iter().map(Some).collect(),
+            replicas: (0..n).map(|i| Replica::new(ProcessId(i as u32))).collect(),
+            net,
+            selection,
+            inbox: BTreeMap::new(),
+            tick: 0,
+            micro: 0,
+            crashed: vec![false; n],
+            byzantine: vec![false; n],
+            seq: 0,
+            rng_seed: mix2(seed, 0x570_13D),
+            rng_ctr: 0,
+            nonce: 0,
+            outbox_buf: Vec::new(),
+            read_every: None,
+        };
+        for i in 0..n {
+            w.dispatch(i, |p, ctx| p.on_init(ctx));
+        }
+        w
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current time in microticks.
+    pub fn now(&self) -> Time {
+        Time(self.micro)
+    }
+
+    /// Current network tick.
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Crash-stops a process (no further callbacks or deliveries).
+    pub fn crash(&mut self, p: ProcessId) {
+        self.crashed[p.index()] = true;
+    }
+
+    /// Marks a process Byzantine for the Def. 4.2 history restriction
+    /// (its behaviour is whatever its `Protocol` impl does).
+    pub fn mark_byzantine(&mut self, p: ProcessId) {
+        self.byzantine[p.index()] = true;
+    }
+
+    /// `correct[i]` ⇔ process `i` is neither crashed nor Byzantine.
+    pub fn correct_mask(&self) -> Vec<bool> {
+        (0..self.n())
+            .map(|i| !self.crashed[i] && !self.byzantine[i])
+            .collect()
+    }
+
+    /// Runs `ticks` network ticks.
+    pub fn run_ticks(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step_tick();
+        }
+    }
+
+    fn step_tick(&mut self) {
+        self.tick += 1;
+        self.micro = self.micro.max(self.tick * TICK);
+
+        // 1. Deliver everything due up to this tick, in (time, seq) order.
+        let due: Vec<(u64, u64)> = self
+            .inbox
+            .range(..(self.tick + 1, 0))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let env = self.inbox.remove(&key).expect("key just observed");
+            let to = env.to.index();
+            if self.crashed[to] {
+                continue;
+            }
+            match env.msg {
+                Msg::Block { parent, block } => {
+                    let at = Time(self.next_micro());
+                    self.trace
+                        .record_receive(at, env.to, env.from, parent, block);
+                    self.dispatch(to, |p, ctx| p.on_block(ctx, env.from, parent, block));
+                }
+                Msg::Custom(m) => {
+                    self.dispatch(to, |p, ctx| p.on_custom(ctx, env.from, m));
+                }
+            }
+        }
+
+        // 2. Scheduled observable reads.
+        if let Some(every) = self.read_every {
+            if every > 0 && self.tick % every == 0 {
+                for i in 0..self.n() {
+                    if !self.crashed[i] {
+                        self.dispatch(i, |_, ctx| {
+                            ctx.read_recorded();
+                        });
+                    }
+                }
+            }
+        }
+
+        // 3. Protocol ticks, process-id order.
+        for i in 0..self.n() {
+            if !self.crashed[i] {
+                self.dispatch(i, |p, ctx| p.on_tick(ctx));
+            }
+        }
+    }
+
+    fn next_micro(&mut self) -> u64 {
+        self.micro += 1;
+        self.micro
+    }
+
+    fn dispatch(&mut self, i: usize, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Custom>)) {
+        let mut proto = self.procs[i].take().expect("no reentrant dispatch");
+        {
+            let mut ctx = Ctx {
+                me: ProcessId(i as u32),
+                now: Time(self.micro),
+                n: self.replicas.len(),
+                store: &mut self.store,
+                oracle: &mut self.oracle,
+                replica: &mut self.replicas[i],
+                trace: &mut self.trace,
+                selection: self.selection.as_ref(),
+                outbox: &mut self.outbox_buf,
+                rng_seed: self.rng_seed,
+                rng_ctr: &mut self.rng_ctr,
+                micro: &mut self.micro,
+                nonce: &mut self.nonce,
+            };
+            f(&mut proto, &mut ctx);
+        }
+        self.procs[i] = Some(proto);
+        self.flush_outbox(ProcessId(i as u32));
+    }
+
+    fn flush_outbox(&mut self, from: ProcessId) {
+        let msgs = std::mem::take(&mut self.outbox_buf);
+        for (dest, msg) in msgs {
+            match dest {
+                Some(to) => self.route_one(from, to, msg),
+                None => {
+                    for to in 0..self.n() {
+                        self.route_one(from, ProcessId(to as u32), msg.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_one(&mut self, from: ProcessId, to: ProcessId, msg: Msg<P::Custom>) {
+        // Self-delivery is local: next tick, never dropped (a process's
+        // channel to itself is not a network channel).
+        let delivery_tick = if from == to {
+            Some(self.tick + 1)
+        } else {
+            self.net.route(from, to, Time(self.tick)).map(|t| t.0.max(self.tick + 1))
+        };
+        if let Some(dt) = delivery_tick {
+            self.seq += 1;
+            self.inbox.insert((dt, self.seq), Envelope { from, to, msg });
+        }
+    }
+
+    /// A recorded `read()` at every correct process (used by experiment
+    /// drivers for final read rounds).
+    pub fn read_all(&mut self) {
+        for i in 0..self.n() {
+            if !self.crashed[i] {
+                self.dispatch(i, |_, ctx| {
+                    ctx.read_recorded();
+                });
+            }
+        }
+    }
+
+    /// The selection function `f` shared by all replicas.
+    pub fn selection(&self) -> &dyn SelectionFn {
+        self.selection.as_ref()
+    }
+
+    /// Immutable access to a protocol instance (diagnostics).
+    pub fn protocol(&self, p: ProcessId) -> &P {
+        self.procs[p.index()].as_ref().expect("not mid-dispatch")
+    }
+
+    /// Mutable access to a protocol instance (test rigging).
+    pub fn protocol_mut(&mut self, p: ProcessId) -> &mut P {
+        self.procs[p.index()].as_mut().expect("not mid-dispatch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkModel;
+    use btadt_core::selection::LongestChain;
+    use btadt_oracle::Merits;
+
+    /// Process 0 mines (up to a cap) and floods; others just apply.
+    struct Flood {
+        cap: u32,
+        mined: u32,
+    }
+
+    impl Flood {
+        fn new(cap: u32) -> Self {
+            Flood { cap, mined: 0 }
+        }
+    }
+
+    impl Protocol for Flood {
+        type Custom = ();
+
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if ctx.me == ProcessId(0) && self.mined < self.cap {
+                if let Some(b) = ctx.mine(Payload::Empty, 1) {
+                    self.mined += 1;
+                    let parent = ctx.store.get(b).parent.expect("non-genesis");
+                    ctx.broadcast_block(parent, b);
+                }
+            }
+        }
+    }
+
+    fn world(rate: f64, seed: u64) -> World<Flood> {
+        world_capped(rate, seed, u32::MAX)
+    }
+
+    fn world_capped(rate: f64, seed: u64, cap: u32) -> World<Flood> {
+        let oracle = ThetaOracle::prodigal(Merits::uniform(3), rate, seed);
+        World::new(
+            vec![Flood::new(cap), Flood::new(cap), Flood::new(cap)],
+            oracle,
+            NetworkModel::synchronous(2, seed),
+            Box::new(LongestChain),
+            seed,
+        )
+    }
+
+    #[test]
+    fn blocks_propagate_to_all_replicas() {
+        let mut w = world_capped(3.0, 1, 20);
+        w.run_ticks(50);
+        // Mining capped at 20 blocks well before tick 50; δ = 2 gives the
+        // last announcement ample time to land.
+        let c0 = w.replicas[0].read(&w.store, &LongestChain);
+        let c1 = w.replicas[1].read(&w.store, &LongestChain);
+        let c2 = w.replicas[2].read(&w.store, &LongestChain);
+        assert_eq!(c0.len(), 21, "miner produced its 20 blocks");
+        assert_eq!(c0, c1);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn trace_records_full_vocabulary() {
+        let mut w = world(3.0, 2);
+        w.run_ticks(30);
+        assert!(w.trace.sends().count() > 0);
+        assert!(w.trace.receives().count() > 0);
+        assert!(w.trace.updates().count() > 0);
+        assert!(w.trace.history.append_count() > 0);
+        assert!(w.trace.history.validate().is_empty());
+    }
+
+    #[test]
+    fn crashed_process_stops_participating() {
+        let mut w = world(3.0, 3);
+        w.run_ticks(10);
+        let len_before = w.replicas[2].len();
+        w.crash(ProcessId(2));
+        w.run_ticks(30);
+        assert_eq!(w.replicas[2].len(), len_before, "no updates after crash");
+        assert!(w.replicas[0].len() > len_before);
+    }
+
+    #[test]
+    fn periodic_reads_are_recorded() {
+        let mut w = world(3.0, 4);
+        w.read_every = Some(5);
+        w.run_ticks(20);
+        // 3 processes × 4 read points.
+        assert_eq!(w.trace.history.reads().count(), 12);
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let run = |seed| {
+            let mut w = world(2.0, seed);
+            w.read_every = Some(7);
+            w.run_ticks(40);
+            (
+                w.store.len(),
+                w.trace.events.len(),
+                w.trace.history.len(),
+                w.replicas[1].len(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn self_delivery_supports_lrc_validity() {
+        let mut w = world_capped(3.0, 6, 10);
+        w.run_ticks(30); // cap hit by ~tick 10; the rest drains in-flight
+        // Every send by p0 is eventually received by p0 itself.
+        let sends: Vec<_> = w.trace.sends().collect();
+        assert!(!sends.is_empty());
+        for (_, by, parent, block) in sends {
+            assert!(
+                w.trace
+                    .receives()
+                    .any(|(_, rby, rp, rb)| rby == by && rp == parent && rb == block),
+                "sender must self-receive (LRC validity)"
+            );
+        }
+    }
+}

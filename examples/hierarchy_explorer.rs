@@ -1,0 +1,135 @@
+//! Walks the refinement hierarchy of Figs. 8 and 14: prints the lattice,
+//! samples history sets per refinement, verifies the inclusion theorems
+//! empirically, and re-runs the message-passing impossibility drivers.
+//!
+//! ```sh
+//! cargo run --release --example hierarchy_explorer
+//! ```
+
+use blockchain_adt::core::criteria::{
+    check_eventual_consistency, check_strong_consistency, ConsistencyParams, CriterionKind,
+    LivenessMode,
+};
+use blockchain_adt::core::hierarchy::{figure8_edges, figure_nodes, RefinementClass};
+use blockchain_adt::prelude::*;
+
+fn main() {
+    println!("=== the R(BT-ADT, Θ) hierarchy (Figs. 8 & 14) ===\n");
+
+    println!("nodes:");
+    for node in figure_nodes(2) {
+        let mp = if node.message_passing_implementable() {
+            "implementable in message passing"
+        } else {
+            "IMPOSSIBLE in message passing (Thm 4.8)"
+        };
+        println!("  {:<30} {}", node.label(), mp);
+    }
+
+    println!("\ninclusion edges:");
+    for e in figure8_edges(2) {
+        println!("  {} ⊆ {}   [{}]", e.from, e.to, e.justification);
+    }
+
+    // ── Empirical inclusion sampling ─────────────────────────────────────
+    // Generate workload histories per oracle and check which criteria each
+    // satisfies; tally the classes.
+    println!("\nsampling Ĥ(R(BT-ADT, Θ)) over 12 seeds each:");
+    let cfg = WorkloadConfig {
+        processes: 4,
+        steps: 250,
+        append_prob: 0.3,
+        read_prob: 0.2,
+        max_latency: 5,
+        seed: 0,
+    };
+    for (label, k) in [
+        ("Θ_F,k=1", Some(1u32)),
+        ("Θ_F,k=2", Some(2)),
+        ("Θ_P   ", None),
+    ] {
+        let mut sc_count = 0;
+        let mut ec_count = 0;
+        for seed in 0..12u64 {
+            let merits = Merits::uniform(cfg.processes as usize);
+            let oracle = match k {
+                Some(k) => ThetaOracle::frugal(k, merits, 2.0, seed),
+                None => ThetaOracle::prodigal(merits, 2.0, seed),
+            };
+            let out = run_workload(oracle, &WorkloadConfig { seed, ..cfg.clone() });
+            let params = ConsistencyParams {
+                store: &out.store,
+                predicate: &AcceptAll,
+                score: &LengthScore,
+                liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+            };
+            if check_strong_consistency(&out.history, &params).holds() {
+                sc_count += 1;
+            }
+            if check_eventual_consistency(&out.history, &params).holds() {
+                ec_count += 1;
+            }
+        }
+        println!("  {label}: SC on {sc_count:>2}/12 runs, EC on {ec_count:>2}/12 runs");
+    }
+    println!("  (Thm 3.1 empirically: every SC run is an EC run; k=1 forces SC)");
+
+    // ── The impossibility frontier (Fig. 14) ─────────────────────────────
+    println!("\nmessage-passing frontier (Thm 4.8 schedules):");
+    for (label, k) in [
+        ("Θ_F,k=1", KBound::Finite(1)),
+        ("Θ_F,k=2", KBound::Finite(2)),
+        ("Θ_P   ", KBound::Infinite),
+    ] {
+        let out = theorem_4_8(k, 42);
+        let (sc, ec) = out.consistency();
+        println!(
+            "  {label}: Strong Prefix {}  |  Eventual Consistency {}",
+            if sc.strong_prefix.as_ref().map(|v| v.holds).unwrap_or(true) {
+                "preserved"
+            } else {
+                "VIOLATED "
+            },
+            if ec.holds() { "holds" } else { "violated" }
+        );
+    }
+
+    // ── Necessity results ────────────────────────────────────────────────
+    println!("\nnecessity of Update Agreement / LRC (Lemmas 4.4–4.5, Thms 4.6–4.7):");
+    let out = lemma_4_4(7);
+    let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+    let (_, ec) = out.consistency();
+    println!(
+        "  drop R1 (never send):        UA {} → EC {}",
+        if ua.holds() { "holds" } else { "violated" },
+        if ec.holds() { "holds" } else { "violated" }
+    );
+    let out = lemma_4_5(7);
+    let lrc = check_lrc(&out.trace, &out.correct);
+    let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+    let (_, ec) = out.consistency();
+    println!(
+        "  drop one channel (0→2):      LRC {} → UA {} → EC {}",
+        if lrc.holds() { "holds" } else { "violated" },
+        if ua.holds() { "holds" } else { "violated" },
+        if ec.holds() { "holds" } else { "violated" }
+    );
+    let out = update_agreement_positive(7);
+    let lrc = check_lrc(&out.trace, &out.correct);
+    let ua = check_update_agreement(&out.trace, &out.store, &out.correct);
+    let (_, ec) = out.consistency();
+    println!(
+        "  gossip echo (full LRC):      LRC {} → UA {} → EC {}",
+        if lrc.holds() { "holds" } else { "violated" },
+        if ua.holds() { "holds" } else { "violated" },
+        if ec.holds() { "holds" } else { "violated" }
+    );
+
+    // A cross-check that the static lattice agrees with Fig. 14's greying.
+    let sc_p = RefinementClass::new(
+        CriterionKind::Strong,
+        blockchain_adt::core::hierarchy::OracleModel::Prodigal,
+    );
+    assert!(!sc_p.message_passing_implementable());
+    println!("\ndone.");
+}

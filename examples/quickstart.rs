@@ -1,0 +1,79 @@
+//! Quickstart: the BlockTree ADT, token oracles, and consistency checking
+//! in one sitting.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use blockchain_adt::prelude::*;
+
+fn main() {
+    println!("=== blockchain-adt quickstart ===\n");
+
+    // ── 1. The bare BlockTree ADT (Def. 3.1) ────────────────────────────
+    // A tree of blocks with a selection function f (longest chain) and a
+    // validity predicate P (no double spends).
+    let mut bt = BlockTree::new(LongestChain, NoDoubleSpend);
+    let ok = bt.append(
+        CandidateBlock::simple(ProcessId(0), 1)
+            .with_payload(Payload::Transactions(vec![Tx::new(1, 0, 1, 50)])),
+    );
+    println!("append(b1 spending tx#1)      -> {ok}");
+    let dup = bt.append(
+        CandidateBlock::simple(ProcessId(0), 2)
+            .with_payload(Payload::Transactions(vec![Tx::new(1, 0, 2, 50)])),
+    );
+    println!("append(b2 re-spending tx#1)   -> {dup}  (rejected by P)");
+    println!("read() = {}\n", bt.read());
+
+    // ── 2. The refined append R(BT-ADT, Θ) (Def. 3.7) ───────────────────
+    // Appends now go through a token oracle. With the frugal k = 1 oracle
+    // at most one block can ever chain under each parent: no forks.
+    let oracle = ThetaOracle::frugal(1, Merits::uniform(3), 3.0, 42);
+    let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+    for p in 0..3u32 {
+        let out = tree.append(ProcessId(p), Payload::Opaque(p as u64));
+        println!("process p{p} refined append    -> {out:?}");
+    }
+    println!("read() = {}", tree.read(ProcessId(0)));
+    println!(
+        "k-fork coherence (Thm 3.2)    -> {}\n",
+        tree.oracle().fork_coherent()
+    );
+
+    // ── 3. Forks under the prodigal oracle ──────────────────────────────
+    // Two overlapping appends captured the same parent; Θ_P admits both.
+    let oracle = ThetaOracle::prodigal(Merits::uniform(2), 2.0, 7);
+    let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+    let t0 = tree.now();
+    tree.append_at(ProcessId(0), 0, BlockId::GENESIS, Payload::Empty, t0);
+    tree.append_at(ProcessId(1), 1, BlockId::GENESIS, Payload::Empty, t0);
+    println!(
+        "Θ_P overlapping appends       -> {} children under b0 (a fork)",
+        tree.store().children(BlockId::GENESIS).len()
+    );
+
+    // ── 4. Checking consistency criteria on a recorded history ──────────
+    let cfg = WorkloadConfig::default();
+    let out = run_workload(ThetaOracle::prodigal(Merits::uniform(4), 2.0, 11), &cfg);
+    let params = ConsistencyParams {
+        store: &out.store,
+        predicate: &AcceptAll,
+        score: &LengthScore,
+        liveness: LivenessMode::ConvergenceCut(out.suggested_cut),
+    };
+    let sc = check_strong_consistency(&out.history, &params);
+    let ec = check_eventual_consistency(&out.history, &params);
+    println!(
+        "\nworkload under Θ_P: {} appends, {} fork points",
+        out.successful_appends, out.fork_points
+    );
+    println!("{sc}");
+    println!("{ec}");
+
+    // ── 5. The hierarchy (Fig. 8) ────────────────────────────────────────
+    println!("refinement hierarchy edges (Fig. 8):");
+    for e in blockchain_adt::core::hierarchy::figure8_edges(2) {
+        println!("  {} ⊆ {}   [{}]", e.from, e.to, e.justification);
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration: the §4.1 shared-memory results on real threads — the
+//! CT ⇒ CAS ⇒ Consensus chain, the snapshot-based prodigal oracle, and
+//! the synchronization-power gap between Θ_F,k=1 and Θ_P.
+
+use blockchain_adt::prelude::*;
+use blockchain_adt::registers::adversary::{divergent_schedule, naive_propose, PickRule};
+use blockchain_adt::registers::consensus::Consensus;
+use std::sync::Arc;
+
+#[test]
+fn the_full_reduction_chain_thm_4_1_and_4_2() {
+    // consumeToken (k=1) ⇒ CAS (Fig. 10) ⇒ consensus: build consensus on
+    // top of the *reduced* CAS and validate Def. 4.1 on threads.
+    struct ReducedCasConsensus {
+        cell: CasFromCt,
+    }
+    impl Consensus for ReducedCasConsensus {
+        fn propose(&self, _who: usize, value: u64) -> u64 {
+            let prev = self.cell.compare_and_swap_from_empty(value);
+            if prev == EMPTY {
+                value
+            } else {
+                prev
+            }
+        }
+    }
+    for _ in 0..10 {
+        let c = ReducedCasConsensus {
+            cell: CasFromCt::new(),
+        };
+        let report = run_trial(&c, 8);
+        assert!(report.termination() && report.agreement() && report.validity());
+    }
+}
+
+#[test]
+fn protocol_a_scales_with_threads() {
+    for &n in &[2usize, 4, 8, 16] {
+        let oracle = ThetaOracle::frugal(1, Merits::uniform(n), n as f64 * 0.8, n as u64 + 1);
+        let consensus = OracleConsensus::new(SharedOracle::new(oracle));
+        let report = run_trial(&consensus, n);
+        assert!(report.agreement(), "n={n}: {:?}", report.decisions);
+        assert!(report.validity());
+        assert!(consensus.oracle().fork_coherent());
+    }
+}
+
+#[test]
+fn skewed_merits_still_agree() {
+    // One process holds 90% of the merit: it usually wins, but agreement
+    // and validity hold regardless of who does.
+    let mut weights = vec![1.0; 8];
+    weights[0] = 63.0;
+    for seed in 0..5u64 {
+        let oracle = ThetaOracle::frugal(1, Merits::from_weights(weights.clone()), 6.0, seed);
+        let consensus = OracleConsensus::new(SharedOracle::new(oracle));
+        let report = run_trial(&consensus, 8);
+        assert!(report.agreement() && report.validity(), "seed {seed}");
+    }
+}
+
+#[test]
+fn snapshot_based_prodigal_ct_admits_everyone_but_decides_nothing() {
+    let n = 6;
+    let cell = Arc::new(ProdigalCtCell::new(n));
+    let views: Vec<Vec<u64>> = std::thread::scope(|s| {
+        (0..n)
+            .map(|m| {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || cell.consume_token(m, (m as u64 + 1) * 11))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    // Everyone consumed successfully — no arbitration happened.
+    for (m, v) in views.iter().enumerate() {
+        assert!(v.contains(&((m as u64 + 1) * 11)));
+    }
+    assert_eq!(cell.get().len(), n);
+}
+
+#[test]
+fn prodigal_divergence_vs_frugal_agreement() {
+    // Thm. 4.2 vs Thm. 4.3 in one test: the same two-proposer schedule
+    // diverges on Θ_P and agrees on Θ_F,k=1.
+    let (a, b) = divergent_schedule(PickRule::MinSlot);
+    assert_ne!(a, b, "Θ_P naive consensus diverges");
+
+    let k1 = ConsumeTokenCell::new();
+    let d_b = k1.consume_token(1);
+    let d_a = k1.consume_token(2);
+    assert_eq!(d_a, d_b, "Θ_F,k=1 serializes the same schedule");
+}
+
+#[test]
+fn naive_prodigal_agreement_holds_only_on_lucky_schedules() {
+    // When both writes land before either scan, the naive protocol gets
+    // lucky — the impossibility is about *existence* of bad schedules,
+    // not universality. Construct the lucky schedule explicitly.
+    let cell = ProdigalCtCell::new(2);
+    // Both consume (write+scan) sequentially; second sees both, first saw
+    // itself only — diverges. But write-write-scan-scan agrees:
+    use blockchain_adt::registers::snapshot_ct::ProdigalCtCell as Cell;
+    let lucky = Cell::new(2);
+    // Simulate: both writes, then both scans, via consume on a pre-written
+    // cell — the first consume's scan already sees both? No: consume is
+    // write-then-scan atomic per call; the lucky schedule needs manual
+    // staging, which the public API intentionally does not allow tearing.
+    // What we *can* assert: picks from identical views agree.
+    let v1 = lucky.consume_token(0, 100);
+    let v2 = lucky.consume_token(1, 200);
+    // v2 ⊇ v1: late consumers see supersets (snapshot monotonicity).
+    assert!(v1.iter().all(|x| v2.contains(x)));
+    let _ = cell;
+
+    // And the adversarial schedule still diverges for MinValue picks with
+    // inverted stakes:
+    let cell = ProdigalCtCell::new(2);
+    let d_b = naive_propose(&cell, 1, 9, PickRule::MinValue);
+    let d_a = naive_propose(&cell, 0, 3, PickRule::MinValue);
+    assert_ne!(d_a, d_b);
+}
+
+#[test]
+fn snapshot_linearizability_under_load() {
+    let snap = Arc::new(AtomicSnapshot::new(8, 0u64));
+    let seq_vectors: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..8usize {
+            let snap = Arc::clone(&snap);
+            handles.push(s.spawn(move || {
+                for i in 1..=100u64 {
+                    snap.update(w, i);
+                }
+                Vec::new()
+            }));
+        }
+        for _ in 0..4 {
+            let snap = Arc::clone(&snap);
+            handles.push(s.spawn(move || {
+                (0..50).map(|_| snap.scan_with_seqs().1).collect()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (i, a) in seq_vectors.iter().enumerate() {
+        for b in seq_vectors.iter().skip(i + 1) {
+            let le = a.iter().zip(b).all(|(x, y)| x <= y);
+            let ge = a.iter().zip(b).all(|(x, y)| x >= y);
+            assert!(le || ge, "incomparable scans: {a:?} vs {b:?}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration: criteria checkers against histories produced
+//! by the oracle-refined workload runner, including the paper's Figs. 2–4
+//! shapes and Theorem 3.1 as an executable property.
+
+use blockchain_adt::core::criteria::{
+    check_eventual_consistency, check_strong_consistency, classify, ConsistencyClass,
+    ConsistencyParams, LivenessMode,
+};
+use blockchain_adt::prelude::*;
+
+fn params<'a>(
+    store: &'a BlockStore,
+    cut: Time,
+) -> ConsistencyParams<'a> {
+    ConsistencyParams {
+        store,
+        predicate: &AcceptAll,
+        score: &LengthScore,
+        liveness: LivenessMode::ConvergenceCut(cut),
+    }
+}
+
+fn workload(seed: u64, k: Option<u32>) -> blockchain_adt::oracle::WorkloadOutput {
+    let merits = Merits::uniform(4);
+    let oracle = match k {
+        Some(k) => ThetaOracle::frugal(k, merits, 2.0, seed),
+        None => ThetaOracle::prodigal(merits, 2.0, seed),
+    };
+    run_workload(
+        oracle,
+        &WorkloadConfig {
+            processes: 4,
+            steps: 300,
+            append_prob: 0.3,
+            read_prob: 0.2,
+            max_latency: 5,
+            seed,
+        },
+    )
+}
+
+/// Theorem 3.1, executable: every history satisfying SC satisfies EC, and
+/// there exist EC histories that do not satisfy SC.
+#[test]
+fn theorem_3_1_sc_strictly_inside_ec() {
+    let mut ec_without_sc = 0;
+    for seed in 0..20u64 {
+        for k in [Some(1u32), Some(2), None] {
+            let out = workload(seed, k);
+            let p = params(&out.store, out.suggested_cut);
+            let sc = check_strong_consistency(&out.history, &p).holds();
+            let ec = check_eventual_consistency(&out.history, &p).holds();
+            if sc {
+                assert!(ec, "seed {seed}, k {k:?}: SC history must satisfy EC");
+            }
+            if ec && !sc {
+                ec_without_sc += 1;
+            }
+        }
+    }
+    assert!(
+        ec_without_sc > 0,
+        "the inclusion is strict: some run must be EC∖SC"
+    );
+}
+
+/// Theorem 3.2 at workload scale: fork degrees never exceed k.
+#[test]
+fn theorem_3_2_fork_coherence_across_workloads() {
+    for seed in 0..10u64 {
+        for k in [1u32, 2, 3, 5] {
+            let out = workload(seed, Some(k));
+            assert!(
+                out.max_fork_degree <= k as usize,
+                "seed {seed}: degree {} > k {k}",
+                out.max_fork_degree
+            );
+        }
+    }
+}
+
+/// Theorems 3.3/3.4 empirically: histories generated under a stricter
+/// oracle classify at least as strongly as under a looser one.
+#[test]
+fn hierarchy_inclusions_empirical() {
+    for seed in 0..10u64 {
+        let k1 = workload(seed, Some(1));
+        let k2 = workload(seed, Some(2));
+        let p1 = params(&k1.store, k1.suggested_cut);
+        let p2 = params(&k2.store, k2.suggested_cut);
+        let c1 = classify(&k1.history, &p1);
+        let c2 = classify(&k2.history, &p2);
+        assert!(
+            c1 >= c2,
+            "seed {seed}: k=1 classified {c1}, k=2 classified {c2}"
+        );
+        assert_eq!(c1, ConsistencyClass::Strong, "k=1 workloads are SC");
+        assert!(c2 >= ConsistencyClass::Eventual, "shared tree converges");
+    }
+}
+
+/// The purged-history operator: Ĥ never contains failed appends, and
+/// purging preserves the consistency verdicts (failed appends carry no
+/// reads).
+#[test]
+fn purging_preserves_verdicts() {
+    for seed in 0..5u64 {
+        let out = workload(seed, Some(1));
+        let purged = purge_unsuccessful(&out.raw_history);
+        assert_eq!(purged.append_count(), out.history.append_count());
+        let p = params(&out.store, out.suggested_cut);
+        assert_eq!(
+            check_strong_consistency(&out.history, &p).holds(),
+            check_strong_consistency(&purged, &p).holds()
+        );
+    }
+}
+
+/// All generated histories are structurally well-formed.
+#[test]
+fn workload_histories_are_well_formed() {
+    for seed in 0..10u64 {
+        for k in [Some(1u32), None] {
+            let out = workload(seed, k);
+            assert!(
+                out.raw_history.validate().is_empty(),
+                "seed {seed}, k {k:?}: {:?}",
+                out.raw_history.validate()
+            );
+        }
+    }
+}
+
+/// The two Strong-Prefix checkers agree on every generated history
+/// (ablation A3's correctness side).
+#[test]
+fn strong_prefix_checkers_agree() {
+    use blockchain_adt::core::criteria::strong_prefix;
+    for seed in 0..15u64 {
+        for k in [Some(1u32), Some(3), None] {
+            let out = workload(seed, k);
+            assert_eq!(
+                strong_prefix::check(&out.history).holds,
+                strong_prefix::check_naive(&out.history).holds,
+                "seed {seed}, k {k:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration: Table 1 end to end — all seven system models classified
+//! against the paper's mapping, plus cross-system sanity properties.
+
+use blockchain_adt::core::criteria::{ConsistencyClass, CriterionKind};
+use blockchain_adt::protocols::{table1, RunSchedule};
+use blockchain_adt::protocols::{algorand, bitcoin, byzcoin, ethereum, hyperledger, peercensus, redbelly};
+
+#[test]
+fn table_1_full_reproduction() {
+    for seed in [0xB10C_u64, 0x7AB1] {
+        let rows = table1(seed);
+        assert_eq!(rows.len(), 7, "all seven systems classified");
+        for row in &rows {
+            assert!(
+                row.matches_paper(),
+                "seed {seed:#x}: {} observed {} vs expected {}",
+                row.system,
+                row.observed_class,
+                row.expected
+            );
+        }
+    }
+}
+
+#[test]
+fn sc_systems_never_fork_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let runs = [
+            ("byzcoin", byzcoin::run(&byzcoin::ByzCoinConfig { seed, ..Default::default() })),
+            ("algorand", algorand::run(&algorand::AlgorandConfig { seed, ..Default::default() })),
+            ("peercensus", peercensus::run(&peercensus::PeerCensusConfig { seed, ..Default::default() })),
+            ("redbelly", redbelly::run(&redbelly::RedBellyConfig { seed, ..Default::default() })),
+            ("fabric", hyperledger::run(&hyperledger::FabricConfig { seed, ..Default::default() })),
+        ];
+        for (name, run) in runs {
+            assert_eq!(run.max_fork_degree, 1, "{name} seed {seed}");
+            assert_eq!(
+                run.consistency_class(),
+                ConsistencyClass::Strong,
+                "{name} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ec_systems_stay_eventual_under_longer_delays() {
+    // Stretch δ: more forks, but EC must survive on a synchronous network.
+    let run = bitcoin::run(&bitcoin::BitcoinConfig {
+        delta: 6,
+        rate: 1.0,
+        seed: 77,
+        schedule: RunSchedule {
+            settle_ticks: 14,
+            post_cut_grace: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    assert!(run.max_fork_degree >= 2, "long δ must fork");
+    assert!(run.consistency_class() >= ConsistencyClass::Eventual);
+
+    let run = ethereum::run(&ethereum::EthereumConfig {
+        delta: 6,
+        rate: 1.2,
+        seed: 77,
+        schedule: RunSchedule {
+            settle_ticks: 14,
+            post_cut_grace: 20,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    assert!(run.consistency_class() >= ConsistencyClass::Eventual);
+}
+
+#[test]
+fn every_system_makes_progress_and_converges() {
+    let rows = table1(0xFEED);
+    for row in &rows {
+        assert!(row.blocks > 0, "{}: zero blocks", row.system);
+        assert!(row.converged, "{}: replicas diverged at the end", row.system);
+    }
+}
+
+#[test]
+fn expected_oracle_models_match_paper_table() {
+    use blockchain_adt::core::hierarchy::OracleModel;
+    let rows = table1(0xB10C);
+    let by_name: std::collections::HashMap<&str, &blockchain_adt::protocols::Classification> =
+        rows.iter().map(|r| (r.system, r)).collect();
+    assert_eq!(by_name["Bitcoin"].expected.oracle, OracleModel::Prodigal);
+    assert_eq!(by_name["Ethereum"].expected.oracle, OracleModel::Prodigal);
+    for sc in ["Algorand", "ByzCoin", "PeerCensus", "Redbelly", "Hyperledger"] {
+        assert_eq!(by_name[sc].expected.oracle, OracleModel::Frugal { k: 1 });
+        assert_eq!(by_name[sc].expected.criterion, CriterionKind::Strong);
+    }
+}
+
+#[test]
+fn peercensus_security_curve_shape() {
+    use blockchain_adt::protocols::peercensus::secure_state_probability;
+    // The A4 curve: monotone decreasing in adversarial power.
+    let points: Vec<f64> = [0.05, 0.15, 0.25, 0.33]
+        .iter()
+        .map(|&a| secure_state_probability(a, 30, 10, 300, 99))
+        .collect();
+    for w in points.windows(2) {
+        assert!(w[0] >= w[1], "security must not increase with α_A: {points:?}");
+    }
+    assert!(points[0] > 0.95);
+    assert!(points[3] < 0.35);
+}

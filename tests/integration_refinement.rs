@@ -1,0 +1,128 @@
+//! Integration: the refined append R(BT-ADT, Θ) end to end — sequential
+//! specification conformance, oracle gating, and the interplay between
+//! selection functions and refinements.
+
+use blockchain_adt::core::adt::{check_sequential_history, Operation};
+use blockchain_adt::core::blocktree::{BlockTreeAdt, BtInput, BtOutput};
+use blockchain_adt::prelude::*;
+
+#[test]
+fn refined_append_respects_selection_function() {
+    // Heaviest-work selection: a heavy side branch attracts the refined
+    // append even when a longer light branch exists.
+    let oracle = ThetaOracle::prodigal(Merits::uniform(2), 2.0, 3);
+    let mut tree = RefinedBlockTree::new(HeaviestWork, AcceptAll, oracle);
+    let t0 = tree.now();
+    // Light chain of length 2 via overlapping appends at b0, then extend.
+    let a = match tree.append_at(ProcessId(0), 0, BlockId::GENESIS, Payload::Empty, t0) {
+        AppendOutcome::Appended(id) => id,
+        other => panic!("{other:?}"),
+    };
+    let _a2 = tree.append_at(ProcessId(0), 0, a, Payload::Empty, t0);
+    // Heavy single block forking at genesis.
+    let heavy_parent = BlockId::GENESIS;
+    let heavy = {
+        let t1 = tree.now();
+        // Mint with work 10 via append_as is tip-directed; use append_at
+        // then check: append_at mints work 1, so instead verify with
+        // HeaviestWork after manually minting heavy work through append_as
+        // once the selected tip is genesis-side. Simplest: grow the heavy
+        // branch by three unit blocks (weight 3 > 2).
+        let h1 = match tree.append_at(ProcessId(1), 1, heavy_parent, Payload::Empty, t1) {
+            AppendOutcome::Appended(id) => id,
+            other => panic!("{other:?}"),
+        };
+        let h2 = match tree.append_at(ProcessId(1), 1, h1, Payload::Empty, t1) {
+            AppendOutcome::Appended(id) => id,
+            other => panic!("{other:?}"),
+        };
+        match tree.append_at(ProcessId(1), 1, h2, Payload::Empty, t1) {
+            AppendOutcome::Appended(id) => id,
+            other => panic!("{other:?}"),
+        }
+    };
+    // The next tip-directed append must chain on the heaviest branch.
+    let out = tree.append(ProcessId(0), Payload::Empty);
+    match out {
+        AppendOutcome::Appended(id) => {
+            assert_eq!(tree.store().parent(id), Some(heavy));
+        }
+        other => panic!("append failed: {other:?}"),
+    }
+}
+
+#[test]
+fn figure_7_refined_append_path() {
+    // The Fig. 7 scripted path: getToken on b0, consume, block chained,
+    // reads reflect it — expressed through the public API.
+    let oracle = ThetaOracle::frugal(1, Merits::uniform(1), 1.0, 9);
+    let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+    assert_eq!(tree.read(ProcessId(0)), Blockchain::genesis());
+    let out = tree.append(ProcessId(0), Payload::Empty);
+    let b = match out {
+        AppendOutcome::Appended(id) => id,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(tree.oracle().consumed_for(BlockId::GENESIS), &[b]);
+    let chain = tree.read(ProcessId(0));
+    assert_eq!(chain.ids(), &[BlockId::GENESIS, b]);
+    // K[b0] is full: a backdated append at b0 must fail (evaluate=false).
+    let t = tree.now();
+    let second = tree.append_at(ProcessId(0), 0, BlockId::GENESIS, Payload::Empty, t);
+    assert_eq!(second, AppendOutcome::SetFull);
+}
+
+#[test]
+fn sequential_spec_replay_matches_refined_execution() {
+    // Execute a refined run, extract its successful appends, and check the
+    // corresponding word is in L(BT-ADT) — the refined object implements
+    // the sequential specification when no overlap occurs.
+    let oracle = ThetaOracle::frugal(1, Merits::uniform(2), 2.0, 5);
+    let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+    let mut word = Vec::new();
+    for i in 0..4u32 {
+        let out = tree.append(ProcessId(i % 2), Payload::Empty);
+        assert!(out.succeeded());
+        word.push(Operation::with_output(
+            BtInput::Append(CandidateBlock::simple(ProcessId(i % 2), u64::from(i) + 1)),
+            BtOutput::Appended(true),
+        ));
+    }
+    let adt = BlockTreeAdt::new(LongestChain, AcceptAll);
+    let states = check_sequential_history(&adt, &word).expect("word in L(T)");
+    assert_eq!(states.last().unwrap().tree().len(), 5);
+    // And the refined tree's read agrees with the spec's final chain len.
+    assert_eq!(tree.read(ProcessId(0)).len(), 5);
+}
+
+#[test]
+fn token_accounting_is_conserved() {
+    let oracle = ThetaOracle::frugal(2, Merits::uniform(3), 1.5, 8);
+    let mut tree = RefinedBlockTree::new(LongestChain, AcceptAll, oracle);
+    let mut successes = 0u64;
+    for i in 0..30u32 {
+        if tree
+            .append(ProcessId(i % 3), Payload::Opaque(u64::from(i)))
+            .succeeded()
+        {
+            successes += 1;
+        }
+    }
+    let oracle = tree.oracle();
+    assert!(oracle.tokens_granted() >= successes);
+    assert!(oracle.tokens_consumed() as u64 >= successes);
+    assert!(oracle.fork_coherent());
+}
+
+#[test]
+fn shared_oracle_protocol_a_agrees_with_tree_state() {
+    // Protocol A's decision is exactly the block in K[b0] of the oracle.
+    let oracle = ThetaOracle::frugal(1, Merits::uniform(4), 3.0, 21);
+    let shared = SharedOracle::new(oracle);
+    let consensus = OracleConsensus::new(shared);
+    let report = run_trial(&consensus, 4);
+    assert!(report.agreement());
+    let winner = report.decided().unwrap();
+    let set = consensus.oracle().consumed_for(BlockId::GENESIS);
+    assert_eq!(set, vec![BlockId(winner as u32)]);
+}
