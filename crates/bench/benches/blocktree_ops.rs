@@ -72,6 +72,26 @@ fn bench_selection_functions(c: &mut Criterion) {
     g.finish();
 }
 
+/// The F1 headline: an append+read loop (the canonical BT-ADT client) at
+/// 10k/100k blocks, incremental selection cache vs the full Def. 3.1
+/// rescan (`selected_tip_full_scan` + `Blockchain::from_tip`, the seed's
+/// original read path). The acceptance bar for the incremental refactor
+/// is ≥10x at 100k.
+fn bench_append_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocktree/append_read");
+    g.sample_size(10);
+    for &n in &[10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(2 * n)); // one append + one read per block
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            b.iter(|| black_box(btadt_bench::append_read_incremental(n)));
+        });
+        g.bench_with_input(BenchmarkId::new("full_scan", n), &n, |b, &n| {
+            b.iter(|| black_box(btadt_bench::append_read_full_scan(n)));
+        });
+    }
+    g.finish();
+}
+
 fn bench_ancestry(c: &mut Criterion) {
     let mut g = c.benchmark_group("blocktree/ancestry");
     let bt = linear_tree(10_000);
@@ -96,6 +116,7 @@ criterion_group!(
     bench_append,
     bench_read,
     bench_selection_functions,
+    bench_append_read,
     bench_ancestry
 );
 criterion_main!(benches);

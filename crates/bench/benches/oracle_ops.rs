@@ -42,7 +42,11 @@ fn bench_token_cycle(c: &mut Criterion) {
                 // Fresh parent every iteration so K never saturates.
                 let p = BlockId(parent);
                 if let Some(grant) = oracle.get_token((parent % 4) as usize, p) {
-                    black_box(oracle.consume_token(&grant, BlockId(parent + 1_000_000)).len());
+                    black_box(
+                        oracle
+                            .consume_token(&grant, BlockId(parent + 1_000_000))
+                            .len(),
+                    );
                 }
             });
         });

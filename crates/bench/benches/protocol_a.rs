@@ -12,8 +12,7 @@ fn bench_protocol_a(c: &mut Criterion) {
     for &n in &[2usize, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let oracle =
-                    ThetaOracle::frugal(1, Merits::uniform(n), n as f64 * 0.8, n as u64);
+                let oracle = ThetaOracle::frugal(1, Merits::uniform(n), n as f64 * 0.8, n as u64);
                 let consensus = OracleConsensus::new(SharedOracle::new(oracle));
                 let report = run_trial(&consensus, n);
                 assert!(report.agreement());
@@ -50,12 +49,7 @@ fn bench_token_grant_probability(c: &mut Criterion) {
             &rate,
             |b, &rate| {
                 b.iter(|| {
-                    let mut oracle = ThetaOracle::frugal(
-                        1,
-                        Merits::uniform(1),
-                        rate,
-                        0xDEAD,
-                    );
+                    let mut oracle = ThetaOracle::frugal(1, Merits::uniform(1), rate, 0xDEAD);
                     let mut tries = 0u64;
                     loop {
                         tries += 1;

@@ -56,11 +56,7 @@ fn bench_systems(c: &mut Criterion) {
 fn bench_security_analysis(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocols/peercensus_security");
     g.bench_function("monte_carlo_2k_trials", |b| {
-        b.iter(|| {
-            black_box(peercensus::secure_state_probability(
-                0.25, 30, 10, 2_000, 7,
-            ))
-        });
+        b.iter(|| black_box(peercensus::secure_state_probability(0.25, 30, 10, 2_000, 7)));
     });
     g.finish();
 }

@@ -4,9 +4,7 @@
 
 use btadt_core::selection::LongestChain;
 use btadt_oracle::{Merits, ThetaOracle};
-use btadt_sim::{
-    check_lrc, check_update_agreement, NetworkModel, SimpleMiner, Synchrony, World,
-};
+use btadt_sim::{check_lrc, check_update_agreement, NetworkModel, SimpleMiner, Synchrony, World};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 

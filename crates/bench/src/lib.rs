@@ -24,8 +24,7 @@ use btadt_registers::{
     run_trial, CasFromCt, CasRegister, ConsumeTokenCell, OracleConsensus, ProdigalCtCell, EMPTY,
 };
 use btadt_sim::{
-    check_lrc, check_update_agreement, lemma_4_4, lemma_4_5, theorem_4_8,
-    update_agreement_positive,
+    check_lrc, check_update_agreement, lemma_4_4, lemma_4_5, theorem_4_8, update_agreement_positive,
 };
 use std::time::Instant;
 
@@ -55,7 +54,10 @@ pub fn fig1() {
     };
     let s0 = adt.initial_state();
     let b1 = probe(&s0, true);
-    let s1 = adt.transition(&s0, &BtInput::Append(CandidateBlock::simple(ProcessId(0), b1)));
+    let s1 = adt.transition(
+        &s0,
+        &BtInput::Append(CandidateBlock::simple(ProcessId(0), b1)),
+    );
     // Both the failing and the second successful append execute in ξ1.
     let b3 = probe(&s1, false);
     let b2 = probe(&s1, true);
@@ -385,7 +387,10 @@ pub fn fig9() {
         cas.compare_and_swap(EMPTY, 9)
     );
     let ct = ConsumeTokenCell::new();
-    println!("consume(3)    returned {:>2} (installed)", ct.consume_token(3));
+    println!(
+        "consume(3)    returned {:>2} (installed)",
+        ct.consume_token(3)
+    );
     println!(
         "consume(5)    returned {:>2} (k = 1: incumbent)",
         ct.consume_token(5)
@@ -513,12 +518,7 @@ pub fn fig14() {
         let (sc, ec) = out.consistency();
         println!(
             "  {label}: Strong Prefix {}  Eventual Consistency {}",
-            if sc
-                .strong_prefix
-                .as_ref()
-                .map(|v| v.holds)
-                .unwrap_or(true)
-            {
+            if sc.strong_prefix.as_ref().map(|v| v.holds).unwrap_or(true) {
                 "preserved"
             } else {
                 "VIOLATED "
@@ -602,7 +602,9 @@ pub fn ablate_k() {
                 };
                 sc_runs += check_strong_consistency(&out.history, &params).holds() as u32;
             }
-            let klabel = k.map(|k| format!("k={k}")).unwrap_or_else(|| "∞".to_string());
+            let klabel = k
+                .map(|k| format!("k={k}"))
+                .unwrap_or_else(|| "∞".to_string());
             println!(
                 "{:<8} {:>10} {:>12.1} {:>14} {:>9}/6",
                 klabel,
@@ -705,6 +707,99 @@ pub fn fairness() {
         );
     }
     println!("\n(per-fruit rewards track merit more tightly: the FruitChain claim)");
+}
+
+/// The canonical append+read client loop on the incremental path
+/// (`append` + cached `read`). Returns a fold of the observed chain
+/// lengths so callers can cross-check both paths saw identical chains.
+/// Shared by `bench_selection` and the `blocktree_ops` criterion bench
+/// so both always measure the same workload.
+pub fn append_read_incremental(n: u64) -> usize {
+    use btadt_core::validity::AcceptAll;
+    let mut bt = btadt_core::blocktree::BlockTree::new(LongestChain, AcceptAll);
+    let mut acc = 0usize;
+    for i in 0..n {
+        bt.append(CandidateBlock::simple(ProcessId(0), i));
+        acc += bt.read().len();
+    }
+    acc
+}
+
+/// The same client loop forced through the full Def. 3.1 rescan
+/// (`selected_tip_full_scan` for the append parent and again for the
+/// read, plus a `path_from_genesis` walk) — the seed's original cost
+/// model, kept as the benchmark baseline.
+pub fn append_read_full_scan(n: u64) -> usize {
+    use btadt_core::validity::AcceptAll;
+    let mut bt = btadt_core::blocktree::BlockTree::new(LongestChain, AcceptAll);
+    let mut acc = 0usize;
+    for i in 0..n {
+        let parent = bt.selected_tip_full_scan();
+        bt.graft(parent, CandidateBlock::simple(ProcessId(0), i));
+        let chain = Blockchain::from_tip(bt.store(), bt.selected_tip_full_scan());
+        acc += chain.len();
+    }
+    acc
+}
+
+/// Bench S — incremental selection & zero-copy reads vs the full Def. 3.1
+/// rescan, on the canonical append+read client loop. Prints a table and
+/// emits `BENCH_selection.json` for trend tracking. Run under `--release`;
+/// the full-scan baseline at 100k blocks is O(n²) by construction (that
+/// is the point).
+pub fn bench_selection() {
+    hr("Bench S — incremental vs full-scan selection (append+read loop)");
+
+    fn incremental_loop(n: u64) -> (std::time::Duration, usize) {
+        let start = Instant::now();
+        let acc = append_read_incremental(n);
+        (start.elapsed(), acc)
+    }
+
+    fn full_scan_loop(n: u64) -> (std::time::Duration, usize) {
+        let start = Instant::now();
+        let acc = append_read_full_scan(n);
+        (start.elapsed(), acc)
+    }
+
+    if cfg!(debug_assertions) {
+        println!("note: unoptimized build — run with --release for honest numbers");
+    }
+    println!(
+        "{:>9} {:>18} {:>18} {:>9}",
+        "blocks", "incremental", "full-scan", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &n in &[10_000u64, 100_000] {
+        let (t_inc, a1) = incremental_loop(n);
+        let (t_full, a2) = full_scan_loop(n);
+        assert_eq!(a1, a2, "both paths must observe identical chains");
+        let ops = 2 * n; // one append + one read per block
+        let inc_rate = ops as f64 / t_inc.as_secs_f64();
+        let full_rate = ops as f64 / t_full.as_secs_f64();
+        let speedup = inc_rate / full_rate;
+        println!(
+            "{n:>9} {:>13.0} op/s {:>13.0} op/s {speedup:>8.1}x",
+            inc_rate, full_rate
+        );
+        rows.push(format!(
+            "    {{\"blocks\": {n}, \"ops\": {ops}, \
+             \"incremental_ops_per_sec\": {inc_rate:.1}, \
+             \"full_scan_ops_per_sec\": {full_rate:.1}, \
+             \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"selection_append_read\",\n  \
+         \"selection\": \"longest-chain\",\n  \
+         \"optimized\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        !cfg!(debug_assertions),
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_selection.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_selection.json"),
+        Err(e) => println!("\ncould not write BENCH_selection.json: {e}"),
+    }
 }
 
 /// Runs every experiment in paper order.

@@ -68,7 +68,7 @@ impl Payload {
     /// Deterministic content hash.
     pub fn digest_word(&self) -> u64 {
         match self {
-            Payload::Empty => 0x656D_7074_79,
+            Payload::Empty => 0x65_6D70_7479,
             Payload::Opaque(w) => mix2(0x6F70_6171, *w),
             Payload::Transactions(txs) => {
                 let words: Vec<u64> = txs.iter().map(Tx::digest_word).collect();

@@ -16,6 +16,7 @@ use crate::chain::Blockchain;
 use crate::ids::{BlockId, ProcessId};
 use crate::selection::SelectionFn;
 use crate::store::{BlockStore, TreeMembership};
+use crate::tipcache::ChainCache;
 use crate::validity::ValidityPredicate;
 
 /// The data of a block not yet minted into a store: what an `append(b)`
@@ -56,11 +57,17 @@ impl CandidateBlock {
 /// The operational BlockTree: owns its store and tree, parameterized by a
 /// selection function `f` and validity predicate `P` (both immutable over
 /// the computation, as the paper requires).
+///
+/// The selected chain is cached incrementally (see
+/// [`crate::tipcache::ChainCache`]): `selected_tip` is O(1), `read` never
+/// re-walks the genesis→tip path, and each successful insert re-selects
+/// through [`SelectionFn::on_insert`] instead of a full `f(bt)` rescan.
 pub struct BlockTree<F: SelectionFn, P: ValidityPredicate> {
     store: BlockStore,
     tree: TreeMembership,
     selection: F,
     predicate: P,
+    cache: ChainCache,
 }
 
 impl<F: SelectionFn, P: ValidityPredicate> BlockTree<F, P> {
@@ -73,16 +80,27 @@ impl<F: SelectionFn, P: ValidityPredicate> BlockTree<F, P> {
             tree,
             selection,
             predicate,
+            cache: ChainCache::new(),
         }
     }
 
-    /// `read()`: the blockchain `{b0}⌢f(bt)`.
+    /// `read()`: the blockchain `{b0}⌢f(bt)`. O(1) on an unchanged tip
+    /// (an `Arc` clone of the cached snapshot); after tip movement the
+    /// snapshot is re-materialized from the cached path without walking
+    /// parent pointers.
     pub fn read(&self) -> Blockchain {
-        Blockchain::from_tip(&self.store, self.selected_tip())
+        self.cache.chain()
     }
 
-    /// The tip of `f(bt)`.
+    /// The tip of `f(bt)` — O(1), served from the incremental cache.
     pub fn selected_tip(&self) -> BlockId {
+        self.cache.tip()
+    }
+
+    /// The tip of `f(bt)` re-derived by the full Def. 3.1 rescan — the
+    /// specification oracle the cache is differential-tested against, and
+    /// the baseline the benchmarks contrast with.
+    pub fn selected_tip_full_scan(&self) -> BlockId {
         self.selection.select_tip(&self.store, &self.tree)
     }
 
@@ -119,6 +137,8 @@ impl<F: SelectionFn, P: ValidityPredicate> BlockTree<F, P> {
         let block = self.store.get(id);
         if self.predicate.is_valid(&self.store, block) {
             self.tree.insert(&self.store, id);
+            self.cache
+                .on_insert(&self.selection, &self.store, &self.tree, id);
             Some(id)
         } else {
             None
@@ -140,7 +160,9 @@ impl<F: SelectionFn, P: ValidityPredicate> BlockTree<F, P> {
         self.tree.len()
     }
 
+    /// A BlockTree always contains at least `b0`.
     pub fn is_empty(&self) -> bool {
+        debug_assert!(self.tree.len() >= 1);
         false
     }
 
@@ -209,9 +231,7 @@ impl BtState {
     }
 }
 
-impl<F: SelectionFn + Clone, P: ValidityPredicate + Clone> AbstractDataType
-    for BlockTreeAdt<F, P>
-{
+impl<F: SelectionFn + Clone, P: ValidityPredicate + Clone> AbstractDataType for BlockTreeAdt<F, P> {
     type Input = BtInput;
     type Output = BtOutput;
     type State = BtState;
@@ -316,7 +336,9 @@ mod tests {
         let _b = bt
             .graft(BlockId::GENESIS, CandidateBlock::simple(ProcessId(1), 2))
             .unwrap();
-        let c = bt.graft(a, CandidateBlock::simple(ProcessId(0), 3)).unwrap();
+        let c = bt
+            .graft(a, CandidateBlock::simple(ProcessId(0), 3))
+            .unwrap();
         assert_eq!(bt.read().tip(), c, "longest chain wins");
         assert_eq!(bt.len(), 4);
     }

@@ -5,6 +5,18 @@
 //! selected chain. We materialize returned chains genesis-first, which makes
 //! the prefix relation `⊑` a plain slice-prefix test and keeps recorded
 //! histories self-contained (checkable without the originating store).
+//!
+//! # Representation
+//!
+//! A chain is a *prefix view* `(buffer, len)` over a shared, grow-only
+//! id buffer. Committed prefixes are immutable — a chain only ever grows
+//! at the tip or is replaced at a reorg — so many snapshots of a growing
+//! chain can share one allocation: cloning is an `Arc` bump, `prefix` and
+//! `common_prefix` are O(1) views, and the incremental read path
+//! (`crate::tipcache`) extends its chain in place (amortized O(1) per
+//! block) while outstanding snapshots stay valid. A copy happens only
+//! when the owner mutates while snapshots are live (copy-on-write) or on
+//! a reorg splice.
 
 use crate::ids::BlockId;
 use crate::score::ScoreFn;
@@ -14,11 +26,28 @@ use std::sync::Arc;
 
 /// A materialized blockchain `{b0}⌢…`, genesis first.
 ///
-/// Cheap to clone (`Arc`-backed): histories record many reads of slowly
-/// growing chains.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// Cheap to clone (`Arc`-backed prefix view): histories record many reads
+/// of slowly growing chains, all sharing the same buffer.
+#[derive(Clone)]
 pub struct Blockchain {
-    ids: Arc<[BlockId]>,
+    buf: Arc<Vec<BlockId>>,
+    len: usize,
+}
+
+impl PartialEq for Blockchain {
+    fn eq(&self, other: &Self) -> bool {
+        // Content equality on the viewed prefix (buffer identity is an
+        // implementation detail). Fast path: same buffer, same length.
+        (Arc::ptr_eq(&self.buf, &other.buf) && self.len == other.len) || self.ids() == other.ids()
+    }
+}
+
+impl Eq for Blockchain {}
+
+impl std::hash::Hash for Blockchain {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.ids().hash(state);
+    }
 }
 
 impl Blockchain {
@@ -26,7 +55,8 @@ impl Blockchain {
     /// state returns `b0`, Def. 3.1).
     pub fn genesis() -> Self {
         Blockchain {
-            ids: Arc::from(vec![BlockId::GENESIS]),
+            buf: Arc::new(vec![BlockId::GENESIS]),
+            len: 1,
         }
     }
 
@@ -39,34 +69,75 @@ impl Blockchain {
             ids.first() == Some(&BlockId::GENESIS),
             "blockchain must start at the genesis block"
         );
+        let len = ids.len();
         Blockchain {
-            ids: Arc::from(ids),
+            buf: Arc::new(ids),
+            len,
         }
     }
 
     /// Materializes the genesis→`tip` path of `store`.
     pub fn from_tip(store: &BlockStore, tip: BlockId) -> Self {
-        Blockchain {
-            ids: Arc::from(store.path_from_genesis(tip)),
-        }
+        Blockchain::from_ids(store.path_from_genesis(tip))
     }
 
     /// Blocks, genesis first.
     #[inline]
     pub fn ids(&self) -> &[BlockId] {
-        &self.ids
+        &self.buf[..self.len]
     }
 
     /// The leaf (deepest block) of the chain; genesis if the chain is `{b0}`.
     #[inline]
     pub fn tip(&self) -> BlockId {
-        *self.ids.last().expect("chains are never empty")
+        self.buf[self.len - 1]
     }
 
     /// Number of blocks including genesis.
     #[inline]
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.len
+    }
+
+    /// Appends `b` in place. Amortized O(1): reuses the shared buffer when
+    /// this chain is its sole owner and the view covers the whole buffer;
+    /// otherwise copies the viewed prefix once (copy-on-write) and future
+    /// pushes are in-place again. Snapshots taken earlier keep their
+    /// prefix either way. Used by the incremental chain cache.
+    pub(crate) fn push_in_place(&mut self, b: BlockId) {
+        match Arc::get_mut(&mut self.buf) {
+            Some(v) => {
+                v.truncate(self.len);
+                v.push(b);
+            }
+            None => {
+                let mut v = Vec::with_capacity((self.len + 1).next_power_of_two());
+                v.extend_from_slice(&self.buf[..self.len]);
+                v.push(b);
+                self.buf = Arc::new(v);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Reorg splice: keeps the first `keep` blocks and appends `suffix`.
+    /// O(|suffix|) when sole owner, O(keep + |suffix|) under sharing.
+    /// Used by the incremental chain cache.
+    pub(crate) fn splice_in_place(&mut self, keep: usize, suffix: &[BlockId]) {
+        assert!(keep >= 1 && keep <= self.len, "splice keep out of range");
+        match Arc::get_mut(&mut self.buf) {
+            Some(v) => {
+                v.truncate(keep);
+                v.extend_from_slice(suffix);
+            }
+            None => {
+                let mut v = Vec::with_capacity(keep + suffix.len());
+                v.extend_from_slice(&self.buf[..keep]);
+                v.extend_from_slice(suffix);
+                self.buf = Arc::new(v);
+            }
+        }
+        self.len = keep + suffix.len();
     }
 
     /// Chains always contain at least `b0`.
@@ -76,10 +147,13 @@ impl Blockchain {
     }
 
     /// The prefix relation `bc ⊑ bc'` (§3.1.2): `self` is a prefix of
-    /// `other`. Reflexive.
+    /// `other`. Reflexive. O(1) when both are views of one shared buffer.
     #[inline]
     pub fn is_prefix_of(&self, other: &Blockchain) -> bool {
-        other.ids.starts_with(&self.ids)
+        if Arc::ptr_eq(&self.buf, &other.buf) {
+            return self.len <= other.len;
+        }
+        other.ids().starts_with(self.ids())
     }
 
     /// True iff one of the two chains prefixes the other — the comparability
@@ -89,20 +163,27 @@ impl Blockchain {
         self.is_prefix_of(other) || other.is_prefix_of(self)
     }
 
-    /// Length (in blocks) of the maximal common prefix.
+    /// Length (in blocks) of the maximal common prefix. O(1) when both
+    /// are views of one shared buffer.
     pub fn common_prefix_len(&self, other: &Blockchain) -> usize {
-        self.ids
+        if Arc::ptr_eq(&self.buf, &other.buf) {
+            return self.len.min(other.len);
+        }
+        self.ids()
             .iter()
-            .zip(other.ids.iter())
+            .zip(other.ids().iter())
             .take_while(|(a, b)| a == b)
             .count()
     }
 
     /// The maximal common prefix as a chain (always contains `b0`).
+    /// O(1) beyond the prefix-length computation: the result shares this
+    /// chain's buffer.
     pub fn common_prefix(&self, other: &Blockchain) -> Blockchain {
         let n = self.common_prefix_len(other);
         Blockchain {
-            ids: Arc::from(&self.ids[..n]),
+            buf: Arc::clone(&self.buf),
+            len: n,
         }
     }
 
@@ -112,27 +193,30 @@ impl Blockchain {
         score.score_prefix(self, self.common_prefix_len(other))
     }
 
-    /// The chain truncated to its first `n` blocks (`n ≥ 1`).
+    /// The chain truncated to its first `n` blocks (`n ≥ 1`). O(1): the
+    /// result is a shorter view of the same buffer.
     pub fn prefix(&self, n: usize) -> Blockchain {
         assert!(n >= 1 && n <= self.len(), "prefix length out of range");
         Blockchain {
-            ids: Arc::from(&self.ids[..n]),
+            buf: Arc::clone(&self.buf),
+            len: n,
         }
     }
 
-    /// `{b0}⌢f(bt)⌢{b}` notation support: this chain extended by one block.
+    /// `{b0}⌢f(bt)⌢{b}` notation support: this chain extended by one block
+    /// (a fresh allocation; the in-place variant lives on the cache).
     pub fn extended(&self, b: BlockId) -> Blockchain {
         let mut v = Vec::with_capacity(self.len() + 1);
-        v.extend_from_slice(&self.ids);
+        v.extend_from_slice(self.ids());
         v.push(b);
-        Blockchain { ids: Arc::from(v) }
+        Blockchain::from_ids(v)
     }
 }
 
 impl fmt::Debug for Blockchain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for id in self.ids.iter() {
+        for id in self.ids().iter() {
             if !first {
                 write!(f, "⌢")?;
             }

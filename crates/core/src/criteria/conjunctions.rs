@@ -60,9 +60,9 @@ impl ConsistencyReport {
     pub fn holds(&self) -> bool {
         self.block_validity.holds
             && self.local_monotonic_read.holds
-            && self.strong_prefix.as_ref().map_or(true, |v| v.holds)
+            && self.strong_prefix.as_ref().is_none_or(|v| v.holds)
             && self.ever_growing_tree.holds
-            && self.eventual_prefix.as_ref().map_or(true, |v| v.holds)
+            && self.eventual_prefix.as_ref().is_none_or(|v| v.holds)
     }
 
     /// The verdicts present in this report, in definition order.
@@ -85,7 +85,11 @@ impl fmt::Display for ConsistencyReport {
             f,
             "{}: {}",
             self.criterion,
-            if self.holds() { "SATISFIED" } else { "VIOLATED" }
+            if self.holds() {
+                "SATISFIED"
+            } else {
+                "VIOLATED"
+            }
         )?;
         for v in self.verdicts() {
             writeln!(f, "  {v}")?;
@@ -257,7 +261,7 @@ mod tests {
         // Early divergence…
         read(&mut h, 0, 10, 11, chain_of(&fx.even, 3)); // b0·2·4 (score 2)
         read(&mut h, 1, 12, 13, chain_of(&fx.odd, 2)); // b0·1   (score 1)
-        // …then everybody adopts the odd branch and keeps growing.
+                                                       // …then everybody adopts the odd branch and keeps growing.
         read(&mut h, 0, 30, 31, chain_of(&fx.odd, 4));
         read(&mut h, 1, 32, 33, chain_of(&fx.odd, 4));
         let p = params(&fx, 20);

@@ -109,7 +109,7 @@ mod tests {
         read(&mut h, 0, 0, 1, chain(&[0, 2, 4])); // score 2
         read(&mut h, 1, 0, 2, chain(&[0, 1])); // score 1 — diverges from i
         read(&mut h, 1, 3, 4, chain(&[0, 1, 3])); // still the losing branch
-        // after the cut every process adopted branch 1·3·5:
+                                                  // after the cut every process adopted branch 1·3·5:
         read(&mut h, 0, 11, 12, chain(&[0, 1, 3, 5]));
         read(&mut h, 1, 13, 14, chain(&[0, 1, 3, 5, 7]));
         // reference max pre-cut score = 2; post-cut mcps = 3 ≥ 2. Holds.

@@ -107,19 +107,10 @@ impl fmt::Display for RefinementClass {
 pub fn figure_nodes(k_gt_1: u32) -> Vec<RefinementClass> {
     assert!(k_gt_1 > 1, "witness for k>1 must exceed 1");
     vec![
-        RefinementClass::new(
-            CriterionKind::Strong,
-            OracleModel::Frugal { k: 1 },
-        ),
-        RefinementClass::new(
-            CriterionKind::Strong,
-            OracleModel::Frugal { k: k_gt_1 },
-        ),
+        RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: 1 }),
+        RefinementClass::new(CriterionKind::Strong, OracleModel::Frugal { k: k_gt_1 }),
         RefinementClass::new(CriterionKind::Strong, OracleModel::Prodigal),
-        RefinementClass::new(
-            CriterionKind::Eventual,
-            OracleModel::Frugal { k: k_gt_1 },
-        ),
+        RefinementClass::new(CriterionKind::Eventual, OracleModel::Frugal { k: k_gt_1 }),
         RefinementClass::new(CriterionKind::Eventual, OracleModel::Prodigal),
     ]
 }

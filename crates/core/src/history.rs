@@ -340,7 +340,7 @@ mod tests {
 
         assert!(h.program_ordered(a, b));
         assert!(!h.program_ordered(a, c));
-        assert!(h.program_ordered(b, c) == false);
+        assert!(!h.program_ordered(b, c));
         // c responds after b invoked: no order between b and c either way.
         assert!(!h.program_ordered(c, b));
     }

@@ -16,6 +16,18 @@
 //! | §3.1.2 consistency criteria (Defs. 3.2–3.4) | [`criteria`] |
 //! | §3.4 hierarchy (Figs. 8/14) | [`hierarchy`] |
 //!
+//! Performance-architecture modules with no direct paper counterpart:
+//!
+//! | Concern | Module |
+//! |---|---|
+//! | O(log n) ancestry/LCA (jump pointers) | [`store`] |
+//! | Incremental selection (`on_insert`/`TipUpdate`) | [`selection`] |
+//! | Cached selected chain, zero-rewalk `read()` | [`tipcache`] |
+//!
+//! The literal Def. 3.1 semantics (full `f(bt)` rescans) remain available
+//! as `select_tip` / `selected_tip_full_scan` and serve as the
+//! differential-testing oracle for the incremental path.
+//!
 //! Token oracles (§3.2) live in the companion crate `btadt-oracle`; the
 //! shared-memory results of §4.1 in `btadt-registers`; the message-passing
 //! substrate of §4.2–4.4 in `btadt-sim`; the Table-1 protocol models in
@@ -49,6 +61,7 @@ pub mod linearizability;
 pub mod score;
 pub mod selection;
 pub mod store;
+pub mod tipcache;
 pub mod validity;
 
 /// Convenient single-import surface.
@@ -66,8 +79,11 @@ pub mod prelude {
     pub use crate::ids::{BlockId, ProcessId, Time};
     pub use crate::linearizability::{check_linearizable, Linearizability};
     pub use crate::score::{LengthScore, ScoreFn, WorkScore};
-    pub use crate::selection::{Ghost, HeaviestWork, LongestChain, SelectionFn, TrivialProjection};
+    pub use crate::selection::{
+        Ghost, HeaviestWork, LongestChain, SelectionAux, SelectionFn, TipUpdate, TrivialProjection,
+    };
     pub use crate::store::{BlockStore, TreeMembership};
+    pub use crate::tipcache::ChainCache;
     pub use crate::validity::{
         AcceptAll, DigestPrefix, NoDoubleSpend, RejectAll, ValidityPredicate,
     };

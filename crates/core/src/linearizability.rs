@@ -69,10 +69,7 @@ pub fn check_linearizable_with_limit(
     let ops: Vec<&crate::history::OpRecord> = history
         .ops()
         .iter()
-        .filter(|op| {
-            op.is_complete()
-                && !matches!(op.response, Some(Response::Appended(false)))
-        })
+        .filter(|op| op.is_complete() && !matches!(op.response, Some(Response::Appended(false))))
         .collect();
     if ops.len() > limit {
         return Linearizability::TooLarge {
@@ -92,8 +89,7 @@ pub fn check_linearizable_with_limit(
                 let ri = ops[i].responded_at.expect("complete");
                 let ij = ops[j].invoked_at;
                 if ri < ij
-                    || (ops[i].process == ops[j].process
-                        && ops[i].invoked_at < ops[j].invoked_at)
+                    || (ops[i].process == ops[j].process && ops[i].invoked_at < ops[j].invoked_at)
                 {
                     precedes[i][j] = true;
                 }

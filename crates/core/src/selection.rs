@@ -11,17 +11,117 @@
 //! (Fig. 2 breaks length ties by "the largest based on the lexicographical
 //! order"). We compare candidate chains by their digest sequences, which is
 //! a total, replica-independent order.
+//!
+//! # Incremental contract
+//!
+//! `select_tip` re-evaluates `f` from scratch — the literal Def. 3.1
+//! semantics, kept as the specification oracle. The hot path uses
+//! [`SelectionFn::on_insert`] instead: given the tip selected *before* a
+//! block joined the tree, it answers how the selection changes, in O(log n)
+//! for the chain rules and O(depth of the insert) for GHOST. Callers
+//! (see [`crate::tipcache::ChainCache`]) own a [`SelectionAux`] scratch
+//! holding whatever per-tree state a rule maintains (GHOST: subtree
+//! weights), which keeps this trait object-safe and the selection values
+//! themselves stateless and shareable, as the paper requires.
+//!
+//! `on_insert` may assume:
+//!
+//! * `new_block` is a member of `tree` and was inserted *after* the call
+//!   that reported `current_tip` (exactly one membership insert per call,
+//!   in insertion order);
+//! * `current_tip` was the rule's selected tip for the tree without
+//!   `new_block` (the caller maintains this inductively, seeding it with a
+//!   full `select_tip` scan);
+//! * the same `aux` is threaded through every call for a given tree.
 
 use crate::ids::BlockId;
 use crate::store::{BlockStore, TreeMembership};
 use std::cmp::Ordering;
+
+/// How the selected tip changed when one block joined the tree — the
+/// result of the incremental path of a [`SelectionFn`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TipUpdate {
+    /// The previously selected chain is still selected.
+    Unchanged,
+    /// The new tip is a child of the previous tip: the selected chain grew
+    /// by exactly one block (`{b0}⌢f(bt)⌢{b}`, the common case).
+    Extended(BlockId),
+    /// The selection moved to a different branch (a reorg); the new tip is
+    /// not a child of the previous one.
+    Switched(BlockId),
+}
+
+/// Per-tree scratch state for incremental selection, owned by the caller
+/// and threaded through [`SelectionFn::on_insert`]. Chain rules ignore it;
+/// GHOST maintains its subtree weights here.
+#[derive(Clone, Debug, Default)]
+pub struct SelectionAux {
+    /// GHOST: weight of the membership subtree rooted at each block
+    /// (indexed by arena slot; non-members weigh 0).
+    subtree_weight: Vec<u64>,
+    /// Whether `subtree_weight` reflects the current tree (rules
+    /// initialize lazily on first use).
+    ready: bool,
+}
+
+impl SelectionAux {
+    /// Fresh, uninitialized scratch (rules rebuild it on first use).
+    pub fn new() -> Self {
+        SelectionAux::default()
+    }
+
+    /// Drops any maintained state, forcing re-initialization on next use.
+    pub fn reset(&mut self) {
+        self.subtree_weight.clear();
+        self.ready = false;
+    }
+
+    #[inline]
+    fn weight(&self, id: BlockId) -> u64 {
+        self.subtree_weight.get(id.index()).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn add_weight(&mut self, id: BlockId, w: u64) {
+        if self.subtree_weight.len() <= id.index() {
+            self.subtree_weight.resize(id.index() + 1, 0);
+        }
+        self.subtree_weight[id.index()] += w;
+    }
+}
 
 /// A deterministic selection function `f : BT → BC`, given by the tip of the
 /// selected chain (the chain itself is the genesis→tip path).
 pub trait SelectionFn: Sync {
     /// Tip of `f(bt)` for the tree `(store, tree)`. Returns the genesis id
     /// iff the tree contains only `b0` (Def. 3.1: `f(b0) = b0`).
+    ///
+    /// This is the full re-evaluation: O(tree). It stays the semantic
+    /// oracle that the incremental path is differential-tested against.
     fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId;
+
+    /// Incremental re-selection after `new_block` joined `tree` (see the
+    /// module docs for what may be assumed). The default falls back to a
+    /// full `select_tip` scan, so custom rules are correct before they are
+    /// fast.
+    fn on_insert(
+        &self,
+        store: &BlockStore,
+        tree: &TreeMembership,
+        _aux: &mut SelectionAux,
+        _new_block: BlockId,
+        current_tip: BlockId,
+    ) -> TipUpdate {
+        let tip = self.select_tip(store, tree);
+        if tip == current_tip {
+            TipUpdate::Unchanged
+        } else if store.parent(tip) == Some(current_tip) {
+            TipUpdate::Extended(tip)
+        } else {
+            TipUpdate::Switched(tip)
+        }
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -30,19 +130,73 @@ pub trait SelectionFn: Sync {
 /// Lexicographic comparison of the genesis→tip digest sequences of two
 /// chains. Total order on distinct chains (digest sequences differ as soon
 /// as the paths diverge, since digests commit to ancestry).
+///
+/// O(log n): the chains agree up to their deepest common ancestor and the
+/// comparison is decided by the first divergent blocks — both reachable
+/// through the store's jump pointers — rather than by materializing and
+/// zipping the two full paths. If one chain prefixes the other, length
+/// decides.
 fn cmp_paths_lexicographic(store: &BlockStore, a: BlockId, b: BlockId) -> Ordering {
     if a == b {
         return Ordering::Equal;
     }
-    let pa = store.path_from_genesis(a);
-    let pb = store.path_from_genesis(b);
-    for (x, y) in pa.iter().zip(pb.iter()) {
-        let ord = store.get(*x).digest.cmp(&store.get(*y).digest);
+    let lca = store.common_ancestor(a, b);
+    if lca == a {
+        return Ordering::Less; // a is a proper prefix of b
+    }
+    if lca == b {
+        return Ordering::Greater;
+    }
+    let fork_height = store.height(lca) + 1;
+    let mut x = store.ancestor_at(a, fork_height);
+    let mut y = store.ancestor_at(b, fork_height);
+    loop {
+        // First divergent position: digests commit to ancestry, so this
+        // decides the order for any non-colliding digest function. The
+        // walk below only continues on a 64-bit digest collision.
+        let ord = store.get(x).digest.cmp(&store.get(y).digest);
         if ord != Ordering::Equal {
             return ord;
         }
+        let h = store.height(x) + 1;
+        let (ha, hb) = (store.height(a), store.height(b));
+        match (h > ha, h > hb) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            (false, false) => {
+                x = store.ancestor_at(a, h);
+                y = store.ancestor_at(b, h);
+            }
+        }
     }
-    pa.len().cmp(&pb.len())
+}
+
+/// Shared incremental step for the two chain-scoring rules (longest,
+/// heaviest): the tip is the arg-max over leaves of a score that is
+/// memoized per block, so one insert only ever pits the new leaf against
+/// the incumbent.
+fn chain_rule_on_insert(
+    store: &BlockStore,
+    new_block: BlockId,
+    current_tip: BlockId,
+    score: impl Fn(BlockId) -> u64,
+) -> TipUpdate {
+    match score(new_block)
+        .cmp(&score(current_tip))
+        .then_with(|| cmp_paths_lexicographic(store, new_block, current_tip))
+    {
+        Ordering::Greater => {
+            if store.parent(new_block) == Some(current_tip) {
+                TipUpdate::Extended(new_block)
+            } else {
+                TipUpdate::Switched(new_block)
+            }
+        }
+        // The incumbent keeps winning; the only leaf the insert removed is
+        // the new block's parent, which the incumbent already beat (or is).
+        Ordering::Less | Ordering::Equal => TipUpdate::Unchanged,
+    }
 }
 
 /// The longest-chain rule with lexicographic tie-break (largest wins), as in
@@ -73,6 +227,17 @@ impl SelectionFn for LongestChain {
             });
         }
         best.expect("tree always contains genesis")
+    }
+
+    fn on_insert(
+        &self,
+        store: &BlockStore,
+        _tree: &TreeMembership,
+        _aux: &mut SelectionAux,
+        new_block: BlockId,
+        current_tip: BlockId,
+    ) -> TipUpdate {
+        chain_rule_on_insert(store, new_block, current_tip, |b| store.height(b) as u64)
     }
 
     fn name(&self) -> &'static str {
@@ -111,6 +276,17 @@ impl SelectionFn for HeaviestWork {
         best.expect("tree always contains genesis")
     }
 
+    fn on_insert(
+        &self,
+        store: &BlockStore,
+        _tree: &TreeMembership,
+        _aux: &mut SelectionAux,
+        new_block: BlockId,
+        current_tip: BlockId,
+    ) -> TipUpdate {
+        chain_rule_on_insert(store, new_block, current_tip, |b| store.cumulative_work(b))
+    }
+
     fn name(&self) -> &'static str {
         "heaviest-work"
     }
@@ -142,6 +318,70 @@ impl Default for Ghost {
 }
 
 impl Ghost {
+    /// The standalone weight of one member block under this rule.
+    #[inline]
+    fn own_weight(&self, store: &BlockStore, id: BlockId) -> u64 {
+        match self.weight {
+            GhostWeight::BlockCount => 1,
+            GhostWeight::Work => store.get(id).work.max(1),
+        }
+    }
+
+    /// Rebuilds `aux`'s subtree weights from scratch (used on first
+    /// incremental call and after a cache reset).
+    fn init_aux(&self, store: &BlockStore, tree: &TreeMembership, aux: &mut SelectionAux) {
+        aux.subtree_weight = self.subtree_weights(store, tree);
+        aux.ready = true;
+    }
+
+    /// The heaviest member child of `cur` under the maintained weights
+    /// (`None` if `cur` is a member leaf). Tie-break: larger digest, same
+    /// as the full scan.
+    fn heaviest_child(
+        &self,
+        store: &BlockStore,
+        tree: &TreeMembership,
+        aux: &SelectionAux,
+        cur: BlockId,
+    ) -> Option<BlockId> {
+        let mut best: Option<BlockId> = None;
+        for &c in store.children(cur) {
+            if !tree.contains(c) {
+                continue;
+            }
+            best = Some(match best {
+                None => c,
+                Some(b) => match aux.weight(c).cmp(&aux.weight(b)) {
+                    Ordering::Greater => c,
+                    Ordering::Less => b,
+                    Ordering::Equal => {
+                        if store.get(c).digest > store.get(b).digest {
+                            c
+                        } else {
+                            b
+                        }
+                    }
+                },
+            });
+        }
+        best
+    }
+
+    /// Greedy descent from `from` to a member leaf under the maintained
+    /// weights.
+    fn descend(
+        &self,
+        store: &BlockStore,
+        tree: &TreeMembership,
+        aux: &SelectionAux,
+        mut from: BlockId,
+    ) -> BlockId {
+        while let Some(next) = self.heaviest_child(store, tree, aux, from) {
+            from = next;
+        }
+        from
+    }
+
     /// Subtree weights for every member block, computed in one reverse pass
     /// (children have larger arena indices than parents, so a single
     /// back-to-front scan accumulates bottom-up).
@@ -199,6 +439,53 @@ impl SelectionFn for Ghost {
         }
     }
 
+    /// Incremental GHOST: the insert adds `own_weight(b)` to every subtree
+    /// on the genesis→`b` path (an O(depth) leaf→root walk over the
+    /// maintained weights), and the greedy descent can only change at the
+    /// fork between the old tip's path and `b`'s path — above it both paths
+    /// share vertices whose chosen child just gained weight, below the old
+    /// side nothing moved. So the re-selection is one O(log n) LCA, one
+    /// child comparison, and a descent only when the fork actually flips.
+    fn on_insert(
+        &self,
+        store: &BlockStore,
+        tree: &TreeMembership,
+        aux: &mut SelectionAux,
+        new_block: BlockId,
+        current_tip: BlockId,
+    ) -> TipUpdate {
+        if !aux.ready {
+            // First incremental call on this tree: weights include
+            // `new_block` already, nothing to add on top.
+            self.init_aux(store, tree, aux);
+        } else {
+            let own = self.own_weight(store, new_block);
+            let mut cur = Some(new_block);
+            while let Some(id) = cur {
+                aux.add_weight(id, own);
+                cur = store.parent(id);
+            }
+        }
+
+        let lca = store.common_ancestor(current_tip, new_block);
+        if lca == current_tip {
+            // The old tip was a member leaf, so the only member path
+            // through it is the new block itself: the selected chain grew.
+            debug_assert_eq!(store.parent(new_block), Some(current_tip));
+            return TipUpdate::Extended(new_block);
+        }
+        let fork_height = store.height(lca) + 1;
+        let incumbent = store.ancestor_at(current_tip, fork_height);
+        let winner = self
+            .heaviest_child(store, tree, aux, lca)
+            .expect("lca has member children on both paths");
+        if winner == incumbent {
+            TipUpdate::Unchanged
+        } else {
+            TipUpdate::Switched(self.descend(store, tree, aux, winner))
+        }
+    }
+
     fn name(&self) -> &'static str {
         "ghost"
     }
@@ -222,6 +509,21 @@ impl SelectionFn for TrivialProjection {
             leaves.len()
         );
         leaves[0]
+    }
+
+    fn on_insert(
+        &self,
+        store: &BlockStore,
+        _tree: &TreeMembership,
+        _aux: &mut SelectionAux,
+        new_block: BlockId,
+        current_tip: BlockId,
+    ) -> TipUpdate {
+        assert!(
+            store.parent(new_block) == Some(current_tip),
+            "TrivialProjection requires a forkless tree, {new_block} does not extend {current_tip}"
+        );
+        TipUpdate::Extended(new_block)
     }
 
     fn name(&self) -> &'static str {
@@ -268,7 +570,11 @@ mod tests {
         let t = TreeMembership::full(&s);
         let pick = LongestChain.select_tip(&s, &t);
         // Largest digest path wins.
-        let expect = if s.get(a).digest > s.get(b).digest { a } else { b };
+        let expect = if s.get(a).digest > s.get(b).digest {
+            a
+        } else {
+            b
+        };
         assert_eq!(pick, expect);
         // Stable across repeated calls.
         assert_eq!(LongestChain.select_tip(&s, &t), pick);

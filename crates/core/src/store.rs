@@ -11,6 +11,13 @@
 //! `score`/ancestor queries cheap — an arena-with-indices layout as
 //! recommended by the Rust Performance Book (no pointer graphs, no `Rc`
 //! cycles).
+//!
+//! Every block additionally carries a *jump pointer* (Myers' skew-binary
+//! ancestor scheme, O(1) extra work per `mint`): `jump[v]` points `d`
+//! levels up, where `d` is a function of `height(v)` alone. This makes
+//! `ancestor_at_height`, `is_ancestor`, and `common_ancestor` (the
+//! block-level witness of the paper's `mcps`, §3.1.2) O(log n) instead of
+//! O(depth) — the primitives the incremental selection path leans on.
 
 use crate::block::{Block, Payload};
 use crate::ids::{BlockId, ProcessId};
@@ -27,6 +34,9 @@ pub struct BlockStore {
     children: Vec<Vec<BlockId>>,
     /// cumulative work along the path from genesis (inclusive).
     cum_work: Vec<u64>,
+    /// Skew-binary jump pointers: `jump[i]` is an ancestor of block i whose
+    /// distance depends only on `height(i)` (genesis points at itself).
+    jump: Vec<BlockId>,
 }
 
 impl BlockStore {
@@ -39,13 +49,14 @@ impl BlockStore {
             producer: ProcessId(u32::MAX), // no producer: exists by assumption
             merit_index: u32::MAX,
             work: 0,
-            digest: 0x6765_6E65_7369_73, // "genesis"
+            digest: 0x0067_656E_6573_6973, // "genesis"
             payload: Payload::Empty,
         };
         BlockStore {
             blocks: vec![genesis],
             children: vec![Vec::new()],
             cum_work: vec![0],
+            jump: vec![BlockId::GENESIS],
         }
     }
 
@@ -55,10 +66,12 @@ impl BlockStore {
         self.blocks.len()
     }
 
-    /// A store is never empty (genesis always present).
+    /// Whether the store holds no blocks. Always `false` in practice —
+    /// `new()` installs genesis and nothing is ever removed — but answered
+    /// honestly from the arena rather than hardcoded.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.blocks.is_empty()
     }
 
     /// Mints a new block under `parent` and returns its id.
@@ -92,6 +105,19 @@ impl BlockStore {
         });
         self.children.push(Vec::new());
         self.cum_work.push(cum);
+        // Skew-binary jump pointer: if the parent's two previous jumps span
+        // equal distances, leap past both; otherwise step to the parent.
+        // The resulting jump distance depends only on `height`, so two
+        // blocks at equal height always jump to equal heights — the
+        // property the O(log n) `common_ancestor` walk relies on.
+        let j1 = self.jump[parent.index()];
+        let j2 = self.jump[j1.index()];
+        let jump = if self.height(parent) - self.height(j1) == self.height(j1) - self.height(j2) {
+            j2
+        } else {
+            parent
+        };
+        self.jump.push(jump);
         self.children[parent.index()].push(id);
         id
     }
@@ -138,42 +164,73 @@ impl BlockStore {
         (0..self.blocks.len() as u32).map(BlockId)
     }
 
-    /// Walks `steps` edges towards the root.
-    pub fn ancestor(&self, mut id: BlockId, steps: u32) -> BlockId {
-        for _ in 0..steps {
-            id = self.parent(id).expect("walked past genesis");
-        }
-        id
+    /// Walks `steps` edges towards the root. O(log n) via jump pointers.
+    pub fn ancestor(&self, id: BlockId, steps: u32) -> BlockId {
+        let h = self.height(id);
+        assert!(steps <= h, "walked past genesis");
+        self.ancestor_at(id, h - steps)
     }
 
     /// The ancestor of `id` at exactly `height`, which must not exceed
-    /// `height(id)`.
-    pub fn ancestor_at_height(&self, id: BlockId, height: u32) -> BlockId {
+    /// `height(id)`. O(log n): each loop iteration either takes the jump
+    /// pointer (skew-binary distances) or one parent edge.
+    pub fn ancestor_at(&self, id: BlockId, height: u32) -> BlockId {
         let h = self.height(id);
         assert!(height <= h, "requested height {height} above block at {h}");
-        self.ancestor(id, h - height)
+        let mut cur = id;
+        while self.height(cur) > height {
+            let j = self.jump[cur.index()];
+            cur = if self.height(j) >= height {
+                j
+            } else {
+                self.parent(cur).expect("above genesis, parent exists")
+            };
+        }
+        cur
     }
 
-    /// True iff `a` lies on the genesis→`b` path (reflexively).
+    /// Alias of [`ancestor_at`](Self::ancestor_at), kept for callers that
+    /// read better with the explicit name.
+    #[inline]
+    pub fn ancestor_at_height(&self, id: BlockId, height: u32) -> BlockId {
+        self.ancestor_at(id, height)
+    }
+
+    /// True iff `a` lies on the genesis→`b` path (reflexively). O(log n).
     pub fn is_ancestor(&self, a: BlockId, b: BlockId) -> bool {
         let (ha, hb) = (self.height(a), self.height(b));
         if ha > hb {
             return false;
         }
-        self.ancestor_at_height(b, ha) == a
+        self.ancestor_at(b, ha) == a
     }
 
     /// Deepest common ancestor of `a` and `b` (exists: the tree is rooted).
+    ///
+    /// This is the block-level witness of the paper's `mcps(bc, bc')`
+    /// (§3.1.2): the maximal common prefix of the two chains is exactly the
+    /// genesis→`common_ancestor` path, so `mcps` under any score function
+    /// is `score(chain of common_ancestor)`. O(log n): heights are
+    /// equalized with `ancestor_at`, then both cursors jump in lockstep —
+    /// equal heights have equal jump distances, so the jumps stay aligned.
     pub fn common_ancestor(&self, a: BlockId, b: BlockId) -> BlockId {
         let (ha, hb) = (self.height(a), self.height(b));
         let (mut x, mut y) = if ha <= hb {
-            (a, self.ancestor_at_height(b, ha))
+            (a, self.ancestor_at(b, ha))
         } else {
-            (self.ancestor_at_height(a, hb), b)
+            (self.ancestor_at(a, hb), b)
         };
         while x != y {
-            x = self.parent(x).expect("disjoint roots");
-            y = self.parent(y).expect("disjoint roots");
+            let (jx, jy) = (self.jump[x.index()], self.jump[y.index()]);
+            if jx != jy {
+                // The common ancestor is at or above the jump target:
+                // leaping both cursors cannot overshoot it.
+                x = jx;
+                y = jy;
+            } else {
+                x = self.parent(x).expect("disjoint roots");
+                y = self.parent(y).expect("disjoint roots");
+            }
         }
         x
     }
@@ -281,10 +338,7 @@ impl TreeMembership {
     /// Debug-asserts parent-closure with respect to `store`.
     pub fn insert(&mut self, store: &BlockStore, id: BlockId) -> bool {
         debug_assert!(
-            store
-                .parent(id)
-                .map(|p| self.contains(p))
-                .unwrap_or(true),
+            store.parent(id).map(|p| self.contains(p)).unwrap_or(true),
             "membership must be parent-closed: {id} inserted before its parent"
         );
         if self.present.len() <= id.index() {

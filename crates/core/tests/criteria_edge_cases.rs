@@ -99,7 +99,13 @@ fn work_score_criteria_differ_from_length() {
 #[test]
 fn cut_exactly_at_response_time_is_inclusive() {
     let mut h = History::new();
-    read(&mut h, 0, 0, 10, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    read(
+        &mut h,
+        0,
+        0,
+        10,
+        Blockchain::from_ids(vec![BlockId(0), BlockId(1)]),
+    );
     read(
         &mut h,
         0,
@@ -119,10 +125,22 @@ fn cut_exactly_at_response_time_is_inclusive() {
 #[test]
 fn read_invoked_exactly_at_cut_is_not_post_cut() {
     let mut h = History::new();
-    read(&mut h, 0, 0, 1, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    read(
+        &mut h,
+        0,
+        0,
+        1,
+        Blockchain::from_ids(vec![BlockId(0), BlockId(1)]),
+    );
     // Invoked exactly at the cut (10): not strictly after ⇒ not a post-cut
     // read ⇒ the only post-cut material is the last read.
-    read(&mut h, 0, 10, 12, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    read(
+        &mut h,
+        0,
+        10,
+        12,
+        Blockchain::from_ids(vec![BlockId(0), BlockId(1)]),
+    );
     read(
         &mut h,
         0,
@@ -137,7 +155,13 @@ fn read_invoked_exactly_at_cut_is_not_post_cut() {
 #[test]
 fn eventual_prefix_all_pairs_reported() {
     let mut h = History::new();
-    read(&mut h, 0, 0, 1, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    read(
+        &mut h,
+        0,
+        0,
+        1,
+        Blockchain::from_ids(vec![BlockId(0), BlockId(1)]),
+    );
     // Three divergent post-cut reads: 3 violating pairs.
     for (i, b) in [(0u32, 11u32), (1, 12), (2, 13)] {
         read(
@@ -172,7 +196,13 @@ fn strong_prefix_duplicate_chains_are_fine() {
     let (store, ids) = linear_store(2, 1);
     let mut h = History::new();
     for t in 0..5u64 {
-        read(&mut h, (t % 2) as u32, t * 10, t * 10 + 1, Blockchain::from_tip(&store, ids[2]));
+        read(
+            &mut h,
+            (t % 2) as u32,
+            t * 10,
+            t * 10 + 1,
+            Blockchain::from_tip(&store, ids[2]),
+        );
     }
     assert!(strong_prefix::check(&h).holds);
     assert!(strong_prefix::check_naive(&h).holds);
@@ -204,7 +234,13 @@ fn genesis_only_reads_forever_is_strongly_consistent_vacuously() {
 #[test]
 fn verdict_display_truncates_long_witness_lists() {
     let mut h = History::new();
-    read(&mut h, 0, 0, 1, Blockchain::from_ids(vec![BlockId(0), BlockId(1)]));
+    read(
+        &mut h,
+        0,
+        0,
+        1,
+        Blockchain::from_ids(vec![BlockId(0), BlockId(1)]),
+    );
     for i in 0..8u32 {
         read(
             &mut h,

@@ -86,6 +86,54 @@ proptest! {
         }
     }
 
+    // ── Jump-pointer ancestry vs the naive parent walk ──────────────────
+    //
+    // `ancestor_at` and `common_ancestor` answer in O(log n) through the
+    // store's skew-binary jump pointers; the reference implementations
+    // below walk parent edges one at a time. They must agree on every
+    // block pair of random trees.
+
+    #[test]
+    fn ancestor_at_matches_naive_walk(store in arb_store(60)) {
+        for id in store.ids() {
+            let h = store.height(id);
+            for target in 0..=h {
+                let mut naive = id;
+                for _ in 0..(h - target) {
+                    naive = store.parent(naive).unwrap();
+                }
+                prop_assert_eq!(
+                    store.ancestor_at(id, target),
+                    naive,
+                    "jump-pointer ancestor_at({:?}, {}) diverged", id, target
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_ancestor_matches_naive_two_pointer(store in arb_store(60)) {
+        let naive_lca = |mut a: BlockId, mut b: BlockId| {
+            while store.height(a) > store.height(b) {
+                a = store.parent(a).unwrap();
+            }
+            while store.height(b) > store.height(a) {
+                b = store.parent(b).unwrap();
+            }
+            while a != b {
+                a = store.parent(a).unwrap();
+                b = store.parent(b).unwrap();
+            }
+            a
+        };
+        let ids: Vec<BlockId> = store.ids().collect();
+        for &a in ids.iter().take(12) {
+            for &b in ids.iter().rev().take(12) {
+                prop_assert_eq!(store.common_ancestor(a, b), naive_lca(a, b));
+            }
+        }
+    }
+
     // ── Prefix-order laws ───────────────────────────────────────────────
 
     #[test]
@@ -335,5 +383,55 @@ proptest! {
             matches!(r, Linearizability::Linearizable(_)),
             "sequential execution must linearize: {:?}", r
         );
+    }
+}
+
+// ── Ancestry edge cases (deterministic, no strategies needed) ───────────
+
+#[test]
+fn ancestry_edge_case_genesis() {
+    let store = BlockStore::new();
+    let g = BlockId::GENESIS;
+    assert_eq!(store.ancestor_at(g, 0), g);
+    assert_eq!(store.common_ancestor(g, g), g);
+    assert!(store.is_ancestor(g, g));
+    assert!(!store.is_empty());
+}
+
+#[test]
+fn ancestry_edge_case_single_chain() {
+    let mut store = BlockStore::new();
+    let mut ids = vec![BlockId::GENESIS];
+    for i in 0..200u64 {
+        let prev = *ids.last().unwrap();
+        ids.push(store.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty));
+    }
+    // Every (descendant, height) pair lands exactly on the chain.
+    for h in [0u32, 1, 2, 63, 64, 65, 127, 128, 199, 200] {
+        assert_eq!(store.ancestor_at(ids[200], h), ids[h as usize]);
+    }
+    // LCA on one chain is always the shallower block.
+    assert_eq!(store.common_ancestor(ids[200], ids[37]), ids[37]);
+    assert_eq!(store.common_ancestor(ids[3], ids[150]), ids[3]);
+    assert!(store.is_ancestor(ids[1], ids[200]));
+    assert!(!store.is_ancestor(ids[200], ids[1]));
+}
+
+#[test]
+fn ancestry_edge_case_wide_fork() {
+    // A star: 64 children directly under genesis, each with one child.
+    let mut store = BlockStore::new();
+    let mut leaves = Vec::new();
+    for i in 0..64u64 {
+        let mid = store.mint(BlockId::GENESIS, ProcessId(0), 0, 1, i * 2, Payload::Empty);
+        leaves.push(store.mint(mid, ProcessId(1), 1, 1, i * 2 + 1, Payload::Empty));
+    }
+    for (i, &a) in leaves.iter().enumerate() {
+        for &b in leaves.iter().skip(i + 1) {
+            assert_eq!(store.common_ancestor(a, b), BlockId::GENESIS);
+            assert!(!store.is_ancestor(a, b));
+        }
+        assert_eq!(store.ancestor_at(a, 0), BlockId::GENESIS);
+        assert_eq!(store.common_ancestor(a, a), a);
     }
 }

@@ -1,0 +1,234 @@
+//! Differential tests: the incremental selection path (`on_insert` +
+//! `ChainCache`) must agree bit-for-bit with the full-scan `select_tip`
+//! oracle of Def. 3.1 — on every insert of randomized fork-heavy
+//! workloads, for every shipped selection rule. This is what preserves
+//! the paper's hierarchy/criteria results across the performance
+//! refactor: every consistency checker consumes chains produced by
+//! `read()`, and `read()` now comes off the cache.
+//!
+//! Two workload shapes:
+//!
+//! * **mint-order**: blocks join the membership the moment they are
+//!   minted, with parents biased toward recent blocks (long competing
+//!   branches) but free to hit any block (wide shallow forks);
+//! * **shuffled delivery**: the tree is minted first, then membership
+//!   inserts replay in a random parent-closed order — the shape replicas
+//!   see under out-of-order networks, where consecutive inserts land in
+//!   unrelated subtrees.
+//!
+//! Combined, the two scenarios exceed 1000 distinct random sequences.
+
+use btadt_core::block::Payload;
+use btadt_core::chain::Blockchain;
+use btadt_core::ids::{splitmix64_at, BlockId, ProcessId};
+use btadt_core::selection::{Ghost, GhostWeight, HeaviestWork, LongestChain, SelectionFn};
+use btadt_core::store::{BlockStore, TreeMembership};
+use btadt_core::tipcache::ChainCache;
+
+fn rules() -> Vec<(&'static str, Box<dyn SelectionFn>)> {
+    vec![
+        ("longest", Box::new(LongestChain)),
+        ("heaviest", Box::new(HeaviestWork)),
+        (
+            "ghost-count",
+            Box::new(Ghost {
+                weight: GhostWeight::BlockCount,
+            }),
+        ),
+        (
+            "ghost-work",
+            Box::new(Ghost {
+                weight: GhostWeight::Work,
+            }),
+        ),
+    ]
+}
+
+/// Draw the parent for the next mint: half the time a recent block (deep
+/// competing branches), otherwise any block (wide forks near the root).
+fn pick_parent(seed: u64, step: u64, minted: &[BlockId]) -> BlockId {
+    let r = splitmix64_at(seed ^ 0x9A_2E17, step);
+    let idx = if r & 1 == 0 {
+        let window = minted.len().min(5);
+        minted.len() - 1 - (r as usize >> 1) % window
+    } else {
+        (r as usize >> 1) % minted.len()
+    };
+    minted[idx]
+}
+
+/// One mint-order sequence: returns how many inserts were checked.
+fn run_mint_order_sequence(seed: u64) -> usize {
+    let n_blocks = 24 + (splitmix64_at(seed, 0) % 40) as usize;
+    let mut store = BlockStore::new();
+    let mut tree = TreeMembership::genesis_only();
+    let rules = rules();
+    let mut caches: Vec<ChainCache> = rules.iter().map(|_| ChainCache::new()).collect();
+    let mut minted = vec![BlockId::GENESIS];
+
+    for step in 0..n_blocks as u64 {
+        let parent = pick_parent(seed, step, &minted);
+        let work = 1 + splitmix64_at(seed ^ 0x3052, step) % 4;
+        let b = store.mint(
+            parent,
+            ProcessId((step % 4) as u32),
+            (step % 4) as u32,
+            work,
+            step,
+            Payload::Empty,
+        );
+        minted.push(b);
+        tree.insert(&store, b);
+        for ((name, rule), cache) in rules.iter().zip(caches.iter_mut()) {
+            cache.on_insert(rule.as_ref(), &store, &tree, b);
+            let oracle_tip = rule.select_tip(&store, &tree);
+            assert_eq!(
+                cache.tip(),
+                oracle_tip,
+                "seed {seed} step {step}: incremental {name} diverged from full scan"
+            );
+            assert_eq!(
+                cache.chain(),
+                Blockchain::from_tip(&store, oracle_tip),
+                "seed {seed} step {step}: cached {name} chain diverged"
+            );
+        }
+    }
+    n_blocks
+}
+
+/// One shuffled-delivery sequence: mint the whole tree, then insert the
+/// membership in a random parent-closed order.
+fn run_shuffled_sequence(seed: u64) -> usize {
+    let n_blocks = 20 + (splitmix64_at(seed, 1) % 30) as usize;
+    let mut store = BlockStore::new();
+    let mut minted = vec![BlockId::GENESIS];
+    for step in 0..n_blocks as u64 {
+        let parent = pick_parent(seed, step, &minted);
+        let work = 1 + splitmix64_at(seed ^ 0x3053, step) % 4;
+        minted.push(store.mint(
+            parent,
+            ProcessId((step % 3) as u32),
+            (step % 3) as u32,
+            work,
+            step,
+            Payload::Empty,
+        ));
+    }
+
+    let mut tree = TreeMembership::genesis_only();
+    let rules = rules();
+    let mut caches: Vec<ChainCache> = rules.iter().map(|_| ChainCache::new()).collect();
+    // Ready set: minted blocks whose parent is already a member.
+    let mut pending: Vec<BlockId> = minted[1..].to_vec();
+    let mut step = 0u64;
+    while !pending.is_empty() {
+        let ready: Vec<usize> = (0..pending.len())
+            .filter(|&i| {
+                store
+                    .parent(pending[i])
+                    .map(|p| tree.contains(p))
+                    .unwrap_or(true)
+            })
+            .collect();
+        let pick = ready[(splitmix64_at(seed ^ 0x5417, step) as usize) % ready.len()];
+        let b = pending.swap_remove(pick);
+        tree.insert(&store, b);
+        for ((name, rule), cache) in rules.iter().zip(caches.iter_mut()) {
+            cache.on_insert(rule.as_ref(), &store, &tree, b);
+            let oracle_tip = rule.select_tip(&store, &tree);
+            assert_eq!(
+                cache.tip(),
+                oracle_tip,
+                "seed {seed} delivery {step}: incremental {name} diverged from full scan"
+            );
+        }
+        step += 1;
+    }
+    n_blocks
+}
+
+#[test]
+fn incremental_matches_full_scan_on_mint_order_workloads() {
+    let mut inserts = 0;
+    for seed in 0..800u64 {
+        inserts += run_mint_order_sequence(seed);
+    }
+    assert!(
+        inserts > 10_000,
+        "workload should be substantial: {inserts}"
+    );
+}
+
+#[test]
+fn incremental_matches_full_scan_on_shuffled_delivery() {
+    let mut inserts = 0;
+    for seed in 0..300u64 {
+        inserts += run_shuffled_sequence(0xD15_7269 ^ seed);
+    }
+    assert!(inserts > 5_000, "workload should be substantial: {inserts}");
+}
+
+/// The same agreement through the public `BlockTree` API, mixing tip
+/// appends with explicit forks via `graft`, and checking the `read()`
+/// output (the externally observable surface of Def. 3.1).
+#[test]
+fn blocktree_reads_match_full_scan_under_grafted_forks() {
+    use btadt_core::blocktree::{BlockTree, CandidateBlock};
+    use btadt_core::validity::AcceptAll;
+
+    for seed in 0..120u64 {
+        let mut bt = BlockTree::new(LongestChain, AcceptAll);
+        let mut ids = vec![BlockId::GENESIS];
+        for step in 0..60u64 {
+            let r = splitmix64_at(seed ^ 0xB10C7, step);
+            let id = if r.is_multiple_of(3) {
+                // Fork: graft under an arbitrary known block.
+                let parent = ids[(r as usize >> 8) % ids.len()];
+                bt.graft(parent, CandidateBlock::simple(ProcessId(0), step))
+            } else {
+                let before = bt.store().len();
+                bt.append(CandidateBlock::simple(ProcessId(1), step));
+                Some(BlockId(before as u32))
+            };
+            if let Some(id) = id {
+                ids.push(id);
+            }
+            assert_eq!(
+                bt.selected_tip(),
+                bt.selected_tip_full_scan(),
+                "seed {seed} step {step}: BlockTree cache diverged"
+            );
+            assert_eq!(
+                bt.read(),
+                Blockchain::from_tip(bt.store(), bt.selected_tip_full_scan()),
+                "seed {seed} step {step}: read() diverged from Def. 3.1"
+            );
+        }
+    }
+}
+
+/// Repeated reads of an unchanged tip must share one snapshot allocation —
+/// the zero-rewalk guarantee (`path_from_genesis` is off the read path).
+#[test]
+fn unchanged_tip_reads_share_the_snapshot() {
+    use btadt_core::blocktree::{BlockTree, CandidateBlock};
+    use btadt_core::validity::AcceptAll;
+
+    let mut bt = BlockTree::new(LongestChain, AcceptAll);
+    for i in 0..50 {
+        bt.append(CandidateBlock::simple(ProcessId(0), i));
+    }
+    let a = bt.read();
+    let b = bt.read();
+    assert_eq!(a, b);
+    assert_eq!(
+        a.ids().as_ptr(),
+        b.ids().as_ptr(),
+        "reads of an unchanged tip must be Arc clones, not fresh walks"
+    );
+    bt.append(CandidateBlock::simple(ProcessId(0), 99));
+    let c = bt.read();
+    assert_ne!(a.ids().as_ptr(), c.ids().as_ptr());
+    assert_eq!(c.len(), a.len() + 1);
+}

@@ -37,9 +37,9 @@
 
 pub use btadt_core as core;
 pub use btadt_oracle as oracle;
+pub use btadt_protocols as protocols;
 pub use btadt_registers as registers;
 pub use btadt_sim as sim;
-pub use btadt_protocols as protocols;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -48,6 +48,7 @@ pub mod prelude {
         purge_unsuccessful, run_workload, AppendOutcome, KBound, Merits, RefinedBlockTree,
         SharedOracle, Tape, ThetaOracle, TokenGrant, WorkloadConfig,
     };
+    pub use btadt_protocols::{table1, Classification, RunSchedule, SystemRun, TxStream};
     pub use btadt_registers::{
         run_trial, AtomicSnapshot, CasConsensus, CasFromCt, CasRegister, Consensus,
         ConsensusReport, ConsumeTokenCell, OracleConsensus, ProdigalCtCell, EMPTY,
@@ -57,5 +58,4 @@ pub mod prelude {
         update_agreement_positive, Ctx, DropPolicy, Msg, NetworkModel, Partition, Protocol,
         Replica, RunOutcome, SimpleMiner, Synchrony, Trace, TraceEvent, World,
     };
-    pub use btadt_protocols::{table1, Classification, RunSchedule, SystemRun, TxStream};
 }

@@ -83,10 +83,7 @@ pub fn token_fairness(merits: Merits, rate: f64, seed: u64, attempts: u64) -> Fa
     let mut counts = vec![0u64; n];
     for a in 0..attempts {
         for (i, c) in counts.iter_mut().enumerate() {
-            if oracle
-                .get_token(i, BlockId(((a % 7) + 1) as u32))
-                .is_some()
-            {
+            if oracle.get_token(i, BlockId(((a % 7) + 1) as u32)).is_some() {
                 *c += 1;
             }
         }

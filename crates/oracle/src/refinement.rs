@@ -11,6 +11,13 @@
 //! "those two operations and the concatenation occur atomically") and
 //! records every operation into a [`History`] so runs can be checked
 //! against the consistency criteria and purged into `Ĥ` (§3.4).
+//!
+//! The underlying [`BlockTree`] maintains its selected chain
+//! incrementally (see `btadt_core::tipcache`), so the
+//! `last_block(f(bt))` capture at every append invocation and the
+//! `{b0}⌢f(bt)` materialized by every read are O(1) — workload drivers
+//! can capture tips per-tick without the capture itself dominating the
+//! run, which is what lets the runner scale its histories.
 
 use crate::theta::{KBound, ThetaOracle};
 use btadt_core::block::Payload;
@@ -219,11 +226,13 @@ impl<F: SelectionFn, P: ValidityPredicate> RefinedBlockTree<F, P> {
     }
 
     /// `read()` without recording (for drivers that record themselves).
+    /// O(1) on an unchanged tip: an `Arc` clone of the cached chain.
     pub fn read_quiet(&self) -> Blockchain {
         self.bt.read()
     }
 
-    /// Current selected tip `last_block(f(bt))`.
+    /// Current selected tip `last_block(f(bt))` — O(1), served from the
+    /// tree's incremental selection cache.
     pub fn selected_tip(&self) -> BlockId {
         self.bt.selected_tip()
     }
@@ -343,7 +352,15 @@ mod tests {
         let mut r = refined(KBound::Finite(2), 3.0);
         let t0 = r.now();
         let outcomes: Vec<_> = (0..3)
-            .map(|i| r.append_at(ProcessId(i), i as usize, BlockId::GENESIS, Payload::Empty, t0))
+            .map(|i| {
+                r.append_at(
+                    ProcessId(i),
+                    i as usize,
+                    BlockId::GENESIS,
+                    Payload::Empty,
+                    t0,
+                )
+            })
             .collect();
         let wins = outcomes.iter().filter(|o| o.succeeded()).count();
         assert_eq!(wins, 2);
@@ -398,9 +415,7 @@ mod tests {
     #[test]
     fn work_parameter_reaches_store() {
         let mut r = refined(KBound::Infinite, 3.0);
-        if let AppendOutcome::Appended(id) =
-            r.append_as(ProcessId(0), 0, Payload::Empty, 9)
-        {
+        if let AppendOutcome::Appended(id) = r.append_as(ProcessId(0), 0, Payload::Empty, 9) {
             assert_eq!(r.store().get(id).work, 9);
         } else {
             panic!("append failed");

@@ -9,6 +9,11 @@
 //! the oracle's `k` decides how many win.
 //!
 //! Everything is driven by SplitMix64 streams: same config ⇒ same history.
+//!
+//! Tip captures (`tree.selected_tip()` at operation start) and the final
+//! reads ride the incremental selection cache: per-tick cost is O(1)
+//! regardless of how large the tree has grown, so `steps` can scale
+//! without the driver itself becoming the bottleneck.
 
 use crate::refinement::{purge_unsuccessful, RefinedBlockTree};
 use crate::theta::ThetaOracle;

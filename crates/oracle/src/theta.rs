@@ -160,10 +160,7 @@ impl ThetaOracle {
 
     /// Current contents of `K[parent]`.
     pub fn consumed_for(&self, parent: BlockId) -> &[BlockId] {
-        self.consumed
-            .get(&parent)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.consumed.get(&parent).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of tape cells the invoker has consumed (its attempt count).
@@ -362,7 +359,7 @@ mod tests {
                     let r = splitmix64_at(seed ^ 0xABC, step);
                     let who = (r % 3) as usize;
                     let parent = BlockId((r >> 8) as u32 % 4);
-                    if r % 2 == 0 {
+                    if r.is_multiple_of(2) {
                         if let Some(g) = o.get_token(who, parent) {
                             pending.push(g);
                         }

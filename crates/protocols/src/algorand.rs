@@ -100,7 +100,7 @@ impl Protocol for AlgorandNode {
 
     fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
         self.ticks += 1;
-        if !self.producing || self.ticks % self.round_len != 0 {
+        if !self.producing || !self.ticks.is_multiple_of(self.round_len) {
             return;
         }
         let round = self.ticks / self.round_len;
@@ -108,8 +108,7 @@ impl Protocol for AlgorandNode {
 
         // Adversarial-round draw (common coin: same at every process).
         let coin = splitmix64_at(mix2(self.sortition_seed, 0xF02C), round);
-        let adversarial =
-            ((coin >> 11) as f64 / (1u64 << 53) as f64) < self.fork_probability;
+        let adversarial = ((coin >> 11) as f64 / (1u64 << 53) as f64) < self.fork_probability;
 
         let proposers: Vec<ProcessId> = if adversarial {
             vec![
@@ -131,7 +130,13 @@ impl Protocol for AlgorandNode {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, ()>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         gossip_applied(ctx, parent, block);
     }
 }
@@ -178,7 +183,7 @@ pub fn run(cfg: &AlgorandConfig) -> SystemRun {
     // Ideal BA*: k = 1. Adversarial mode needs room for the double commit.
     let k = if cfg.fork_probability > 0.0 { 2 } else { 1 };
     let oracle = ThetaOracle::frugal(k, merits, cfg.n as f64 * 0.9, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let nodes = (0..cfg.n)
         .map(|i| {
             AlgorandNode::new(

@@ -17,13 +17,19 @@
 //! consistency but (whenever a fork surfaces in reads) not Strong
 //! consistency — Garay et al. [17] for the real system, experiment T1
 //! here.
+//!
+//! The hot path — every miner re-reads its local tip each tick via
+//! `ctx.mine` — rides the replicas' incremental selection caches
+//! (`btadt_core::tipcache`): per-tick selection is O(1) rather than a
+//! rescan of the ever-growing tree, so long runs stay tick-bound, not
+//! tree-bound.
 
 use crate::common::{standard_run, RunSchedule, SystemRun, Throttle, TxStream};
 use btadt_core::block::Payload;
 use btadt_core::ids::{BlockId, ProcessId};
 use btadt_core::selection::{HeaviestWork, LongestChain};
-use btadt_sim::{gossip_applied, Ctx, NetworkModel, Protocol, World};
 use btadt_oracle::{Merits, ThetaOracle};
+use btadt_sim::{gossip_applied, Ctx, NetworkModel, Protocol, World};
 
 /// A Nakamoto-style miner: tape-lottery mining at the local tip, flooding
 /// dissemination, longest/heaviest-chain selection (selection lives in the
@@ -59,7 +65,13 @@ impl Protocol for NakamotoMiner {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, ()>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         // Valid blocks are flooded in the system (gossip echo ⇒ LRC).
         gossip_applied(ctx, parent, block);
     }
@@ -107,17 +119,12 @@ pub fn run(cfg: &BitcoinConfig) -> SystemRun {
         None => Merits::uniform(cfg.n),
     };
     let oracle = ThetaOracle::prodigal(merits, cfg.rate, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let miners = (0..cfg.n)
         .map(|i| NakamotoMiner::new(cfg.seed ^ (i as u64) << 8, 3))
         .collect();
-    let world: World<NakamotoMiner> = World::new(
-        miners,
-        oracle,
-        net,
-        Box::new(LongestChain),
-        cfg.seed,
-    );
+    let world: World<NakamotoMiner> =
+        World::new(miners, oracle, net, Box::new(LongestChain), cfg.seed);
     standard_run(world, &cfg.schedule)
 }
 
@@ -129,17 +136,12 @@ pub fn run_heaviest(cfg: &BitcoinConfig) -> SystemRun {
         None => Merits::uniform(cfg.n),
     };
     let oracle = ThetaOracle::prodigal(merits, cfg.rate, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let miners = (0..cfg.n)
         .map(|i| NakamotoMiner::new(cfg.seed ^ (i as u64) << 8, 3))
         .collect();
-    let world: World<NakamotoMiner> = World::new(
-        miners,
-        oracle,
-        net,
-        Box::new(HeaviestWork),
-        cfg.seed,
-    );
+    let world: World<NakamotoMiner> =
+        World::new(miners, oracle, net, Box::new(HeaviestWork), cfg.seed);
     standard_run(world, &cfg.schedule)
 }
 

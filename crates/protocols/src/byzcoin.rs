@@ -92,7 +92,7 @@ impl Protocol for ByzCoinNode {
 
         // Round boundary: deterministic smallest-digest pick, committed
         // through the k = 1 oracle by the winning proposer itself.
-        if self.ticks % self.round_len == 0 {
+        if self.ticks.is_multiple_of(self.round_len) {
             let parent = ctx.tip();
             let pick = self
                 .candidates
@@ -125,7 +125,13 @@ impl Protocol for ByzCoinNode {
         self.candidates.push(msg);
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, Candidate>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, Candidate>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         gossip_applied(ctx, parent, block);
     }
 }
@@ -168,7 +174,7 @@ pub fn run(cfg: &ByzCoinConfig) -> SystemRun {
     let merits = Merits::uniform(cfg.n);
     // Frugal k = 1: the PBFT commit admits one keyblock per parent, ever.
     let oracle = ThetaOracle::frugal(1, merits, cfg.rate, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let nodes = (0..cfg.n)
         .map(|i| ByzCoinNode::new(cfg.seed ^ ((i as u64) << 8), cfg.round_len))
         .collect();

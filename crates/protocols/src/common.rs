@@ -15,9 +15,7 @@
 //!    process (post-cut convergence witnesses).
 
 use btadt_core::chain::Blockchain;
-use btadt_core::criteria::{
-    classify, ConsistencyClass, ConsistencyParams, LivenessMode,
-};
+use btadt_core::criteria::{classify, ConsistencyClass, ConsistencyParams, LivenessMode};
 use btadt_core::ids::{ProcessId, Time};
 use btadt_core::score::LengthScore;
 use btadt_core::store::BlockStore;

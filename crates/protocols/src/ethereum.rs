@@ -12,7 +12,10 @@
 //!   [`Ghost`](btadt_core::selection::Ghost) heaviest-subtree rule;
 //! * the block interval : delivery-delay ratio is more aggressive, so
 //!   forks ("uncles") are more frequent — which is exactly the regime
-//!   GHOST was designed for.
+//!   GHOST was designed for. Each replica maintains GHOST's subtree
+//!   weights incrementally (`SelectionFn::on_insert` updates the
+//!   leaf→root path per applied block), so the uncle-heavy regime does
+//!   not degrade per-delivery selection to a full-tree weight rebuild.
 
 use crate::bitcoin::NakamotoMiner;
 use crate::common::{standard_run, RunSchedule, SystemRun};
@@ -57,7 +60,7 @@ pub fn run(cfg: &EthereumConfig) -> SystemRun {
         None => Merits::uniform(cfg.n),
     };
     let oracle = ThetaOracle::prodigal(merits, cfg.rate, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let miners = (0..cfg.n)
         .map(|i| NakamotoMiner::new(cfg.seed ^ ((i as u64) << 8), 2))
         .collect();

@@ -104,7 +104,13 @@ impl Protocol for FruitMiner {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, Fruit>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, Fruit>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         let applied = gossip_applied(ctx, parent, block);
         // A committed remote block also settles the pending fruits
         // (every replica credits identically under full dissemination).
@@ -178,7 +184,7 @@ pub fn run(cfg: &FruitChainConfig) -> FruitChainRun {
         None => Merits::uniform(cfg.n),
     };
     let oracle = ThetaOracle::prodigal(merits.clone(), cfg.block_rate, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let miners: Vec<FruitMiner> = (0..cfg.n)
         .map(|i| {
             let p = merits.token_probability(i, cfg.fruit_rate / FRUIT_ATTEMPTS as f64);
@@ -211,7 +217,7 @@ pub fn run(cfg: &FruitChainConfig) -> FruitChainRun {
     let run = standard_run(
         {
             let oracle = ThetaOracle::prodigal(merits, cfg.block_rate, cfg.seed);
-            let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+            let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
             let miners: Vec<FruitMiner> = (0..cfg.n)
                 .map(|i| {
                     let m = match &cfg.hash_power {

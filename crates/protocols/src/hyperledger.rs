@@ -132,7 +132,13 @@ impl Protocol for FabricNode {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, Endorsed>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, Endorsed>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         gossip_applied(ctx, parent, block);
     }
 }
@@ -175,7 +181,7 @@ pub fn run(cfg: &FabricConfig) -> SystemRun {
     assert!(cfg.members.contains(&0), "process 0 is the orderer");
     let merits = Merits::consortium(cfg.n, &cfg.members);
     let oracle = ThetaOracle::frugal(1, merits, cfg.members.len() as f64 * 0.9, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let nodes = (0..cfg.n)
         .map(|i| {
             FabricNode::new(
@@ -187,8 +193,7 @@ pub fn run(cfg: &FabricConfig) -> SystemRun {
             )
         })
         .collect();
-    let world: World<FabricNode> =
-        World::new(nodes, oracle, net, Box::new(LongestChain), cfg.seed);
+    let world: World<FabricNode> = World::new(nodes, oracle, net, Box::new(LongestChain), cfg.seed);
     standard_run(world, &cfg.schedule)
 }
 

@@ -67,7 +67,7 @@ impl Protocol for PeerCensusNode {
 
     fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
         self.ticks += 1;
-        if !self.producing || self.ticks % self.round_len != 0 {
+        if !self.producing || !self.ticks.is_multiple_of(self.round_len) {
             return;
         }
         // The committee leader of the round (rotating over the window,
@@ -91,7 +91,13 @@ impl Protocol for PeerCensusNode {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, ()>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         gossip_applied(ctx, parent, block);
     }
 }
@@ -131,7 +137,7 @@ impl Default for PeerCensusConfig {
 pub fn run(cfg: &PeerCensusConfig) -> SystemRun {
     let merits = Merits::uniform(cfg.n);
     let oracle = ThetaOracle::frugal(1, merits, cfg.n as f64 * 0.9, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let nodes = (0..cfg.n)
         .map(|i| PeerCensusNode::new(cfg.seed ^ ((i as u64) << 8), cfg.round_len, cfg.window))
         .collect();
@@ -160,10 +166,7 @@ pub fn secure_state_probability(
         'rounds: for round in 0..rounds {
             let mut byz = 0usize;
             for m in 0..committee_size {
-                let r = splitmix64_at(
-                    mix2(seed, trial as u64),
-                    ((round as u64) << 16) | m as u64,
-                );
+                let r = splitmix64_at(mix2(seed, trial as u64), ((round as u64) << 16) | m as u64);
                 let u = (r >> 11) as f64 / (1u64 << 53) as f64;
                 if u < alpha_a {
                     byz += 1;

@@ -105,7 +105,13 @@ impl Protocol for RedBellyNode {
         self.proposals.push(msg);
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, Proposal>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, Proposal>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         gossip_applied(ctx, parent, block);
     }
 }
@@ -147,7 +153,7 @@ pub fn run(cfg: &RedBellyConfig) -> SystemRun {
     assert!(cfg.round_len > cfg.delta, "decision needs the proposals in");
     let merits = Merits::consortium(cfg.n, &cfg.members);
     let oracle = ThetaOracle::frugal(1, merits, cfg.members.len() as f64 * 0.9, cfg.seed);
-    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E45_54);
+    let net = NetworkModel::synchronous(cfg.delta, cfg.seed ^ 0x4E_4554);
     let nodes = (0..cfg.n)
         .map(|i| {
             RedBellyNode::new(

@@ -38,11 +38,12 @@ impl CasRegister {
     /// `new_value` iff the register holds `old_value`; returns the value
     /// the register held when the operation took effect.
     pub fn compare_and_swap(&self, old_value: u64, new_value: u64) -> u64 {
-        match self
-            .cell
-            .atomic()
-            .compare_exchange(old_value, new_value, Ordering::SeqCst, Ordering::SeqCst)
-        {
+        match self.cell.atomic().compare_exchange(
+            old_value,
+            new_value,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
             Ok(prev) => prev,
             Err(prev) => prev,
         }

@@ -74,9 +74,7 @@ impl Consensus for OracleConsensus {
             std::hint::spin_loop();
         };
         // validBlockSet ← consumeToken(validBlock)
-        let set = self
-            .oracle
-            .consume_token(&grant, BlockId(value as u32));
+        let set = self.oracle.consume_token(&grant, BlockId(value as u32));
         // k = 1: the set is the singleton everyone decides on.
         debug_assert_eq!(set.len(), 1, "K[b0] has cardinality 1 under k = 1");
         set[0].0 as u64

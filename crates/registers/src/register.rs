@@ -104,7 +104,10 @@ mod tests {
             }
         });
         let v = r.read();
-        assert!((1..=8).contains(&v), "final value from some writer, got {v}");
+        assert!(
+            (1..=8).contains(&v),
+            "final value from some writer, got {v}"
+        );
     }
 
     #[test]

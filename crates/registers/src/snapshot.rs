@@ -236,9 +236,7 @@ mod tests {
                 }));
             }
             let s2 = Arc::clone(&s);
-            handles.push(scope.spawn(move || {
-                (0..200).map(|_| s2.scan()).collect()
-            }));
+            handles.push(scope.spawn(move || (0..200).map(|_| s2.scan()).collect()));
             handles
                 .into_iter()
                 .flat_map(|h| h.join().unwrap())

@@ -34,11 +34,7 @@ impl ProdigalCtCell {
     /// an atomic read of all slots that includes the last written token.
     pub fn consume_token(&self, m: usize, block: u64) -> Vec<u64> {
         self.registers.update(m, Some(block));
-        self.registers
-            .scan()
-            .into_iter()
-            .flatten()
-            .collect()
+        self.registers.scan().into_iter().flatten().collect()
     }
 
     /// A plain read of `K[h]` (scan without writing).

@@ -65,7 +65,13 @@ impl Protocol for Equivocator {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, ()>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         // Even the attacker keeps its replica coherent (it needs tips).
         ctx.apply_update(parent, block);
     }
@@ -116,7 +122,13 @@ impl Protocol for Withholder {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, ()>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         gossip_applied(ctx, parent, block);
     }
 }
@@ -164,9 +176,7 @@ mod tests {
 
     #[test]
     fn equivocation_splits_views_transiently_but_gossip_heals() {
-        use btadt_core::criteria::{
-            check_eventual_consistency, ConsistencyParams, LivenessMode,
-        };
+        use btadt_core::criteria::{check_eventual_consistency, ConsistencyParams, LivenessMode};
         use btadt_core::score::LengthScore;
         use btadt_core::validity::AcceptAll;
 
@@ -196,10 +206,7 @@ mod tests {
         w.read_all();
 
         // Equivocation really happened: some parent has ≥ 2 children.
-        let forked = w
-            .store
-            .ids()
-            .any(|b| w.store.children(b).len() >= 2);
+        let forked = w.store.ids().any(|b| w.store.children(b).len() >= 2);
         assert!(forked, "the attacker must have produced a split");
 
         // The correct-restricted history still satisfies EC.
@@ -216,9 +223,7 @@ mod tests {
 
     #[test]
     fn withholding_delays_but_does_not_break_convergence() {
-        use btadt_core::criteria::{
-            check_eventual_consistency, ConsistencyParams, LivenessMode,
-        };
+        use btadt_core::criteria::{check_eventual_consistency, ConsistencyParams, LivenessMode};
         use btadt_core::score::LengthScore;
         use btadt_core::validity::AcceptAll;
 

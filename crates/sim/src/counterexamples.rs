@@ -107,7 +107,13 @@ impl Protocol for SimpleMiner {
         }
     }
 
-    fn on_block(&mut self, ctx: &mut Ctx<'_, ()>, _from: ProcessId, parent: BlockId, block: BlockId) {
+    fn on_block(
+        &mut self,
+        ctx: &mut Ctx<'_, ()>,
+        _from: ProcessId,
+        parent: BlockId,
+        block: BlockId,
+    ) {
         if self.gossip {
             gossip_applied(ctx, parent, block);
         } else {

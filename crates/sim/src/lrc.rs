@@ -53,10 +53,16 @@ impl fmt::Display for LrcReport {
             if self.agreement { "✓" } else { "✗" }
         )?;
         for (p, b) in self.validity_violations.iter().take(3) {
-            writeln!(f, "    validity witness: send_{p}(·, {b}) never self-received")?;
+            writeln!(
+                f,
+                "    validity witness: send_{p}(·, {b}) never self-received"
+            )?;
         }
         for (p, b) in self.agreement_violations.iter().take(3) {
-            writeln!(f, "    agreement witness: {b} received somewhere, never by {p}")?;
+            writeln!(
+                f,
+                "    agreement witness: {b} received somewhere, never by {p}"
+            )?;
         }
         Ok(())
     }
@@ -116,7 +122,11 @@ pub fn gossip_applied<X: Clone>(
 ) -> Vec<BlockId> {
     let applied = ctx.apply_update(parent, block);
     for &b in &applied {
-        let p = ctx.store.get(b).parent.expect("applied blocks are non-genesis");
+        let p = ctx
+            .store
+            .get(b)
+            .parent
+            .expect("applied blocks are non-genesis");
         ctx.broadcast_block(p, b);
     }
     applied

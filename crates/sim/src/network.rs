@@ -125,8 +125,8 @@ impl NetworkModel {
         match drops {
             DropPolicy::None => {}
             DropPolicy::All { from: f, to: t } => {
-                let f_match = f.map_or(true, |x| x == from);
-                let t_match = t.map_or(true, |x| x == to);
+                let f_match = f.is_none_or(|x| x == from);
+                let t_match = t.is_none_or(|x| x == to);
                 if f_match && t_match {
                     return None;
                 }
@@ -164,7 +164,7 @@ impl NetworkModel {
             Synchrony::Asynchronous { max } => {
                 // Heavy-ish tail: occasionally take the full range.
                 let r = self.draw();
-                if r % 8 == 0 {
+                if r.is_multiple_of(8) {
                     1 + self.draw() % max.max(1)
                 } else {
                     1 + self.draw() % (max / 4).max(1)

@@ -9,12 +9,21 @@
 //! buffer: with out-of-order delivery a block can arrive before its parent;
 //! the update *takes effect* (and is recorded) only once the parent is
 //! present — memberships stay parent-closed by construction.
+//!
+//! Each replica also owns a [`ChainCache`]: `update_i` re-selects
+//! incrementally through [`SelectionFn::on_insert`] as blocks take effect,
+//! so the per-delivery cost is amortized O(1)/O(log n) instead of a full
+//! `f(bt_i)` rescan, and `read`/`tip` are O(1). The cache requires every
+//! `update` to be driven by the *same* selection function `f` — which the
+//! paper guarantees ("encoded in the state", common to all replicas of a
+//! world).
 
 use crate::trace::Trace;
 use btadt_core::chain::Blockchain;
 use btadt_core::ids::{BlockId, ProcessId, Time};
 use btadt_core::selection::SelectionFn;
 use btadt_core::store::{BlockStore, TreeMembership};
+use btadt_core::tipcache::ChainCache;
 
 /// One process's local BlockTree `bt_i`.
 #[derive(Clone, Debug)]
@@ -23,6 +32,8 @@ pub struct Replica {
     tree: TreeMembership,
     /// Blocks received whose parent is not yet local: `(parent, block)`.
     orphans: Vec<(BlockId, BlockId)>,
+    /// Incrementally maintained selected chain of `bt_i`.
+    cache: ChainCache,
 }
 
 impl Replica {
@@ -31,6 +42,7 @@ impl Replica {
             id,
             tree: TreeMembership::genesis_only(),
             orphans: Vec::new(),
+            cache: ChainCache::new(),
         }
     }
 
@@ -57,9 +69,13 @@ impl Replica {
     /// local (recording the update event); otherwise buffers it. Cascades
     /// orphans that become connectable. Returns the blocks actually
     /// applied, in application order.
+    ///
+    /// `selection` is the world's common `f`; every applied block is
+    /// reported to the replica's [`ChainCache`] so `read`/`tip` stay O(1).
     pub fn update(
         &mut self,
         store: &BlockStore,
+        selection: &dyn SelectionFn,
         parent: BlockId,
         block: BlockId,
         trace: &mut Trace,
@@ -76,6 +92,7 @@ impl Replica {
             return applied;
         }
         self.tree.insert(store, block);
+        self.cache.on_insert(selection, store, &self.tree, block);
         trace.record_update(now, self.id, parent, block);
         applied.push(block);
         // Cascade orphans (fixpoint).
@@ -87,6 +104,7 @@ impl Replica {
                 if self.tree.contains(p) && !self.tree.contains(b) {
                     self.orphans.swap_remove(i);
                     self.tree.insert(store, b);
+                    self.cache.on_insert(selection, store, &self.tree, b);
                     trace.record_update(now, self.id, p, b);
                     applied.push(b);
                     progressed = true;
@@ -104,14 +122,19 @@ impl Replica {
     }
 
     /// The local `read()`: `{b0}⌢f(bt_i)` (not recorded — callers decide
-    /// whether a read is an observable operation).
+    /// whether a read is an observable operation). Served from the
+    /// incremental cache; `selection` must be the same `f` the updates
+    /// were applied under (debug-asserted).
     pub fn read(&self, store: &BlockStore, selection: &dyn SelectionFn) -> Blockchain {
-        Blockchain::from_tip(store, selection.select_tip(store, &self.tree))
+        self.cache.debug_validate(selection, store, &self.tree);
+        self.cache.chain()
     }
 
     /// The tip `last_block(f(bt_i))` — what local mining chains onto.
+    /// O(1) from the cache.
     pub fn tip(&self, store: &BlockStore, selection: &dyn SelectionFn) -> BlockId {
-        selection.select_tip(store, &self.tree)
+        self.cache.debug_validate(selection, store, &self.tree);
+        self.cache.tip()
     }
 
     /// Outstanding orphans (diagnostics).
@@ -137,8 +160,14 @@ mod tests {
         let b = mint(&mut store, a, 2);
         let mut r = Replica::new(ProcessId(0));
         let mut t = Trace::new();
-        assert_eq!(r.update(&store, BlockId::GENESIS, a, &mut t, Time(1)), vec![a]);
-        assert_eq!(r.update(&store, a, b, &mut t, Time(2)), vec![b]);
+        assert_eq!(
+            r.update(&store, &LongestChain, BlockId::GENESIS, a, &mut t, Time(1)),
+            vec![a]
+        );
+        assert_eq!(
+            r.update(&store, &LongestChain, a, b, &mut t, Time(2)),
+            vec![b]
+        );
         assert_eq!(r.len(), 3);
         assert_eq!(t.updates().count(), 2);
         assert_eq!(r.read(&store, &LongestChain).tip(), b);
@@ -153,10 +182,14 @@ mod tests {
         let mut r = Replica::new(ProcessId(0));
         let mut t = Trace::new();
         // Deliver out of order: c, b, a.
-        assert!(r.update(&store, b, c, &mut t, Time(1)).is_empty());
-        assert!(r.update(&store, a, b, &mut t, Time(2)).is_empty());
+        assert!(r
+            .update(&store, &LongestChain, b, c, &mut t, Time(1))
+            .is_empty());
+        assert!(r
+            .update(&store, &LongestChain, a, b, &mut t, Time(2))
+            .is_empty());
         assert_eq!(r.orphan_count(), 2);
-        let applied = r.update(&store, BlockId::GENESIS, a, &mut t, Time(3));
+        let applied = r.update(&store, &LongestChain, BlockId::GENESIS, a, &mut t, Time(3));
         assert_eq!(applied, vec![a, b, c], "cascade in ancestor order");
         assert_eq!(r.orphan_count(), 0);
         assert_eq!(r.len(), 4);
@@ -171,8 +204,14 @@ mod tests {
         let a = mint(&mut store, BlockId::GENESIS, 1);
         let mut r = Replica::new(ProcessId(0));
         let mut t = Trace::new();
-        assert_eq!(r.update(&store, BlockId::GENESIS, a, &mut t, Time(1)).len(), 1);
-        assert!(r.update(&store, BlockId::GENESIS, a, &mut t, Time(2)).is_empty());
+        assert_eq!(
+            r.update(&store, &LongestChain, BlockId::GENESIS, a, &mut t, Time(1))
+                .len(),
+            1
+        );
+        assert!(r
+            .update(&store, &LongestChain, BlockId::GENESIS, a, &mut t, Time(2))
+            .is_empty());
         assert_eq!(t.updates().count(), 1);
         assert_eq!(r.len(), 2);
     }
@@ -185,8 +224,8 @@ mod tests {
         let mut t = Trace::new();
         let mut ri = Replica::new(ProcessId(0));
         let mut rj = Replica::new(ProcessId(1));
-        ri.update(&store, BlockId::GENESIS, a, &mut t, Time(1));
-        rj.update(&store, BlockId::GENESIS, b, &mut t, Time(1));
+        ri.update(&store, &LongestChain, BlockId::GENESIS, a, &mut t, Time(1));
+        rj.update(&store, &LongestChain, BlockId::GENESIS, b, &mut t, Time(1));
         let ci = ri.read(&store, &LongestChain);
         let cj = rj.read(&store, &LongestChain);
         assert_ne!(ci, cj);

@@ -195,7 +195,11 @@ impl Trace {
     pub fn receives(&self) -> impl Iterator<Item = (Time, ProcessId, BlockId, BlockId)> + '_ {
         self.events.iter().filter_map(|e| match e {
             TraceEvent::Receive {
-                at, by, parent, block, ..
+                at,
+                by,
+                parent,
+                block,
+                ..
             } => Some((*at, *by, *parent, *block)),
             _ => None,
         })
@@ -253,7 +257,13 @@ mod tests {
     fn record_and_iterate() {
         let mut t = Trace::new();
         t.record_send(Time(1), ProcessId(0), BlockId::GENESIS, BlockId(1));
-        t.record_receive(Time(3), ProcessId(1), ProcessId(0), BlockId::GENESIS, BlockId(1));
+        t.record_receive(
+            Time(3),
+            ProcessId(1),
+            ProcessId(0),
+            BlockId::GENESIS,
+            BlockId(1),
+        );
         t.record_update(Time(3), ProcessId(1), BlockId::GENESIS, BlockId(1));
         assert_eq!(t.sends().count(), 1);
         assert_eq!(t.receives().count(), 1);

@@ -65,7 +65,12 @@ pub trait Protocol: Sized {
     }
 
     /// A custom message arrived.
-    fn on_custom(&mut self, _ctx: &mut Ctx<'_, Self::Custom>, _from: ProcessId, _msg: Self::Custom) {
+    fn on_custom(
+        &mut self,
+        _ctx: &mut Ctx<'_, Self::Custom>,
+        _from: ProcessId,
+        _msg: Self::Custom,
+    ) {
     }
 }
 
@@ -136,20 +141,16 @@ impl<X: Clone> Ctx<'_, X> {
             return None;
         }
         *self.nonce += 1;
-        let block = self.store.mint(
-            parent,
-            self.me,
-            self.me.0,
-            work,
-            *self.nonce,
-            payload,
-        );
+        let block = self
+            .store
+            .mint(parent, self.me, self.me.0, work, *self.nonce, payload);
         let set = self.oracle.consume_token(&grant, block);
         debug_assert!(set.contains(&block));
         let responded = self.next_micro();
         self.trace.record_append(self.me, block, invoked, responded);
         let at = self.next_micro();
-        self.replica.update(self.store, parent, block, self.trace, at);
+        self.replica
+            .update(self.store, self.selection, parent, block, self.trace, at);
         Some(block)
     }
 
@@ -157,7 +158,8 @@ impl<X: Clone> Ctx<'_, X> {
     /// the blocks that took effect (orphan cascade included).
     pub fn apply_update(&mut self, parent: BlockId, block: BlockId) -> Vec<BlockId> {
         let at = self.next_micro();
-        self.replica.update(self.store, parent, block, self.trace, at)
+        self.replica
+            .update(self.store, self.selection, parent, block, self.trace, at)
     }
 
     /// Broadcasts a block announcement to every process (including self —
@@ -344,7 +346,7 @@ impl<P: Protocol> World<P> {
 
         // 2. Scheduled observable reads.
         if let Some(every) = self.read_every {
-            if every > 0 && self.tick % every == 0 {
+            if every > 0 && self.tick.is_multiple_of(every) {
                 for i in 0..self.n() {
                     if !self.crashed[i] {
                         self.dispatch(i, |_, ctx| {
@@ -412,11 +414,14 @@ impl<P: Protocol> World<P> {
         let delivery_tick = if from == to {
             Some(self.tick + 1)
         } else {
-            self.net.route(from, to, Time(self.tick)).map(|t| t.0.max(self.tick + 1))
+            self.net
+                .route(from, to, Time(self.tick))
+                .map(|t| t.0.max(self.tick + 1))
         };
         if let Some(dt) = delivery_tick {
             self.seq += 1;
-            self.inbox.insert((dt, self.seq), Envelope { from, to, msg });
+            self.inbox
+                .insert((dt, self.seq), Envelope { from, to, msg });
         }
     }
 
@@ -561,7 +566,7 @@ mod tests {
     fn self_delivery_supports_lrc_validity() {
         let mut w = world_capped(3.0, 6, 10);
         w.run_ticks(30); // cap hit by ~tick 10; the rest drains in-flight
-        // Every send by p0 is eventually received by p0 itself.
+                         // Every send by p0 is eventually received by p0 itself.
         let sends: Vec<_> = w.trace.sends().collect();
         assert!(!sends.is_empty());
         for (_, by, parent, block) in sends {

@@ -2,9 +2,7 @@
 //! cascades under reordering, probabilistic loss with gossip recovery,
 //! and determinism across network regimes.
 
-use btadt_core::criteria::{
-    check_eventual_consistency, ConsistencyParams, LivenessMode,
-};
+use btadt_core::criteria::{check_eventual_consistency, ConsistencyParams, LivenessMode};
 use btadt_core::ids::ProcessId;
 use btadt_core::score::LengthScore;
 use btadt_core::selection::LongestChain;
@@ -65,7 +63,10 @@ fn asynchronous_network_converges_after_quiescence() {
             liveness: LivenessMode::ConvergenceCut(cut),
         };
         let ec = check_eventual_consistency(&w.trace.history, &params);
-        assert!(ec.holds(), "seed {seed}: quiesced async nets converge\n{ec}");
+        assert!(
+            ec.holds(),
+            "seed {seed}: quiesced async nets converge\n{ec}"
+        );
     }
 }
 
@@ -104,8 +105,8 @@ fn probabilistic_loss_with_gossip_echo_recovers() {
     // chances per (block, process)) recovers LRC with overwhelming
     // probability over 4 processes — verified on fixed seeds.
     for seed in [5u64, 6] {
-        let net = NetworkModel::synchronous(3, seed)
-            .with_drops(DropPolicy::Probabilistic { p: 0.1 });
+        let net =
+            NetworkModel::synchronous(3, seed).with_drops(DropPolicy::Probabilistic { p: 0.1 });
         let mut w = gossip_world(4, net, 0.4, seed);
         w.read_every = Some(6);
         w.run_ticks(70);
@@ -126,11 +127,9 @@ fn heavy_loss_without_echo_breaks_dissemination() {
     // someone (with these seeds), and the checkers say exactly that.
     let seed = 9u64;
     let oracle = ThetaOracle::prodigal(Merits::uniform(3), 0.5, seed);
-    let net =
-        NetworkModel::synchronous(3, seed).with_drops(DropPolicy::Probabilistic { p: 0.6 });
+    let net = NetworkModel::synchronous(3, seed).with_drops(DropPolicy::Probabilistic { p: 0.6 });
     let miners = (0..3).map(|_| SimpleMiner::new()).collect();
-    let mut w: World<SimpleMiner> =
-        World::new(miners, oracle, net, Box::new(LongestChain), seed);
+    let mut w: World<SimpleMiner> = World::new(miners, oracle, net, Box::new(LongestChain), seed);
     w.read_every = Some(6);
     w.run_ticks(60);
     throttle_and_drain(&mut w, 15);
@@ -176,11 +175,7 @@ fn identical_seeds_identical_worlds_across_regimes() {
             let mut w = gossip_world(4, NetworkModel::new(synchrony, seed), 0.5, seed);
             w.read_every = Some(5);
             w.run_ticks(60);
-            (
-                w.store.len(),
-                w.trace.events.len(),
-                w.trace.history.len(),
-            )
+            (w.store.len(), w.trace.events.len(), w.trace.history.len())
         };
         assert_eq!(run(42), run(42), "{synchrony:?}");
     }

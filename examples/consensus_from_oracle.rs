@@ -55,7 +55,9 @@ fn main() {
     let k1 = ConsumeTokenCell::new();
     let d_b = k1.consume_token(1);
     let d_a = k1.consume_token(2);
-    println!("\nsame schedule on Θ_F,k=1 consumeToken: A decided {d_a}, B decided {d_b} — agreement");
+    println!(
+        "\nsame schedule on Θ_F,k=1 consumeToken: A decided {d_a}, B decided {d_b} — agreement"
+    );
 }
 
 fn ok(b: bool) -> &'static str {

@@ -36,7 +36,7 @@ fn main() {
     let run = run(&cfg);
 
     // Production share.
-    let mut produced = vec![0usize; 8];
+    let mut produced = [0usize; 8];
     for b in run.store.ids().skip(1) {
         produced[run.store.get(b).producer.index()] += 1;
     }

@@ -56,7 +56,13 @@ fn main() {
                 Some(k) => ThetaOracle::frugal(k, merits, 2.0, seed),
                 None => ThetaOracle::prodigal(merits, 2.0, seed),
             };
-            let out = run_workload(oracle, &WorkloadConfig { seed, ..cfg.clone() });
+            let out = run_workload(
+                oracle,
+                &WorkloadConfig {
+                    seed,
+                    ..cfg.clone()
+                },
+            );
             let params = ConsistencyParams {
                 store: &out.store,
                 predicate: &AcceptAll,

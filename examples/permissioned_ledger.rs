@@ -23,9 +23,16 @@ fn main() {
         ..Default::default()
     };
     let rb = run_redbelly(&rb_cfg);
-    println!("Red Belly: {} members / {} readers", rb_cfg.members.len(), rb_cfg.n - rb_cfg.members.len());
+    println!(
+        "Red Belly: {} members / {} readers",
+        rb_cfg.members.len(),
+        rb_cfg.n - rb_cfg.members.len()
+    );
     println!("  blocks committed : {}", rb.blocks_minted);
-    println!("  max fork degree  : {} (TrivialProjection would panic on 2)", rb.max_fork_degree);
+    println!(
+        "  max fork degree  : {} (TrivialProjection would panic on 2)",
+        rb.max_fork_degree
+    );
     println!("  classification   : {}", rb.consistency_class());
     println!("  converged        : {}\n", rb.converged());
 
@@ -69,10 +76,19 @@ fn main() {
     let out = theorem_4_8(KBound::Infinite, 0x5EC);
     let (sc, ec) = out.consistency();
     println!("same topology, prodigal oracle (Thm 4.8 schedule):");
-    println!("  Strong Consistency  : {}", if sc.holds() { "holds" } else { "VIOLATED" });
-    println!("  Eventual Consistency: {}", if ec.holds() { "holds" } else { "VIOLATED" });
+    println!(
+        "  Strong Consistency  : {}",
+        if sc.holds() { "holds" } else { "VIOLATED" }
+    );
+    println!(
+        "  Eventual Consistency: {}",
+        if ec.holds() { "holds" } else { "VIOLATED" }
+    );
     let out = theorem_4_8(KBound::Finite(1), 0x5EC);
     let (sc, _) = out.consistency();
     println!("back on Θ_F,k=1:");
-    println!("  Strong Consistency  : {}", if sc.holds() { "holds" } else { "VIOLATED" });
+    println!(
+        "  Strong Consistency  : {}",
+        if sc.holds() { "holds" } else { "VIOLATED" }
+    );
 }

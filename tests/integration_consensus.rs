@@ -139,9 +139,7 @@ fn snapshot_linearizability_under_load() {
         }
         for _ in 0..4 {
             let snap = Arc::clone(&snap);
-            handles.push(s.spawn(move || {
-                (0..50).map(|_| snap.scan_with_seqs().1).collect()
-            }));
+            handles.push(s.spawn(move || (0..50).map(|_| snap.scan_with_seqs().1).collect()));
         }
         handles
             .into_iter()

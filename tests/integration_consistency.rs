@@ -8,10 +8,7 @@ use blockchain_adt::core::criteria::{
 };
 use blockchain_adt::prelude::*;
 
-fn params<'a>(
-    store: &'a BlockStore,
-    cut: Time,
-) -> ConsistencyParams<'a> {
+fn params<'a>(store: &'a BlockStore, cut: Time) -> ConsistencyParams<'a> {
     ConsistencyParams {
         store,
         predicate: &AcceptAll,

@@ -68,8 +68,8 @@ fn partitioned_network_heals_into_eventual_consistency() {
     // followed by convergence — EC with the cut after the heal.
     let seed = 5u64;
     let oracle = ThetaOracle::prodigal(Merits::uniform(4), 0.5, seed);
-    let net = NetworkModel::synchronous(2, seed)
-        .with_partition(Partition::halves(4, 2, Some(Time(30))));
+    let net =
+        NetworkModel::synchronous(2, seed).with_partition(Partition::halves(4, 2, Some(Time(30))));
     let miners = vec![
         SimpleMiner::gossiping(),
         SimpleMiner::gossiping(),
@@ -102,8 +102,7 @@ fn permanent_partition_destroys_eventual_consistency() {
 
     let seed = 6u64;
     let oracle = ThetaOracle::prodigal(Merits::uniform(4), 0.5, seed);
-    let net =
-        NetworkModel::synchronous(2, seed).with_partition(Partition::halves(4, 2, None));
+    let net = NetworkModel::synchronous(2, seed).with_partition(Partition::halves(4, 2, None));
     let miners = vec![
         SimpleMiner::gossiping(),
         SimpleMiner::gossiping(),

@@ -2,8 +2,10 @@
 //! against the paper's mapping, plus cross-system sanity properties.
 
 use blockchain_adt::core::criteria::{ConsistencyClass, CriterionKind};
+use blockchain_adt::protocols::{
+    algorand, bitcoin, byzcoin, ethereum, hyperledger, peercensus, redbelly,
+};
 use blockchain_adt::protocols::{table1, RunSchedule};
-use blockchain_adt::protocols::{algorand, bitcoin, byzcoin, ethereum, hyperledger, peercensus, redbelly};
 
 #[test]
 fn table_1_full_reproduction() {
@@ -26,11 +28,41 @@ fn table_1_full_reproduction() {
 fn sc_systems_never_fork_across_seeds() {
     for seed in [1u64, 2, 3] {
         let runs = [
-            ("byzcoin", byzcoin::run(&byzcoin::ByzCoinConfig { seed, ..Default::default() })),
-            ("algorand", algorand::run(&algorand::AlgorandConfig { seed, ..Default::default() })),
-            ("peercensus", peercensus::run(&peercensus::PeerCensusConfig { seed, ..Default::default() })),
-            ("redbelly", redbelly::run(&redbelly::RedBellyConfig { seed, ..Default::default() })),
-            ("fabric", hyperledger::run(&hyperledger::FabricConfig { seed, ..Default::default() })),
+            (
+                "byzcoin",
+                byzcoin::run(&byzcoin::ByzCoinConfig {
+                    seed,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "algorand",
+                algorand::run(&algorand::AlgorandConfig {
+                    seed,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "peercensus",
+                peercensus::run(&peercensus::PeerCensusConfig {
+                    seed,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "redbelly",
+                redbelly::run(&redbelly::RedBellyConfig {
+                    seed,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "fabric",
+                hyperledger::run(&hyperledger::FabricConfig {
+                    seed,
+                    ..Default::default()
+                }),
+            ),
         ];
         for (name, run) in runs {
             assert_eq!(run.max_fork_degree, 1, "{name} seed {seed}");
@@ -79,7 +111,11 @@ fn every_system_makes_progress_and_converges() {
     let rows = table1(0xFEED);
     for row in &rows {
         assert!(row.blocks > 0, "{}: zero blocks", row.system);
-        assert!(row.converged, "{}: replicas diverged at the end", row.system);
+        assert!(
+            row.converged,
+            "{}: replicas diverged at the end",
+            row.system
+        );
     }
 }
 
@@ -91,7 +127,13 @@ fn expected_oracle_models_match_paper_table() {
         rows.iter().map(|r| (r.system, r)).collect();
     assert_eq!(by_name["Bitcoin"].expected.oracle, OracleModel::Prodigal);
     assert_eq!(by_name["Ethereum"].expected.oracle, OracleModel::Prodigal);
-    for sc in ["Algorand", "ByzCoin", "PeerCensus", "Redbelly", "Hyperledger"] {
+    for sc in [
+        "Algorand",
+        "ByzCoin",
+        "PeerCensus",
+        "Redbelly",
+        "Hyperledger",
+    ] {
         assert_eq!(by_name[sc].expected.oracle, OracleModel::Frugal { k: 1 });
         assert_eq!(by_name[sc].expected.criterion, CriterionKind::Strong);
     }
@@ -106,7 +148,10 @@ fn peercensus_security_curve_shape() {
         .map(|&a| secure_state_probability(a, 30, 10, 300, 99))
         .collect();
     for w in points.windows(2) {
-        assert!(w[0] >= w[1], "security must not increase with α_A: {points:?}");
+        assert!(
+            w[0] >= w[1],
+            "security must not increase with α_A: {points:?}"
+        );
     }
     assert!(points[0] > 0.95);
     assert!(points[3] < 0.35);
