@@ -802,6 +802,150 @@ pub fn bench_selection() {
     }
 }
 
+/// Bench C — the concurrent BT-ADT under 1/2/4/8 appender+reader thread
+/// pairs, against the sequential incremental `BlockTree` on the same
+/// total operation budget. Prints a table and emits
+/// `BENCH_concurrent.json`. Run under `--release` (debug builds also
+/// carry the per-insert full-scan cross-check, which is the bulk of the
+/// cost there).
+///
+/// Appends serialize at the selection mutex by design (one linearization
+/// point), so append throughput is roughly flat in thread count; the
+/// scaling story is `read()` — an atomic load + `Arc` bump that runs
+/// fully in parallel on every reader thread.
+pub fn bench_concurrent() {
+    use btadt_core::concurrent::ConcurrentBlockTree;
+    use btadt_core::validity::AcceptAll;
+
+    hr("Bench C — concurrent BT-ADT: thread scaling vs sequential baseline");
+    if cfg!(debug_assertions) {
+        println!("note: unoptimized build — run with --release for honest numbers");
+    }
+    let total_appends: u64 = if cfg!(debug_assertions) {
+        2_000
+    } else {
+        100_000
+    };
+    let total_reads: u64 = 4 * total_appends;
+
+    // Sequential baseline: the same op budget on the single-threaded
+    // incremental path (appends + cached reads, one thread).
+    let base_start = Instant::now();
+    {
+        let mut bt = btadt_core::blocktree::BlockTree::new(LongestChain, AcceptAll);
+        let mut acc = 0usize;
+        let reads_per_append = (total_reads / total_appends).max(1);
+        for i in 0..total_appends {
+            bt.append(CandidateBlock::simple(ProcessId(0), i));
+            for _ in 0..reads_per_append {
+                acc += bt.read().len();
+            }
+        }
+        std::hint::black_box(acc);
+    }
+    let base_elapsed = base_start.elapsed();
+    let base_rate = (total_appends + total_reads) as f64 / base_elapsed.as_secs_f64();
+    println!(
+        "{:>22} {:>10} {:>10} {:>14}",
+        "configuration", "appends", "reads", "throughput"
+    );
+    println!(
+        "{:>22} {total_appends:>10} {total_reads:>10} {:>9.0} op/s",
+        "sequential (1 thread)", base_rate
+    );
+
+    let mut rows = vec![format!(
+        "    {{\"threads\": 0, \"label\": \"sequential\", \"appends\": {total_appends}, \
+         \"reads\": {total_reads}, \"ops_per_sec\": {base_rate:.1}}}"
+    )];
+    for &threads in &[1usize, 2, 4, 8] {
+        let appends_each = total_appends / threads as u64;
+        let reads_each = total_reads / threads as u64;
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads as u32 {
+                let tree = &tree;
+                s.spawn(move || {
+                    for i in 0..appends_each {
+                        let nonce = ((t as u64) << 40) | i;
+                        tree.append(CandidateBlock::simple(ProcessId(t), nonce));
+                    }
+                });
+                s.spawn(move || {
+                    let mut acc = 0usize;
+                    for _ in 0..reads_each {
+                        acc += tree.read().len();
+                    }
+                    std::hint::black_box(acc);
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        let done_appends = appends_each * threads as u64;
+        let done_reads = reads_each * threads as u64;
+        let rate = (done_appends + done_reads) as f64 / elapsed.as_secs_f64();
+        println!(
+            "{:>18} +{threads}r {done_appends:>10} {done_reads:>10} {:>9.0} op/s  ({:.2}x)",
+            format!("concurrent {threads}a"),
+            rate,
+            rate / base_rate
+        );
+        assert_eq!(
+            tree.read().len() as u64,
+            done_appends + 1,
+            "every append must have committed"
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"label\": \"concurrent\", \"appends\": {done_appends}, \
+             \"reads\": {done_reads}, \"ops_per_sec\": {rate:.1}}}"
+        ));
+
+        // Tip-read scaling on the now-populated tree: `selected_tip` is
+        // the refcount-free half of the read path (one atomic load), so
+        // it shows the parallelism headroom without the shared-`Arc`
+        // cache-line traffic that bounds full-chain reads.
+        let tip_reads_each = 4 * total_reads / threads as u64;
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let tree = &tree;
+                s.spawn(move || {
+                    let mut acc = 0u64;
+                    for _ in 0..tip_reads_each {
+                        acc ^= tree.selected_tip().0 as u64;
+                    }
+                    std::hint::black_box(acc);
+                });
+            }
+        });
+        let tip_elapsed = start.elapsed();
+        let tip_total = tip_reads_each * threads as u64;
+        let tip_rate = tip_total as f64 / tip_elapsed.as_secs_f64();
+        println!(
+            "{:>22} {:>10} {tip_total:>10} {:>9.0} op/s",
+            format!("tip reads ({threads} thr)"),
+            "-",
+            tip_rate
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"label\": \"tip_reads\", \"appends\": 0, \
+             \"reads\": {tip_total}, \"ops_per_sec\": {tip_rate:.1}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"concurrent_append_read\",\n  \
+         \"selection\": \"longest-chain\",\n  \
+         \"optimized\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        !cfg!(debug_assertions),
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_concurrent.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_concurrent.json"),
+        Err(e) => println!("\ncould not write BENCH_concurrent.json: {e}"),
+    }
+}
+
 /// Runs every experiment in paper order.
 pub fn all() {
     fig1();

@@ -9,28 +9,104 @@
 //! # Representation
 //!
 //! A chain is a *prefix view* `(buffer, len)` over a shared, grow-only
-//! id buffer. Committed prefixes are immutable — a chain only ever grows
-//! at the tip or is replaced at a reorg — so many snapshots of a growing
-//! chain can share one allocation: cloning is an `Arc` bump, `prefix` and
-//! `common_prefix` are O(1) views, and the incremental read path
-//! (`crate::tipcache`) extends its chain in place (amortized O(1) per
-//! block) while outstanding snapshots stay valid. A copy happens only
-//! when the owner mutates while snapshots are live (copy-on-write) or on
-//! a reorg splice.
+//! id buffer ([`ChainBuf`]). Committed prefixes are immutable — a chain
+//! only ever grows at the tip or is replaced at a reorg — so many
+//! snapshots of a growing chain share one allocation: cloning is an `Arc`
+//! bump, `prefix` and `common_prefix` are O(1) views, and the incremental
+//! read path (`crate::tipcache`) extends its chain in place (amortized
+//! O(1) per block) while outstanding snapshots stay valid.
+//!
+//! The buffer appends through an *initialization frontier* (`init`): a
+//! cell is written exactly once, by the writer that claims its index with
+//! a compare-exchange on the frontier, and is immutable from then on.
+//! Extension therefore needs no copy-on-write even while snapshots (or a
+//! published concurrent-reader view, see `crate::concurrent`) share the
+//! buffer; a copy happens only when capacity runs out (amortized O(1) by
+//! doubling), when two diverging owners race for the same frontier slot,
+//! or on a reorg splice under sharing.
 
 use crate::ids::BlockId;
 use crate::score::ScoreFn;
-use crate::store::BlockStore;
+use crate::store::BlockView;
+use std::cell::UnsafeCell;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Grow-only shared id buffer backing [`Blockchain`] prefix views.
+///
+/// # Safety protocol
+///
+/// * Cells `[0, init)` are initialized and never written again while the
+///   buffer is shared; they may be read freely (`slice`).
+/// * A writer appends by claiming index `i = init` with a CAS
+///   `init: i → i + 1` and then writing cell `i`. Only the claiming
+///   writer ever touches that cell, and no `Blockchain` view with
+///   `len > i` exists until that writer publishes one *after* the write,
+///   so readers never observe the cell mid-write. Cross-thread visibility
+///   of the cell contents is provided by whatever release/acquire edge
+///   hands the longer view to the reader (an `Arc` clone handed across a
+///   channel, the atomic tip publication of `crate::concurrent`, a thread
+///   join, …) — the same edge that makes the view's `len` visible.
+/// * A sole owner (`Arc::get_mut` succeeds) may rewrite cells arbitrarily
+///   (reorg splices reuse capacity this way).
+struct ChainBuf {
+    cells: Box<[UnsafeCell<BlockId>]>,
+    /// Initialization frontier: number of immutably written cells.
+    init: AtomicUsize,
+}
+
+// SAFETY: see the protocol above — cells below the frontier are
+// immutable, the frontier cell is written by exactly one claiming writer
+// before any view covering it exists.
+unsafe impl Send for ChainBuf {}
+unsafe impl Sync for ChainBuf {}
+
+impl ChainBuf {
+    fn with_capacity(cap: usize) -> ChainBuf {
+        ChainBuf {
+            cells: (0..cap)
+                .map(|_| UnsafeCell::new(BlockId::GENESIS))
+                .collect(),
+            init: AtomicUsize::new(0),
+        }
+    }
+
+    /// A buffer holding `ids`, with at least `cap` capacity. Sole owner
+    /// during construction, so plain writes are fine.
+    fn from_slice(ids: &[BlockId], cap: usize) -> ChainBuf {
+        let buf = ChainBuf::with_capacity(cap.max(ids.len()));
+        for (i, &id) in ids.iter().enumerate() {
+            unsafe { *buf.cells[i].get() = id };
+        }
+        buf.init.store(ids.len(), Ordering::Release);
+        buf
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The first `len` cells. Caller must guarantee `len` cells were
+    /// initialized before this view existed (the `Blockchain` invariant).
+    #[inline]
+    unsafe fn slice(&self, len: usize) -> &[BlockId] {
+        std::slice::from_raw_parts(self.cells.as_ptr() as *const BlockId, len)
+    }
+}
 
 /// A materialized blockchain `{b0}⌢…`, genesis first.
 ///
 /// Cheap to clone (`Arc`-backed prefix view): histories record many reads
 /// of slowly growing chains, all sharing the same buffer.
+///
+/// Invariant: `len` cells of `buf` were initialized before this view was
+/// constructed, so `ids()` is always a fully initialized, immutable
+/// prefix.
 #[derive(Clone)]
 pub struct Blockchain {
-    buf: Arc<Vec<BlockId>>,
+    buf: Arc<ChainBuf>,
     len: usize,
 }
 
@@ -55,7 +131,7 @@ impl Blockchain {
     /// state returns `b0`, Def. 3.1).
     pub fn genesis() -> Self {
         Blockchain {
-            buf: Arc::new(vec![BlockId::GENESIS]),
+            buf: Arc::new(ChainBuf::from_slice(&[BlockId::GENESIS], 1)),
             len: 1,
         }
     }
@@ -71,26 +147,28 @@ impl Blockchain {
         );
         let len = ids.len();
         Blockchain {
-            buf: Arc::new(ids),
+            buf: Arc::new(ChainBuf::from_slice(&ids, len)),
             len,
         }
     }
 
     /// Materializes the genesis→`tip` path of `store`.
-    pub fn from_tip(store: &BlockStore, tip: BlockId) -> Self {
+    pub fn from_tip(store: &dyn BlockView, tip: BlockId) -> Self {
         Blockchain::from_ids(store.path_from_genesis(tip))
     }
 
     /// Blocks, genesis first.
     #[inline]
     pub fn ids(&self) -> &[BlockId] {
-        &self.buf[..self.len]
+        // SAFETY: the type invariant — `len` cells were initialized before
+        // this view existed and are immutable while shared.
+        unsafe { self.buf.slice(self.len) }
     }
 
     /// The leaf (deepest block) of the chain; genesis if the chain is `{b0}`.
     #[inline]
     pub fn tip(&self) -> BlockId {
-        self.buf[self.len - 1]
+        self.ids()[self.len - 1]
     }
 
     /// Number of blocks including genesis.
@@ -99,45 +177,68 @@ impl Blockchain {
         self.len
     }
 
-    /// Appends `b` in place. Amortized O(1): reuses the shared buffer when
-    /// this chain is its sole owner and the view covers the whole buffer;
-    /// otherwise copies the viewed prefix once (copy-on-write) and future
-    /// pushes are in-place again. Snapshots taken earlier keep their
-    /// prefix either way. Used by the incremental chain cache.
+    /// Appends `b` in place. Amortized O(1) even while snapshots share the
+    /// buffer: if this view ends at the initialization frontier, the next
+    /// cell is claimed (CAS) and written — snapshots only ever cover
+    /// shorter, already-immutable prefixes. A copy happens only when
+    /// capacity runs out (doubling) or when a diverged owner already took
+    /// the frontier slot. Used by the incremental chain cache.
     pub(crate) fn push_in_place(&mut self, b: BlockId) {
-        match Arc::get_mut(&mut self.buf) {
-            Some(v) => {
-                v.truncate(self.len);
-                v.push(b);
+        if let Some(buf) = Arc::get_mut(&mut self.buf) {
+            // Sole owner: write directly, no frontier coordination needed.
+            if self.len < buf.capacity() {
+                unsafe { *buf.cells[self.len].get() = b };
+                *buf.init.get_mut() = self.len + 1;
+                self.len += 1;
+                return;
             }
-            None => {
-                let mut v = Vec::with_capacity((self.len + 1).next_power_of_two());
-                v.extend_from_slice(&self.buf[..self.len]);
-                v.push(b);
-                self.buf = Arc::new(v);
-            }
+        } else if self.len < self.buf.capacity()
+            && self
+                .buf
+                .init
+                .compare_exchange(self.len, self.len + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            // Shared buffer, and this view ends exactly at the frontier:
+            // the CAS claimed cell `len` exclusively. Write it; views
+            // covering the cell are only created from `self` afterwards.
+            unsafe { *self.buf.cells[self.len].get() = b };
+            self.len += 1;
+            return;
         }
+        // Out of capacity, or a diverged owner claimed the slot first:
+        // copy this view into a doubled buffer.
+        let buf = ChainBuf::from_slice(self.ids(), (self.len + 1).next_power_of_two());
+        unsafe { *buf.cells[self.len].get() = b };
+        buf.init.store(self.len + 1, Ordering::Release);
+        self.buf = Arc::new(buf);
         self.len += 1;
     }
 
     /// Reorg splice: keeps the first `keep` blocks and appends `suffix`.
-    /// O(|suffix|) when sole owner, O(keep + |suffix|) under sharing.
-    /// Used by the incremental chain cache.
+    /// O(|suffix|) when sole owner, O(keep + |suffix|) under sharing
+    /// (rewriting initialized cells is only allowed with exclusive
+    /// ownership, so a shared splice copies).
     pub(crate) fn splice_in_place(&mut self, keep: usize, suffix: &[BlockId]) {
         assert!(keep >= 1 && keep <= self.len, "splice keep out of range");
+        let new_len = keep + suffix.len();
         match Arc::get_mut(&mut self.buf) {
-            Some(v) => {
-                v.truncate(keep);
-                v.extend_from_slice(suffix);
+            Some(buf) if new_len <= buf.capacity() => {
+                for (i, &id) in suffix.iter().enumerate() {
+                    unsafe { *buf.cells[keep + i].get() = id };
+                }
+                *buf.init.get_mut() = new_len;
             }
-            None => {
-                let mut v = Vec::with_capacity(keep + suffix.len());
-                v.extend_from_slice(&self.buf[..keep]);
-                v.extend_from_slice(suffix);
-                self.buf = Arc::new(v);
+            _ => {
+                let buf = ChainBuf::from_slice(&self.ids()[..keep], new_len.next_power_of_two());
+                for (i, &id) in suffix.iter().enumerate() {
+                    unsafe { *buf.cells[keep + i].get() = id };
+                }
+                buf.init.store(new_len, Ordering::Release);
+                self.buf = Arc::new(buf);
             }
         }
-        self.len = keep + suffix.len();
+        self.len = new_len;
     }
 
     /// Chains always contain at least `b0`.
@@ -239,6 +340,7 @@ mod tests {
     use crate::block::Payload;
     use crate::ids::ProcessId;
     use crate::score::LengthScore;
+    use crate::store::BlockStore;
 
     fn chain(ids: &[u32]) -> Blockchain {
         Blockchain::from_ids(ids.iter().map(|&i| BlockId(i)).collect())

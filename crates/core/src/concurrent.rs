@@ -1,0 +1,711 @@
+//! The concurrent BT-ADT: a thread-safe BlockTree whose `read()` is
+//! lock-free.
+//!
+//! §4.1 models processes racing on atomic base objects; everything else in
+//! this crate is single-threaded. [`ConcurrentBlockTree`] is the shared
+//! object those processes would race on: many appender threads, any number
+//! of reader threads, one tree.
+//!
+//! # Architecture
+//!
+//! * **Sharded arena** ([`ShardedStore`]): block data lives in
+//!   `S` lock-sharded slot vectors (shard = low bits of the [`BlockId`],
+//!   which round-robins dense ids perfectly). Ids come from one atomic
+//!   counter; minting writes exactly one shard, so appenders working on
+//!   different blocks do not contend on block data. Jump-pointer
+//!   maintenance and the O(log n) ancestry queries (`ancestor_at`,
+//!   `is_ancestor`, `common_ancestor`) run lock-striped through the
+//!   [`BlockView`] metadata interface — at most one shard read lock held
+//!   at a time, so there is no lock-order cycle.
+//! * **Serialized selection**: tree membership, the incremental
+//!   [`ChainCache`], and the commit log live behind one mutex — the
+//!   linearization point of successful appends. `append` is *optimistic*:
+//!   it mints against the published tip outside the lock, then commits
+//!   only if the tip is still the minted parent; a lost race leaves the
+//!   minted block as a non-member orphan in the arena (exactly like a
+//!   `P`-rejected block) and retries against the new tip.
+//! * **Lock-free reads**: after every commit the selected chain
+//!   `{b0}⌢f(bt)` is republished as a boxed [`Blockchain`] through an
+//!   atomic pointer swap. `read()` is one `Acquire` pointer load plus an
+//!   `Arc` bump — no lock, no walk, O(1) for any number of readers.
+//!   Thanks to the chain buffer's initialization-frontier append
+//!   (`crate::chain`), republishing after an extension shares the same
+//!   buffer: appends stay amortized O(1) even though a published snapshot
+//!   is alive at all times.
+//!
+//! # Publication & reclamation
+//!
+//! Swapped-out snapshot boxes are *retired*, not freed: a reader may
+//! still be cloning through the old pointer. Retired boxes (one pointer +
+//! length each — the underlying id buffer is shared) are kept until the
+//! tree drops, which is safe because `read(&self)` borrows the tree, so
+//! no reader can outlive it. The ordering contract is
+//! publish-before-respond: the swap (`AcqRel`) happens inside the commit
+//! lock, before `append` returns, so any read invoked after an append's
+//! response observes that append's chain (or a later one) — the property
+//! the recorded-history linearizability suite checks from the outside.
+
+use crate::block::{Block, Payload};
+use crate::blocktree::CandidateBlock;
+use crate::chain::Blockchain;
+use crate::ids::BlockId;
+use crate::selection::SelectionFn;
+use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
+use crate::tipcache::ChainCache;
+use crate::validity::ValidityPredicate;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+
+/// Default shard count for [`ShardedStore`] (must be a power of two).
+pub const DEFAULT_SHARDS: usize = 16;
+
+struct Entry {
+    block: Block,
+    cum_work: u64,
+    jump: BlockId,
+    /// Forward edges: member-or-not children, in minting order.
+    children: Vec<BlockId>,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Slot `i` holds the block with id `i * shards + shard_index`.
+    /// Ids are allocated before their entry is written, so a slot can be
+    /// transiently `None` mid-mint.
+    slots: Vec<Option<Entry>>,
+}
+
+/// A lock-sharded, append-only block arena safe for concurrent minting.
+///
+/// Shard selection hashes the [`BlockId`] by its low bits — ids are dense
+/// (one atomic counter), so consecutive mints land on distinct shards.
+/// All read access goes through [`BlockView`]; each query acquires at most
+/// one shard read lock at a time (child lists are copied out before any
+/// callback runs), so queries never deadlock against concurrent minters.
+pub struct ShardedStore {
+    shards: Box<[RwLock<Shard>]>,
+    next_id: AtomicU32,
+    mask: u32,
+    shift: u32,
+}
+
+impl ShardedStore {
+    /// A store holding only genesis, with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        ShardedStore::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A store holding only genesis, with `shards` lock shards
+    /// (power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two() && shards > 0,
+            "shard count must be a power of two"
+        );
+        let store = ShardedStore {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            next_id: AtomicU32::new(1),
+            mask: shards as u32 - 1,
+            shift: shards.trailing_zeros(),
+        };
+        // Install genesis (same block BlockStore::new mints into slot 0).
+        let genesis = BlockStore::new().block(BlockId::GENESIS);
+        store.shards[0].write().slots.push(Some(Entry {
+            block: genesis,
+            cum_work: 0,
+            jump: BlockId::GENESIS,
+            children: Vec::new(),
+        }));
+        store
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, id: BlockId) -> usize {
+        (id.0 & self.mask) as usize
+    }
+
+    #[inline]
+    fn slot_of(&self, id: BlockId) -> usize {
+        (id.0 >> self.shift) as usize
+    }
+
+    /// Mints a new block under `parent` and returns its id. Safe to call
+    /// from any number of threads; `parent` must be fully minted (callers
+    /// obtain parents from published tips, commit logs, or their own
+    /// earlier mints — all release/acquire-ordered after the parent's
+    /// shard write).
+    ///
+    /// The jump pointer is computed exactly as `BlockStore::mint` does
+    /// (skew-binary, distance a function of height alone), reading the
+    /// parent's — fully immutable — ancestor metadata.
+    pub fn mint(
+        &self,
+        parent: BlockId,
+        producer: crate::ids::ProcessId,
+        merit_index: u32,
+        work: u64,
+        nonce: u64,
+        payload: Payload,
+    ) -> BlockId {
+        let pm = self.meta(parent);
+        let height = pm.height + 1;
+        let digest = Block::compute_digest(pm.digest, producer, nonce, &payload);
+        let jump = crate::store::jump_for_child(self, parent);
+        let id = BlockId(self.next_id.fetch_add(1, Ordering::AcqRel));
+        let entry = Entry {
+            block: Block {
+                id,
+                parent: Some(parent),
+                height,
+                producer,
+                merit_index,
+                work,
+                digest,
+                payload,
+            },
+            cum_work: pm.cum_work + work,
+            jump,
+            children: Vec::new(),
+        };
+        {
+            let mut shard = self.shards[self.shard_of(id)].write();
+            let slot = self.slot_of(id);
+            if shard.slots.len() <= slot {
+                shard.slots.resize_with(slot + 1, || None);
+            }
+            shard.slots[slot] = Some(entry);
+        }
+        // Forward edge on the parent, after the entry is in place: anyone
+        // discovering `id` through the child list finds a complete entry.
+        self.shards[self.shard_of(parent)].write().slots[self.slot_of(parent)]
+            .as_mut()
+            .expect("parent fully minted")
+            .children
+            .push(id);
+        id
+    }
+
+    /// Materializes a sequential [`BlockStore`] with identical ids,
+    /// digests, and memoized indices — the bridge to every single-threaded
+    /// checker (linearizability, criteria, differential replay).
+    ///
+    /// Requires quiescence (no in-flight `mint`), e.g. after joining the
+    /// workload threads; panics on a half-minted id.
+    pub fn snapshot(&self) -> BlockStore {
+        let n = self.block_count();
+        let mut out = BlockStore::new();
+        for i in 1..n {
+            out.adopt(self.block(BlockId(i as u32)));
+        }
+        out
+    }
+}
+
+impl Default for ShardedStore {
+    fn default() -> Self {
+        ShardedStore::new()
+    }
+}
+
+impl BlockView for ShardedStore {
+    fn block_count(&self) -> usize {
+        self.next_id.load(Ordering::Acquire) as usize
+    }
+
+    fn has_block(&self, id: BlockId) -> bool {
+        self.shards[self.shard_of(id)]
+            .read()
+            .slots
+            .get(self.slot_of(id))
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    fn meta(&self, id: BlockId) -> BlockMeta {
+        let shard = self.shards[self.shard_of(id)].read();
+        let e = shard.slots[self.slot_of(id)]
+            .as_ref()
+            .expect("meta of a half-minted id");
+        BlockMeta {
+            parent: e.block.parent,
+            height: e.block.height,
+            work: e.block.work,
+            cum_work: e.cum_work,
+            digest: e.block.digest,
+            jump: e.jump,
+        }
+    }
+
+    fn with_block(&self, id: BlockId, f: &mut dyn FnMut(&Block)) {
+        let shard = self.shards[self.shard_of(id)].read();
+        let e = shard.slots[self.slot_of(id)]
+            .as_ref()
+            .expect("block of a half-minted id");
+        f(&e.block);
+    }
+
+    fn for_each_child(&self, id: BlockId, f: &mut dyn FnMut(BlockId)) {
+        // Copy the child list out so `f` may query the store without this
+        // shard's lock held (no nested acquisition, no deadlock).
+        let kids: Vec<BlockId> = {
+            let shard = self.shards[self.shard_of(id)].read();
+            shard.slots[self.slot_of(id)]
+                .as_ref()
+                .expect("children of a half-minted id")
+                .children
+                .clone()
+        };
+        for c in kids {
+            f(c);
+        }
+    }
+}
+
+/// Selection state — the serialization point of tip movement.
+struct SelState {
+    tree: TreeMembership,
+    cache: ChainCache,
+    /// Membership inserts in commit order (parent-closed by construction):
+    /// replaying it into the sequential machinery must reproduce the same
+    /// selected chain (see `tests/selection_differential.rs`).
+    commit_log: Vec<BlockId>,
+    /// Swapped-out published snapshots, kept alive for in-flight readers.
+    /// The boxes are the *same allocations* readers may still be
+    /// dereferencing through stale `published` loads — they must keep
+    /// their addresses, so unboxing into a plain `Vec` is not an option.
+    #[allow(clippy::vec_box)]
+    retired: Vec<Box<Blockchain>>,
+}
+
+/// A thread-safe BlockTree: Def. 3.1 semantics under concurrent appenders
+/// with lock-free O(1) `read()`.
+///
+/// See the module docs for the architecture. The selection function and
+/// validity predicate are immutable over the computation, as the paper
+/// requires.
+pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
+    store: ShardedStore,
+    selection: F,
+    predicate: P,
+    sel: Mutex<SelState>,
+    /// Current `{b0}⌢f(bt)`; always a valid leaked box.
+    published: AtomicPtr<Blockchain>,
+}
+
+impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
+    /// A tree holding only `b0`, with [`DEFAULT_SHARDS`] store shards.
+    pub fn new(selection: F, predicate: P) -> Self {
+        ConcurrentBlockTree::with_shards(DEFAULT_SHARDS, selection, predicate)
+    }
+
+    /// A tree holding only `b0`, with an explicit shard count.
+    pub fn with_shards(shards: usize, selection: F, predicate: P) -> Self {
+        ConcurrentBlockTree {
+            store: ShardedStore::with_shards(shards),
+            selection,
+            predicate,
+            sel: Mutex::new(SelState {
+                tree: TreeMembership::genesis_only(),
+                cache: ChainCache::new(),
+                commit_log: Vec::new(),
+                retired: Vec::new(),
+            }),
+            published: AtomicPtr::new(Box::into_raw(Box::new(Blockchain::genesis()))),
+        }
+    }
+
+    /// `read()`: the blockchain `{b0}⌢f(bt)`. Lock-free — one `Acquire`
+    /// pointer load plus an `Arc` bump; O(1) regardless of chain length,
+    /// tree size, or writer activity.
+    pub fn read(&self) -> Blockchain {
+        let p = self.published.load(Ordering::Acquire);
+        // SAFETY: `p` came from `Box::into_raw`; swapped-out boxes are
+        // retired (kept alive) until `self` drops, and `&self` outlives
+        // this call. The pointee is immutable once published.
+        unsafe { (*p).clone() }
+    }
+
+    /// The tip of `f(bt)` — lock-free, O(1).
+    pub fn selected_tip(&self) -> BlockId {
+        let p = self.published.load(Ordering::Acquire);
+        // SAFETY: as in `read`.
+        unsafe { (*p).tip() }
+    }
+
+    /// `append(b)` per Def. 3.1, safe under concurrent appenders: mints
+    /// `candidate` under the tip of `f(bt)`; if valid it joins the tree
+    /// (returning its id), else the tree is unchanged and `None` returns.
+    ///
+    /// Optimistic: minting runs outside the selection lock; if another
+    /// appender moved the tip first, the mint is abandoned as a non-member
+    /// orphan in the arena (semantically identical to a `P`-rejected mint)
+    /// and the append retries against the new tip. The commit — membership
+    /// insert, incremental re-selection, chain publication — happens under
+    /// the lock, before the call returns: publish-before-respond.
+    pub fn append(&self, candidate: CandidateBlock) -> Option<BlockId> {
+        loop {
+            let parent = self.selected_tip();
+            let id = self.store.mint(
+                parent,
+                candidate.producer,
+                candidate.merit_index,
+                candidate.work,
+                candidate.nonce,
+                candidate.payload.clone(),
+            );
+            let valid = {
+                let block = self.store.block(id);
+                self.predicate.is_valid(&self.store, &block)
+            };
+            if !valid {
+                // Validity may depend on the parent (digests commit to
+                // ancestry), so a failure only counts if the mint really
+                // was against the selected tip at some point during this
+                // call; otherwise re-mint under the fresh tip.
+                if self.selected_tip() == parent {
+                    return None;
+                }
+                continue;
+            }
+            let mut sel = self.sel.lock();
+            if sel.cache.tip() != parent {
+                continue; // lost the race — retry outside the lock
+            }
+            self.commit_locked(&mut sel, id);
+            return Some(id);
+        }
+    }
+
+    /// Mints `candidate` under an explicit committed `parent` (the refined
+    /// append of Def. 3.7, where the oracle fixes the parent — and the
+    /// fork-builder for adversarial workloads). Returns the new id if `P`
+    /// accepted the block.
+    pub fn graft(&self, parent: BlockId, candidate: CandidateBlock) -> Option<BlockId> {
+        let id = self.store.mint(
+            parent,
+            candidate.producer,
+            candidate.merit_index,
+            candidate.work,
+            candidate.nonce,
+            candidate.payload,
+        );
+        let valid = {
+            let block = self.store.block(id);
+            self.predicate.is_valid(&self.store, &block)
+        };
+        if !valid {
+            return None;
+        }
+        let mut sel = self.sel.lock();
+        assert!(
+            sel.tree.contains(parent),
+            "graft parent {parent} not committed to the tree"
+        );
+        self.commit_locked(&mut sel, id);
+        Some(id)
+    }
+
+    /// Membership insert + incremental re-selection + publication, under
+    /// the selection lock.
+    fn commit_locked(&self, sel: &mut SelState, id: BlockId) {
+        sel.tree.insert(&self.store, id);
+        sel.commit_log.push(id);
+        sel.cache
+            .on_insert(&self.selection, &self.store, &sel.tree, id);
+        let fresh = Box::into_raw(Box::new(sel.cache.chain()));
+        let old = self.published.swap(fresh, Ordering::AcqRel);
+        // SAFETY: `old` came from `Box::into_raw` in `with_shards` or a
+        // previous commit; reconstituting the box here (under the lock)
+        // moves ownership into the retire list, keeping the allocation
+        // alive for readers still dereferencing the old pointer.
+        sel.retired.push(unsafe { Box::from_raw(old) });
+    }
+
+    /// Number of committed blocks (including genesis).
+    pub fn len(&self) -> usize {
+        self.sel.lock().tree.len()
+    }
+
+    /// Whether the tree holds no blocks — always `false` in practice (a
+    /// committed tree contains at least `b0`), but answered from the
+    /// membership rather than hardcoded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sharded arena (all minted blocks, including orphaned and
+    /// `P`-rejected mints).
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// The selection function `f`.
+    pub fn selection(&self) -> &F {
+        &self.selection
+    }
+
+    /// The validity predicate `P`.
+    pub fn predicate(&self) -> &P {
+        &self.predicate
+    }
+
+    /// The membership commit order so far (parent-closed). Takes the
+    /// selection lock.
+    pub fn commit_log(&self) -> Vec<BlockId> {
+        self.sel.lock().commit_log.clone()
+    }
+
+    /// The tip re-derived by the full Def. 3.1 rescan over the committed
+    /// membership — the specification oracle for differential checks.
+    /// Takes the selection lock.
+    pub fn selected_tip_full_scan(&self) -> BlockId {
+        let sel = self.sel.lock();
+        self.selection.select_tip(&self.store, &sel.tree)
+    }
+
+    /// Sequential snapshot of the arena (see [`ShardedStore::snapshot`];
+    /// requires quiescence).
+    pub fn snapshot_store(&self) -> BlockStore {
+        self.store.snapshot()
+    }
+}
+
+impl<F: SelectionFn, P: ValidityPredicate> Drop for ConcurrentBlockTree<F, P> {
+    fn drop(&mut self) {
+        let p = self.published.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        // SAFETY: the current publication is the one outstanding leaked
+        // box (every predecessor was retired); no reader can be alive,
+        // since readers borrow `self`.
+        drop(unsafe { Box::from_raw(p) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+    use crate::selection::{Ghost, HeaviestWork, LongestChain};
+    use crate::validity::{AcceptAll, DigestPrefix};
+
+    #[test]
+    fn sharded_mint_matches_blockstore() {
+        // The same mint sequence must produce identical ids, digests,
+        // heights, jumps, and cumulative work in both stores.
+        let sharded = ShardedStore::with_shards(4);
+        let mut seq = BlockStore::new();
+        let mut prev = BlockId::GENESIS;
+        for i in 0..40u64 {
+            let parent = if i % 5 == 0 { BlockId::GENESIS } else { prev };
+            let a = sharded.mint(parent, ProcessId(0), 0, 1 + i % 3, i, Payload::Empty);
+            let b = seq.mint(parent, ProcessId(0), 0, 1 + i % 3, i, Payload::Empty);
+            assert_eq!(a, b);
+            assert_eq!(sharded.meta(a), seq.meta(a), "block {i}");
+            prev = a;
+        }
+        assert_eq!(sharded.block_count(), seq.block_count());
+        for i in 0..seq.block_count() as u32 {
+            let id = BlockId(i);
+            let mut sh_kids = Vec::new();
+            sharded.for_each_child(id, &mut |c| sh_kids.push(c));
+            assert_eq!(sh_kids.as_slice(), seq.children(id));
+        }
+    }
+
+    #[test]
+    fn sharded_ancestry_queries_agree_with_sequential() {
+        let sharded = ShardedStore::new();
+        let mut prev = BlockId::GENESIS;
+        let mut ids = vec![prev];
+        for i in 0..64u64 {
+            prev = sharded.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty);
+            ids.push(prev);
+        }
+        let snap = sharded.snapshot();
+        for h in [0u32, 1, 13, 40, 63] {
+            assert_eq!(sharded.ancestor_at(prev, h), ids[h as usize]);
+            assert_eq!(sharded.ancestor_at(prev, h), snap.ancestor_at(prev, h));
+        }
+        assert!(sharded.is_ancestor(ids[10], ids[50]));
+        assert!(!sharded.is_ancestor(ids[50], ids[10]));
+        let fork = sharded.mint(ids[20], ProcessId(1), 1, 1, 99, Payload::Empty);
+        assert_eq!(sharded.common_ancestor(fork, prev), ids[20]);
+    }
+
+    #[test]
+    fn fresh_tree_reads_genesis() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        assert_eq!(bt.read(), Blockchain::genesis());
+        assert_eq!(bt.selected_tip(), BlockId::GENESIS);
+        assert_eq!(bt.len(), 1);
+    }
+
+    #[test]
+    fn sequential_appends_extend_the_chain() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        for i in 0..10 {
+            assert!(bt.append(CandidateBlock::simple(ProcessId(0), i)).is_some());
+        }
+        assert_eq!(bt.read().len(), 11);
+        assert_eq!(bt.len(), 11);
+        assert_eq!(bt.selected_tip(), bt.selected_tip_full_scan());
+    }
+
+    #[test]
+    fn rejected_append_leaves_tree_unchanged() {
+        let bt = ConcurrentBlockTree::new(LongestChain, DigestPrefix { zero_bits: 64 });
+        assert!(bt.append(CandidateBlock::simple(ProcessId(0), 1)).is_none());
+        assert_eq!(bt.read(), Blockchain::genesis());
+        assert_eq!(bt.len(), 1);
+        // The rejected mint still occupies an arena slot, as on BlockTree.
+        assert_eq!(bt.store().block_count(), 2);
+    }
+
+    #[test]
+    fn graft_builds_forks_and_reorgs() {
+        let bt = ConcurrentBlockTree::new(HeaviestWork, AcceptAll);
+        let a = bt
+            .graft(BlockId::GENESIS, CandidateBlock::simple(ProcessId(0), 1))
+            .unwrap();
+        let _a2 = bt
+            .graft(a, CandidateBlock::simple(ProcessId(0), 2))
+            .unwrap();
+        let heavy = bt
+            .graft(
+                BlockId::GENESIS,
+                CandidateBlock::simple(ProcessId(1), 3).with_work(10),
+            )
+            .unwrap();
+        assert_eq!(bt.selected_tip(), heavy, "work 10 beats work 2");
+        assert_eq!(bt.read().ids(), &[BlockId::GENESIS, heavy]);
+    }
+
+    #[test]
+    fn held_snapshots_survive_later_appends() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        bt.append(CandidateBlock::simple(ProcessId(0), 1)).unwrap();
+        let snap = bt.read();
+        for i in 2..20 {
+            bt.append(CandidateBlock::simple(ProcessId(0), i)).unwrap();
+        }
+        assert_eq!(snap.len(), 2, "published snapshot is immutable");
+        assert!(snap.is_prefix_of(&bt.read()));
+        assert_eq!(bt.read().len(), 20);
+    }
+
+    #[test]
+    fn concurrent_appenders_commit_every_block_exactly_once() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let per_thread = 50u64;
+        let threads = 4u32;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let bt = &bt;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let nonce = (t as u64) << 32 | i;
+                        assert!(bt
+                            .append(CandidateBlock::simple(ProcessId(t), nonce))
+                            .is_some());
+                    }
+                });
+            }
+        });
+        let expected = (threads as u64 * per_thread) as usize + 1;
+        assert_eq!(bt.len(), expected, "every append committed");
+        // Longest-chain appends always extend the tip: a single path.
+        assert_eq!(bt.read().len(), expected);
+        assert_eq!(bt.selected_tip(), bt.selected_tip_full_scan());
+        let log = bt.commit_log();
+        assert_eq!(log.len(), expected - 1);
+        let mut sorted = log.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), log.len(), "no double commits");
+    }
+
+    #[test]
+    fn concurrent_readers_observe_monotone_prefix_chains() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let bt = &bt;
+                s.spawn(move || {
+                    let mut last = bt.read();
+                    for _ in 0..400 {
+                        let now = bt.read();
+                        assert!(
+                            last.is_prefix_of(&now),
+                            "longest-chain published reads grow monotonically"
+                        );
+                        last = now;
+                    }
+                });
+            }
+            let bt = &bt;
+            s.spawn(move || {
+                for i in 0..200 {
+                    bt.append(CandidateBlock::simple(ProcessId(0), i)).unwrap();
+                }
+            });
+        });
+        assert_eq!(bt.read().len(), 201);
+    }
+
+    #[test]
+    fn concurrent_ghost_grafts_agree_with_full_scan() {
+        let bt = ConcurrentBlockTree::new(Ghost::default(), AcceptAll);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let bt = &bt;
+                s.spawn(move || {
+                    for i in 0..30u64 {
+                        // Fork off a block of the current chain at a
+                        // pseudo-random depth — real reorg pressure.
+                        let chain = bt.read();
+                        let ids = chain.ids();
+                        let r = crate::ids::splitmix64_at((t as u64) << 8, i);
+                        let parent = ids[(r as usize) % ids.len()];
+                        bt.graft(
+                            parent,
+                            CandidateBlock::simple(ProcessId(t), (t as u64) << 32 | i),
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(bt.len(), 121);
+        assert_eq!(bt.selected_tip(), bt.selected_tip_full_scan());
+        // And the snapshot replays to the same selection.
+        let snap = bt.snapshot_store();
+        let mut tree = TreeMembership::genesis_only();
+        for id in bt.commit_log() {
+            tree.insert(&snap, id);
+        }
+        assert_eq!(Ghost::default().select_tip(&snap, &tree), bt.selected_tip());
+    }
+
+    #[test]
+    fn snapshot_reproduces_the_arena() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        for i in 0..12 {
+            if i % 3 == 0 {
+                bt.graft(
+                    BlockId::GENESIS,
+                    CandidateBlock::simple(ProcessId(1), 100 + i),
+                );
+            } else {
+                bt.append(CandidateBlock::simple(ProcessId(0), i));
+            }
+        }
+        let snap = bt.snapshot_store();
+        assert_eq!(snap.block_count(), bt.store().block_count());
+        for i in 0..snap.block_count() as u32 {
+            assert_eq!(snap.meta(BlockId(i)), bt.store().meta(BlockId(i)));
+        }
+    }
+}

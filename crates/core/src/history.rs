@@ -271,6 +271,64 @@ impl History {
         errs
     }
 
+    /// Splits this history at *quiescent points* — instants where no
+    /// operation is in flight — into sub-histories of at most `max_ops`
+    /// operations each (as close to `max_ops` as the quiescent structure
+    /// allows: cuts are only ever placed at quiescent points, so a span
+    /// with no internal quiescent point stays one window even when it
+    /// exceeds `max_ops`).
+    ///
+    /// Every operation before a cut returns-before every operation after
+    /// it, so per-window checking (e.g.
+    /// [`check_linearizable`](crate::linearizability::check_linearizable)
+    /// seeded with the committed prefix state) loses nothing: a long
+    /// concurrent run need not come back as `TooLarge { .. }`.
+    ///
+    /// A pending operation never completes, so no quiescent point exists
+    /// after its invocation: everything from there on lands in one final
+    /// window. Operations are renumbered from [`OpId`] 0 inside each
+    /// window, in invocation order; timestamps, processes, and responses
+    /// are preserved.
+    pub fn split_at_quiescence(&self, max_ops: usize) -> Vec<History> {
+        assert!(max_ops >= 1, "windows must hold at least one operation");
+        let all: Vec<&OpRecord> = self.ops.iter().collect();
+        let segments = quiescent_segments(&all);
+
+        // Greedily merge adjacent segments while they fit the cap, so the
+        // result is "checkable windows", not one window per gap.
+        let mut windows: Vec<Vec<&OpRecord>> = Vec::new();
+        for seg in segments {
+            match windows.last_mut() {
+                Some(last) if last.len() + seg.len() <= max_ops => last.extend(seg),
+                _ => windows.push(seg),
+            }
+        }
+
+        windows
+            .into_iter()
+            .map(|ops| {
+                let mut h = History::new();
+                for op in ops {
+                    match (&op.response, op.responded_at) {
+                        (Some(resp), Some(at)) => {
+                            h.push_complete(
+                                op.process,
+                                op.invocation.clone(),
+                                op.invoked_at,
+                                resp.clone(),
+                                at,
+                            );
+                        }
+                        _ => {
+                            h.push_invocation(op.process, op.invocation.clone(), op.invoked_at);
+                        }
+                    }
+                }
+                h
+            })
+            .collect()
+    }
+
     /// Extracts the completed reads as [`ReadView`]s scored by `score`,
     /// sorted by response time (ties by op id — deterministic).
     pub fn read_views(&self, score: &dyn ScoreFn) -> Vec<ReadView> {
@@ -291,6 +349,38 @@ impl History {
         views.sort_by_key(|v| (v.responded_at, v.op));
         views
     }
+}
+
+/// The shared quiescent-segmentation sweep behind
+/// [`History::split_at_quiescence`] and the windowed linearizability
+/// checker: sorts `ops` by invocation and cuts wherever every earlier
+/// operation's response *strictly* precedes the next invocation on the
+/// global clock — the same strict `<` as the returns-before order `≺`, so
+/// a cut never imposes an order between operations the history leaves
+/// concurrent (equal cross-process timestamps stay in one segment).
+/// Pending operations never quiesce: everything after their invocation is
+/// one segment.
+pub(crate) fn quiescent_segments<'h>(ops: &[&'h OpRecord]) -> Vec<Vec<&'h OpRecord>> {
+    let mut sorted: Vec<&OpRecord> = ops.to_vec();
+    sorted.sort_by_key(|op| (op.invoked_at, op.id));
+    let mut segments: Vec<Vec<&OpRecord>> = Vec::new();
+    let mut segment: Vec<&OpRecord> = Vec::new();
+    let mut horizon: Option<Time> = None;
+    for op in sorted {
+        if let Some(h) = horizon {
+            if h < op.invoked_at {
+                segments.push(std::mem::take(&mut segment));
+                horizon = None;
+            }
+        }
+        let resp = op.responded_at.unwrap_or(Time(u64::MAX));
+        horizon = Some(horizon.map_or(resp, |h| h.max(resp)));
+        segment.push(op);
+    }
+    if !segment.is_empty() {
+        segments.push(segment);
+    }
+    segments
 }
 
 /// A completed read, scored: the unit the consistency criteria quantify
@@ -414,6 +504,93 @@ mod tests {
         assert_eq!(views[0].responded_at, Time(3));
         assert_eq!(views[0].score, 1);
         assert_eq!(views[1].score, 2);
+    }
+
+    #[test]
+    fn split_empty_history_yields_no_windows() {
+        let h = History::new();
+        assert!(h.split_at_quiescence(4).is_empty());
+    }
+
+    #[test]
+    fn split_sequential_history_respects_cap() {
+        // Six strictly sequential reads: quiescent between every pair,
+        // so the greedy merge packs them into caps of 4 → windows 4 + 2.
+        let mut h = History::new();
+        for i in 0..6u64 {
+            read_at(&mut h, 0, 10 * i, 10 * i + 1, chain(&[0]));
+        }
+        let windows = h.split_at_quiescence(4);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].len(), 4);
+        assert_eq!(windows[1].len(), 2);
+        // Timestamps and contents preserved, ids renumbered per window.
+        assert_eq!(windows[1].get(OpId(0)).invoked_at, Time(40));
+        for w in &windows {
+            assert!(w.validate().is_empty());
+        }
+    }
+
+    #[test]
+    fn split_never_cuts_overlapping_ops() {
+        let mut h = History::new();
+        // Three mutually overlapping reads, then a gap, then one more.
+        read_at(&mut h, 0, 0, 10, chain(&[0]));
+        read_at(&mut h, 1, 2, 12, chain(&[0]));
+        read_at(&mut h, 2, 4, 14, chain(&[0]));
+        read_at(&mut h, 0, 20, 21, chain(&[0]));
+        let windows = h.split_at_quiescence(1);
+        // The overlapping trio is indivisible even with max_ops = 1.
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].len(), 3);
+        assert_eq!(windows[1].len(), 1);
+    }
+
+    #[test]
+    fn split_never_cuts_at_equal_timestamps() {
+        // Response at t and another process's invocation at the same t:
+        // `returns_before` is strict (`<`), so the two operations are
+        // concurrent and a cut between them would impose an order the
+        // history does not contain — they must share a window.
+        let mut h = History::new();
+        read_at(&mut h, 0, 0, 5, chain(&[0]));
+        read_at(&mut h, 1, 5, 9, chain(&[0]));
+        assert_eq!(h.split_at_quiescence(1).len(), 1);
+        // One tick later the response strictly precedes the invocation:
+        // now the cut is sound.
+        let mut h = History::new();
+        read_at(&mut h, 0, 0, 5, chain(&[0]));
+        read_at(&mut h, 1, 6, 9, chain(&[0]));
+        assert_eq!(h.split_at_quiescence(1).len(), 2);
+    }
+
+    #[test]
+    fn split_recording_order_does_not_matter() {
+        // Ops recorded out of invocation order still split identically.
+        let mut h = History::new();
+        read_at(&mut h, 1, 20, 21, chain(&[0]));
+        read_at(&mut h, 0, 0, 1, chain(&[0]));
+        let windows = h.split_at_quiescence(1);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].get(OpId(0)).invoked_at, Time(0));
+        assert_eq!(windows[1].get(OpId(0)).invoked_at, Time(20));
+    }
+
+    #[test]
+    fn split_pending_op_blocks_later_cuts() {
+        let mut h = History::new();
+        read_at(&mut h, 0, 0, 1, chain(&[0]));
+        h.push_invocation(ProcessId(1), Invocation::Read, Time(5));
+        read_at(&mut h, 0, 50, 51, chain(&[0]));
+        read_at(&mut h, 0, 60, 61, chain(&[0]));
+        let windows = h.split_at_quiescence(1);
+        // Cut before the pending op is fine; after it, never.
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[1].len(), 3);
+        assert_eq!(
+            windows[1].ops().iter().filter(|o| o.is_complete()).count(),
+            2
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod adt;
 pub mod block;
 pub mod blocktree;
 pub mod chain;
+pub mod concurrent;
 pub mod criteria;
 pub mod hierarchy;
 pub mod history;
@@ -70,6 +71,7 @@ pub mod prelude {
     pub use crate::block::{Block, Payload, Tx};
     pub use crate::blocktree::{BlockTree, BlockTreeAdt, BtInput, BtOutput, CandidateBlock};
     pub use crate::chain::Blockchain;
+    pub use crate::concurrent::{ConcurrentBlockTree, ShardedStore};
     pub use crate::criteria::{
         check_eventual_consistency, check_strong_consistency, classify, ConsistencyClass,
         ConsistencyParams, ConsistencyReport, LivenessMode, Verdict, Violation,
@@ -77,12 +79,14 @@ pub mod prelude {
     pub use crate::hierarchy::{OracleModel, RefinementClass};
     pub use crate::history::{History, Invocation, OpId, OpRecord, ReadView, Response};
     pub use crate::ids::{BlockId, ProcessId, Time};
-    pub use crate::linearizability::{check_linearizable, Linearizability};
+    pub use crate::linearizability::{
+        check_linearizable, check_linearizable_windowed, Linearizability,
+    };
     pub use crate::score::{LengthScore, ScoreFn, WorkScore};
     pub use crate::selection::{
         Ghost, HeaviestWork, LongestChain, SelectionAux, SelectionFn, TipUpdate, TrivialProjection,
     };
-    pub use crate::store::{BlockStore, TreeMembership};
+    pub use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
     pub use crate::tipcache::ChainCache;
     pub use crate::validity::{
         AcceptAll, DigestPrefix, NoDoubleSpend, RejectAll, ValidityPredicate,

@@ -16,11 +16,18 @@
 //!
 //! The checker is a Wing–Gong style DFS with memoization on the set of
 //! applied operations — exponential in the worst case, fine for the
-//! adversarial histories (tens of operations) it is meant for.
+//! adversarial histories (tens of operations) it is meant for. Histories
+//! recorded from real concurrent runs (see `btadt_sim::mtrun`) are much
+//! longer; [`check_linearizable_windowed`] splits them at *quiescent
+//! points* — instants with no operation in flight — and checks window by
+//! window, carrying the committed membership across windows. Cutting at a
+//! quiescent point is exact, not an approximation: every operation before
+//! the cut returns-before every operation after it, so any linearization
+//! must order the windows back to back anyway.
 
-use crate::history::{History, Invocation, OpId, Response};
+use crate::history::{History, Invocation, OpId, OpRecord, Response};
 use crate::selection::SelectionFn;
-use crate::store::{BlockStore, TreeMembership};
+use crate::store::{BlockView, TreeMembership};
 use std::collections::HashSet;
 
 /// Result of a linearizability check.
@@ -30,7 +37,8 @@ pub enum Linearizability {
     Linearizable(Vec<OpId>),
     /// No linearization exists.
     NotLinearizable,
-    /// Search aborted: too many operations for exhaustive search.
+    /// Search aborted: too many operations for exhaustive search (for the
+    /// windowed checker: in one indivisible window).
     TooLarge { ops: usize, limit: usize },
 }
 
@@ -52,34 +60,118 @@ pub const DEFAULT_OP_LIMIT: usize = 24;
 /// `Ĥ` of §3.4.
 pub fn check_linearizable(
     history: &History,
-    store: &BlockStore,
+    store: &dyn BlockView,
     selection: &dyn SelectionFn,
 ) -> Linearizability {
     check_linearizable_with_limit(history, store, selection, DEFAULT_OP_LIMIT)
 }
 
 /// [`check_linearizable`] with an explicit search-size cap.
+///
+/// `limit` is clamped to 64 — the memoization bitmask's width bounds the
+/// exhaustive search regardless of the caller's cap — and the clamped
+/// value is what a `TooLarge { limit, .. }` result reports.
 pub fn check_linearizable_with_limit(
     history: &History,
-    store: &BlockStore,
+    store: &dyn BlockView,
     selection: &dyn SelectionFn,
     limit: usize,
 ) -> Linearizability {
-    // Collect the relevant complete operations.
-    let ops: Vec<&crate::history::OpRecord> = history
-        .ops()
-        .iter()
-        .filter(|op| op.is_complete() && !matches!(op.response, Some(Response::Appended(false))))
-        .collect();
+    let ops = relevant_ops(history);
+    // The memoization bitmask caps exhaustive search at 64 operations
+    // regardless of the caller's limit.
+    let limit = limit.min(64);
     if ops.len() > limit {
         return Linearizability::TooLarge {
             ops: ops.len(),
             limit,
         };
     }
+    let base = TreeMembership::genesis_only();
+    match check_window(&ops, store, selection, &base) {
+        Some(schedule) => Linearizability::Linearizable(schedule),
+        None => Linearizability::NotLinearizable,
+    }
+}
 
+/// Linearizability for long recorded histories: splits the history at
+/// quiescent points and checks each window exhaustively (≤ `window_limit`
+/// operations each), carrying the committed membership across windows.
+///
+/// Equivalent to [`check_linearizable_with_limit`] on histories small
+/// enough for both, but scales to histories whose *windows* are small even
+/// when the whole run is thousands of operations. Returns `TooLarge` only
+/// when a single window (a span with no quiescent point inside) exceeds
+/// the cap (`window_limit` clamped to 64, like the exhaustive checker).
+pub fn check_linearizable_windowed(
+    history: &History,
+    store: &dyn BlockView,
+    selection: &dyn SelectionFn,
+    window_limit: usize,
+) -> Linearizability {
+    let ops = relevant_ops(history);
+    let window_limit = window_limit.min(64);
+    let mut base = TreeMembership::genesis_only();
+    let mut full_schedule = Vec::with_capacity(ops.len());
+    for window in quiescent_windows(&ops) {
+        if window.len() > window_limit {
+            return Linearizability::TooLarge {
+                ops: window.len(),
+                limit: window_limit,
+            };
+        }
+        match check_window(&window, store, selection, &base) {
+            Some(schedule) => {
+                // Apply the window's successful appends (in witness order,
+                // which is parent-closed) before moving on.
+                for &op_id in &schedule {
+                    let op = window.iter().find(|o| o.id == op_id).expect("scheduled");
+                    if let (Invocation::Append { block }, Some(Response::Appended(true))) =
+                        (&op.invocation, &op.response)
+                    {
+                        base.insert(store, *block);
+                    }
+                }
+                full_schedule.extend(schedule);
+            }
+            None => return Linearizability::NotLinearizable,
+        }
+    }
+    Linearizability::Linearizable(full_schedule)
+}
+
+/// The completed operations a linearization must order (failed appends
+/// are purged).
+fn relevant_ops(history: &History) -> Vec<&OpRecord> {
+    history
+        .ops()
+        .iter()
+        .filter(|op| op.is_complete() && !matches!(op.response, Some(Response::Appended(false))))
+        .collect()
+}
+
+/// Splits `ops` into maximal runs separated by quiescent points — the
+/// same strict-`<` sweep as `History::split_at_quiescence`
+/// ([`crate::history::quiescent_segments`]), so a cut never imposes an
+/// order between operations `≺` leaves concurrent.
+fn quiescent_windows<'h>(ops: &[&'h OpRecord]) -> Vec<Vec<&'h OpRecord>> {
+    crate::history::quiescent_segments(ops)
+}
+
+/// Exhaustive Wing–Gong search over one window, starting from the
+/// committed membership `base`. Returns a witness schedule on success.
+fn check_window(
+    ops: &[&OpRecord],
+    store: &dyn BlockView,
+    selection: &dyn SelectionFn,
+    base: &TreeMembership,
+) -> Option<Vec<OpId>> {
     // Precompute the real-time precedence matrix: i must come before j.
     let n = ops.len();
+    assert!(
+        n <= 64,
+        "window exceeds the bitmask memo (cap limits at 64)"
+    );
     let mut precedes = vec![vec![false; n]; n];
     for i in 0..n {
         for j in 0..n {
@@ -99,33 +191,35 @@ pub fn check_linearizable_with_limit(
 
     // DFS over schedules; state = membership tree (rebuilt incrementally),
     // visited = bitmask sets already proven fruitless.
-    let mut tree = TreeMembership::genesis_only();
+    let mut tree = base.clone();
     let mut schedule = Vec::with_capacity(n);
     let mut done = vec![false; n];
     let mut dead: HashSet<u64> = HashSet::new();
     if dfs(
-        &ops,
+        ops,
         store,
         selection,
         &precedes,
+        base,
         &mut tree,
         &mut schedule,
         &mut done,
         0u64,
         &mut dead,
     ) {
-        Linearizability::Linearizable(schedule)
+        Some(schedule)
     } else {
-        Linearizability::NotLinearizable
+        None
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn dfs(
-    ops: &[&crate::history::OpRecord],
-    store: &BlockStore,
+    ops: &[&OpRecord],
+    store: &dyn BlockView,
     selection: &dyn SelectionFn,
     precedes: &[Vec<bool>],
+    base: &TreeMembership,
     tree: &mut TreeMembership,
     schedule: &mut Vec<OpId>,
     done: &mut [bool],
@@ -150,7 +244,7 @@ fn dfs(
         let legal = match (&ops[i].invocation, &ops[i].response) {
             (Invocation::Append { block }, Some(Response::Appended(true))) => {
                 let tip = selection.select_tip(store, tree);
-                store.try_get(*block).map(|b| b.parent) == Some(Some(tip))
+                store.has_block(*block) && store.parent(*block) == Some(tip)
             }
             (Invocation::Read, Some(Response::Chain(chain))) => {
                 let tip = selection.select_tip(store, tree);
@@ -176,6 +270,7 @@ fn dfs(
             store,
             selection,
             precedes,
+            base,
             tree,
             schedule,
             done,
@@ -184,11 +279,12 @@ fn dfs(
         ) {
             return true;
         }
-        // Undo. TreeMembership has no removal: rebuild from schedule.
+        // Undo. TreeMembership has no removal: rebuild from the base
+        // membership plus the still-scheduled prefix.
         schedule.pop();
         done[i] = false;
         if applied_block.is_some() {
-            *tree = TreeMembership::genesis_only();
+            *tree = base.clone();
             for &op_id in schedule.iter() {
                 let op = ops.iter().find(|o| o.id == op_id).expect("scheduled");
                 if let (Invocation::Append { block }, Some(Response::Appended(true))) =
@@ -211,6 +307,7 @@ mod tests {
     use crate::history::{History, Invocation, Response};
     use crate::ids::{BlockId, ProcessId, Time};
     use crate::selection::LongestChain;
+    use crate::store::BlockStore;
 
     fn linear_store(n: u32) -> (BlockStore, Vec<BlockId>) {
         let mut s = BlockStore::new();
@@ -351,5 +448,83 @@ mod tests {
         read(&mut h, 2, &ids, 5, 14, 15);
         let r = check_linearizable(&h, &s, &LongestChain);
         assert!(r.is_linearizable(), "{r:?}");
+    }
+
+    /// A sequential-but-long history: the exhaustive checker caps out, the
+    /// windowed checker cuts at every gap and sails through.
+    #[test]
+    fn windowed_checker_scales_past_the_cap() {
+        let n = 60u32;
+        let (s, ids) = linear_store(n);
+        let mut h = History::new();
+        let mut t = 1;
+        for i in 1..=n as usize {
+            append(&mut h, 0, ids[i], t, t + 1);
+            read(&mut h, 1, &ids, i + 1, t + 2, t + 3);
+            t += 4;
+        }
+        match check_linearizable(&h, &s, &LongestChain) {
+            Linearizability::TooLarge { ops: 120, .. } => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        let r = check_linearizable_windowed(&h, &s, &LongestChain, DEFAULT_OP_LIMIT);
+        assert!(r.is_linearizable(), "{r:?}");
+        if let Linearizability::Linearizable(w) = r {
+            assert_eq!(w.len(), 2 * n as usize);
+        }
+    }
+
+    /// Windowed checking agrees with the exhaustive answer on forked reads
+    /// even when the violation is inside a late window.
+    #[test]
+    fn windowed_checker_still_rejects_forks() {
+        let mut s = BlockStore::new();
+        let mut ids = vec![BlockId::GENESIS];
+        for i in 0..3u64 {
+            let prev = *ids.last().unwrap();
+            ids.push(s.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty));
+        }
+        let fork = s.mint(ids[1], ProcessId(1), 1, 1, 99, Payload::Empty);
+        let mut h = History::new();
+        append(&mut h, 0, ids[1], 1, 2);
+        read(&mut h, 1, &ids, 2, 3, 4);
+        // quiescent gap here
+        append(&mut h, 0, ids[2], 10, 11);
+        read(&mut h, 1, &[BlockId::GENESIS, ids[1], fork], 3, 12, 13); // forked view
+        let r = check_linearizable_windowed(&h, &s, &LongestChain, 8);
+        assert_eq!(r, Linearizability::NotLinearizable);
+    }
+
+    /// Equal cross-process timestamps: the read's response and the
+    /// append's invocation share clock value 5, so `≺` leaves them
+    /// concurrent and the exhaustive checker linearizes (read after
+    /// append). The windowed checker must not cut between them — a cut
+    /// there would force the read into a pre-append window and falsely
+    /// reject.
+    #[test]
+    fn windowed_checker_agrees_at_equal_timestamps() {
+        let (s, ids) = linear_store(1);
+        let mut h = History::new();
+        read(&mut h, 1, &ids, 2, 1, 5); // returns b0⌢b1
+        append(&mut h, 0, ids[1], 5, 6);
+        let exhaustive = check_linearizable(&h, &s, &LongestChain);
+        assert!(exhaustive.is_linearizable(), "{exhaustive:?}");
+        let windowed = check_linearizable_windowed(&h, &s, &LongestChain, DEFAULT_OP_LIMIT);
+        assert_eq!(exhaustive, windowed);
+    }
+
+    /// An indivisible window larger than the cap still reports TooLarge.
+    #[test]
+    fn windowed_checker_reports_indivisible_windows() {
+        let (s, ids) = linear_store(1);
+        let mut h = History::new();
+        for i in 0..10u64 {
+            // All reads overlap one long-running read: no quiescent point.
+            read(&mut h, 1 + i as u32, &ids, 1, 2 + i, 100 + i);
+        }
+        match check_linearizable_windowed(&h, &s, &LongestChain, 4) {
+            Linearizability::TooLarge { ops: 10, limit: 4 } => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! The trait is object-safe so history checkers can take `&dyn ScoreFn`.
 
 use crate::chain::Blockchain;
-use crate::store::BlockStore;
+use crate::store::BlockView;
 
 /// A monotonic chain score (§3.1.2).
 ///
@@ -57,11 +57,11 @@ impl ScoreFn for LengthScore {
 /// Monotonic provided every minted block carries `work ≥ 1` (all workload
 /// generators in this workspace do; a debug assertion fires otherwise).
 pub struct WorkScore<'s> {
-    store: &'s BlockStore,
+    store: &'s dyn BlockView,
 }
 
 impl<'s> WorkScore<'s> {
-    pub fn new(store: &'s BlockStore) -> Self {
+    pub fn new(store: &'s dyn BlockView) -> Self {
         WorkScore { store }
     }
 }
@@ -74,7 +74,7 @@ impl ScoreFn for WorkScore<'_> {
         debug_assert!(
             chain.ids()[1..n]
                 .iter()
-                .all(|&b| self.store.get(b).work >= 1),
+                .all(|&b| self.store.work_of(b) >= 1),
             "WorkScore monotonicity requires work ≥ 1 on every block"
         );
         self.store.cumulative_work(tip)
@@ -90,6 +90,7 @@ mod tests {
     use super::*;
     use crate::block::Payload;
     use crate::ids::{BlockId, ProcessId};
+    use crate::store::BlockStore;
 
     fn chain(ids: &[u32]) -> Blockchain {
         Blockchain::from_ids(ids.iter().map(|&i| BlockId(i)).collect())

@@ -35,7 +35,7 @@
 //! * the same `aux` is threaded through every call for a given tree.
 
 use crate::ids::BlockId;
-use crate::store::{BlockStore, TreeMembership};
+use crate::store::{BlockView, TreeMembership};
 use std::cmp::Ordering;
 
 /// How the selected tip changed when one block joined the tree — the
@@ -99,7 +99,7 @@ pub trait SelectionFn: Sync {
     ///
     /// This is the full re-evaluation: O(tree). It stays the semantic
     /// oracle that the incremental path is differential-tested against.
-    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId;
+    fn select_tip(&self, store: &dyn BlockView, tree: &TreeMembership) -> BlockId;
 
     /// Incremental re-selection after `new_block` joined `tree` (see the
     /// module docs for what may be assumed). The default falls back to a
@@ -107,7 +107,7 @@ pub trait SelectionFn: Sync {
     /// fast.
     fn on_insert(
         &self,
-        store: &BlockStore,
+        store: &dyn BlockView,
         tree: &TreeMembership,
         _aux: &mut SelectionAux,
         _new_block: BlockId,
@@ -136,7 +136,7 @@ pub trait SelectionFn: Sync {
 /// through the store's jump pointers — rather than by materializing and
 /// zipping the two full paths. If one chain prefixes the other, length
 /// decides.
-fn cmp_paths_lexicographic(store: &BlockStore, a: BlockId, b: BlockId) -> Ordering {
+fn cmp_paths_lexicographic(store: &dyn BlockView, a: BlockId, b: BlockId) -> Ordering {
     if a == b {
         return Ordering::Equal;
     }
@@ -154,7 +154,7 @@ fn cmp_paths_lexicographic(store: &BlockStore, a: BlockId, b: BlockId) -> Orderi
         // First divergent position: digests commit to ancestry, so this
         // decides the order for any non-colliding digest function. The
         // walk below only continues on a 64-bit digest collision.
-        let ord = store.get(x).digest.cmp(&store.get(y).digest);
+        let ord = store.digest_of(x).cmp(&store.digest_of(y));
         if ord != Ordering::Equal {
             return ord;
         }
@@ -177,7 +177,7 @@ fn cmp_paths_lexicographic(store: &BlockStore, a: BlockId, b: BlockId) -> Orderi
 /// memoized per block, so one insert only ever pits the new leaf against
 /// the incumbent.
 fn chain_rule_on_insert(
-    store: &BlockStore,
+    store: &dyn BlockView,
     new_block: BlockId,
     current_tip: BlockId,
     score: impl Fn(BlockId) -> u64,
@@ -205,7 +205,7 @@ fn chain_rule_on_insert(
 pub struct LongestChain;
 
 impl SelectionFn for LongestChain {
-    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+    fn select_tip(&self, store: &dyn BlockView, tree: &TreeMembership) -> BlockId {
         let mut best: Option<BlockId> = None;
         for leaf in tree.leaves(store) {
             best = Some(match best {
@@ -231,7 +231,7 @@ impl SelectionFn for LongestChain {
 
     fn on_insert(
         &self,
-        store: &BlockStore,
+        store: &dyn BlockView,
         _tree: &TreeMembership,
         _aux: &mut SelectionAux,
         new_block: BlockId,
@@ -252,7 +252,7 @@ impl SelectionFn for LongestChain {
 pub struct HeaviestWork;
 
 impl SelectionFn for HeaviestWork {
-    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+    fn select_tip(&self, store: &dyn BlockView, tree: &TreeMembership) -> BlockId {
         let mut best: Option<BlockId> = None;
         for leaf in tree.leaves(store) {
             best = Some(match best {
@@ -278,7 +278,7 @@ impl SelectionFn for HeaviestWork {
 
     fn on_insert(
         &self,
-        store: &BlockStore,
+        store: &dyn BlockView,
         _tree: &TreeMembership,
         _aux: &mut SelectionAux,
         new_block: BlockId,
@@ -320,16 +320,16 @@ impl Default for Ghost {
 impl Ghost {
     /// The standalone weight of one member block under this rule.
     #[inline]
-    fn own_weight(&self, store: &BlockStore, id: BlockId) -> u64 {
+    fn own_weight(&self, store: &dyn BlockView, id: BlockId) -> u64 {
         match self.weight {
             GhostWeight::BlockCount => 1,
-            GhostWeight::Work => store.get(id).work.max(1),
+            GhostWeight::Work => store.work_of(id).max(1),
         }
     }
 
     /// Rebuilds `aux`'s subtree weights from scratch (used on first
     /// incremental call and after a cache reset).
-    fn init_aux(&self, store: &BlockStore, tree: &TreeMembership, aux: &mut SelectionAux) {
+    fn init_aux(&self, store: &dyn BlockView, tree: &TreeMembership, aux: &mut SelectionAux) {
         aux.subtree_weight = self.subtree_weights(store, tree);
         aux.ready = true;
     }
@@ -339,15 +339,15 @@ impl Ghost {
     /// as the full scan.
     fn heaviest_child(
         &self,
-        store: &BlockStore,
+        store: &dyn BlockView,
         tree: &TreeMembership,
         aux: &SelectionAux,
         cur: BlockId,
     ) -> Option<BlockId> {
         let mut best: Option<BlockId> = None;
-        for &c in store.children(cur) {
+        store.for_each_child(cur, &mut |c| {
             if !tree.contains(c) {
-                continue;
+                return;
             }
             best = Some(match best {
                 None => c,
@@ -355,7 +355,7 @@ impl Ghost {
                     Ordering::Greater => c,
                     Ordering::Less => b,
                     Ordering::Equal => {
-                        if store.get(c).digest > store.get(b).digest {
+                        if store.digest_of(c) > store.digest_of(b) {
                             c
                         } else {
                             b
@@ -363,7 +363,7 @@ impl Ghost {
                     }
                 },
             });
-        }
+        });
         best
     }
 
@@ -371,7 +371,7 @@ impl Ghost {
     /// weights.
     fn descend(
         &self,
-        store: &BlockStore,
+        store: &dyn BlockView,
         tree: &TreeMembership,
         aux: &SelectionAux,
         mut from: BlockId,
@@ -385,19 +385,15 @@ impl Ghost {
     /// Subtree weights for every member block, computed in one reverse pass
     /// (children have larger arena indices than parents, so a single
     /// back-to-front scan accumulates bottom-up).
-    fn subtree_weights(&self, store: &BlockStore, tree: &TreeMembership) -> Vec<u64> {
-        let n = store.len();
+    fn subtree_weights(&self, store: &dyn BlockView, tree: &TreeMembership) -> Vec<u64> {
+        let n = store.block_count();
         let mut w = vec![0u64; n];
         for idx in (0..n).rev() {
             let id = BlockId(idx as u32);
             if !tree.contains(id) {
                 continue;
             }
-            let own = match self.weight {
-                GhostWeight::BlockCount => 1,
-                GhostWeight::Work => store.get(id).work.max(1),
-            };
-            w[idx] += own;
+            w[idx] += self.own_weight(store, id);
             if let Some(p) = store.parent(id) {
                 w[p.index()] += w[idx];
             }
@@ -407,14 +403,14 @@ impl Ghost {
 }
 
 impl SelectionFn for Ghost {
-    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+    fn select_tip(&self, store: &dyn BlockView, tree: &TreeMembership) -> BlockId {
         let weights = self.subtree_weights(store, tree);
         let mut cur = BlockId::GENESIS;
         loop {
             let mut next: Option<BlockId> = None;
-            for &c in store.children(cur) {
+            store.for_each_child(cur, &mut |c| {
                 if !tree.contains(c) {
-                    continue;
+                    return;
                 }
                 next = Some(match next {
                     None => c,
@@ -423,7 +419,7 @@ impl SelectionFn for Ghost {
                         Ordering::Less => b,
                         // Deterministic tie-break: larger digest wins.
                         Ordering::Equal => {
-                            if store.get(c).digest > store.get(b).digest {
+                            if store.digest_of(c) > store.digest_of(b) {
                                 c
                             } else {
                                 b
@@ -431,7 +427,7 @@ impl SelectionFn for Ghost {
                         }
                     },
                 });
-            }
+            });
             match next {
                 Some(n) => cur = n,
                 None => return cur,
@@ -448,7 +444,7 @@ impl SelectionFn for Ghost {
     /// child comparison, and a descent only when the fork actually flips.
     fn on_insert(
         &self,
-        store: &BlockStore,
+        store: &dyn BlockView,
         tree: &TreeMembership,
         aux: &mut SelectionAux,
         new_block: BlockId,
@@ -501,7 +497,7 @@ impl SelectionFn for Ghost {
 pub struct TrivialProjection;
 
 impl SelectionFn for TrivialProjection {
-    fn select_tip(&self, store: &BlockStore, tree: &TreeMembership) -> BlockId {
+    fn select_tip(&self, store: &dyn BlockView, tree: &TreeMembership) -> BlockId {
         let leaves = tree.leaves(store);
         assert!(
             leaves.len() == 1,
@@ -513,7 +509,7 @@ impl SelectionFn for TrivialProjection {
 
     fn on_insert(
         &self,
-        store: &BlockStore,
+        store: &dyn BlockView,
         _tree: &TreeMembership,
         _aux: &mut SelectionAux,
         new_block: BlockId,
@@ -536,6 +532,7 @@ mod tests {
     use super::*;
     use crate::block::Payload;
     use crate::ids::ProcessId;
+    use crate::store::BlockStore;
 
     /// b0 ── a ─┬─ b1 ── c1
     ///           └─ b2

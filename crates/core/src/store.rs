@@ -22,6 +22,169 @@
 use crate::block::{Block, Payload};
 use crate::ids::{BlockId, ProcessId};
 
+/// The per-block metadata every tree algorithm consumes: one lookup's
+/// worth of the fields [`BlockView`] implementations memoize at mint time.
+///
+/// Returning this as one `Copy` value keeps [`BlockView`] object-safe and
+/// lets lock-sharded stores answer a whole ancestry step with a single
+/// shard acquisition instead of one lock round-trip per field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Backward edge towards genesis (`None` only for `b0`).
+    pub parent: Option<BlockId>,
+    /// Distance to the root.
+    pub height: u32,
+    /// This block's own work weight.
+    pub work: u64,
+    /// Total work on the genesis→block path (inclusive).
+    pub cum_work: u64,
+    /// Deterministic content digest (lexicographic tie-breaks).
+    pub digest: u64,
+    /// Skew-binary jump pointer (distance a function of height alone).
+    pub jump: BlockId,
+}
+
+/// Read access to an arena of blocks — the store abstraction the selection
+/// functions, chain cache, validity predicates, and history checkers run
+/// over.
+///
+/// Two implementations ship: the single-owner [`BlockStore`] and the
+/// lock-sharded [`ShardedStore`](crate::concurrent::ShardedStore) behind
+/// [`ConcurrentBlockTree`](crate::concurrent::ConcurrentBlockTree). The
+/// trait is object-safe (`&dyn BlockView`) so `SelectionFn` stays a
+/// trait object; `&BlockStore` coerces at every existing call site.
+///
+/// The provided ancestry algorithms (`ancestor_at`, `is_ancestor`,
+/// `common_ancestor`) are the same O(log n) skew-binary-jump walks as the
+/// `BlockStore` originals; implementations may override them when they
+/// can answer faster (as `BlockStore` does, skipping the `BlockMeta`
+/// round-trips).
+pub trait BlockView: Sync {
+    /// Number of block ids allocated so far (including genesis). Ids in
+    /// `0..block_count()` are allocated, but for concurrent stores an id
+    /// may be mid-mint — gate reads on [`has_block`](Self::has_block) or
+    /// on tree membership.
+    fn block_count(&self) -> usize;
+
+    /// Whether `id` names a fully minted block.
+    fn has_block(&self, id: BlockId) -> bool;
+
+    /// The memoized metadata of a minted block. Panics on ids that are
+    /// not fully minted (a cross-store mixup or a read of a mid-mint id —
+    /// both bugs).
+    fn meta(&self, id: BlockId) -> BlockMeta;
+
+    /// Calls `f` with the full block (payload included). Sharded
+    /// implementations hold the owning shard lock for the duration of
+    /// `f`, so `f` must not call back into the store.
+    fn with_block(&self, id: BlockId, f: &mut dyn FnMut(&Block));
+
+    /// Calls `f` for every block minted directly under `id`, in minting
+    /// order. Implementations release any internal locks before invoking
+    /// `f`, so `f` may query the store.
+    fn for_each_child(&self, id: BlockId, f: &mut dyn FnMut(BlockId));
+
+    /// Owned copy of a block (for callers that need to hold it across
+    /// further store queries).
+    fn block(&self, id: BlockId) -> Block {
+        let mut out = None;
+        self.with_block(id, &mut |b| out = Some(b.clone()));
+        out.expect("with_block invokes its callback")
+    }
+
+    /// Parent of `id` (`None` for genesis).
+    fn parent(&self, id: BlockId) -> Option<BlockId> {
+        self.meta(id).parent
+    }
+
+    /// Height of `id` (genesis = 0).
+    fn height(&self, id: BlockId) -> u32 {
+        self.meta(id).height
+    }
+
+    /// Total work on the genesis→`id` path (inclusive of `id`).
+    fn cumulative_work(&self, id: BlockId) -> u64 {
+        self.meta(id).cum_work
+    }
+
+    /// The block's deterministic digest.
+    fn digest_of(&self, id: BlockId) -> u64 {
+        self.meta(id).digest
+    }
+
+    /// The block's own work weight.
+    fn work_of(&self, id: BlockId) -> u64 {
+        self.meta(id).work
+    }
+
+    /// The ancestor of `id` at exactly `height` (≤ `height(id)`).
+    /// O(log n) via the skew-binary jump pointers.
+    fn ancestor_at(&self, id: BlockId, height: u32) -> BlockId {
+        let mut m = self.meta(id);
+        assert!(
+            height <= m.height,
+            "requested height {height} above block at {}",
+            m.height
+        );
+        let mut cur = id;
+        while m.height > height {
+            let jm = self.meta(m.jump);
+            if jm.height >= height {
+                cur = m.jump;
+                m = jm;
+            } else {
+                cur = m.parent.expect("above genesis, parent exists");
+                m = self.meta(cur);
+            }
+        }
+        cur
+    }
+
+    /// True iff `a` lies on the genesis→`b` path (reflexively). O(log n).
+    fn is_ancestor(&self, a: BlockId, b: BlockId) -> bool {
+        let (ha, hb) = (self.height(a), self.height(b));
+        if ha > hb {
+            return false;
+        }
+        self.ancestor_at(b, ha) == a
+    }
+
+    /// Deepest common ancestor of `a` and `b`. O(log n): heights are
+    /// equalized, then both cursors jump in lockstep (equal heights have
+    /// equal jump distances).
+    fn common_ancestor(&self, a: BlockId, b: BlockId) -> BlockId {
+        let (ha, hb) = (self.height(a), self.height(b));
+        let (mut x, mut y) = if ha <= hb {
+            (a, self.ancestor_at(b, ha))
+        } else {
+            (self.ancestor_at(a, hb), b)
+        };
+        while x != y {
+            let (mx, my) = (self.meta(x), self.meta(y));
+            if mx.jump != my.jump {
+                x = mx.jump;
+                y = my.jump;
+            } else {
+                x = mx.parent.expect("disjoint roots");
+                y = my.parent.expect("disjoint roots");
+            }
+        }
+        x
+    }
+
+    /// Materializes the genesis→`tip` path, genesis first.
+    fn path_from_genesis(&self, tip: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(self.height(tip) as usize + 1);
+        let mut cur = Some(tip);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.parent(id);
+        }
+        out.reverse();
+        out
+    }
+}
+
 /// Append-only arena of all blocks minted during an execution.
 ///
 /// Slot 0 always holds the genesis block `b0`, which is valid by assumption
@@ -105,18 +268,7 @@ impl BlockStore {
         });
         self.children.push(Vec::new());
         self.cum_work.push(cum);
-        // Skew-binary jump pointer: if the parent's two previous jumps span
-        // equal distances, leap past both; otherwise step to the parent.
-        // The resulting jump distance depends only on `height`, so two
-        // blocks at equal height always jump to equal heights — the
-        // property the O(log n) `common_ancestor` walk relies on.
-        let j1 = self.jump[parent.index()];
-        let j2 = self.jump[j1.index()];
-        let jump = if self.height(parent) - self.height(j1) == self.height(j1) - self.height(j2) {
-            j2
-        } else {
-            parent
-        };
+        let jump = jump_for_child(self, parent);
         self.jump.push(jump);
         self.children[parent.index()].push(id);
         id
@@ -254,6 +406,115 @@ impl BlockStore {
             cur: Some(tip),
         }
     }
+
+    /// Adopts a fully formed block minted elsewhere (same digest, same id
+    /// numbering), recomputing the memoized indices. Used to materialize a
+    /// sequential snapshot of a concurrent arena (ids must arrive in
+    /// order, exactly as `mint` would have assigned them).
+    pub(crate) fn adopt(&mut self, block: Block) {
+        assert_eq!(block.id.index(), self.blocks.len(), "adopt out of id order");
+        let parent = block.parent.expect("only non-genesis blocks are adopted");
+        assert_eq!(block.height, self.height(parent) + 1, "height mismatch");
+        let id = block.id;
+        let cum = self.cum_work[parent.index()] + block.work;
+        self.blocks.push(block);
+        self.children.push(Vec::new());
+        self.cum_work.push(cum);
+        let jump = jump_for_child(self, parent);
+        self.jump.push(jump);
+        self.children[parent.index()].push(id);
+    }
+}
+
+/// The skew-binary jump pointer (Myers) for a child of `parent`: if the
+/// parent's two previous jumps span equal distances, leap past both,
+/// otherwise step to the parent. The resulting jump distance depends only
+/// on the child's height, so two blocks at equal height always jump to
+/// equal heights — the property the O(log n) `common_ancestor` walk relies
+/// on.
+///
+/// Every minting path — `BlockStore::mint`, `BlockStore::adopt`, and the
+/// concurrent `ShardedStore::mint` — must produce bit-identical jump
+/// pointers (the snapshot bridge and the differential suites depend on
+/// it), so they all call this one helper.
+pub(crate) fn jump_for_child(view: &dyn BlockView, parent: BlockId) -> BlockId {
+    let pm = view.meta(parent);
+    let m1 = view.meta(pm.jump);
+    if pm.height - m1.height == m1.height - view.meta(m1.jump).height {
+        m1.jump
+    } else {
+        parent
+    }
+}
+
+impl BlockView for BlockStore {
+    fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn has_block(&self, id: BlockId) -> bool {
+        id.index() < self.blocks.len()
+    }
+
+    fn meta(&self, id: BlockId) -> BlockMeta {
+        let b = self.get(id);
+        BlockMeta {
+            parent: b.parent,
+            height: b.height,
+            work: b.work,
+            cum_work: self.cum_work[id.index()],
+            digest: b.digest,
+            jump: self.jump[id.index()],
+        }
+    }
+
+    fn with_block(&self, id: BlockId, f: &mut dyn FnMut(&Block)) {
+        f(self.get(id));
+    }
+
+    fn for_each_child(&self, id: BlockId, f: &mut dyn FnMut(BlockId)) {
+        for &c in &self.children[id.index()] {
+            f(c);
+        }
+    }
+
+    // Fast-path overrides: skip the `BlockMeta` round-trips and reuse the
+    // direct arena walks.
+    fn parent(&self, id: BlockId) -> Option<BlockId> {
+        BlockStore::parent(self, id)
+    }
+
+    fn height(&self, id: BlockId) -> u32 {
+        BlockStore::height(self, id)
+    }
+
+    fn cumulative_work(&self, id: BlockId) -> u64 {
+        BlockStore::cumulative_work(self, id)
+    }
+
+    fn digest_of(&self, id: BlockId) -> u64 {
+        self.get(id).digest
+    }
+
+    fn work_of(&self, id: BlockId) -> u64 {
+        self.get(id).work
+    }
+
+    fn ancestor_at(&self, id: BlockId, height: u32) -> BlockId {
+        BlockStore::ancestor_at(self, id, height)
+    }
+
+    fn is_ancestor(&self, a: BlockId, b: BlockId) -> bool {
+        BlockStore::is_ancestor(self, a, b)
+    }
+
+    fn common_ancestor(&self, a: BlockId, b: BlockId) -> BlockId {
+        BlockStore::common_ancestor(self, a, b)
+    }
+
+    fn path_from_genesis(&self, tip: BlockId) -> Vec<BlockId> {
+        BlockStore::path_from_genesis(self, tip)
+    }
 }
 
 impl Default for BlockStore {
@@ -336,7 +597,7 @@ impl TreeMembership {
     /// Inserts `id`; returns whether it was newly inserted.
     ///
     /// Debug-asserts parent-closure with respect to `store`.
-    pub fn insert(&mut self, store: &BlockStore, id: BlockId) -> bool {
+    pub fn insert(&mut self, store: &dyn BlockView, id: BlockId) -> bool {
         debug_assert!(
             store.parent(id).map(|p| self.contains(p)).unwrap_or(true),
             "membership must be parent-closed: {id} inserted before its parent"
@@ -362,10 +623,12 @@ impl TreeMembership {
 
     /// Member blocks with no member children: the leaves of `bt_i`
     /// (cached; O(#leaves) to materialize, deterministic order).
-    pub fn leaves(&self, store: &BlockStore) -> Vec<BlockId> {
+    pub fn leaves(&self, store: &dyn BlockView) -> Vec<BlockId> {
         debug_assert!(
             self.leaves.iter().all(|&l| {
-                self.contains(l) && !store.children(l).iter().any(|&c| self.contains(c))
+                let mut member_child = false;
+                store.for_each_child(l, &mut |c| member_child |= self.contains(c));
+                self.contains(l) && !member_child
             }),
             "leaves cache out of sync"
         );
@@ -373,8 +636,10 @@ impl TreeMembership {
     }
 
     /// Iterates all member ids in minting order.
-    pub fn iter<'a>(&'a self, store: &'a BlockStore) -> impl Iterator<Item = BlockId> + 'a {
-        store.ids().filter(move |&id| self.contains(id))
+    pub fn iter<'a>(&'a self, store: &'a dyn BlockView) -> impl Iterator<Item = BlockId> + 'a {
+        (0..store.block_count() as u32)
+            .map(BlockId)
+            .filter(move |&id| self.contains(id))
     }
 }
 

@@ -30,7 +30,7 @@
 use crate::chain::Blockchain;
 use crate::ids::BlockId;
 use crate::selection::{SelectionAux, SelectionFn, TipUpdate};
-use crate::store::{BlockStore, TreeMembership};
+use crate::store::{BlockView, TreeMembership};
 
 /// Cached selection state for one BlockTree replica.
 #[derive(Clone, Debug)]
@@ -56,7 +56,7 @@ impl ChainCache {
     pub fn rebuild(
         &mut self,
         selection: &dyn SelectionFn,
-        store: &BlockStore,
+        store: &dyn BlockView,
         tree: &TreeMembership,
     ) {
         let tip = selection.select_tip(store, tree);
@@ -69,7 +69,7 @@ impl ChainCache {
     pub fn on_insert(
         &mut self,
         selection: &dyn SelectionFn,
-        store: &BlockStore,
+        store: &dyn BlockView,
         tree: &TreeMembership,
         new_block: BlockId,
     ) {
@@ -87,7 +87,7 @@ impl ChainCache {
     /// Moves the cached chain to end at `new_tip`, reusing the shared
     /// prefix: truncate at the fork, then append the new suffix. Costs
     /// O(log n) for the LCA plus O(|changed suffix|).
-    fn splice_to(&mut self, store: &BlockStore, new_tip: BlockId) {
+    fn splice_to(&mut self, store: &dyn BlockView, new_tip: BlockId) {
         let lca = store.common_ancestor(self.chain.tip(), new_tip);
         let keep = store.height(lca) as usize + 1;
         let mut suffix = Vec::with_capacity(store.height(new_tip) as usize + 1 - keep);
@@ -127,7 +127,7 @@ impl ChainCache {
     pub fn debug_validate(
         &self,
         selection: &dyn SelectionFn,
-        store: &BlockStore,
+        store: &dyn BlockView,
         tree: &TreeMembership,
     ) {
         #[cfg(debug_assertions)]
@@ -158,6 +158,7 @@ mod tests {
     use crate::block::Payload;
     use crate::ids::ProcessId;
     use crate::selection::{Ghost, HeaviestWork, LongestChain};
+    use crate::store::BlockStore;
 
     fn mint(store: &mut BlockStore, parent: BlockId, work: u64, nonce: u64) -> BlockId {
         store.mint(parent, ProcessId(0), 0, work, nonce, Payload::Empty)

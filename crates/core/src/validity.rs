@@ -11,16 +11,19 @@
 //! as [`DigestPrefix`].
 
 use crate::block::{Block, Payload};
-use crate::store::BlockStore;
+use crate::store::BlockView;
 use std::collections::HashSet;
 
 /// The application-dependent predicate `P`.
 ///
 /// Receives the candidate block *and* the store (validity may depend on the
-/// chain the block connects to, as in the double-spend example).
+/// chain the block connects to, as in the double-spend example). The store
+/// comes in as a [`BlockView`] so the same predicate gates appends on the
+/// sequential `BlockTree` and the lock-sharded
+/// [`ConcurrentBlockTree`](crate::concurrent::ConcurrentBlockTree).
 pub trait ValidityPredicate: Sync {
     /// Is `block` in `B'`?
-    fn is_valid(&self, store: &BlockStore, block: &Block) -> bool;
+    fn is_valid(&self, store: &dyn BlockView, block: &Block) -> bool;
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -32,7 +35,7 @@ pub trait ValidityPredicate: Sync {
 pub struct AcceptAll;
 
 impl ValidityPredicate for AcceptAll {
-    fn is_valid(&self, _store: &BlockStore, _block: &Block) -> bool {
+    fn is_valid(&self, _store: &dyn BlockView, _block: &Block) -> bool {
         true
     }
 
@@ -47,7 +50,7 @@ impl ValidityPredicate for AcceptAll {
 pub struct RejectAll;
 
 impl ValidityPredicate for RejectAll {
-    fn is_valid(&self, _store: &BlockStore, block: &Block) -> bool {
+    fn is_valid(&self, _store: &dyn BlockView, block: &Block) -> bool {
         block.is_genesis()
     }
 
@@ -67,7 +70,7 @@ pub struct DigestPrefix {
 }
 
 impl ValidityPredicate for DigestPrefix {
-    fn is_valid(&self, _store: &BlockStore, block: &Block) -> bool {
+    fn is_valid(&self, _store: &dyn BlockView, block: &Block) -> bool {
         block.is_genesis() || block.digest.leading_zeros() >= self.zero_bits
     }
 
@@ -83,7 +86,7 @@ impl ValidityPredicate for DigestPrefix {
 pub struct NoDoubleSpend;
 
 impl ValidityPredicate for NoDoubleSpend {
-    fn is_valid(&self, store: &BlockStore, block: &Block) -> bool {
+    fn is_valid(&self, store: &dyn BlockView, block: &Block) -> bool {
         if block.is_genesis() {
             return true;
         }
@@ -101,15 +104,18 @@ impl ValidityPredicate for NoDoubleSpend {
         // Walk the ancestor chain the block connects to.
         let mut cur = block.parent;
         while let Some(pid) = cur {
-            let anc = store.get(pid);
-            if let Payload::Transactions(prev) = &anc.payload {
-                for tx in prev {
-                    if ids.contains(&tx.id) {
-                        return false; // re-spend of an ancestor's tx
-                    }
+            let mut respent = false;
+            let mut next = None;
+            store.with_block(pid, &mut |anc| {
+                if let Payload::Transactions(prev) = &anc.payload {
+                    respent |= prev.iter().any(|tx| ids.contains(&tx.id));
                 }
+                next = anc.parent;
+            });
+            if respent {
+                return false; // re-spend of an ancestor's tx
             }
-            cur = anc.parent;
+            cur = next;
         }
         true
     }
@@ -123,7 +129,7 @@ impl ValidityPredicate for NoDoubleSpend {
 pub struct And<A, B>(pub A, pub B);
 
 impl<A: ValidityPredicate, B: ValidityPredicate> ValidityPredicate for And<A, B> {
-    fn is_valid(&self, store: &BlockStore, block: &Block) -> bool {
+    fn is_valid(&self, store: &dyn BlockView, block: &Block) -> bool {
         self.0.is_valid(store, block) && self.1.is_valid(store, block)
     }
 
@@ -137,6 +143,7 @@ mod tests {
     use super::*;
     use crate::block::Tx;
     use crate::ids::{BlockId, ProcessId};
+    use crate::store::BlockStore;
 
     fn mint_with_txs(store: &mut BlockStore, parent: BlockId, txs: Vec<Tx>) -> BlockId {
         store.mint(

@@ -208,6 +208,111 @@ fn blocktree_reads_match_full_scan_under_grafted_forks() {
     }
 }
 
+/// The concurrent↔sequential differential: race threads on a
+/// `ConcurrentBlockTree`, then replay the run's committed insert order
+/// into the sequential machinery (snapshot arena + `TreeMembership` +
+/// `ChainCache`) and demand the identical final tip and chain — per rule,
+/// with the full-scan `select_tip` as the ultimate oracle at every step.
+fn concurrent_replay_matches_sequential<F: btadt_core::selection::SelectionFn + Clone>(
+    rule: F,
+    seed: u64,
+) {
+    use btadt_core::blocktree::CandidateBlock;
+    use btadt_core::concurrent::ConcurrentBlockTree;
+    use btadt_core::validity::AcceptAll;
+
+    let cbt = ConcurrentBlockTree::new(rule.clone(), AcceptAll);
+    std::thread::scope(|s| {
+        // Two appenders extending the selected tip…
+        for t in 0..2u32 {
+            let cbt = &cbt;
+            s.spawn(move || {
+                for i in 0..25u64 {
+                    let r = splitmix64_at(seed ^ ((t as u64) << 8), i);
+                    let cand = CandidateBlock::simple(ProcessId(t), ((t as u64) << 32) | i)
+                        .with_work(1 + r % 4);
+                    cbt.append(cand).expect("AcceptAll");
+                }
+            });
+        }
+        // …and two fork builders grafting at random depths of the
+        // published chain (real reorg pressure for heaviest/GHOST).
+        for t in 2..4u32 {
+            let cbt = &cbt;
+            s.spawn(move || {
+                for i in 0..25u64 {
+                    let chain = cbt.read();
+                    let ids = chain.ids();
+                    let r = splitmix64_at(seed ^ ((t as u64) << 8), i);
+                    let parent = ids[(r as usize >> 3) % ids.len()];
+                    let cand = CandidateBlock::simple(ProcessId(t), ((t as u64) << 32) | i)
+                        .with_work(1 + r % 4);
+                    cbt.graft(parent, cand).expect("AcceptAll");
+                }
+            });
+        }
+    });
+
+    let store = cbt.snapshot_store();
+    let log = cbt.commit_log();
+    assert_eq!(log.len(), 100, "every commit recorded");
+
+    let mut tree = TreeMembership::genesis_only();
+    let mut cache = ChainCache::new();
+    for (step, &id) in log.iter().enumerate() {
+        tree.insert(&store, id);
+        cache.on_insert(&rule, &store, &tree, id);
+        assert_eq!(
+            cache.tip(),
+            rule.select_tip(&store, &tree),
+            "seed {seed} step {step}: replay diverged from full scan"
+        );
+    }
+    assert_eq!(
+        cache.tip(),
+        cbt.selected_tip(),
+        "seed {seed}: sequential replay tip ≠ concurrent tip"
+    );
+    assert_eq!(
+        cache.chain(),
+        cbt.read(),
+        "seed {seed}: sequential replay chain ≠ concurrent published chain"
+    );
+    assert_eq!(cbt.selected_tip(), cbt.selected_tip_full_scan());
+}
+
+#[test]
+fn concurrent_runs_replay_to_identical_selection_longest() {
+    for seed in 0..8u64 {
+        concurrent_replay_matches_sequential(LongestChain, seed);
+    }
+}
+
+#[test]
+fn concurrent_runs_replay_to_identical_selection_heaviest() {
+    for seed in 0..8u64 {
+        concurrent_replay_matches_sequential(HeaviestWork, 0xC0FFEE ^ seed);
+    }
+}
+
+#[test]
+fn concurrent_runs_replay_to_identical_selection_ghost() {
+    for seed in 0..8u64 {
+        concurrent_replay_matches_sequential(
+            Ghost {
+                weight: GhostWeight::BlockCount,
+            },
+            0x6057 ^ seed,
+        );
+        concurrent_replay_matches_sequential(
+            Ghost {
+                weight: GhostWeight::Work,
+            },
+            0x6058 ^ seed,
+        );
+    }
+}
+
 /// Repeated reads of an unchanged tip must share one snapshot allocation —
 /// the zero-rewalk guarantee (`path_from_genesis` is off the read path).
 #[test]
@@ -229,6 +334,9 @@ fn unchanged_tip_reads_share_the_snapshot() {
     );
     bt.append(CandidateBlock::simple(ProcessId(0), 99));
     let c = bt.read();
-    assert_ne!(a.ids().as_ptr(), c.ids().as_ptr());
+    // Frontier appends extend the shared buffer in place: the held
+    // snapshot keeps its shorter view, no copy-on-write happens.
     assert_eq!(c.len(), a.len() + 1);
+    assert_eq!(a, b, "held snapshot is unmoved by the append");
+    assert!(a.is_prefix_of(&c));
 }

@@ -22,6 +22,7 @@ pub mod agreement;
 pub mod byzantine;
 pub mod counterexamples;
 pub mod lrc;
+pub mod mtrun;
 pub mod network;
 pub mod replica;
 pub mod trace;
@@ -33,6 +34,7 @@ pub use counterexamples::{
     lemma_4_4, lemma_4_5, theorem_4_8, update_agreement_positive, RunOutcome, SimpleMiner,
 };
 pub use lrc::{check_lrc, gossip_applied, LrcReport};
+pub use mtrun::{run_concurrent_workload, MtConfig, MtRun};
 pub use network::{DropPolicy, NetworkModel, Partition, Synchrony};
 pub use replica::Replica;
 pub use trace::{Trace, TraceEvent};

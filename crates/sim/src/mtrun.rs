@@ -1,0 +1,211 @@
+//! Multi-threaded workload runner: real OS threads racing on a
+//! [`ConcurrentBlockTree`], recording a timestamped [`History`].
+//!
+//! The discrete-event simulator (`crate::world`) *schedules* concurrency;
+//! this module *executes* it — N appender threads and M reader threads
+//! hammer one shared tree, and every operation is recorded with
+//! invocation/response stamps drawn from a shared atomic counter. That
+//! counter realizes the paper's *fictional global clock* (§4.2): each
+//! `fetch_add` is a point in the clock's modification order, the response
+//! stamp is taken after the operation's effect and the invocation stamp
+//! before it, so whenever operation A's response *really* precedes
+//! operation B's invocation, `stamp(A.resp) < stamp(B.inv)` — the recorded
+//! returns-before order `≺` is a sound sub-order of real time. (The
+//! `AcqRel` ordering on the counter also makes each stamp a
+//! synchronization edge, so the recorded values themselves are coherent.)
+//!
+//! The recorded history is then *checked from the outside*: fed to
+//! `check_linearizable` / `check_linearizable_windowed`, to the
+//! consistency criteria (Local Monotonic Read et al.), or replayed
+//! differentially — the checker is the oracle, not an assertion of intent
+//! inside the implementation.
+//!
+//! Workloads run in `rounds` separated by a barrier: within a round all
+//! threads race freely; between rounds the system is quiescent. That gives
+//! long runs guaranteed quiescent points, which is exactly the structure
+//! `History::split_at_quiescence` and the windowed checker exploit.
+//! Optionally each append first asks a shared Θ-oracle for a token
+//! (Protocol-A style, §4.1): the oracle object is its own linearization
+//! point, exercised here under genuine thread interleavings.
+
+use btadt_core::blocktree::CandidateBlock;
+use btadt_core::chain::Blockchain;
+use btadt_core::concurrent::ConcurrentBlockTree;
+use btadt_core::history::{History, Invocation, Response};
+use btadt_core::ids::{splitmix64_at, BlockId, ProcessId, Time};
+use btadt_core::selection::SelectionFn;
+use btadt_core::store::BlockStore;
+use btadt_core::validity::AcceptAll;
+use btadt_oracle::{Merits, SharedOracle, ThetaOracle};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Shape of a multi-threaded recorded run.
+#[derive(Clone, Debug)]
+pub struct MtConfig {
+    /// Seeds work weights, nonces, and reader pacing (the *workload* is
+    /// deterministic; the interleaving is whatever the scheduler does).
+    pub seed: u64,
+    /// Appender threads (processes `p0 .. p(appenders-1)`).
+    pub appenders: usize,
+    /// Reader threads (processes `p(appenders) ..`).
+    pub readers: usize,
+    /// Appends per appender per round.
+    pub appends_per_round: usize,
+    /// Reads per reader per round.
+    pub reads_per_round: usize,
+    /// Barrier-separated rounds; the inter-round instants are quiescent.
+    pub rounds: usize,
+    /// When true, every append first obtains a token from a shared
+    /// prodigal Θ-oracle for the tip it is about to mine on.
+    pub mine: bool,
+}
+
+impl Default for MtConfig {
+    fn default() -> Self {
+        MtConfig {
+            seed: 0,
+            appenders: 2,
+            readers: 2,
+            appends_per_round: 3,
+            reads_per_round: 4,
+            rounds: 1,
+            mine: false,
+        }
+    }
+}
+
+/// Everything a checker needs from one recorded run.
+pub struct MtRun {
+    /// The recorded concurrent history (append + read operations).
+    pub history: History,
+    /// Sequential snapshot of the arena (identical ids/digests), taken
+    /// after all threads joined.
+    pub store: BlockStore,
+    /// Membership commit order of the run.
+    pub commit_log: Vec<BlockId>,
+    /// The tree's final published chain.
+    pub final_chain: Blockchain,
+    /// Successful appends across all threads.
+    pub appended: usize,
+}
+
+/// One thread's private log entry, merged into the [`History`] after join.
+type LoggedOp = (ProcessId, Invocation, Time, Response, Time);
+
+/// Drives `cfg` against a fresh `ConcurrentBlockTree<F, AcceptAll>` and
+/// records the history. The run is linearizable by construction of the
+/// tree — the point is that the *recorded evidence* is checked by the
+/// Wing–Gong search, not assumed.
+pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> MtRun {
+    let tree = ConcurrentBlockTree::new(selection, AcceptAll);
+    let clock = AtomicU64::new(0);
+    let barrier = Barrier::new(cfg.appenders + cfg.readers);
+    let oracle = cfg.mine.then(|| {
+        let merits = Merits::uniform(cfg.appenders.max(1));
+        SharedOracle::new(ThetaOracle::prodigal(
+            merits,
+            cfg.appenders.max(1) as f64,
+            cfg.seed,
+        ))
+    });
+
+    let tick = |clock: &AtomicU64| Time(clock.fetch_add(1, Ordering::AcqRel) + 1);
+
+    let mut logs: Vec<Vec<LoggedOp>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for a in 0..cfg.appenders {
+            let (tree, clock, barrier, oracle) = (&tree, &clock, &barrier, &oracle);
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move || {
+                let me = ProcessId(a as u32);
+                let mut log: Vec<LoggedOp> = Vec::new();
+                for round in 0..cfg.rounds {
+                    barrier.wait();
+                    for i in 0..cfg.appends_per_round {
+                        let step = (round * cfg.appends_per_round + i) as u64;
+                        if let Some(oracle) = oracle {
+                            // Protocol-A flavour: win a token for the tip
+                            // you are about to mine on (Θ_P always grants).
+                            let grant = loop {
+                                let tip = tree.selected_tip();
+                                if let Some(g) = oracle.get_token(a, tip) {
+                                    break g;
+                                }
+                            };
+                            let _ = grant;
+                        }
+                        let nonce = ((a as u64) << 40) | step;
+                        let work = 1 + splitmix64_at(cfg.seed ^ ((a as u64) << 16), step) % 4;
+                        let cand = CandidateBlock::simple(me, nonce).with_work(work);
+                        let t0 = tick(clock);
+                        let id = tree.append(cand);
+                        let t1 = tick(clock);
+                        let id = id.expect("AcceptAll appends always succeed");
+                        log.push((
+                            me,
+                            Invocation::Append { block: id },
+                            t0,
+                            Response::Appended(true),
+                            t1,
+                        ));
+                    }
+                    barrier.wait();
+                }
+                log
+            }));
+        }
+        for r in 0..cfg.readers {
+            let (tree, clock, barrier) = (&tree, &clock, &barrier);
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move || {
+                let me = ProcessId((cfg.appenders + r) as u32);
+                let mut log: Vec<LoggedOp> = Vec::new();
+                for round in 0..cfg.rounds {
+                    barrier.wait();
+                    for i in 0..cfg.reads_per_round {
+                        let step = (round * cfg.reads_per_round + i) as u64;
+                        // Seeded pacing: sometimes yield so reads land in
+                        // different phases of the appenders' work.
+                        if splitmix64_at(cfg.seed ^ 0x5EAD, ((r as u64) << 24) | step)
+                            .is_multiple_of(3)
+                        {
+                            std::thread::yield_now();
+                        }
+                        let t0 = tick(clock);
+                        let chain = tree.read();
+                        let t1 = tick(clock);
+                        log.push((me, Invocation::Read, t0, Response::Chain(chain), t1));
+                    }
+                    barrier.wait();
+                }
+                log
+            }));
+        }
+        for h in handles {
+            logs.push(h.join().expect("workload threads do not panic"));
+        }
+    });
+
+    let mut merged: Vec<LoggedOp> = logs.into_iter().flatten().collect();
+    // Deterministic recording order (the history's semantics only depend
+    // on timestamps, but stable op ids make failures reproducible to read).
+    merged.sort_by_key(|(_, _, t0, _, _)| *t0);
+    let mut history = History::new();
+    let mut appended = 0;
+    for (p, inv, t0, resp, t1) in merged {
+        if matches!(resp, Response::Appended(true)) {
+            appended += 1;
+        }
+        history.push_complete(p, inv, t0, resp, t1);
+    }
+
+    MtRun {
+        store: tree.snapshot_store(),
+        commit_log: tree.commit_log(),
+        final_chain: tree.read(),
+        history,
+        appended,
+    }
+}

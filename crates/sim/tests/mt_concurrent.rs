@@ -1,0 +1,182 @@
+//! Recorded-history checking of real concurrent executions.
+//!
+//! `run_concurrent_workload` races OS threads on a `ConcurrentBlockTree`
+//! and records a timestamped `History`; these tests hand that record to
+//! the *external* checkers — the Wing–Gong linearizability search, the
+//! windowed variant, and the Local Monotonic Read criterion — so the
+//! implementation is judged by its evidence, never by its own assertions.
+//!
+//! Thread interleavings vary run to run; the seeds fix the workload
+//! shape, and the asserted properties must hold for *every* interleaving,
+//! which is what makes these tests deterministic in outcome.
+
+use btadt_core::criteria::local_monotonic_read;
+use btadt_core::history::Response;
+use btadt_core::linearizability::{
+    check_linearizable, check_linearizable_windowed, Linearizability, DEFAULT_OP_LIMIT,
+};
+use btadt_core::score::{LengthScore, WorkScore};
+use btadt_core::selection::{HeaviestWork, LongestChain};
+use btadt_sim::mtrun::{run_concurrent_workload, MtConfig};
+
+/// ≤ DEFAULT_OP_LIMIT operations: 2 appenders × 3 + 2 readers × 4 = 14.
+fn small_cfg(seed: u64) -> MtConfig {
+    MtConfig {
+        seed,
+        appenders: 2,
+        readers: 2,
+        appends_per_round: 3,
+        reads_per_round: 4,
+        rounds: 1,
+        mine: false,
+    }
+}
+
+#[test]
+fn recorded_histories_linearize_across_20_seeds_longest_chain() {
+    for seed in 0..20u64 {
+        let run = run_concurrent_workload(LongestChain, &small_cfg(seed));
+        assert!(
+            run.history.validate().is_empty(),
+            "seed {seed}: recorded history is well-formed"
+        );
+        assert!(run.history.len() <= DEFAULT_OP_LIMIT);
+        let r = check_linearizable(&run.history, &run.store, &LongestChain);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn recorded_histories_linearize_under_heaviest_work() {
+    for seed in 100..106u64 {
+        let run = run_concurrent_workload(HeaviestWork, &small_cfg(seed));
+        let r = check_linearizable(&run.history, &run.store, &HeaviestWork);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+    }
+}
+
+#[test]
+fn recorded_histories_linearize_with_oracle_mining() {
+    for seed in 200..205u64 {
+        let mut cfg = small_cfg(seed);
+        cfg.mine = true;
+        let run = run_concurrent_workload(LongestChain, &cfg);
+        let r = check_linearizable(&run.history, &run.store, &LongestChain);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+    }
+}
+
+/// A multi-round run is far past the exhaustive cap, but the barrier
+/// between rounds guarantees quiescent points: the windowed checker (and
+/// the `split_at_quiescence` helper it mirrors) handles the whole record.
+#[test]
+fn long_runs_check_via_quiescent_windows() {
+    for seed in 300..305u64 {
+        let cfg = MtConfig {
+            seed,
+            appenders: 2,
+            readers: 2,
+            appends_per_round: 3,
+            reads_per_round: 4,
+            rounds: 6,
+            mine: false,
+        };
+        let run = run_concurrent_workload(LongestChain, &cfg);
+        assert_eq!(run.history.len(), 6 * 14);
+        match check_linearizable(&run.history, &run.store, &LongestChain) {
+            Linearizability::TooLarge { ops: 84, .. } => {}
+            other => panic!("seed {seed}: expected TooLarge, got {other:?}"),
+        }
+        let r =
+            check_linearizable_windowed(&run.history, &run.store, &LongestChain, DEFAULT_OP_LIMIT);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+        // The splitting helper finds the same structure: every window fits
+        // the cap, nothing is lost. (Quiescent points also occur inside
+        // rounds, so the greedy merge may pack across round boundaries —
+        // only the lower bound from the cap is guaranteed.)
+        let windows = run.history.split_at_quiescence(DEFAULT_OP_LIMIT);
+        assert!(windows.len() >= run.history.len().div_ceil(DEFAULT_OP_LIMIT));
+        assert_eq!(
+            windows.iter().map(|w| w.len()).sum::<usize>(),
+            run.history.len()
+        );
+        assert!(windows.iter().all(|w| w.len() <= DEFAULT_OP_LIMIT));
+    }
+}
+
+/// Seeded reader-thread stress: every per-thread read sequence must
+/// satisfy Local Monotonic Read (Def. 3.2, second clause) under the score
+/// matching the selection rule — lengths never shrink under longest-chain,
+/// cumulative work never shrinks under heaviest-work.
+#[test]
+fn reader_stress_satisfies_local_monotonic_read() {
+    for seed in 400..408u64 {
+        let cfg = MtConfig {
+            seed,
+            appenders: 3,
+            readers: 4,
+            appends_per_round: 40,
+            reads_per_round: 60,
+            rounds: 2,
+            mine: false,
+        };
+        let run = run_concurrent_workload(LongestChain, &cfg);
+        let verdict = local_monotonic_read::check(&run.history, &LengthScore);
+        assert!(
+            verdict.holds,
+            "seed {seed}: LMR violated under longest-chain: {:?}",
+            verdict.violations
+        );
+
+        let run = run_concurrent_workload(HeaviestWork, &cfg);
+        let verdict = local_monotonic_read::check(&run.history, &WorkScore::new(&run.store));
+        assert!(
+            verdict.holds,
+            "seed {seed}: LMR violated under heaviest-work: {:?}",
+            verdict.violations
+        );
+    }
+}
+
+/// Cross-checks the run artifacts themselves: every successful append in
+/// the history is committed exactly once, and the final published chain
+/// contains exactly the longest-chain commits.
+#[test]
+fn run_artifacts_are_coherent() {
+    let cfg = MtConfig {
+        seed: 7,
+        appenders: 4,
+        readers: 2,
+        appends_per_round: 25,
+        reads_per_round: 10,
+        rounds: 1,
+        mine: false,
+    };
+    let run = run_concurrent_workload(LongestChain, &cfg);
+    assert_eq!(run.appended, 100);
+    assert_eq!(run.commit_log.len(), 100);
+    // Longest-chain `append` always extends the tip: the final chain holds
+    // every committed block.
+    assert_eq!(run.final_chain.len(), 101);
+    // Every append the history reports successful is in the commit log.
+    let committed: std::collections::HashSet<_> = run.commit_log.iter().copied().collect();
+    for op in run.history.appends() {
+        if matches!(op.response, Some(Response::Appended(true))) {
+            if let btadt_core::history::Invocation::Append { block } = op.invocation {
+                assert!(committed.contains(&block));
+            }
+        }
+    }
+}
