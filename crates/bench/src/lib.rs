@@ -809,13 +809,17 @@ pub fn bench_selection() {
 /// carry the per-insert full-scan cross-check, which is the bulk of the
 /// cost there).
 ///
-/// Appends serialize at the selection mutex by design (one linearization
-/// point), so append throughput is roughly flat in thread count; the
-/// scaling story is `read()` — an atomic load + `Arc` bump that runs
-/// fully in parallel on every reader thread.
+/// Appends and reads are reported as **separate series** per thread
+/// count: PR 2's combined ops/sec number hid append serialization behind
+/// the read volume. Appends ride the staged commit pipeline (batched
+/// drains amortize the selection mutex — the `batch` column is the mean
+/// commits per drain); reads are epoch-pinned borrows with no shared
+/// refcount line. Each row also reports the epoch domain's
+/// `retired_bytes_peak` — the reclamation high-water mark over the run.
 pub fn bench_concurrent() {
     use btadt_core::concurrent::ConcurrentBlockTree;
     use btadt_core::validity::AcceptAll;
+    use std::sync::Barrier;
 
     hr("Bench C — concurrent BT-ADT: thread scaling vs sequential baseline");
     if cfg!(debug_assertions) {
@@ -828,77 +832,128 @@ pub fn bench_concurrent() {
     };
     let total_reads: u64 = 4 * total_appends;
 
-    // Sequential baseline: the same op budget on the single-threaded
-    // incremental path (appends + cached reads, one thread).
-    let base_start = Instant::now();
-    {
+    // Sequential baselines: the same budgets on the single-threaded
+    // incremental path, appends and reads timed separately.
+    let (base_append_rate, base_read_rate) = {
         let mut bt = btadt_core::blocktree::BlockTree::new(LongestChain, AcceptAll);
-        let mut acc = 0usize;
-        let reads_per_append = (total_reads / total_appends).max(1);
+        let start = Instant::now();
         for i in 0..total_appends {
             bt.append(CandidateBlock::simple(ProcessId(0), i));
-            for _ in 0..reads_per_append {
-                acc += bt.read().len();
-            }
+        }
+        let append_rate = total_appends as f64 / start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..total_reads {
+            acc += bt.read().len();
         }
         std::hint::black_box(acc);
-    }
-    let base_elapsed = base_start.elapsed();
-    let base_rate = (total_appends + total_reads) as f64 / base_elapsed.as_secs_f64();
+        let read_rate = total_reads as f64 / start.elapsed().as_secs_f64();
+        (append_rate, read_rate)
+    };
     println!(
-        "{:>22} {:>10} {:>10} {:>14}",
-        "configuration", "appends", "reads", "throughput"
+        "{:>22} {:>10} {:>13} {:>10} {:>13} {:>12} {:>7}",
+        "configuration", "appends", "appends/s", "reads", "reads/s", "retired peak", "batch"
     );
     println!(
-        "{:>22} {total_appends:>10} {total_reads:>10} {:>9.0} op/s",
-        "sequential (1 thread)", base_rate
+        "{:>22} {total_appends:>10} {base_append_rate:>13.0} {total_reads:>10} \
+         {base_read_rate:>13.0} {:>12} {:>7}",
+        "sequential (1 thread)", "-", "-"
     );
 
     let mut rows = vec![format!(
         "    {{\"threads\": 0, \"label\": \"sequential\", \"appends\": {total_appends}, \
-         \"reads\": {total_reads}, \"ops_per_sec\": {base_rate:.1}}}"
+         \"appends_per_sec\": {base_append_rate:.1}, \"reads\": {total_reads}, \
+         \"reads_per_sec\": {base_read_rate:.1}}}"
     )];
-    for &threads in &[1usize, 2, 4, 8] {
+    // Scheduler noise dwarfs the effect under test on small machines
+    // (this container has one core), so each configuration reports the
+    // per-series best over the trials (each series' max taken
+    // independently — the conventional throughput-bench answer to "how
+    // fast can this configuration go"; retired_bytes_peak takes its max
+    // as the worst case observed). Trials are interleaved round-robin
+    // across the configurations so frequency/thermal drift over the
+    // bench's runtime does not systematically penalize the later, larger
+    // thread counts.
+    let trials = 5;
+    let configs = [1usize, 2, 4, 8];
+    let mut best = [(0f64, 0f64, 0usize, 0f64); 4];
+    let mut trees: Vec<Option<ConcurrentBlockTree<LongestChain, AcceptAll>>> =
+        (0..configs.len()).map(|_| None).collect();
+    for _ in 0..trials {
+        for (ci, &threads) in configs.iter().enumerate() {
+            let appends_each = total_appends / threads as u64;
+            let reads_each = total_reads / threads as u64;
+            let done_appends = appends_each * threads as u64;
+            let done_reads = reads_each * threads as u64;
+            let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+            // Each thread group is timed to its own last finisher: the
+            // appends/s and reads/s series measure the phases that
+            // actually ran, not whichever group straggled.
+            let barrier = Barrier::new(2 * threads);
+            let (append_wall, read_wall) = std::thread::scope(|s| {
+                let mut appenders = Vec::new();
+                let mut readers = Vec::new();
+                for t in 0..threads as u32 {
+                    let (tree, barrier) = (&tree, &barrier);
+                    appenders.push(s.spawn(move || {
+                        barrier.wait();
+                        let start = Instant::now();
+                        for i in 0..appends_each {
+                            let nonce = ((t as u64) << 40) | i;
+                            tree.append(CandidateBlock::simple(ProcessId(t), nonce));
+                        }
+                        start.elapsed().as_secs_f64()
+                    }));
+                    readers.push(s.spawn(move || {
+                        barrier.wait();
+                        let start = Instant::now();
+                        let mut acc = 0usize;
+                        for _ in 0..reads_each {
+                            acc += tree.read().len();
+                        }
+                        std::hint::black_box(acc);
+                        start.elapsed().as_secs_f64()
+                    }));
+                }
+                let a = appenders
+                    .into_iter()
+                    .map(|h| h.join().expect("appender"))
+                    .fold(0f64, f64::max);
+                let r = readers
+                    .into_iter()
+                    .map(|h| h.join().expect("reader"))
+                    .fold(0f64, f64::max);
+                (a, r)
+            });
+            assert_eq!(
+                tree.read().len() as u64,
+                done_appends + 1,
+                "every append must have committed"
+            );
+            best[ci].0 = best[ci].0.max(done_appends as f64 / append_wall);
+            best[ci].1 = best[ci].1.max(done_reads as f64 / read_wall);
+            best[ci].2 = best[ci].2.max(tree.epochs().retired_bytes_peak());
+            best[ci].3 = best[ci].3.max(tree.pipeline_stats().mean_batch());
+            trees[ci] = Some(tree);
+        }
+    }
+    for (ci, &threads) in configs.iter().enumerate() {
         let appends_each = total_appends / threads as u64;
         let reads_each = total_reads / threads as u64;
-        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
-        let start = Instant::now();
-        std::thread::scope(|s| {
-            for t in 0..threads as u32 {
-                let tree = &tree;
-                s.spawn(move || {
-                    for i in 0..appends_each {
-                        let nonce = ((t as u64) << 40) | i;
-                        tree.append(CandidateBlock::simple(ProcessId(t), nonce));
-                    }
-                });
-                s.spawn(move || {
-                    let mut acc = 0usize;
-                    for _ in 0..reads_each {
-                        acc += tree.read().len();
-                    }
-                    std::hint::black_box(acc);
-                });
-            }
-        });
-        let elapsed = start.elapsed();
         let done_appends = appends_each * threads as u64;
         let done_reads = reads_each * threads as u64;
-        let rate = (done_appends + done_reads) as f64 / elapsed.as_secs_f64();
+        let (append_rate, read_rate, retired_peak, mean_batch) = best[ci];
+        let tree = trees[ci].take().expect("every configuration ran");
         println!(
-            "{:>18} +{threads}r {done_appends:>10} {done_reads:>10} {:>9.0} op/s  ({:.2}x)",
+            "{:>18} +{threads}r {done_appends:>10} {append_rate:>13.0} {done_reads:>10} \
+             {read_rate:>13.0} {retired_peak:>10} B {mean_batch:>7.2}",
             format!("concurrent {threads}a"),
-            rate,
-            rate / base_rate
-        );
-        assert_eq!(
-            tree.read().len() as u64,
-            done_appends + 1,
-            "every append must have committed"
         );
         rows.push(format!(
             "    {{\"threads\": {threads}, \"label\": \"concurrent\", \"appends\": {done_appends}, \
-             \"reads\": {done_reads}, \"ops_per_sec\": {rate:.1}}}"
+             \"appends_per_sec\": {append_rate:.1}, \"reads\": {done_reads}, \
+             \"reads_per_sec\": {read_rate:.1}, \"retired_bytes_peak\": {retired_peak}, \
+             \"mean_batch\": {mean_batch:.2}}}"
         ));
 
         // Tip-read scaling on the now-populated tree: `selected_tip` is
@@ -923,21 +978,27 @@ pub fn bench_concurrent() {
         let tip_total = tip_reads_each * threads as u64;
         let tip_rate = tip_total as f64 / tip_elapsed.as_secs_f64();
         println!(
-            "{:>22} {:>10} {tip_total:>10} {:>9.0} op/s",
+            "{:>22} {:>10} {:>13} {tip_total:>10} {tip_rate:>13.0} {:>12} {:>7}",
             format!("tip reads ({threads} thr)"),
             "-",
-            tip_rate
+            "-",
+            "-",
+            "-"
         );
         rows.push(format!(
             "    {{\"threads\": {threads}, \"label\": \"tip_reads\", \"appends\": 0, \
-             \"reads\": {tip_total}, \"ops_per_sec\": {tip_rate:.1}}}"
+             \"reads\": {tip_total}, \"reads_per_sec\": {tip_rate:.1}}}"
         ));
     }
     let json = format!(
         "{{\n  \"bench\": \"concurrent_append_read\",\n  \
          \"selection\": \"longest-chain\",\n  \
-         \"optimized\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"optimized\": {},\n  \"cpus\": {},\n  \"trials_per_config\": {trials},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
         !cfg!(debug_assertions),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         rows.join(",\n")
     );
     match std::fs::write("BENCH_concurrent.json", &json) {

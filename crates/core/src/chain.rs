@@ -247,6 +247,23 @@ impl Blockchain {
         false
     }
 
+    /// Heap bytes attributable to this view alone: its own footprint,
+    /// plus the shared cell buffer only when this view holds the last
+    /// reference to it (a superseded [`ChainBuf`] — left behind by a
+    /// capacity doubling or a reorg splice — is freed by whichever view
+    /// drops last, and the epoch reclamation stats want to see that
+    /// moment coming). An estimate for accounting, not an allocator
+    /// truth.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let own = std::mem::size_of::<Blockchain>();
+        if Arc::strong_count(&self.buf) == 1 {
+            own + std::mem::size_of::<ChainBuf>()
+                + self.buf.capacity() * std::mem::size_of::<BlockId>()
+        } else {
+            own
+        }
+    }
+
     /// The prefix relation `bc ⊑ bc'` (§3.1.2): `self` is a prefix of
     /// `other`. Reflexive. O(1) when both are views of one shared buffer.
     #[inline]

@@ -1,0 +1,300 @@
+//! The staged commit pipeline: an in-tree MPSC queue batching appends
+//! through the selection lock.
+//!
+//! PR 2's `append` serialized every commit individually through the
+//! selection mutex: one lock handoff, one incremental re-selection fold,
+//! one boxed-chain publication *per append* — which is why append
+//! throughput stayed flat from 1 to 8 threads. The pipeline splits the
+//! append into stages:
+//!
+//! 1. **Mint** (parallel, no locks): the appender mints its candidate
+//!    against the published tip and pre-validates it, exactly as before.
+//! 2. **Enqueue** (lock-free): the appender pushes a [`CommitReq`] onto
+//!    the [`CommitQueue`] — a multi-producer stack whose consumer grabs
+//!    the whole pending list with one `swap`.
+//! 3. **Drain** (one winner): whichever enqueued appender acquires the
+//!    selection mutex — one CAS when uncontended, so the solo-appender
+//!    path pays nothing extra — drains the queue as a batch: membership
+//!    insert + incremental `on_insert` re-selection per request, then a
+//!    *single* chain publication for the whole batch. Contended
+//!    appenders park on the mutex (no spin convoy); the incumbent
+//!    drainer usually resolves them before they wake, and a woken
+//!    appender that is still pending becomes the next drainer for
+//!    whatever queued meanwhile — a combining lock, with no dedicated
+//!    committer thread to wake, park, or shut down.
+//!
+//! Request nodes live on the enqueueing appender's stack: the appender
+//! only returns after the drainer publishes the batch and resolves the
+//! request (`status` stored `Release`, polled `Acquire`), and the drainer
+//! never touches a request after resolving it — so the node's lifetime
+//! covers every access without any allocation per append.
+//!
+//! The linearization point of a batched append is its resolution inside
+//! the drain (under the selection lock, against the tree state at that
+//! instant); the publish-before-respond contract is preserved because
+//! statuses are stored only *after* the batch's publication swap. The
+//! recorded-history checkers (Wing–Gong, windowed, LMR, commit-log
+//! replay) run unchanged over the batched path — they are the oracle
+//! that this restructuring changed nothing observable.
+
+use crate::blocktree::CandidateBlock;
+use crate::ids::BlockId;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+const PENDING: u32 = 0;
+const COMMITTED: u32 = 1;
+const REJECTED: u32 = 2;
+
+/// One in-flight append: the optimistic mint plus everything the drainer
+/// needs to re-mint if the optimistic parent lost the race.
+pub(crate) struct CommitReq {
+    /// Intrusive link, owned by the queue between `push` and `take_all`.
+    next: AtomicPtr<CommitReq>,
+    /// The optimistic mint (already in the arena, not yet a member).
+    pub minted: BlockId,
+    /// The published tip the mint chained to.
+    pub parent: BlockId,
+    /// Whether `P` accepted the optimistic mint.
+    pub prevalidated: bool,
+    /// The original candidate, for a re-mint under a moved tip.
+    pub candidate: CandidateBlock,
+    /// PENDING / COMMITTED / REJECTED.
+    status: AtomicU32,
+    /// The committed id (meaningful once status is COMMITTED).
+    result: AtomicU32,
+}
+
+impl CommitReq {
+    pub fn new(
+        minted: BlockId,
+        parent: BlockId,
+        prevalidated: bool,
+        candidate: CandidateBlock,
+    ) -> Self {
+        CommitReq {
+            next: AtomicPtr::new(ptr::null_mut()),
+            minted,
+            parent,
+            prevalidated,
+            candidate,
+            status: AtomicU32::new(PENDING),
+            result: AtomicU32::new(0),
+        }
+    }
+
+    /// Publishes the outcome. The drainer must not touch the request
+    /// after this call — the enqueueing appender is free to return (and
+    /// pop the node's stack frame) the moment the status lands.
+    pub fn resolve(&self, outcome: Option<BlockId>) {
+        match outcome {
+            Some(id) => {
+                self.result.store(id.0, Ordering::Relaxed);
+                self.status.store(COMMITTED, Ordering::Release);
+            }
+            None => self.status.store(REJECTED, Ordering::Release),
+        }
+    }
+
+    /// `None` while pending, `Some(outcome)` once resolved.
+    pub fn poll(&self) -> Option<Option<BlockId>> {
+        match self.status.load(Ordering::Acquire) {
+            PENDING => None,
+            COMMITTED => Some(Some(BlockId(self.result.load(Ordering::Relaxed)))),
+            _ => Some(None),
+        }
+    }
+}
+
+/// Lock-free multi-producer commit queue with whole-batch consumption.
+///
+/// Producers push with a CAS on `head` (a Treiber push); the drainer
+/// takes the entire pending list with a single `swap(null)` and restores
+/// FIFO order by reversing — after the swap it owns every node
+/// exclusively, so no stub nodes or mid-queue races exist. Fairness
+/// within a batch follows enqueue order.
+pub(crate) struct CommitQueue {
+    head: AtomicPtr<CommitReq>,
+    /// Drains that found at least one request.
+    drains: AtomicU64,
+    /// Requests resolved across all drains.
+    drained: AtomicU64,
+    /// Largest single batch.
+    max_batch: AtomicU64,
+}
+
+impl CommitQueue {
+    pub fn new() -> Self {
+        CommitQueue {
+            head: AtomicPtr::new(ptr::null_mut()),
+            drains: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `req`.
+    ///
+    /// # Safety
+    ///
+    /// `req` must stay valid until [`CommitReq::resolve`] runs for it —
+    /// guaranteed by the append protocol: the owner blocks on
+    /// [`CommitReq::poll`] and the node is removed from the queue (by
+    /// `take_all`) before any drainer dereferences it.
+    pub unsafe fn push(&self, req: *const CommitReq) {
+        let node = req as *mut CommitReq;
+        loop {
+            let head = self.head.load(Ordering::Relaxed);
+            (*node).next.store(head, Ordering::Relaxed);
+            if self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Takes every pending request, oldest first. The caller owns the
+    /// returned nodes until it resolves them.
+    pub fn take_all(&self) -> Vec<*const CommitReq> {
+        let mut node = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut batch: Vec<*const CommitReq> = Vec::new();
+        while !node.is_null() {
+            batch.push(node as *const CommitReq);
+            // SAFETY: the swap transferred exclusive ownership of the
+            // whole list to this caller; nodes are alive per `push`'s
+            // contract (their owners are still polling).
+            node = unsafe { (*node).next.load(Ordering::Relaxed) };
+        }
+        batch.reverse();
+        if !batch.is_empty() {
+            self.drains.fetch_add(1, Ordering::Relaxed);
+            self.drained
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.max_batch
+                .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        }
+        batch
+    }
+
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            batches: self.drains.load(Ordering::Relaxed),
+            batched_appends: self.drained.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Observability for the staged pipeline (reported by
+/// `experiments bench-concurrent`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Non-empty drain passes.
+    pub batches: u64,
+    /// Appends resolved through the queue.
+    pub batched_appends: u64,
+    /// Largest batch resolved in one drain.
+    pub max_batch: u64,
+}
+
+impl PipelineStats {
+    /// Mean appends per non-empty drain.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_appends as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+
+    fn req(nonce: u64) -> CommitReq {
+        CommitReq::new(
+            BlockId(nonce as u32 + 1),
+            BlockId::GENESIS,
+            true,
+            CandidateBlock::simple(ProcessId(0), nonce),
+        )
+    }
+
+    #[test]
+    fn take_all_preserves_enqueue_order() {
+        let q = CommitQueue::new();
+        let (a, b, c) = (req(0), req(1), req(2));
+        unsafe {
+            q.push(&a);
+            q.push(&b);
+            q.push(&c);
+        }
+        let batch = q.take_all();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(unsafe { (*batch[0]).minted }, a.minted);
+        assert_eq!(unsafe { (*batch[1]).minted }, b.minted);
+        assert_eq!(unsafe { (*batch[2]).minted }, c.minted);
+        assert!(q.take_all().is_empty(), "queue drained");
+        let stats = q.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_appends, 3);
+        assert_eq!(stats.max_batch, 3);
+    }
+
+    #[test]
+    fn resolve_and_poll_round_trip() {
+        let r = req(7);
+        assert_eq!(r.poll(), None);
+        r.resolve(Some(BlockId(42)));
+        assert_eq!(r.poll(), Some(Some(BlockId(42))));
+        let r2 = req(8);
+        r2.resolve(None);
+        assert_eq!(r2.poll(), Some(None));
+    }
+
+    #[test]
+    fn concurrent_producers_lose_no_requests() {
+        let q = CommitQueue::new();
+        let reqs: Vec<Vec<CommitReq>> = (0..4)
+            .map(|t| (0..100).map(|i| req((t as u64) << 32 | i)).collect())
+            .collect();
+        let taken = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for thread_reqs in &reqs {
+                let q = &q;
+                s.spawn(move || {
+                    for r in thread_reqs {
+                        unsafe { q.push(r) };
+                    }
+                });
+            }
+            let (q, taken) = (&q, &taken);
+            s.spawn(move || {
+                // Concurrent drains while producers push.
+                for _ in 0..50 {
+                    let batch = q.take_all();
+                    taken
+                        .lock()
+                        .unwrap()
+                        .extend(batch.iter().map(|&p| p as usize));
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Final sweep after all producers joined.
+        let batch = q.take_all();
+        taken
+            .lock()
+            .unwrap()
+            .extend(batch.iter().map(|&p| p as usize));
+        let mut seen = taken.into_inner().unwrap();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 400, "every pushed request drained exactly once");
+    }
+}

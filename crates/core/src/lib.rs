@@ -23,6 +23,8 @@
 //! | O(log n) ancestry/LCA (jump pointers) | [`store`] |
 //! | Incremental selection (`on_insert`/`TipUpdate`) | [`selection`] |
 //! | Cached selected chain, zero-rewalk `read()` | [`tipcache`] |
+//! | Epoch-based reclamation (grace periods for lock-free readers) | [`epoch`] |
+//! | Staged commit pipeline (batched appends) | [`commit`] |
 //!
 //! The literal Def. 3.1 semantics (full `f(bt)` rescans) remain available
 //! as `select_tip` / `selected_tip_full_scan` and serve as the
@@ -53,8 +55,10 @@ pub mod adt;
 pub mod block;
 pub mod blocktree;
 pub mod chain;
+pub mod commit;
 pub mod concurrent;
 pub mod criteria;
+pub mod epoch;
 pub mod hierarchy;
 pub mod history;
 pub mod ids;
@@ -71,11 +75,13 @@ pub mod prelude {
     pub use crate::block::{Block, Payload, Tx};
     pub use crate::blocktree::{BlockTree, BlockTreeAdt, BtInput, BtOutput, CandidateBlock};
     pub use crate::chain::Blockchain;
-    pub use crate::concurrent::{ConcurrentBlockTree, ShardedStore};
+    pub use crate::commit::PipelineStats;
+    pub use crate::concurrent::{ChainView, ConcurrentBlockTree, ShardedStore, SnapshotCache};
     pub use crate::criteria::{
         check_eventual_consistency, check_strong_consistency, classify, ConsistencyClass,
         ConsistencyParams, ConsistencyReport, LivenessMode, Verdict, Violation,
     };
+    pub use crate::epoch::{EpochDomain, Guard};
     pub use crate::hierarchy::{OracleModel, RefinementClass};
     pub use crate::history::{History, Invocation, OpId, OpRecord, ReadView, Response};
     pub use crate::ids::{BlockId, ProcessId, Time};

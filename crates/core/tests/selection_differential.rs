@@ -275,7 +275,7 @@ fn concurrent_replay_matches_sequential<F: btadt_core::selection::SelectionFn + 
     );
     assert_eq!(
         cache.chain(),
-        cbt.read(),
+        cbt.read_owned(),
         "seed {seed}: sequential replay chain ≠ concurrent published chain"
     );
     assert_eq!(cbt.selected_tip(), cbt.selected_tip_full_scan());

@@ -18,15 +18,29 @@
 //! `check_linearizable` / `check_linearizable_windowed`, to the
 //! consistency criteria (Local Monotonic Read et al.), or replayed
 //! differentially — the checker is the oracle, not an assertion of intent
-//! inside the implementation.
+//! inside the implementation. The same suites ran unchanged across the
+//! move to the staged commit pipeline: batching is invisible to the
+//! recorded evidence, which is the point.
 //!
 //! Workloads run in `rounds` separated by a barrier: within a round all
 //! threads race freely; between rounds the system is quiescent. That gives
 //! long runs guaranteed quiescent points, which is exactly the structure
 //! `History::split_at_quiescence` and the windowed checker exploit.
-//! Optionally each append first asks a shared Θ-oracle for a token
-//! (Protocol-A style, §4.1): the oracle object is its own linearization
-//! point, exercised here under genuine thread interleavings.
+//!
+//! # Mining gates
+//!
+//! Optionally each append first consults a shared Θ-oracle (§4.1):
+//!
+//! * **Prodigal** (`mine: true`): every append wins a Θ_P token for the
+//!   tip it is about to mine on — pure validation, no fork control.
+//! * **Frugal** (`frugal_k: Some(k)`): the Protocol-A shape. The appender
+//!   `getToken`s for its intended parent, mints the block into the arena
+//!   (not yet a member), and `consumeToken`s it. If the oracle admitted
+//!   the block into `K[parent]`, the mint is committed via
+//!   `graft_minted`; if `K[parent]` was already full, the returned set
+//!   *feeds back*: the appender adopts one of the winners as its next
+//!   graft parent and retries — k-fork coherence enforced by the oracle,
+//!   convergence driven by the feedback.
 
 use btadt_core::blocktree::CandidateBlock;
 use btadt_core::chain::Blockchain;
@@ -59,6 +73,10 @@ pub struct MtConfig {
     /// When true, every append first obtains a token from a shared
     /// prodigal Θ-oracle for the tip it is about to mine on.
     pub mine: bool,
+    /// When `Some(k)`, appends gate through a shared *frugal* Θ_F,k
+    /// oracle with consumeToken feedback into graft parents (see the
+    /// module docs). Takes precedence over `mine`.
+    pub frugal_k: Option<u32>,
 }
 
 impl Default for MtConfig {
@@ -71,6 +89,7 @@ impl Default for MtConfig {
             reads_per_round: 4,
             rounds: 1,
             mine: false,
+            frugal_k: None,
         }
     }
 }
@@ -88,10 +107,67 @@ pub struct MtRun {
     pub final_chain: Blockchain,
     /// Successful appends across all threads.
     pub appended: usize,
+    /// Thm. 3.2 k-fork coherence of the shared oracle, when one gated the
+    /// run (`None` for un-mined workloads).
+    pub fork_coherent: Option<bool>,
 }
 
 /// One thread's private log entry, merged into the [`History`] after join.
 type LoggedOp = (ProcessId, Invocation, Time, Response, Time);
+
+/// One frugal (Θ_F,k) append: getToken for the intended parent, mint into
+/// the arena, consumeToken; commit the mint if admitted, otherwise adopt
+/// a winner from the returned `K[parent]` as the next parent and retry.
+/// Returns the committed id.
+fn frugal_append<F: SelectionFn>(
+    tree: &ConcurrentBlockTree<F, AcceptAll>,
+    oracle: &SharedOracle,
+    merit_index: usize,
+    work: u64,
+    nonce: u64,
+    seed: u64,
+    step: u64,
+) -> BlockId {
+    let me = ProcessId(merit_index as u32);
+    let mut parent = tree.selected_tip();
+    let mut attempt = 0u64;
+    loop {
+        let Some(grant) = oracle.get_token(merit_index, parent) else {
+            // The merit tape said no this round: re-aim at the (possibly
+            // moved) published tip and try again.
+            parent = tree.selected_tip();
+            attempt += 1;
+            continue;
+        };
+        // Mint under the granted parent — into the arena only; membership
+        // is the oracle's call.
+        let id = tree.store().mint(
+            parent,
+            me,
+            merit_index as u32,
+            work,
+            nonce ^ (attempt << 44),
+            btadt_core::block::Payload::Empty,
+        );
+        let admitted = oracle.consume_token(&grant, id);
+        if admitted.contains(&id) {
+            // Our mint joined K[parent]. Its parent may have been a
+            // feedback winner whose own committer has not grafted yet —
+            // wait for parent-closure, then commit.
+            while !tree.is_committed(parent) {
+                std::thread::yield_now();
+            }
+            return tree
+                .graft_minted(id)
+                .expect("AcceptAll admits every oracle-approved block");
+        }
+        // K[parent] is full: the feedback step. Adopt one of the winners
+        // as the next graft parent (the mint stays an arena orphan).
+        let r = splitmix64_at(seed ^ 0xF2C6_A1D3, (step << 8) | (attempt & 0xFF));
+        parent = admitted[(r as usize) % admitted.len()];
+        attempt += 1;
+    }
+}
 
 /// Drives `cfg` against a fresh `ConcurrentBlockTree<F, AcceptAll>` and
 /// records the history. The run is linearizable by construction of the
@@ -101,14 +177,24 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
     let tree = ConcurrentBlockTree::new(selection, AcceptAll);
     let clock = AtomicU64::new(0);
     let barrier = Barrier::new(cfg.appenders + cfg.readers);
-    let oracle = cfg.mine.then(|| {
+    let oracle = if let Some(k) = cfg.frugal_k {
         let merits = Merits::uniform(cfg.appenders.max(1));
-        SharedOracle::new(ThetaOracle::prodigal(
+        Some(SharedOracle::new(ThetaOracle::frugal(
+            k,
             merits,
             cfg.appenders.max(1) as f64,
             cfg.seed,
-        ))
-    });
+        )))
+    } else if cfg.mine {
+        let merits = Merits::uniform(cfg.appenders.max(1));
+        Some(SharedOracle::new(ThetaOracle::prodigal(
+            merits,
+            cfg.appenders.max(1) as f64,
+            cfg.seed,
+        )))
+    } else {
+        None
+    };
 
     let tick = |clock: &AtomicU64| Time(clock.fetch_add(1, Ordering::AcqRel) + 1);
 
@@ -125,24 +211,34 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
                     barrier.wait();
                     for i in 0..cfg.appends_per_round {
                         let step = (round * cfg.appends_per_round + i) as u64;
-                        if let Some(oracle) = oracle {
-                            // Protocol-A flavour: win a token for the tip
-                            // you are about to mine on (Θ_P always grants).
-                            let grant = loop {
-                                let tip = tree.selected_tip();
-                                if let Some(g) = oracle.get_token(a, tip) {
-                                    break g;
-                                }
-                            };
-                            let _ = grant;
-                        }
                         let nonce = ((a as u64) << 40) | step;
                         let work = 1 + splitmix64_at(cfg.seed ^ ((a as u64) << 16), step) % 4;
-                        let cand = CandidateBlock::simple(me, nonce).with_work(work);
-                        let t0 = tick(clock);
-                        let id = tree.append(cand);
-                        let t1 = tick(clock);
-                        let id = id.expect("AcceptAll appends always succeed");
+                        let (t0, id, t1) = if cfg.frugal_k.is_some() {
+                            // Θ_F gate: the whole getToken*→consumeToken→
+                            // graft sequence is the refined append
+                            // (Def. 3.7) — one recorded operation.
+                            let oracle = oracle.as_ref().expect("frugal_k implies an oracle");
+                            let t0 = tick(clock);
+                            let id = frugal_append(tree, oracle, a, work, nonce, cfg.seed, step);
+                            (t0, id, tick(clock))
+                        } else {
+                            if let Some(oracle) = oracle {
+                                // Protocol-A flavour: win a token for the tip
+                                // you are about to mine on (Θ_P always grants).
+                                let grant = loop {
+                                    let tip = tree.selected_tip();
+                                    if let Some(g) = oracle.get_token(a, tip) {
+                                        break g;
+                                    }
+                                };
+                                let _ = grant;
+                            }
+                            let cand = CandidateBlock::simple(me, nonce).with_work(work);
+                            let t0 = tick(clock);
+                            let id = tree.append(cand);
+                            let t1 = tick(clock);
+                            (t0, id.expect("AcceptAll appends always succeed"), t1)
+                        };
                         log.push((
                             me,
                             Invocation::Append { block: id },
@@ -174,7 +270,7 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
                             std::thread::yield_now();
                         }
                         let t0 = tick(clock);
-                        let chain = tree.read();
+                        let chain = tree.read_owned();
                         let t1 = tick(clock);
                         log.push((me, Invocation::Read, t0, Response::Chain(chain), t1));
                     }
@@ -204,8 +300,9 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
     MtRun {
         store: tree.snapshot_store(),
         commit_log: tree.commit_log(),
-        final_chain: tree.read(),
+        final_chain: tree.read_owned(),
         history,
         appended,
+        fork_coherent: oracle.as_ref().map(|o| o.fork_coherent()),
     }
 }

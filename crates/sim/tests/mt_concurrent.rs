@@ -29,6 +29,7 @@ fn small_cfg(seed: u64) -> MtConfig {
         reads_per_round: 4,
         rounds: 1,
         mine: false,
+        frugal_k: None,
     }
 }
 
@@ -89,6 +90,7 @@ fn long_runs_check_via_quiescent_windows() {
             reads_per_round: 4,
             rounds: 6,
             mine: false,
+            frugal_k: None,
         };
         let run = run_concurrent_workload(LongestChain, &cfg);
         assert_eq!(run.history.len(), 6 * 14);
@@ -131,6 +133,7 @@ fn reader_stress_satisfies_local_monotonic_read() {
             reads_per_round: 60,
             rounds: 2,
             mine: false,
+            frugal_k: None,
         };
         let run = run_concurrent_workload(LongestChain, &cfg);
         let verdict = local_monotonic_read::check(&run.history, &LengthScore);
@@ -163,10 +166,12 @@ fn run_artifacts_are_coherent() {
         reads_per_round: 10,
         rounds: 1,
         mine: false,
+        frugal_k: None,
     };
     let run = run_concurrent_workload(LongestChain, &cfg);
     assert_eq!(run.appended, 100);
     assert_eq!(run.commit_log.len(), 100);
+    assert_eq!(run.fork_coherent, None, "no oracle gated this run");
     // Longest-chain `append` always extends the tip: the final chain holds
     // every committed block.
     assert_eq!(run.final_chain.len(), 101);
@@ -178,5 +183,50 @@ fn run_artifacts_are_coherent() {
                 assert!(committed.contains(&block));
             }
         }
+    }
+}
+
+/// The frugal Θ_F,k=1 gate (Protocol-A shape): tokens bound to parents,
+/// consumeToken feedback steering losing appenders onto the winners. With
+/// k = 1 every committed parent admits exactly one committed child, so
+/// the membership must be a single path — and the recorded history must
+/// still linearize against the BT-ADT spec.
+#[test]
+fn frugal_token_gate_smoke() {
+    for seed in 500..505u64 {
+        let cfg = MtConfig {
+            seed,
+            frugal_k: Some(1),
+            ..small_cfg(seed)
+        };
+        let run = run_concurrent_workload(LongestChain, &cfg);
+        assert_eq!(run.appended, 6, "seed {seed}: every frugal append lands");
+        assert_eq!(
+            run.fork_coherent,
+            Some(true),
+            "seed {seed}: Thm 3.2 k-fork coherence holds on the shared oracle"
+        );
+        // k = 1 ⇒ the committed membership is a path: the final chain
+        // carries every commit.
+        assert_eq!(run.final_chain.len(), run.commit_log.len() + 1);
+        let committed: std::collections::HashSet<_> = run.commit_log.iter().copied().collect();
+        for &id in &run.commit_log {
+            let parent = run.store.parent(id).expect("committed blocks chain to b0");
+            let member_children = run
+                .store
+                .children(parent)
+                .iter()
+                .filter(|c| committed.contains(c))
+                .count();
+            assert!(
+                member_children <= 1,
+                "seed {seed}: K-bound violated at {parent}"
+            );
+        }
+        let r = check_linearizable(&run.history, &run.store, &LongestChain);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
     }
 }
