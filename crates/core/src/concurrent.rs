@@ -562,11 +562,23 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             let block = self.store.block(minted);
             self.predicate.is_valid(&self.store, &block)
         };
-        if !prevalidated && self.selected_tip() == parent {
-            // Definitive rejection: `P` refused the block and the tip it
-            // was minted under is still published — no need to enter the
-            // commit queue at all.
-            return None;
+        if !prevalidated {
+            // `P` refused the block. If the tip it was minted under is
+            // still the published one, the rejection is definitive and
+            // linearizes right here — no need to enter the commit queue.
+            // The check must read the *published chain itself*, not the
+            // `published_tip` hint: the hint is stored after the pointer
+            // swap, so it can lag a chain another operation has already
+            // observed, and deciding a response from the lagging value
+            // could contradict the recorded history. (The hint is only
+            // ever the optimistic mint target above, where staleness
+            // costs a re-mint in the drain, never an outcome.)
+            let published = self.read();
+            if published.tip() == parent {
+                return None;
+            }
+            // The tip moved under us: let the drainer re-mint under the
+            // authoritative tip and decide there.
         }
         let req = CommitReq::new(minted, parent, prevalidated, candidate);
         // SAFETY: `req` lives on this stack frame, and we do not return
@@ -675,100 +687,114 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             return;
         }
         // `take_all` removed these requests from the queue, so nobody
-        // else can ever resolve them. The resolver owns the batch and the
-        // outcomes recorded so far: on the normal path `finish` stores
-        // every status after the publication swap; if user code
-        // (`P::is_valid`, `SelectionFn::on_insert`) panics mid-batch, its
-        // `Drop` runs while the panic unwinds and resolves each request
-        // with its *recorded* outcome and the untouched tail as rejected.
-        // A committing request records its outcome *before* its insert
-        // runs, so even the request whose insert panicked reports the
-        // state the membership and commit log actually reached (the
-        // insert's user-code stage runs after both). The drainer thread
-        // dies; nobody waits forever. A tree whose user code panicked
-        // mid-commit is still degraded (the in-flight insert may have
-        // skipped re-selection, and the batch publication is skipped),
-        // but every response matches the commit log.
-        struct BatchResolver {
-            batch: Vec<*const CommitReq>,
-            outcomes: Vec<Option<BlockId>>,
+        // else can ever resolve them — this drainer owes every one a
+        // status, on the panic path included. A committing request
+        // records its outcome *before* its membership insert runs, and
+        // the insert updates membership + commit log *before* the
+        // user-code re-selection stage, so whatever panics inside user
+        // code (`P::is_valid`, `SelectionFn::on_insert`), the recorded
+        // outcomes always match the state the membership and commit log
+        // actually reached.
+        fn resolve_batch(batch: &[*const CommitReq], outcomes: &[Option<BlockId>]) {
+            for (i, &req_ptr) in batch.iter().enumerate() {
+                // SAFETY: owners are still polling (they only return
+                // once a status lands), and only this drainer holds the
+                // taken nodes; after `resolve` the node is never touched
+                // again by this thread.
+                let req = unsafe { &*req_ptr };
+                if req.poll().is_none() {
+                    req.resolve(outcomes.get(i).copied().flatten());
+                }
+            }
         }
-        impl BatchResolver {
-            fn resolve_all(&self) {
-                for (i, &req_ptr) in self.batch.iter().enumerate() {
-                    // SAFETY: owners are still polling (they only return
-                    // once a status lands), and only this drainer holds
-                    // the taken nodes; after `resolve` the node is never
-                    // touched again by this thread.
-                    let req = unsafe { &*req_ptr };
-                    if req.poll().is_none() {
-                        req.resolve(self.outcomes.get(i).copied().flatten());
+        let mut outcomes: Vec<Option<BlockId>> = Vec::new();
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut committed_any = false;
+            for &req_ptr in &batch {
+                // SAFETY: `take_all` transferred ownership of the node;
+                // its enqueueing appender is blocked polling until we
+                // resolve it.
+                let req = unsafe { &*req_ptr };
+                let outcome = if req.parent == sel.cache.tip() {
+                    if req.prevalidated {
+                        outcomes.push(Some(req.minted));
+                        self.insert_locked(sel, req.minted);
+                        Some(req.minted)
+                    } else {
+                        outcomes.push(None);
+                        None
+                    }
+                } else {
+                    // The optimistic parent lost the race: re-mint under
+                    // the current selected tip and decide against the
+                    // tree state at this — the linearization — point. The
+                    // stale mint stays an orphan, as a lost optimistic
+                    // race always did.
+                    let id = self.store.mint(
+                        sel.cache.tip(),
+                        req.candidate.producer,
+                        req.candidate.merit_index,
+                        req.candidate.work,
+                        req.candidate.nonce,
+                        req.candidate.payload.clone(),
+                    );
+                    let valid = {
+                        let block = self.store.block(id);
+                        self.predicate.is_valid(&self.store, &block)
+                    };
+                    if valid {
+                        outcomes.push(Some(id));
+                        self.insert_locked(sel, id);
+                        Some(id)
+                    } else {
+                        outcomes.push(None);
+                        None
+                    }
+                };
+                committed_any |= outcome.is_some();
+            }
+            committed_any
+        }));
+        match run {
+            Ok(committed_any) => {
+                if committed_any {
+                    self.publish_locked(sel);
+                }
+                // Statuses land only now, after the publication swap:
+                // publish-before-respond for every append in the batch.
+                resolve_batch(&batch, &outcomes);
+            }
+            Err(payload) => {
+                // User code panicked mid-batch. Membership and commit log
+                // are sound (see above), but the incremental cache may be
+                // mid-update and the batch publication has not run —
+                // delivering a "committed" status now would hand a
+                // healthy appender a response no read can corroborate,
+                // breaking publish-before-respond. Re-derive the cache
+                // from the membership with a full scan and publish, so
+                // every status the unwind delivers is covered by a
+                // publication; this also leaves the tree consistent for
+                // subsequent drains instead of degraded. The rebuild runs
+                // selection user code again, so it is shielded: if it
+                // panics too, publication is skipped and responses fall
+                // back to matching only the commit log (a tree whose
+                // selection panics nondeterministically offers nothing
+                // stronger). Then resolve the batch — recorded outcomes,
+                // untouched tail as rejected — and let the panic continue
+                // on this thread; nobody waits forever.
+                if outcomes.iter().any(Option::is_some) {
+                    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sel.cache.rebuild(&self.selection, &self.store, &sel.tree);
+                    }))
+                    .is_ok();
+                    if rebuilt {
+                        self.publish_locked(sel);
                     }
                 }
-            }
-            fn finish(self) {
-                self.resolve_all();
-                std::mem::forget(self);
+                resolve_batch(&batch, &outcomes);
+                std::panic::resume_unwind(payload);
             }
         }
-        impl Drop for BatchResolver {
-            fn drop(&mut self) {
-                self.resolve_all();
-            }
-        }
-        let mut resolver = BatchResolver {
-            batch,
-            outcomes: Vec::new(),
-        };
-        let mut committed_any = false;
-        for i in 0..resolver.batch.len() {
-            let req_ptr = resolver.batch[i];
-            // SAFETY: `take_all` transferred ownership of the node; its
-            // enqueueing appender is blocked polling until we resolve it.
-            let req = unsafe { &*req_ptr };
-            let outcome = if req.parent == sel.cache.tip() {
-                if req.prevalidated {
-                    resolver.outcomes.push(Some(req.minted));
-                    self.insert_locked(sel, req.minted);
-                    Some(req.minted)
-                } else {
-                    resolver.outcomes.push(None);
-                    None
-                }
-            } else {
-                // The optimistic parent lost the race: re-mint under the
-                // current selected tip and decide against the tree state
-                // at this — the linearization — point. The stale mint
-                // stays an orphan, as a lost optimistic race always did.
-                let id = self.store.mint(
-                    sel.cache.tip(),
-                    req.candidate.producer,
-                    req.candidate.merit_index,
-                    req.candidate.work,
-                    req.candidate.nonce,
-                    req.candidate.payload.clone(),
-                );
-                let valid = {
-                    let block = self.store.block(id);
-                    self.predicate.is_valid(&self.store, &block)
-                };
-                if valid {
-                    resolver.outcomes.push(Some(id));
-                    self.insert_locked(sel, id);
-                    Some(id)
-                } else {
-                    resolver.outcomes.push(None);
-                    None
-                }
-            };
-            committed_any |= outcome.is_some();
-        }
-        if committed_any {
-            self.publish_locked(sel);
-        }
-        // Statuses land only now, after the publication swap:
-        // publish-before-respond for every append in the batch.
-        resolver.finish();
     }
 
     /// Membership insert + commit log + incremental re-selection, under
@@ -1202,9 +1228,12 @@ mod tests {
 
     /// A panic in user code inside the batch drain must kill only the
     /// draining thread: every other appender whose request was already
-    /// taken off the queue gets resolved (as rejected) by the unwind
-    /// guard instead of spinning forever. Completion of this test is the
-    /// assertion — before the guard, the non-panicking threads hung.
+    /// taken off the queue gets resolved by the unwind path — recorded
+    /// outcomes (covered by the recovery publication) or rejected —
+    /// instead of spinning forever. Completion of this test is half the
+    /// assertion (before the unwind handling, the non-panicking threads
+    /// hung); the read-after-response check inside the appenders is the
+    /// other half.
     #[test]
     fn drainer_panic_resolves_the_batch_instead_of_hanging() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -1233,6 +1262,18 @@ mod tests {
                                 ))
                             }));
                             if let Ok(Some(id)) = r {
+                                // Publish-before-respond must survive the
+                                // panic path: a committed response, even
+                                // one delivered by the drainer's unwind
+                                // recovery, is covered by a publication
+                                // (longest-chain commits here form one
+                                // growing path, so later publications
+                                // only extend it).
+                                assert!(
+                                    bt.read().ids().contains(&id),
+                                    "append responded committed but the \
+                                     published chain lacks {id}"
+                                );
                                 mine.push(id);
                             }
                         }

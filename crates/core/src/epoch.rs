@@ -155,21 +155,48 @@ impl EpochDomain {
         loop {
             let slot = &self.slots[idx].0;
             if slot.load(Ordering::Relaxed) == 0 {
-                let e = self.global.load(Ordering::Relaxed) & EPOCH_MASK;
+                // Register the slot in the scan range *before* claiming
+                // it: a scan whose watermark load misses this slot is
+                // then ordered before the registration — and so before
+                // the claim and its re-validation below — i.e. it behaves
+                // exactly like a scan from before the pin existed.
+                // (Publishing the watermark after the claim left a window
+                // where a just-claimed slot was invisible to `try_advance`
+                // for as long as the reader stayed preempted, letting the
+                // epoch advance arbitrarily far past a live pin.) The
+                // watermark never shrinks and steady-state pins re-use
+                // their hinted slot, so the fetch_max runs once per slot
+                // ever; a stale relaxed read just repeats it idempotently.
+                if self.slots_high.load(Ordering::Relaxed) < idx + 1 {
+                    self.slots_high.fetch_max(idx + 1, Ordering::SeqCst);
+                }
+                let mut e = self.global.load(Ordering::Relaxed) & EPOCH_MASK;
                 if slot
                     .compare_exchange(0, (e << 1) | 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
                 {
-                    // The fence orders the slot publication before every
-                    // protected load the caller performs under the guard.
+                    // The fence orders the slot publication before the
+                    // re-validation below and before every protected load
+                    // the caller performs under the guard.
                     fence(Ordering::SeqCst);
-                    // Publish the watermark only on a slot's first-ever
-                    // claim (it never shrinks): steady-state pins re-use
-                    // their hinted slot and touch no shared cache line —
-                    // the whole point of per-reader slots. A stale relaxed
-                    // read just repeats the idempotent fetch_max.
-                    if self.slots_high.load(Ordering::Relaxed) < idx + 1 {
-                        self.slots_high.fetch_max(idx + 1, Ordering::SeqCst);
+                    // Re-validate: the global epoch may have advanced
+                    // between the load above and the claim becoming
+                    // visible (this thread may have been preempted
+                    // mid-pin). A stale slot value is itself *safe* — it
+                    // blocks every advance outright — but republishing
+                    // the current epoch restores the invariant the
+                    // two-epoch grace period is sized for: once `pin`
+                    // returns, at most one advance can miss this slot.
+                    // The loop terminates because a visible stale slot
+                    // stops the epoch from moving further.
+                    loop {
+                        let g = self.global.load(Ordering::SeqCst) & EPOCH_MASK;
+                        if g == e {
+                            break;
+                        }
+                        slot.store((g << 1) | 1, Ordering::SeqCst);
+                        fence(Ordering::SeqCst);
+                        e = g;
                     }
                     set_slot_hint(idx);
                     live_pins_inc(self as *const EpochDomain as usize);
@@ -238,15 +265,30 @@ impl EpochDomain {
     /// old. Returns the number of items freed. Never blocks on readers.
     pub fn try_reclaim(&self) -> usize {
         self.try_advance();
-        let g = self.global.load(Ordering::SeqCst);
         let ripe: Vec<Bag> = {
             let mut garbage = self.garbage.lock();
+            // Load the global epoch *after* acquiring the bag lock. A
+            // concurrent `try_reclaim` may advance the epoch between a
+            // pre-lock load and the scan, after which a racing `defer`
+            // tags a fresh bag with the newer epoch — under a stale `g`
+            // that bag's wrap-masked age reads as 2^63-1 and it would be
+            // freed with zero grace period while a reader still holds its
+            // contents. Loading under the lock restores the invariant the
+            // age computation needs: every bag visible here was tagged
+            // from an epoch load ordered before this one (the deferrer
+            // held this mutex after its epoch load), so `age(g, epoch)`
+            // is a true, small age.
+            let g = self.global.load(Ordering::SeqCst);
             // Bags are pushed in near-epoch order; a racy retire may land
             // one slightly out of place, so scan rather than front-pop.
             let mut ripe = Vec::new();
             let mut i = 0;
             while i < garbage.bags.len() {
-                if age(g, garbage.bags[i].epoch) >= GRACE_EPOCHS {
+                let a = age(g, garbage.bags[i].epoch);
+                // Belt and braces: an age in the upper half of the range
+                // could only mean a bag tagged *ahead* of `g` — treat it
+                // as brand new (not ripe), never as ancient.
+                if (GRACE_EPOCHS..=EPOCH_MASK / 2).contains(&a) {
                     ripe.push(garbage.bags.remove(i).expect("index in range"));
                 } else {
                     i += 1;
@@ -276,11 +318,14 @@ impl EpochDomain {
     fn try_advance(&self) -> bool {
         fence(Ordering::SeqCst);
         let g = self.global.load(Ordering::SeqCst);
-        // `slots_high` is a SeqCst watermark bumped right after a slot's
-        // first claim: a scan whose watermark load misses a just-claimed
-        // slot is ordered (in the SeqCst total order) before that pin's
-        // fence, which is the one-advance miss the two-epoch grace period
-        // already absorbs. Unclaimed tail slots are provably zero.
+        // `slots_high` is a SeqCst watermark bumped *before* a slot's
+        // first claim: a scan whose watermark load misses a slot is
+        // ordered (in the SeqCst total order) before that slot's
+        // registration, claim, and epoch re-validation — equivalent to a
+        // scan from before the pin existed. The only advance that can
+        // miss a registered, pinned slot is one racing the slot's final
+        // epoch store, which is the single miss the two-epoch grace
+        // period absorbs. Unclaimed tail slots are provably zero.
         let high = self.slots_high.load(Ordering::SeqCst);
         for slot in self.slots.iter().take(high) {
             let v = slot.0.load(Ordering::SeqCst);
@@ -642,6 +687,59 @@ mod tests {
         drop(held);
         assert_eq!(a.pinned_readers(), 0);
         assert_eq!(b.pinned_readers(), 0);
+    }
+
+    /// Regression: `try_reclaim` once loaded the global epoch *before*
+    /// taking the bag lock. A concurrent reclaimer could advance the
+    /// epoch in that window, a racing `defer` would tag a fresh bag with
+    /// the newer epoch, and the stale-`g` scan read the bag's wrap-masked
+    /// age as 2^63-1 — freeing it with zero grace period under a live
+    /// pin. This test races reclaimers against deferrers and pinned
+    /// readers over a shared pointer; the deferred drop poisons the value
+    /// first, so a violated grace period fails the reader's assert
+    /// instead of passing silently.
+    #[test]
+    fn racing_reclaimers_never_free_inside_the_grace_period() {
+        const MAGIC: u64 = 0xA11C_E0FF_C0FF_EE00;
+        const POISON: u64 = 0xDEAD_DEAD_DEAD_DEAD;
+        let d = EpochDomain::new();
+        let ptr = AtomicUsize::new(Box::into_raw(Box::new(MAGIC)) as usize);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (d, ptr) = (&d, &ptr);
+                s.spawn(move || {
+                    for _ in 0..3_000 {
+                        let fresh = Box::into_raw(Box::new(MAGIC)) as usize;
+                        let old = ptr.swap(fresh, Ordering::AcqRel);
+                        d.defer(8, move || unsafe {
+                            let p = old as *mut u64;
+                            p.write_volatile(POISON);
+                            drop(Box::from_raw(p));
+                        });
+                        // Reclaim on every retire: concurrent reclaimers
+                        // are exactly the interleaving that once freed
+                        // bags off a stale epoch load.
+                        d.try_reclaim();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let (d, ptr) = (&d, &ptr);
+                s.spawn(move || {
+                    for _ in 0..6_000 {
+                        let g = d.pin();
+                        let p = ptr.load(Ordering::Acquire) as *const u64;
+                        let v = unsafe { p.read_volatile() };
+                        assert_eq!(v, MAGIC, "grace period violated under a live pin");
+                        drop(g);
+                    }
+                });
+            }
+        });
+        while d.pending_items() > 0 {
+            d.try_reclaim();
+        }
+        drop(unsafe { Box::from_raw(ptr.load(Ordering::Acquire) as *mut u64) });
     }
 
     #[test]

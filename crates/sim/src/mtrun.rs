@@ -115,10 +115,23 @@ pub struct MtRun {
 /// One thread's private log entry, merged into the [`History`] after join.
 type LoggedOp = (ProcessId, Invocation, Time, Response, Time);
 
+/// A wedged frugal run (merit tape never granting, or an admitted
+/// winner's committer dying before its graft) fails loudly after this
+/// long instead of spinning silently until the CI timeout kills it.
+const FRUGAL_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(20);
+
 /// One frugal (Θ_F,k) append: getToken for the intended parent, mint into
 /// the arena, consumeToken; commit the mint if admitted, otherwise adopt
 /// a winner from the returned `K[parent]` as the next parent and retry.
 /// Returns the committed id.
+///
+/// # Panics
+///
+/// When the run wedges past [`FRUGAL_STALL_LIMIT`]: either the oracle
+/// stops granting tokens (the retry loop would otherwise spin forever),
+/// or an admitted winner's parent never commits — e.g. the thread that
+/// owned the winning mint panicked before grafting it, orphaning everyone
+/// who adopted it through feedback.
 fn frugal_append<F: SelectionFn>(
     tree: &ConcurrentBlockTree<F, AcceptAll>,
     oracle: &SharedOracle,
@@ -129,12 +142,18 @@ fn frugal_append<F: SelectionFn>(
     step: u64,
 ) -> BlockId {
     let me = ProcessId(merit_index as u32);
+    let deadline = std::time::Instant::now() + FRUGAL_STALL_LIMIT;
     let mut parent = tree.selected_tip();
     let mut attempt = 0u64;
     loop {
         let Some(grant) = oracle.get_token(merit_index, parent) else {
             // The merit tape said no this round: re-aim at the (possibly
             // moved) published tip and try again.
+            assert!(
+                std::time::Instant::now() < deadline,
+                "frugal_append wedged: p{merit_index} got no token for \
+                 {parent} after {attempt} attempts ({FRUGAL_STALL_LIMIT:?})"
+            );
             parent = tree.selected_tip();
             attempt += 1;
             continue;
@@ -155,6 +174,12 @@ fn frugal_append<F: SelectionFn>(
             // feedback winner whose own committer has not grafted yet —
             // wait for parent-closure, then commit.
             while !tree.is_committed(parent) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "frugal_append wedged: p{merit_index}'s admitted mint \
+                     {id} waited {FRUGAL_STALL_LIMIT:?} for parent {parent} \
+                     to commit — its owner likely died before grafting"
+                );
                 std::thread::yield_now();
             }
             return tree
@@ -163,6 +188,11 @@ fn frugal_append<F: SelectionFn>(
         }
         // K[parent] is full: the feedback step. Adopt one of the winners
         // as the next graft parent (the mint stays an arena orphan).
+        assert!(
+            std::time::Instant::now() < deadline,
+            "frugal_append wedged: p{merit_index} lost the K-slot race \
+             {attempt} times without admission ({FRUGAL_STALL_LIMIT:?})"
+        );
         let r = splitmix64_at(seed ^ 0xF2C6_A1D3, (step << 8) | (attempt & 0xFF));
         parent = admitted[(r as usize) % admitted.len()];
         attempt += 1;
