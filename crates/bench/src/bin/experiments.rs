@@ -12,7 +12,7 @@ fn usage() -> ! {
     eprintln!("experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10");
     eprintln!("             fig11 fig12 fig13 fig14 table1 ablate-k");
     eprintln!("             ablate-selection peercensus-security fairness");
-    eprintln!("             bench-selection bench-concurrent all");
+    eprintln!("             bench-selection bench-concurrent bench-consensus all");
     std::process::exit(2);
 }
 
@@ -44,6 +44,7 @@ fn main() {
             "fairness" => btadt_bench::fairness(),
             "bench-selection" => btadt_bench::bench_selection(),
             "bench-concurrent" => btadt_bench::bench_concurrent(),
+            "bench-consensus" => btadt_bench::bench_consensus(),
             "all" => btadt_bench::all(),
             other => {
                 eprintln!("unknown experiment: {other}");

@@ -675,6 +675,42 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         self.sel.lock().tree.contains(id)
     }
 
+    /// Decide-path hook: blocks until `id` is committed to the membership
+    /// or `deadline` passes; returns whether it committed. Membership is
+    /// never retracted, so a `true` stays true.
+    ///
+    /// This is how a decide orders itself after the winner's graft
+    /// (Protocol A's graft-before-decide): a process that learned a block
+    /// through a side channel — the oracle's `K`-set feedback — must not
+    /// act on it before the block's committer has grafted it. Polls with
+    /// `yield_now`; the caller owns the stall diagnostic (the commit is
+    /// another thread's obligation, so only the caller knows who wedged).
+    ///
+    /// The hot probe is lock-free: a chain block sits at the index equal
+    /// to its height in the published prefix, and commits publish inside
+    /// the same critical section as their insert, so most waits resolve
+    /// off one epoch-pinned `read()`. The selection mutex — which answers
+    /// for members *off* the selected chain too — is consulted only every
+    /// 64th spin, so a pack of waiters does not convoy the very lock the
+    /// committer needs for the graft.
+    pub fn wait_committed(&self, id: BlockId, deadline: std::time::Instant) -> bool {
+        let height = self.store.meta(id).height as usize;
+        let mut spin = 0u32;
+        loop {
+            if self.read().ids().get(height) == Some(&id) {
+                return true;
+            }
+            if spin.is_multiple_of(64) && self.is_committed(id) {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return self.is_committed(id);
+            }
+            spin = spin.wrapping_add(1);
+            std::thread::yield_now();
+        }
+    }
+
     /// Resolves every queued commit request as one batch: per request a
     /// membership insert + incremental re-selection (re-minting under the
     /// authoritative tip if the optimistic parent went stale), then a

@@ -44,6 +44,11 @@ pub enum Invocation {
     Append { block: BlockId },
     /// `read()`
     Read,
+    /// `propose(b)` of Protocol A (Fig. 11) run against the shared tree:
+    /// the proposal is identified by its candidate nonce (the block id is
+    /// only allocated if the proposer reaches its mint — see
+    /// [`Response::Decided`]).
+    Propose { nonce: u64 },
 }
 
 /// Response labels: the `B` part of `Σ` for the BT-ADT.
@@ -53,6 +58,13 @@ pub enum Response {
     Appended(bool),
     /// The blockchain returned by `read`.
     Chain(Blockchain),
+    /// The decision of a `propose`: the block installed in `K[anchor]`.
+    /// `grafted` is true for exactly the propose whose own mint the oracle
+    /// admitted — that operation committed the block to the tree (via
+    /// graft) before anyone decided it, so it replays as the append of
+    /// the sequential word; every other propose replays as a decide of an
+    /// already-committed block (graft-before-decide).
+    Decided { block: BlockId, grafted: bool },
 }
 
 /// One operation: an invocation event and (if completed) a response event.
@@ -73,6 +85,10 @@ impl OpRecord {
 
     pub fn is_append(&self) -> bool {
         matches!(self.invocation, Invocation::Append { .. })
+    }
+
+    pub fn is_propose(&self) -> bool {
+        matches!(self.invocation, Invocation::Propose { .. })
     }
 
     pub fn is_complete(&self) -> bool {
@@ -204,6 +220,21 @@ impl History {
         self.appends().count()
     }
 
+    /// All `propose` operations (complete or pending), in recording order.
+    pub fn proposes(&self) -> impl Iterator<Item = &OpRecord> {
+        self.ops.iter().filter(|op| op.is_propose())
+    }
+
+    /// The decided blocks of the completed proposes, in recording order —
+    /// Agreement (Def. 4.1) over one consensus instance is "this iterator
+    /// is constant".
+    pub fn decisions(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.ops.iter().filter_map(|op| match op.response {
+            Some(Response::Decided { block, .. }) => Some(block),
+            _ => None,
+        })
+    }
+
     /// Process order `↦→`: both events at the same process, `a` first.
     /// Evaluated on completed operations via their clock interval.
     pub fn process_ordered(&self, a: OpId, b: OpId) -> bool {
@@ -249,11 +280,11 @@ impl History {
                 }
             }
             match (&op.invocation, &op.response) {
-                (Invocation::Read, Some(Response::Appended(_)))
-                | (Invocation::Append { .. }, Some(Response::Chain(_))) => {
-                    errs.push(HistoryError::MismatchedResponse(op.id));
-                }
-                _ => {}
+                (Invocation::Read, Some(Response::Chain(_)))
+                | (Invocation::Append { .. }, Some(Response::Appended(_)))
+                | (Invocation::Propose { .. }, Some(Response::Decided { .. }))
+                | (_, None) => {}
+                _ => errs.push(HistoryError::MismatchedResponse(op.id)),
             }
         }
         // Per-process overlap check.
@@ -591,6 +622,62 @@ mod tests {
             windows[1].ops().iter().filter(|o| o.is_complete()).count(),
             2
         );
+    }
+
+    #[test]
+    fn propose_decide_events_record_and_validate() {
+        let mut h = History::new();
+        // One consensus instance: p0's mint wins, p1 decides p0's block.
+        h.push_complete(
+            ProcessId(0),
+            Invocation::Propose { nonce: 10 },
+            Time(1),
+            Response::Decided {
+                block: BlockId(1),
+                grafted: true,
+            },
+            Time(4),
+        );
+        h.push_complete(
+            ProcessId(1),
+            Invocation::Propose { nonce: 11 },
+            Time(2),
+            Response::Decided {
+                block: BlockId(1),
+                grafted: false,
+            },
+            Time(5),
+        );
+        assert!(h.validate().is_empty());
+        assert_eq!(h.proposes().count(), 2);
+        let decisions: Vec<_> = h.decisions().collect();
+        assert_eq!(decisions, vec![BlockId(1), BlockId(1)], "agreement");
+        assert_eq!(h.append_count(), 0, "proposes are not appends");
+    }
+
+    #[test]
+    fn validate_catches_mismatched_propose_response() {
+        let mut h = History::new();
+        let a = h.push_complete(
+            ProcessId(0),
+            Invocation::Propose { nonce: 1 },
+            Time(1),
+            Response::Appended(true),
+            Time(2),
+        );
+        let b = h.push_complete(
+            ProcessId(1),
+            Invocation::Read,
+            Time(3),
+            Response::Decided {
+                block: BlockId(1),
+                grafted: false,
+            },
+            Time(4),
+        );
+        let errs = h.validate();
+        assert!(errs.contains(&HistoryError::MismatchedResponse(a)));
+        assert!(errs.contains(&HistoryError::MismatchedResponse(b)));
     }
 
     #[test]

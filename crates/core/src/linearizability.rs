@@ -12,7 +12,14 @@
 //! * `append(b)` is legal at a point iff `b`'s parent in the store equals
 //!   the currently selected tip `last_block(f(bt))` — the sequential τ of
 //!   Def. 3.1 always chains onto `f(bt)`;
-//! * `read()/bc` is legal iff `bc = {b0}⌢f(bt)` at that point.
+//! * `read()/bc` is legal iff `bc = {b0}⌢f(bt)` at that point;
+//! * `propose(b)/decide(d)` (Protocol A on the tree, Def. 4.1): the one
+//!   propose whose own mint was admitted (`grafted`) replays as the append
+//!   of its decided block — legal iff `d`'s parent is the selected tip —
+//!   and commits it; every other propose is legal iff `d` is *already* a
+//!   member, which is exactly the graft-before-decide ordering the decide
+//!   path must guarantee. A decide of a never-committed block, or one
+//!   orderable only before its graft, does not linearize.
 //!
 //! The checker is a Wing–Gong style DFS with memoization on the set of
 //! applied operations — exponential in the worst case, fine for the
@@ -26,6 +33,7 @@
 //! must order the windows back to back anyway.
 
 use crate::history::{History, Invocation, OpId, OpRecord, Response};
+use crate::ids::BlockId;
 use crate::selection::SelectionFn;
 use crate::store::{BlockView, TreeMembership};
 use std::collections::HashSet;
@@ -122,14 +130,12 @@ pub fn check_linearizable_windowed(
         }
         match check_window(&window, store, selection, &base) {
             Some(schedule) => {
-                // Apply the window's successful appends (in witness order,
-                // which is parent-closed) before moving on.
+                // Apply the window's committing operations (in witness
+                // order, which is parent-closed) before moving on.
                 for &op_id in &schedule {
                     let op = window.iter().find(|o| o.id == op_id).expect("scheduled");
-                    if let (Invocation::Append { block }, Some(Response::Appended(true))) =
-                        (&op.invocation, &op.response)
-                    {
-                        base.insert(store, *block);
+                    if let Some(block) = committed_block(op) {
+                        base.insert(store, block);
                     }
                 }
                 full_schedule.extend(schedule);
@@ -148,6 +154,23 @@ fn relevant_ops(history: &History) -> Vec<&OpRecord> {
         .iter()
         .filter(|op| op.is_complete() && !matches!(op.response, Some(Response::Appended(false))))
         .collect()
+}
+
+/// The block an operation commits to the membership when it is applied in
+/// a linearization: a successful append's block, or a grafted propose's
+/// decided block. `None` for everything else (reads, loser decides).
+fn committed_block(op: &OpRecord) -> Option<BlockId> {
+    match (&op.invocation, &op.response) {
+        (Invocation::Append { block }, Some(Response::Appended(true))) => Some(*block),
+        (
+            Invocation::Propose { .. },
+            Some(Response::Decided {
+                block,
+                grafted: true,
+            }),
+        ) => Some(*block),
+        _ => None,
+    }
 }
 
 /// Splits `ops` into maximal runs separated by quiescent points — the
@@ -250,19 +273,39 @@ fn dfs(
                 let tip = selection.select_tip(store, tree);
                 chain.tip() == tip && chain.len() as u32 == store.height(tip) + 1
             }
+            (
+                Invocation::Propose { .. },
+                Some(Response::Decided {
+                    block,
+                    grafted: true,
+                }),
+            ) => {
+                // The winning propose is the refined append of its decided
+                // block: it must chain onto the selected tip.
+                let tip = selection.select_tip(store, tree);
+                store.has_block(*block) && store.parent(*block) == Some(tip)
+            }
+            (
+                Invocation::Propose { .. },
+                Some(Response::Decided {
+                    block,
+                    grafted: false,
+                }),
+            ) => {
+                // Graft-before-decide: a decide of a block nobody grafted
+                // (or one forced before its graft) must not linearize.
+                tree.contains(*block)
+            }
             _ => true,
         };
         if !legal {
             continue;
         }
         // Apply.
-        let applied_block = match (&ops[i].invocation, &ops[i].response) {
-            (Invocation::Append { block }, Some(Response::Appended(true))) => {
-                tree.insert(store, *block);
-                Some(*block)
-            }
-            _ => None,
-        };
+        let applied_block = committed_block(ops[i]);
+        if let Some(block) = applied_block {
+            tree.insert(store, block);
+        }
         done[i] = true;
         schedule.push(ops[i].id);
         if dfs(
@@ -287,10 +330,8 @@ fn dfs(
             *tree = base.clone();
             for &op_id in schedule.iter() {
                 let op = ops.iter().find(|o| o.id == op_id).expect("scheduled");
-                if let (Invocation::Append { block }, Some(Response::Appended(true))) =
-                    (&op.invocation, &op.response)
-                {
-                    tree.insert(store, *block);
+                if let Some(block) = committed_block(op) {
+                    tree.insert(store, block);
                 }
             }
         }
@@ -511,6 +552,64 @@ mod tests {
         assert!(exhaustive.is_linearizable(), "{exhaustive:?}");
         let windowed = check_linearizable_windowed(&h, &s, &LongestChain, DEFAULT_OP_LIMIT);
         assert_eq!(exhaustive, windowed);
+    }
+
+    fn propose(h: &mut History, p: u32, nonce: u64, d: BlockId, grafted: bool, t0: u64, t1: u64) {
+        h.push_complete(
+            ProcessId(p),
+            Invocation::Propose { nonce },
+            Time(t0),
+            Response::Decided { block: d, grafted },
+            Time(t1),
+        );
+    }
+
+    /// The Protocol-A shape: overlapping proposes all deciding the winner,
+    /// the winner's op carrying the graft, readers observing the result.
+    #[test]
+    fn consensus_decide_histories_linearize() {
+        let mut s = BlockStore::new();
+        let w = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 10, Payload::Empty);
+        // The losers' mints stay arena orphans, as on the real tree.
+        let _l = s.mint(BlockId::GENESIS, ProcessId(1), 1, 1, 11, Payload::Empty);
+        let mut h = History::new();
+        propose(&mut h, 0, 10, w, true, 1, 6);
+        propose(&mut h, 1, 11, w, false, 2, 8);
+        propose(&mut h, 2, 12, w, false, 3, 7); // decided without minting
+        read(&mut h, 3, &[BlockId::GENESIS, w], 2, 9, 10);
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert!(r.is_linearizable(), "{r:?}");
+        // And through the windowed checker, which must carry the grafted
+        // propose's commit across the quiescent cut before the read.
+        let r = check_linearizable_windowed(&h, &s, &LongestChain, 3);
+        assert!(r.is_linearizable(), "{r:?}");
+    }
+
+    /// A decide that returns before the winner's propose even begins has
+    /// no linearization: graft-before-decide is violated.
+    #[test]
+    fn decide_before_graft_does_not_linearize() {
+        let mut s = BlockStore::new();
+        let w = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 10, Payload::Empty);
+        let mut h = History::new();
+        propose(&mut h, 1, 11, w, false, 1, 2); // decided w…
+        propose(&mut h, 0, 10, w, true, 3, 4); // …before w was grafted
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert_eq!(r, Linearizability::NotLinearizable);
+    }
+
+    /// Split decisions (an Agreement violation) cannot both replay: only
+    /// one of two genesis-parented winners can chain onto the tip.
+    #[test]
+    fn split_decisions_do_not_linearize() {
+        let mut s = BlockStore::new();
+        let a = s.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 10, Payload::Empty);
+        let b = s.mint(BlockId::GENESIS, ProcessId(1), 1, 1, 11, Payload::Empty);
+        let mut h = History::new();
+        propose(&mut h, 0, 10, a, true, 1, 4);
+        propose(&mut h, 1, 11, b, true, 2, 5);
+        let r = check_linearizable(&h, &s, &LongestChain);
+        assert_eq!(r, Linearizability::NotLinearizable);
     }
 
     /// An indivisible window larger than the cap still reports TooLarge.

@@ -40,6 +40,14 @@ impl SharedOracle {
         self.inner.lock().consumed_for(parent).to_vec()
     }
 
+    /// The first block consumed into `K[parent]`, without cloning the set.
+    /// Under k = 1 this *is* the decision of a consensus instance anchored
+    /// at `parent` (Protocol A) — the cheap poll for decide paths and
+    /// tests that only need the winner.
+    pub fn first_consumed(&self, parent: BlockId) -> Option<BlockId> {
+        self.inner.lock().consumed_for(parent).first().copied()
+    }
+
     /// Thm. 3.2 invariant.
     pub fn fork_coherent(&self) -> bool {
         self.inner.lock().fork_coherent()
@@ -126,6 +134,21 @@ mod tests {
         });
         assert_eq!(winners, 4, "Θ_P admits everyone");
         assert_eq!(shared.consumed_for(BlockId::GENESIS).len(), 4);
+    }
+
+    #[test]
+    fn first_consumed_is_the_k1_winner() {
+        let shared = SharedOracle::new(ThetaOracle::frugal(1, Merits::uniform(2), 2.0, 3));
+        assert_eq!(shared.first_consumed(BlockId::GENESIS), None);
+        let g1 = shared.get_token(0, BlockId::GENESIS).unwrap();
+        let g2 = shared.get_token(1, BlockId::GENESIS).unwrap();
+        shared.consume_token(&g1, BlockId(1));
+        shared.consume_token(&g2, BlockId(2));
+        assert_eq!(
+            shared.first_consumed(BlockId::GENESIS),
+            Some(BlockId(1)),
+            "k = 1: the first consume is the decision, later consumes bounce"
+        );
     }
 
     #[test]

@@ -35,17 +35,34 @@ pub trait Consensus: Sync {
     fn propose(&self, who: usize, value: u64) -> u64;
 }
 
+/// How long `propose` may retry `getToken` before declaring the run
+/// wedged: Protocol A's Termination assumes the oracle eventually grants
+/// every correct process a token, so a zero-rate oracle (or an exhausted
+/// merit tape) is a broken environment — fail loudly with a diagnostic
+/// instead of spinning until the CI timeout kills the job. Matches the
+/// frugal-gate deadline in `btadt_sim::mtrun`.
+pub const PROPOSE_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(20);
+
 /// Protocol A: consensus from Θ_F,k=1 (Fig. 11).
 pub struct OracleConsensus {
     oracle: SharedOracle,
     /// The object all tokens/consumes target (the paper uses `b0`).
     anchor: BlockId,
+    /// getToken retry budget before `propose` panics (see
+    /// [`PROPOSE_STALL_LIMIT`]).
+    stall_limit: std::time::Duration,
 }
 
 impl OracleConsensus {
     /// Wraps a shared Θ_F,k=1 oracle. Panics if the oracle's bound is not
     /// k = 1: Protocol A's Agreement argument needs the singleton set.
     pub fn new(oracle: SharedOracle) -> Self {
+        Self::with_stall_limit(oracle, PROPOSE_STALL_LIMIT)
+    }
+
+    /// [`new`](Self::new) with an explicit getToken-retry deadline (tests
+    /// of the wedge diagnostic want a short one).
+    pub fn with_stall_limit(oracle: SharedOracle, stall_limit: std::time::Duration) -> Self {
         assert_eq!(
             oracle.k(),
             KBound::Finite(1),
@@ -54,6 +71,7 @@ impl OracleConsensus {
         OracleConsensus {
             oracle,
             anchor: BlockId::GENESIS,
+            stall_limit,
         }
     }
 
@@ -66,19 +84,55 @@ impl OracleConsensus {
 impl Consensus for OracleConsensus {
     fn propose(&self, who: usize, value: u64) -> u64 {
         assert_ne!(value, EMPTY, "EMPTY encoding reserved");
+        // The decision travels as a BlockId (u32): a wider proposal would
+        // silently truncate and decide a *different* value than proposed —
+        // a Validity violation — so refuse it up front.
+        assert!(
+            u32::try_from(value).is_ok(),
+            "proposal {value} exceeds the BlockId (u32) encoding: Protocol A \
+             would decide the truncated value {} instead, violating Validity",
+            value as u32
+        );
         // while validBlock = ⊥: validBlock ← getToken(b0, b)
+        let deadline = std::time::Instant::now() + self.stall_limit;
         let grant = loop {
             if let Some(g) = self.oracle.get_token(who, self.anchor) {
                 break g;
             }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "OracleConsensus::propose wedged: p{who} got no token for \
+                 {} within {:?} ({} tape cells consumed) — a zero-rate \
+                 oracle or exhausted merit tape cannot terminate Protocol A",
+                self.anchor,
+                self.stall_limit,
+                self.oracle.tokens_granted()
+            );
             std::hint::spin_loop();
         };
         // validBlockSet ← consumeToken(validBlock)
         let set = self.oracle.consume_token(&grant, BlockId(value as u32));
-        // k = 1: the set is the singleton everyone decides on.
-        debug_assert_eq!(set.len(), 1, "K[b0] has cardinality 1 under k = 1");
-        set[0].0 as u64
+        k1_winner(self.anchor, &set).0 as u64
     }
+}
+
+/// The decision under k = 1: `set` is `get(K, anchor)` right after a
+/// genuine consume, so it holds exactly the singleton everyone decides
+/// on. An empty set means the oracle broke its own Θ-ADT contract —
+/// consumeToken with a genuine, unspent token must leave at least one
+/// block in `K[anchor]` and always returns `get(K, h)` — and both decide
+/// paths ([`OracleConsensus`] and
+/// [`crate::tree_consensus::TreeConsensus`]) say so by name instead of
+/// panicking with an out-of-bounds index.
+pub(crate) fn k1_winner(anchor: BlockId, set: &[BlockId]) -> BlockId {
+    assert!(
+        !set.is_empty(),
+        "oracle invariant broken: consumeToken(K[{anchor}]) returned an \
+         empty set after a genuine consume — get(K, h) must contain the \
+         first admitted block forever after"
+    );
+    debug_assert_eq!(set.len(), 1, "K[{anchor}] has cardinality 1 under k = 1");
+    set[0]
 }
 
 /// Consensus from Compare&Swap (the Herlihy-style construction the paper
@@ -253,5 +307,36 @@ mod tests {
     fn protocol_a_rejects_prodigal_oracle() {
         let oracle = ThetaOracle::prodigal(Merits::uniform(2), 1.0, 0);
         let _ = OracleConsensus::new(SharedOracle::new(oracle));
+    }
+
+    /// Boundary regression: `u32::MAX` is the largest encodable proposal
+    /// and must round-trip undamaged — the old `value as u32` truncation
+    /// kicked in one past it.
+    #[test]
+    fn proposal_at_the_blockid_boundary_round_trips() {
+        let c = oracle_consensus(1, 2);
+        assert_eq!(c.propose(0, u32::MAX as u64), u32::MAX as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the BlockId")]
+    fn proposal_past_the_blockid_boundary_is_refused() {
+        let c = oracle_consensus(1, 2);
+        // Would previously truncate to 0 = EMPTY and "decide" a value
+        // nobody proposed.
+        c.propose(0, u32::MAX as u64 + 1);
+    }
+
+    /// A zero-rate oracle grants no tokens ever; `propose` must fail with
+    /// the wedge diagnostic instead of spinning forever.
+    #[test]
+    #[should_panic(expected = "wedged")]
+    fn zero_rate_oracle_panics_instead_of_hanging() {
+        let oracle = ThetaOracle::frugal(1, Merits::uniform(1), 0.0, 0);
+        let c = OracleConsensus::with_stall_limit(
+            SharedOracle::new(oracle),
+            std::time::Duration::from_millis(50),
+        );
+        c.propose(0, 1);
     }
 }

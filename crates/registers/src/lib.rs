@@ -11,9 +11,18 @@
 //! | Fig. 9 — `Compare&Swap` and `consumeToken` (k = 1) | [`cas`] |
 //! | Fig. 10 / Thm. 4.1 — CAS from CT | [`reduction`] |
 //! | Fig. 11 / Thm. 4.2 — Protocol A: consensus from Θ_F,k=1 | [`consensus`] |
+//! | Protocol A *on the shared tree* (Thm. 4.2 end to end) | [`tree_consensus`] |
 //! | Atomic Snapshot (Aspnes–Herlihy [7]) | [`snapshot`] |
 //! | Fig. 12 / Thm. 4.3 — prodigal CT from snapshot | [`snapshot_ct`] |
 //! | Θ_P agreement-violating schedules (illustration) | [`adversary`] |
+//!
+//! [`tree_consensus::TreeConsensus`] is the Protocol-A decide path run
+//! against the `ConcurrentBlockTree` + `SharedOracle` pair itself: propose
+//! mints a candidate under a committed anchor, the oracle's `K[anchor]`
+//! singleton picks the winner, the winner is grafted *before* anyone
+//! decides it (graft-before-decide), and every proposer decides that
+//! committed block. `btadt_sim::mtrun::run_consensus_workload` records
+//! such runs as timestamped histories for the linearizability checkers.
 
 pub mod adversary;
 pub mod cas;
@@ -22,6 +31,7 @@ pub mod reduction;
 pub mod register;
 pub mod snapshot;
 pub mod snapshot_ct;
+pub mod tree_consensus;
 
 pub use cas::{CasRegister, ConsumeTokenCell, EMPTY};
 pub use consensus::{run_trial, CasConsensus, Consensus, ConsensusReport, OracleConsensus};
@@ -29,3 +39,4 @@ pub use reduction::CasFromCt;
 pub use register::{WideRegister, WordRegister};
 pub use snapshot::AtomicSnapshot;
 pub use snapshot_ct::ProdigalCtCell;
+pub use tree_consensus::{run_tree_trial, ProposeOutcome, TreeConsensus, TreeConsensusReport};

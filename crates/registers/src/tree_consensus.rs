@@ -1,0 +1,465 @@
+//! Protocol A end to end: consensus *on the shared tree object* (the
+//! constructive half of Thm. 4.2, driven through the BT-ADT).
+//!
+//! [`crate::consensus::OracleConsensus`] proves Θ_F,k=1 ⇒ consensus on a
+//! standalone cell: values ride token serials and never touch a tree.
+//! [`TreeConsensus`] closes the gap to the paper's object model: `propose`
+//! mints a real [`CandidateBlock`] into the shared
+//! [`ConcurrentBlockTree`]'s arena under a committed *anchor* block, gates
+//! it through the oracle (`getToken(anchor, b)` … `consumeToken`), grafts
+//! the winner into the tree membership via
+//! [`ConcurrentBlockTree::graft_minted`], and decides the block installed
+//! in `K[anchor]` — so Agreement/Validity/Integrity/Termination
+//! (Def. 4.1) are established on the same object the recorded-history
+//! machinery checks, not on a side cell.
+//!
+//! # Decide-path ordering invariants
+//!
+//! * **Graft-before-decide** — no `propose` returns a decision before the
+//!   decided block is committed to the tree membership: the winner grafts
+//!   its own mint before deciding; every loser waits
+//!   ([`ConcurrentBlockTree::wait_committed`]) for the winner's graft
+//!   before returning. A read invoked after any decide therefore observes
+//!   the decided block (publish-before-respond carries over from the
+//!   graft), which is exactly the replay semantics
+//!   `btadt_core::linearizability` gives `Decided` events.
+//! * **Decide value = K-set winner** — the decision is `K[anchor][0]`, the
+//!   single block the k = 1 oracle admitted; the [`CasRegister`] decision
+//!   cell is a *publication* of that value (written only after the
+//!   commit), never an alternative source of truth.
+//! * **One graft per instance** — at most one propose (the one whose mint
+//!   the oracle admitted) commits a block; losing mints stay non-member
+//!   arena orphans, semantically `P`-rejected blocks.
+//!
+//! Termination is hardened beyond the paper's pseudo-code: a proposer
+//! whose merit tape has gone cold exits the `getToken` loop as soon as a
+//! decision is observable — through the published cell or through
+//! `SharedOracle::first_consumed` (K[anchor]'s first element *is* the
+//! decision under k = 1); decisions are sticky, as in
+//! [`CasConsensus`](crate::consensus::CasConsensus). A genuinely wedged
+//! run — zero-rate oracle and no decision — panics with a diagnostic
+//! after [`DECIDE_STALL_LIMIT`] instead of hanging CI.
+
+use crate::cas::{CasRegister, EMPTY};
+use btadt_core::blocktree::CandidateBlock;
+use btadt_core::concurrent::ConcurrentBlockTree;
+use btadt_core::ids::BlockId;
+use btadt_core::selection::SelectionFn;
+use btadt_core::validity::ValidityPredicate;
+use btadt_oracle::{KBound, SharedOracle};
+use std::time::{Duration, Instant};
+
+/// Default wedge deadline for [`TreeConsensus::propose`] — matches the
+/// frugal-gate and [`crate::consensus::PROPOSE_STALL_LIMIT`] deadlines.
+pub const DECIDE_STALL_LIMIT: Duration = Duration::from_secs(20);
+
+/// What one `propose` call did, beyond the decision itself — the raw
+/// material of a Def. 4.1 report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProposeOutcome {
+    /// The decided block: the (committed) content of `K[anchor]`.
+    pub decided: BlockId,
+    /// The id this call minted into the arena, if it reached its mint
+    /// (`None` when the published decision short-circuited the token
+    /// loop). A losing mint stays a non-member orphan.
+    pub minted: Option<BlockId>,
+    /// Whether *this* call's mint was admitted into `K[anchor]` — i.e.
+    /// this propose grafted the decided block. True for at most one call
+    /// per instance.
+    pub grafted: bool,
+}
+
+/// A single-shot consensus instance over a shared tree + Θ_F,k=1 oracle
+/// pair, anchored at a committed block.
+///
+/// Instances are cheap (one CAS cell plus borrows); successive instances
+/// over the *same* oracle are isolated by their anchors — `K[h]` is
+/// per-object — which is how a chain of decisions is built (each round
+/// anchored at the previous decision).
+pub struct TreeConsensus<'t, F: SelectionFn, P: ValidityPredicate> {
+    tree: &'t ConcurrentBlockTree<F, P>,
+    oracle: &'t SharedOracle,
+    anchor: BlockId,
+    /// Published decision (block id + 1; `EMPTY` = undecided). Written
+    /// only after the decided block is committed, so a non-EMPTY read
+    /// implies the graft happened.
+    decided: CasRegister,
+    stall_limit: Duration,
+}
+
+impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
+    /// A consensus instance on `tree` anchored at `anchor`.
+    ///
+    /// Panics if the oracle is not Θ_F,k=1 (Agreement needs the singleton
+    /// `K`-set) or if `anchor` is not a committed member of `tree` (the
+    /// winner must be graftable under it).
+    pub fn new(
+        tree: &'t ConcurrentBlockTree<F, P>,
+        oracle: &'t SharedOracle,
+        anchor: BlockId,
+    ) -> Self {
+        Self::with_stall_limit(tree, oracle, anchor, DECIDE_STALL_LIMIT)
+    }
+
+    /// [`new`](Self::new) with an explicit wedge deadline (tests of the
+    /// stall diagnostics want a short one).
+    pub fn with_stall_limit(
+        tree: &'t ConcurrentBlockTree<F, P>,
+        oracle: &'t SharedOracle,
+        anchor: BlockId,
+        stall_limit: Duration,
+    ) -> Self {
+        assert_eq!(
+            oracle.k(),
+            KBound::Finite(1),
+            "Protocol A requires the frugal oracle with k = 1"
+        );
+        assert!(
+            tree.is_committed(anchor),
+            "consensus anchor {anchor} is not a committed member of the tree"
+        );
+        TreeConsensus {
+            tree,
+            oracle,
+            anchor,
+            decided: CasRegister::new(EMPTY),
+            stall_limit,
+        }
+    }
+
+    /// The anchor object `b0` of this instance.
+    pub fn anchor(&self) -> BlockId {
+        self.anchor
+    }
+
+    /// The published decision, if any (always a committed block).
+    pub fn decided(&self) -> Option<BlockId> {
+        match self.decided.read() {
+            EMPTY => None,
+            v => Some(BlockId((v - 1) as u32)),
+        }
+    }
+
+    /// Protocol A against the tree: getToken for the anchor until granted,
+    /// mint `candidate` under the anchor into the arena, consumeToken, and
+    /// decide `K[anchor]`'s singleton — grafting it first when it is our
+    /// own mint, waiting for the winner's graft otherwise.
+    ///
+    /// # Panics
+    ///
+    /// * after [`stall_limit`](Self::with_stall_limit) when the oracle
+    ///   stops granting tokens and no decision is published (Termination
+    ///   needs a live oracle), or when the decided block never commits
+    ///   (the winner's committer died before its graft);
+    /// * when `P` rejects an oracle-admitted block — the oracle is "the
+    ///   only generator of valid blocks", so the pair is misconfigured.
+    pub fn propose(&self, who: usize, candidate: CandidateBlock) -> ProposeOutcome {
+        let deadline = Instant::now() + self.stall_limit;
+        // while validBlock = ⊥: validBlock ← getToken(b0, b)
+        let grant = loop {
+            // The decide-path poll: the published cell (already
+            // committed), or K[anchor]'s first consume (decided but
+            // perhaps not yet grafted — wait for that). Either way, adopt
+            // the decision instead of spinning on getToken: keeps
+            // Termination independent of this caller's remaining tape —
+            // the paper's loop would spin on a cold tape even though
+            // K[b0] is already full.
+            if let Some(d) = self
+                .decided()
+                .or_else(|| self.oracle.first_consumed(self.anchor))
+            {
+                assert!(
+                    self.tree.wait_committed(d, deadline),
+                    "TreeConsensus::propose wedged: decided block {d} was \
+                     not committed within {:?} — its proposer likely died \
+                     between consumeToken and graft",
+                    self.stall_limit
+                );
+                self.decided.compare_and_swap(EMPTY, d.0 as u64 + 1);
+                return ProposeOutcome {
+                    decided: d,
+                    minted: None,
+                    grafted: false,
+                };
+            }
+            if let Some(g) = self.oracle.get_token(who, self.anchor) {
+                break g;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "TreeConsensus::propose wedged: p{who} got no token for \
+                 anchor {} within {:?} and no decision was published — \
+                 zero-rate oracle or exhausted merit tape",
+                self.anchor,
+                self.stall_limit
+            );
+            std::thread::yield_now();
+        };
+        // The proposal becomes a real block: minted into the shared arena
+        // under the anchor (not yet a member — membership is the oracle's
+        // call, the refined append of Def. 3.7).
+        let minted = self.tree.store().mint(
+            self.anchor,
+            candidate.producer,
+            candidate.merit_index,
+            candidate.work,
+            candidate.nonce,
+            candidate.payload,
+        );
+        // validBlockSet ← consumeToken(validBlock)
+        let set = self.oracle.consume_token(&grant, minted);
+        let winner = crate::consensus::k1_winner(self.anchor, &set);
+        let grafted = winner == minted;
+        if grafted {
+            // Our mint is K[anchor]'s singleton: graft-before-decide — the
+            // block must be a committed member before anyone (us included)
+            // returns it as the decision.
+            let committed = self.tree.graft_minted(minted).unwrap_or_else(|| {
+                panic!(
+                    "validity predicate rejected oracle-admitted block \
+                     {minted}: the oracle must be the only generator of \
+                     valid blocks (Def. 3.5), so P and Θ disagree"
+                )
+            });
+            debug_assert_eq!(committed, minted);
+        } else {
+            // Someone else's mint won. Its owner grafts it; wait for that
+            // commit so our decision is already tree-visible when we
+            // return (graft-before-decide, loser half).
+            assert!(
+                self.tree.wait_committed(winner, deadline),
+                "TreeConsensus::propose wedged: decided block {winner} was \
+                 not committed within {:?} — its proposer likely died \
+                 between consumeToken and graft",
+                self.stall_limit
+            );
+        }
+        // Publish the (committed) decision for late proposers.
+        self.decided.compare_and_swap(EMPTY, winner.0 as u64 + 1);
+        ProposeOutcome {
+            decided: winner,
+            minted: Some(minted),
+            grafted,
+        }
+    }
+}
+
+/// One consensus instance's Def. 4.1 evidence: every proposer's outcome,
+/// in proposer order.
+#[derive(Clone, Debug)]
+pub struct TreeConsensusReport {
+    /// The anchor the instance ran on.
+    pub anchor: BlockId,
+    /// Decision of each proposer.
+    pub decisions: Vec<BlockId>,
+    /// Block each proposer actually minted (`None` = short-circuited).
+    pub minted: Vec<Option<BlockId>>,
+    /// Which proposer grafted the winner (at most one true).
+    pub grafted: Vec<bool>,
+}
+
+impl TreeConsensusReport {
+    /// Assembles a report from per-proposer outcomes.
+    pub fn from_outcomes(anchor: BlockId, outcomes: &[ProposeOutcome]) -> Self {
+        TreeConsensusReport {
+            anchor,
+            decisions: outcomes.iter().map(|o| o.decided).collect(),
+            minted: outcomes.iter().map(|o| o.minted).collect(),
+            grafted: outcomes.iter().map(|o| o.grafted).collect(),
+        }
+    }
+
+    /// Agreement: all deciding processes decide the same block.
+    pub fn agreement(&self) -> bool {
+        self.decisions.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Validity: the decided block was proposed — minted under the anchor
+    /// by some proposer of this instance (and committed, hence `P`-valid;
+    /// membership is checked against the tree by the callers).
+    pub fn validity(&self) -> bool {
+        self.decisions
+            .iter()
+            .all(|d| self.minted.contains(&Some(*d)))
+    }
+
+    /// Termination: every proposer decided (one outcome per proposer; the
+    /// report existing with full vectors encodes it).
+    pub fn termination(&self) -> bool {
+        !self.decisions.is_empty()
+            && self.decisions.len() == self.minted.len()
+            && self.decisions.len() == self.grafted.len()
+    }
+
+    /// Integrity, object half: at most one propose committed a block (no
+    /// process decides twice is structural — one outcome per call).
+    pub fn integrity(&self) -> bool {
+        self.grafted.iter().filter(|&&g| g).count() <= 1
+    }
+
+    /// The agreed decision (when agreement holds).
+    pub fn decided(&self) -> Option<BlockId> {
+        if self.agreement() {
+            self.decisions.first().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs one instance with `n` real proposer threads (proposer `i` offers
+/// `CandidateBlock::simple(ProcessId(i), nonce_base + i)`) and reports.
+pub fn run_tree_trial<F: SelectionFn, P: ValidityPredicate>(
+    consensus: &TreeConsensus<'_, F, P>,
+    n: usize,
+    nonce_base: u64,
+) -> TreeConsensusReport {
+    use btadt_core::ids::ProcessId;
+    let outcomes: Vec<ProposeOutcome> = std::thread::scope(|s| {
+        (0..n)
+            .map(|who| {
+                s.spawn(move || {
+                    let cand =
+                        CandidateBlock::simple(ProcessId(who as u32), nonce_base + who as u64);
+                    consensus.propose(who, cand)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("proposer must not panic"))
+            .collect()
+    });
+    TreeConsensusReport::from_outcomes(consensus.anchor(), &outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::ids::ProcessId;
+    use btadt_core::selection::LongestChain;
+    use btadt_core::store::BlockView;
+    use btadt_core::validity::{AcceptAll, DigestPrefix};
+    use btadt_oracle::{Merits, ThetaOracle};
+
+    fn shared_oracle(n: usize, seed: u64) -> SharedOracle {
+        SharedOracle::new(ThetaOracle::frugal(
+            1,
+            Merits::uniform(n),
+            n as f64 * 0.8,
+            seed,
+        ))
+    }
+
+    #[test]
+    fn single_proposer_decides_own_block_and_commits_it() {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let oracle = shared_oracle(1, 1);
+        let c = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
+        let out = c.propose(0, CandidateBlock::simple(ProcessId(0), 7));
+        assert_eq!(out.minted, Some(out.decided));
+        assert!(out.grafted);
+        assert!(tree.is_committed(out.decided), "graft-before-decide");
+        assert_eq!(tree.read().tip(), out.decided);
+        assert_eq!(c.decided(), Some(out.decided));
+        assert_eq!(oracle.first_consumed(BlockId::GENESIS), Some(out.decided));
+    }
+
+    #[test]
+    fn threaded_trials_satisfy_def_4_1_across_seeds() {
+        for seed in 0..12u64 {
+            let n = 4;
+            let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+            let oracle = shared_oracle(n, seed);
+            let c = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
+            let report = run_tree_trial(&c, n, 100);
+            assert!(report.termination(), "seed {seed}");
+            assert!(report.agreement(), "seed {seed}: {:?}", report.decisions);
+            assert!(report.validity(), "seed {seed}: {:?}", report.decisions);
+            assert!(report.integrity(), "seed {seed}: {:?}", report.grafted);
+            let d = report.decided().expect("agreement holds");
+            assert!(tree.is_committed(d), "seed {seed}: decided ∈ membership");
+            assert!(oracle.fork_coherent(), "seed {seed}");
+            // k = 1 on one instance: the tree grew by exactly the winner.
+            assert_eq!(tree.len(), 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chained_instances_build_the_decided_path() {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let oracle = shared_oracle(3, 9);
+        let mut anchor = BlockId::GENESIS;
+        let mut decisions = Vec::new();
+        for round in 0..5u64 {
+            let c = TreeConsensus::new(&tree, &oracle, anchor);
+            let report = run_tree_trial(&c, 3, round * 10);
+            let d = report.decided().expect("agreement");
+            assert_eq!(tree.store().parent(d), Some(anchor), "decisions chain");
+            decisions.push(d);
+            anchor = d;
+        }
+        // Membership is exactly the decided path.
+        let chain = tree.read_owned();
+        assert_eq!(chain.len(), 6);
+        assert_eq!(&chain.ids()[1..], decisions.as_slice());
+        assert!(oracle.fork_coherent());
+    }
+
+    #[test]
+    fn late_proposer_adopts_the_published_decision() {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let oracle = shared_oracle(2, 4);
+        let c = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
+        let first = c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
+        let late = c.propose(1, CandidateBlock::simple(ProcessId(1), 2));
+        assert_eq!(late.decided, first.decided, "decisions are sticky");
+        assert!(!late.grafted);
+        assert_eq!(late.minted, None, "published decision short-circuits");
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 1")]
+    fn rejects_non_k1_oracles() {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let oracle = SharedOracle::new(ThetaOracle::frugal(2, Merits::uniform(2), 2.0, 0));
+        let _ = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a committed member")]
+    fn rejects_uncommitted_anchors() {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let oracle = shared_oracle(1, 0);
+        // Minted but never grafted: an arena orphan is no anchor.
+        let orphan = tree
+            .store()
+            .mint(BlockId::GENESIS, ProcessId(0), 0, 1, 5, Default::default());
+        let _ = TreeConsensus::new(&tree, &oracle, orphan);
+    }
+
+    #[test]
+    #[should_panic(expected = "wedged")]
+    fn zero_rate_oracle_panics_instead_of_hanging() {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let oracle = SharedOracle::new(ThetaOracle::frugal(1, Merits::uniform(1), 0.0, 0));
+        let c = TreeConsensus::with_stall_limit(
+            &tree,
+            &oracle,
+            BlockId::GENESIS,
+            Duration::from_millis(50),
+        );
+        c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "validity predicate rejected")]
+    fn p_rejecting_an_admitted_block_is_a_loud_misconfiguration() {
+        // A P that rejects everything cannot be paired with an oracle that
+        // admits something: the winner's graft would silently fail and
+        // every decide would dangle.
+        let tree = ConcurrentBlockTree::new(LongestChain, DigestPrefix { zero_bits: 64 });
+        let oracle = shared_oracle(1, 3);
+        let c = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
+        c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
+    }
+}

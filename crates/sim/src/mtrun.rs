@@ -51,6 +51,7 @@ use btadt_core::selection::SelectionFn;
 use btadt_core::store::BlockStore;
 use btadt_core::validity::AcceptAll;
 use btadt_oracle::{Merits, SharedOracle, ThetaOracle};
+use btadt_registers::{TreeConsensus, TreeConsensusReport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -173,15 +174,12 @@ fn frugal_append<F: SelectionFn>(
             // Our mint joined K[parent]. Its parent may have been a
             // feedback winner whose own committer has not grafted yet —
             // wait for parent-closure, then commit.
-            while !tree.is_committed(parent) {
-                assert!(
-                    std::time::Instant::now() < deadline,
-                    "frugal_append wedged: p{merit_index}'s admitted mint \
-                     {id} waited {FRUGAL_STALL_LIMIT:?} for parent {parent} \
-                     to commit — its owner likely died before grafting"
-                );
-                std::thread::yield_now();
-            }
+            assert!(
+                tree.wait_committed(parent, deadline),
+                "frugal_append wedged: p{merit_index}'s admitted mint \
+                 {id} waited {FRUGAL_STALL_LIMIT:?} for parent {parent} \
+                 to commit — its owner likely died before grafting"
+            );
             return tree
                 .graft_minted(id)
                 .expect("AcceptAll admits every oracle-approved block");
@@ -334,5 +332,226 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
         history,
         appended,
         fork_coherent: oracle.as_ref().map(|o| o.fork_coherent()),
+    }
+}
+
+/// Shape of a multi-threaded *consensus* run: `rounds` chained Protocol-A
+/// instances (`TreeConsensus`) over one shared
+/// `ConcurrentBlockTree` + Θ_F,k=1 pair, with reader threads racing
+/// `read()` against the decide path.
+///
+/// Round `r + 1` is anchored at round `r`'s decision as proposer 0 — the
+/// thread that installs each round's instance — observed it. Agreement
+/// makes that choice identical to what every other proposer decided; the
+/// per-round Def. 4.1 reports and the e2e suite's anchor-chaining
+/// assertions are what verify that, from the recorded evidence.
+#[derive(Clone, Debug)]
+pub struct ConsensusConfig {
+    /// Seeds the oracle tapes, work weights, and reader pacing.
+    pub seed: u64,
+    /// Proposer threads (merit indices `0 .. proposers`).
+    pub proposers: usize,
+    /// Reader threads.
+    pub readers: usize,
+    /// Consensus instances, chained anchor-to-decision.
+    pub rounds: usize,
+    /// Reads per reader per round.
+    pub reads_per_round: usize,
+    /// Token rate across the uniform merit vector; `None` = 0.8 per
+    /// proposer per attempt (the `btadt-registers` test default).
+    pub rate: Option<f64>,
+}
+
+impl Default for ConsensusConfig {
+    fn default() -> Self {
+        ConsensusConfig {
+            seed: 0,
+            proposers: 3,
+            readers: 2,
+            rounds: 2,
+            reads_per_round: 4,
+            rate: None,
+        }
+    }
+}
+
+/// Everything a checker needs from one recorded consensus run.
+pub struct ConsensusRun {
+    /// The recorded history: one `Propose`/`Decided` operation per
+    /// proposer per round, plus the readers' `Read`/`Chain` operations.
+    pub history: History,
+    /// Sequential snapshot of the arena (winners and orphaned loser
+    /// mints alike), taken after all threads joined.
+    pub store: BlockStore,
+    /// Membership commit order — one graft per round.
+    pub commit_log: Vec<BlockId>,
+    /// The tree's final published chain.
+    pub final_chain: Blockchain,
+    /// Per-round Def. 4.1 evidence, in round order.
+    pub reports: Vec<TreeConsensusReport>,
+    /// The decisions in round order (the decided path `b0⌢d1⌢d2⌢…`).
+    pub decisions: Vec<BlockId>,
+    /// Thm. 3.2 k-fork coherence of the shared oracle after the run.
+    pub fork_coherent: bool,
+    /// Wall clock of the threaded phase only (spawn → join): the decide
+    /// path plus reads, *excluding* post-join evidence assembly (arena
+    /// snapshot, log merge, history construction) — what a throughput
+    /// number should divide by.
+    pub threads_wall: std::time::Duration,
+}
+
+/// Drives `cfg` against a fresh `ConcurrentBlockTree<F, AcceptAll>` +
+/// Θ_F,k=1 pair: every round, proposer 0 installs a fresh
+/// [`TreeConsensus`] anchored at the previous decision (rounds are
+/// barrier-separated, so the install is race-free and the inter-round
+/// instants are quiescent), then all proposers race `propose` while the
+/// readers hammer `read()`. Both the decide events and the reads are
+/// stamped on the shared global clock and folded into one [`History`] —
+/// the evidence the Wing–Gong/windowed checkers judge.
+pub fn run_consensus_workload<F: SelectionFn>(selection: F, cfg: &ConsensusConfig) -> ConsensusRun {
+    assert!(cfg.proposers >= 1, "consensus needs at least one proposer");
+    let tree = ConcurrentBlockTree::new(selection, AcceptAll);
+    // An explicit zero/negative rate is honored, not clamped: it drives
+    // the decide path's wedge diagnostic (propose panics after its stall
+    // limit), which is exactly what such a config is for.
+    let rate = cfg.rate.unwrap_or(0.8 * cfg.proposers as f64);
+    let oracle = SharedOracle::new(ThetaOracle::frugal(
+        1,
+        Merits::uniform(cfg.proposers),
+        rate,
+        cfg.seed,
+    ));
+    let clock = AtomicU64::new(0);
+    let barrier = Barrier::new(cfg.proposers + cfg.readers);
+    // The round's shared instance. Proposer 0 replaces it between the
+    // trailing barrier of round r and the leading barrier of round r+1 —
+    // every other thread is parked on the leading barrier then, so the
+    // slot is never written while read.
+    let instance: std::sync::RwLock<Option<TreeConsensus<'_, F, AcceptAll>>> =
+        std::sync::RwLock::new(None);
+
+    let tick = |clock: &AtomicU64| Time(clock.fetch_add(1, Ordering::AcqRel) + 1);
+
+    type ProposerLog = (Vec<LoggedOp>, Vec<btadt_registers::ProposeOutcome>);
+    let mut proposer_logs: Vec<ProposerLog> = Vec::new();
+    let mut reader_logs: Vec<Vec<LoggedOp>> = Vec::new();
+    let threads_started = std::time::Instant::now();
+    std::thread::scope(|s| {
+        let mut proposers = Vec::new();
+        let mut readers = Vec::new();
+        for p in 0..cfg.proposers {
+            let (tree, oracle, clock, barrier, instance) =
+                (&tree, &oracle, &clock, &barrier, &instance);
+            let cfg = cfg.clone();
+            proposers.push(s.spawn(move || {
+                let me = ProcessId(p as u32);
+                let mut log: Vec<LoggedOp> = Vec::new();
+                let mut outcomes = Vec::new();
+                let mut anchor = BlockId::GENESIS;
+                for round in 0..cfg.rounds {
+                    if p == 0 {
+                        *instance.write().expect("slot lock") =
+                            Some(TreeConsensus::new(tree, oracle, anchor));
+                    }
+                    barrier.wait();
+                    let nonce = ((p as u64) << 40) | round as u64;
+                    let work = 1 + splitmix64_at(cfg.seed ^ ((p as u64) << 16), round as u64) % 4;
+                    let cand = CandidateBlock::simple(me, nonce).with_work(work);
+                    let guard = instance.read().expect("slot lock");
+                    let cons = guard.as_ref().expect("proposer 0 installed the round");
+                    let t0 = tick(clock);
+                    let out = cons.propose(p, cand);
+                    let t1 = tick(clock);
+                    drop(guard);
+                    log.push((
+                        me,
+                        Invocation::Propose { nonce },
+                        t0,
+                        Response::Decided {
+                            block: out.decided,
+                            grafted: out.grafted,
+                        },
+                        t1,
+                    ));
+                    outcomes.push(out);
+                    if p == 0 {
+                        // Only the installer's local decision picks the
+                        // next anchor; Agreement (checked by the reports)
+                        // makes it everyone's decision.
+                        anchor = out.decided;
+                    }
+                    barrier.wait();
+                }
+                (log, outcomes)
+            }));
+        }
+        for r in 0..cfg.readers {
+            let (tree, clock, barrier) = (&tree, &clock, &barrier);
+            let cfg = cfg.clone();
+            readers.push(s.spawn(move || {
+                let me = ProcessId((cfg.proposers + r) as u32);
+                let mut log: Vec<LoggedOp> = Vec::new();
+                for round in 0..cfg.rounds {
+                    barrier.wait();
+                    for i in 0..cfg.reads_per_round {
+                        let step = (round * cfg.reads_per_round + i) as u64;
+                        if splitmix64_at(cfg.seed ^ 0xC05EAD, ((r as u64) << 24) | step)
+                            .is_multiple_of(3)
+                        {
+                            std::thread::yield_now();
+                        }
+                        let t0 = tick(clock);
+                        let chain = tree.read_owned();
+                        let t1 = tick(clock);
+                        log.push((me, Invocation::Read, t0, Response::Chain(chain), t1));
+                    }
+                    barrier.wait();
+                }
+                log
+            }));
+        }
+        for h in proposers {
+            proposer_logs.push(h.join().expect("proposer threads do not panic"));
+        }
+        for h in readers {
+            reader_logs.push(h.join().expect("reader threads do not panic"));
+        }
+    });
+    let threads_wall = threads_started.elapsed();
+
+    // Per-round Def. 4.1 reports, proposer order inside each round.
+    let mut reports = Vec::with_capacity(cfg.rounds);
+    let mut decisions = Vec::with_capacity(cfg.rounds);
+    let mut anchor = BlockId::GENESIS;
+    for round in 0..cfg.rounds {
+        let outcomes: Vec<_> = proposer_logs.iter().map(|(_, o)| o[round]).collect();
+        let report = TreeConsensusReport::from_outcomes(anchor, &outcomes);
+        if let Some(d) = report.decided() {
+            anchor = d;
+            decisions.push(d);
+        }
+        reports.push(report);
+    }
+
+    let mut merged: Vec<LoggedOp> = proposer_logs
+        .into_iter()
+        .flat_map(|(log, _)| log)
+        .chain(reader_logs.into_iter().flatten())
+        .collect();
+    merged.sort_by_key(|(_, _, t0, _, _)| *t0);
+    let mut history = History::new();
+    for (p, inv, t0, resp, t1) in merged {
+        history.push_complete(p, inv, t0, resp, t1);
+    }
+
+    ConsensusRun {
+        store: tree.snapshot_store(),
+        commit_log: tree.commit_log(),
+        final_chain: tree.read_owned(),
+        history,
+        reports,
+        decisions,
+        fork_coherent: oracle.fork_coherent(),
+        threads_wall,
     }
 }

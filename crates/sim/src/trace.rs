@@ -222,8 +222,9 @@ impl Trace {
         for op in self.history.ops() {
             let keep = match op.invocation {
                 // (iii): append invocations survive regardless of who
-                // issued them.
-                Invocation::Append { .. } => true,
+                // issued them — and a propose is an append attempt (its
+                // winning mint is the appended block), so it survives too.
+                Invocation::Append { .. } | Invocation::Propose { .. } => true,
                 Invocation::Read => is_correct(op.process),
             };
             if !keep {

@@ -1,0 +1,261 @@
+//! Protocol A end to end: consensus-from-Θ_F,k=1 driven through the
+//! `ConcurrentBlockTree`, judged by its recorded evidence.
+//!
+//! `run_consensus_workload` races N real proposer threads (and M reader
+//! threads) through chained `TreeConsensus` instances on one shared tree +
+//! oracle pair; these tests assert, per seed:
+//!
+//! * the four Def. 4.1 properties (Termination / Integrity / Agreement /
+//!   Validity) on every round's report;
+//! * Thm. 3.2 k-fork coherence of the shared oracle;
+//! * membership-is-path for k = 1 — the committed tree is exactly the
+//!   decided chain `b0⌢d1⌢…⌢dR`;
+//! * linearizability of the recorded history (proposes replayed as the
+//!   refined appends of their decisions, loser decides ordered after the
+//!   winner's graft, reads against the published chain).
+
+use btadt_core::criteria::local_monotonic_read;
+use btadt_core::history::{Invocation, Response};
+use btadt_core::ids::BlockId;
+use btadt_core::linearizability::{
+    check_linearizable, check_linearizable_windowed, Linearizability, DEFAULT_OP_LIMIT,
+};
+use btadt_core::score::LengthScore;
+use btadt_core::selection::LongestChain;
+use btadt_sim::mtrun::{run_consensus_workload, ConsensusConfig};
+
+fn assert_def_4_1(run: &btadt_sim::mtrun::ConsensusRun, seed: u64) {
+    for (round, report) in run.reports.iter().enumerate() {
+        assert!(report.termination(), "seed {seed} round {round}");
+        assert!(
+            report.integrity(),
+            "seed {seed} round {round}: more than one graft: {:?}",
+            report.grafted
+        );
+        assert!(
+            report.agreement(),
+            "seed {seed} round {round}: split decisions {:?}",
+            report.decisions
+        );
+        assert!(
+            report.validity(),
+            "seed {seed} round {round}: decided {:?} ∉ minted {:?}",
+            report.decisions,
+            report.minted
+        );
+    }
+}
+
+/// Membership-is-path under k = 1: the commit log is exactly the decided
+/// chain, in order, and the final published chain carries it.
+fn assert_decided_path(run: &btadt_sim::mtrun::ConsensusRun, seed: u64) {
+    assert_eq!(
+        run.commit_log, run.decisions,
+        "seed {seed}: one graft/round"
+    );
+    let mut expected = vec![BlockId::GENESIS];
+    expected.extend(&run.decisions);
+    assert_eq!(
+        run.final_chain.ids(),
+        expected.as_slice(),
+        "seed {seed}: the tree is the decided path"
+    );
+    // Anchor chaining: round r's decision is minted under round r-1's.
+    for (r, report) in run.reports.iter().enumerate() {
+        let d = report.decided().expect("agreement asserted already");
+        assert_eq!(
+            run.store.parent(d),
+            Some(report.anchor),
+            "seed {seed} round {r}: decision chains to its anchor"
+        );
+        let anchor_expected = if r == 0 {
+            BlockId::GENESIS
+        } else {
+            run.decisions[r - 1]
+        };
+        assert_eq!(report.anchor, anchor_expected, "seed {seed} round {r}");
+    }
+}
+
+#[test]
+fn consensus_runs_satisfy_def_4_1_across_20_seeds() {
+    for seed in 0..20u64 {
+        let cfg = ConsensusConfig {
+            seed,
+            proposers: 3,
+            readers: 2,
+            rounds: 2,
+            reads_per_round: 4,
+            rate: None,
+        };
+        let run = run_consensus_workload(LongestChain, &cfg);
+        assert!(
+            run.history.validate().is_empty(),
+            "seed {seed}: recorded history is well-formed"
+        );
+        assert!(
+            run.fork_coherent,
+            "seed {seed}: Thm. 3.2 on the shared oracle"
+        );
+        assert_def_4_1(&run, seed);
+        assert_decided_path(&run, seed);
+        // History-level agreement: every recorded decide event carries one
+        // of the round decisions — the evidence and the reports concur.
+        assert!(
+            run.history.decisions().all(|d| run.decisions.contains(&d)),
+            "seed {seed}: a recorded decide disagrees with the reports"
+        );
+        // 2 rounds × (3 proposes + 2×4 reads) = 22 ops ≤ the exhaustive cap.
+        let r = check_linearizable(&run.history, &run.store, &LongestChain);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+    }
+}
+
+/// Longer runs clear the exhaustive cap; the barrier between rounds
+/// guarantees the quiescent cuts the windowed checker needs.
+#[test]
+fn long_consensus_runs_check_via_quiescent_windows() {
+    for seed in 100..110u64 {
+        let cfg = ConsensusConfig {
+            seed,
+            proposers: 4,
+            readers: 2,
+            rounds: 5,
+            reads_per_round: 4,
+            rate: None,
+        };
+        let run = run_consensus_workload(LongestChain, &cfg);
+        assert_def_4_1(&run, seed);
+        assert_decided_path(&run, seed);
+        let r =
+            check_linearizable_windowed(&run.history, &run.store, &LongestChain, DEFAULT_OP_LIMIT);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+        // Reader evidence: per-process chain lengths never shrink.
+        let verdict = local_monotonic_read::check(&run.history, &LengthScore);
+        assert!(verdict.holds, "seed {seed}: {:?}", verdict.violations);
+    }
+}
+
+/// The history's decide events agree with the reports: same decisions,
+/// exactly one grafted propose per round, and every read invoked after a
+/// decide's response observes the decided block.
+#[test]
+fn recorded_decide_events_match_the_reports() {
+    let cfg = ConsensusConfig {
+        seed: 42,
+        proposers: 4,
+        readers: 2,
+        rounds: 3,
+        reads_per_round: 5,
+        rate: None,
+    };
+    let run = run_consensus_workload(LongestChain, &cfg);
+    assert_eq!(run.history.proposes().count(), 4 * 3);
+    let mut grafted_per_decision = std::collections::HashMap::new();
+    for op in run.history.proposes() {
+        let Some(Response::Decided { block, grafted }) = op.response else {
+            panic!("proposes complete with Decided responses");
+        };
+        assert!(
+            run.decisions.contains(&block),
+            "decided {block} is one of the round decisions"
+        );
+        *grafted_per_decision.entry(block).or_insert(0usize) += grafted as usize;
+    }
+    for d in &run.decisions {
+        assert_eq!(grafted_per_decision[d], 1, "exactly one graft decided {d}");
+    }
+    // Graft-before-decide, observed from the reads: any read invoked
+    // after a decide's response contains the decided block.
+    for op in run.history.ops() {
+        let Some(Response::Decided { block, .. }) = op.response else {
+            continue;
+        };
+        let decided_at = op.responded_at.expect("complete");
+        for read in run.history.reads() {
+            if read.invoked_at > decided_at {
+                if let Some(Response::Chain(chain)) = &read.response {
+                    assert!(
+                        chain.ids().contains(&block),
+                        "read at {:?} misses block {block} decided at {decided_at:?}",
+                        read.invoked_at
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Proposer counts from solo to heavy contention, heterogeneous configs:
+/// the decide path must hold shape everywhere.
+#[test]
+fn consensus_holds_across_thread_counts() {
+    for (seed, proposers, readers, rounds) in
+        [(7u64, 1usize, 0usize, 4usize), (8, 2, 1, 3), (9, 6, 3, 2)]
+    {
+        let cfg = ConsensusConfig {
+            seed,
+            proposers,
+            readers,
+            rounds,
+            reads_per_round: 3,
+            rate: None,
+        };
+        let run = run_consensus_workload(LongestChain, &cfg);
+        assert_def_4_1(&run, seed);
+        assert_decided_path(&run, seed);
+        assert!(run.fork_coherent, "seed {seed}");
+        assert_eq!(run.decisions.len(), rounds, "seed {seed}");
+        let r =
+            check_linearizable_windowed(&run.history, &run.store, &LongestChain, DEFAULT_OP_LIMIT);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+    }
+}
+
+/// The loser mints are part of the evidence too: they sit in the arena as
+/// non-member orphans parented at their round's anchor — semantically
+/// `P`-rejected mints, never members.
+#[test]
+fn loser_mints_stay_non_member_orphans() {
+    let cfg = ConsensusConfig {
+        seed: 3,
+        proposers: 4,
+        readers: 0,
+        rounds: 2,
+        reads_per_round: 0,
+        rate: None,
+    };
+    let run = run_consensus_workload(LongestChain, &cfg);
+    let committed: std::collections::HashSet<_> = run.commit_log.iter().copied().collect();
+    for (round, report) in run.reports.iter().enumerate() {
+        for minted in report.minted.iter().flatten() {
+            assert_eq!(
+                run.store.parent(*minted),
+                Some(report.anchor),
+                "round {round}: every mint hangs off the anchor"
+            );
+            let is_winner = Some(*minted) == report.decided();
+            assert_eq!(
+                committed.contains(minted),
+                is_winner,
+                "round {round}: only the winner is a member"
+            );
+        }
+    }
+    // And the history agrees about which proposes are which.
+    for op in run.history.proposes() {
+        assert!(matches!(
+            (&op.invocation, &op.response),
+            (Invocation::Propose { .. }, Some(Response::Decided { .. }))
+        ));
+    }
+}
