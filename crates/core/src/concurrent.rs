@@ -19,21 +19,31 @@
 //!   at a time, so there is no lock-order cycle. Every shard write bumps a
 //!   per-shard generation counter, which is what lets [`SnapshotCache`]
 //!   extend a sequential snapshot incrementally against a *live* tree.
-//! * **Staged commits** (`crate::commit`): tree membership, the
+//! * **Two-speed commits** (`crate::commit`): tree membership, the
 //!   incremental [`ChainCache`], and the commit log still live behind one
 //!   mutex — the linearization point of successful appends — but appends
 //!   no longer serialize through it one by one. An `append` mints and
-//!   pre-validates against the published tip outside any lock (as
-//!   before), then *enqueues* a commit request on a lock-free MPSC queue;
-//!   whichever enqueued appender acquires the selection mutex (one CAS
-//!   uncontended; contended appenders park and are usually resolved by
-//!   the incumbent — a combining lock) drains the queue as a batch — one
-//!   membership insert plus incremental re-selection fold per request,
-//!   one chain publication
-//!   for the whole batch. A request whose optimistic parent lost the race
-//!   is re-minted by the drainer under the authoritative cache tip, so
-//!   every append resolves in exactly one queue pass (the old design
-//!   looped mint→lock→check per collision).
+//!   pre-validates against the published tip outside any lock, *moving*
+//!   its payload into the arena (the append path clones nothing). If the
+//!   selection mutex is free on the first CAS, the append commits
+//!   **inline** — no request node, no queue traffic, no status-word
+//!   roundtrip: the uncontended path costs the mint plus one lock.
+//!   Otherwise a drainer is at work: the append *enqueues* a commit
+//!   request on a lock-free MPSC queue, and whichever enqueued appender
+//!   acquires the selection mutex next (contended appenders park and are
+//!   usually resolved by the incumbent — a combining lock) drains the
+//!   queue as a batch — one membership insert plus incremental
+//!   re-selection fold per request, one chain publication for the whole
+//!   batch. A request whose optimistic parent lost the race is re-minted
+//!   by the drainer under the authoritative cache tip (payload read back
+//!   from the orphan — the only copy, on the slow path only), so every
+//!   append resolves in exactly one queue pass.
+//! * **Commit generation + parking** : every publication advances a
+//!   monotone generation counter (stored *after* the pointer swap);
+//!   decide-path waiters ([`ConcurrentBlockTree::wait_committed`],
+//!   Protocol A's losers) park on it through a condvar and wake exactly
+//!   when a commit lands, instead of spinning `yield_now` against the
+//!   very thread whose graft they are waiting for.
 //! * **Lock-free reads with grace periods** (`crate::epoch`): after every
 //!   batch the selected chain `{b0}⌢f(bt)` is republished as a boxed
 //!   [`Blockchain`] through an atomic pointer swap. `read()` pins the
@@ -62,38 +72,175 @@ use crate::block::{Block, Payload};
 use crate::blocktree::CandidateBlock;
 use crate::chain::Blockchain;
 use crate::commit::{CommitQueue, CommitReq, PipelineStats};
-use crate::epoch::{EpochDomain, Guard};
+use crate::epoch::{EpochDomain, Guard, RecycleBin};
 use crate::ids::BlockId;
 use crate::selection::SelectionFn;
 use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
 use crate::tipcache::ChainCache;
 use crate::validity::ValidityPredicate;
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Default shard count for [`ShardedStore`] (must be a power of two).
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// Commit paths attempt an epoch advance + bag sweep only once this many
-/// retirees are pending: reclamation cost is amortized over ~a batch of
-/// commits while the backlog stays a small constant (the churn stress
-/// asserts the bound from the outside).
-const RECLAIM_PENDING_THRESHOLD: usize = 32;
+/// Floor of the adaptive reclamation threshold: commit paths attempt an
+/// epoch advance + bag sweep only once at least this many retirees are
+/// pending, so reclamation cost is amortized over many commits while the
+/// backlog stays a small constant (the churn stress asserts the bound
+/// from the outside).
+const RECLAIM_PENDING_MIN: usize = 32;
+
+/// Cap of the adaptive threshold. One snapshot box is retired per
+/// *publication*, so the pending count grows at the publication rate:
+/// under contention a batch of B appends retires once and the [`
+/// RECLAIM_PENDING_MIN`] floor already spaces sweeps ~B·32 appends apart,
+/// but on the uncontended inline path every append publishes (B = 1) and
+/// a static threshold would sweep 8× as often per append. The threshold
+/// scales inversely with the observed mean batch size, clamped here, so
+/// the sweep cost per *append* stays roughly constant across contention
+/// regimes — and the worst-case backlog stays a few hundred boxes.
+const RECLAIM_PENDING_MAX: usize = 256;
 
 struct Entry {
     block: Block,
     cum_work: u64,
     jump: BlockId,
-    /// Forward edges: member-or-not children, in minting order.
-    children: Vec<BlockId>,
+    /// Height of `jump`'s target, cached so a child's jump computation
+    /// never has to re-read that entry's shard.
+    jump_h: u32,
+    /// `jump`'s own jump target and its height: the skew-binary merge
+    /// test compares span lengths two jump levels up, and caching both
+    /// here turns the four shard-lock crossings the generic
+    /// `jump_for_child` needs into at most one extra (merge steps only).
+    jump2: BlockId,
+    jump2_h: u32,
 }
 
-#[derive(Default)]
+/// Spine length of a shard's chunk table: chunk `k` holds `2^k` slots, so
+/// 32 chunks cover every id a `u32` can name.
+const SPINE: usize = 32;
+
+/// One grow-only chunk of arena slots. Entries are written exactly once —
+/// by the thread that allocated the id — and published by the paired
+/// `ready` flag (`Release` store / `Acquire` load), after which they are
+/// immutable forever. That write-once discipline is what lets every
+/// metadata read (`meta`, `with_block`, ancestry walks, the selection
+/// fold) run **without any lock**: the per-shard `RwLock` this replaces
+/// charged two atomic RMWs per read, several times per append.
+struct Chunk {
+    ready: Box<[std::sync::atomic::AtomicBool]>,
+    entries: Box<[std::cell::UnsafeCell<std::mem::MaybeUninit<Entry>>]>,
+}
+
+impl Chunk {
+    fn new(len: usize) -> Chunk {
+        Chunk {
+            ready: (0..len)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+            entries: (0..len)
+                .map(|_| std::cell::UnsafeCell::new(std::mem::MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        for (r, e) in self.ready.iter().zip(self.entries.iter_mut()) {
+            if r.load(Ordering::Acquire) {
+                // SAFETY: a ready slot holds a fully initialized entry,
+                // and `&mut self` means no reader is alive.
+                unsafe { e.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Geometric chunk coordinates of slot `s`: chunk `k = ⌊log2(s+1)⌋`,
+/// offset `s + 1 - 2^k`, chunk capacity `2^k`.
+#[inline]
+fn chunk_of(slot: usize) -> (usize, usize) {
+    let k = (usize::BITS - 1 - (slot + 1).leading_zeros()) as usize;
+    (k, slot + 1 - (1 << k))
+}
+
 struct Shard {
     /// Slot `i` holds the block with id `i * shards + shard_index`.
-    /// Ids are allocated before their entry is written, so a slot can be
-    /// transiently `None` mid-mint.
-    slots: Vec<Option<Entry>>,
+    /// Chunks are installed by CAS and never moved or freed while the
+    /// store lives, so a slot's address is stable from its first write.
+    spine: [AtomicPtr<Chunk>; SPINE],
+    /// Forward edges per slot, in minting order — the one piece of
+    /// per-block state that mutates after publication, so it lives under
+    /// a (per-shard) mutex instead of next to the immutable entry.
+    children: Mutex<Vec<Vec<BlockId>>>,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard {
+            spine: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            children: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Shard {
+    /// The chunk covering `slot`, installing it first if nobody has.
+    fn chunk_for_write(&self, slot: usize) -> (&Chunk, usize) {
+        let (k, off) = chunk_of(slot);
+        let p = self.spine[k].load(Ordering::Acquire);
+        let chunk = if p.is_null() {
+            let fresh = Box::into_raw(Box::new(Chunk::new(1 << k)));
+            match self.spine[k].compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => fresh,
+                Err(winner) => {
+                    // SAFETY: ours never escaped.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    winner
+                }
+            }
+        } else {
+            p
+        };
+        // SAFETY: chunks are never freed while the store lives.
+        (unsafe { &*chunk }, off)
+    }
+
+    /// The entry at `slot`, if fully minted. Lock-free.
+    fn entry(&self, slot: usize) -> Option<&Entry> {
+        let (k, off) = chunk_of(slot);
+        let p = self.spine[k].load(Ordering::Acquire);
+        if p.is_null() {
+            return None;
+        }
+        // SAFETY: chunks live as long as the store.
+        let chunk = unsafe { &*p };
+        if !chunk.ready[off].load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: `ready` was published (Release) after the one-time
+        // entry write; entries are immutable from then on.
+        Some(unsafe { (*chunk.entries[off].get()).assume_init_ref() })
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        for p in &self.spine {
+            let p = p.load(Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: install sites leaked exactly these boxes.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
 }
 
 /// A lock-sharded, append-only block arena safe for concurrent minting.
@@ -104,12 +251,13 @@ struct Shard {
 /// one shard read lock at a time (child lists are copied out before any
 /// callback runs), so queries never deadlock against concurrent minters.
 pub struct ShardedStore {
-    shards: Box<[RwLock<Shard>]>,
-    /// Per-shard write-generation counters (bumped after every slot write
-    /// or child-list push, outside the shard lock). Writers touch only
-    /// their own shard's counter — no shared cache line — and
-    /// [`SnapshotCache`] compares them to skip rescans when nothing
-    /// changed: the copy-on-write gate for incremental snapshots.
+    shards: Box<[Shard]>,
+    /// Per-shard write-generation counters: every mint bumps its
+    /// *parent's* shard counter (after the child-list push), so any new
+    /// block moves some counter. Writers touch only one counter per mint
+    /// — no shared cache line — and [`SnapshotCache`] equality-compares
+    /// the vector to skip rescans when nothing changed: the
+    /// copy-on-write gate for incremental snapshots.
     gens: Box<[AtomicU64]>,
     next_id: AtomicU32,
     mask: u32,
@@ -130,7 +278,7 @@ impl ShardedStore {
             "shard count must be a power of two"
         );
         let store = ShardedStore {
-            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
             gens: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             next_id: AtomicU32::new(1),
             mask: shards as u32 - 1,
@@ -138,12 +286,17 @@ impl ShardedStore {
         };
         // Install genesis (same block BlockStore::new mints into slot 0).
         let genesis = BlockStore::new().block(BlockId::GENESIS);
-        store.shards[0].write().slots.push(Some(Entry {
-            block: genesis,
-            cum_work: 0,
-            jump: BlockId::GENESIS,
-            children: Vec::new(),
-        }));
+        store.install_entry(
+            BlockId::GENESIS,
+            Entry {
+                block: genesis,
+                cum_work: 0,
+                jump: BlockId::GENESIS,
+                jump_h: 0,
+                jump2: BlockId::GENESIS,
+                jump2_h: 0,
+            },
+        );
         store
     }
 
@@ -160,6 +313,18 @@ impl ShardedStore {
     #[inline]
     fn slot_of(&self, id: BlockId) -> usize {
         (id.0 >> self.shift) as usize
+    }
+
+    /// Writes `id`'s one-time entry and publishes it (`Release`). Only
+    /// the thread that allocated `id` may call this, exactly once.
+    fn install_entry(&self, id: BlockId, entry: Entry) {
+        let shard = &self.shards[self.shard_of(id)];
+        let (chunk, off) = shard.chunk_for_write(self.slot_of(id));
+        // SAFETY: this thread owns `id` (it came from our fetch_add, or
+        // construction-time genesis), so no other writer touches the
+        // slot, and no reader looks before the `ready` publication.
+        unsafe { (*chunk.entries[off].get()).write(entry) };
+        chunk.ready[off].store(true, Ordering::Release);
     }
 
     /// Mints a new block under `parent` and returns its id. Safe to call
@@ -180,44 +345,105 @@ impl ShardedStore {
         nonce: u64,
         payload: Payload,
     ) -> BlockId {
-        let pm = self.meta(parent);
-        let height = pm.height + 1;
-        let digest = Block::compute_digest(pm.digest, producer, nonce, &payload);
-        let jump = crate::store::jump_for_child(self, parent);
-        let id = BlockId(self.next_id.fetch_add(1, Ordering::AcqRel));
-        let entry = Entry {
-            block: Block {
-                id,
-                parent: Some(parent),
-                height,
-                producer,
-                merit_index,
-                work,
-                digest,
-                payload,
-            },
-            cum_work: pm.cum_work + work,
-            jump,
-            children: Vec::new(),
+        self.mint_checked(parent, producer, merit_index, work, nonce, payload, |_| {
+            true
+        })
+        .0
+    }
+
+    /// [`mint`](Self::mint) with a predicate run on the fully-built block
+    /// *before* it is installed — the built value lives on this stack, so
+    /// the check runs with **no shard lock held** and the caller never
+    /// pays a lock-plus-clone round trip to re-read what it just minted
+    /// (the concurrent `append` prevalidates every candidate this way).
+    /// The block is installed either way — a `P`-rejected mint still
+    /// occupies its arena slot, exactly as before.
+    #[allow(clippy::too_many_arguments)] // mirrors `mint`, plus the check
+    pub fn mint_checked(
+        &self,
+        parent: BlockId,
+        producer: crate::ids::ProcessId,
+        merit_index: u32,
+        work: u64,
+        nonce: u64,
+        payload: Payload,
+        check: impl FnOnce(&Block) -> bool,
+    ) -> (BlockId, bool) {
+        // One read-lock session on the parent's shard collects everything
+        // a child needs: height/digest/cumulative work plus the cached
+        // jump metadata (see `Entry`).
+        let (pm_height, pm_digest, pm_cum, p_jump, p_jump_h, p_jump2, p_jump2_h) = {
+            let e = self.shards[self.shard_of(parent)]
+                .entry(self.slot_of(parent))
+                .expect("parent fully minted");
+            (
+                e.block.height,
+                e.block.digest,
+                e.cum_work,
+                e.jump,
+                e.jump_h,
+                e.jump2,
+                e.jump2_h,
+            )
         };
-        {
-            let mut shard = self.shards[self.shard_of(id)].write();
-            let slot = self.slot_of(id);
-            if shard.slots.len() <= slot {
-                shard.slots.resize_with(slot + 1, || None);
-            }
-            shard.slots[slot] = Some(entry);
-        }
-        self.gens[self.shard_of(id)].fetch_add(1, Ordering::Release);
+        // Skew-binary jump, identical to `store::jump_for_child` but fed
+        // from the cached heights: merge (jump two levels up) when the
+        // two previous jump spans are equal, else point at the parent.
+        let (jump, jump_h, jump2, jump2_h) = if pm_height - p_jump_h == p_jump_h - p_jump2_h {
+            // The merged jump target's own jump fields come from its
+            // entry — the only extra shard read, and only on merge steps.
+            let (j2, j2h) = {
+                let e = self.shards[self.shard_of(p_jump2)]
+                    .entry(self.slot_of(p_jump2))
+                    .expect("jump ancestors are fully minted");
+                (e.jump, e.jump_h)
+            };
+            (p_jump2, p_jump2_h, j2, j2h)
+        } else {
+            (parent, pm_height, p_jump, p_jump_h)
+        };
+        let height = pm_height + 1;
+        let digest = Block::compute_digest(pm_digest, producer, nonce, &payload);
+        let id = BlockId(self.next_id.fetch_add(1, Ordering::AcqRel));
+        let block = Block {
+            id,
+            parent: Some(parent),
+            height,
+            producer,
+            merit_index,
+            work,
+            digest,
+            payload,
+        };
+        let accepted = check(&block);
+        self.install_entry(
+            id,
+            Entry {
+                block,
+                cum_work: pm_cum + work,
+                jump,
+                jump_h,
+                jump2,
+                jump2_h,
+            },
+        );
         // Forward edge on the parent, after the entry is in place: anyone
         // discovering `id` through the child list finds a complete entry.
-        self.shards[self.shard_of(parent)].write().slots[self.slot_of(parent)]
-            .as_mut()
-            .expect("parent fully minted")
-            .children
-            .push(id);
+        // One generation bump (the parent's shard) per mint suffices as
+        // the change signal: `refresh_snapshot` only equality-compares
+        // the generation vector to gate its scan, and every mint moves
+        // the parent's counter.
+        {
+            let shard = &self.shards[self.shard_of(parent)];
+            let mut children = shard.children.lock();
+            let pslot = self.slot_of(parent);
+            if children.len() <= pslot {
+                children.resize_with(pslot + 1, Vec::new);
+            }
+            children[pslot].push(id);
+        }
         self.gens[self.shard_of(parent)].fetch_add(1, Ordering::Release);
-        id
+        (id, accepted)
     }
 
     /// Extends `cache` with every *fully minted* block not yet adopted,
@@ -272,6 +498,13 @@ impl ShardedStore {
         cache.base
     }
 }
+
+// SAFETY: the only interior mutability is (a) chunk slots, written
+// exactly once by the thread owning the id and published with a
+// Release/Acquire `ready` flag, immutable afterwards; (b) child lists,
+// behind a Mutex. Both are safe to share across threads.
+unsafe impl Sync for ShardedStore {}
+unsafe impl Send for ShardedStore {}
 
 impl Default for ShardedStore {
     fn default() -> Self {
@@ -330,17 +563,13 @@ impl BlockView for ShardedStore {
 
     fn has_block(&self, id: BlockId) -> bool {
         self.shards[self.shard_of(id)]
-            .read()
-            .slots
-            .get(self.slot_of(id))
-            .map(|s| s.is_some())
-            .unwrap_or(false)
+            .entry(self.slot_of(id))
+            .is_some()
     }
 
     fn meta(&self, id: BlockId) -> BlockMeta {
-        let shard = self.shards[self.shard_of(id)].read();
-        let e = shard.slots[self.slot_of(id)]
-            .as_ref()
+        let e = self.shards[self.shard_of(id)]
+            .entry(self.slot_of(id))
             .expect("meta of a half-minted id");
         BlockMeta {
             parent: e.block.parent,
@@ -353,23 +582,19 @@ impl BlockView for ShardedStore {
     }
 
     fn with_block(&self, id: BlockId, f: &mut dyn FnMut(&Block)) {
-        let shard = self.shards[self.shard_of(id)].read();
-        let e = shard.slots[self.slot_of(id)]
-            .as_ref()
+        let e = self.shards[self.shard_of(id)]
+            .entry(self.slot_of(id))
             .expect("block of a half-minted id");
         f(&e.block);
     }
 
     fn for_each_child(&self, id: BlockId, f: &mut dyn FnMut(BlockId)) {
-        // Copy the child list out so `f` may query the store without this
-        // shard's lock held (no nested acquisition, no deadlock).
+        debug_assert!(self.has_block(id), "children of a half-minted id");
+        // Copy the child list out so `f` may query the store without the
+        // children mutex held (no nested acquisition, no deadlock).
         let kids: Vec<BlockId> = {
-            let shard = self.shards[self.shard_of(id)].read();
-            shard.slots[self.slot_of(id)]
-                .as_ref()
-                .expect("children of a half-minted id")
-                .children
-                .clone()
+            let children = self.shards[self.shard_of(id)].children.lock();
+            children.get(self.slot_of(id)).cloned().unwrap_or_default()
         };
         for c in kids {
             f(c);
@@ -464,12 +689,35 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     sel: Mutex<SelState>,
     /// Pending appends awaiting a batch drain (see `crate::commit`).
     queue: CommitQueue,
-    /// Grace-period tracking for readers of `published`.
+    /// Grace-period tracking for readers of `published`. Declared before
+    /// `spares`: fields drop in declaration order, so the domain's drop
+    /// (which runs pending recycle items against the bin) precedes the
+    /// bin's.
     epochs: EpochDomain,
+    /// Reclaimed publication boxes awaiting reuse (see `publish_locked`).
+    spares: RecycleBin<Blockchain>,
     /// Current `{b0}⌢f(bt)`; always a valid leaked box.
     published: AtomicPtr<Blockchain>,
     /// The published chain's tip id, readable without touching the box.
     published_tip: AtomicU32,
+    /// Monotone commit-generation counter, bumped *after* every
+    /// publication swap (generation-after-publication: a thread that
+    /// observes generation g can already `read()` the chain g published).
+    /// This is what decide-path waiters park on instead of spinning.
+    commit_gen: AtomicU64,
+    /// Threads currently parked (or about to park) on `gen_cv`.
+    /// Publications skip the condvar entirely while this is zero, so the
+    /// uncontended commit path pays one load, no lock, no syscall.
+    gen_waiters: AtomicUsize,
+    /// Pairs with `gen_cv`; protects nothing — it exists to close the
+    /// check-then-park race (see [`wait_commit_past`](Self::wait_commit_past)).
+    gen_lock: Mutex<()>,
+    gen_cv: Condvar,
+    /// Appends committed on the inline fast path (no queue traffic).
+    inline_commits: AtomicU64,
+    /// EWMA of drained batch sizes, ×8 fixed point (8 = mean batch 1.0).
+    /// Sizes the adaptive reclamation threshold.
+    avg_batch_x8: AtomicU32,
 }
 
 impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
@@ -491,8 +739,15 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             }),
             queue: CommitQueue::new(),
             epochs: EpochDomain::new(),
+            spares: RecycleBin::new(RECLAIM_PENDING_MAX),
             published: AtomicPtr::new(Box::into_raw(Box::new(Blockchain::genesis()))),
             published_tip: AtomicU32::new(BlockId::GENESIS.0),
+            commit_gen: AtomicU64::new(0),
+            gen_waiters: AtomicUsize::new(0),
+            gen_lock: Mutex::new(()),
+            gen_cv: Condvar::new(),
+            inline_commits: AtomicU64::new(0),
+            avg_batch_x8: AtomicU32::new(8),
         }
     }
 
@@ -538,64 +793,95 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// `candidate` under the tip of `f(bt)`; if valid it joins the tree
     /// (returning its id), else the tree is unchanged and `None` returns.
     ///
-    /// Staged (see `crate::commit`): the mint and validity check run
-    /// outside any lock against the published tip; the commit request
-    /// then rides the MPSC queue to whichever appender wins the drain
-    /// ticket, which batches membership inserts + incremental
-    /// re-selection and publishes the chain once per batch. If the
-    /// optimistic parent lost the race, the drainer re-mints the
-    /// candidate under the authoritative tip (the stale mint stays a
-    /// non-member orphan in the arena, exactly like a `P`-rejected
-    /// block). The append returns only after the publication covering
-    /// its commit: publish-before-respond.
+    /// Two-speed (see `crate::commit`): the mint and validity check run
+    /// outside any lock against the published tip — the candidate's
+    /// payload is *moved* into the arena, never cloned (a re-mint after a
+    /// lost tip race reads it back from the orphan; that is the only copy
+    /// on the whole path). Then:
+    ///
+    /// * **Inline fast path**: if the selection mutex is free on the
+    ///   first CAS (`try_lock`), commit right here — membership insert,
+    ///   incremental re-selection, publication — with no request node, no
+    ///   queue push, and no status-word roundtrip. With a single appender
+    ///   this is every append, and it costs the mint plus one uncontended
+    ///   lock.
+    /// * **Staged queue**: otherwise a drainer is at work; push a
+    ///   stack-allocated [`CommitReq`] onto the MPSC queue and race for
+    ///   the drain ticket. Whichever appender wins drains the *whole*
+    ///   queue as one batch (one publication), re-minting stale-parent
+    ///   requests under the authoritative tip.
+    ///
+    /// Either way the append returns only after the publication covering
+    /// its commit: publish-before-respond. The linearization point is the
+    /// resolution under the selection lock; the recorded-history suites
+    /// check both paths from the outside (the inline path is
+    /// indistinguishable from a batch of one).
     pub fn append(&self, candidate: CandidateBlock) -> Option<BlockId> {
+        let CandidateBlock {
+            producer,
+            merit_index,
+            work,
+            nonce,
+            payload,
+        } = candidate;
         let parent = self.selected_tip();
-        let minted = self.store.mint(
-            parent,
-            candidate.producer,
-            candidate.merit_index,
-            candidate.work,
-            candidate.nonce,
-            candidate.payload.clone(),
-        );
-        let prevalidated = {
-            let block = self.store.block(minted);
-            self.predicate.is_valid(&self.store, &block)
-        };
+        // The mint installs the block either way; the check runs on the
+        // locally built value, so prevalidation costs no extra shard
+        // crossing and no clone.
+        let (minted, prevalidated) =
+            self.store
+                .mint_checked(parent, producer, merit_index, work, nonce, payload, |b| {
+                    self.predicate.is_valid(&self.store, b)
+                });
         if !prevalidated {
             // `P` refused the block. If the tip it was minted under is
             // still the published one, the rejection is definitive and
-            // linearizes right here — no need to enter the commit queue.
-            // The check must read the *published chain itself*, not the
-            // `published_tip` hint: the hint is stored after the pointer
-            // swap, so it can lag a chain another operation has already
-            // observed, and deciding a response from the lagging value
-            // could contradict the recorded history. (The hint is only
-            // ever the optimistic mint target above, where staleness
-            // costs a re-mint in the drain, never an outcome.)
+            // linearizes right here — no need to take the lock or enter
+            // the commit queue. The check must read the *published chain
+            // itself*, not the `published_tip` hint: the hint is stored
+            // after the pointer swap, so it can lag a chain another
+            // operation has already observed, and deciding a response
+            // from the lagging value could contradict the recorded
+            // history. (The hint is only ever the optimistic mint target
+            // above, where staleness costs a re-mint, never an outcome.)
             let published = self.read();
             if published.tip() == parent {
                 return None;
             }
-            // The tip moved under us: let the drainer re-mint under the
-            // authoritative tip and decide there.
+            // The tip moved under us: re-decide under the authoritative
+            // tip (inline or in the drain).
         }
-        let req = CommitReq::new(minted, parent, prevalidated, candidate);
+        // Inline fast path: one CAS — uncontended appends never touch the
+        // queue or a status word.
+        if let Some(mut sel) = self.sel.try_lock() {
+            let outcome = self.commit_inline_locked(&mut sel, minted, parent, prevalidated, nonce);
+            drop(sel);
+            self.maybe_reclaim();
+            return outcome;
+        }
+        let req = CommitReq::new(minted, parent, prevalidated, nonce);
         // SAFETY: `req` lives on this stack frame, and we do not return
         // until it is resolved; `take_all` unlinks it before any drainer
         // dereferences it (see the queue's contract).
         unsafe { self.queue.push(&req) };
+        // A drainer holds the lock right now (the try_lock above just
+        // failed). Donate the rest of this slice instead of immediately
+        // racing for the drain ticket: on a time-sliced core this is what
+        // lets peers enqueue behind us and the incumbent resolve the
+        // whole pile as one batch — without it, batches only form when
+        // the scheduler happens to preempt a lock holder.
+        std::thread::yield_now();
         loop {
             if let Some(outcome) = req.poll() {
                 return outcome;
             }
-            // The drain ticket is the mutex acquisition itself: one CAS
-            // when uncontended (the solo-appender fast path), and a
-            // *parked* waiter — not a spinning one — when a drainer is at
-            // work. The incumbent usually resolves us before we wake; a
-            // woken thread that is still pending becomes the next drainer
-            // for whatever queued meanwhile (combining-lock pattern, no
-            // scheduler convoy when the holder gets preempted).
+            // The drain ticket is the mutex acquisition itself: a
+            // *parked* waiter — not a spinning one — while a drainer is
+            // at work. The incumbent usually resolves us before we wake;
+            // a woken thread that is still pending becomes the next
+            // drainer for whatever queued meanwhile (combining-lock
+            // pattern, no scheduler convoy when the holder gets
+            // preempted).
             {
                 let mut sel = self.sel.lock();
                 self.drain_locked(&mut sel);
@@ -603,6 +889,62 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             // Reclamation runs off the lock: parked appenders wake on
             // commit latency, not on garbage-sweep latency.
             self.maybe_reclaim();
+        }
+    }
+
+    /// The inline half of the two-speed `append`: the caller won the
+    /// selection mutex on its first CAS, so resolve its mint right here.
+    /// Any requests that queued meanwhile are drained first (their owners
+    /// are parked on the very lock we hold), preserving rough FIFO
+    /// fairness between the paths.
+    ///
+    /// Mirrors the drain's panic contract: the outcome is recorded before
+    /// the membership insert runs, and if user code (`P::is_valid`,
+    /// `SelectionFn::on_insert`) panics after the insert, the cache is
+    /// rebuilt from the — always consistent — membership and published
+    /// before the panic resumes on this (the appender's own) thread, so
+    /// the tree stays serviceable and publish-before-respond is vacuous
+    /// (no response is delivered; the append call panics).
+    fn commit_inline_locked(
+        &self,
+        sel: &mut SelState,
+        minted: BlockId,
+        parent: BlockId,
+        prevalidated: bool,
+        nonce: u64,
+    ) -> Option<BlockId> {
+        self.drain_locked(sel);
+        let mut committed: Option<BlockId> = None;
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tip = sel.cache.tip();
+            if let Some(id) = self.resolve_target_locked(sel, minted, parent, prevalidated, nonce) {
+                // Recorded before the user-code re-selection stage runs,
+                // exactly like the drain's `outcomes` vector.
+                committed = Some(id);
+                self.insert_locked(sel, id, tip);
+            }
+        }));
+        self.inline_commits.fetch_add(1, Ordering::Relaxed);
+        self.record_batch_size(1);
+        match run {
+            Ok(()) => {
+                if committed.is_some() {
+                    self.publish_locked(sel);
+                }
+                committed
+            }
+            Err(payload) => {
+                if committed.is_some() {
+                    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sel.cache.rebuild(&self.selection, &self.store, &sel.tree);
+                    }))
+                    .is_ok();
+                    if rebuilt {
+                        self.publish_locked(sel);
+                    }
+                }
+                std::panic::resume_unwind(payload);
+            }
         }
     }
 
@@ -653,18 +995,44 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 sel.tree.contains(parent),
                 "graft parent {parent} not committed to the tree"
             );
-            self.insert_locked(&mut sel, id);
+            self.insert_locked(&mut sel, id, parent);
             self.publish_locked(&mut sel);
         }
         self.maybe_reclaim();
         Some(id)
     }
 
+    /// Feeds the batch-size EWMA behind the adaptive reclamation
+    /// threshold (×8 fixed point, relaxed — a heuristic, not a ledger).
+    /// Both commit paths report: queue drains with their batch size,
+    /// inline commits as batches of one — without the inline samples the
+    /// EWMA would stay frozen at whatever the last contended burst left
+    /// (no further non-empty drains run once the workload goes
+    /// uncontended), pinning the threshold at the floor and sweeping 8×
+    /// too often on exactly the path the adaptivity exists for.
+    fn record_batch_size(&self, n: usize) {
+        let old = self.avg_batch_x8.load(Ordering::Relaxed).max(8) as u64;
+        let new = (old * 7 + n as u64 * 8) / 8;
+        self.avg_batch_x8
+            .store(new.min(u32::MAX as u64) as u32, Ordering::Relaxed);
+    }
+
+    /// The adaptive sweep threshold: inversely proportional to the
+    /// observed mean batch size, clamped to
+    /// [`RECLAIM_PENDING_MIN`]..=[`RECLAIM_PENDING_MAX`]. One retire
+    /// happens per publication, so this holds the sweep cost per *append*
+    /// roughly constant whether appends publish one by one (inline) or in
+    /// batches (see the constants' docs).
+    fn reclaim_threshold(&self) -> usize {
+        let avg_x8 = self.avg_batch_x8.load(Ordering::Relaxed).max(8) as usize;
+        (RECLAIM_PENDING_MIN * 8 * 8 / avg_x8).clamp(RECLAIM_PENDING_MIN, RECLAIM_PENDING_MAX)
+    }
+
     /// Amortized reclamation: sweep only when the backlog crosses the
-    /// threshold (callers outside the hot path may always call
+    /// adaptive threshold (callers outside the hot path may always call
     /// [`EpochDomain::try_reclaim`] directly via [`epochs`](Self::epochs)).
     fn maybe_reclaim(&self) {
-        if self.epochs.pending_items() >= RECLAIM_PENDING_THRESHOLD {
+        if self.epochs.pending_items() >= self.reclaim_threshold() {
             self.epochs.try_reclaim();
         }
     }
@@ -682,32 +1050,43 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// This is how a decide orders itself after the winner's graft
     /// (Protocol A's graft-before-decide): a process that learned a block
     /// through a side channel — the oracle's `K`-set feedback — must not
-    /// act on it before the block's committer has grafted it. Polls with
-    /// `yield_now`; the caller owns the stall diagnostic (the commit is
-    /// another thread's obligation, so only the caller knows who wedged).
+    /// act on it before the block's committer has grafted it. The caller
+    /// owns the stall diagnostic (the commit is another thread's
+    /// obligation, so only the caller knows who wedged).
     ///
-    /// The hot probe is lock-free: a chain block sits at the index equal
-    /// to its height in the published prefix, and commits publish inside
-    /// the same critical section as their insert, so most waits resolve
-    /// off one epoch-pinned `read()`. The selection mutex — which answers
-    /// for members *off* the selected chain too — is consulted only every
-    /// 64th spin, so a pack of waiters does not convoy the very lock the
-    /// committer needs for the graft.
+    /// The probe is lock-free — a chain block sits at the index equal to
+    /// its height in the published prefix, and commits publish inside the
+    /// same critical section as their insert, so most waits resolve off
+    /// one epoch-pinned `read()` — and between probes the waiter *parks*
+    /// on the commit generation ([`wait_commit_past`]): commits are the
+    /// only events that can change the answer, so the thread wakes
+    /// exactly when one lands instead of burning its time slice in a
+    /// `yield_now` loop, which is what collapsed the contended decide
+    /// path on time-sliced cores (a pack of spinning losers kept
+    /// preempting the one winner whose graft they were all waiting for).
+    ///
+    /// [`wait_commit_past`]: Self::wait_commit_past
     pub fn wait_committed(&self, id: BlockId, deadline: std::time::Instant) -> bool {
         let height = self.store.meta(id).height as usize;
-        let mut spin = 0u32;
         loop {
+            // Generation first, probes second: a commit landing after the
+            // probes bumps the generation and the park below returns
+            // immediately — no missed wakeup.
+            let gen = self.commit_generation();
             if self.read().ids().get(height) == Some(&id) {
                 return true;
             }
-            if spin.is_multiple_of(64) && self.is_committed(id) {
+            // The selection lock answers for members *off* the selected
+            // chain too; we take it at most once per commit generation,
+            // so a pack of waiters cannot convoy the very lock the
+            // committer needs for the graft.
+            if self.is_committed(id) {
                 return true;
             }
             if std::time::Instant::now() >= deadline {
                 return self.is_committed(id);
             }
-            spin = spin.wrapping_add(1);
-            std::thread::yield_now();
+            self.wait_commit_past(gen, deadline);
         }
     }
 
@@ -743,6 +1122,8 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 }
             }
         }
+        // Feed the adaptive reclamation threshold with this batch's size.
+        self.record_batch_size(batch.len());
         let mut outcomes: Vec<Option<BlockId>> = Vec::new();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut committed_any = false;
@@ -751,43 +1132,21 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 // its enqueueing appender is blocked polling until we
                 // resolve it.
                 let req = unsafe { &*req_ptr };
-                let outcome = if req.parent == sel.cache.tip() {
-                    if req.prevalidated {
-                        outcomes.push(Some(req.minted));
-                        self.insert_locked(sel, req.minted);
-                        Some(req.minted)
-                    } else {
-                        outcomes.push(None);
-                        None
-                    }
-                } else {
-                    // The optimistic parent lost the race: re-mint under
-                    // the current selected tip and decide against the
-                    // tree state at this — the linearization — point. The
-                    // stale mint stays an orphan, as a lost optimistic
-                    // race always did.
-                    let id = self.store.mint(
-                        sel.cache.tip(),
-                        req.candidate.producer,
-                        req.candidate.merit_index,
-                        req.candidate.work,
-                        req.candidate.nonce,
-                        req.candidate.payload.clone(),
-                    );
-                    let valid = {
-                        let block = self.store.block(id);
-                        self.predicate.is_valid(&self.store, &block)
-                    };
-                    if valid {
-                        outcomes.push(Some(id));
-                        self.insert_locked(sel, id);
-                        Some(id)
-                    } else {
-                        outcomes.push(None);
-                        None
-                    }
-                };
-                committed_any |= outcome.is_some();
+                // Whatever resolves commits under the tip selected at
+                // this instant — record it for the parent-aware insert.
+                let tip = sel.cache.tip();
+                let target = self.resolve_target_locked(
+                    sel,
+                    req.minted,
+                    req.parent,
+                    req.prevalidated,
+                    req.nonce,
+                );
+                outcomes.push(target);
+                if let Some(id) = target {
+                    self.insert_locked(sel, id, tip);
+                    committed_any = true;
+                }
             }
             committed_any
         }));
@@ -833,30 +1192,134 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         }
     }
 
+    /// Decides where a staged mint lands against the authoritative tree
+    /// state, *without* touching membership: the original mint when its
+    /// optimistic parent is still the selected tip, else a fresh re-mint
+    /// under the cache tip. Returns the id to commit, or `None` when `P`
+    /// rejects (either mint stays a non-member arena orphan, as a lost
+    /// optimistic race always did). Runs user code (`P::is_valid`);
+    /// callers record the outcome before inserting — the panic contract
+    /// of the commit paths.
+    fn resolve_target_locked(
+        &self,
+        sel: &SelState,
+        minted: BlockId,
+        parent: BlockId,
+        prevalidated: bool,
+        nonce: u64,
+    ) -> Option<BlockId> {
+        if parent == sel.cache.tip() {
+            return prevalidated.then_some(minted);
+        }
+        // The optimistic parent lost the race: re-mint under the current
+        // selected tip and decide against the tree state at this — the
+        // linearization — point. The stale mint's immutable fields come
+        // back from the arena: `append` *moved* the payload into it, so
+        // this clone — on the re-mint path only — is the sole payload
+        // copy the append path ever makes. `mint_checked` runs `P` on
+        // the locally built block, same as the fast path.
+        let mut fields = None;
+        self.store.with_block(minted, &mut |b| {
+            fields = Some((b.producer, b.merit_index, b.work, b.payload.clone()));
+        });
+        let (producer, merit_index, work, payload) =
+            fields.expect("the stale mint is fully minted in the arena");
+        let (id, valid) = self.store.mint_checked(
+            sel.cache.tip(),
+            producer,
+            merit_index,
+            work,
+            nonce,
+            payload,
+            |b| self.predicate.is_valid(&self.store, b),
+        );
+        valid.then_some(id)
+    }
+
     /// Membership insert + commit log + incremental re-selection, under
     /// the selection lock. Publication is separate so a batch pays it
     /// once.
-    fn insert_locked(&self, sel: &mut SelState, id: BlockId) {
-        sel.tree.insert(&self.store, id);
+    fn insert_locked(&self, sel: &mut SelState, id: BlockId, parent: BlockId) {
+        sel.tree.insert_with_parent(Some(parent), id);
         sel.commit_log.push(id);
         sel.cache
             .on_insert(&self.selection, &self.store, &sel.tree, id);
     }
 
     /// Publishes the cached chain: box, swap, retire the predecessor into
-    /// the epoch domain (readers may still hold it through stale loads).
+    /// the epoch domain (readers may still hold it through stale loads),
+    /// and advance the commit generation.
     fn publish_locked(&self, sel: &mut SelState) {
-        let fresh = Box::into_raw(Box::new(sel.cache.chain()));
+        // Reuse a reclaimed publication box when one is available: the
+        // uncontended path retires one box per append, so without the
+        // bin every commit paid a malloc here and a free in the sweep.
+        let boxed = match self.spares.take() {
+            Some(mut spare) => {
+                *spare = sel.cache.chain();
+                spare
+            }
+            None => Box::new(sel.cache.chain()),
+        };
+        let fresh = Box::into_raw(boxed);
         let old = self.published.swap(fresh, Ordering::AcqRel);
         self.published_tip
             .store(sel.cache.tip().0, Ordering::Release);
+        // Generation-after-publication: the counter moves only once the
+        // swap is visible, so a waiter that observes the new generation
+        // can already `read()` the chain that covers this batch.
+        self.commit_gen.fetch_add(1, Ordering::SeqCst);
+        if self.gen_waiters.load(Ordering::SeqCst) > 0 {
+            // Lock-then-notify closes the check-then-park race: a waiter
+            // between its generation recheck (under `gen_lock`) and its
+            // park either sees the new generation there, or is already
+            // parked when this notify fires. With no waiters registered
+            // the publication pays one relaxed-ish load and nothing else.
+            drop(self.gen_lock.lock());
+            self.gen_cv.notify_all();
+        }
         // SAFETY: `old` came from `Box::into_raw` in `with_shards` or a
         // previous publication; reconstituting the box moves ownership
         // into the epoch domain, which frees it only after every reader
         // pinned at (or before) the swap has unpinned.
         let old = unsafe { Box::from_raw(old) };
         let bytes = old.approx_heap_bytes();
-        self.epochs.retire(bytes, old);
+        // SAFETY: `spares` outlives `epochs` (declaration order), and the
+        // domain's drop runs every pending item.
+        unsafe { self.epochs.retire_box_recycling(bytes, old, &self.spares) };
+    }
+
+    /// The current commit generation — advances by one with every chain
+    /// publication (batched drain, inline commit, or graft). Pair with
+    /// [`wait_commit_past`](Self::wait_commit_past) to sleep until the
+    /// tree moves instead of polling it.
+    pub fn commit_generation(&self) -> u64 {
+        self.commit_gen.load(Ordering::SeqCst)
+    }
+
+    /// Parks this thread until the commit generation moves past `seen`
+    /// or `deadline` passes, and returns the generation observed on the
+    /// way out. The protocol is the standard missed-wakeup-free shape:
+    /// callers load the generation *before* probing whatever state they
+    /// are waiting on, then hand that pre-probe value here — a commit
+    /// landing between the probe and the park changes the generation,
+    /// and the recheck under `gen_lock` returns immediately.
+    pub fn wait_commit_past(&self, seen: u64, deadline: std::time::Instant) -> u64 {
+        self.gen_waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.gen_lock.lock();
+        loop {
+            if self.commit_gen.load(Ordering::SeqCst) != seen {
+                break;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _timed_out) = self.gen_cv.wait_timeout(guard, deadline - now);
+            guard = g;
+        }
+        drop(guard);
+        self.gen_waiters.fetch_sub(1, Ordering::SeqCst);
+        self.commit_gen.load(Ordering::SeqCst)
     }
 
     /// Number of committed blocks (including genesis).
@@ -895,9 +1358,11 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     }
 
     /// Commit-pipeline counters (batch count, batched appends, largest
-    /// batch).
+    /// batch, inline fast-path commits).
     pub fn pipeline_stats(&self) -> PipelineStats {
-        self.queue.stats()
+        let mut stats = self.queue.stats();
+        stats.inline_appends = self.inline_commits.load(Ordering::Relaxed);
+        stats
     }
 
     /// The membership commit order so far (parent-closed). Takes the
@@ -1113,20 +1578,115 @@ mod tests {
     #[test]
     fn retired_snapshots_are_reclaimed_after_readers_pass() {
         let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
-        for i in 0..200 {
+        let n = 4 * RECLAIM_PENDING_MAX as u64;
+        for i in 0..n {
             bt.append(CandidateBlock::simple(ProcessId(0), i)).unwrap();
             // Reads come and go: no pin outlives an iteration.
             assert_eq!(bt.read().len() as u64, i + 2);
         }
-        // 200 publications retired 200 boxes; with no reader parked, the
+        // Every publication retired a box; with no reader parked, the
         // threshold-triggered sweeps must have kept the backlog near the
-        // reclaim threshold, not at the commit count.
+        // (adaptive, capped) reclaim threshold, not at the commit count.
         assert!(
-            bt.epochs().pending_items() <= 2 * RECLAIM_PENDING_THRESHOLD,
+            bt.epochs().pending_items() <= 2 * RECLAIM_PENDING_MAX,
             "pending garbage stays bounded: {} items",
             bt.epochs().pending_items()
         );
-        assert!(bt.epochs().reclaimed_items() >= 100);
+        assert!(bt.epochs().reclaimed_items() >= n / 2);
+    }
+
+    /// The adaptive threshold reacts to the observed batch size: all-
+    /// inline (batch ≈ 1) runs sweep at the cap; a drain pattern with
+    /// fat batches drags the threshold back toward the floor.
+    #[test]
+    fn reclaim_threshold_adapts_to_batch_size() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        assert_eq!(bt.reclaim_threshold(), RECLAIM_PENDING_MAX, "mean 1.0");
+        // Simulate a contended history: fat batches reported by drains.
+        bt.avg_batch_x8.store(8 * 8, Ordering::Relaxed); // mean batch 8
+        assert_eq!(bt.reclaim_threshold(), RECLAIM_PENDING_MIN);
+        bt.avg_batch_x8.store(8 * 2, Ordering::Relaxed); // mean batch 2
+        assert_eq!(bt.reclaim_threshold(), RECLAIM_PENDING_MAX / 2);
+    }
+
+    /// Uncontended appends take the inline fast path: no queue traffic,
+    /// no batches — the pipeline counters must say so.
+    #[test]
+    fn uncontended_appends_commit_inline() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        for i in 0..50 {
+            assert!(bt.append(CandidateBlock::simple(ProcessId(0), i)).is_some());
+        }
+        let stats = bt.pipeline_stats();
+        assert_eq!(stats.inline_appends, 50, "single appender never queues");
+        assert_eq!(stats.batched_appends, 0);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(bt.read().len(), 51);
+    }
+
+    /// Regression (allocation diet): `append` must *move* the candidate's
+    /// payload into the arena — the committed block's transaction buffer
+    /// is the very allocation the caller built, not a clone. Before, the
+    /// payload was cloned unconditionally (even for blocks `P` rejected
+    /// before enqueue).
+    #[test]
+    fn append_moves_the_payload_into_the_arena() {
+        use crate::block::{Payload, Tx};
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let txs = vec![Tx::new(0, 1, 2, 17)];
+        let data_ptr = txs.as_ptr();
+        let cand = CandidateBlock::simple(ProcessId(0), 1).with_payload(Payload::Transactions(txs));
+        let id = bt.append(cand).expect("AcceptAll");
+        bt.store().with_block(id, &mut |b| match &b.payload {
+            Payload::Transactions(v) => {
+                assert_eq!(v.as_ptr(), data_ptr, "payload moved, not cloned")
+            }
+            other => panic!("payload kind changed: {other:?}"),
+        });
+        // A `P`-rejected candidate's payload is also moved (the mint
+        // happens before prevalidation), never cloned on the way to the
+        // rejection: same identity check on the orphan mint.
+        let bt = ConcurrentBlockTree::new(LongestChain, DigestPrefix { zero_bits: 64 });
+        let txs = vec![Tx::new(1, 3, 4, 5)];
+        let data_ptr = txs.as_ptr();
+        let cand = CandidateBlock::simple(ProcessId(0), 2).with_payload(Payload::Transactions(txs));
+        assert!(bt.append(cand).is_none(), "64 zero bits rejects everything");
+        let orphan = BlockId(1); // sole non-genesis mint
+        bt.store().with_block(orphan, &mut |b| match &b.payload {
+            Payload::Transactions(v) => {
+                assert_eq!(v.as_ptr(), data_ptr, "rejected payload moved too")
+            }
+            other => panic!("payload kind changed: {other:?}"),
+        });
+    }
+
+    /// `wait_committed` now parks on the commit generation: a waiter must
+    /// wake when another thread's graft lands (not just poll), and a
+    /// block that never commits must come back `false` at the deadline.
+    #[test]
+    fn wait_committed_parks_until_the_commit_lands() {
+        let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        // Mint into the arena only — not yet a member (the winner's mint
+        // before its graft, in Protocol-A terms).
+        let minted = bt
+            .store()
+            .mint(BlockId::GENESIS, ProcessId(0), 0, 1, 7, Payload::Empty);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                bt.wait_committed(minted, deadline)
+            });
+            // Give the waiter time to park, then commit.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            bt.graft_minted(minted).expect("AcceptAll");
+            assert!(waiter.join().expect("waiter"), "woken by the graft");
+        });
+        // An orphan that never commits: the deadline answer is `false`.
+        let orphan = bt
+            .store()
+            .mint(BlockId::GENESIS, ProcessId(1), 1, 1, 8, Payload::Empty);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(30);
+        assert!(!bt.wait_committed(orphan, deadline));
     }
 
     #[test]
@@ -1158,11 +1718,15 @@ mod tests {
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), log.len(), "no double commits");
-        // The staged pipeline resolved every append through the queue.
+        // Every append resolved through exactly one of the two paths:
+        // inline (uncontended try_lock) or the staged queue.
         let stats = bt.pipeline_stats();
-        assert_eq!(stats.batched_appends, (threads as u64) * per_thread);
-        assert!(stats.batches >= 1 && stats.batches <= stats.batched_appends);
-        assert!(stats.max_batch >= 1);
+        assert_eq!(
+            stats.inline_appends + stats.batched_appends,
+            (threads as u64) * per_thread
+        );
+        assert!(stats.batches <= stats.batched_appends);
+        assert_eq!(stats.batches == 0, stats.batched_appends == 0);
     }
 
     #[test]

@@ -14,24 +14,29 @@
 //! * The domain keeps a **global epoch** `G` (63-bit, wrapping) and a
 //!   fixed array of cache-line-padded **reader slots**.
 //! * A reader calls [`EpochDomain::pin`] before touching any protected
-//!   pointer: the returned [`Guard`] claims a free slot, publishes the
-//!   current epoch in it (`SeqCst`, followed by a `SeqCst` fence), and
-//!   clears the slot on drop. Pins are cheap — one CAS on a slot that is
+//!   pointer: the returned [`Guard`] claims a free slot and publishes the
+//!   current epoch in it (a `SeqCst` RMW, re-validated with `SeqCst`
+//!   loads), and clears the slot on drop. Pins are cheap — one CAS on a slot that is
 //!   effectively thread-private (per-thread start hint, 128-byte padding),
 //!   so concurrent readers do **not** bounce a shared cache line the way a
 //!   shared `Arc` refcount does.
 //! * A writer that unlinks an object calls [`EpochDomain::retire`] (or
-//!   [`EpochDomain::defer`]): the object joins the garbage bag tagged with
-//!   the epoch read *after* the unlink.
+//!   [`EpochDomain::defer`]): the object joins a garbage bag tagged with
+//!   the epoch read *after* the unlink. Bags live in [`LOCAL_BAG_SLOTS`]
+//!   thread-hinted slots, so a retirer locks a mutex that is effectively
+//!   its own — retiring never contends with other retirers or with a
+//!   concurrent sweep (the commit pipeline retires on every publication;
+//!   a global garbage mutex was measurable on that path).
 //! * [`EpochDomain::try_reclaim`] advances `G` by one when every pinned
 //!   slot already carries `G`, and frees every bag at least
 //!   [`GRACE_EPOCHS`] (= 2) epochs old. The two-epoch grace period is the
 //!   standard safety margin: a reader pinned in epoch `e` can only hold
 //!   pointers unlinked in `e - 1` or later, and `G` cannot advance twice
 //!   past a live pin — so by the time a bag's age reaches 2, every reader
-//!   that could have seen its contents has unpinned at least once. (The
-//!   `SeqCst` fences on the pin and advance paths close the one-advance
-//!   race where a just-published pin is missed by a concurrent scan.)
+//!   that could have seen its contents has unpinned at least once. (Every
+//!   racy access on the pin and advance paths is `SeqCst`, so the model's
+//!   single total order closes the one-advance race where a just-published
+//!   pin is missed by a concurrent scan.)
 //!
 //! A pinned reader never blocks writers or other readers — it only delays
 //! *reclamation*. Conversely `pin` never waits on writers: the slot claim
@@ -53,6 +58,15 @@ use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 /// `pin` spin until a slot frees.
 pub const DEFAULT_READER_SLOTS: usize = 256;
 
+/// Retire-bag slots per domain. Retirers hash to a slot by the same
+/// per-thread hint the reader slots use, so in steady state each retiring
+/// thread owns "its" bag mutex outright — [`EpochDomain::retire`] never
+/// touches a lock another thread is holding, which is what keeps
+/// reclamation bookkeeping off the commit pipeline's drain path (two
+/// appenders finishing simultaneously used to collide on one global
+/// garbage mutex: one retiring, one sweeping).
+pub const LOCAL_BAG_SLOTS: usize = 16;
+
 /// Bags this many epochs old are safe to free (see the module docs).
 pub const GRACE_EPOCHS: u64 = 2;
 
@@ -73,7 +87,86 @@ fn age(global: u64, epoch: u64) -> u64 {
 #[repr(align(128))]
 struct Slot(AtomicU64);
 
-type Deferred = Box<dyn FnOnce() + Send>;
+/// A deferred drop. The common case — retiring a boxed value — is stored
+/// as a raw pointer plus a monomorphized drop shim, so the *retire path
+/// allocates nothing*; arbitrary closures (rare) still box.
+enum Deferred {
+    /// `Box<T>` turned raw; dropped by the paired shim. The pointer came
+    /// from `Box::into_raw` in [`EpochDomain::retire`], which also makes
+    /// it safe to send across threads (the boxed `T: Send`).
+    Ptr(*mut (), unsafe fn(*mut ())),
+    /// As `Ptr`, but the shim hands the box to a [`RecycleBin`] (the
+    /// third word) instead of the allocator — see
+    /// [`EpochDomain::retire_box_recycling`].
+    Recycle(*mut (), unsafe fn(*mut (), *const ()), *const ()),
+    Closure(Box<dyn FnOnce() + Send>),
+}
+
+// SAFETY: `Ptr` is only ever constructed from `Box<T: Send>` (see
+// `retire`), and the pointer is owned uniquely by the bag until dropped.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    fn run(self) {
+        match self {
+            // SAFETY: constructed from `Box::into_raw` with the matching
+            // concrete type's drop shim; run exactly once.
+            Deferred::Ptr(p, drop_fn) => unsafe { drop_fn(p) },
+            // SAFETY: per `retire_box_recycling`'s contract the bin
+            // behind `ctx` outlives the domain, hence this call.
+            Deferred::Recycle(p, shim, ctx) => unsafe { shim(p, ctx) },
+            Deferred::Closure(f) => f(),
+        }
+    }
+}
+
+/// A bounded stash of spare boxes, fed by
+/// [`EpochDomain::retire_box_recycling`] once each box's grace period has
+/// passed and drained by whoever publishes next — on the commit hot path
+/// this turns the per-publication `malloc`/`free` round trip (one boxed
+/// snapshot per append, uncontended) into a mutex-guarded `Vec` pop/push.
+pub struct RecycleBin<T> {
+    spares: Mutex<Vec<Box<T>>>,
+    cap: usize,
+}
+
+impl<T> RecycleBin<T> {
+    /// A bin that keeps at most `cap` spares (beyond that, boxes fall
+    /// back to the allocator).
+    pub fn new(cap: usize) -> Self {
+        RecycleBin {
+            spares: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    /// Pops a spare, if any. The box still holds its old value — callers
+    /// overwrite it (`*b = new_value`).
+    pub fn take(&self) -> Option<Box<T>> {
+        self.spares.lock().pop()
+    }
+
+    fn put(&self, value: Box<T>) {
+        let mut spares = self.spares.lock();
+        if spares.len() < self.cap {
+            spares.push(value);
+        }
+    }
+}
+
+unsafe fn recycle_shim<T>(p: *mut (), ctx: *const ()) {
+    // SAFETY: `p` came from `Box::<T>::into_raw` and `ctx` from
+    // `&RecycleBin<T>` in `retire_box_recycling`, whose contract keeps
+    // the bin alive until every such deferred item has run.
+    let value = unsafe { Box::from_raw(p as *mut T) };
+    let bin = unsafe { &*(ctx as *const RecycleBin<T>) };
+    bin.put(value);
+}
+
+unsafe fn drop_box_shim<T>(p: *mut ()) {
+    // SAFETY: `p` came from `Box::<T>::into_raw` (see `retire`).
+    drop(unsafe { Box::from_raw(p as *mut T) });
+}
 
 /// Garbage retired during one epoch.
 struct Bag {
@@ -87,13 +180,20 @@ struct Garbage {
     bags: VecDeque<Bag>,
 }
 
+/// One retire-bag slot, padded so two threads retiring into neighbouring
+/// slots never share a cache line.
+#[repr(align(128))]
+#[derive(Default)]
+struct LocalBags(Mutex<Garbage>);
+
 /// An epoch-reclamation domain: one global epoch, a slot array for
-/// readers, and deferred-drop bags for writers.
+/// readers, and per-thread deferred-drop bag slots for writers.
 ///
 /// The domain does not spawn threads and holds no locks while readers
-/// pin; the garbage bags sit behind a mutex that only retiring /
-/// reclaiming writers touch (in the BT-ADT both happen under the
-/// selection lock, so the mutex is uncontended there).
+/// pin; garbage lives in [`LOCAL_BAG_SLOTS`] thread-hinted bag slots, so
+/// a retiring writer takes only a mutex no other thread is using —
+/// concurrent retirers, and retirers racing a sweep, no longer serialize
+/// on one global garbage lock.
 pub struct EpochDomain {
     global: AtomicU64,
     slots: Box<[Slot]>,
@@ -101,7 +201,7 @@ pub struct EpochDomain {
     /// here, so the cost of `try_advance` tracks the number of reader
     /// threads the domain has actually seen, not the slot capacity.
     slots_high: AtomicUsize,
-    garbage: Mutex<Garbage>,
+    locals: Box<[LocalBags]>,
     /// Bytes currently parked in bags (as reported by retire callers).
     retired_bytes: AtomicUsize,
     /// High-water mark of `retired_bytes` — the boundedness witness the
@@ -127,7 +227,7 @@ impl EpochDomain {
             global: AtomicU64::new(start_epoch & EPOCH_MASK),
             slots: (0..slots).map(|_| Slot(AtomicU64::new(0))).collect(),
             slots_high: AtomicUsize::new(0),
-            garbage: Mutex::new(Garbage::default()),
+            locals: (0..LOCAL_BAG_SLOTS).map(|_| LocalBags::default()).collect(),
             retired_bytes: AtomicUsize::new(0),
             retired_bytes_peak: AtomicUsize::new(0),
             pending_items: AtomicUsize::new(0),
@@ -175,10 +275,17 @@ impl EpochDomain {
                     .compare_exchange(0, (e << 1) | 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
                 {
-                    // The fence orders the slot publication before the
-                    // re-validation below and before every protected load
-                    // the caller performs under the guard.
-                    fence(Ordering::SeqCst);
+                    // No separate fence: the claim is a *SeqCst RMW* and
+                    // every racy access it must order against — the
+                    // re-validation loads below, `try_advance`'s slot and
+                    // epoch scans, the re-publication stores — is SeqCst
+                    // too, and the C++20 model's single total order
+                    // respects program order among them (an explicit
+                    // fence between two SeqCst accesses adds nothing; on
+                    // x86 it was a redundant `mfence` on every read).
+                    // Protected loads under the guard cannot float above
+                    // the claim either: an acquire RMW forbids it.
+                    //
                     // Re-validate: the global epoch may have advanced
                     // between the load above and the claim becoming
                     // visible (this thread may have been preempted
@@ -195,7 +302,6 @@ impl EpochDomain {
                             break;
                         }
                         slot.store((g << 1) | 1, Ordering::SeqCst);
-                        fence(Ordering::SeqCst);
                         e = g;
                     }
                     set_slot_hint(idx);
@@ -231,32 +337,87 @@ impl EpochDomain {
     /// Retires `value`: it is dropped once every reader pinned at (or
     /// before) this call has unpinned. `bytes` is the caller's estimate of
     /// the heap the value keeps alive, tracked for the boundedness stats.
+    ///
+    /// Allocation-free on the commit hot path when `value` is already a
+    /// `Box` ([`retire_box`](Self::retire_box)); this generic form boxes
+    /// once and then rides the same pointer representation.
     pub fn retire<T: Send + 'static>(&self, bytes: usize, value: T) {
-        self.defer(bytes, move || drop(value));
+        self.retire_box(bytes, Box::new(value));
+    }
+
+    /// [`retire`](Self::retire) for an already-boxed value — stores the
+    /// raw pointer plus a drop shim, no closure allocation per retire
+    /// (the commit pipeline retires one snapshot box per publication;
+    /// boxing a closure around each was a second allocation on every
+    /// uncontended append).
+    pub fn retire_box<T: Send + 'static>(&self, bytes: usize, value: Box<T>) {
+        self.push_deferred(
+            bytes,
+            Deferred::Ptr(Box::into_raw(value) as *mut (), drop_box_shim::<T>),
+        );
+    }
+
+    /// As [`retire_box`](Self::retire_box), but after the grace period
+    /// the box is offered to `bin` for reuse instead of freed — the
+    /// allocation-free loop for a hot path that retires one box per
+    /// publication and immediately needs a fresh one.
+    ///
+    /// # Safety
+    ///
+    /// `bin` must stay alive until this item is reclaimed — in the worst
+    /// case, until this domain is dropped (the domain's `Drop` runs every
+    /// pending item). Owning both in one struct with the domain declared
+    /// *before* the bin satisfies this (fields drop in declaration
+    /// order).
+    pub unsafe fn retire_box_recycling<T: Send + 'static>(
+        &self,
+        bytes: usize,
+        value: Box<T>,
+        bin: &RecycleBin<T>,
+    ) {
+        self.push_deferred(
+            bytes,
+            Deferred::Recycle(
+                Box::into_raw(value) as *mut (),
+                recycle_shim::<T>,
+                bin as *const RecycleBin<T> as *const (),
+            ),
+        );
     }
 
     /// As [`retire`](Self::retire), for an arbitrary deferred action.
     pub fn defer(&self, bytes: usize, f: impl FnOnce() + Send + 'static) {
+        self.push_deferred(bytes, Deferred::Closure(Box::new(f)));
+    }
+
+    fn push_deferred(&self, bytes: usize, item: Deferred) {
         // Read the epoch *after* the caller unlinked the object (program
         // order); tagging with this (or any earlier) epoch is safe — the
         // grace period is measured from unlink visibility.
         let e = self.global.load(Ordering::SeqCst);
         {
-            let mut g = self.garbage.lock();
+            // Thread-hinted bag slot: in steady state this mutex is this
+            // thread's alone — one uncontended CAS, no line shared with
+            // concurrent retirers or sweepers.
+            let mut g = self.locals[slot_hint() % self.locals.len()].0.lock();
             match g.bags.back_mut() {
                 Some(bag) if bag.epoch == e => {
-                    bag.items.push(Box::new(f));
+                    bag.items.push(item);
                     bag.bytes += bytes;
                 }
                 _ => g.bags.push_back(Bag {
                     epoch: e,
-                    items: vec![Box::new(f)],
+                    items: vec![item],
                     bytes,
                 }),
             }
         }
         let now = self.retired_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        self.retired_bytes_peak.fetch_max(now, Ordering::Relaxed);
+        // Load-then-max: the peak only moves on a new high, so the common
+        // case is one relaxed load instead of a cmpxchg loop per retire.
+        if self.retired_bytes_peak.load(Ordering::Relaxed) < now {
+            self.retired_bytes_peak.fetch_max(now, Ordering::Relaxed);
+        }
         self.pending_items.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -265,23 +426,24 @@ impl EpochDomain {
     /// old. Returns the number of items freed. Never blocks on readers.
     pub fn try_reclaim(&self) -> usize {
         self.try_advance();
-        let ripe: Vec<Bag> = {
-            let mut garbage = self.garbage.lock();
-            // Load the global epoch *after* acquiring the bag lock. A
-            // concurrent `try_reclaim` may advance the epoch between a
-            // pre-lock load and the scan, after which a racing `defer`
-            // tags a fresh bag with the newer epoch — under a stale `g`
-            // that bag's wrap-masked age reads as 2^63-1 and it would be
-            // freed with zero grace period while a reader still holds its
-            // contents. Loading under the lock restores the invariant the
-            // age computation needs: every bag visible here was tagged
-            // from an epoch load ordered before this one (the deferrer
-            // held this mutex after its epoch load), so `age(g, epoch)`
-            // is a true, small age.
+        let mut ripe: Vec<Bag> = Vec::new();
+        for local in self.locals.iter() {
+            let mut garbage = local.0.lock();
+            // Load the global epoch *after* acquiring this slot's bag
+            // lock. A concurrent `try_reclaim` may advance the epoch
+            // between a pre-lock load and the scan, after which a racing
+            // `defer` tags a fresh bag with the newer epoch — under a
+            // stale `g` that bag's wrap-masked age reads as 2^63-1 and it
+            // would be freed with zero grace period while a reader still
+            // holds its contents. Loading under the same lock the
+            // deferrer held restores the invariant the age computation
+            // needs: every bag visible in this slot was tagged from an
+            // epoch load ordered before this one, so `age(g, epoch)` is a
+            // true, small age. (The load is per-slot for exactly that
+            // reason — one pre-loop load would be stale for later slots.)
             let g = self.global.load(Ordering::SeqCst);
             // Bags are pushed in near-epoch order; a racy retire may land
             // one slightly out of place, so scan rather than front-pop.
-            let mut ripe = Vec::new();
             let mut i = 0;
             while i < garbage.bags.len() {
                 let a = age(g, garbage.bags[i].epoch);
@@ -294,15 +456,14 @@ impl EpochDomain {
                     i += 1;
                 }
             }
-            ripe
-        };
+        }
         // Run the deferred drops outside the bag lock.
         let mut freed = 0;
         for bag in ripe {
             self.retired_bytes.fetch_sub(bag.bytes, Ordering::Relaxed);
             freed += bag.items.len();
             for item in bag.items {
-                item();
+                item.run();
             }
         }
         if freed > 0 {
@@ -388,11 +549,13 @@ impl Default for EpochDomain {
 impl Drop for EpochDomain {
     fn drop(&mut self) {
         // `&mut self`: no guard can be alive (guards borrow the domain),
-        // so everything parked is free to go.
-        let garbage = std::mem::take(&mut *self.garbage.lock());
-        for bag in garbage.bags {
-            for item in bag.items {
-                item();
+        // so everything parked — in every bag slot — is free to go.
+        for local in self.locals.iter() {
+            let garbage = std::mem::take(&mut *local.0.lock());
+            for bag in garbage.bags {
+                for item in bag.items {
+                    item.run();
+                }
             }
         }
     }
@@ -450,15 +613,35 @@ thread_local! {
     /// probe hint.
     static SLOT_HINT: Cell<usize> = const { Cell::new(usize::MAX) };
 
+    /// Fast one-entry cache of the live-guard ledger: `(domain, count)`
+    /// for the single domain this thread is currently pinning. The first
+    /// pin on a *second* domain while this entry is occupied falls back
+    /// to `LIVE_PINS`.
+    static PIN_FAST: Cell<(usize, usize)> = const { Cell::new((0, 0)) };
+
     /// Live guards held by this thread, per domain (keyed by domain
-    /// address) — the self-deadlock detector in [`EpochDomain::pin`].
-    /// Almost always zero or one entry; entries are removed when their
-    /// count returns to zero, so a long-lived thread touching many
-    /// short-lived domains does not accumulate stale keys.
+    /// address) — overflow of `PIN_FAST`, together they are the
+    /// self-deadlock detector in [`EpochDomain::pin`]. Almost always
+    /// empty; entries are removed when their count returns to zero, so a
+    /// long-lived thread touching many short-lived domains does not
+    /// accumulate stale keys.
     static LIVE_PINS: std::cell::RefCell<Vec<(usize, usize)>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 fn live_pins_inc(domain: usize) {
+    // One-entry fast cache: in the overwhelmingly common case a thread
+    // pins exactly one domain at a time, and the whole ledger is two
+    // `Cell` accesses — the `RefCell<Vec>` path below only runs when a
+    // thread interleaves guards on multiple domains.
+    let (d, c) = PIN_FAST.get();
+    if d == domain {
+        PIN_FAST.set((d, c + 1));
+        return;
+    }
+    if c == 0 {
+        PIN_FAST.set((domain, 1));
+        return;
+    }
     LIVE_PINS.with(|pins| {
         let mut pins = pins.borrow_mut();
         if let Some(entry) = pins.iter_mut().find(|(d, _)| *d == domain) {
@@ -470,6 +653,11 @@ fn live_pins_inc(domain: usize) {
 }
 
 fn live_pins_dec(domain: usize) {
+    let (d, c) = PIN_FAST.get();
+    if d == domain && c > 0 {
+        PIN_FAST.set((d, c - 1));
+        return;
+    }
     LIVE_PINS.with(|pins| {
         let mut pins = pins.borrow_mut();
         let i = pins
@@ -484,7 +672,9 @@ fn live_pins_dec(domain: usize) {
 }
 
 fn live_pins_of(domain: usize) -> usize {
-    LIVE_PINS.with(|pins| {
+    let (d, c) = PIN_FAST.get();
+    let fast = if d == domain { c } else { 0 };
+    fast + LIVE_PINS.with(|pins| {
         pins.borrow()
             .iter()
             .find(|(d, _)| *d == domain)
@@ -740,6 +930,41 @@ mod tests {
             d.try_reclaim();
         }
         drop(unsafe { Box::from_raw(ptr.load(Ordering::Acquire) as *mut u64) });
+    }
+
+    /// Per-thread bag slots: retirers on many threads (more threads than
+    /// slots, forcing some sharing) must lose nothing — every deferred
+    /// item is freed exactly once, and quiescent reclamation drains every
+    /// slot to zero.
+    #[test]
+    fn concurrent_retirers_across_bag_slots_drain_fully() {
+        let d = EpochDomain::new();
+        let freed = Arc::new(AtomicU32::new(0));
+        let per_thread = 500u32;
+        let threads = super::LOCAL_BAG_SLOTS + 3;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let (d, freed) = (&d, &freed);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        count_retire(d, freed);
+                        if i % 64 == 0 {
+                            d.try_reclaim();
+                        }
+                    }
+                });
+            }
+        });
+        while d.pending_items() > 0 {
+            d.try_reclaim();
+        }
+        assert_eq!(freed.load(Ordering::SeqCst), threads as u32 * per_thread);
+        assert_eq!(d.retired_bytes(), 0, "byte ledger balances across slots");
+        assert_eq!(
+            d.reclaimed_items(),
+            (threads as u32 * per_thread) as u64,
+            "each item freed exactly once"
+        );
     }
 
     #[test]

@@ -63,6 +63,11 @@ pub struct SelectionAux {
     /// Whether `subtree_weight` reflects the current tree (rules
     /// initialize lazily on first use).
     ready: bool,
+    /// Chain rules: the current tip's memoized score. A block's score
+    /// (height, cumulative work) is immutable, so a matching entry is
+    /// never stale — this takes the per-insert tip re-scoring (a shard
+    /// lock on the concurrent store) off the commit hot path.
+    tip_score: Option<(BlockId, u64)>,
 }
 
 impl SelectionAux {
@@ -75,6 +80,7 @@ impl SelectionAux {
     pub fn reset(&mut self) {
         self.subtree_weight.clear();
         self.ready = false;
+        self.tip_score = None;
     }
 
     #[inline]
@@ -178,16 +184,28 @@ fn cmp_paths_lexicographic(store: &dyn BlockView, a: BlockId, b: BlockId) -> Ord
 /// the incumbent.
 fn chain_rule_on_insert(
     store: &dyn BlockView,
+    aux: &mut SelectionAux,
     new_block: BlockId,
     current_tip: BlockId,
-    score: impl Fn(BlockId) -> u64,
+    score: impl Fn(&crate::store::BlockMeta) -> u64,
 ) -> TipUpdate {
-    match score(new_block)
-        .cmp(&score(current_tip))
+    // One meta read covers the new block's score *and* its parent link;
+    // the incumbent's score comes from the aux memo (a block's score is
+    // immutable, so a matching memo is never stale) — on the concurrent
+    // store this turns three shard-lock crossings per insert into one.
+    let new_meta = store.meta(new_block);
+    let new_score = score(&new_meta);
+    let tip_score = match aux.tip_score {
+        Some((tip, s)) if tip == current_tip => s,
+        _ => score(&store.meta(current_tip)),
+    };
+    match new_score
+        .cmp(&tip_score)
         .then_with(|| cmp_paths_lexicographic(store, new_block, current_tip))
     {
         Ordering::Greater => {
-            if store.parent(new_block) == Some(current_tip) {
+            aux.tip_score = Some((new_block, new_score));
+            if new_meta.parent == Some(current_tip) {
                 TipUpdate::Extended(new_block)
             } else {
                 TipUpdate::Switched(new_block)
@@ -195,7 +213,10 @@ fn chain_rule_on_insert(
         }
         // The incumbent keeps winning; the only leaf the insert removed is
         // the new block's parent, which the incumbent already beat (or is).
-        Ordering::Less | Ordering::Equal => TipUpdate::Unchanged,
+        Ordering::Less | Ordering::Equal => {
+            aux.tip_score = Some((current_tip, tip_score));
+            TipUpdate::Unchanged
+        }
     }
 }
 
@@ -233,11 +254,11 @@ impl SelectionFn for LongestChain {
         &self,
         store: &dyn BlockView,
         _tree: &TreeMembership,
-        _aux: &mut SelectionAux,
+        aux: &mut SelectionAux,
         new_block: BlockId,
         current_tip: BlockId,
     ) -> TipUpdate {
-        chain_rule_on_insert(store, new_block, current_tip, |b| store.height(b) as u64)
+        chain_rule_on_insert(store, aux, new_block, current_tip, |m| m.height as u64)
     }
 
     fn name(&self) -> &'static str {
@@ -280,11 +301,11 @@ impl SelectionFn for HeaviestWork {
         &self,
         store: &dyn BlockView,
         _tree: &TreeMembership,
-        _aux: &mut SelectionAux,
+        aux: &mut SelectionAux,
         new_block: BlockId,
         current_tip: BlockId,
     ) -> TipUpdate {
-        chain_rule_on_insert(store, new_block, current_tip, |b| store.cumulative_work(b))
+        chain_rule_on_insert(store, aux, new_block, current_tip, |m| m.cum_work)
     }
 
     fn name(&self) -> &'static str {

@@ -598,8 +598,16 @@ impl TreeMembership {
     ///
     /// Debug-asserts parent-closure with respect to `store`.
     pub fn insert(&mut self, store: &dyn BlockView, id: BlockId) -> bool {
+        self.insert_with_parent(store.parent(id), id)
+    }
+
+    /// [`insert`](Self::insert) for a caller that already knows `id`'s
+    /// parent — skips the store lookup (a shard-lock crossing on the
+    /// concurrent store, which the commit hot path calls once per
+    /// append). The caller vouches that `parent` *is* `id`'s parent.
+    pub fn insert_with_parent(&mut self, parent: Option<BlockId>, id: BlockId) -> bool {
         debug_assert!(
-            store.parent(id).map(|p| self.contains(p)).unwrap_or(true),
+            parent.map(|p| self.contains(p)).unwrap_or(true),
             "membership must be parent-closed: {id} inserted before its parent"
         );
         if self.present.len() <= id.index() {
@@ -613,7 +621,7 @@ impl TreeMembership {
             // Leaf bookkeeping: the new block is a leaf (its children, if
             // minted, cannot be members yet by parent-closure); its parent
             // stops being one.
-            if let Some(p) = store.parent(id) {
+            if let Some(p) = parent {
                 self.leaves.remove(&p);
             }
             self.leaves.insert(id);

@@ -155,6 +155,52 @@ fn churn_stress_bounds_retired_bags_across_20_seeds() {
     }
 }
 
+/// Retirement now lands in per-thread bag slots (no global garbage
+/// mutex) and sweeps fire at an adaptive threshold capped at 256 pending
+/// boxes. From the outside that must look like: (a) the pending peak of
+/// an uncontended (inline-path, batch ≈ 1) run stays within a small
+/// multiple of the cap — the threshold adapts *up* but sweeps still
+/// fire; (b) at quiescence, every slot drains to zero — no bag is
+/// stranded in a slot whose retiring thread has exited.
+#[test]
+fn per_thread_bags_bound_the_peak_and_drain_at_quiescence() {
+    let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+    let max_pending = AtomicUsize::new(0);
+    // Phase 1: a long uncontended run — every append publishes (and
+    // retires) individually, the worst case for sweep frequency.
+    for i in 0..2_000u64 {
+        tree.append(CandidateBlock::simple(ProcessId(0), i))
+            .expect("AcceptAll");
+        max_pending.fetch_max(tree.epochs().pending_items(), Ordering::Relaxed);
+    }
+    assert!(
+        max_pending.load(Ordering::Relaxed) <= 2 * 256,
+        "inline-path pending peak {} exceeded twice the threshold cap",
+        max_pending.load(Ordering::Relaxed)
+    );
+    // Phase 2: retiring threads come and go — bags must outlive their
+    // retirers (slots belong to the domain, not to thread-local storage).
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let tree = &tree;
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    tree.append(CandidateBlock::simple(
+                        ProcessId(t),
+                        (1 << 52) | ((t as u64) << 24) | i,
+                    ))
+                    .expect("AcceptAll");
+                }
+            });
+        }
+    });
+    // Quiescent: every slot must hand over everything it parked.
+    reclaim_fully(&tree);
+    assert_eq!(tree.epochs().pending_items(), 0, "all bag slots drained");
+    assert_eq!(tree.epochs().retired_bytes(), 0, "byte ledger balances");
+    assert_eq!(tree.len(), 2_801);
+}
+
 /// A reader parked on a view is the worst case for reclamation: nothing
 /// it can see may be freed, everything after it must still be freed once
 /// it lets go — and the view itself must stay valid throughout.

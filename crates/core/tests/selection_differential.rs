@@ -313,6 +313,77 @@ fn concurrent_runs_replay_to_identical_selection_ghost() {
     }
 }
 
+/// Mixed inline/staged commits replay identically: a solo phase (every
+/// append takes the uncontended inline fast path — no queue) followed by
+/// a contended phase (appends race, some riding the staged queue), then
+/// the whole commit log replays through the sequential machinery to the
+/// identical chain. The pipeline counters prove both paths actually ran;
+/// the replay proves the paths are observationally one.
+#[test]
+fn mixed_inline_and_staged_commits_replay_identically() {
+    use btadt_core::blocktree::CandidateBlock;
+    use btadt_core::concurrent::ConcurrentBlockTree;
+    use btadt_core::validity::AcceptAll;
+
+    for seed in 0..6u64 {
+        let cbt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        // Solo phase: 30 appends from one thread — all inline.
+        for i in 0..30u64 {
+            cbt.append(CandidateBlock::simple(ProcessId(0), i).with_work(1 + (seed + i) % 3))
+                .expect("AcceptAll");
+        }
+        let solo = cbt.pipeline_stats();
+        assert_eq!(solo.inline_appends, 30, "seed {seed}: solo phase is inline");
+        assert_eq!(
+            solo.batched_appends, 0,
+            "seed {seed}: solo phase never queues"
+        );
+        // Contended phase: 4 racing appenders — inline when the lock is
+        // free, staged when a drainer holds it (the split depends on the
+        // scheduler; the sum may not).
+        std::thread::scope(|s| {
+            for t in 1..5u32 {
+                let cbt = &cbt;
+                s.spawn(move || {
+                    for i in 0..20u64 {
+                        let r = splitmix64_at(seed ^ ((t as u64) << 8), i);
+                        let cand = CandidateBlock::simple(ProcessId(t), ((t as u64) << 32) | i)
+                            .with_work(1 + r % 4);
+                        cbt.append(cand).expect("AcceptAll");
+                    }
+                });
+            }
+        });
+        let stats = cbt.pipeline_stats();
+        assert_eq!(
+            stats.inline_appends + stats.batched_appends,
+            110,
+            "seed {seed}: every append resolved on exactly one path"
+        );
+        // Replay the commit log sequentially: both paths linearized into
+        // one insert order that reproduces the published chain.
+        let store = cbt.snapshot_store();
+        let log = cbt.commit_log();
+        assert_eq!(log.len(), 110, "seed {seed}");
+        let mut tree = TreeMembership::genesis_only();
+        let mut cache = ChainCache::new();
+        for &id in &log {
+            tree.insert(&store, id);
+            cache.on_insert(&LongestChain, &store, &tree, id);
+        }
+        assert_eq!(
+            cache.chain(),
+            cbt.read_owned(),
+            "seed {seed}: mixed-path replay diverged from the published chain"
+        );
+        assert_eq!(
+            cbt.selected_tip(),
+            cbt.selected_tip_full_scan(),
+            "seed {seed}"
+        );
+    }
+}
+
 /// Repeated reads of an unchanged tip must share one snapshot allocation —
 /// the zero-rewalk guarantee (`path_from_genesis` is off the read path).
 #[test]

@@ -155,8 +155,24 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
     ///   only generator of valid blocks", so the pair is misconfigured.
     pub fn propose(&self, who: usize, candidate: CandidateBlock) -> ProposeOutcome {
         let deadline = Instant::now() + self.stall_limit;
+        // Backoff ladder for a token-less proposer: the first few denials
+        // just yield (a solo proposer's tape is its only wake source —
+        // parking there would add hard latency to every denied attempt),
+        // then park on the commit generation. Within one instance the
+        // only tree commit is the winner's graft, so a generation advance
+        // almost always means "the decision landed" — a park usually ends
+        // in a wakeup, and the timeout keeps tape attempts flowing when
+        // no other proposer is making progress (every proposer parked at
+        // once is possible when every tape said ⊥ in the same breath).
+        const TOKEN_YIELDS: u32 = 4;
+        const TOKEN_BACKOFF: Duration = Duration::from_micros(200);
+        let mut denied = 0u32;
         // while validBlock = ⊥: validBlock ← getToken(b0, b)
         let grant = loop {
+            // Generation before the polls: a decision committing after
+            // them bumps it, so the park at the bottom returns instantly
+            // instead of sleeping through the wakeup.
+            let gen = self.tree.commit_generation();
             // The decide-path poll: the published cell (already
             // committed), or K[anchor]'s first consume (decided but
             // perhaps not yet grafted — wait for that). Either way, adopt
@@ -193,7 +209,18 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
                 self.anchor,
                 self.stall_limit
             );
-            std::thread::yield_now();
+            // No token, no decision: yield first, then park on the
+            // commit generation instead of `yield_now`-spinning — a pack
+            // of spinning losers time-slices the winner off the core
+            // exactly when it needs to run (the contended-decide collapse
+            // this replaced).
+            denied += 1;
+            if denied <= TOKEN_YIELDS {
+                std::thread::yield_now();
+            } else {
+                self.tree
+                    .wait_commit_past(gen, Instant::now() + TOKEN_BACKOFF);
+            }
         };
         // The proposal becomes a real block: minted into the shared arena
         // under the anchor (not yet a member — membership is the oracle's

@@ -1,23 +1,29 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! This workspace must build without network access to a registry, so the
-//! two synchronization primitives the member crates actually use — a
-//! non-poisoning [`Mutex`] and [`RwLock`] — are provided here as thin
-//! wrappers over `std::sync`. Semantics match `parking_lot` where the
-//! callers rely on them:
+//! synchronization primitives the member crates actually use — a
+//! non-poisoning [`Mutex`], [`RwLock`], and [`Condvar`] — are provided
+//! here as thin wrappers over `std::sync`. Semantics match `parking_lot`
+//! where the callers rely on them:
 //!
 //! * `lock()` / `read()` / `write()` return guards directly (no
 //!   `Result`); a poisoned std lock is transparently recovered, which is
 //!   exactly `parking_lot`'s "no poisoning" behaviour.
+//! * `try_lock()` returns `Option` instead of a nested `Result`.
 //! * Guards deref to the protected value and release on drop.
+//! * [`Condvar::wait`]/[`wait_timeout`](Condvar::wait_timeout) follow the
+//!   std guard-in/guard-out shape (the guard moves through the call)
+//!   rather than `parking_lot`'s `&mut guard` — the callers in this
+//!   workspace are written against this shim, not the real crate.
 //!
 //! Fairness/elision details of the real crate are irrelevant to the
 //! deterministic tests and benchmarks in this repository.
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
-    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard, TryLockError,
 };
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock` never fails (poison-recovering).
 #[derive(Debug, Default)]
@@ -46,6 +52,16 @@ impl<T: ?Sized> Mutex<T> {
         self.inner
             .lock()
             .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Acquires the lock iff it is free right now — the one-CAS probe the
+    /// concurrent tree's uncontended-append fast path rides.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -98,6 +114,54 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable whose waits never fail (poison-recovering) and
+/// whose timed wait reports the timeout as a plain `bool`.
+///
+/// Pairs with this shim's [`Mutex`]: the guard moves through the call
+/// (std shape). Spurious wakeups are possible, as with any condvar —
+/// callers re-check their predicate in a loop.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks until notified; returns the reacquired guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Blocks until notified or `timeout` elapses; returns the reacquired
+    /// guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|poison| poison.into_inner());
+        (guard, result.timed_out())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +180,39 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(5);
+        let held = m.lock();
+        assert!(m.try_lock().is_none(), "held elsewhere");
+        drop(held);
+        *m.try_lock().expect("free now") += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_a_parked_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().expect("waiter woke");
+        // Timed wait on a predicate that never fires reports the timeout.
+        let (lock, cv) = &*pair;
+        let (_guard, timed_out) = cv.wait_timeout(lock.lock(), std::time::Duration::from_millis(1));
+        assert!(timed_out);
     }
 
     #[test]

@@ -50,6 +50,33 @@ fn recorded_histories_linearize_across_20_seeds_longest_chain() {
     }
 }
 
+/// The uncontended inline fast path (one appender: every commit skips
+/// the queue) must be indistinguishable from the staged path in the
+/// recorded evidence — same checker, same verdict, across seeds and with
+/// readers racing the inline publications.
+#[test]
+fn inline_fast_path_histories_linearize_across_seeds() {
+    for seed in 600..612u64 {
+        let cfg = MtConfig {
+            seed,
+            appenders: 1,
+            readers: 3,
+            appends_per_round: 4,
+            reads_per_round: 3,
+            rounds: 1,
+            mine: false,
+            frugal_k: None,
+        };
+        let run = run_concurrent_workload(LongestChain, &cfg);
+        assert_eq!(run.appended, 4, "seed {seed}");
+        let r = check_linearizable(&run.history, &run.store, &LongestChain);
+        assert!(
+            matches!(r, Linearizability::Linearizable(_)),
+            "seed {seed}: {r:?}"
+        );
+    }
+}
+
 #[test]
 fn recorded_histories_linearize_under_heaviest_work() {
     for seed in 100..106u64 {
