@@ -900,7 +900,7 @@ pub fn bench_concurrent() {
     // thread counts.
     let trials = env_size("BTADT_BENCH_TRIALS", 5) as usize;
     let configs = [1usize, 2, 4, 8];
-    let mut best = [(0f64, 0f64, 0usize, 0f64, 0u64); 4];
+    let mut best = [(0f64, 0f64, 0usize, 0f64, 0u64, 0usize); 4];
     let mut tip_series = [(0u64, 0f64); 4];
     for trial in 0..trials {
         for (ci, &threads) in configs.iter().enumerate() {
@@ -958,6 +958,7 @@ pub fn bench_concurrent() {
             best[ci].2 = best[ci].2.max(tree.epochs().retired_bytes_peak());
             best[ci].3 = best[ci].3.max(tree.pipeline_stats().mean_batch());
             best[ci].4 = best[ci].4.max(tree.pipeline_stats().inline_appends);
+            best[ci].5 = best[ci].5.max(tree.store().approx_heap_bytes());
             if trial == trials - 1 {
                 // Tip-read scaling on the now-populated tree:
                 // `selected_tip` is the refcount-free half of the read
@@ -993,7 +994,7 @@ pub fn bench_concurrent() {
         let reads_each = total_reads / threads as u64;
         let done_appends = appends_each * threads as u64;
         let done_reads = reads_each * threads as u64;
-        let (append_rate, read_rate, retired_peak, mean_batch, inline) = best[ci];
+        let (append_rate, read_rate, retired_peak, mean_batch, inline, arena) = best[ci];
         println!(
             "{:>18} +{threads}r {done_appends:>10} {append_rate:>13.0} {done_reads:>10} \
              {read_rate:>13.0} {retired_peak:>10} B {mean_batch:>7.2}",
@@ -1003,7 +1004,8 @@ pub fn bench_concurrent() {
             "    {{\"threads\": {threads}, \"label\": \"concurrent\", \"appends\": {done_appends}, \
              \"appends_per_sec\": {append_rate:.1}, \"reads\": {done_reads}, \
              \"reads_per_sec\": {read_rate:.1}, \"retired_bytes_peak\": {retired_peak}, \
-             \"mean_batch\": {mean_batch:.2}, \"inline_appends\": {inline}}}"
+             \"mean_batch\": {mean_batch:.2}, \"inline_appends\": {inline}, \
+             \"arena_bytes\": {arena}}}"
         ));
         let (tip_total, tip_rate) = tip_series[ci];
         println!(
@@ -1099,6 +1101,108 @@ pub fn bench_concurrent() {
              \"max_batch\": {max_batch}, \"inline_appends\": {inline}}}"
         ));
     }
+    // Deep-tree configuration: the same chain grown to `BTADT_BENCH_DEEP`
+    // blocks twice — once with flattening disabled (the PR-5 arena as it
+    // was: every block a spine `Entry` plus a live child list forever),
+    // once with the finality watermark trailing the tip by
+    // `BTADT_BENCH_FINALITY` — and measured on the axes the tiered arena
+    // exists for: ancestry-walk latency from the tip into the finalized
+    // prefix, resident arena bytes, and append throughput with the
+    // flattener running on the commit path. Exactly one populated deep
+    // tree is alive at any moment (phase A drops before phase B builds);
+    // at the release default of one million blocks, keeping both would
+    // double the bench's resident footprint for no measurement benefit.
+    {
+        use btadt_core::commit::FinalityWatermark;
+        use btadt_core::store::BlockView;
+
+        let deep_blocks: u64 = env_size(
+            "BTADT_BENCH_DEEP",
+            if cfg!(debug_assertions) {
+                4_000
+            } else {
+                1_000_000
+            },
+        );
+        let finality_depth = env_size("BTADT_BENCH_FINALITY", 1_024) as u32;
+        let walks: u64 = env_size(
+            "BTADT_BENCH_WALKS",
+            if cfg!(debug_assertions) {
+                2_000
+            } else {
+                50_000
+            },
+        );
+
+        let grow = |watermark: FinalityWatermark| {
+            let tree = ConcurrentBlockTree::with_config(4, watermark, LongestChain, AcceptAll);
+            let start = Instant::now();
+            for i in 0..deep_blocks {
+                tree.append(CandidateBlock::simple(ProcessId(0), (1u64 << 52) | i));
+            }
+            let rate = deep_blocks as f64 / start.elapsed().as_secs_f64();
+            (tree, rate)
+        };
+        // Random-depth ancestry walks from the tip: the jump-pointer
+        // descent crosses the whole finalized prefix, so this is the
+        // cache-locality metric the slab tier targets.
+        let walk_ns = |store: &btadt_core::concurrent::ShardedStore| {
+            let tip = BlockId(store.block_count() as u32 - 1);
+            let tip_h = store.height(tip) as u64;
+            let mut seed = 0x5EED_D15Cu64;
+            let mut acc = 0u64;
+            let start = Instant::now();
+            for _ in 0..walks {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let h = ((seed >> 33) % (tip_h + 1)) as u32;
+                acc ^= store.ancestor_at(tip, h).0 as u64;
+            }
+            std::hint::black_box(acc);
+            start.elapsed().as_nanos() as f64 / walks as f64
+        };
+
+        let (tree, append_unflat) = grow(FinalityWatermark::disabled());
+        let walk_unflat = walk_ns(tree.store());
+        let arena_peak = tree.store().approx_heap_bytes();
+        drop(tree);
+
+        let (tree, append_flat) = grow(FinalityWatermark::new(finality_depth));
+        // Drain the flattener to its watermark, then drive the grace
+        // period so every retired spine chunk is actually freed before
+        // the resident-bytes reading.
+        while tree.store().flatten_some(4096) > 0 {}
+        tree.store().reclaim_domain().reclaim_quiescent();
+        let walk_flat = walk_ns(tree.store());
+        let arena_final = tree.store().approx_heap_bytes();
+        let flattened = tree.store().flattened_count();
+        let retired_peak = tree.store().reclaim_domain().retired_bytes_peak();
+
+        println!(
+            "{:>22} {deep_blocks:>10} {append_unflat:>13.0} {walks:>10} {:>10.0} ns/walk \
+             {arena_peak:>10} B {:>7}",
+            "deep tree (unflat)", walk_unflat, "-"
+        );
+        println!(
+            "{:>22} {deep_blocks:>10} {append_flat:>13.0} {walks:>10} {:>10.0} ns/walk \
+             {arena_final:>10} B {:>7}",
+            format!("deep tree (d={finality_depth})"),
+            walk_flat,
+            "-"
+        );
+        rows.push(format!(
+            "    {{\"threads\": 1, \"label\": \"deep_tree\", \"blocks\": {deep_blocks}, \
+             \"finality_depth\": {finality_depth}, \
+             \"append_per_sec_unflattened\": {append_unflat:.1}, \
+             \"append_per_sec_flattening\": {append_flat:.1}, \
+             \"walks\": {walks}, \"walk_ns_unflattened\": {walk_unflat:.1}, \
+             \"walk_ns_flattened\": {walk_flat:.1}, \
+             \"arena_bytes_peak\": {arena_peak}, \"arena_bytes_final\": {arena_final}, \
+             \"flattened_blocks\": {flattened}, \"retired_bytes_peak\": {retired_peak}}}"
+        ));
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"concurrent_append_read\",\n  \
          \"selection\": \"longest-chain\",\n  \

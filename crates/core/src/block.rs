@@ -91,7 +91,7 @@ impl Payload {
 /// Blocks live in a [`BlockStore`](crate::store::BlockStore) arena and are
 /// referred to by [`BlockId`]; each edge points backward to the root
 /// (`parent`), exactly the directed rooted tree `bt = (V_bt, E_bt)` of §3.1.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// Arena slot of this block (self reference, for convenience).
     pub id: BlockId,

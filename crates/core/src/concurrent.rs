@@ -71,7 +71,7 @@
 use crate::block::{Block, Payload};
 use crate::blocktree::CandidateBlock;
 use crate::chain::Blockchain;
-use crate::commit::{CommitQueue, CommitReq, PipelineStats};
+use crate::commit::{CommitQueue, CommitReq, FinalityWatermark, PipelineStats};
 use crate::epoch::{EpochDomain, Guard, RecycleBin};
 use crate::ids::BlockId;
 use crate::selection::SelectionFn;
@@ -79,6 +79,7 @@ use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
 use crate::tipcache::ChainCache;
 use crate::validity::ValidityPredicate;
 use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Default shard count for [`ShardedStore`] (must be a power of two).
@@ -166,6 +167,298 @@ fn chunk_of(slot: usize) -> (usize, usize) {
     (k, slot + 1 - (1 << k))
 }
 
+/// The hot half of a flattened block: everything an ancestry walk or a
+/// `meta` read touches, packed into 32 bytes so a walk costs one cache
+/// line per step instead of chasing a ~100-byte spine [`Entry`]. `work`
+/// is *derived* (`cum_work - parent.cum_work`), not stored — that is what
+/// fits the struct in half a line.
+#[derive(Clone, Copy)]
+struct FlatEntry {
+    /// Parent id; `u32::MAX` encodes "genesis / no parent".
+    parent_raw: u32,
+    height: u32,
+    /// Skew-binary jump target. Jump targets are strict ancestors, so a
+    /// flat block's jump is always flat too — walks never cross back
+    /// into the spine tier.
+    jump: BlockId,
+    cum_work: u64,
+    digest: u64,
+}
+
+const FLAT_NO_PARENT: u32 = u32::MAX;
+
+/// The cold half: fields only `with_block` reconstruction needs. Non-empty
+/// payloads are boxed so the common `Payload::Empty` costs no heap and the
+/// slot stays 16 bytes.
+struct FlatCold {
+    producer: crate::ids::ProcessId,
+    merit_index: u32,
+    payload: Option<Box<Payload>>,
+}
+
+/// Frozen child list of a flattened block. Finalized-prefix blocks have
+/// overwhelmingly exactly one child (forks die young), so the one-child
+/// case is inline and the empty case is free.
+enum FlatKids {
+    None,
+    One(BlockId),
+    Many(Box<[BlockId]>),
+}
+
+impl FlatKids {
+    fn from_vec(kids: Vec<BlockId>) -> FlatKids {
+        match kids.len() {
+            0 => FlatKids::None,
+            1 => FlatKids::One(kids[0]),
+            _ => FlatKids::Many(kids.into_boxed_slice()),
+        }
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(BlockId)) {
+        match self {
+            FlatKids::None => {}
+            FlatKids::One(c) => f(*c),
+            FlatKids::Many(cs) => {
+                for &c in cs.iter() {
+                    f(c)
+                }
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            FlatKids::Many(cs) => std::mem::size_of_val::<[BlockId]>(cs),
+            _ => 0,
+        }
+    }
+}
+
+/// One chunk of the flattened slab — same geometric spine layout as the
+/// live tier's [`Chunk`], but indexed by *id* (the finalized prefix is
+/// dense and parent-closed, so ids are direct offsets) and with **no
+/// per-slot ready flags**: a whole batch of slots is published at once by
+/// the single `Release` store of [`FlatTier::count`].
+struct FlatChunk {
+    hot: Box<[std::cell::UnsafeCell<std::mem::MaybeUninit<FlatEntry>>]>,
+    cold: Box<[std::cell::UnsafeCell<std::mem::MaybeUninit<FlatCold>>]>,
+    kids: Box<[std::cell::UnsafeCell<std::mem::MaybeUninit<FlatKids>>]>,
+}
+
+impl FlatChunk {
+    fn new(len: usize) -> FlatChunk {
+        fn slots<T>(len: usize) -> Box<[std::cell::UnsafeCell<std::mem::MaybeUninit<T>>]> {
+            (0..len)
+                .map(|_| std::cell::UnsafeCell::new(std::mem::MaybeUninit::uninit()))
+                .collect()
+        }
+        FlatChunk {
+            hot: slots(len),
+            cold: slots(len),
+            kids: slots(len),
+        }
+    }
+}
+
+/// The finalized tier: an offset-indexed immutable slab holding every
+/// block with id below [`count`](Self::count).
+///
+/// # Invariants
+///
+/// * `count` is monotone and only ever stored (Release) by the single
+///   flattener holding the `work` ticket, after it has fully written the
+///   hot/cold/kids slots of every id below the new value. Readers load it
+///   Acquire: `id < count` ⇒ all three slots of `id` are initialized and
+///   immutable forever — no per-slot flag needed.
+/// * `target` is the watermark bound (exclusive id): flattening never
+///   proceeds past `min(target, fully-minted prefix)`. It is advanced by
+///   `fetch_max` only — storage policy, not semantic finality; a reorg
+///   reaching below the watermark still reads correctly, it is merely
+///   assumed rare enough that the prefix's *data layout* can be frozen.
+/// * `late_kids` holds children minted under an already-frozen parent
+///   (the watermark trails the tip by the finality depth, so this is the
+///   reorg tail case). Readers merge them after the frozen list; order
+///   stays minting order because freezing captures the list under the
+///   same lock mints push through.
+struct FlatTier {
+    spine: [AtomicPtr<FlatChunk>; SPINE],
+    /// Ids below this are flattened (published Release, read Acquire).
+    count: AtomicU32,
+    /// Exclusive id bound the flattener may advance to (watermark).
+    target: AtomicU32,
+    /// Children minted under already-flattened parents: parent id → kids
+    /// in minting order.
+    late_kids: Mutex<HashMap<u32, Vec<BlockId>>>,
+    /// Single-flattener ticket: `try_lock` and do bounded work, or leave.
+    work: Mutex<()>,
+}
+
+impl FlatTier {
+    fn new() -> FlatTier {
+        FlatTier {
+            spine: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            count: AtomicU32::new(0),
+            target: AtomicU32::new(0),
+            late_kids: Mutex::new(HashMap::new()),
+            work: Mutex::new(()),
+        }
+    }
+
+    /// The chunk covering `id`, installing it first if nobody has.
+    /// Flattener-only (but CAS-installed for safety symmetry with
+    /// [`Shard::chunk_for_write`]).
+    fn chunk_for_write(&self, id: u32) -> (&FlatChunk, usize) {
+        let (k, off) = chunk_of(id as usize);
+        let p = self.spine[k].load(Ordering::Acquire);
+        let chunk = if p.is_null() {
+            let fresh = Box::into_raw(Box::new(FlatChunk::new(1 << k)));
+            match self.spine[k].compare_exchange(
+                std::ptr::null_mut(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => fresh,
+                Err(winner) => {
+                    // SAFETY: ours never escaped.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    winner
+                }
+            }
+        } else {
+            p
+        };
+        // SAFETY: slab chunks are never freed while the store lives.
+        (unsafe { &*chunk }, off)
+    }
+
+    /// Writes the hot and cold halves of `id`. Flattener-only, before the
+    /// covering `count` publication.
+    fn install(&self, id: u32, hot: FlatEntry, cold: FlatCold) {
+        let (chunk, off) = self.chunk_for_write(id);
+        // SAFETY: the single flattener owns all slots in
+        // `count..target`; readers never look before `count` covers them.
+        unsafe {
+            (*chunk.hot[off].get()).write(hot);
+            (*chunk.cold[off].get()).write(cold);
+        }
+    }
+
+    /// Freezes `id`'s child list. Flattener-only; called under the owning
+    /// shard's children lock (the freeze handoff point — see
+    /// `ShardedStore::flatten_some`).
+    fn install_kids(&self, id: u32, kids: Vec<BlockId>) {
+        let (chunk, off) = self.chunk_for_write(id);
+        // SAFETY: as in `install`.
+        unsafe { (*chunk.kids[off].get()).write(FlatKids::from_vec(kids)) };
+    }
+
+    /// The hot entry of `id`. Callers must have established that the slot
+    /// is initialized: either `id < count` (Acquire), or they are on the
+    /// freeze handoff path (children lock ordered after the slot write),
+    /// or they are the flattener reading its own writes. No assert on
+    /// `count` here — the flattener legitimately reads below-`target`
+    /// slots it wrote moments ago, before publishing.
+    #[inline]
+    fn entry(&self, id: u32) -> FlatEntry {
+        let (k, off) = chunk_of(id as usize);
+        let p = self.spine[k].load(Ordering::Acquire);
+        debug_assert!(!p.is_null(), "flat read of id {id} before its chunk");
+        // SAFETY: per the caller contract above, the slot is initialized
+        // and immutable; chunks live as long as the store.
+        unsafe { (*(*p).hot[off].get()).assume_init_ref() }.to_owned()
+    }
+
+    /// The cold half of `id`. Same contract as [`entry`](Self::entry).
+    #[inline]
+    fn with_cold<R>(&self, id: u32, f: impl FnOnce(&FlatCold) -> R) -> R {
+        let (k, off) = chunk_of(id as usize);
+        let p = self.spine[k].load(Ordering::Acquire);
+        debug_assert!(!p.is_null(), "flat read of id {id} before its chunk");
+        // SAFETY: as in `entry`.
+        f(unsafe { (*(*p).cold[off].get()).assume_init_ref() })
+    }
+
+    /// The frozen child list of `id`, copied out (late children are the
+    /// caller's job to merge). Same contract as [`entry`](Self::entry).
+    fn kids_clone(&self, id: u32) -> Vec<BlockId> {
+        let (k, off) = chunk_of(id as usize);
+        let p = self.spine[k].load(Ordering::Acquire);
+        debug_assert!(!p.is_null(), "flat read of id {id} before its chunk");
+        // SAFETY: as in `entry`.
+        let kids = unsafe { (*(*p).kids[off].get()).assume_init_ref() };
+        let mut out = Vec::new();
+        kids.for_each(&mut |c| out.push(c));
+        out
+    }
+
+    /// Out-of-line bytes of `id`'s frozen child list (`Many` boxes only).
+    /// Same contract as [`entry`](Self::entry).
+    fn kids_heap_bytes(&self, id: u32) -> usize {
+        let (k, off) = chunk_of(id as usize);
+        let p = self.spine[k].load(Ordering::Acquire);
+        debug_assert!(!p.is_null(), "flat read of id {id} before its chunk");
+        // SAFETY: as in `entry`.
+        unsafe { (*(*p).kids[off].get()).assume_init_ref() }.heap_bytes()
+    }
+}
+
+impl Drop for FlatTier {
+    fn drop(&mut self) {
+        let count = *self.count.get_mut();
+        for id in 0..count {
+            let (k, off) = chunk_of(id as usize);
+            let p = *self.spine[k].get_mut();
+            // SAFETY: ids below count are fully written; `&mut self`
+            // means no readers. `FlatEntry` is Copy — only the cold and
+            // kids halves own heap.
+            unsafe {
+                (*(*p).cold[off].get()).assume_init_drop();
+                (*(*p).kids[off].get()).assume_init_drop();
+            }
+        }
+        for p in &mut self.spine {
+            let p = *p.get_mut();
+            if !p.is_null() {
+                // SAFETY: install sites leaked exactly these boxes.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// Per-shard child lists with a frozen prefix. Slot `s` of the shard
+/// lives at `lists[s - moved]`; slots below `moved` have been frozen into
+/// the flat slab (pop_front keeps the deque dense). The freeze for slot
+/// `s` happens under this table's mutex — a reader or minter that
+/// observes `moved > s` under the lock is *guaranteed* to find `s`'s
+/// frozen list in the slab (the flattener wrote it before bumping
+/// `moved`), even before the covering `count` publication.
+struct ChildTable {
+    lists: VecDeque<Vec<BlockId>>,
+    moved: usize,
+}
+
+impl ChildTable {
+    fn new() -> ChildTable {
+        ChildTable {
+            lists: VecDeque::new(),
+            moved: 0,
+        }
+    }
+
+    /// The live list for `slot`, growing the table as needed.
+    /// Panics (underflow) if the slot is already frozen — callers check
+    /// `moved` first.
+    fn live_mut(&mut self, slot: usize) -> &mut Vec<BlockId> {
+        let idx = slot - self.moved;
+        while self.lists.len() <= idx {
+            self.lists.push_back(Vec::new());
+        }
+        &mut self.lists[idx]
+    }
+}
+
 struct Shard {
     /// Slot `i` holds the block with id `i * shards + shard_index`.
     /// Chunks are installed by CAS and never moved or freed while the
@@ -173,15 +466,16 @@ struct Shard {
     spine: [AtomicPtr<Chunk>; SPINE],
     /// Forward edges per slot, in minting order — the one piece of
     /// per-block state that mutates after publication, so it lives under
-    /// a (per-shard) mutex instead of next to the immutable entry.
-    children: Mutex<Vec<Vec<BlockId>>>,
+    /// a (per-shard) mutex instead of next to the immutable entry. The
+    /// flattener freezes lists out of the front (see [`ChildTable`]).
+    children: Mutex<ChildTable>,
 }
 
 impl Default for Shard {
     fn default() -> Self {
         Shard {
             spine: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
-            children: Mutex::new(Vec::new()),
+            children: Mutex::new(ChildTable::new()),
         }
     }
 }
@@ -259,6 +553,24 @@ pub struct ShardedStore {
     /// the vector to skip rescans when nothing changed: the
     /// copy-on-write gate for incremental snapshots.
     gens: Box<[AtomicU64]>,
+    /// Per-shard high-water marks: `high[s]` is one past the largest
+    /// *installed* slot of shard `s` (`fetch_max` before the slot's
+    /// `ready` publication). `high[s] > slot` therefore proves some
+    /// *later* mint on the shard completed — the leapfrog witness
+    /// [`SnapshotCache`] gap adoption needs to tell "this id is a stuck
+    /// straggler" from "this id is still being written".
+    high: Box<[AtomicU64]>,
+    /// The finalized slab (empty and inert unless
+    /// [`flatten_capable`](Self::flatten_capable)).
+    flat: FlatTier,
+    /// Grace periods for spine chunks retired by the flattener. Separate
+    /// from the tree's publication domain: chunk readers and chain
+    /// readers have independent horizons.
+    reclaim: EpochDomain,
+    /// Whether this store may ever flatten. Fixed at construction: plain
+    /// stores never retire chunks, so their readers skip the epoch pin
+    /// entirely — zero overhead when the feature is off.
+    flatten_capable: bool,
     next_id: AtomicU32,
     mask: u32,
     shift: u32,
@@ -271,8 +583,20 @@ impl ShardedStore {
     }
 
     /// A store holding only genesis, with `shards` lock shards
-    /// (power of two).
+    /// (power of two). Not flatten-capable: reads never pin an epoch.
     pub fn with_shards(shards: usize) -> Self {
+        ShardedStore::with_config(shards, false)
+    }
+
+    /// A store that may flatten its finalized prefix into the slab tier
+    /// once a watermark is raised (see
+    /// [`raise_flatten_target`](Self::raise_flatten_target) and
+    /// [`flatten_some`](Self::flatten_some)).
+    pub fn with_flattening(shards: usize) -> Self {
+        ShardedStore::with_config(shards, true)
+    }
+
+    fn with_config(shards: usize, flatten_capable: bool) -> Self {
         assert!(
             shards.is_power_of_two() && shards > 0,
             "shard count must be a power of two"
@@ -280,6 +604,10 @@ impl ShardedStore {
         let store = ShardedStore {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             gens: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            high: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            flat: FlatTier::new(),
+            reclaim: EpochDomain::new(),
+            flatten_capable,
             next_id: AtomicU32::new(1),
             mask: shards as u32 - 1,
             shift: shards.trailing_zeros(),
@@ -318,12 +646,17 @@ impl ShardedStore {
     /// Writes `id`'s one-time entry and publishes it (`Release`). Only
     /// the thread that allocated `id` may call this, exactly once.
     fn install_entry(&self, id: BlockId, entry: Entry) {
-        let shard = &self.shards[self.shard_of(id)];
-        let (chunk, off) = shard.chunk_for_write(self.slot_of(id));
+        let shard_idx = self.shard_of(id);
+        let slot = self.slot_of(id);
+        let (chunk, off) = self.shards[shard_idx].chunk_for_write(slot);
         // SAFETY: this thread owns `id` (it came from our fetch_add, or
         // construction-time genesis), so no other writer touches the
         // slot, and no reader looks before the `ready` publication.
         unsafe { (*chunk.entries[off].get()).write(entry) };
+        // High-water before `ready`: anyone who observes `ready` for this
+        // slot (and hence may leapfrog-probe earlier gaps against `high`)
+        // is ordered after this fetch_max.
+        self.high[shard_idx].fetch_max(slot as u64 + 1, Ordering::AcqRel);
         chunk.ready[off].store(true, Ordering::Release);
     }
 
@@ -369,38 +702,58 @@ impl ShardedStore {
         payload: Payload,
         check: impl FnOnce(&Block) -> bool,
     ) -> (BlockId, bool) {
-        // One read-lock session on the parent's shard collects everything
-        // a child needs: height/digest/cumulative work plus the cached
-        // jump metadata (see `Entry`).
-        let (pm_height, pm_digest, pm_cum, p_jump, p_jump_h, p_jump2, p_jump2_h) = {
-            let e = self.shards[self.shard_of(parent)]
-                .entry(self.slot_of(parent))
-                .expect("parent fully minted");
-            (
-                e.block.height,
-                e.block.digest,
-                e.cum_work,
-                e.jump,
-                e.jump_h,
-                e.jump2,
-                e.jump2_h,
-            )
-        };
-        // Skew-binary jump, identical to `store::jump_for_child` but fed
-        // from the cached heights: merge (jump two levels up) when the
-        // two previous jump spans are equal, else point at the parent.
-        let (jump, jump_h, jump2, jump2_h) = if pm_height - p_jump_h == p_jump_h - p_jump2_h {
-            // The merged jump target's own jump fields come from its
-            // entry — the only extra shard read, and only on merge steps.
-            let (j2, j2h) = {
-                let e = self.shards[self.shard_of(p_jump2)]
-                    .entry(self.slot_of(p_jump2))
-                    .expect("jump ancestors are fully minted");
-                (e.jump, e.jump_h)
+        // One read session on the parent collects everything a child
+        // needs: height/digest/cumulative work plus the jump metadata
+        // (cached in the spine [`Entry`]; re-derived by two slab hops for
+        // a flattened parent — jump targets of flat blocks are ancestors,
+        // hence flat themselves). The whole phase runs under one
+        // `walk_guard` so a concurrent flattener cannot free a spine
+        // chunk mid-read; the tier is re-checked per id (pin-then-recheck).
+        let (jump, jump_h, jump2, jump2_h, pm_height, pm_digest, pm_cum) = {
+            let _guard = self.walk_guard(parent);
+            let (pm_height, pm_digest, pm_cum, p_jump, p_jump_h, p_jump2, p_jump2_h) =
+                if self.is_flat(parent) {
+                    let e = self.flat.entry(parent.0);
+                    let j = self.flat.entry(e.jump.0);
+                    let j2 = self.flat.entry(j.jump.0);
+                    (
+                        e.height, e.digest, e.cum_work, e.jump, j.height, j.jump, j2.height,
+                    )
+                } else {
+                    let e = self.shards[self.shard_of(parent)]
+                        .entry(self.slot_of(parent))
+                        .expect("parent fully minted");
+                    (
+                        e.block.height,
+                        e.block.digest,
+                        e.cum_work,
+                        e.jump,
+                        e.jump_h,
+                        e.jump2,
+                        e.jump2_h,
+                    )
+                };
+            // Skew-binary jump, identical to `store::jump_for_child` but
+            // fed from the cached heights: merge (jump two levels up)
+            // when the two previous jump spans are equal, else point at
+            // the parent.
+            let (jump, jump_h, jump2, jump2_h) = if pm_height - p_jump_h == p_jump_h - p_jump2_h {
+                // The merged jump target's own jump fields come from its
+                // entry — the only extra read, and only on merge steps.
+                let (j2, j2h) = if self.is_flat(p_jump2) {
+                    let e = self.flat.entry(p_jump2.0);
+                    (e.jump, self.flat.entry(e.jump.0).height)
+                } else {
+                    let e = self.shards[self.shard_of(p_jump2)]
+                        .entry(self.slot_of(p_jump2))
+                        .expect("jump ancestors are fully minted");
+                    (e.jump, e.jump_h)
+                };
+                (p_jump2, p_jump2_h, j2, j2h)
+            } else {
+                (parent, pm_height, p_jump, p_jump_h)
             };
-            (p_jump2, p_jump2_h, j2, j2h)
-        } else {
-            (parent, pm_height, p_jump, p_jump_h)
+            (jump, jump_h, jump2, jump2_h, pm_height, pm_digest, pm_cum)
         };
         let height = pm_height + 1;
         let digest = Block::compute_digest(pm_digest, producer, nonce, &payload);
@@ -437,10 +790,23 @@ impl ShardedStore {
             let shard = &self.shards[self.shard_of(parent)];
             let mut children = shard.children.lock();
             let pslot = self.slot_of(parent);
-            if children.len() <= pslot {
-                children.resize_with(pslot + 1, Vec::new);
+            if pslot < children.moved {
+                // The parent's list froze into the slab while we minted
+                // (watermark trails the tip, so this is the reorg-tail
+                // case): record the child in the late-kids side table,
+                // which flat-tier child reads merge after the frozen
+                // list. Decided under the same lock the freeze held, so
+                // exactly one of the two lists receives the child.
+                drop(children);
+                self.flat
+                    .late_kids
+                    .lock()
+                    .entry(parent.0)
+                    .or_default()
+                    .push(id);
+            } else {
+                children.live_mut(pslot).push(id);
             }
-            children[pslot].push(id);
         }
         self.gens[self.shard_of(parent)].fetch_add(1, Ordering::Release);
         (id, accepted)
@@ -467,13 +833,51 @@ impl ShardedStore {
         }
         let count = self.block_count();
         let mut adopted = 0;
+        // First, fill any previously leapfrogged holes whose mints have
+        // since completed. Ascending id order: a fillable hole's parent
+        // is fully minted (mints read their parent first), so the parent
+        // — if itself a hole — is fillable and fills earlier in the walk.
+        for raw in cache.base.hole_ids() {
+            let id = BlockId(raw);
+            if self.has_block(id) {
+                cache.base.fill_hole(self.block(id));
+                adopted += 1;
+            }
+        }
         while cache.base.len() < count {
             let id = BlockId(cache.base.len() as u32);
-            if !self.has_block(id) {
-                break; // allocated but still mid-mint: stop at the gap
+            if self.has_block(id) {
+                // A ready id implies its whole ancestor chain is ready;
+                // any still-hole ancestors were leapfrogged above and
+                // completed since — fill them (deepest first) before the
+                // adopt so the prefix stays parent-closed.
+                let mut stragglers = Vec::new();
+                let mut cur = self.meta(id).parent;
+                while let Some(a) = cur {
+                    if !cache.base.is_hole(a) {
+                        break;
+                    }
+                    stragglers.push(a);
+                    cur = self.meta(a).parent;
+                }
+                for a in stragglers.into_iter().rev() {
+                    cache.base.fill_hole(self.block(a));
+                    adopted += 1;
+                }
+                cache.base.adopt(self.block(id));
+                adopted += 1;
+            } else if self.shard_high(self.shard_of(id)) > self.slot_of(id) as u64 {
+                // The id is mid-mint but a *later* slot on its shard has
+                // already installed — the minter was leapfrogged. Adopt a
+                // placeholder hole so the adoptable prefix is no longer
+                // stalled behind one straggler (or one `P`-panicked
+                // mint); the fill pass above repairs it if the mint ever
+                // lands. Holes are invisible to `has_block` and excluded
+                // from membership, so checkers never read them.
+                cache.base.adopt_hole();
+            } else {
+                break; // genuinely in-flight frontier: stop here
             }
-            cache.base.adopt(self.block(id));
-            adopted += 1;
         }
         cache.gens = gens;
         adopted
@@ -495,14 +899,228 @@ impl ShardedStore {
             self.block_count(),
             "snapshot of a half-minted id (snapshot requires quiescence)"
         );
+        assert_eq!(
+            cache.base.hole_count(),
+            0,
+            "snapshot of a dead gap: an allocated id whose mint never completed"
+        );
         cache.base
+    }
+
+    /// Whether this store may flatten its finalized prefix (fixed at
+    /// construction — see [`with_flattening`](Self::with_flattening)).
+    pub fn flatten_capable(&self) -> bool {
+        self.flatten_capable
+    }
+
+    /// Raises the flatten bound to `bound` (an *exclusive* id: everything
+    /// below it may be moved to the slab tier). Monotone — lower bounds
+    /// are ignored. Callers derive bounds from a committed-prefix depth
+    /// threshold ([`FinalityWatermark`]); this is storage policy, not
+    /// semantic finality: reads below the bound stay correct forever,
+    /// reorgs included.
+    pub fn raise_flatten_target(&self, bound: u32) {
+        assert!(
+            self.flatten_capable,
+            "raise_flatten_target on a non-flattening store"
+        );
+        self.flat.target.fetch_max(bound, Ordering::AcqRel);
+    }
+
+    /// The current flatten bound (exclusive id).
+    pub fn flatten_target(&self) -> u32 {
+        self.flat.target.load(Ordering::Acquire)
+    }
+
+    /// Number of blocks flattened into the slab tier so far.
+    pub fn flattened_count(&self) -> u32 {
+        self.flat.count.load(Ordering::Acquire)
+    }
+
+    /// The epoch domain guarding retired spine chunks — exposed for the
+    /// churn tests and observability (`retired_bytes_peak` of chunk
+    /// memory, pending chunk garbage).
+    pub fn reclaim_domain(&self) -> &EpochDomain {
+        &self.reclaim
+    }
+
+    /// One past the largest installed slot of shard `s` (the leapfrog
+    /// witness behind [`SnapshotCache`] gap adoption).
+    fn shard_high(&self, s: usize) -> u64 {
+        self.high[s].load(Ordering::Acquire)
+    }
+
+    /// Flattens up to `budget` blocks of the finalized prefix into the
+    /// slab tier, then retires any spine chunks wholly below the new
+    /// frontier through the reclaim domain. Bounded work, safe to call
+    /// from any thread next to the commit paths (single-flattener ticket
+    /// inside; losers return immediately). Returns blocks flattened.
+    ///
+    /// Per block: copy the hot/cold halves into the slab, then — under
+    /// the owning shard's children lock — freeze the child list
+    /// (`pop_front` + `moved` bump). The `count` publication (one
+    /// `Release` store per call) is what makes the batch visible to
+    /// lock-free readers; the children-lock handoff covers the window in
+    /// between for child reads. Stops early at a mid-mint straggler
+    /// below the bound (resumes once it completes).
+    pub fn flatten_some(&self, budget: usize) -> usize {
+        if !self.flatten_capable || budget == 0 {
+            return 0;
+        }
+        let bound = self
+            .flat
+            .target
+            .load(Ordering::Acquire)
+            .min(self.next_id.load(Ordering::Acquire));
+        if self.flat.count.load(Ordering::Relaxed) >= bound {
+            return 0;
+        }
+        let Some(_ticket) = self.flat.work.try_lock() else {
+            return 0; // another thread is flattening right now
+        };
+        // Sole flattener from here: `count` cannot move under us.
+        let start = self.flat.count.load(Ordering::Relaxed);
+        let goal = bound.max(start).min(start.saturating_add(budget as u32));
+        let mut next = start;
+        while next < goal {
+            let id = BlockId(next);
+            let shard_idx = self.shard_of(id);
+            let slot = self.slot_of(id);
+            let Some(e) = self.shards[shard_idx].entry(slot) else {
+                break; // mid-mint straggler below the bound: resume later
+            };
+            debug_assert!(
+                e.block.parent.is_none_or(|p| p.0 < next),
+                "finalized prefix is parent-closed"
+            );
+            let hot = FlatEntry {
+                parent_raw: e.block.parent.map_or(FLAT_NO_PARENT, |p| p.0),
+                height: e.block.height,
+                jump: e.jump,
+                cum_work: e.cum_work,
+                digest: e.block.digest,
+            };
+            let payload = match &e.block.payload {
+                Payload::Empty => None,
+                p => Some(Box::new(p.clone())),
+            };
+            let cold = FlatCold {
+                producer: e.block.producer,
+                merit_index: e.block.merit_index,
+                payload,
+            };
+            self.flat.install(next, hot, cold);
+            {
+                // Freeze the child list under the same lock mints push
+                // through: after `moved` covers this slot, any reader or
+                // minter holding the lock finds the slab copy instead.
+                let mut children = self.shards[shard_idx].children.lock();
+                debug_assert_eq!(children.moved, slot, "freeze follows slot order");
+                let list = children.lists.pop_front().unwrap_or_default();
+                self.flat.install_kids(next, list);
+                children.moved += 1;
+                // `pop_front` never returns capacity; shrink the deque
+                // once it is mostly frozen so the live tier's footprint
+                // tracks the live suffix, not the all-time peak.
+                if children.lists.capacity() > 64
+                    && children.lists.len() * 4 < children.lists.capacity()
+                {
+                    let want = (children.lists.len() * 2).max(64);
+                    children.lists.shrink_to(want);
+                }
+            }
+            next += 1;
+        }
+        if next > start {
+            // One Release store publishes the whole batch to lock-free
+            // readers (`id < count` ⇒ slots initialized).
+            self.flat.count.store(next, Ordering::Release);
+            self.retire_covered_chunks(next);
+        }
+        (next - start) as usize
+    }
+
+    /// Retires every spine chunk whose id range lies wholly below
+    /// `frontier` (all its blocks are readable from the slab). The swap
+    /// to null unpublishes the chunk; in-flight readers that loaded the
+    /// pointer earlier are covered by their `walk_guard` pin — the epoch
+    /// domain frees the box only after their grace period passes.
+    fn retire_covered_chunks(&self, frontier: u32) {
+        let mut retired_any = false;
+        for (s, shard) in self.shards.iter().enumerate() {
+            for k in 0..SPINE {
+                // Largest id the chunk covers: its last slot is 2^(k+1)-2.
+                let hi_slot = (1u64 << (k + 1)) - 2;
+                let hi_id = (hi_slot << self.shift) | s as u64;
+                if hi_id >= frontier as u64 {
+                    break; // later chunks cover even larger ids
+                }
+                let p = shard.spine[k].swap(std::ptr::null_mut(), Ordering::AcqRel);
+                if p.is_null() {
+                    continue; // never installed, or already retired
+                }
+                let bytes = (1usize << k) * (std::mem::size_of::<Entry>() + 1);
+                // SAFETY: the install site leaked exactly this box, and
+                // only the single flattener (we hold the work ticket)
+                // swaps spine pointers out.
+                self.reclaim.retire_box(bytes, unsafe { Box::from_raw(p) });
+                retired_any = true;
+            }
+        }
+        if retired_any {
+            self.reclaim.try_reclaim();
+        }
+    }
+
+    /// Approximate resident heap bytes of the arena: live spine chunks
+    /// (entries + ready flags), child-list capacity, the flat slab
+    /// (hot/cold/kids slots plus out-of-line many-child boxes), and the
+    /// late-kids side table. Payload heap (boxed payloads, transaction
+    /// vectors) is excluded — it is workload-owned data both tiers carry
+    /// equally. O(arena) on the slab scan; an observability probe, not a
+    /// hot-path call.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for shard in self.shards.iter() {
+            for k in 0..SPINE {
+                if !shard.spine[k].load(Ordering::Acquire).is_null() {
+                    total += (1usize << k) * (std::mem::size_of::<Entry>() + 1);
+                }
+            }
+            let children = shard.children.lock();
+            total += children.lists.capacity() * std::mem::size_of::<Vec<BlockId>>();
+            for l in children.lists.iter() {
+                total += l.capacity() * std::mem::size_of::<BlockId>();
+            }
+        }
+        let slot_bytes = std::mem::size_of::<FlatEntry>()
+            + std::mem::size_of::<FlatCold>()
+            + std::mem::size_of::<FlatKids>();
+        for k in 0..SPINE {
+            if !self.flat.spine[k].load(Ordering::Acquire).is_null() {
+                total += (1usize << k) * slot_bytes;
+            }
+        }
+        for id in 0..self.flat.count.load(Ordering::Acquire) {
+            total += self.flat.kids_heap_bytes(id);
+        }
+        let late = self.flat.late_kids.lock();
+        total += late.len() * std::mem::size_of::<(u32, Vec<BlockId>)>();
+        for l in late.values() {
+            total += l.capacity() * std::mem::size_of::<BlockId>();
+        }
+        total
     }
 }
 
-// SAFETY: the only interior mutability is (a) chunk slots, written
+// SAFETY: the only interior mutability is (a) spine chunk slots, written
 // exactly once by the thread owning the id and published with a
-// Release/Acquire `ready` flag, immutable afterwards; (b) child lists,
-// behind a Mutex. Both are safe to share across threads.
+// Release/Acquire `ready` flag, immutable afterwards (chunks retired by
+// the flattener are freed only through the epoch domain's grace period);
+// (b) slab slots, written by the single flattener (work ticket) and
+// published in batches by the `count` Release store, immutable
+// afterwards; (c) child lists and the late-kids table, behind mutexes.
+// All are safe to share across threads.
 unsafe impl Sync for ShardedStore {}
 unsafe impl Send for ShardedStore {}
 
@@ -556,18 +1174,47 @@ impl Default for SnapshotCache {
     }
 }
 
-impl BlockView for ShardedStore {
-    fn block_count(&self) -> usize {
-        self.next_id.load(Ordering::Acquire) as usize
+/// The tier-check read protocol. Every read dispatches on one branch —
+/// `id < flat.count` (Acquire) — to the slab or the spine. Spine reads on
+/// a flatten-capable store additionally pin the chunk-reclaim domain
+/// first ([`walk_guard`](Self::walk_guard)): pin-then-recheck makes them
+/// safe against a concurrent flattener retiring the chunk (a chunk
+/// observed unretired after the pin cannot be freed while the pin
+/// lives — retirement happens after the pin, and the grace period covers
+/// it). Non-capable stores never retire chunks, so their reads skip the
+/// pin entirely and cost exactly what they did before the tier existed.
+impl ShardedStore {
+    /// Whether `id` lives in the flattened slab — the one branch on the
+    /// read hot path.
+    #[inline]
+    fn is_flat(&self, id: BlockId) -> bool {
+        id.0 < self.flat.count.load(Ordering::Acquire)
     }
 
-    fn has_block(&self, id: BlockId) -> bool {
-        self.shards[self.shard_of(id)]
-            .entry(self.slot_of(id))
-            .is_some()
+    /// Pin for a spine read (or a walk that may touch the spine) rooted
+    /// at `id`. `None` when no pin is needed: non-capable store, or `id`
+    /// already flat — every id a walk visits from a flat block is a
+    /// (smaller, hence flat) ancestor, so the walk never touches the
+    /// spine at all.
+    #[inline]
+    fn walk_guard(&self, id: BlockId) -> Option<Guard<'_>> {
+        if !self.flatten_capable || self.is_flat(id) {
+            None
+        } else {
+            Some(self.reclaim.pin())
+        }
     }
 
-    fn meta(&self, id: BlockId) -> BlockMeta {
+    /// Metadata read with the tier branch but *no* pin — callers hold a
+    /// [`walk_guard`](Self::walk_guard) (or the store is non-capable).
+    /// The tier is re-checked per read: a block may flatten between the
+    /// caller's pin and this load, in which case the slab copy is
+    /// already published and we read that instead.
+    #[inline]
+    fn meta_raw(&self, id: BlockId) -> BlockMeta {
+        if self.is_flat(id) {
+            return self.flat_meta(id);
+        }
         let e = self.shards[self.shard_of(id)]
             .entry(self.slot_of(id))
             .expect("meta of a half-minted id");
@@ -581,24 +1228,235 @@ impl BlockView for ShardedStore {
         }
     }
 
+    fn flat_meta(&self, id: BlockId) -> BlockMeta {
+        let e = self.flat.entry(id.0);
+        let parent = (e.parent_raw != FLAT_NO_PARENT).then_some(BlockId(e.parent_raw));
+        // `work` is derived, not stored: the parent (a smaller id) is
+        // flat whenever `id` is, so its cumulative work is one slab read
+        // away. Genesis carries work 0 = its own cum_work.
+        let work = match parent {
+            Some(p) => e.cum_work.wrapping_sub(self.flat.entry(p.0).cum_work),
+            None => e.cum_work,
+        };
+        BlockMeta {
+            parent,
+            height: e.height,
+            work,
+            cum_work: e.cum_work,
+            digest: e.digest,
+            jump: e.jump,
+        }
+    }
+
+    /// Reconstructs a flattened block (payload cloned out of the slab).
+    fn flat_block(&self, id: BlockId) -> Block {
+        let m = self.flat_meta(id);
+        let (producer, merit_index, payload) = self.flat.with_cold(id.0, |c| {
+            (
+                c.producer,
+                c.merit_index,
+                c.payload.as_deref().cloned().unwrap_or(Payload::Empty),
+            )
+        });
+        Block {
+            id,
+            parent: m.parent,
+            height: m.height,
+            producer,
+            merit_index,
+            work: m.work,
+            digest: m.digest,
+            payload,
+        }
+    }
+
+    /// The lean navigation triple (parent, height, jump) the ancestry
+    /// walks run on: for a flat id this touches exactly one 32-byte slab
+    /// line — no cold half, no derived `work`, no parent entry — which
+    /// is where the walk-at-depth speedup comes from.
+    #[inline]
+    fn nav_raw(&self, id: BlockId) -> (Option<BlockId>, u32, BlockId) {
+        if self.is_flat(id) {
+            let e = self.flat.entry(id.0);
+            (
+                (e.parent_raw != FLAT_NO_PARENT).then_some(BlockId(e.parent_raw)),
+                e.height,
+                e.jump,
+            )
+        } else {
+            let e = self.shards[self.shard_of(id)]
+                .entry(self.slot_of(id))
+                .expect("walk through a half-minted id");
+            (e.block.parent, e.block.height, e.jump)
+        }
+    }
+
+    /// [`BlockView::ancestor_at`]'s exact algorithm over
+    /// [`nav_raw`](Self::nav_raw); callers hold the walk guard.
+    fn ancestor_at_raw(&self, id: BlockId, height: u32) -> BlockId {
+        let (mut parent, mut h, mut jump) = self.nav_raw(id);
+        assert!(height <= h, "requested height {height} above block at {h}");
+        let mut cur = id;
+        while h > height {
+            let (jp, jh, jj) = self.nav_raw(jump);
+            if jh >= height {
+                cur = jump;
+                (parent, h, jump) = (jp, jh, jj);
+            } else {
+                cur = parent.expect("above genesis, parent exists");
+                (parent, h, jump) = self.nav_raw(cur);
+            }
+        }
+        cur
+    }
+
+    /// Children of `id` across tiers, in minting order.
+    fn children_of(&self, id: BlockId) -> Vec<BlockId> {
+        if self.is_flat(id) {
+            let mut kids = self.flat.kids_clone(id.0);
+            self.extend_with_late_kids(id, &mut kids);
+            return kids;
+        }
+        {
+            let children = self.shards[self.shard_of(id)].children.lock();
+            let slot = self.slot_of(id);
+            if slot >= children.moved {
+                return children
+                    .lists
+                    .get(slot - children.moved)
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            // Frozen while we approached. The flattener wrote the slab
+            // list *before* bumping `moved` under this very lock, so the
+            // copy is visible to us now even though the covering `count`
+            // publication may not have landed yet.
+        }
+        let mut kids = self.flat.kids_clone(id.0);
+        self.extend_with_late_kids(id, &mut kids);
+        kids
+    }
+
+    /// Appends children minted after `id`'s list froze. Frozen list
+    /// first, late kids second = minting order (the freeze point orders
+    /// the two sets).
+    fn extend_with_late_kids(&self, id: BlockId, kids: &mut Vec<BlockId>) {
+        let late = self.flat.late_kids.lock();
+        if let Some(extra) = late.get(&id.0) {
+            kids.extend_from_slice(extra);
+        }
+    }
+}
+
+impl BlockView for ShardedStore {
+    fn block_count(&self) -> usize {
+        self.next_id.load(Ordering::Acquire) as usize
+    }
+
+    fn has_block(&self, id: BlockId) -> bool {
+        if self.is_flat(id) {
+            return true;
+        }
+        if !self.flatten_capable {
+            return self.shards[self.shard_of(id)]
+                .entry(self.slot_of(id))
+                .is_some();
+        }
+        let _guard = self.reclaim.pin();
+        self.is_flat(id)
+            || self.shards[self.shard_of(id)]
+                .entry(self.slot_of(id))
+                .is_some()
+    }
+
+    fn meta(&self, id: BlockId) -> BlockMeta {
+        let _guard = self.walk_guard(id);
+        self.meta_raw(id)
+    }
+
     fn with_block(&self, id: BlockId, f: &mut dyn FnMut(&Block)) {
-        let e = self.shards[self.shard_of(id)]
-            .entry(self.slot_of(id))
-            .expect("block of a half-minted id");
-        f(&e.block);
+        let _guard = self.walk_guard(id);
+        if self.is_flat(id) {
+            f(&self.flat_block(id));
+        } else {
+            let e = self.shards[self.shard_of(id)]
+                .entry(self.slot_of(id))
+                .expect("block of a half-minted id");
+            f(&e.block);
+        }
     }
 
     fn for_each_child(&self, id: BlockId, f: &mut dyn FnMut(BlockId)) {
         debug_assert!(self.has_block(id), "children of a half-minted id");
-        // Copy the child list out so `f` may query the store without the
-        // children mutex held (no nested acquisition, no deadlock).
-        let kids: Vec<BlockId> = {
-            let children = self.shards[self.shard_of(id)].children.lock();
-            children.get(self.slot_of(id)).cloned().unwrap_or_default()
-        };
-        for c in kids {
+        // Copy the child list out so `f` may query the store without any
+        // lock held (no nested acquisition, no deadlock). Child reads
+        // never touch spine chunks, so no walk guard is needed here.
+        for c in self.children_of(id) {
             f(c);
         }
+    }
+
+    // Walk overrides: same algorithms as the trait defaults (bit-identical
+    // answers — the differential suite checks this), but one epoch pin for
+    // the *whole* walk instead of one per `meta`, and the lean `nav_raw`
+    // read per step. Every id a walk visits is ≤ its starting id's height
+    // ancestry, hence covered by a guard taken on the largest root id.
+
+    fn parent(&self, id: BlockId) -> Option<BlockId> {
+        let _guard = self.walk_guard(id);
+        self.nav_raw(id).0
+    }
+
+    fn height(&self, id: BlockId) -> u32 {
+        let _guard = self.walk_guard(id);
+        self.nav_raw(id).1
+    }
+
+    fn ancestor_at(&self, id: BlockId, height: u32) -> BlockId {
+        let _guard = self.walk_guard(id);
+        self.ancestor_at_raw(id, height)
+    }
+
+    fn is_ancestor(&self, a: BlockId, b: BlockId) -> bool {
+        let _guard = self.walk_guard(BlockId(a.0.max(b.0)));
+        let (ha, hb) = (self.nav_raw(a).1, self.nav_raw(b).1);
+        if ha > hb {
+            return false;
+        }
+        self.ancestor_at_raw(b, ha) == a
+    }
+
+    fn common_ancestor(&self, a: BlockId, b: BlockId) -> BlockId {
+        let _guard = self.walk_guard(BlockId(a.0.max(b.0)));
+        let (ha, hb) = (self.nav_raw(a).1, self.nav_raw(b).1);
+        let (mut x, mut y) = if ha <= hb {
+            (a, self.ancestor_at_raw(b, ha))
+        } else {
+            (self.ancestor_at_raw(a, hb), b)
+        };
+        while x != y {
+            let ((px, _, jx), (py, _, jy)) = (self.nav_raw(x), self.nav_raw(y));
+            if jx != jy {
+                x = jx;
+                y = jy;
+            } else {
+                x = px.expect("disjoint roots");
+                y = py.expect("disjoint roots");
+            }
+        }
+        x
+    }
+
+    fn path_from_genesis(&self, tip: BlockId) -> Vec<BlockId> {
+        let _guard = self.walk_guard(tip);
+        let mut out = Vec::with_capacity(self.nav_raw(tip).1 as usize + 1);
+        let mut cur = Some(tip);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.nav_raw(id).0;
+        }
+        out.reverse();
+        out
     }
 }
 
@@ -686,6 +1544,11 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     store: ShardedStore,
     selection: F,
     predicate: P,
+    /// Committed-prefix depth threshold behind the storage watermark:
+    /// every publication derives `chain[len-1-depth]` as the new
+    /// (monotone) flatten bound. Disabled ⇒ the store is not even
+    /// flatten-capable and reads pay zero overhead.
+    watermark: FinalityWatermark,
     sel: Mutex<SelState>,
     /// Pending appends awaiting a batch drain (see `crate::commit`).
     queue: CommitQueue,
@@ -695,7 +1558,10 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     /// bin's.
     epochs: EpochDomain,
     /// Reclaimed publication boxes awaiting reuse (see `publish_locked`).
-    spares: RecycleBin<Blockchain>,
+    /// Boxed because pending epoch items hold its *address*: the tree
+    /// struct itself may be moved by the owner between an append and the
+    /// drop, but the bin's heap allocation never moves.
+    spares: Box<RecycleBin<Blockchain>>,
     /// Current `{b0}⌢f(bt)`; always a valid leaked box.
     published: AtomicPtr<Blockchain>,
     /// The published chain's tip id, readable without touching the box.
@@ -720,18 +1586,56 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     avg_batch_x8: AtomicU32,
 }
 
+/// Default finality depth for [`ConcurrentBlockTree`]: blocks this many
+/// links behind the selected tip are flattened into the slab tier. Deep
+/// enough that reorg tails essentially never reach below it (the
+/// late-kids path stays cold), shallow enough that long-running trees
+/// keep their resident prefix compact.
+pub const DEFAULT_FINALITY_DEPTH: u32 = 128;
+
+/// Flattening work per commit-path visit (blocks copied to the slab).
+/// Like the adaptive reclamation sweep, this bounds the latency any
+/// single append donates to background maintenance; a batch of B appends
+/// advances the watermark by B, so a budget ≥ 1 per publication keeps up
+/// and 64 lets the flattener catch up quickly after bursts.
+const FLATTEN_BUDGET: usize = 64;
+
 impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
-    /// A tree holding only `b0`, with [`DEFAULT_SHARDS`] store shards.
+    /// A tree holding only `b0`, with [`DEFAULT_SHARDS`] store shards and
+    /// the [`DEFAULT_FINALITY_DEPTH`] storage watermark.
     pub fn new(selection: F, predicate: P) -> Self {
         ConcurrentBlockTree::with_shards(DEFAULT_SHARDS, selection, predicate)
     }
 
     /// A tree holding only `b0`, with an explicit shard count.
     pub fn with_shards(shards: usize, selection: F, predicate: P) -> Self {
-        ConcurrentBlockTree {
-            store: ShardedStore::with_shards(shards),
+        ConcurrentBlockTree::with_config(
+            shards,
+            FinalityWatermark::new(DEFAULT_FINALITY_DEPTH),
             selection,
             predicate,
+        )
+    }
+
+    /// Full-control constructor: shard count plus the finality watermark
+    /// driving finalized-prefix flattening.
+    /// [`FinalityWatermark::disabled`] yields a tree whose store never
+    /// flattens (and whose reads skip the tier machinery's epoch pin).
+    pub fn with_config(
+        shards: usize,
+        watermark: FinalityWatermark,
+        selection: F,
+        predicate: P,
+    ) -> Self {
+        ConcurrentBlockTree {
+            store: if watermark.is_enabled() {
+                ShardedStore::with_flattening(shards)
+            } else {
+                ShardedStore::with_shards(shards)
+            },
+            selection,
+            predicate,
+            watermark,
             sel: Mutex::new(SelState {
                 tree: TreeMembership::genesis_only(),
                 cache: ChainCache::new(),
@@ -739,7 +1643,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             }),
             queue: CommitQueue::new(),
             epochs: EpochDomain::new(),
-            spares: RecycleBin::new(RECLAIM_PENDING_MAX),
+            spares: Box::new(RecycleBin::new(RECLAIM_PENDING_MAX)),
             published: AtomicPtr::new(Box::into_raw(Box::new(Blockchain::genesis()))),
             published_tip: AtomicU32::new(BlockId::GENESIS.0),
             commit_gen: AtomicU64::new(0),
@@ -857,6 +1761,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             let outcome = self.commit_inline_locked(&mut sel, minted, parent, prevalidated, nonce);
             drop(sel);
             self.maybe_reclaim();
+            self.maybe_flatten();
             return outcome;
         }
         let req = CommitReq::new(minted, parent, prevalidated, nonce);
@@ -886,9 +1791,11 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 let mut sel = self.sel.lock();
                 self.drain_locked(&mut sel);
             }
-            // Reclamation runs off the lock: parked appenders wake on
-            // commit latency, not on garbage-sweep latency.
+            // Reclamation and flattening run off the lock: parked
+            // appenders wake on commit latency, not on maintenance
+            // latency.
             self.maybe_reclaim();
+            self.maybe_flatten();
         }
     }
 
@@ -999,6 +1906,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             self.publish_locked(&mut sel);
         }
         self.maybe_reclaim();
+        self.maybe_flatten();
         Some(id)
     }
 
@@ -1034,6 +1942,20 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     fn maybe_reclaim(&self) {
         if self.epochs.pending_items() >= self.reclaim_threshold() {
             self.epochs.try_reclaim();
+        }
+    }
+
+    /// Bounded incremental flattening, run next to [`maybe_reclaim`] on
+    /// every commit path — off the selection lock, so parked appenders
+    /// never wait on it. A no-op unless the watermark is enabled and has
+    /// moved past the flattened frontier; the single-flattener ticket
+    /// inside [`ShardedStore::flatten_some`] keeps concurrent visitors
+    /// from duplicating work (losers return immediately).
+    ///
+    /// [`maybe_reclaim`]: Self::maybe_reclaim
+    fn maybe_flatten(&self) {
+        if self.watermark.is_enabled() {
+            self.store.flatten_some(FLATTEN_BUDGET);
         }
     }
 
@@ -1260,6 +2182,13 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             }
             None => Box::new(sel.cache.chain()),
         };
+        // Watermark advance rides the publication (the batch drainer's
+        // natural cadence): the block `depth` links behind the new tip —
+        // and everything below it — is storage-final. `fetch_max` inside
+        // keeps the bound monotone across reorgs that shorten the chain.
+        if let Some(bound) = self.watermark.target_for(boxed.ids()) {
+            self.store.raise_flatten_target(bound);
+        }
         let fresh = Box::into_raw(boxed);
         let old = self.published.swap(fresh, Ordering::AcqRel);
         self.published_tip
@@ -1283,8 +2212,11 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         // pinned at (or before) the swap has unpinned.
         let old = unsafe { Box::from_raw(old) };
         let bytes = old.approx_heap_bytes();
-        // SAFETY: `spares` outlives `epochs` (declaration order), and the
-        // domain's drop runs every pending item.
+        // SAFETY: `spares` outlives `epochs` (declaration order), the
+        // domain's drop runs every pending item, and the bin sits behind
+        // its own heap allocation so the address the deferred item keeps
+        // stays valid even if the tree struct is moved before the item
+        // runs.
         unsafe { self.epochs.retire_box_recycling(bytes, old, &self.spares) };
     }
 
@@ -1348,6 +2280,11 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// The validity predicate `P`.
     pub fn predicate(&self) -> &P {
         &self.predicate
+    }
+
+    /// The finality watermark driving finalized-prefix flattening.
+    pub fn watermark(&self) -> FinalityWatermark {
+        self.watermark
     }
 
     /// The epoch-reclamation domain guarding published snapshots —
@@ -1491,6 +2428,9 @@ mod tests {
                     bt.store().refresh_snapshot(&mut cache);
                     let snap = cache.store();
                     for id in 1..snap.len() as u32 {
+                        if snap.is_hole(BlockId(id)) {
+                            continue; // leapfrogged mid-mint id, not yet filled
+                        }
                         let meta = snap.meta(BlockId(id));
                         let parent = meta.parent.expect("non-genesis");
                         assert!(parent.0 < id, "parents precede children in id order");
@@ -1914,5 +2854,244 @@ mod tests {
         for i in 0..snap.block_count() as u32 {
             assert_eq!(snap.meta(BlockId(i)), bt.store().meta(BlockId(i)));
         }
+    }
+
+    #[test]
+    fn flattened_tier_preserves_every_read() {
+        // Build a fork-heavy arena, record every read, flatten most of
+        // it incrementally, and require bit-identical answers after.
+        let store = ShardedStore::with_flattening(4);
+        let mut all = vec![BlockId::GENESIS];
+        let mut prev = BlockId::GENESIS;
+        for i in 0..80u64 {
+            let parent = if i % 7 == 0 {
+                all[(i as usize * 13) % all.len()]
+            } else {
+                prev
+            };
+            let payload = if i % 5 == 0 {
+                Payload::Opaque(i)
+            } else {
+                Payload::Empty
+            };
+            let id = store.mint(parent, ProcessId((i % 3) as u32), 0, 1 + i % 4, i, payload);
+            all.push(id);
+            prev = id;
+        }
+        let metas: Vec<BlockMeta> = all.iter().map(|&id| store.meta(id)).collect();
+        let blocks: Vec<Block> = all.iter().map(|&id| store.block(id)).collect();
+        let kids: Vec<Vec<BlockId>> = all
+            .iter()
+            .map(|&id| {
+                let mut v = Vec::new();
+                store.for_each_child(id, &mut |c| v.push(c));
+                v
+            })
+            .collect();
+        store.raise_flatten_target(60);
+        let mut done = 0;
+        while done < 60 {
+            let n = store.flatten_some(7);
+            assert!(n > 0, "bounded flattening makes progress");
+            done += n;
+        }
+        assert_eq!(store.flattened_count(), 60);
+        assert_eq!(store.flatten_some(8), 0, "no work past the bound");
+        for (i, &id) in all.iter().enumerate() {
+            assert_eq!(store.meta(id), metas[i], "meta of {id}");
+            assert_eq!(store.block(id), blocks[i], "block of {id}");
+            let mut v = Vec::new();
+            store.for_each_child(id, &mut |c| v.push(c));
+            assert_eq!(v, kids[i], "children of {id}");
+        }
+        // Walks crossing the tier boundary agree with the sequential
+        // mirror of the same arena.
+        let snap = store.snapshot();
+        for &a in &all {
+            for &b in all.iter().step_by(9) {
+                assert_eq!(store.is_ancestor(a, b), snap.is_ancestor(a, b));
+                assert_eq!(store.common_ancestor(a, b), snap.common_ancestor(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn flattening_retires_spine_chunks_through_the_epoch_domain() {
+        let store = ShardedStore::with_flattening(1);
+        let mut prev = BlockId::GENESIS;
+        for i in 0..2045u64 {
+            prev = store.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty);
+        }
+        let before = store.approx_heap_bytes();
+        store.raise_flatten_target(2000);
+        while store.flatten_some(256) > 0 {}
+        assert_eq!(store.flattened_count(), 2000);
+        let dom = store.reclaim_domain();
+        assert!(dom.retired_bytes_peak() > 0, "spine chunks were retired");
+        // Nothing is pinned: a quiescent sweep frees every retired chunk.
+        assert!(dom.reclaim_quiescent() > 0);
+        assert_eq!(dom.pending_items(), 0);
+        assert_eq!(dom.retired_bytes(), 0);
+        let after = store.approx_heap_bytes();
+        assert!(
+            after < before,
+            "flattened arena should be smaller: {after} !< {before}"
+        );
+        // Deep walks still cross the tier boundary correctly.
+        assert_eq!(store.height(prev), 2045);
+        assert_eq!(store.ancestor_at(prev, 0), BlockId::GENESIS);
+        assert_eq!(store.ancestor_at(prev, 1234), BlockId(1234));
+        assert!(store.is_ancestor(BlockId(1), prev));
+    }
+
+    #[test]
+    fn children_minted_under_flattened_parents_are_still_visible() {
+        let store = ShardedStore::with_flattening(2);
+        let mut prev = BlockId::GENESIS;
+        for i in 0..50u64 {
+            prev = store.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty);
+        }
+        store.raise_flatten_target(51);
+        while store.flatten_some(64) > 0 {}
+        assert_eq!(store.flattened_count(), 51, "the whole arena is flat");
+        // Fork under a deep flattened parent: the child lands in the
+        // late-kids side table and merges after the frozen list.
+        let deep = BlockId(10);
+        let late = store.mint(deep, ProcessId(1), 0, 5, 99, Payload::Opaque(7));
+        let mut kids = Vec::new();
+        store.for_each_child(deep, &mut |c| kids.push(c));
+        assert_eq!(kids, vec![BlockId(11), late], "frozen first, late after");
+        assert_eq!(store.parent(late), Some(deep));
+        assert_eq!(store.height(late), 11);
+        assert_eq!(store.meta(late).work, 5);
+        assert_eq!(store.common_ancestor(late, prev), deep);
+        assert_eq!(store.cumulative_work(late), store.cumulative_work(deep) + 5);
+    }
+
+    #[test]
+    fn snapshot_cache_leapfrogs_isolated_gaps() {
+        let store = ShardedStore::with_shards(1);
+        let a = store.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
+        // A mint whose check panics after id allocation leaves a gap that
+        // will never fill.
+        let gap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.mint_checked(a, ProcessId(0), 0, 1, 1, Payload::Empty, |_| panic!("boom"))
+        }));
+        assert!(gap.is_err());
+        let mut cache = SnapshotCache::new();
+        store.refresh_snapshot(&mut cache);
+        // No later mint witnesses the leapfrog yet: adoption stalls.
+        assert_eq!(cache.len(), 2);
+        let c = store.mint(a, ProcessId(1), 0, 1, 2, Payload::Empty);
+        store.refresh_snapshot(&mut cache);
+        assert_eq!(cache.len(), 4, "adopted past the gap");
+        assert_eq!(cache.store().hole_count(), 1);
+        assert!(!cache.store().has_block(BlockId(2)));
+        assert!(cache.store().has_block(c));
+        assert_eq!(cache.store().children(a), &[c]);
+        assert_eq!(cache.store().meta(c), store.meta(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead gap")]
+    fn quiescent_snapshot_rejects_a_dead_gap() {
+        let store = ShardedStore::with_shards(1);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.mint_checked(
+                BlockId::GENESIS,
+                ProcessId(0),
+                0,
+                1,
+                0,
+                Payload::Empty,
+                |_| panic!("boom"),
+            )
+        }));
+        store.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 1, Payload::Empty);
+        store.snapshot(); // complete in length, but id 1 never minted
+    }
+
+    #[test]
+    fn stragglers_fill_their_holes_after_completion() {
+        let store = ShardedStore::with_shards(1);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let store_ref = &store;
+            let straggler = s.spawn(move || {
+                store_ref.mint_checked(
+                    BlockId::GENESIS,
+                    ProcessId(7),
+                    0,
+                    3,
+                    9,
+                    Payload::Opaque(9),
+                    |_| {
+                        rx.recv().unwrap(); // stall mid-mint, id allocated
+                        true
+                    },
+                )
+            });
+            while store.block_count() < 2 {
+                std::thread::yield_now();
+            }
+            let c = store.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 1, Payload::Empty);
+            let mut cache = SnapshotCache::new();
+            store.refresh_snapshot(&mut cache);
+            assert_eq!(cache.len(), 3, "leapfrogged the stalled mint");
+            assert_eq!(cache.store().hole_count(), 1);
+            tx.send(()).unwrap();
+            let (sid, ok) = straggler.join().unwrap();
+            assert!(ok);
+            assert_eq!(sid, BlockId(1));
+            store.refresh_snapshot(&mut cache);
+            assert_eq!(cache.store().hole_count(), 0, "the hole filled");
+            assert_eq!(cache.store().meta(sid), store.meta(sid));
+            let kids = cache.store().children(BlockId::GENESIS);
+            assert_eq!(kids, &[sid, c], "sorted child order after the fill");
+            let snap = store.snapshot();
+            assert_eq!(snap.block_count(), 3);
+        });
+    }
+
+    #[test]
+    fn tree_watermark_flattens_the_committed_prefix() {
+        let bt = ConcurrentBlockTree::with_config(
+            4,
+            FinalityWatermark::new(16),
+            LongestChain,
+            AcceptAll,
+        );
+        assert!(bt.store().flatten_capable());
+        for i in 0..200u64 {
+            bt.append(CandidateBlock::simple(ProcessId(0), i)).unwrap();
+        }
+        let target = bt.store().flatten_target();
+        assert!(target > 0, "the watermark advanced");
+        assert_eq!(
+            bt.store().flattened_count(),
+            target,
+            "the per-publication budget keeps up with sequential appends"
+        );
+        let snap = bt.snapshot_store();
+        for id in 0..snap.block_count() as u32 {
+            assert_eq!(bt.store().meta(BlockId(id)), snap.meta(BlockId(id)));
+            assert_eq!(bt.store().block(BlockId(id)), snap.block(BlockId(id)));
+        }
+        assert_eq!(bt.selected_tip(), bt.selected_tip_full_scan());
+
+        let plain = ConcurrentBlockTree::with_config(
+            4,
+            FinalityWatermark::disabled(),
+            LongestChain,
+            AcceptAll,
+        );
+        assert!(!plain.store().flatten_capable());
+        for i in 0..40u64 {
+            plain
+                .append(CandidateBlock::simple(ProcessId(0), i))
+                .unwrap();
+        }
+        assert_eq!(plain.store().flattened_count(), 0);
+        assert_eq!(plain.store().flatten_target(), 0);
     }
 }

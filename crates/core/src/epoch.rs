@@ -364,11 +364,16 @@ impl EpochDomain {
     ///
     /// # Safety
     ///
-    /// `bin` must stay alive until this item is reclaimed — in the worst
-    /// case, until this domain is dropped (the domain's `Drop` runs every
-    /// pending item). Owning both in one struct with the domain declared
-    /// *before* the bin satisfies this (fields drop in declaration
-    /// order).
+    /// `bin` must stay alive — **at its current address** — until this
+    /// item is reclaimed; in the worst case, until this domain is dropped
+    /// (the domain's `Drop` runs every pending item). The deferred item
+    /// keeps the raw pointer, so a bin embedded by value in a movable
+    /// struct is *not* enough: moving the struct between this call and
+    /// reclamation leaves the pointer dangling into the old location.
+    /// Satisfy both halves by heap-allocating the bin (e.g.
+    /// `Box<RecycleBin<T>>`) in the same struct as the domain, declared
+    /// *after* it (fields drop in declaration order, and the box's
+    /// contents never move).
     pub unsafe fn retire_box_recycling<T: Send + 'static>(
         &self,
         bytes: usize,
@@ -470,6 +475,21 @@ impl EpochDomain {
             self.pending_items.fetch_sub(freed, Ordering::Relaxed);
             self.reclaimed_items
                 .fetch_add(freed as u64, Ordering::Relaxed);
+        }
+        freed
+    }
+
+    /// Drives the full grace period at a *quiescent point* (caller
+    /// vouches no pin is live): [`try_reclaim`](Self::try_reclaim)
+    /// advances the epoch at most once per call, so `GRACE_EPOCHS + 1`
+    /// sweeps age every bag retired before this call past the grace
+    /// window and free it. Returns the total items freed. With readers
+    /// still pinned this is safe but may leave a residue, exactly like
+    /// repeated `try_reclaim` calls.
+    pub fn reclaim_quiescent(&self) -> usize {
+        let mut freed = 0;
+        for _ in 0..=GRACE_EPOCHS {
+            freed += self.try_reclaim();
         }
         freed
     }

@@ -75,8 +75,10 @@ pub mod prelude {
     pub use crate::block::{Block, Payload, Tx};
     pub use crate::blocktree::{BlockTree, BlockTreeAdt, BtInput, BtOutput, CandidateBlock};
     pub use crate::chain::Blockchain;
-    pub use crate::commit::PipelineStats;
-    pub use crate::concurrent::{ChainView, ConcurrentBlockTree, ShardedStore, SnapshotCache};
+    pub use crate::commit::{FinalityWatermark, PipelineStats};
+    pub use crate::concurrent::{
+        ChainView, ConcurrentBlockTree, ShardedStore, SnapshotCache, DEFAULT_FINALITY_DEPTH,
+    };
     pub use crate::criteria::{
         check_eventual_consistency, check_strong_consistency, classify, ConsistencyClass,
         ConsistencyParams, ConsistencyReport, LivenessMode, Verdict, Violation,

@@ -19,23 +19,19 @@
 use btadt_core::blocktree::CandidateBlock;
 use btadt_core::chain::Blockchain;
 use btadt_core::concurrent::ConcurrentBlockTree;
-use btadt_core::epoch::GRACE_EPOCHS;
 use btadt_core::ids::{splitmix64_at, BlockId, ProcessId};
 use btadt_core::selection::LongestChain;
 use btadt_core::validity::AcceptAll;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 
-/// Drains every ripe bag at a quiescent point: one advance per call, so
-/// `GRACE_EPOCHS + 1` calls age every bag past the grace period.
+/// Drains every ripe bag at a quiescent point.
 fn reclaim_fully<F, P>(tree: &ConcurrentBlockTree<F, P>)
 where
     F: btadt_core::selection::SelectionFn,
     P: btadt_core::validity::ValidityPredicate,
 {
-    for _ in 0..=GRACE_EPOCHS {
-        tree.epochs().try_reclaim();
-    }
+    tree.epochs().reclaim_quiescent();
 }
 
 /// Workload shape of one churn round.
@@ -245,6 +241,37 @@ fn parked_reader_delays_but_never_loses_reclamation() {
         "after the reader unpins the backlog drains fully"
     );
     assert_eq!(tree.len(), 311);
+}
+
+/// Regression: deferred recycle items keep the *address* of the tree's
+/// spare-box bin, and the tree struct itself is movable safe Rust.
+/// Building a tree in one stack frame, appending (each publication parks
+/// a recycle item), and returning the tree by value must leave those
+/// items pointing at a still-valid bin. Before the bin was boxed, the
+/// move left them dangling into the dead frame and the drop below
+/// deadlocked on a mutex read from reused stack memory — found by the
+/// deep-tree bench, whose grow closure returns its tree.
+#[test]
+fn tree_survives_a_move_with_pending_recycled_chains() {
+    fn build() -> ConcurrentBlockTree<LongestChain, AcceptAll> {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        for i in 0..500u64 {
+            tree.append(CandidateBlock::simple(ProcessId(0), i))
+                .expect("AcceptAll");
+        }
+        tree // moved to the caller with recycle items still pending
+    }
+    let tree = build();
+    // A second move, through the heap and back.
+    let tree = *Box::new(tree);
+    for i in 0..100u64 {
+        tree.append(CandidateBlock::simple(ProcessId(1), (1 << 40) | i))
+            .expect("AcceptAll");
+    }
+    assert_eq!(tree.len(), 601);
+    reclaim_fully(&tree);
+    assert_eq!(tree.epochs().pending_items(), 0);
+    drop(tree); // must terminate and balance the byte ledger
 }
 
 /// Interleaved graft reorgs + appends + readers: reclamation under chains

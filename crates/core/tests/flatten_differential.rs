@@ -1,0 +1,210 @@
+//! Differential and churn coverage for the two-tier (flattened) arena.
+//!
+//! Flattening is a *storage* transform: moving the finalized prefix into
+//! the slab tier must never change a single answer any `BlockView` read
+//! gives. The suite checks that from the outside three ways:
+//!
+//! 1. mirror a fork-heavy workload into a flatten-capable store (with a
+//!    ragged flatten cadence mid-run) and a plain store, then demand
+//!    bit-identical `meta`/`block`/children/ancestry answers across 20
+//!    seeds;
+//! 2. churn: concurrent deep-walking readers — plus one reader that parks
+//!    an epoch pin — while a writer grows the chain and the flattener
+//!    retires spine chunks under them (the epoch-safety contract);
+//! 3. a deep tree driven through the full `ConcurrentBlockTree` commit
+//!    pipeline with a small watermark, checked for end-to-end consistency.
+
+use btadt_core::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Deterministic split-mix style generator (no external dependency).
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn children_of(store: &dyn BlockView, id: BlockId) -> Vec<BlockId> {
+    let mut kids = Vec::new();
+    store.for_each_child(id, &mut |c| kids.push(c));
+    kids
+}
+
+#[test]
+fn flattened_reads_match_plain_store_across_seeds() {
+    for seed0 in 0..20u64 {
+        let mut seed = seed0.wrapping_mul(0x9E37_79B9_7F4A_7C15) + 1;
+        let flat = ShardedStore::with_flattening(4);
+        let plain = ShardedStore::with_shards(4);
+        let mut ids = vec![BlockId::GENESIS];
+        for i in 0..300u64 {
+            let r = lcg(&mut seed);
+            // Fork-heavy: a quarter of mints branch off a random block.
+            let parent = if r.is_multiple_of(4) {
+                ids[(lcg(&mut seed) as usize) % ids.len()]
+            } else {
+                *ids.last().unwrap()
+            };
+            let payload = match r % 3 {
+                0 => Payload::Empty,
+                1 => Payload::Opaque(r),
+                _ => Payload::Transactions(vec![Tx::new(
+                    r,
+                    (r % 7) as u32,
+                    (r % 11) as u32,
+                    r % 1000,
+                )]),
+            };
+            let producer = ProcessId((r % 5) as u32);
+            let work = 1 + r % 5;
+            let a = flat.mint(parent, producer, (r % 4) as u32, work, i, payload.clone());
+            let b = plain.mint(parent, producer, (r % 4) as u32, work, i, payload);
+            assert_eq!(a, b, "mirrored mints agree on ids");
+            ids.push(a);
+            // Ragged flatten cadence: raise the bound and spend partial
+            // budgets mid-run, so reads cross every possible frontier.
+            if i % 37 == 0 {
+                flat.raise_flatten_target((flat.block_count() as u32).saturating_sub(10));
+            }
+            if i % 11 == 0 {
+                flat.flatten_some((lcg(&mut seed) % 40) as usize);
+            }
+        }
+        flat.raise_flatten_target(flat.block_count() as u32 - 3);
+        while flat.flatten_some(64) > 0 {}
+        assert!(
+            flat.flattened_count() >= flat.block_count() as u32 - 13,
+            "most of the arena is flat"
+        );
+
+        for &id in &ids {
+            assert_eq!(flat.meta(id), plain.meta(id), "meta of {id}");
+            assert_eq!(flat.block(id), plain.block(id), "block of {id}");
+            assert_eq!(
+                children_of(&flat, id),
+                children_of(&plain, id),
+                "children of {id}"
+            );
+        }
+        let n = ids.len();
+        for _ in 0..200 {
+            let a = ids[(lcg(&mut seed) as usize) % n];
+            let b = ids[(lcg(&mut seed) as usize) % n];
+            assert_eq!(flat.is_ancestor(a, b), plain.is_ancestor(a, b));
+            assert_eq!(flat.common_ancestor(a, b), plain.common_ancestor(a, b));
+            let cut = (lcg(&mut seed) % (flat.height(a) as u64 + 1)) as u32;
+            assert_eq!(flat.ancestor_at(a, cut), plain.ancestor_at(a, cut));
+            assert_eq!(flat.path_from_genesis(a), plain.path_from_genesis(a));
+        }
+
+        // Flatten *everything*, then keep minting: children of flattened
+        // parents land in the late-kids table and must stay invisible to
+        // the differential.
+        flat.raise_flatten_target(flat.block_count() as u32);
+        while flat.flatten_some(64) > 0 {}
+        assert_eq!(flat.flattened_count(), flat.block_count() as u32);
+        for j in 0..20u64 {
+            let parent = ids[(lcg(&mut seed) as usize) % n];
+            let a = flat.mint(parent, ProcessId(9), 0, 2, 1000 + j, Payload::Empty);
+            let b = plain.mint(parent, ProcessId(9), 0, 2, 1000 + j, Payload::Empty);
+            assert_eq!(a, b);
+            assert_eq!(
+                children_of(&flat, parent),
+                children_of(&plain, parent),
+                "late children preserve minting order under {parent}"
+            );
+            assert_eq!(flat.meta(a), plain.meta(a));
+        }
+    }
+}
+
+#[test]
+fn readers_pinned_across_chunk_retirement_stay_safe() {
+    const BLOCKS: u64 = 30_000;
+    let store = ShardedStore::with_flattening(2);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let store_ref = &store;
+        let stop_ref = &stop;
+        // Writer + flattener: grow a deep chain, trailing the watermark
+        // behind the tip so chunk retirement happens throughout the run.
+        s.spawn(move || {
+            let mut prev = BlockId::GENESIS;
+            for i in 0..BLOCKS {
+                prev = store_ref.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty);
+                if i % 64 == 0 {
+                    store_ref.raise_flatten_target((i as u32).saturating_sub(100));
+                    store_ref.flatten_some(128);
+                }
+            }
+            store_ref.raise_flatten_target(store_ref.block_count() as u32 - 1);
+            while store_ref.flatten_some(256) > 0 {}
+            stop_ref.store(true, Ordering::Release);
+        });
+        // Deep-walking readers race the flattener across the tier
+        // boundary the whole run.
+        for t in 0..3u64 {
+            s.spawn(move || {
+                let mut seed = 0xBEEF + t;
+                while !stop_ref.load(Ordering::Acquire) {
+                    let n = store_ref.block_count() as u64;
+                    let a = BlockId((lcg(&mut seed) % n) as u32);
+                    if !store_ref.has_block(a) {
+                        continue;
+                    }
+                    let h = store_ref.height(a);
+                    let anc = store_ref.ancestor_at(a, h / 2);
+                    assert_eq!(store_ref.height(anc), h / 2);
+                    assert!(store_ref.is_ancestor(anc, a));
+                }
+            });
+        }
+        // One reader parks a pin across many retirements: chunks retired
+        // while it is pinned must not be freed under it (the walks above
+        // would fault), only deferred.
+        s.spawn(move || {
+            while !stop_ref.load(Ordering::Acquire) {
+                let _guard = store_ref.reclaim_domain().pin();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+    });
+    // Quiescent: every retired chunk drains once the pins are gone.
+    let dom = store.reclaim_domain();
+    dom.reclaim_quiescent();
+    assert_eq!(
+        dom.pending_items(),
+        0,
+        "no chunk garbage survives quiescence"
+    );
+    assert_eq!(dom.retired_bytes(), 0);
+    assert!(dom.reclaimed_items() > 0, "chunks were retired and freed");
+    // And the arena still answers exactly.
+    let tip = BlockId(store.block_count() as u32 - 1);
+    assert_eq!(store.height(tip), BLOCKS as u32);
+    assert_eq!(store.ancestor_at(tip, 0), BlockId::GENESIS);
+    assert_eq!(store.flattened_count(), store.block_count() as u32 - 1);
+}
+
+#[test]
+fn deep_tree_with_small_watermark_stays_consistent() {
+    let bt =
+        ConcurrentBlockTree::with_config(4, FinalityWatermark::new(8), LongestChain, AcceptAll);
+    for i in 0..2000u64 {
+        bt.append(CandidateBlock::simple(ProcessId((i % 3) as u32), i))
+            .unwrap();
+    }
+    let chain = bt.read_owned();
+    assert_eq!(chain.len(), 2001);
+    assert!(bt.store().flattened_count() > 0, "the flattener ran");
+    let ids = chain.ids();
+    let tip = *ids.last().unwrap();
+    for (h, &id) in ids.iter().enumerate().step_by(97) {
+        assert_eq!(bt.store().height(id), h as u32);
+        assert_eq!(bt.store().ancestor_at(tip, h as u32), id);
+    }
+    let snap = bt.snapshot_store();
+    assert_eq!(snap.block_count(), bt.store().block_count());
+    assert_eq!(bt.selected_tip(), bt.selected_tip_full_scan());
+}
