@@ -819,7 +819,14 @@ fn env_size(name: &str, default: u64) -> u64 {
 /// Prints a table and emits `BENCH_concurrent.json`. Run under
 /// `--release` (debug builds also carry the per-insert full-scan
 /// cross-check, which is the bulk of the cost there). Sizes honor
-/// `BTADT_BENCH_APPENDS` / `BTADT_BENCH_TRIALS` for the CI smoke run.
+/// `BTADT_BENCH_APPENDS` / `BTADT_BENCH_TRIALS` /
+/// `BTADT_BENCH_DURABLE` for the CI smoke run.
+///
+/// The `durable` rows rerun the append workload on an
+/// [`open_durable`](btadt_core::concurrent::ConcurrentBlockTree::open_durable)
+/// tree (WAL + fsync before ack) and report the group-commit evidence:
+/// appends/s with durability on, plus records-per-fsync from
+/// `wal_stats`.
 ///
 /// Appends and reads are reported as **separate series** per thread
 /// count: PR 2's combined ops/sec number hid append serialization behind
@@ -1201,6 +1208,94 @@ pub fn bench_concurrent() {
              \"arena_bytes_peak\": {arena_peak}, \"arena_bytes_final\": {arena_final}, \
              \"flattened_blocks\": {flattened}, \"retired_bytes_peak\": {retired_peak}}}"
         ));
+    }
+
+    // Durable configuration: the same append workload with the WAL on —
+    // every publication fsynced before its appends return
+    // (persist-then-ack). The number to watch is records-per-fsync:
+    // group commit rides the one-publication-per-batch cadence, so the
+    // fsync count tracks publications, not appends. One appender is the
+    // worst case (every append can be its own publication); four
+    // appenders show queue pile-ups amortizing the fsync across a batch.
+    {
+        use btadt_core::commit::FinalityWatermark;
+        use btadt_core::wal::WalConfig;
+
+        let durable_appends: u64 = env_size(
+            "BTADT_BENCH_DURABLE",
+            if cfg!(debug_assertions) {
+                2_000
+            } else {
+                50_000
+            },
+        );
+        for &threads in &[1usize, 4] {
+            let appends_each = durable_appends / threads as u64;
+            let done_appends = appends_each * threads as u64;
+            let mut best_rate = 0f64;
+            let mut stats_at_best = None;
+            for trial in 0..trials {
+                let dir = std::env::temp_dir().join(format!(
+                    "btadt-bench-wal-{}-{threads}-{trial}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let tree = ConcurrentBlockTree::open_durable(
+                    4,
+                    FinalityWatermark::disabled(),
+                    LongestChain,
+                    AcceptAll,
+                    WalConfig::new(&dir),
+                )
+                .expect("bench WAL opens");
+                let barrier = Barrier::new(threads);
+                let wall = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..threads as u32)
+                        .map(|t| {
+                            let (tree, barrier) = (&tree, &barrier);
+                            s.spawn(move || {
+                                barrier.wait();
+                                let start = Instant::now();
+                                for i in 0..appends_each {
+                                    let nonce = (1u64 << 54) | ((t as u64) << 40) | i;
+                                    tree.append(CandidateBlock::simple(ProcessId(t), nonce));
+                                }
+                                start.elapsed().as_secs_f64()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("appender"))
+                        .fold(0f64, f64::max)
+                });
+                assert_eq!(tree.read().len() as u64, done_appends + 1);
+                let stats = tree.wal_stats().expect("durable tree reports stats");
+                let rate = done_appends as f64 / wall;
+                if rate > best_rate {
+                    best_rate = rate;
+                    stats_at_best = Some(stats);
+                }
+                drop(tree);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let stats = stats_at_best.expect("at least one trial ran");
+            let per_fsync = stats.records as f64 / stats.fsyncs.max(1) as f64;
+            println!(
+                "{:>22} {done_appends:>10} {best_rate:>13.0} {:>10} {:>13} {:>12} {per_fsync:>7.2}",
+                format!("durable {threads}a (fsync)"),
+                format!("{} fs", stats.fsyncs),
+                "-",
+                "-"
+            );
+            rows.push(format!(
+                "    {{\"threads\": {threads}, \"label\": \"durable\", \
+                 \"appends\": {done_appends}, \"appends_per_sec\": {best_rate:.1}, \
+                 \"wal_records\": {}, \"wal_fsyncs\": {}, \
+                 \"records_per_fsync\": {per_fsync:.2}, \"wal_bytes\": {}}}",
+                stats.records, stats.fsyncs, stats.bytes
+            ));
+        }
     }
 
     let json = format!(

@@ -41,6 +41,15 @@
 //! recorded-history checkers (Wing–Gong, windowed, LMR, commit-log
 //! replay) run unchanged over the batched path — they are the oracle
 //! that this restructuring changed nothing observable.
+//!
+//! Durability (PR 7) rides the same cadence: on a durable tree (see
+//! [`crate::wal`] and `ConcurrentBlockTree::open_durable`) the WAL
+//! append + fsync sit at the top of the publication step, so one
+//! `fdatasync` covers the entire drained batch — group commit falls out
+//! of the one-publication-per-batch rule for free — and the
+//! publish-before-respond contract is strengthened to persist-then-ack:
+//! statuses (and every decide-path wakeup downstream of them) are
+//! stored only after the batch's records are on disk.
 
 use crate::ids::BlockId;
 use std::ptr;

@@ -78,6 +78,7 @@ use crate::selection::SelectionFn;
 use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
 use crate::tipcache::ChainCache;
 use crate::validity::ValidityPredicate;
+use crate::wal::{CommitRecord, Wal, WalConfig, WalStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -658,6 +659,136 @@ impl ShardedStore {
         // is ordered after this fetch_max.
         self.high[shard_idx].fetch_max(slot as u64 + 1, Ordering::AcqRel);
         chunk.ready[off].store(true, Ordering::Release);
+    }
+
+    /// WAL-replay install: re-creates a committed block at its original
+    /// id with its original digest (recorded verbatim — the mint-time
+    /// nonce is folded in and not persisted) and the same skew-binary
+    /// jump metadata the original mint computed. Replay runs in commit
+    /// order, which is parent-closed, so the parent's entry is always
+    /// present; and it runs on a *fresh* store before any concurrent
+    /// use, so every ancestor still lives in the spine (the flat tier is
+    /// empty) and plain pushes to the live child lists are safe.
+    fn install_recovered(&self, rec: &crate::wal::CommitRecord) {
+        let (pm_height, pm_cum, p_jump, p_jump_h, p_jump2, p_jump2_h) = {
+            let e = self.shards[self.shard_of(rec.parent)]
+                .entry(self.slot_of(rec.parent))
+                .expect("WAL replay is parent-closed");
+            (
+                e.block.height,
+                e.cum_work,
+                e.jump,
+                e.jump_h,
+                e.jump2,
+                e.jump2_h,
+            )
+        };
+        // Same merge rule as `mint_checked`: the jump is a function of
+        // the parent's cached heights alone, so the recovered pointers
+        // are bit-identical to the originals.
+        let (jump, jump_h, jump2, jump2_h) = if pm_height - p_jump_h == p_jump_h - p_jump2_h {
+            let (j2, j2h) = {
+                let e = self.shards[self.shard_of(p_jump2)]
+                    .entry(self.slot_of(p_jump2))
+                    .expect("jump ancestors recover before their descendants");
+                (e.jump, e.jump_h)
+            };
+            (p_jump2, p_jump2_h, j2, j2h)
+        } else {
+            (rec.parent, pm_height, p_jump, p_jump_h)
+        };
+        let block = Block {
+            id: rec.id,
+            parent: Some(rec.parent),
+            height: pm_height + 1,
+            producer: rec.producer,
+            merit_index: rec.merit_index,
+            work: rec.work,
+            digest: rec.digest,
+            payload: rec.payload.clone(),
+        };
+        // Recovered ids arrive in commit order, not allocation order:
+        // keep the allocator ahead of the largest id seen so far.
+        self.next_id.fetch_max(rec.id.0 + 1, Ordering::AcqRel);
+        self.install_entry(
+            rec.id,
+            Entry {
+                block,
+                cum_work: pm_cum + rec.work,
+                jump,
+                jump_h,
+                jump2,
+                jump2_h,
+            },
+        );
+        let shard = &self.shards[self.shard_of(rec.parent)];
+        shard
+            .children
+            .lock()
+            .live_mut(self.slot_of(rec.parent))
+            .push(rec.id);
+        self.gens[self.shard_of(rec.parent)].fetch_add(1, Ordering::Release);
+    }
+
+    /// WAL-replay gap fill: non-member mints — orphans, `P`-rejected
+    /// blocks, consensus losers — are never logged, yet they consumed
+    /// ids, and the arena's invariants (snapshot adoption, flattener
+    /// walk) assume the id space is dense. Install an inert
+    /// genesis-parented *ghost* at every unrecovered id below the
+    /// allocator frontier: zero work, empty payload, a producer no real
+    /// process uses. Ghosts never enter the membership, so every
+    /// membership-filtered query is blind to them.
+    fn fill_recovery_gaps(&self) {
+        let frontier = self.next_id.load(Ordering::Acquire);
+        for raw in 1..frontier {
+            let id = BlockId(raw);
+            if self.has_block(id) {
+                continue;
+            }
+            let ghost = Block {
+                id,
+                parent: Some(BlockId::GENESIS),
+                height: 1,
+                producer: crate::ids::ProcessId(u32::MAX),
+                merit_index: 0,
+                work: 0,
+                digest: crate::ids::mix2(0xB10C_DEAD, raw as u64),
+                payload: Payload::Empty,
+            };
+            self.install_entry(
+                id,
+                Entry {
+                    block: ghost,
+                    cum_work: 0,
+                    jump: BlockId::GENESIS,
+                    jump_h: 0,
+                    jump2: BlockId::GENESIS,
+                    jump2_h: 0,
+                },
+            );
+            let shard = &self.shards[self.shard_of(BlockId::GENESIS)];
+            shard
+                .children
+                .lock()
+                .live_mut(self.slot_of(BlockId::GENESIS))
+                .push(id);
+            self.gens[self.shard_of(BlockId::GENESIS)].fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// WAL-replay epilogue: child lists are normally in minting order,
+    /// which (ids being allocation-ordered) is ascending-id order — but
+    /// replay pushes children in *commit* order and the ghost fill
+    /// appends last. One sort per list restores the invariant. Fresh
+    /// store, single-threaded, nothing frozen (`moved == 0`).
+    fn sort_recovered_children(&self) {
+        for shard in self.shards.iter() {
+            let mut children = shard.children.lock();
+            debug_assert_eq!(children.moved, 0, "recovery precedes flattening");
+            for list in children.lists.iter_mut() {
+                list.sort_unstable();
+            }
+        }
     }
 
     /// Mints a new block under `parent` and returns its id. Safe to call
@@ -1468,6 +1599,24 @@ struct SelState {
     /// replaying it into the sequential machinery must reproduce the same
     /// selected chain (see `tests/selection_differential.rs`).
     commit_log: Vec<BlockId>,
+    /// The durable commit log, when this tree was opened with
+    /// [`ConcurrentBlockTree::open_durable`]. Living inside the selection
+    /// state puts WAL writes under the same mutex that serializes
+    /// commits, which is exactly the single-writer discipline the WAL
+    /// wants — and it means the persist step in [`publish_locked`]
+    /// naturally covers a whole drained batch with one fsync.
+    ///
+    /// [`publish_locked`]: ConcurrentBlockTree::publish_locked
+    wal: Option<WalState>,
+}
+
+/// Durability state riding the selection lock.
+struct WalState {
+    wal: Wal,
+    /// Longest commit-log prefix whose every id is below the flatten
+    /// target — storage-final, so safe to checkpoint. A monotone cursor:
+    /// both the commit log and the flatten target only grow.
+    final_prefix: usize,
 }
 
 /// An epoch-guarded borrowed view of the published chain `{b0}⌢f(bt)` —
@@ -1640,6 +1789,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 tree: TreeMembership::genesis_only(),
                 cache: ChainCache::new(),
                 commit_log: Vec::new(),
+                wal: None,
             }),
             queue: CommitQueue::new(),
             epochs: EpochDomain::new(),
@@ -1880,6 +2030,14 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// This is the commit half of the refined append: oracle-gated
     /// workloads (`Θ_F` consumeToken feedback) mint first, ask the oracle
     /// which mints won, and commit exactly those.
+    ///
+    /// Idempotent: grafting an already-committed block is a no-op that
+    /// returns `Some(id)` without inserting, re-publishing, or touching
+    /// the durable log. The dead-winner recovery rule depends on this —
+    /// *any* process that observes a committed-K winner may graft it
+    /// (`btadt-registers`' `TreeConsensus`), so the same block is
+    /// routinely grafted by several racing processes and only the first
+    /// may mutate the tree.
     pub fn graft_minted(&self, id: BlockId) -> Option<BlockId> {
         let valid = {
             let block = self.store.block(id);
@@ -1898,6 +2056,13 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             // already paid for the lock, and queued appenders are parked
             // on it.
             self.drain_locked(&mut sel);
+            if sel.tree.contains(id) {
+                // Duplicate graft: someone committed this block first
+                // (`P` is deterministic, so their validity verdict was
+                // the same one we just computed). Nothing to insert and
+                // nothing to publish — the committing graft already did.
+                return Some(id);
+            }
             assert!(
                 sel.tree.contains(parent),
                 "graft parent {parent} not committed to the tree"
@@ -2168,10 +2333,41 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             .on_insert(&self.selection, &self.store, &sel.tree, id);
     }
 
-    /// Publishes the cached chain: box, swap, retire the predecessor into
-    /// the epoch domain (readers may still hold it through stale loads),
-    /// and advance the commit generation.
+    /// Publishes the cached chain: persist any new commits to the WAL
+    /// (durable trees), then box, swap, retire the predecessor into the
+    /// epoch domain (readers may still hold it through stale loads), and
+    /// advance the commit generation.
     fn publish_locked(&self, sel: &mut SelState) {
+        // Persist-then-ack: every commit this publication will expose
+        // must be durable *before* the pointer swap makes it readable —
+        // and the swap itself precedes the generation bump, the condvar
+        // wakeups, and (in the drain) every status store, so nothing
+        // observable ever gets ahead of the fsync. One `append_commits`
+        // call per publication means one fsync covers a whole drained
+        // batch: group commit riding the one-publication-per-batch
+        // cadence. All commit paths — inline, drain, graft, and the
+        // panic-path rebuild — funnel through here, so this is the one
+        // choke point durability needs.
+        if let Some(ws) = sel.wal.as_mut() {
+            let from = ws.wal.logged() as usize;
+            if sel.commit_log.len() > from {
+                let store = &self.store;
+                ws.wal
+                    .append_commits(
+                        sel.commit_log[from..]
+                            .iter()
+                            .map(|&id| wal_record_of(store, id)),
+                    )
+                    .unwrap_or_else(|e| {
+                        // Fail-stop: a tree that cannot persist must not
+                        // ack. Acking an unpersisted commit would let a
+                        // crash forget a response some caller already
+                        // acted on — the one thing the WAL exists to
+                        // prevent.
+                        panic!("WAL append failed; cannot ack unpersisted commits (fail-stop): {e}")
+                    });
+            }
+        }
         // Reuse a reclaimed publication box when one is available: the
         // uncontended path retires one box per append, so without the
         // bin every commit paid a malloc here and a free in the sweep.
@@ -2189,6 +2385,11 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         if let Some(bound) = self.watermark.target_for(boxed.ids()) {
             self.store.raise_flatten_target(bound);
         }
+        // WAL compaction rides the same cadence, gated geometrically
+        // inside `wants_checkpoint` so it stays amortized O(1) per
+        // commit. Runs after the watermark raise so this publication's
+        // own finality advance is already visible to the prefix cursor.
+        self.maybe_wal_checkpoint(sel);
         let fresh = Box::into_raw(boxed);
         let old = self.published.swap(fresh, Ordering::AcqRel);
         self.published_tip
@@ -2218,6 +2419,120 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         // stays valid even if the tree struct is moved before the item
         // runs.
         unsafe { self.epochs.retire_box_recycling(bytes, old, &self.spares) };
+    }
+
+    /// Advances the storage-final prefix cursor and, when the geometric
+    /// gate says it is worth it, checkpoints that prefix and drops the
+    /// WAL segments it covers. The prefix is the longest leading run of
+    /// the commit log whose ids sit below the flatten target — the same
+    /// [`FinalityWatermark`]-derived bound the slab tier trusts, so
+    /// compaction never captures an entry a reorg could still disturb
+    /// in layout. The commit log is *not* id-sorted (grafts commit
+    /// out-of-mint-order), so the cursor walks entries, not ids.
+    /// Checkpoint IO failures are non-fatal: the log keeps its segments
+    /// and stays correct, merely uncompacted.
+    fn maybe_wal_checkpoint(&self, sel: &mut SelState) {
+        let Some(ws) = sel.wal.as_mut() else { return };
+        // Without a watermark the membership is still append-only and
+        // never retracted, so the entire durable log is final.
+        let bound = if self.watermark.is_enabled() {
+            self.store.flatten_target()
+        } else {
+            u32::MAX
+        };
+        while ws.final_prefix < sel.commit_log.len() && sel.commit_log[ws.final_prefix].0 < bound {
+            ws.final_prefix += 1;
+        }
+        if ws.wal.wants_checkpoint(ws.final_prefix as u64) {
+            let store = &self.store;
+            let records: Vec<CommitRecord> = sel.commit_log[..ws.final_prefix]
+                .iter()
+                .map(|&id| wal_record_of(store, id))
+                .collect();
+            let _ = ws.wal.checkpoint(&records);
+        }
+    }
+
+    /// Durability counters of the underlying WAL (fsyncs, records,
+    /// bytes, compaction activity), or `None` for a volatile tree.
+    /// Takes the selection lock.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.sel.lock().wal.as_ref().map(|ws| ws.wal.stats())
+    }
+
+    /// Whether this tree persists its commits (see
+    /// [`open_durable`](Self::open_durable)).
+    pub fn is_durable(&self) -> bool {
+        self.sel.lock().wal.is_some()
+    }
+
+    /// Opens a **durable** tree backed by the WAL directory in `config`,
+    /// recovering whatever a previous incarnation persisted there.
+    ///
+    /// Fresh directory: an empty tree that logs every commit. Existing
+    /// directory: the commit log is replayed in order — arena entries
+    /// reinstalled at their original ids with their original digests and
+    /// jump pointers, membership and `ChainCache` rebuilt, commit
+    /// generation advanced past every recovered publication — and the
+    /// tree resumes appending (and logging) where the crash left off. A
+    /// torn tail on the last segment is trimmed, not fatal: those
+    /// records were never acked.
+    ///
+    /// Two recovery caveats, both inherent to what is (deliberately) not
+    /// persisted:
+    ///
+    /// * Mint-time nonces are folded into digests but not stored, so
+    ///   recovered blocks carry their recorded digest verbatim rather
+    ///   than recomputing it.
+    /// * Non-member mints (orphans, `P`-rejected blocks, consensus
+    ///   losers) are not logged. Their ids are re-filled as inert
+    ///   genesis-parented *ghosts* so the arena keeps the dense id space
+    ///   its invariants assume; membership-filtered queries never see
+    ///   them, but raw arena walks (e.g. `children` of genesis) will.
+    pub fn open_durable(
+        shards: usize,
+        watermark: FinalityWatermark,
+        selection: F,
+        predicate: P,
+        config: WalConfig,
+    ) -> std::io::Result<Self> {
+        let (wal, records) = Wal::open(config)?;
+        let tree = ConcurrentBlockTree::with_config(shards, watermark, selection, predicate);
+        let mut sel = tree.sel.lock();
+        for rec in &records {
+            tree.store.install_recovered(rec);
+            let fresh = sel.tree.insert_with_parent(Some(rec.parent), rec.id);
+            assert!(fresh, "durable commit log holds no duplicates");
+            sel.commit_log.push(rec.id);
+        }
+        tree.store.fill_recovery_gaps();
+        tree.store.sort_recovered_children();
+        // One full-scan rebuild instead of n incremental folds: replay
+        // is offline (nothing is published yet), so the O(n) oracle scan
+        // is both simpler and faster than n× `on_insert`.
+        let SelState {
+            cache,
+            tree: members,
+            ..
+        } = &mut *sel;
+        cache.rebuild(&tree.selection, &tree.store, members);
+        sel.wal = Some(WalState {
+            wal,
+            final_prefix: 0,
+        });
+        if !records.is_empty() {
+            // Publish the recovered chain. The WAL block inside is a
+            // no-op (log length == commit-log length), but the watermark
+            // raise and tip/generation stores all run as on any commit.
+            tree.publish_locked(&mut sel);
+        }
+        // One generation per historical publication keeps recovered
+        // counters comparable with the live tree's, and leaves the
+        // zero-generation state unobservable.
+        tree.commit_gen
+            .store(records.len() as u64 + 1, Ordering::SeqCst);
+        drop(sel);
+        Ok(tree)
     }
 
     /// The current commit generation — advances by one with every chain
@@ -2321,6 +2636,25 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     pub fn snapshot_store(&self) -> BlockStore {
         self.store.snapshot()
     }
+}
+
+/// Builds the durable record of a committed block straight from the
+/// arena: one `with_block` read session, the digest copied verbatim (the
+/// mint-time nonce is folded into it and not otherwise recoverable).
+fn wal_record_of(store: &ShardedStore, id: BlockId) -> CommitRecord {
+    let mut rec = None;
+    store.with_block(id, &mut |b| {
+        rec = Some(CommitRecord {
+            id,
+            parent: b.parent.expect("committed blocks are never genesis"),
+            producer: b.producer,
+            merit_index: b.merit_index,
+            work: b.work,
+            digest: b.digest,
+            payload: b.payload.clone(),
+        });
+    });
+    rec.expect("committed blocks are fully minted in the arena")
 }
 
 impl<F: SelectionFn, P: ValidityPredicate> Drop for ConcurrentBlockTree<F, P> {

@@ -25,6 +25,7 @@
 //! | Cached selected chain, zero-rewalk `read()` | [`tipcache`] |
 //! | Epoch-based reclamation (grace periods for lock-free readers) | [`epoch`] |
 //! | Staged commit pipeline (batched appends) | [`commit`] |
+//! | Durable commit log (segmented WAL, group-commit fsync, crash recovery) | [`wal`] |
 //!
 //! The literal Def. 3.1 semantics (full `f(bt)` rescans) remain available
 //! as `select_tip` / `selected_tip_full_scan` and serve as the
@@ -68,6 +69,7 @@ pub mod selection;
 pub mod store;
 pub mod tipcache;
 pub mod validity;
+pub mod wal;
 
 /// Convenient single-import surface.
 pub mod prelude {
@@ -99,4 +101,5 @@ pub mod prelude {
     pub use crate::validity::{
         AcceptAll, DigestPrefix, NoDoubleSpend, RejectAll, ValidityPredicate,
     };
+    pub use crate::wal::{CommitRecord, Wal, WalConfig, WalStats};
 }

@@ -1,0 +1,902 @@
+//! Durable commit log: a segmented append-only WAL with group-commit
+//! fsync batching, checkpoint compaction, and torn-tail recovery.
+//!
+//! The BT-ADT's correctness story (Thm. 4.2) is stated over a shared
+//! object that survives its processes; an in-memory commit log does not.
+//! This module is the storage half of the durability layer: it persists
+//! the [`ConcurrentBlockTree`](crate::concurrent::ConcurrentBlockTree)
+//! commit log — one [`CommitRecord`] per committed block, in commit
+//! order — so a crashed process can rebuild the arena, jump pointers,
+//! `ChainCache`, and commit generation by replaying it (the replay lives
+//! in `crate::concurrent`; this module only moves bytes).
+//!
+//! # On-disk layout
+//!
+//! A WAL directory holds:
+//!
+//! * **Segments** `NNNNNNNNNNNN.wal` — append-only files of CRC-framed
+//!   records, named by the global commit-log index of their first record
+//!   (zero-padded decimal, so lexicographic order is replay order). The
+//!   highest-named segment is *active*; the rest are *sealed*.
+//! * **Checkpoint** `checkpoint.ckpt` — a header (magic + record count)
+//!   followed by the first `count` commit records, re-framed. Written to
+//!   a temp file, fsynced, then atomically renamed: a checkpoint is
+//!   all-or-nothing, never torn.
+//!
+//! Each record is framed as `[len: u32 LE][crc32(body): u32 LE][body]`.
+//! The CRC is over the body only; the length field is implicitly checked
+//! by the CRC failing when it lies.
+//!
+//! # Durability contract
+//!
+//! * [`Wal::append_commits`] writes a whole batch of records with one
+//!   `write` and **one** `fdatasync` — group commit. The caller (the
+//!   batch drainer in `crate::concurrent`) invokes it once per
+//!   publication, so a drained batch of B appends costs one fsync no
+//!   matter B (persist-then-ack: the caller responds to appenders only
+//!   after this returns).
+//! * Rolling to a fresh segment fsyncs the *directory* before any record
+//!   lands in the new file, so a recovered directory listing never
+//!   misses a segment holding acked records.
+//! * A crash mid-`append_commits` leaves a **torn tail**: a final frame
+//!   with a short body or a CRC mismatch. [`Wal::open`] trims it (the
+//!   records it held were never acked) and resumes appending at the trim
+//!   point. A bad frame anywhere *other* than the tail of the active
+//!   segment is real corruption and fails recovery loudly.
+//! * [`Wal::checkpoint`] compacts: it snapshots a finalized prefix and
+//!   deletes the sealed segments that prefix fully covers. Deletion need
+//!   not be durable — a leftover covered segment is skipped on replay by
+//!   its (too low) start index. The prefix bound comes from the caller,
+//!   which derives it from the [`FinalityWatermark`](crate::commit::FinalityWatermark)
+//!   flatten target: only storage-final entries are checkpointed, so
+//!   compaction never races the live suffix.
+//!
+//! IO errors from the append path are surfaced to the caller, which
+//! treats them as fail-stop (a tree that cannot persist must not ack).
+
+use crate::block::{Payload, Tx};
+use crate::ids::{BlockId, ProcessId};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Default segment roll threshold (bytes).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// Default records between checkpoints (see [`Wal::wants_checkpoint`]).
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 8192;
+
+const CKPT_NAME: &str = "checkpoint.ckpt";
+const CKPT_TMP: &str = "checkpoint.tmp";
+const CKPT_MAGIC: &[u8; 8] = b"BTWALCK1";
+
+/// Upper bound on a single record body — anything larger is a corrupt
+/// length field, not a block.
+const MAX_RECORD_BYTES: usize = 1 << 28;
+
+/// Configuration of a WAL directory.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Directory holding segments and the checkpoint (created on open).
+    pub dir: PathBuf,
+    /// Roll to a fresh segment once the active one exceeds this.
+    pub segment_bytes: u64,
+    /// Whether appends fsync (`fdatasync`) before returning. `false`
+    /// trades crash durability for throughput — the bench uses it to
+    /// decompose the WAL tax; real trees keep it on.
+    pub fsync: bool,
+    /// Floor on new records between checkpoints. The effective gate is
+    /// geometric (`max(interval, covered/2)` new records), so rewriting
+    /// the prefix stays amortized O(1) per record over the log's life.
+    pub checkpoint_interval: u64,
+}
+
+impl WalConfig {
+    /// Defaults: 1 MiB segments, fsync on, checkpoint every 8192 records.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: true,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+        }
+    }
+
+    /// Sets the segment roll threshold.
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Disables fsync on the append path (bench decomposition only).
+    pub fn no_fsync(mut self) -> Self {
+        self.fsync = false;
+        self
+    }
+
+    /// Sets the checkpoint interval floor.
+    pub fn checkpoint_interval(mut self, records: u64) -> Self {
+        self.checkpoint_interval = records;
+        self
+    }
+}
+
+/// Counters of WAL activity since open — the bench reads these to report
+/// fsync batching (records per fsync = the group-commit win).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Commit records appended (excludes checkpoint rewrites).
+    pub records: u64,
+    /// Bytes appended to segments.
+    pub bytes: u64,
+    /// `fdatasync`/`fsync` calls issued (appends + checkpoints + rolls).
+    pub fsyncs: u64,
+    /// Segments sealed by a roll.
+    pub segments_rolled: u64,
+    /// Sealed segments deleted by compaction.
+    pub segments_dropped: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Torn-tail bytes trimmed by the last `open`.
+    pub trimmed_bytes: u64,
+}
+
+/// Everything a commit-log entry must carry to be replayed exactly: the
+/// block's immutable fields, *including the digest verbatim*. The digest
+/// folds the mint-time nonce, which is not stored in [`Block`]
+/// (`crate::block::Block::compute_digest`) — so recovery installs the
+/// recorded digest rather than recomputing it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The committed block's arena id — recovery reinstalls at exactly
+    /// this id so the replayed commit log is bit-identical.
+    pub id: BlockId,
+    /// Parent id. Commit order is parent-closed, so the parent's record
+    /// always precedes this one (or genesis).
+    pub parent: BlockId,
+    pub producer: ProcessId,
+    pub merit_index: u32,
+    pub work: u64,
+    /// The block's digest, recorded verbatim (see the type docs).
+    pub digest: u64,
+    pub payload: Payload,
+}
+
+impl CommitRecord {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.id.0.to_le_bytes());
+        buf.extend_from_slice(&self.parent.0.to_le_bytes());
+        buf.extend_from_slice(&self.producer.0.to_le_bytes());
+        buf.extend_from_slice(&self.merit_index.to_le_bytes());
+        buf.extend_from_slice(&self.work.to_le_bytes());
+        buf.extend_from_slice(&self.digest.to_le_bytes());
+        match &self.payload {
+            Payload::Empty => buf.push(0),
+            Payload::Opaque(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            Payload::Transactions(txs) => {
+                buf.push(2);
+                buf.extend_from_slice(&(txs.len() as u32).to_le_bytes());
+                for tx in txs {
+                    buf.extend_from_slice(&tx.id.to_le_bytes());
+                    buf.extend_from_slice(&tx.from.to_le_bytes());
+                    buf.extend_from_slice(&tx.to.to_le_bytes());
+                    buf.extend_from_slice(&tx.amount.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn decode(body: &[u8]) -> io::Result<CommitRecord> {
+        let mut cur = Cursor { data: body, pos: 0 };
+        let id = BlockId(cur.u32()?);
+        let parent = BlockId(cur.u32()?);
+        let producer = ProcessId(cur.u32()?);
+        let merit_index = cur.u32()?;
+        let work = cur.u64()?;
+        let digest = cur.u64()?;
+        let payload = match cur.u8()? {
+            0 => Payload::Empty,
+            1 => Payload::Opaque(cur.u64()?),
+            2 => {
+                let n = cur.u32()? as usize;
+                if n > body.len() {
+                    return Err(invalid("transaction count exceeds record size"));
+                }
+                let mut txs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    txs.push(Tx::new(cur.u64()?, cur.u32()?, cur.u32()?, cur.u64()?));
+                }
+                Payload::Transactions(txs)
+            }
+            t => return Err(invalid(format!("unknown payload tag {t}"))),
+        };
+        if cur.pos != body.len() {
+            return Err(invalid("trailing bytes in commit record"));
+        }
+        Ok(CommitRecord {
+            id,
+            parent,
+            producer,
+            merit_index,
+            work,
+            digest,
+            payload,
+        })
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        let end = end.ok_or_else(|| invalid("record body too short"))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Local because
+/// the container builds without a registry — no external crc crate.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Appends one framed record to `buf`: `[len][crc][body]`.
+fn frame_into(buf: &mut Vec<u8>, rec: &CommitRecord) {
+    let hdr = buf.len();
+    buf.extend_from_slice(&[0u8; 8]);
+    rec.encode_into(buf);
+    let body_len = (buf.len() - hdr - 8) as u32;
+    let crc = crc32(&buf[hdr + 8..]);
+    buf[hdr..hdr + 4].copy_from_slice(&body_len.to_le_bytes());
+    buf[hdr + 4..hdr + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes the frame at the head of `data`, returning the record and the
+/// frame's total size. Any defect — short header, short body, CRC
+/// mismatch, undecodable body — is an error; the *caller* decides
+/// whether its position makes that a torn tail or corruption.
+fn try_frame(data: &[u8]) -> io::Result<(CommitRecord, usize)> {
+    if data.len() < 8 {
+        return Err(invalid("truncated frame header"));
+    }
+    let len = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+    if len > MAX_RECORD_BYTES {
+        return Err(invalid("implausible frame length"));
+    }
+    let crc = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    let Some(body) = data.get(8..8 + len) else {
+        return Err(invalid("truncated frame body"));
+    };
+    if crc32(body) != crc {
+        return Err(invalid("frame crc mismatch"));
+    }
+    let rec = CommitRecord::decode(body)?;
+    Ok((rec, 8 + len))
+}
+
+fn seg_name(start: u64) -> String {
+    format!("{start:012}.wal")
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Scans a segment file. For the active (last) segment `may_be_torn`
+/// permits a defective final frame — scanning stops there and the valid
+/// byte length is returned for the caller to truncate to. A defect in a
+/// sealed segment is corruption.
+fn scan_segment(path: &Path, may_be_torn: bool) -> io::Result<(Vec<CommitRecord>, u64)> {
+    let data = fs::read(path)?;
+    let mut recs = Vec::new();
+    let mut off = 0usize;
+    while off < data.len() {
+        match try_frame(&data[off..]) {
+            Ok((rec, sz)) => {
+                recs.push(rec);
+                off += sz;
+            }
+            Err(_) if may_be_torn => break,
+            Err(e) => {
+                return Err(invalid(format!(
+                    "{}: corrupt record at byte {off}: {e}",
+                    path.display()
+                )))
+            }
+        }
+    }
+    Ok((recs, off as u64))
+}
+
+fn read_checkpoint(path: &Path) -> io::Result<Option<Vec<CommitRecord>>> {
+    let data = match fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if data.len() < 16 || &data[..8] != CKPT_MAGIC {
+        return Err(invalid(format!(
+            "{}: bad checkpoint header",
+            path.display()
+        )));
+    }
+    let count = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let mut recs = Vec::with_capacity(count.min(1 << 20) as usize);
+    let mut off = 16usize;
+    while (recs.len() as u64) < count {
+        // The checkpoint was renamed into place atomically, so a bad
+        // frame here is corruption, never a torn write.
+        let (rec, sz) = try_frame(&data[off..]).map_err(|e| {
+            invalid(format!(
+                "{}: corrupt checkpoint record {}: {e}",
+                path.display(),
+                recs.len()
+            ))
+        })?;
+        recs.push(rec);
+        off += sz;
+    }
+    if off != data.len() {
+        return Err(invalid(format!(
+            "{}: trailing bytes after checkpoint records",
+            path.display()
+        )));
+    }
+    Ok(Some(recs))
+}
+
+/// A write-ahead commit log over one directory. Single-writer: the
+/// `ConcurrentBlockTree` owns it inside the selection mutex, which
+/// already serializes every commit.
+pub struct Wal {
+    config: WalConfig,
+    /// Active segment (append mode: writes land at EOF).
+    file: File,
+    /// Global index of the active segment's first record.
+    seg_start: u64,
+    /// Valid bytes in the active segment.
+    seg_bytes: u64,
+    /// Sealed segments, ascending by start index.
+    sealed: Vec<(u64, PathBuf)>,
+    /// Total records durable in this log (checkpoint + segments).
+    logged: u64,
+    /// Records covered by the on-disk checkpoint.
+    ckpt_upto: u64,
+    stats: WalStats,
+    /// Scratch encode buffer, reused across batches.
+    buf: Vec<u8>,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL at `config.dir` and replays it:
+    /// checkpoint first, then every segment record past it, in commit
+    /// order. A torn tail on the active segment is trimmed — those
+    /// records were never acked — and appending resumes at the trim
+    /// point. Returns the WAL positioned to append plus the replayed
+    /// records (empty for a fresh directory).
+    pub fn open(config: WalConfig) -> io::Result<(Wal, Vec<CommitRecord>)> {
+        fs::create_dir_all(&config.dir)?;
+        // A temp file is a checkpoint that never made its rename: stale.
+        let _ = fs::remove_file(config.dir.join(CKPT_TMP));
+        let mut records = read_checkpoint(&config.dir.join(CKPT_NAME))?.unwrap_or_default();
+        let ckpt_upto = records.len() as u64;
+        let mut segs: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".wal") {
+                if let Ok(start) = stem.parse::<u64>() {
+                    segs.push((start, entry.path()));
+                }
+            }
+        }
+        segs.sort();
+        let mut stats = WalStats::default();
+        let mut sealed = Vec::new();
+        let mut active: Option<(u64, PathBuf, u64)> = None;
+        let n = segs.len();
+        for (i, (start, path)) in segs.into_iter().enumerate() {
+            let last = i + 1 == n;
+            if start > records.len() as u64 {
+                return Err(invalid(format!(
+                    "missing WAL segment: {} starts at record {start} but only {} records precede it",
+                    path.display(),
+                    records.len()
+                )));
+            }
+            let (recs, valid_len) = scan_segment(&path, last)?;
+            // Records below the running count are duplicates the
+            // checkpoint (or an overlapping predecessor) already covers.
+            let skip = (records.len() as u64 - start) as usize;
+            if skip < recs.len() {
+                records.extend(recs.into_iter().skip(skip));
+            }
+            if last {
+                active = Some((start, path, valid_len));
+            } else {
+                sealed.push((start, path));
+            }
+        }
+        let (file, seg_start, seg_bytes) = match active {
+            Some((start, path, valid_len)) => {
+                let file = OpenOptions::new().append(true).open(&path)?;
+                let disk_len = file.metadata()?.len();
+                if disk_len > valid_len {
+                    // The torn tail: a crash mid-append left a partial
+                    // frame. Its records were never acked — trim, don't
+                    // panic.
+                    file.set_len(valid_len)?;
+                    if config.fsync {
+                        file.sync_data()?;
+                        stats.fsyncs += 1;
+                    }
+                    stats.trimmed_bytes = disk_len - valid_len;
+                }
+                (file, start, valid_len)
+            }
+            None => {
+                let start = records.len() as u64;
+                let path = config.dir.join(seg_name(start));
+                let file = OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)?;
+                if config.fsync {
+                    sync_dir(&config.dir)?;
+                    stats.fsyncs += 1;
+                }
+                (file, start, 0)
+            }
+        };
+        let logged = records.len() as u64;
+        Ok((
+            Wal {
+                config,
+                file,
+                seg_start,
+                seg_bytes,
+                sealed,
+                logged,
+                ckpt_upto,
+                stats,
+                buf: Vec::new(),
+            },
+            records,
+        ))
+    }
+
+    /// Total records durable in this log.
+    pub fn logged(&self) -> u64 {
+        self.logged
+    }
+
+    /// Records covered by the on-disk checkpoint.
+    pub fn checkpointed(&self) -> u64 {
+        self.ckpt_upto
+    }
+
+    /// Activity counters since open.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Appends a batch of commit records and makes them durable with a
+    /// single `fdatasync` — the group commit. Records are durable (and
+    /// may be acked) only once this returns `Ok`.
+    pub fn append_commits<I>(&mut self, records: I) -> io::Result<usize>
+    where
+        I: IntoIterator<Item = CommitRecord>,
+    {
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        let mut n = 0u64;
+        for rec in records {
+            frame_into(&mut buf, &rec);
+            n += 1;
+        }
+        if n == 0 {
+            self.buf = buf;
+            return Ok(0);
+        }
+        let res = self.write_batch(&buf, n);
+        self.buf = buf;
+        res?;
+        if self.seg_bytes >= self.config.segment_bytes {
+            self.roll()?;
+        }
+        Ok(n as usize)
+    }
+
+    fn write_batch(&mut self, buf: &[u8], n: u64) -> io::Result<()> {
+        self.file.write_all(buf)?;
+        if self.config.fsync {
+            self.file.sync_data()?;
+            self.stats.fsyncs += 1;
+        }
+        self.seg_bytes += buf.len() as u64;
+        self.logged += n;
+        self.stats.records += n;
+        self.stats.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Seals the active segment and starts a fresh one named by the
+    /// current record count. The directory fsync makes the new name
+    /// durable *before* any record lands in it — otherwise a crash could
+    /// recover a listing that misses a segment full of acked records.
+    fn roll(&mut self) -> io::Result<()> {
+        let old = self.config.dir.join(seg_name(self.seg_start));
+        let path = self.config.dir.join(seg_name(self.logged));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        if self.config.fsync {
+            sync_dir(&self.config.dir)?;
+            self.stats.fsyncs += 1;
+        }
+        self.sealed.push((self.seg_start, old));
+        self.file = file;
+        self.seg_start = self.logged;
+        self.seg_bytes = 0;
+        self.stats.segments_rolled += 1;
+        Ok(())
+    }
+
+    /// Whether a checkpoint covering `upto` records is due. The gate is
+    /// geometric — at least `checkpoint_interval` new records *and* half
+    /// the already-covered prefix again — so the O(prefix) rewrite cost
+    /// amortizes to O(1) per record no matter how long the log runs.
+    pub fn wants_checkpoint(&self, upto: u64) -> bool {
+        upto <= self.logged
+            && upto > self.ckpt_upto
+            && upto - self.ckpt_upto >= self.config.checkpoint_interval.max(self.ckpt_upto / 2)
+    }
+
+    /// Writes a checkpoint covering `records` (the first `records.len()`
+    /// entries of the commit log — the caller's finalized prefix), then
+    /// deletes every sealed segment that prefix fully covers. Temp file +
+    /// fsync + atomic rename: a crash at any point leaves either the old
+    /// or the new checkpoint, both valid.
+    pub fn checkpoint(&mut self, records: &[CommitRecord]) -> io::Result<()> {
+        let upto = records.len() as u64;
+        assert!(upto <= self.logged, "checkpoint past the durable log");
+        assert!(upto >= self.ckpt_upto, "checkpoints are monotone");
+        let tmp = self.config.dir.join(CKPT_TMP);
+        let mut buf = Vec::with_capacity(16 + records.len() * 64);
+        buf.extend_from_slice(CKPT_MAGIC);
+        buf.extend_from_slice(&upto.to_le_bytes());
+        for rec in records {
+            frame_into(&mut buf, rec);
+        }
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            if self.config.fsync {
+                f.sync_all()?;
+                self.stats.fsyncs += 1;
+            }
+        }
+        fs::rename(&tmp, self.config.dir.join(CKPT_NAME))?;
+        if self.config.fsync {
+            sync_dir(&self.config.dir)?;
+            self.stats.fsyncs += 1;
+        }
+        self.ckpt_upto = upto;
+        self.stats.checkpoints += 1;
+        // Drop covered sealed segments. Segment i spans records
+        // `start_i .. start_{i+1}` (next sealed start, or the active
+        // segment's). Deletion failures are ignored: a leftover covered
+        // segment only costs replay skips.
+        let mut keep = Vec::new();
+        for i in 0..self.sealed.len() {
+            let end = self
+                .sealed
+                .get(i + 1)
+                .map(|s| s.0)
+                .unwrap_or(self.seg_start);
+            if end <= upto {
+                let _ = fs::remove_file(&self.sealed[i].1);
+                self.stats.segments_dropped += 1;
+            } else {
+                keep.push(self.sealed[i].clone());
+            }
+        }
+        self.sealed = keep;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_wal_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "btadt-wal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(i: u32) -> CommitRecord {
+        CommitRecord {
+            id: BlockId(i),
+            parent: BlockId(i.saturating_sub(1)),
+            producer: ProcessId(i % 3),
+            merit_index: i % 5,
+            work: 1 + i as u64 % 7,
+            digest: 0xD1CE_0000 ^ i as u64,
+            payload: match i % 3 {
+                0 => Payload::Empty,
+                1 => Payload::Opaque(i as u64 * 31),
+                _ => Payload::Transactions(vec![
+                    Tx::new(i as u64, i, i + 1, 100 + i as u64),
+                    Tx::new(i as u64 + 1, i + 2, i + 3, 7),
+                ]),
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_roundtrips_through_a_frame() {
+        for i in 0..9 {
+            let r = rec(i);
+            let mut buf = Vec::new();
+            frame_into(&mut buf, &r);
+            let (back, sz) = try_frame(&buf).expect("clean frame");
+            assert_eq!(sz, buf.len());
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let mut buf = Vec::new();
+        frame_into(&mut buf, &rec(4));
+        // Flip one body byte: CRC must catch it.
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(try_frame(&bad).is_err(), "crc mismatch");
+        // Truncations at every boundary are defects too.
+        for cut in 0..buf.len() {
+            assert!(try_frame(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn open_append_reopen_replays_everything() {
+        let dir = tmp_wal_dir("roundtrip");
+        let recs: Vec<CommitRecord> = (1..40).map(rec).collect();
+        {
+            let (mut wal, replay) = Wal::open(WalConfig::new(&dir)).unwrap();
+            assert!(replay.is_empty());
+            wal.append_commits(recs[..25].iter().cloned()).unwrap();
+            wal.append_commits(recs[25..].iter().cloned()).unwrap();
+            assert_eq!(wal.logged(), 39);
+            assert_eq!(wal.stats().fsyncs, 3, "open + one per batch");
+        }
+        let (wal, replay) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(replay, recs);
+        assert_eq!(wal.logged(), 39);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_trimmed_at_every_truncation_point() {
+        let dir = tmp_wal_dir("torn");
+        let recs: Vec<CommitRecord> = (1..8).map(rec).collect();
+        let (mut wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        // Record the segment length after each append: frame boundaries.
+        let mut boundaries = vec![0u64];
+        for r in &recs {
+            wal.append_commits(std::iter::once(r.clone())).unwrap();
+            boundaries.push(wal.seg_bytes);
+        }
+        let seg = dir.join(seg_name(0));
+        drop(wal);
+        let full = fs::read(&seg).unwrap();
+        for cut in 0..full.len() as u64 {
+            fs::write(&seg, &full[..cut as usize]).unwrap();
+            let (wal, replay) = Wal::open(WalConfig::new(&dir)).unwrap();
+            // The replay is exactly the records whose frames fit below
+            // the cut — a partial trailing frame is trimmed, not fatal.
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(replay.len(), whole, "cut at byte {cut}");
+            assert_eq!(replay, recs[..whole], "cut at byte {cut}");
+            assert_eq!(wal.logged(), whole as u64);
+            if cut > boundaries[whole] {
+                assert_eq!(wal.stats().trimmed_bytes, cut - boundaries[whole]);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovery_keeps_accepting_appends() {
+        let dir = tmp_wal_dir("torn-continue");
+        let (mut wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        wal.append_commits((1..5).map(rec)).unwrap();
+        drop(wal);
+        let seg = dir.join(seg_name(0));
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..full.len() - 3]).unwrap(); // mid-record
+        let (mut wal, replay) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(replay.len(), 3, "last record torn away");
+        wal.append_commits((4..9).map(rec)).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let expect: Vec<CommitRecord> = (1..9).map(rec).collect();
+        assert_eq!(replay, expect, "appends after a trim replay cleanly");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_a_sealed_segment_is_a_hard_error() {
+        let dir = tmp_wal_dir("sealed-corrupt");
+        let cfg = WalConfig::new(&dir).segment_bytes(64); // rolls fast
+        let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 1..20 {
+            wal.append_commits(std::iter::once(rec(i))).unwrap();
+        }
+        assert!(wal.stats().segments_rolled >= 2, "several sealed segments");
+        drop(wal);
+        // Flip a byte in the middle of the FIRST segment — not a tail.
+        let seg = dir.join(seg_name(0));
+        let mut data = fs::read(&seg).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        fs::write(&seg, &data).unwrap();
+        let err = Wal::open(cfg).err().expect("sealed corruption detected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_and_replay_in_order() {
+        let dir = tmp_wal_dir("roll");
+        let cfg = WalConfig::new(&dir).segment_bytes(128);
+        let recs: Vec<CommitRecord> = (1..60).map(rec).collect();
+        {
+            let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+            for chunk in recs.chunks(7) {
+                wal.append_commits(chunk.iter().cloned()).unwrap();
+            }
+            assert!(wal.stats().segments_rolled >= 3);
+        }
+        let (_, replay) = Wal::open(cfg).unwrap();
+        assert_eq!(replay, recs);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_covered_segments_and_replays_identically() {
+        let dir = tmp_wal_dir("ckpt");
+        let cfg = WalConfig::new(&dir)
+            .segment_bytes(128)
+            .checkpoint_interval(8);
+        let recs: Vec<CommitRecord> = (1..80).map(rec).collect();
+        let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+        let mut appended = 0usize;
+        for chunk in recs.chunks(5) {
+            wal.append_commits(chunk.iter().cloned()).unwrap();
+            appended += chunk.len();
+            // Pretend everything but the newest 10 records is final.
+            let upto = appended.saturating_sub(10);
+            if wal.wants_checkpoint(upto as u64) {
+                wal.checkpoint(&recs[..upto]).unwrap();
+            }
+        }
+        assert!(wal.stats().checkpoints >= 2, "compaction ran");
+        assert!(wal.stats().segments_dropped >= 1, "covered segments went");
+        let files: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".wal"))
+            .collect();
+        assert!(
+            (files.len() as u64) < wal.stats().segments_rolled + 1,
+            "some segments were dropped: {files:?}"
+        );
+        drop(wal);
+        let (wal, replay) = Wal::open(cfg).unwrap();
+        assert_eq!(replay, recs, "checkpoint + tail replays bit-identically");
+        assert!(wal.checkpointed() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_skips_below_the_geometric_gate() {
+        let dir = tmp_wal_dir("gate");
+        let cfg = WalConfig::new(&dir).checkpoint_interval(10);
+        let (mut wal, _) = Wal::open(cfg).unwrap();
+        wal.append_commits((1..30).map(rec)).unwrap();
+        assert!(!wal.wants_checkpoint(5), "below the interval floor");
+        assert!(wal.wants_checkpoint(20));
+        let recs: Vec<CommitRecord> = (1..21).map(rec).collect();
+        wal.checkpoint(&recs).unwrap();
+        // 9 new < max(interval, 20/2) = 10: not yet.
+        assert!(!wal.wants_checkpoint(29));
+        fs::remove_dir_all(wal.dir()).unwrap();
+    }
+
+    #[test]
+    fn no_fsync_mode_still_replays() {
+        let dir = tmp_wal_dir("nofsync");
+        let cfg = WalConfig::new(&dir).no_fsync();
+        {
+            let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+            wal.append_commits((1..10).map(rec)).unwrap();
+            assert_eq!(wal.stats().fsyncs, 0);
+        }
+        let (_, replay) = Wal::open(cfg).unwrap();
+        assert_eq!(replay.len(), 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -29,7 +29,26 @@
 //!   commit), never an alternative source of truth.
 //! * **One graft per instance** — at most one propose (the one whose mint
 //!   the oracle admitted) commits a block; losing mints stay non-member
-//!   arena orphans, semantically `P`-rejected blocks.
+//!   arena orphans, semantically `P`-rejected blocks. (The dead-winner
+//!   rule below may issue *duplicate* grafts of the same winner; those
+//!   are no-op re-grafts — `graft_minted` is idempotent — so the tree
+//!   still gains exactly one block per instance.)
+//!
+//! # Dead-winner recovery
+//!
+//! The oracle decides at `consumeToken`; the tree learns at
+//! `graft_minted`. A winner dying between the two used to wedge every
+//! loser against the full stall deadline: the decision sat in `K[anchor]`
+//! with nobody left obliged to graft it. The paper's object model never
+//! required the *winner* to be the grafter — any process may commit a
+//! block it knows the oracle admitted (membership is the oracle's call,
+//! not the proposer's). So a loser that observes `K[anchor]` consumed but
+//! the winner's commit absent past a short grace
+//! ([`DEFAULT_GRAFT_GRACE`]) grafts the committed-K winner itself: first
+//! graft wins, duplicates are no-ops, and the 20 s stall diagnostic is
+//! demoted from "the path a crashed winner puts everyone on" to a true
+//! last resort (it still fires when `P` and Θ disagree, or the oracle
+//! goes cold with nothing decided).
 //!
 //! Termination is hardened beyond the paper's pseudo-code: a proposer
 //! whose merit tape has gone cold exits the `getToken` loop as soon as a
@@ -52,6 +71,15 @@ use std::time::{Duration, Instant};
 /// Default wedge deadline for [`TreeConsensus::propose`] — matches the
 /// frugal-gate and [`crate::consensus::PROPOSE_STALL_LIMIT`] deadlines.
 pub const DECIDE_STALL_LIMIT: Duration = Duration::from_secs(20);
+
+/// Default grace a process waits on the winner's own graft before
+/// grafting the committed-K winner itself (the dead-winner recovery
+/// rule). Long enough that a *live* winner scheduled normally grafts
+/// first and the duplicate-graft path stays cold; short enough that a
+/// crashed winner delays its losers by milliseconds, not the full
+/// [`DECIDE_STALL_LIMIT`]. Benign either way — an early duplicate graft
+/// is a no-op.
+pub const DEFAULT_GRAFT_GRACE: Duration = Duration::from_millis(10);
 
 /// What one `propose` call did, beyond the decision itself — the raw
 /// material of a Def. 4.1 report.
@@ -85,6 +113,9 @@ pub struct TreeConsensus<'t, F: SelectionFn, P: ValidityPredicate> {
     /// implies the graft happened.
     decided: CasRegister,
     stall_limit: Duration,
+    /// How long to wait on the winner's own graft before self-grafting
+    /// the committed-K winner (dead-winner recovery).
+    graft_grace: Duration,
 }
 
 impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
@@ -124,7 +155,15 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
             anchor,
             decided: CasRegister::new(EMPTY),
             stall_limit,
+            graft_grace: DEFAULT_GRAFT_GRACE,
         }
+    }
+
+    /// Overrides the dead-winner graft grace (tests use extremes: zero to
+    /// force the recovery path, long to prove the winner normally wins).
+    pub fn with_graft_grace(mut self, grace: Duration) -> Self {
+        self.graft_grace = grace;
+        self
     }
 
     /// The anchor object `b0` of this instance.
@@ -145,12 +184,16 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
     /// decide `K[anchor]`'s singleton — grafting it first when it is our
     /// own mint, waiting for the winner's graft otherwise.
     ///
+    /// A winner dying between `consumeToken` and its graft does **not**
+    /// wedge this call: past a short grace the loser grafts the
+    /// committed-K winner itself (see the module's dead-winner recovery
+    /// section).
+    ///
     /// # Panics
     ///
     /// * after [`stall_limit`](Self::with_stall_limit) when the oracle
     ///   stops granting tokens and no decision is published (Termination
-    ///   needs a live oracle), or when the decided block never commits
-    ///   (the winner's committer died before its graft);
+    ///   needs a live oracle);
     /// * when `P` rejects an oracle-admitted block — the oracle is "the
     ///   only generator of valid blocks", so the pair is misconfigured.
     pub fn propose(&self, who: usize, candidate: CandidateBlock) -> ProposeOutcome {
@@ -184,13 +227,7 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
                 .decided()
                 .or_else(|| self.oracle.first_consumed(self.anchor))
             {
-                assert!(
-                    self.tree.wait_committed(d, deadline),
-                    "TreeConsensus::propose wedged: decided block {d} was \
-                     not committed within {:?} — its proposer likely died \
-                     between consumeToken and graft",
-                    self.stall_limit
-                );
+                self.adopt_committed(d);
                 self.decided.compare_and_swap(EMPTY, d.0 as u64 + 1);
                 return ProposeOutcome {
                     decided: d,
@@ -250,16 +287,10 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
             });
             debug_assert_eq!(committed, minted);
         } else {
-            // Someone else's mint won. Its owner grafts it; wait for that
-            // commit so our decision is already tree-visible when we
-            // return (graft-before-decide, loser half).
-            assert!(
-                self.tree.wait_committed(winner, deadline),
-                "TreeConsensus::propose wedged: decided block {winner} was \
-                 not committed within {:?} — its proposer likely died \
-                 between consumeToken and graft",
-                self.stall_limit
-            );
+            // Someone else's mint won. Its owner normally grafts it; wait
+            // briefly for that, then graft it ourselves if it never comes
+            // (graft-before-decide, loser half + dead-winner recovery).
+            self.adopt_committed(winner);
         }
         // Publish the (committed) decision for late proposers.
         self.decided.compare_and_swap(EMPTY, winner.0 as u64 + 1);
@@ -268,6 +299,77 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
             minted: Some(minted),
             grafted,
         }
+    }
+
+    /// Ensures the K-set winner `d` is a committed tree member before the
+    /// caller decides it (graft-before-decide).
+    ///
+    /// Waits [`graft_grace`](Self::with_graft_grace) for the winner's own
+    /// graft; past the grace, the dead-winner recovery rule applies — `d`
+    /// is in `K[anchor]`, so *any* process may graft it, and we do. The
+    /// graft is idempotent (a racing re-graft is a no-op returning the
+    /// id), so this is safe even when the winner is merely slow rather
+    /// than dead. The only way out without a committed `d` is the `P`/Θ
+    /// misconfiguration panic — a crashed winner no longer wedges anyone.
+    fn adopt_committed(&self, d: BlockId) {
+        let grace = Instant::now() + self.graft_grace;
+        if self.tree.wait_committed(d, grace) {
+            return;
+        }
+        // Grace expired with the winner's graft absent — its proposer
+        // likely died between consumeToken and graft_minted. Graft the
+        // committed-K winner ourselves (first graft wins; a duplicate is
+        // a no-op re-graft either way).
+        assert!(
+            self.tree.graft_minted(d).is_some(),
+            "validity predicate rejected oracle-admitted block {d}: the \
+             oracle must be the only generator of valid blocks (Def. 3.5), \
+             so P and Θ disagree"
+        );
+    }
+
+    /// Crash-injection hook for the recovery tests: runs Protocol A up to
+    /// and *including* `consumeToken`, then stops dead — no graft, no
+    /// decide, no published cell — exactly as a proposer crashing between
+    /// `consumeToken` and `graft_minted` would. Returns `(winner, minted)`
+    /// as observed at the consume. When they are equal, the instance is
+    /// now in the dead-winner state: `K[anchor]` holds a block that is
+    /// still a non-member arena orphan, and survivors must recover via
+    /// [`adopt_committed`](Self::with_graft_grace)'s self-graft rule.
+    ///
+    /// Panics after the stall limit if the oracle never grants the token
+    /// (the hook must actually reach the consume to simulate the crash).
+    pub fn propose_then_crash_before_graft(
+        &self,
+        who: usize,
+        candidate: CandidateBlock,
+    ) -> (BlockId, BlockId) {
+        let deadline = Instant::now() + self.stall_limit;
+        let grant = loop {
+            if let Some(g) = self.oracle.get_token(who, self.anchor) {
+                break g;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "crash-injection proposer p{who} never got a token for \
+                 anchor {}",
+                self.anchor
+            );
+            std::thread::yield_now();
+        };
+        let minted = self.tree.store().mint(
+            self.anchor,
+            candidate.producer,
+            candidate.merit_index,
+            candidate.work,
+            candidate.nonce,
+            candidate.payload,
+        );
+        let set = self.oracle.consume_token(&grant, minted);
+        let winner = crate::consensus::k1_winner(self.anchor, &set);
+        // …and here the process dies: no graft_minted, no decided-cell
+        // publication, no status for anyone.
+        (winner, minted)
     }
 }
 
@@ -476,6 +578,96 @@ mod tests {
             Duration::from_millis(50),
         );
         c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
+    }
+
+    #[test]
+    fn dead_winner_is_grafted_by_survivors_within_grace() {
+        // The regression the recovery rule exists for: the winning
+        // proposer dies between consumeToken and graft_minted. Before
+        // the rule, every survivor wedged against the full stall limit;
+        // now they self-graft the committed-K winner after a ~10 ms
+        // grace and decide well under the deadline.
+        for seed in 0..8u64 {
+            let n = 4;
+            let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+            let oracle = shared_oracle(n, seed);
+            let c = TreeConsensus::with_stall_limit(
+                &tree,
+                &oracle,
+                BlockId::GENESIS,
+                Duration::from_secs(10),
+            );
+            // Proposer 0 runs alone first, so the oracle's K-set winner
+            // is its mint — then it "crashes" without grafting.
+            let (winner, minted) =
+                c.propose_then_crash_before_graft(0, CandidateBlock::simple(ProcessId(0), 1));
+            assert_eq!(winner, minted, "a solo consume wins its own K-set");
+            assert!(
+                !tree.is_committed(winner),
+                "the dead winner never grafted: K holds an arena orphan"
+            );
+            // Survivors decide concurrently. None of them minted the
+            // winner; all must adopt it via the self-graft rule.
+            let t0 = Instant::now();
+            let c = &c;
+            let mut outcomes: Vec<ProposeOutcome> = std::thread::scope(|s| {
+                (1..n)
+                    .map(|who| {
+                        s.spawn(move || {
+                            c.propose(who, CandidateBlock::simple(ProcessId(who as u32), 10))
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("survivors must not panic"))
+                    .collect()
+            });
+            let elapsed = t0.elapsed();
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "seed {seed}: survivors decided in {elapsed:?}, not at the \
+                 stall deadline"
+            );
+            for out in &outcomes {
+                assert_eq!(out.decided, winner, "seed {seed}: Agreement");
+                assert!(!out.grafted, "seed {seed}: nobody's own mint won");
+            }
+            assert!(tree.is_committed(winner), "seed {seed}: recovered graft");
+            assert_eq!(tree.len(), 2, "seed {seed}: duplicate grafts no-op");
+            // Def. 4.1 on the survivors' report, with the crasher's mint
+            // recorded as a synthetic outcome (it proposed and its block
+            // was decided; it just never returned).
+            outcomes.push(ProposeOutcome {
+                decided: winner,
+                minted: Some(minted),
+                grafted: false,
+            });
+            let report = TreeConsensusReport::from_outcomes(BlockId::GENESIS, &outcomes);
+            assert!(report.termination(), "seed {seed}");
+            assert!(report.agreement(), "seed {seed}: {:?}", report.decisions);
+            assert!(report.validity(), "seed {seed}: {:?}", report.decisions);
+            assert!(report.integrity(), "seed {seed}: {:?}", report.grafted);
+        }
+    }
+
+    #[test]
+    fn duplicate_grafts_of_the_winner_are_noop_regrafts() {
+        let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
+        let oracle = shared_oracle(2, 5);
+        // Zero grace: every loser takes the self-graft path immediately,
+        // racing the (alive) winner's own graft — idempotency is what
+        // keeps the tree at exactly one new block.
+        let c =
+            TreeConsensus::new(&tree, &oracle, BlockId::GENESIS).with_graft_grace(Duration::ZERO);
+        let report = run_tree_trial(&c, 2, 50);
+        assert!(report.agreement() && report.validity() && report.integrity());
+        let d = report.decided().expect("agreement holds");
+        assert!(tree.is_committed(d));
+        assert_eq!(tree.len(), 2, "re-grafts inserted nothing");
+        // And an explicit duplicate graft on the tree is a visible no-op.
+        let log_before = tree.commit_log();
+        assert_eq!(tree.graft_minted(d), Some(d));
+        assert_eq!(tree.commit_log(), log_before);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Kill−restart crash injection: real `SIGKILL`, real files, no mocks.
+//!
+//! The WAL's contract is stated over *process death*, so the harness
+//! tests exactly that: a test re-spawns its own test binary filtered to
+//! a child workload (`current_exe` + `--exact`), lets the child hammer a
+//! durable [`ConcurrentBlockTree`](btadt_core::concurrent::ConcurrentBlockTree)
+//! for a while, then `kill()`s it — `SIGKILL`, no unwinding, no `Drop`,
+//! the closest a test gets to yanking the plug — and recovers the WAL
+//! directory in-process to check what survived.
+//!
+//! The observable the parent checks is the **ack log**: the child
+//! records each append's id to a side file *after* the append returns —
+//! and a durable append returns only after its batch's fsync
+//! (persist-then-ack) — so at kill time every recorded id is provably
+//! durable, and `acked ⊆ recovered` is exactly the guarantee the WAL
+//! sells. Ack records are single unbuffered `write`s: a `SIGKILL`
+//! cannot lose a completed `write(2)` (the page cache survives process
+//! death), and a torn final line only *under*-reports acks, which
+//! weakens the check in the safe direction. [`read_acked`] parses
+//! accordingly: complete lines only, a ragged tail ignored.
+
+use btadt_core::ids::BlockId;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Environment variable carrying the crash directory to the child; its
+/// presence is what arms the child-side workload test.
+pub const CRASH_DIR_ENV: &str = "BTADT_CRASH_DIR";
+
+/// The crash directory this process was armed with, if any. Child-side
+/// workload tests return immediately (vacuously passing) without it.
+pub fn crash_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os(CRASH_DIR_ENV).map(PathBuf::from)
+}
+
+/// Append-only log of acked ids, one per line, each a single unbuffered
+/// `write` issued strictly after the corresponding tree append returned.
+pub struct AckLog {
+    file: File,
+}
+
+impl AckLog {
+    /// Creates (truncating) the ack log at `path`.
+    pub fn create(path: &Path) -> std::io::Result<AckLog> {
+        Ok(AckLog {
+            file: OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .write(true)
+                .open(path)?,
+        })
+    }
+
+    /// Records one acked id. One `write` syscall, no buffering: either
+    /// the whole line lands or (killed mid-write) a torn tail that
+    /// [`read_acked`] discards.
+    pub fn record(&mut self, id: BlockId) {
+        let line = format!("{}\n", id.0);
+        self.file.write_all(line.as_bytes()).expect("ack log write");
+    }
+}
+
+/// Reads an ack log leniently: complete `id\n` lines in order, a torn
+/// final line (no trailing newline, or unparsable) silently dropped.
+pub fn read_acked(path: &Path) -> Vec<BlockId> {
+    let Ok(data) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = data.as_str();
+    while let Some(nl) = rest.find('\n') {
+        if let Ok(raw) = rest[..nl].trim().parse::<u32>() {
+            out.push(BlockId(raw));
+        }
+        rest = &rest[nl + 1..];
+    }
+    out
+}
+
+/// All `acked-*.log` lanes under `dir`, one vector per file, each in its
+/// writer's append order.
+pub fn read_all_acked(dir: &Path) -> Vec<Vec<BlockId>> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("acked-") && n.ends_with(".log"))
+        })
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| read_acked(p)).collect()
+}
+
+/// Re-spawns the current test binary running exactly `test_name`, armed
+/// with `crash_dir` via [`CRASH_DIR_ENV`]. The caller owns the child:
+/// poll its ack lanes, then `kill()` (SIGKILL) and `wait()` it.
+pub fn spawn_self_test(test_name: &str, crash_dir: &Path) -> std::io::Result<Child> {
+    Command::new(std::env::current_exe()?)
+        .args([test_name, "--exact", "--test-threads", "1"])
+        .env(CRASH_DIR_ENV, crash_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+}

@@ -16,11 +16,13 @@
 //! | Def. 4.3 / Fig. 13 Update Agreement | [`agreement`] |
 //! | Def. 4.4 LRC | [`lrc`] |
 //! | the simulator itself | [`world`] |
+//! | kill−restart crash injection (PR 7 durability) | [`crashsim`] |
 //! | Thm. 4.8, Lemmas 4.4/4.5, Thm. 4.7 drivers | [`counterexamples`] |
 
 pub mod agreement;
 pub mod byzantine;
 pub mod counterexamples;
+pub mod crashsim;
 pub mod lrc;
 pub mod mtrun;
 pub mod network;
@@ -32,6 +34,9 @@ pub use agreement::{check_update_agreement, UpdateAgreementReport};
 pub use byzantine::{Equivocator, Withholder};
 pub use counterexamples::{
     lemma_4_4, lemma_4_5, theorem_4_8, update_agreement_positive, RunOutcome, SimpleMiner,
+};
+pub use crashsim::{
+    crash_dir_from_env, read_acked, read_all_acked, spawn_self_test, AckLog, CRASH_DIR_ENV,
 };
 pub use lrc::{check_lrc, gossip_applied, LrcReport};
 pub use mtrun::{run_concurrent_workload, MtConfig, MtRun};

@@ -1,0 +1,300 @@
+//! Kill−restart durability: `SIGKILL` a live workload, recover, and
+//! check the WAL's guarantee from the outside.
+//!
+//! The headline test re-spawns this test binary as a child running
+//! [`crash_child_workload`] (armed via `BTADT_CRASH_DIR`), waits until
+//! the child has acked a few hundred appends to its side files, and
+//! `kill()`s it — `SIGKILL`, no unwinding, no `Drop`. Recovery in the
+//! parent must then produce a tree where
+//!
+//! * **every acked append is present** (persist-then-ack: an append
+//!   returns only after its batch's fsync), in each ack lane's order;
+//! * the recovered tree is structurally sound — commit log is
+//!   duplicate-free and parent-closed, cached / published / full-scan
+//!   tips agree;
+//! * `consensus_e2e`-style checks pass: a real Protocol A round
+//!   (Θ_F,k=1 oracle, racing proposer threads) anchored at the
+//!   recovered tip decides with all four Def. 4.1 properties;
+//! * the tree keeps accepting appends after recovery.
+//!
+//! A second test composes the two PR 7 pieces: a dead-winner round
+//! (winning proposer crashes between `consumeToken` and graft) run on a
+//! *recovered* tree, with the survivors' adoptive graft verified durable
+//! by a second recovery.
+
+use btadt_core::prelude::*;
+use btadt_oracle::{Merits, SharedOracle, ThetaOracle};
+use btadt_registers::{run_tree_trial, TreeConsensus};
+use btadt_sim::crashsim::{crash_dir_from_env, read_all_acked, spawn_self_test, AckLog};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Deterministic split-mix style generator (no external dependency).
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn tmp_crash_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "btadt-crash-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("crash dir");
+    dir
+}
+
+type Tree = ConcurrentBlockTree<LongestChain, AcceptAll>;
+
+fn open_tree(dir: &Path) -> Tree {
+    ConcurrentBlockTree::open_durable(
+        4,
+        FinalityWatermark::disabled(),
+        LongestChain,
+        AcceptAll,
+        WalConfig::new(dir.join("wal")).segment_bytes(32 * 1024),
+    )
+    .expect("WAL opens")
+}
+
+fn shared_oracle(n: usize, seed: u64) -> SharedOracle {
+    SharedOracle::new(ThetaOracle::frugal(
+        1,
+        Merits::uniform(n),
+        n as f64 * 0.8,
+        seed,
+    ))
+}
+
+/// Child-side workload. Vacuously passes unless armed with
+/// `BTADT_CRASH_DIR` (which only [`spawn_self_test`] sets): three
+/// appender threads hammer a durable tree, recording each acked id to a
+/// per-thread side file *after* the append returns, until killed (or a
+/// 60 s internal cap, so a failed kill can never hang CI).
+#[test]
+fn crash_child_workload() {
+    let Some(dir) = crash_dir_from_env() else {
+        return;
+    };
+    let bt = open_tree(&dir);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let bt = &bt;
+            let dir = dir.clone();
+            s.spawn(move || {
+                let mut ack = AckLog::create(&dir.join(format!("acked-{t}.log"))).expect("ack log");
+                let mut seed = (0x5EED_0000 + t).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut i = 0u64;
+                loop {
+                    if i.is_multiple_of(64) && Instant::now() > deadline {
+                        break;
+                    }
+                    let r = lcg(&mut seed);
+                    let payload = match r % 3 {
+                        0 => Payload::Empty,
+                        1 => Payload::Opaque(r),
+                        _ => Payload::Transactions(vec![Tx::new(
+                            r,
+                            (r % 7) as u32,
+                            (r % 11) as u32,
+                            r % 1000,
+                        )]),
+                    };
+                    let cand = CandidateBlock::simple(ProcessId(t as u32), t << 40 | i)
+                        .with_payload(payload)
+                        .with_work(1 + r % 5);
+                    let acked = if r.is_multiple_of(4) {
+                        // A quarter of ops graft a fork off a random
+                        // committed block instead of extending the tip.
+                        let chain = bt.read_owned();
+                        let ids = chain.ids();
+                        let parent = ids[(lcg(&mut seed) as usize) % ids.len()];
+                        bt.graft(parent, cand)
+                    } else {
+                        bt.append(cand)
+                    };
+                    if let Some(id) = acked {
+                        ack.record(id);
+                    }
+                    i += 1;
+                }
+            });
+        }
+    });
+}
+
+/// The acceptance-criterion test: SIGKILL mid-workload, recover, and the
+/// commit log contains every acked append in ack order, passes a real
+/// consensus round, and keeps appending.
+#[test]
+fn kill_restart_recovery_preserves_acked_appends() {
+    let dir = tmp_crash_dir("kill");
+    let mut child = spawn_self_test("crash_child_workload", &dir).expect("re-spawn test binary");
+
+    // Let the child ack a meaningful amount of durable work, then pull
+    // the plug while it is mid-flight.
+    let poll_start = Instant::now();
+    loop {
+        let total: usize = read_all_acked(&dir).iter().map(Vec::len).sum();
+        if total >= 500 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("child exited before the kill: {status}");
+        }
+        assert!(
+            poll_start.elapsed() < Duration::from_secs(30),
+            "child acked only {total} appends in 30 s; wanted 500"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL the workload");
+    child.wait().expect("reap the child");
+
+    let lanes = read_all_acked(&dir);
+    let bt = open_tree(&dir);
+    let log = bt.commit_log();
+
+    // Persist-then-ack: every acked id recovered, each lane's acks in
+    // commit-log order (a lane's appends are sequential in its thread).
+    let pos: HashMap<BlockId, usize> = log.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    assert_eq!(pos.len(), log.len(), "recovered commit log has duplicates");
+    let mut acked_total = 0usize;
+    for (lane_no, lane) in lanes.iter().enumerate() {
+        let mut last = None;
+        for id in lane {
+            let p = *pos
+                .get(id)
+                .unwrap_or_else(|| panic!("acked {id} (lane {lane_no}) missing after recovery"));
+            if let Some(q) = last {
+                assert!(
+                    q < p,
+                    "lane {lane_no}: acks out of commit order ({q} !< {p})"
+                );
+            }
+            last = Some(p);
+            acked_total += 1;
+        }
+    }
+    assert!(acked_total >= 500, "poll loop guaranteed 500 acks");
+
+    // Structural soundness: parent-closed membership, all tip views
+    // agree, heights chain.
+    let members: std::collections::HashSet<BlockId> =
+        log.iter().copied().chain([BlockId::GENESIS]).collect();
+    let store = bt.store();
+    for &id in &log {
+        let meta = store.meta(id);
+        let parent = meta.parent.expect("only genesis is parentless");
+        assert!(
+            members.contains(&parent),
+            "recovered member {id} has non-member parent {parent}"
+        );
+        assert_eq!(meta.height, store.meta(parent).height + 1, "height chains");
+    }
+    assert_eq!(bt.selected_tip(), bt.selected_tip_full_scan());
+    assert_eq!(bt.read_owned().tip(), bt.selected_tip());
+
+    // consensus_e2e-style: a real Protocol A round on the recovered tree
+    // must satisfy Def. 4.1 end to end.
+    let oracle = shared_oracle(3, 7);
+    let c = TreeConsensus::new(&bt, &oracle, bt.selected_tip());
+    let report = run_tree_trial(&c, 3, 0x00C0_FFEE_0000_0000);
+    assert!(report.termination(), "Termination on the recovered tree");
+    assert!(report.integrity(), "Integrity: {:?}", report.grafted);
+    assert!(report.agreement(), "Agreement: {:?}", report.decisions);
+    assert!(report.validity(), "Validity: {:?}", report.decisions);
+    let decided = report.decided().expect("agreement asserted");
+    assert!(bt.is_committed(decided), "decision is a committed member");
+
+    // And the tree keeps going: post-recovery appends land normally.
+    let before = bt.len();
+    for i in 0..25u64 {
+        bt.append(CandidateBlock::simple(ProcessId(9), 0xA55_0000 + i))
+            .expect("AcceptAll admits everything");
+    }
+    assert_eq!(bt.len(), before + 25, "recovered tree keeps appending");
+}
+
+/// Dead-winner recovery composed with crash recovery: the winning
+/// proposer dies between `consumeToken` and graft *on a tree that was
+/// itself just recovered*, survivors adopt the committed-K winner within
+/// the grace, and the adoptive graft is durable (a second recovery still
+/// has it).
+#[test]
+fn dead_winner_round_on_a_recovered_tree_is_durable() {
+    for seed in 0..4u64 {
+        let dir = tmp_crash_dir(&format!("deadwinner-{seed}"));
+        {
+            // Durable history, then a hard drop (no shutdown hook
+            // exists, by design: every publication already fsynced).
+            let bt = open_tree(&dir);
+            for i in 0..50u64 {
+                bt.append(CandidateBlock::simple(ProcessId(0), i).with_work(1 + i % 3))
+                    .expect("AcceptAll admits everything");
+            }
+        }
+        let bt = open_tree(&dir);
+        let winner = {
+            let n = 4;
+            let oracle = shared_oracle(n, seed);
+            let anchor = bt.selected_tip();
+            let c = TreeConsensus::with_stall_limit(&bt, &oracle, anchor, Duration::from_secs(10));
+            // Proposer 0 runs alone, wins the K-set, and "crashes"
+            // without grafting.
+            let (winner, minted) = c.propose_then_crash_before_graft(
+                0,
+                CandidateBlock::simple(ProcessId(0), 0xDEAD_0000 + seed),
+            );
+            assert_eq!(winner, minted, "a solo consume wins its own K-set");
+            assert!(!bt.is_committed(winner), "the dead winner never grafted");
+            let t0 = Instant::now();
+            let c = &c;
+            let outcomes: Vec<_> = std::thread::scope(|s| {
+                (1..n)
+                    .map(|who| {
+                        s.spawn(move || {
+                            c.propose(
+                                who,
+                                CandidateBlock::simple(ProcessId(who as u32), 0xFEED + who as u64),
+                            )
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("survivors must not panic"))
+                    .collect()
+            });
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "seed {seed}: survivors must beat the stall deadline"
+            );
+            for out in &outcomes {
+                assert_eq!(out.decided, winner, "seed {seed}: Agreement");
+            }
+            assert!(
+                bt.is_committed(winner),
+                "seed {seed}: adoptive graft landed"
+            );
+            winner
+        };
+        // The adoptive graft went through publish_locked like any other
+        // commit, so it was fsynced before the survivors' decides
+        // returned: a second recovery must still have it.
+        drop(bt);
+        let bt2 = open_tree(&dir);
+        assert!(
+            bt2.is_committed(winner),
+            "seed {seed}: the survivors' graft survived a second crash"
+        );
+        assert_eq!(bt2.selected_tip(), bt2.selected_tip_full_scan());
+    }
+}
