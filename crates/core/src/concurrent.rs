@@ -78,7 +78,7 @@ use crate::selection::SelectionFn;
 use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
 use crate::tipcache::ChainCache;
 use crate::validity::ValidityPredicate;
-use crate::wal::{CommitRecord, Wal, WalConfig, WalStats};
+use crate::wal::{CheckpointJob, CommitRecord, Wal, WalConfig, WalStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -481,6 +481,19 @@ impl Default for Shard {
     }
 }
 
+/// Inserts `id` at its ascending-id position. Child lists are kept
+/// id-sorted — not "minting order": two mints racing under one parent
+/// can allocate ids in one order and take the children lock in the
+/// other, so arrival order is not reproducible (and in particular not
+/// what WAL replay would rebuild). Sorted insert makes the live order a
+/// *function of the ids*, so live trees, frozen `FlatKids`, snapshots,
+/// and recovered trees all agree. Ids are allocated monotonically, so
+/// the binary search almost always lands at the tail.
+fn insert_sorted(list: &mut Vec<BlockId>, id: BlockId) {
+    let at = list.partition_point(|&c| c < id);
+    list.insert(at, id);
+}
+
 impl Shard {
     /// The chunk covering `slot`, installing it first if nobody has.
     fn chunk_for_write(&self, slot: usize) -> (&Chunk, usize) {
@@ -776,11 +789,15 @@ impl ShardedStore {
         }
     }
 
-    /// WAL-replay epilogue: child lists are normally in minting order,
-    /// which (ids being allocation-ordered) is ascending-id order — but
+    /// WAL-replay epilogue: live child lists are kept in ascending-id
+    /// order by construction ([`insert_sorted`] — arrival order alone
+    /// would *not* be reproducible, since racing mints can allocate ids
+    /// in one order and record the parent edge in the other), but
     /// replay pushes children in *commit* order and the ghost fill
-    /// appends last. One sort per list restores the invariant. Fresh
-    /// store, single-threaded, nothing frozen (`moved == 0`).
+    /// appends last. One sort per list restores the shared invariant,
+    /// making recovered `for_each_child` answers bit-identical to the
+    /// live tree's. Fresh store, single-threaded, nothing frozen
+    /// (`moved == 0`).
     fn sort_recovered_children(&self) {
         for shard in self.shards.iter() {
             let mut children = shard.children.lock();
@@ -842,27 +859,39 @@ impl ShardedStore {
         // chunk mid-read; the tier is re-checked per id (pin-then-recheck).
         let (jump, jump_h, jump2, jump2_h, pm_height, pm_digest, pm_cum) = {
             let _guard = self.walk_guard(parent);
+            // Slab-side parent read, also the fallback when a spine read
+            // loses the race against chunk retirement (the tier re-check
+            // in `flat_after_retire` proves the slab copy is published).
+            let flat_parent = |s: &Self| {
+                let e = s.flat.entry(parent.0);
+                let j = s.flat.entry(e.jump.0);
+                let j2 = s.flat.entry(j.jump.0);
+                (
+                    e.height, e.digest, e.cum_work, e.jump, j.height, j.jump, j2.height,
+                )
+            };
+            let spine_parent = |e: &Entry| {
+                (
+                    e.block.height,
+                    e.block.digest,
+                    e.cum_work,
+                    e.jump,
+                    e.jump_h,
+                    e.jump2,
+                    e.jump2_h,
+                )
+            };
             let (pm_height, pm_digest, pm_cum, p_jump, p_jump_h, p_jump2, p_jump2_h) =
                 if self.is_flat(parent) {
-                    let e = self.flat.entry(parent.0);
-                    let j = self.flat.entry(e.jump.0);
-                    let j2 = self.flat.entry(j.jump.0);
-                    (
-                        e.height, e.digest, e.cum_work, e.jump, j.height, j.jump, j2.height,
-                    )
+                    flat_parent(self)
                 } else {
-                    let e = self.shards[self.shard_of(parent)]
-                        .entry(self.slot_of(parent))
-                        .expect("parent fully minted");
-                    (
-                        e.block.height,
-                        e.block.digest,
-                        e.cum_work,
-                        e.jump,
-                        e.jump_h,
-                        e.jump2,
-                        e.jump2_h,
-                    )
+                    match self.shards[self.shard_of(parent)].entry(self.slot_of(parent)) {
+                        Some(e) => spine_parent(e),
+                        None => {
+                            assert!(self.flat_after_retire(parent), "parent fully minted");
+                            flat_parent(self)
+                        }
+                    }
                 };
             // Skew-binary jump, identical to `store::jump_for_child` but
             // fed from the cached heights: merge (jump two levels up)
@@ -871,14 +900,23 @@ impl ShardedStore {
             let (jump, jump_h, jump2, jump2_h) = if pm_height - p_jump_h == p_jump_h - p_jump2_h {
                 // The merged jump target's own jump fields come from its
                 // entry — the only extra read, and only on merge steps.
+                let flat_j2 = |s: &Self| {
+                    let e = s.flat.entry(p_jump2.0);
+                    (e.jump, s.flat.entry(e.jump.0).height)
+                };
                 let (j2, j2h) = if self.is_flat(p_jump2) {
-                    let e = self.flat.entry(p_jump2.0);
-                    (e.jump, self.flat.entry(e.jump.0).height)
+                    flat_j2(self)
                 } else {
-                    let e = self.shards[self.shard_of(p_jump2)]
-                        .entry(self.slot_of(p_jump2))
-                        .expect("jump ancestors are fully minted");
-                    (e.jump, e.jump_h)
+                    match self.shards[self.shard_of(p_jump2)].entry(self.slot_of(p_jump2)) {
+                        Some(e) => (e.jump, e.jump_h),
+                        None => {
+                            assert!(
+                                self.flat_after_retire(p_jump2),
+                                "jump ancestors are fully minted"
+                            );
+                            flat_j2(self)
+                        }
+                    }
                 };
                 (p_jump2, p_jump2_h, j2, j2h)
             } else {
@@ -899,7 +937,14 @@ impl ShardedStore {
             digest,
             payload,
         };
-        let accepted = check(&block);
+        // The check is shielded: `id` is already allocated, and a slot
+        // that never becomes ready is a *dead gap* — snapshot adoption
+        // leapfrogs it, but the flattener (and with it chunk retirement
+        // and WAL compaction) would wedge behind it forever. Installing
+        // the entry before resuming the unwind makes a panicked check
+        // indistinguishable from a rejected one: the block occupies its
+        // arena slot either way, and the id space stays dense.
+        let accepted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&block)));
         self.install_entry(
             id,
             Entry {
@@ -929,17 +974,19 @@ impl ShardedStore {
                 // list. Decided under the same lock the freeze held, so
                 // exactly one of the two lists receives the child.
                 drop(children);
-                self.flat
-                    .late_kids
-                    .lock()
-                    .entry(parent.0)
-                    .or_default()
-                    .push(id);
+                insert_sorted(self.flat.late_kids.lock().entry(parent.0).or_default(), id);
             } else {
-                children.live_mut(pslot).push(id);
+                insert_sorted(children.live_mut(pslot), id);
             }
         }
         self.gens[self.shard_of(parent)].fetch_add(1, Ordering::Release);
+        // Only now — entry installed, parent edge recorded, generation
+        // bumped — may a panicked check continue unwinding: the arena
+        // sees a complete (if unwanted) block, not a dead gap.
+        let accepted = match accepted {
+            Ok(a) => a,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         (id, accepted)
     }
 
@@ -1001,9 +1048,10 @@ impl ShardedStore {
                 // The id is mid-mint but a *later* slot on its shard has
                 // already installed — the minter was leapfrogged. Adopt a
                 // placeholder hole so the adoptable prefix is no longer
-                // stalled behind one straggler (or one `P`-panicked
-                // mint); the fill pass above repairs it if the mint ever
-                // lands. Holes are invisible to `has_block` and excluded
+                // stalled behind one straggler (`mint_checked` shields
+                // the `P` check, so every straggler eventually installs);
+                // the fill pass above repairs it once the mint lands.
+                // Holes are invisible to `has_block` and excluded
                 // from membership, so checkers never read them.
                 cache.base.adopt_hole();
             } else {
@@ -1093,7 +1141,11 @@ impl ShardedStore {
     /// `Release` store per call) is what makes the batch visible to
     /// lock-free readers; the children-lock handoff covers the window in
     /// between for child reads. Stops early at a mid-mint straggler
-    /// below the bound (resumes once it completes).
+    /// below the bound and resumes once it completes — which it always
+    /// does: `mint_checked` installs the entry even when the `P` check
+    /// panics, so an allocated id cannot become a permanent dead gap
+    /// that would wedge flattening (and chunk retirement, and WAL
+    /// compaction) behind it.
     pub fn flatten_some(&self, budget: usize) -> usize {
         if !self.flatten_capable || budget == 0 {
             return 0;
@@ -1340,23 +1392,50 @@ impl ShardedStore {
     /// [`walk_guard`](Self::walk_guard) (or the store is non-capable).
     /// The tier is re-checked per read: a block may flatten between the
     /// caller's pin and this load, in which case the slab copy is
-    /// already published and we read that instead.
+    /// already published and we read that instead — and re-checked once
+    /// more on a `None` spine read, which closes the
+    /// tier-check-vs-retirement window (see
+    /// [`flat_after_retire`](Self::flat_after_retire)).
     #[inline]
     fn meta_raw(&self, id: BlockId) -> BlockMeta {
         if self.is_flat(id) {
             return self.flat_meta(id);
         }
-        let e = self.shards[self.shard_of(id)]
-            .entry(self.slot_of(id))
-            .expect("meta of a half-minted id");
-        BlockMeta {
-            parent: e.block.parent,
-            height: e.block.height,
-            work: e.block.work,
-            cum_work: e.cum_work,
-            digest: e.block.digest,
-            jump: e.jump,
+        match self.shards[self.shard_of(id)].entry(self.slot_of(id)) {
+            Some(e) => BlockMeta {
+                parent: e.block.parent,
+                height: e.block.height,
+                work: e.block.work,
+                cum_work: e.cum_work,
+                digest: e.block.digest,
+                jump: e.jump,
+            },
+            None => {
+                assert!(self.flat_after_retire(id), "meta of a half-minted id");
+                self.flat_meta(id)
+            }
         }
+    }
+
+    /// The slow half of the tier-check read protocol: a spine read that
+    /// came back `None` for an id the caller believes fully minted. Two
+    /// causes are possible, and one tier re-check tells them apart:
+    ///
+    /// * The flattener retired the chunk *between* the caller's
+    ///   `is_flat` load and the spine load. The retirement swap
+    ///   (`AcqRel` in [`retire_covered_chunks`](Self::retire_covered_chunks))
+    ///   is sequenced after the covering `count` publication, so a
+    ///   reader whose `Acquire` pointer load observed the swapped null
+    ///   is ordered after that publication — re-checking `is_flat` now
+    ///   is *guaranteed* to route the read to the slab.
+    /// * The id genuinely is not fully minted (possible only for probes
+    ///   like `has_block`: callers reading "known" ids obtained them
+    ///   through a release/acquire edge after the install, so their
+    ///   spine read cannot miss). The re-check stays `false` and the
+    ///   caller keeps its half-minted verdict.
+    #[cold]
+    fn flat_after_retire(&self, id: BlockId) -> bool {
+        self.is_flat(id)
     }
 
     fn flat_meta(&self, id: BlockId) -> BlockMeta {
@@ -1408,18 +1487,25 @@ impl ShardedStore {
     #[inline]
     fn nav_raw(&self, id: BlockId) -> (Option<BlockId>, u32, BlockId) {
         if self.is_flat(id) {
-            let e = self.flat.entry(id.0);
-            (
-                (e.parent_raw != FLAT_NO_PARENT).then_some(BlockId(e.parent_raw)),
-                e.height,
-                e.jump,
-            )
-        } else {
-            let e = self.shards[self.shard_of(id)]
-                .entry(self.slot_of(id))
-                .expect("walk through a half-minted id");
-            (e.block.parent, e.block.height, e.jump)
+            return self.flat_nav(id);
         }
+        match self.shards[self.shard_of(id)].entry(self.slot_of(id)) {
+            Some(e) => (e.block.parent, e.block.height, e.jump),
+            None => {
+                assert!(self.flat_after_retire(id), "walk through a half-minted id");
+                self.flat_nav(id)
+            }
+        }
+    }
+
+    #[inline]
+    fn flat_nav(&self, id: BlockId) -> (Option<BlockId>, u32, BlockId) {
+        let e = self.flat.entry(id.0);
+        (
+            (e.parent_raw != FLAT_NO_PARENT).then_some(BlockId(e.parent_raw)),
+            e.height,
+            e.jump,
+        )
     }
 
     /// [`BlockView::ancestor_at`]'s exact algorithm over
@@ -1441,7 +1527,8 @@ impl ShardedStore {
         cur
     }
 
-    /// Children of `id` across tiers, in minting order.
+    /// Children of `id` across tiers, in ascending-id order (the
+    /// [`insert_sorted`] invariant, which WAL recovery reproduces).
     fn children_of(&self, id: BlockId) -> Vec<BlockId> {
         if self.is_flat(id) {
             let mut kids = self.flat.kids_clone(id.0);
@@ -1468,13 +1555,16 @@ impl ShardedStore {
         kids
     }
 
-    /// Appends children minted after `id`'s list froze. Frozen list
-    /// first, late kids second = minting order (the freeze point orders
-    /// the two sets).
+    /// Merges in children minted after `id`'s list froze. Both halves
+    /// are id-sorted, but a late kid may carry a *smaller* id than a
+    /// frozen-list member (its id was allocated before the freeze, its
+    /// push landed after), so the concatenation is re-sorted to restore
+    /// the global ascending-id order.
     fn extend_with_late_kids(&self, id: BlockId, kids: &mut Vec<BlockId>) {
         let late = self.flat.late_kids.lock();
         if let Some(extra) = late.get(&id.0) {
             kids.extend_from_slice(extra);
+            kids.sort_unstable();
         }
     }
 }
@@ -1498,6 +1588,11 @@ impl BlockView for ShardedStore {
             || self.shards[self.shard_of(id)]
                 .entry(self.slot_of(id))
                 .is_some()
+            // A `None` spine read may have hit a chunk the flattener
+            // retired between the two loads above; the final re-check
+            // (ordered after the retirement swap) settles it so an
+            // existing block is never reported absent.
+            || self.flat_after_retire(id)
     }
 
     fn meta(&self, id: BlockId) -> BlockMeta {
@@ -1509,11 +1604,14 @@ impl BlockView for ShardedStore {
         let _guard = self.walk_guard(id);
         if self.is_flat(id) {
             f(&self.flat_block(id));
-        } else {
-            let e = self.shards[self.shard_of(id)]
-                .entry(self.slot_of(id))
-                .expect("block of a half-minted id");
-            f(&e.block);
+            return;
+        }
+        match self.shards[self.shard_of(id)].entry(self.slot_of(id)) {
+            Some(e) => f(&e.block),
+            None => {
+                assert!(self.flat_after_retire(id), "block of a half-minted id");
+                f(&self.flat_block(id));
+            }
         }
     }
 
@@ -1733,6 +1831,24 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     /// EWMA of drained batch sizes, ×8 fixed point (8 = mean batch 1.0).
     /// Sizes the adaptive reclamation threshold.
     avg_batch_x8: AtomicU32,
+    /// A WAL checkpoint claimed under the selection lock but not yet
+    /// written: the O(prefix) record encoding, temp-file write, fsync,
+    /// and rename all run in [`run_pending_checkpoint`] *off* the
+    /// selection lock — parked appenders wake on commit latency, not
+    /// maintenance latency. Lock order: this mutex is only ever taken
+    /// either alone or *inside* `sel` (the stash), never held while
+    /// waiting on `sel`.
+    ///
+    /// [`run_pending_checkpoint`]: Self::run_pending_checkpoint
+    pending_ckpt: Mutex<Option<PendingCheckpoint>>,
+}
+
+/// A claimed WAL checkpoint awaiting its off-lock IO: the detached job
+/// plus the finalized commit-log prefix it covers (ids only — records
+/// are rebuilt from the arena off-lock, where the reads are lock-free).
+struct PendingCheckpoint {
+    job: CheckpointJob,
+    ids: Vec<BlockId>,
 }
 
 /// Default finality depth for [`ConcurrentBlockTree`]: blocks this many
@@ -1802,6 +1918,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             gen_cv: Condvar::new(),
             inline_commits: AtomicU64::new(0),
             avg_batch_x8: AtomicU32::new(8),
+            pending_ckpt: Mutex::new(None),
         }
     }
 
@@ -1912,6 +2029,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             drop(sel);
             self.maybe_reclaim();
             self.maybe_flatten();
+            self.run_pending_checkpoint();
             return outcome;
         }
         let req = CommitReq::new(minted, parent, prevalidated, nonce);
@@ -1941,11 +2059,12 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 let mut sel = self.sel.lock();
                 self.drain_locked(&mut sel);
             }
-            // Reclamation and flattening run off the lock: parked
-            // appenders wake on commit latency, not on maintenance
-            // latency.
+            // Reclamation, flattening, and checkpoint IO run off the
+            // lock: parked appenders wake on commit latency, not on
+            // maintenance latency.
             self.maybe_reclaim();
             self.maybe_flatten();
+            self.run_pending_checkpoint();
         }
     }
 
@@ -2072,6 +2191,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         }
         self.maybe_reclaim();
         self.maybe_flatten();
+        self.run_pending_checkpoint();
         Some(id)
     }
 
@@ -2422,15 +2542,20 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     }
 
     /// Advances the storage-final prefix cursor and, when the geometric
-    /// gate says it is worth it, checkpoints that prefix and drops the
-    /// WAL segments it covers. The prefix is the longest leading run of
-    /// the commit log whose ids sit below the flatten target — the same
+    /// gate says it is worth it, *claims* a checkpoint of that prefix.
+    /// The prefix is the longest leading run of the commit log whose ids
+    /// sit below the flatten target — the same
     /// [`FinalityWatermark`]-derived bound the slab tier trusts, so
     /// compaction never captures an entry a reorg could still disturb
     /// in layout. The commit log is *not* id-sorted (grafts commit
     /// out-of-mint-order), so the cursor walks entries, not ids.
-    /// Checkpoint IO failures are non-fatal: the log keeps its segments
-    /// and stays correct, merely uncompacted.
+    ///
+    /// Only the claim and an O(prefix) id memcpy happen here, under the
+    /// selection lock; the O(prefix) record encoding and the write +
+    /// fsync + rename run later in
+    /// [`run_pending_checkpoint`](Self::run_pending_checkpoint), off the
+    /// lock — a geometric-gate firing must not stall every parked
+    /// appender for a prefix-sized IO pause.
     fn maybe_wal_checkpoint(&self, sel: &mut SelState) {
         let Some(ws) = sel.wal.as_mut() else { return };
         // Without a watermark the membership is still append-only and
@@ -2444,12 +2569,50 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             ws.final_prefix += 1;
         }
         if ws.wal.wants_checkpoint(ws.final_prefix as u64) {
-            let store = &self.store;
-            let records: Vec<CommitRecord> = sel.commit_log[..ws.final_prefix]
-                .iter()
-                .map(|&id| wal_record_of(store, id))
-                .collect();
-            let _ = ws.wal.checkpoint(&records);
+            let job = ws.wal.begin_checkpoint(ws.final_prefix as u64);
+            let ids = sel.commit_log[..ws.final_prefix].to_vec();
+            // The in-flight flag inside the WAL guarantees the slot is
+            // free: no second claim can fire until this one settles.
+            *self.pending_ckpt.lock() = Some(PendingCheckpoint { job, ids });
+        }
+    }
+
+    /// Runs a claimed WAL checkpoint, if one is pending — called on the
+    /// commit paths next to [`maybe_reclaim`](Self::maybe_reclaim) and
+    /// [`maybe_flatten`](Self::maybe_flatten), *after* the selection
+    /// lock is released. Record encoding reads the arena lock-free
+    /// (checkpointed ids are storage-final, their blocks immutable), and
+    /// the WAL job writes a temp file and renames — never the active
+    /// segment — so concurrent appends and their group-commit fsyncs
+    /// proceed unimpeded. Only the coverage bookkeeping at the end
+    /// briefly retakes the selection lock; covered segments are unlinked
+    /// after it is released again. Checkpoint IO failures are non-fatal:
+    /// the claim is aborted and the log keeps its segments, staying
+    /// correct, merely uncompacted.
+    fn run_pending_checkpoint(&self) {
+        let Some(PendingCheckpoint { job, ids }) = self.pending_ckpt.lock().take() else {
+            return;
+        };
+        let store = &self.store;
+        let records: Vec<CommitRecord> = ids.iter().map(|&id| wal_record_of(store, id)).collect();
+        let outcome = job.run(&records);
+        drop(records);
+        let dead = {
+            let mut sel = self.sel.lock();
+            let ws = sel
+                .wal
+                .as_mut()
+                .expect("a durable tree never loses its WAL");
+            match outcome {
+                Ok(done) => ws.wal.finish_checkpoint(done),
+                Err(_) => {
+                    ws.wal.abort_checkpoint();
+                    Vec::new()
+                }
+            }
+        };
+        for path in dead {
+            let _ = std::fs::remove_file(path);
         }
     }
 
@@ -2525,13 +2688,16 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             // no-op (log length == commit-log length), but the watermark
             // raise and tip/generation stores all run as on any commit.
             tree.publish_locked(&mut sel);
+            // One generation per historical publication keeps recovered
+            // counters comparable with the live tree's. A fresh (empty)
+            // WAL skips this: a durable tree that never published stays
+            // at generation 0, exactly like a fresh volatile tree, so
+            // `wait_commit_past(0)` parks until a real commit lands.
+            tree.commit_gen
+                .store(records.len() as u64 + 1, Ordering::SeqCst);
         }
-        // One generation per historical publication keeps recovered
-        // counters comparable with the live tree's, and leaves the
-        // zero-generation state unobservable.
-        tree.commit_gen
-            .store(records.len() as u64 + 1, Ordering::SeqCst);
         drop(sel);
+        tree.run_pending_checkpoint();
         Ok(tree)
     }
 
@@ -3279,6 +3445,43 @@ mod tests {
     }
 
     #[test]
+    fn retired_chunk_reads_reroute_to_the_slab() {
+        // Deterministic replay of the state a reader in the
+        // tier-check-vs-retirement window observes: the spine chunk is
+        // already swapped to null while the id is flat. The `None`
+        // fallback (`flat_after_retire`, used by meta_raw / nav_raw /
+        // has_block / mint_checked) must confirm the flat tier, and the
+        // slab readers must serve the id.
+        let store = ShardedStore::with_flattening(1);
+        let mut prev = BlockId::GENESIS;
+        for i in 0..2045u64 {
+            prev = store.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty);
+        }
+        store.raise_flatten_target(2000);
+        while store.flatten_some(256) > 0 {}
+        assert_eq!(store.flattened_count(), 2000);
+        // One shard ⇒ slot == id; chunks k ≤ 9 (ids through 1022) lie
+        // wholly below the 2000 frontier and are retired.
+        for id in [BlockId::GENESIS, BlockId(1), BlockId(500), BlockId(1022)] {
+            assert!(
+                store.shards[store.shard_of(id)]
+                    .entry(store.slot_of(id))
+                    .is_none(),
+                "{id:?}'s chunk is retired"
+            );
+            assert!(store.flat_after_retire(id), "fallback reroutes {id:?}");
+            assert_eq!(store.meta_raw(id).height, id.0);
+            assert_eq!(store.flat_nav(id).1, id.0);
+            assert_eq!(store.flat_block(id).height, id.0);
+        }
+        // The first unretired chunk still serves spine reads directly.
+        assert!(store.shards[0].entry(1023).is_some());
+        // A never-minted id keeps its half-minted verdict through the
+        // same fallback (`has_block` is the only caller that probes).
+        assert!(!store.has_block(BlockId(1 << 20)));
+    }
+
+    #[test]
     fn children_minted_under_flattened_parents_are_still_visible() {
         let store = ShardedStore::with_flattening(2);
         let mut prev = BlockId::GENESIS;
@@ -3306,31 +3509,46 @@ mod tests {
     fn snapshot_cache_leapfrogs_isolated_gaps() {
         let store = ShardedStore::with_shards(1);
         let a = store.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 0, Payload::Empty);
-        // A mint whose check panics after id allocation leaves a gap that
-        // will never fill.
-        let gap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            store.mint_checked(a, ProcessId(0), 0, 1, 1, Payload::Empty, |_| panic!("boom"))
-        }));
-        assert!(gap.is_err());
-        let mut cache = SnapshotCache::new();
-        store.refresh_snapshot(&mut cache);
-        // No later mint witnesses the leapfrog yet: adoption stalls.
-        assert_eq!(cache.len(), 2);
-        let c = store.mint(a, ProcessId(1), 0, 1, 2, Payload::Empty);
-        store.refresh_snapshot(&mut cache);
-        assert_eq!(cache.len(), 4, "adopted past the gap");
-        assert_eq!(cache.store().hole_count(), 1);
-        assert!(!cache.store().has_block(BlockId(2)));
-        assert!(cache.store().has_block(c));
-        assert_eq!(cache.store().children(a), &[c]);
-        assert_eq!(cache.store().meta(c), store.meta(c));
+        // A genuinely in-flight mint: the check blocks with the id
+        // already allocated, so the slot stays a gap until released.
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let store_ref = &store;
+            let straggler = s.spawn(move || {
+                store_ref.mint_checked(a, ProcessId(0), 0, 1, 1, Payload::Empty, |_| {
+                    rx.recv().unwrap();
+                    true
+                })
+            });
+            while store.block_count() < 3 {
+                std::thread::yield_now();
+            }
+            let mut cache = SnapshotCache::new();
+            store.refresh_snapshot(&mut cache);
+            // No later mint witnesses the leapfrog yet: adoption stalls.
+            assert_eq!(cache.len(), 2);
+            let c = store.mint(a, ProcessId(1), 0, 1, 2, Payload::Empty);
+            store.refresh_snapshot(&mut cache);
+            assert_eq!(cache.len(), 4, "adopted past the gap");
+            assert_eq!(cache.store().hole_count(), 1);
+            assert!(!cache.store().has_block(BlockId(2)));
+            assert!(cache.store().has_block(c));
+            assert_eq!(cache.store().children(a), &[c]);
+            assert_eq!(cache.store().meta(c), store.meta(c));
+            tx.send(()).unwrap();
+            straggler.join().unwrap();
+        });
     }
 
+    /// A `P` check that panics after its id is allocated must not leave
+    /// a permanent dead gap: the flattener (and with it chunk retirement
+    /// and WAL compaction) would wedge behind the never-ready slot
+    /// forever. `mint_checked` shields the check, so the block lands in
+    /// the arena like any rejected mint and the panic resumes after.
     #[test]
-    #[should_panic(expected = "dead gap")]
-    fn quiescent_snapshot_rejects_a_dead_gap() {
-        let store = ShardedStore::with_shards(1);
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    fn panicked_checks_leave_no_dead_gap() {
+        let store = ShardedStore::with_flattening(1);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             store.mint_checked(
                 BlockId::GENESIS,
                 ProcessId(0),
@@ -3341,8 +3559,22 @@ mod tests {
                 |_| panic!("boom"),
             )
         }));
-        store.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 1, Payload::Empty);
-        store.snapshot(); // complete in length, but id 1 never minted
+        assert!(unwound.is_err(), "the check's panic still propagates");
+        let b = store.mint(BlockId::GENESIS, ProcessId(0), 0, 1, 1, Payload::Empty);
+        // The panicked mint's slot is occupied, not a hole...
+        assert!(store.has_block(BlockId(1)));
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 3, "quiescent snapshot adopts everything");
+        assert_eq!(snap.hole_count(), 0);
+        // ...so flattening proceeds straight past it instead of wedging.
+        store.raise_flatten_target(3);
+        while store.flatten_some(8) > 0 {}
+        assert_eq!(
+            store.flattened_count(),
+            3,
+            "flattened past the panicked mint"
+        );
+        assert_eq!(store.parent(b), Some(BlockId::GENESIS));
     }
 
     #[test]

@@ -411,6 +411,10 @@ pub struct Wal {
     logged: u64,
     /// Records covered by the on-disk checkpoint.
     ckpt_upto: u64,
+    /// Whether a claimed [`CheckpointJob`] is still unsettled — gates
+    /// [`wants_checkpoint`](Self::wants_checkpoint) so only one
+    /// checkpoint runs at a time.
+    ckpt_inflight: bool,
     stats: WalStats,
     /// Scratch encode buffer, reused across batches.
     buf: Vec<u8>,
@@ -508,6 +512,7 @@ impl Wal {
                 sealed,
                 logged,
                 ckpt_upto,
+                ckpt_inflight: false,
                 stats,
                 buf: Vec::new(),
             },
@@ -602,47 +607,57 @@ impl Wal {
     /// geometric — at least `checkpoint_interval` new records *and* half
     /// the already-covered prefix again — so the O(prefix) rewrite cost
     /// amortizes to O(1) per record no matter how long the log runs.
+    /// `false` while a claimed checkpoint is still in flight.
     pub fn wants_checkpoint(&self, upto: u64) -> bool {
-        upto <= self.logged
+        !self.ckpt_inflight
+            && upto <= self.logged
             && upto > self.ckpt_upto
             && upto - self.ckpt_upto >= self.config.checkpoint_interval.max(self.ckpt_upto / 2)
     }
 
-    /// Writes a checkpoint covering `records` (the first `records.len()`
-    /// entries of the commit log — the caller's finalized prefix), then
-    /// deletes every sealed segment that prefix fully covers. Temp file +
-    /// fsync + atomic rename: a crash at any point leaves either the old
-    /// or the new checkpoint, both valid.
-    pub fn checkpoint(&mut self, records: &[CommitRecord]) -> io::Result<()> {
-        let upto = records.len() as u64;
+    /// Claims a checkpoint covering the first `upto` records and hands
+    /// back a detached [`CheckpointJob`] that performs the O(prefix)
+    /// encoding, temp-file write, fsync, and rename **without borrowing
+    /// the `Wal`** — so the caller can run it off whatever lock
+    /// serializes appends (the selection mutex, in
+    /// `crate::concurrent`), while appends keep landing in the active
+    /// segment concurrently: the checkpoint touches only the temp file
+    /// and the checkpoint name, never the segment being appended to.
+    ///
+    /// At most one job may be in flight ([`wants_checkpoint`] gates);
+    /// the claim must be settled with [`finish_checkpoint`] or
+    /// [`abort_checkpoint`].
+    ///
+    /// [`wants_checkpoint`]: Self::wants_checkpoint
+    /// [`finish_checkpoint`]: Self::finish_checkpoint
+    /// [`abort_checkpoint`]: Self::abort_checkpoint
+    pub fn begin_checkpoint(&mut self, upto: u64) -> CheckpointJob {
+        assert!(!self.ckpt_inflight, "one checkpoint in flight at a time");
         assert!(upto <= self.logged, "checkpoint past the durable log");
         assert!(upto >= self.ckpt_upto, "checkpoints are monotone");
-        let tmp = self.config.dir.join(CKPT_TMP);
-        let mut buf = Vec::with_capacity(16 + records.len() * 64);
-        buf.extend_from_slice(CKPT_MAGIC);
-        buf.extend_from_slice(&upto.to_le_bytes());
-        for rec in records {
-            frame_into(&mut buf, rec);
+        self.ckpt_inflight = true;
+        CheckpointJob {
+            dir: self.config.dir.clone(),
+            fsync: self.config.fsync,
+            upto,
         }
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&buf)?;
-            if self.config.fsync {
-                f.sync_all()?;
-                self.stats.fsyncs += 1;
-            }
-        }
-        fs::rename(&tmp, self.config.dir.join(CKPT_NAME))?;
-        if self.config.fsync {
-            sync_dir(&self.config.dir)?;
-            self.stats.fsyncs += 1;
-        }
-        self.ckpt_upto = upto;
+    }
+
+    /// Records a completed [`CheckpointJob`]: advances the covered
+    /// prefix, folds the job's fsync count into the stats, and prunes
+    /// every sealed segment the prefix fully covers from the in-memory
+    /// list. Returns the pruned segments' paths — the *caller* unlinks
+    /// them, again off the append lock. Deletion failures are ignorable:
+    /// a leftover covered segment only costs replay skips. Segment i
+    /// spans records `start_i .. start_{i+1}` (next sealed start, or the
+    /// active segment's).
+    pub fn finish_checkpoint(&mut self, done: CheckpointDone) -> Vec<PathBuf> {
+        debug_assert!(self.ckpt_inflight, "finish without a claim");
+        self.ckpt_inflight = false;
+        self.ckpt_upto = done.upto;
+        self.stats.fsyncs += done.fsyncs;
         self.stats.checkpoints += 1;
-        // Drop covered sealed segments. Segment i spans records
-        // `start_i .. start_{i+1}` (next sealed start, or the active
-        // segment's). Deletion failures are ignored: a leftover covered
-        // segment only costs replay skips.
+        let mut dead = Vec::new();
         let mut keep = Vec::new();
         for i in 0..self.sealed.len() {
             let end = self
@@ -650,15 +665,104 @@ impl Wal {
                 .get(i + 1)
                 .map(|s| s.0)
                 .unwrap_or(self.seg_start);
-            if end <= upto {
-                let _ = fs::remove_file(&self.sealed[i].1);
+            if end <= done.upto {
+                dead.push(self.sealed[i].1.clone());
                 self.stats.segments_dropped += 1;
             } else {
                 keep.push(self.sealed[i].clone());
             }
         }
         self.sealed = keep;
-        Ok(())
+        dead
+    }
+
+    /// Releases a claimed checkpoint whose job failed (or was dropped
+    /// unrun): no state advances, and the geometric gate may re-fire.
+    /// Checkpoint IO failures are non-fatal — the log keeps its segments
+    /// and stays correct, merely uncompacted.
+    pub fn abort_checkpoint(&mut self) {
+        debug_assert!(self.ckpt_inflight, "abort without a claim");
+        self.ckpt_inflight = false;
+    }
+
+    /// Writes a checkpoint covering `records` (the first `records.len()`
+    /// entries of the commit log — the caller's finalized prefix), then
+    /// deletes every sealed segment that prefix fully covers. The
+    /// single-caller convenience over
+    /// [`begin_checkpoint`](Self::begin_checkpoint) /
+    /// [`finish_checkpoint`](Self::finish_checkpoint).
+    pub fn checkpoint(&mut self, records: &[CommitRecord]) -> io::Result<()> {
+        let job = self.begin_checkpoint(records.len() as u64);
+        match job.run(records) {
+            Ok(done) => {
+                for path in self.finish_checkpoint(done) {
+                    let _ = fs::remove_file(path);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.abort_checkpoint();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A claimed-but-unwritten checkpoint (see [`Wal::begin_checkpoint`]):
+/// owns everything the IO needs — directory, fsync policy, coverage —
+/// and nothing of the `Wal`, so the write runs lock-free with respect
+/// to concurrent appends.
+pub struct CheckpointJob {
+    dir: PathBuf,
+    fsync: bool,
+    upto: u64,
+}
+
+/// Proof of a completed checkpoint write, consumed by
+/// [`Wal::finish_checkpoint`].
+pub struct CheckpointDone {
+    upto: u64,
+    fsyncs: u64,
+}
+
+impl CheckpointJob {
+    /// Records this job covers (the claim passed to `begin_checkpoint`).
+    pub fn upto(&self) -> u64 {
+        self.upto
+    }
+
+    /// Performs the checkpoint IO: encode `records` (which must be the
+    /// first [`upto`](Self::upto) commit-log entries), write them to a
+    /// temp file, fsync, and atomically rename over the live checkpoint.
+    /// A crash at any point leaves either the old or the new checkpoint,
+    /// both valid.
+    pub fn run(self, records: &[CommitRecord]) -> io::Result<CheckpointDone> {
+        assert_eq!(records.len() as u64, self.upto, "claim matches records");
+        let tmp = self.dir.join(CKPT_TMP);
+        let mut buf = Vec::with_capacity(16 + records.len() * 64);
+        buf.extend_from_slice(CKPT_MAGIC);
+        buf.extend_from_slice(&self.upto.to_le_bytes());
+        for rec in records {
+            frame_into(&mut buf, rec);
+        }
+        let mut fsyncs = 0;
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            if self.fsync {
+                f.sync_all()?;
+                fsyncs += 1;
+            }
+        }
+        fs::rename(&tmp, self.dir.join(CKPT_NAME))?;
+        if self.fsync {
+            sync_dir(&self.dir)?;
+            fsyncs += 1;
+        }
+        Ok(CheckpointDone {
+            upto: self.upto,
+            fsyncs,
+        })
     }
 }
 

@@ -187,6 +187,103 @@ fn readers_pinned_across_chunk_retirement_stay_safe() {
     assert_eq!(store.flattened_count(), store.block_count() as u32 - 1);
 }
 
+/// Regression stress for the tier-check-vs-retirement race: a reader
+/// that loads a stale `flat.count` (id looks unflattened) and then hits
+/// a spine chunk the flattener just retired must re-route to the slab,
+/// not panic "half-minted" or report an existing block absent. Readers
+/// and a forking minter hammer ids *at the flatten frontier* — exactly
+/// where chunks retire — while the flattener advances in tiny steps to
+/// maximize frontier crossings; `mint_checked`'s parent read takes the
+/// same fallback when its parent flattens mid-mint.
+#[test]
+fn frontier_reads_race_chunk_retirement() {
+    const BLOCKS: u64 = 20_000;
+    let store = ShardedStore::with_flattening(2);
+    let stop = AtomicBool::new(false);
+    let tip = std::thread::scope(|s| {
+        let store_ref = &store;
+        let stop_ref = &stop;
+        // Writer + flattener: the target trails the tip by a hair and
+        // the budget is tiny, so the frontier (and chunk retirement)
+        // moves constantly instead of in rare big hops.
+        let writer = s.spawn(move || {
+            let mut prev = BlockId::GENESIS;
+            for i in 0..BLOCKS {
+                prev = store_ref.mint(prev, ProcessId(0), 0, 1, i, Payload::Empty);
+                store_ref.raise_flatten_target((i as u32).saturating_sub(8));
+                store_ref.flatten_some(16);
+            }
+            stop_ref.store(true, Ordering::Release);
+            prev
+        });
+        // Frontier readers: probe ids right at the flattened count,
+        // where the is_flat/spine-read window races retirement.
+        for t in 0..2u64 {
+            s.spawn(move || {
+                let mut seed = 0xF00D + t;
+                while !stop_ref.load(Ordering::Acquire) {
+                    let fc = store_ref.flattened_count() as u64;
+                    let n = store_ref.block_count() as u64;
+                    let id = BlockId((fc + lcg(&mut seed) % 8).min(n - 1) as u32);
+                    if !store_ref.has_block(id) {
+                        continue;
+                    }
+                    // Ids below the frontier we synchronized with must
+                    // never look absent, whatever tier they sit in.
+                    if (id.0 as u64) < fc {
+                        assert!(store_ref.has_block(id), "flat id reported missing");
+                    }
+                    let m = store_ref.meta(id);
+                    store_ref.with_block(id, &mut |b| {
+                        assert_eq!(b.id, id);
+                        assert_eq!(b.height, m.height);
+                    });
+                    let h = store_ref.height(id);
+                    if h > 0 {
+                        let anc = store_ref.ancestor_at(id, h - 1);
+                        assert_eq!(store_ref.height(anc), h - 1);
+                        assert!(store_ref.is_ancestor(anc, id));
+                    }
+                }
+            });
+        }
+        // Forking minter under frontier parents: the parent's spine
+        // entry may retire between the mint's tier check and read,
+        // forcing the slab fallback; the children also land in frozen
+        // lists via the late-kids table.
+        s.spawn(move || {
+            let mut seed = 0xFEED;
+            let mut nonce = 1_000_000u64;
+            while !stop_ref.load(Ordering::Acquire) {
+                let fc = store_ref.flattened_count() as u64;
+                if fc < 2 {
+                    std::thread::yield_now();
+                    continue;
+                }
+                let parent = BlockId((fc - 1 + lcg(&mut seed) % 4) as u32);
+                if !store_ref.has_block(parent) {
+                    continue;
+                }
+                nonce += 1;
+                let kid = store_ref.mint(parent, ProcessId(9), 0, 1, nonce, Payload::Empty);
+                assert_eq!(store_ref.parent(kid), Some(parent));
+                assert_eq!(store_ref.height(kid), store_ref.height(parent) + 1);
+            }
+        });
+        writer.join().unwrap()
+    });
+    // Quiescent end-to-end check: the main chain is intact and every
+    // child list is in ascending-id order across both tiers.
+    assert_eq!(store.height(tip), BLOCKS as u32);
+    assert_eq!(store.ancestor_at(tip, 0), BlockId::GENESIS);
+    let snap = store.snapshot();
+    assert_eq!(snap.len(), store.block_count());
+    for raw in 0..store.block_count() as u32 {
+        let kids = children_of(&store, BlockId(raw));
+        assert!(kids.windows(2).all(|w| w[0] < w[1]), "sorted children");
+    }
+}
+
 #[test]
 fn deep_tree_with_small_watermark_stays_consistent() {
     let bt =

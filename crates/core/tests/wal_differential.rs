@@ -280,6 +280,38 @@ fn recovered_trees_keep_appending_and_survive_a_second_crash() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A brand-new durable tree must look exactly like a brand-new volatile
+/// tree to generation watchers: generation 0, and `wait_commit_past(0)`
+/// parks until a real commit lands instead of returning immediately
+/// (the recovery path bumps the generation only when records were
+/// actually replayed).
+#[test]
+fn fresh_durable_trees_start_at_generation_zero() {
+    let dir = tmp_wal_dir("gen0");
+    let bt = open_tree(&dir, FinalityWatermark::disabled());
+    assert_eq!(
+        bt.commit_generation(),
+        ConcurrentBlockTree::new(LongestChain, AcceptAll).commit_generation(),
+        "fresh durable == fresh volatile"
+    );
+    assert_eq!(bt.commit_generation(), 0);
+    let t0 = std::time::Instant::now();
+    let wait = std::time::Duration::from_millis(50);
+    bt.wait_commit_past(0, t0 + wait);
+    assert!(
+        t0.elapsed() >= wait,
+        "no publication ever happened: the waiter must park to deadline"
+    );
+    bt.append(CandidateBlock::simple(ProcessId(0), 1)).unwrap();
+    assert!(bt.commit_generation() > 0, "real commits still advance it");
+    // And a tree recovered from a non-empty log starts past zero, one
+    // generation per historical publication as before.
+    drop(bt);
+    let bt = open_tree(&dir, FinalityWatermark::disabled());
+    assert_eq!(bt.commit_generation(), 2, "1 replayed record + 1");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn compaction_drops_segments_without_changing_answers() {
     let dir = tmp_wal_dir("compact");
