@@ -92,6 +92,66 @@ fn bench_append_read(c: &mut Criterion) {
     g.finish();
 }
 
+/// The two-stage drain's scoring step in isolation: fold a fork-heavy
+/// 64-insert batch through the serial per-insert `on_insert` path vs the
+/// partition→shard-score→merge→apply batched path (`batch_score`), per
+/// rule. The batched path is what stage 1 runs under the selection lock,
+/// so its margin here is critical-section time saved per drain.
+fn bench_batch_scoring(c: &mut Criterion) {
+    use btadt_core::selection::{batch_score, SelectionAux, TipUpdate};
+
+    let mut g = c.benchmark_group("blocktree/batch_score");
+    let (store, members) = comb_store(500);
+    // The batch: the last 32 comb teeth (trunk + fork per vertex) — 64
+    // blocks spread across two subtrees with interleaved parents.
+    let n = store.len() as u32;
+    let batch: Vec<BlockId> = (n - 64..n).map(BlockId).collect();
+    let tip_before = BlockId(n - 65);
+    let fns: Vec<(&str, Box<dyn SelectionFn>)> = vec![
+        ("longest", Box::new(LongestChain)),
+        ("heaviest", Box::new(HeaviestWork)),
+        ("ghost", Box::new(Ghost::default())),
+    ];
+    for (name, f) in &fns {
+        // Warm auxes outside the timed loop: both paths measure steady
+        // state, not the one-off full rebuild.
+        let mut serial_aux = SelectionAux::new();
+        let mut t = tip_before;
+        for &id in &batch {
+            match f.on_insert(&store, &members, &mut serial_aux, id, t) {
+                TipUpdate::Unchanged => {}
+                TipUpdate::Extended(nt) | TipUpdate::Switched(nt) => t = nt,
+            }
+        }
+        let mut batched_aux = serial_aux.clone();
+        g.bench_function(BenchmarkId::new("serial_fold", name), |b| {
+            b.iter(|| {
+                let mut t = tip_before;
+                for &id in &batch {
+                    match f.on_insert(&store, &members, &mut serial_aux, id, t) {
+                        TipUpdate::Unchanged => {}
+                        TipUpdate::Extended(nt) | TipUpdate::Switched(nt) => t = nt,
+                    }
+                }
+                black_box(t)
+            });
+        });
+        g.bench_function(BenchmarkId::new("batched", name), |b| {
+            b.iter(|| {
+                black_box(batch_score(
+                    f.as_ref(),
+                    &store,
+                    &members,
+                    &mut batched_aux,
+                    &batch,
+                    tip_before,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_ancestry(c: &mut Criterion) {
     let mut g = c.benchmark_group("blocktree/ancestry");
     let bt = linear_tree(10_000);
@@ -117,6 +177,7 @@ criterion_group!(
     bench_read,
     bench_selection_functions,
     bench_append_read,
+    bench_batch_scoring,
     bench_ancestry
 );
 criterion_main!(benches);

@@ -207,12 +207,22 @@ impl CommitQueue {
             batched_appends: self.drained.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             inline_appends: 0,
+            score_ns: 0,
+            publish_ns: 0,
+            drain_lock_ns: 0,
         }
     }
 }
 
 /// Observability for the staged pipeline (reported by
 /// `experiments bench-concurrent`).
+///
+/// The `*_ns` counters decompose where commit time goes under the
+/// two-stage pipeline — `drain_lock_ns` is wall time holding the
+/// selection (stage-1) lock, `score_ns` the slice of it spent in batch
+/// selection scoring, `publish_ns` wall time holding the publication
+/// (stage-2) lock — so the bench can report the in-lock share of a
+/// contended drain and prove the publication critical section shrank.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Non-empty drain passes.
@@ -225,15 +235,28 @@ pub struct PipelineStats {
     /// no status roundtrip (filled in by the tree; the queue itself never
     /// sees these).
     pub inline_appends: u64,
+    /// Wall nanoseconds spent in batch selection scoring (stage 1,
+    /// outside the publication lock; filled in by the tree).
+    pub score_ns: u64,
+    /// Wall nanoseconds holding the publication lock (stage 2: WAL group
+    /// commit + chain splice + pointer swap; filled in by the tree).
+    pub publish_ns: u64,
+    /// Wall nanoseconds holding the stage-1 drain (selection) lock
+    /// (filled in by the tree).
+    pub drain_lock_ns: u64,
 }
 
 impl PipelineStats {
-    /// Mean appends per non-empty drain.
+    /// Mean appends per commit batch. An inline commit is a batch of
+    /// size 1 — counting it keeps the series comparable across thread
+    /// counts (a solo appender commits everything inline and used to
+    /// report 0.00 here).
     pub fn mean_batch(&self) -> f64 {
-        if self.batches == 0 {
+        let batches = self.batches + self.inline_appends;
+        if batches == 0 {
             0.0
         } else {
-            self.batched_appends as f64 / self.batches as f64
+            (self.batched_appends + self.inline_appends) as f64 / batches as f64
         }
     }
 }

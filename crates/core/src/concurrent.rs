@@ -19,10 +19,10 @@
 //!   at a time, so there is no lock-order cycle. Every shard write bumps a
 //!   per-shard generation counter, which is what lets [`SnapshotCache`]
 //!   extend a sequential snapshot incrementally against a *live* tree.
-//! * **Two-speed commits** (`crate::commit`): tree membership, the
-//!   incremental [`ChainCache`], and the commit log still live behind one
-//!   mutex — the linearization point of successful appends — but appends
-//!   no longer serialize through it one by one. An `append` mints and
+//! * **Two-stage commit pipeline** (`crate::commit`): tree membership,
+//!   the commit log, and selection scoring still live behind one mutex —
+//!   the linearization point of successful appends — but that critical
+//!   section now holds only what must be serial. An `append` mints and
 //!   pre-validates against the published tip outside any lock, *moving*
 //!   its payload into the arena (the append path clones nothing). If the
 //!   selection mutex is free on the first CAS, the append commits
@@ -32,12 +32,22 @@
 //!   request on a lock-free MPSC queue, and whichever enqueued appender
 //!   acquires the selection mutex next (contended appenders park and are
 //!   usually resolved by the incumbent — a combining lock) drains the
-//!   queue as a batch — one membership insert plus incremental
-//!   re-selection fold per request, one chain publication for the whole
-//!   batch. A request whose optimistic parent lost the race is re-minted
-//!   by the drainer under the authoritative cache tip (payload read back
-//!   from the orphan — the only copy, on the slow path only), so every
-//!   append resolves in exactly one queue pass.
+//!   queue as a batch. **Stage 1**, under the selection lock: mint
+//!   resolution (a request whose optimistic parent lost the race is
+//!   re-minted under the authoritative tip, payload read back from the
+//!   orphan — the only copy, on the slow path only), membership inserts,
+//!   and *batched* selection scoring — the batch's inserts are
+//!   partitioned by genesis-child subtree, scored per shard into
+//!   mergeable partials, folded with the associative
+//!   `AuxPartial::merge`, and applied to the selection aux once
+//!   (`crate::selection::batch_score`). The drainer then *stages* a
+//!   publication record and releases the selection lock. **Stage 2**,
+//!   under a separate publication lock: the WAL group-commit append
+//!   (persist-then-ack), the in-place chain splice, and the boxed-chain
+//!   pointer swap. Stage 2 of one batch overlaps stage 1 of the next;
+//!   staged batches publish strictly in commit-log order (whichever
+//!   thread holds the publication lock pops them all), and every request
+//!   status lands only after the publication covering it.
 //! * **Commit generation + parking** : every publication advances a
 //!   monotone generation counter (stored *after* the pointer swap);
 //!   decide-path waiters ([`ConcurrentBlockTree::wait_committed`],
@@ -63,10 +73,10 @@
 //! period of `crate::epoch`. This replaces PR 2's grow-forever retire
 //! list: memory now tracks the *reader horizon*, not the commit count.
 //! The ordering contract is publish-before-respond: the batch's swap
-//! (`AcqRel`) happens inside the commit lock, before any of the batch's
-//! `append`s return, so any read invoked after an append's response
-//! observes that append's chain (or a later one) — the property the
-//! recorded-history linearizability suite checks from the outside.
+//! (`AcqRel`) happens under the publication lock, before any of the
+//! batch's `append`s return, so any read invoked after an append's
+//! response observes that append's chain (or a later one) — the property
+//! the recorded-history linearizability suite checks from the outside.
 
 use crate::block::{Block, Payload};
 use crate::blocktree::CandidateBlock;
@@ -74,11 +84,11 @@ use crate::chain::Blockchain;
 use crate::commit::{CommitQueue, CommitReq, FinalityWatermark, PipelineStats};
 use crate::epoch::{EpochDomain, Guard, RecycleBin};
 use crate::ids::BlockId;
-use crate::selection::SelectionFn;
+use crate::selection::{batch_score, SelectionAux, SelectionFn, TipUpdate};
 use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
-use crate::tipcache::ChainCache;
+use crate::tipcache::advance_chain;
 use crate::validity::ValidityPredicate;
-use crate::wal::{CheckpointJob, CommitRecord, Wal, WalConfig, WalStats};
+use crate::wal::{CheckpointJob, CommitRecord, RecordRef, Wal, WalConfig, WalStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -1689,32 +1699,110 @@ impl BlockView for ShardedStore {
     }
 }
 
-/// Selection state — the serialization point of tip movement.
+/// Stage-1 state — the serialization point of commit decisions: what a
+/// block's mint resolution, membership insert, and selection scoring
+/// must see atomically. Publication state deliberately lives elsewhere
+/// ([`PubState`]) so the fsync and pointer swap of one batch can overlap
+/// the next batch's drain.
 struct SelState {
     tree: TreeMembership,
-    cache: ChainCache,
     /// Membership inserts in commit order (parent-closed by construction):
     /// replaying it into the sequential machinery must reproduce the same
     /// selected chain (see `tests/selection_differential.rs`).
     commit_log: Vec<BlockId>,
-    /// The durable commit log, when this tree was opened with
-    /// [`ConcurrentBlockTree::open_durable`]. Living inside the selection
-    /// state puts WAL writes under the same mutex that serializes
-    /// commits, which is exactly the single-writer discipline the WAL
-    /// wants — and it means the persist step in [`publish_locked`]
-    /// naturally covers a whole drained batch with one fsync.
-    ///
-    /// [`publish_locked`]: ConcurrentBlockTree::publish_locked
-    wal: Option<WalState>,
+    /// Per-id commit-log position + 1, indexed by `BlockId` (0 = not
+    /// committed). Paired with the tree-level `published_upto` counter
+    /// this answers `is_committed` *publication-aware*: a block counts as
+    /// committed once a publication covering its log entry has swapped
+    /// in — the same instant its appender may be told `Some(id)`.
+    log_pos: Vec<u32>,
+    /// Per-rule selection scratch (GHOST subtree weights live here), fed
+    /// by the batched scoring path.
+    aux: SelectionAux,
+    /// The selected tip over the committed membership — authoritative,
+    /// unlike the lag-prone `published_tip` hint.
+    tip: BlockId,
 }
 
-/// Durability state riding the selection lock.
+/// Durability state riding the publication lock.
 struct WalState {
     wal: Wal,
     /// Longest commit-log prefix whose every id is below the flatten
     /// target — storage-final, so safe to checkpoint. A monotone cursor:
     /// both the commit log and the flatten target only grow.
     final_prefix: usize,
+}
+
+/// Stage-2 state — everything publication needs, behind its own lock so
+/// stage 1 never waits on an fsync. Lock order: `publ` is only ever
+/// *waited on* with `sel` released; the inline fast path may *claim* it
+/// inside `sel` via a non-blocking `try_lock` (safe because no holder of
+/// `publ` ever waits on `sel`). The only locks taken while holding
+/// `publ` are the `staged` and `pending_ckpt` leaves.
+struct PubState {
+    /// The published `{b0}⌢f(bt)` chain, advanced in place a whole
+    /// batch at a time (`crate::tipcache::advance_chain`): a direct
+    /// extension pushes, anything else splices at the fork.
+    chain: Blockchain,
+    /// The durable commit log, when this tree was opened with
+    /// [`ConcurrentBlockTree::open_durable`]. The WAL append runs here
+    /// in stage 2: one group-commit fsync covers every batch staged
+    /// since the previous publication, and persist-then-ack holds
+    /// because statuses land only after
+    /// [`publish_staged`](ConcurrentBlockTree::publish_staged) returns.
+    wal: Option<WalState>,
+    /// Commit-log mirror (durable trees only), extended as batches
+    /// publish: lets the checkpoint cursor and its prefix snapshot run
+    /// entirely under the publication lock without retaking `sel`.
+    logged_ids: Vec<BlockId>,
+    /// Recycled batch buffer: publishers drain the staged queue by
+    /// swapping this (empty, capacity retained) in, and park the drained
+    /// vector back here once published — the steady state allocates
+    /// nothing per publication.
+    spare: Vec<PubBatch>,
+}
+
+/// One stage-1 batch awaiting publication — the handoff unit between
+/// the selection lock and the publication lock.
+struct PubBatch {
+    /// Commit-log length after this batch: what `published_upto`
+    /// becomes once a swap covers it.
+    upto: u64,
+    /// The selected tip after this batch.
+    tip: BlockId,
+    /// The batch's newly committed ids in commit order, for the stage-2
+    /// WAL append (left empty on volatile trees, which publish
+    /// tip-only).
+    ids: Vec<BlockId>,
+}
+
+/// An inline publication claim: the appender found the publication lock
+/// free (one non-blocking try, made while still holding the selection
+/// lock) and owns stage 2 outright — its batch, appended after whatever
+/// the staged queue held, publishes directly once the selection lock
+/// drops, with no queue push and no second staged-mutex round trip.
+struct ClaimedPub<'t> {
+    publ: parking_lot::MutexGuard<'t, PubState>,
+    /// The run to publish, in commit-log order; the claimant's own batch
+    /// is last.
+    batches: Vec<PubBatch>,
+}
+
+/// A completed stage-1 drain awaiting settlement. `CommitQueue::take_all`
+/// removed the requests from the queue, so whoever holds this owes every
+/// one a status — delivered by
+/// [`settle_commit`](ConcurrentBlockTree::settle_commit) only *after*
+/// the covering publication (publish-before-respond), with the selection
+/// lock already released so responses wait on stage 2 without the lock
+/// waiting too.
+struct DrainSettle {
+    batch: Vec<*const CommitReq>,
+    /// Outcome per request, index-aligned with `batch`; a missing tail
+    /// (user-code panic mid-batch) resolves as rejected.
+    outcomes: Vec<Option<BlockId>>,
+    /// A user-code panic captured mid-drain, resumed by settlement after
+    /// the statuses are delivered — nobody waits forever.
+    panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 /// An epoch-guarded borrowed view of the published chain `{b0}⌢f(bt)` —
@@ -1797,6 +1885,28 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     /// flatten-capable and reads pay zero overhead.
     watermark: FinalityWatermark,
     sel: Mutex<SelState>,
+    /// Stage-2 publication state (chain, WAL, checkpoint cursor); see
+    /// [`PubState`] for the lock order.
+    publ: Mutex<PubState>,
+    /// Stage-1 → stage-2 handoff: batches staged under `sel` in
+    /// commit-log order, popped (all at once) under `publ`. A leaf lock:
+    /// pushed to inside `sel`, popped inside `publ`, never held across
+    /// any other acquisition.
+    staged: Mutex<Vec<PubBatch>>,
+    /// Commit-log length covered by staged batches (monotone; written
+    /// under `sel`). With `published_upto` this forms the fast path of
+    /// [`publish_staged`](Self::publish_staged): publication caught up
+    /// means some other publisher already covered everything this
+    /// thread staged.
+    staged_upto: AtomicU64,
+    /// Commit-log length covered by the current publication (monotone;
+    /// written under `publ` after the swap, read lock-free by
+    /// `is_committed`).
+    published_upto: AtomicU64,
+    /// Whether commits must be persisted. Set once in `open_durable`
+    /// before the tree is shared; gates the per-batch id copy the
+    /// stage-2 WAL append consumes.
+    durable: bool,
     /// Pending appends awaiting a batch drain (see `crate::commit`).
     queue: CommitQueue,
     /// Grace-period tracking for readers of `published`. Declared before
@@ -1831,6 +1941,21 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     /// EWMA of drained batch sizes, ×8 fixed point (8 = mean batch 1.0).
     /// Sizes the adaptive reclamation threshold.
     avg_batch_x8: AtomicU32,
+    /// Wall nanoseconds spent in stage-1 batch drains (mint resolution,
+    /// membership inserts, scoring, staging) while holding the
+    /// selection lock. The inline fast path is deliberately untimed —
+    /// its per-append clock reads would tax exactly the path the
+    /// pipeline exists to keep cheap; `inline_appends` counts it.
+    stat_drain_ns: AtomicU64,
+    /// The slice of `stat_drain_ns` spent in batched selection scoring.
+    stat_score_ns: AtomicU64,
+    /// Wall nanoseconds spent publishing (WAL group commit, chain
+    /// splice, pointer swap) while holding the publication lock. Like
+    /// `stat_drain_ns`, this times the queue paths only: an inline
+    /// appender that claims the free publication lock publishes untimed
+    /// — per-append clock reads would tax exactly the path the pipeline
+    /// exists to keep cheap.
+    stat_publish_ns: AtomicU64,
     /// A WAL checkpoint claimed under the selection lock but not yet
     /// written: the O(prefix) record encoding, temp-file write, fsync,
     /// and rename all run in [`run_pending_checkpoint`] *off* the
@@ -1903,10 +2028,21 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             watermark,
             sel: Mutex::new(SelState {
                 tree: TreeMembership::genesis_only(),
-                cache: ChainCache::new(),
                 commit_log: Vec::new(),
-                wal: None,
+                log_pos: Vec::new(),
+                aux: SelectionAux::new(),
+                tip: BlockId::GENESIS,
             }),
+            publ: Mutex::new(PubState {
+                chain: Blockchain::genesis(),
+                wal: None,
+                logged_ids: Vec::new(),
+                spare: Vec::new(),
+            }),
+            staged: Mutex::new(Vec::new()),
+            staged_upto: AtomicU64::new(0),
+            published_upto: AtomicU64::new(0),
+            durable: false,
             queue: CommitQueue::new(),
             epochs: EpochDomain::new(),
             spares: Box::new(RecycleBin::new(RECLAIM_PENDING_MAX)),
@@ -1918,6 +2054,9 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             gen_cv: Condvar::new(),
             inline_commits: AtomicU64::new(0),
             avg_batch_x8: AtomicU32::new(8),
+            stat_drain_ns: AtomicU64::new(0),
+            stat_score_ns: AtomicU64::new(0),
+            stat_publish_ns: AtomicU64::new(0),
             pending_ckpt: Mutex::new(None),
         }
     }
@@ -1971,16 +2110,17 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// on the whole path). Then:
     ///
     /// * **Inline fast path**: if the selection mutex is free on the
-    ///   first CAS (`try_lock`), commit right here — membership insert,
-    ///   incremental re-selection, publication — with no request node, no
+    ///   first CAS (`try_lock`), commit right here — membership insert
+    ///   and re-selection under the lock, publication staged and
+    ///   performed right after its release — with no request node, no
     ///   queue push, and no status-word roundtrip. With a single appender
     ///   this is every append, and it costs the mint plus one uncontended
-    ///   lock.
+    ///   lock (per stage).
     /// * **Staged queue**: otherwise a drainer is at work; push a
     ///   stack-allocated [`CommitReq`] onto the MPSC queue and race for
     ///   the drain ticket. Whichever appender wins drains the *whole*
-    ///   queue as one batch (one publication), re-minting stale-parent
-    ///   requests under the authoritative tip.
+    ///   queue as one stage-1 batch (one staged publication), re-minting
+    ///   stale-parent requests under the authoritative tip.
     ///
     /// Either way the append returns only after the publication covering
     /// its commit: publish-before-respond. The linearization point is the
@@ -2023,10 +2163,32 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             // tip (inline or in the drain).
         }
         // Inline fast path: one CAS — uncontended appends never touch the
-        // queue or a status word.
+        // queue or a status word. Any batch that queued meanwhile is
+        // drained first (its owners are parked on the very lock we
+        // hold); if that drain hit a user-code panic, our own mint is
+        // left unresolved and the panic resumes on this thread after the
+        // batch settles — exactly as if the drain had panicked while we
+        // were parked behind it.
         if let Some(mut sel) = self.sel.try_lock() {
-            let outcome = self.commit_inline_locked(&mut sel, minted, parent, prevalidated, nonce);
+            let settle = self.drain_locked(&mut sel);
+            let mut outcome = None;
+            let mut own_panic = None;
+            let mut claimed = None;
+            if settle.as_ref().is_none_or(|s| s.panic.is_none()) {
+                let (o, c, p) =
+                    self.commit_inline_locked(&mut sel, minted, parent, prevalidated, nonce);
+                outcome = o;
+                claimed = c;
+                own_panic = p;
+            }
             drop(sel);
+            // A claimed publication covers everything staged before it —
+            // including the drained batch above — so it must land before
+            // settlement delivers those statuses (publish-before-respond).
+            if let Some(claim) = claimed {
+                self.publish_claimed(claim);
+            }
+            self.settle_commit(settle, own_panic);
             self.maybe_reclaim();
             self.maybe_flatten();
             self.run_pending_checkpoint();
@@ -2054,11 +2216,15 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             // a woken thread that is still pending becomes the next
             // drainer for whatever queued meanwhile (combining-lock
             // pattern, no scheduler convoy when the holder gets
-            // preempted).
-            {
+            // preempted). If our request was taken but its publication
+            // is still in flight (the taker is fsyncing in stage 2), the
+            // `publish_staged` inside `settle_commit` parks us on the
+            // publication lock — again parked, never spinning.
+            let settle = {
                 let mut sel = self.sel.lock();
-                self.drain_locked(&mut sel);
-            }
+                self.drain_locked(&mut sel)
+            };
+            self.settle_commit(settle, None);
             // Reclamation, flattening, and checkpoint IO run off the
             // lock: parked appenders wake on commit latency, not on
             // maintenance latency.
@@ -2068,58 +2234,61 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         }
     }
 
-    /// The inline half of the two-speed `append`: the caller won the
-    /// selection mutex on its first CAS, so resolve its mint right here.
-    /// Any requests that queued meanwhile are drained first (their owners
-    /// are parked on the very lock we hold), preserving rough FIFO
-    /// fairness between the paths.
+    /// The inline stage-1 half of the two-speed `append`: the caller won
+    /// the selection mutex on its first CAS (and already drained any
+    /// queued batch), so resolve its mint right here and stage the
+    /// publication. The caller releases the lock, then settles —
+    /// publishes and, on the panic path, resumes the unwind.
     ///
     /// Mirrors the drain's panic contract: the outcome is recorded before
     /// the membership insert runs, and if user code (`P::is_valid`,
-    /// `SelectionFn::on_insert`) panics after the insert, the cache is
-    /// rebuilt from the — always consistent — membership and published
-    /// before the panic resumes on this (the appender's own) thread, so
-    /// the tree stays serviceable and publish-before-respond is vacuous
-    /// (no response is delivered; the append call panics).
-    fn commit_inline_locked(
-        &self,
+    /// `SelectionFn::on_insert`) panics after the insert, the selection
+    /// state is re-derived from the — always consistent — membership and
+    /// the batch staged anyway, so the tree stays serviceable and every
+    /// status the unwind leaves behind is covered by a publication. The
+    /// panic payload is *returned*, not resumed: the caller must first
+    /// drop the lock and publish (publish-before-respond is vacuous for
+    /// the appender itself — no response is delivered; `append` panics).
+    fn commit_inline_locked<'t>(
+        &'t self,
         sel: &mut SelState,
         minted: BlockId,
         parent: BlockId,
         prevalidated: bool,
         nonce: u64,
-    ) -> Option<BlockId> {
-        self.drain_locked(sel);
+    ) -> (
+        Option<BlockId>,
+        Option<ClaimedPub<'t>>,
+        Option<Box<dyn std::any::Any + Send>>,
+    ) {
         let mut committed: Option<BlockId> = None;
+        let tip_before = sel.tip;
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let tip = sel.cache.tip();
-            if let Some(id) = self.resolve_target_locked(sel, minted, parent, prevalidated, nonce) {
+            if let Some(id) =
+                self.resolve_target_locked(tip_before, minted, parent, prevalidated, nonce)
+            {
                 // Recorded before the user-code re-selection stage runs,
                 // exactly like the drain's `outcomes` vector.
                 committed = Some(id);
-                self.insert_locked(sel, id, tip);
+                self.insert_locked(sel, id, tip_before);
+                self.score_inserts_locked(sel, &[id], tip_before);
             }
         }));
         self.inline_commits.fetch_add(1, Ordering::Relaxed);
         self.record_batch_size(1);
         match run {
             Ok(()) => {
-                if committed.is_some() {
-                    self.publish_locked(sel);
-                }
-                committed
+                let claim = match committed {
+                    Some(id) => self.stage_inline_locked(sel, &[id]),
+                    None => None,
+                };
+                (committed, claim, None)
             }
             Err(payload) => {
-                if committed.is_some() {
-                    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        sel.cache.rebuild(&self.selection, &self.store, &sel.tree);
-                    }))
-                    .is_ok();
-                    if rebuilt {
-                        self.publish_locked(sel);
-                    }
+                if let Some(id) = committed {
+                    self.rescue_and_stage(sel, &[id]);
                 }
-                std::panic::resume_unwind(payload);
+                (committed, None, Some(payload))
             }
         }
     }
@@ -2169,26 +2338,50 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             .store
             .parent(id)
             .expect("grafted blocks are not genesis");
-        {
+        let mut own_panic = None;
+        let settle = {
             let mut sel = self.sel.lock();
             // Opportunistically resolve any pending batch first — grafts
             // already paid for the lock, and queued appenders are parked
             // on it.
-            self.drain_locked(&mut sel);
-            if sel.tree.contains(id) {
+            let settle = self.drain_locked(&mut sel);
+            let drain_panicked = settle.as_ref().is_some_and(|s| s.panic.is_some());
+            if !drain_panicked && sel.tree.contains(id) {
                 // Duplicate graft: someone committed this block first
                 // (`P` is deterministic, so their validity verdict was
                 // the same one we just computed). Nothing to insert and
-                // nothing to publish — the committing graft already did.
+                // nothing new to publish — the committer staged the
+                // covering batch inside the same critical section as its
+                // insert, so the `publish_staged` in `settle_commit`
+                // below returns only once that publication is in.
+                drop(sel);
+                self.settle_commit(settle, None);
                 return Some(id);
             }
-            assert!(
-                sel.tree.contains(parent),
-                "graft parent {parent} not committed to the tree"
-            );
-            self.insert_locked(&mut sel, id, parent);
-            self.publish_locked(&mut sel);
-        }
+            if !drain_panicked {
+                assert!(
+                    sel.tree.contains(parent),
+                    "graft parent {parent} not committed to the tree"
+                );
+                // Shielded like the inline path: drained requests are
+                // still unsettled, so a user-code panic here must not
+                // unwind past the statuses we owe them.
+                let tip_before = sel.tip;
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.insert_locked(&mut sel, id, parent);
+                    self.score_inserts_locked(&mut sel, &[id], tip_before);
+                }));
+                match run {
+                    Ok(()) => self.stage_publication(&mut sel, &[id]),
+                    Err(payload) => {
+                        self.rescue_and_stage(&mut sel, &[id]);
+                        own_panic = Some(payload);
+                    }
+                }
+            }
+            settle
+        };
+        self.settle_commit(settle, own_panic);
         self.maybe_reclaim();
         self.maybe_flatten();
         self.run_pending_checkpoint();
@@ -2245,9 +2438,20 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     }
 
     /// Whether `id` has been committed to the tree membership (not merely
-    /// minted into the arena). Takes the selection lock.
+    /// minted into the arena) *and* covered by a publication — the same
+    /// instant its committer may be told so, which keeps this answer
+    /// consistent with `read()` now that publication trails the
+    /// membership insert by a pipeline stage. Takes the selection lock
+    /// briefly for the position lookup.
     pub fn is_committed(&self, id: BlockId) -> bool {
-        self.sel.lock().tree.contains(id)
+        if id == BlockId::GENESIS {
+            return true;
+        }
+        let pos = {
+            let sel = self.sel.lock();
+            sel.log_pos.get(id.0 as usize).copied().unwrap_or(0)
+        };
+        pos != 0 && self.published_upto.load(Ordering::Acquire) >= pos as u64
     }
 
     /// Decide-path hook: blocks until `id` is committed to the membership
@@ -2262,9 +2466,10 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// obligation, so only the caller knows who wedged).
     ///
     /// The probe is lock-free — a chain block sits at the index equal to
-    /// its height in the published prefix, and commits publish inside the
-    /// same critical section as their insert, so most waits resolve off
-    /// one epoch-pinned `read()` — and between probes the waiter *parks*
+    /// its height in the published prefix, and commits stage their
+    /// publication inside the same critical section as their insert, so
+    /// most waits resolve off one epoch-pinned `read()` — and between
+    /// probes the waiter *parks*
     /// on the commit generation ([`wait_commit_past`]): commits are the
     /// only events that can change the answer, so the thread wakes
     /// exactly when one lands instead of burning its time slice in a
@@ -2297,53 +2502,51 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         }
     }
 
-    /// Resolves every queued commit request as one batch: per request a
-    /// membership insert + incremental re-selection (re-minting under the
-    /// authoritative tip if the optimistic parent went stale), then a
-    /// single publication, then the responses. Statuses are stored only
-    /// after the publication swap — publish-before-respond holds for
-    /// every append in the batch.
-    fn drain_locked(&self, sel: &mut SelState) {
+    /// Stage 1 for every queued commit request, as one batch, under the
+    /// selection lock: per request a mint resolution (re-minting under
+    /// the authoritative tip if the optimistic parent went stale) and a
+    /// membership insert, then one *batched* selection-scoring pass over
+    /// the whole batch's inserts, then one staged publication record.
+    /// Publication itself (WAL, splice, swap) and the responses are the
+    /// caller's settlement duty, performed off this lock — see
+    /// [`DrainSettle`] and [`settle_commit`](Self::settle_commit).
+    ///
+    /// During resolution the evolving tip is tracked without consulting
+    /// the selection rule: a committed request always extends the tip it
+    /// was resolved under (the fast path requires it, the re-mint path
+    /// constructs it), and for every shipped rule an extension of the
+    /// selected tip is itself selected — chain rules score it strictly
+    /// higher or tie-winning by inherited lexicographic priority, and
+    /// GHOST's descent, having reached the parent, continues through its
+    /// only new child. The batched scoring pass re-derives the tip
+    /// through the rule afterwards and is authoritative; debug builds
+    /// cross-check both against the full-scan oracle.
+    fn drain_locked(&self, sel: &mut SelState) -> Option<DrainSettle> {
         let batch = self.queue.take_all();
         if batch.is_empty() {
-            return;
+            return None;
         }
-        // `take_all` removed these requests from the queue, so nobody
-        // else can ever resolve them — this drainer owes every one a
-        // status, on the panic path included. A committing request
-        // records its outcome *before* its membership insert runs, and
-        // the insert updates membership + commit log *before* the
-        // user-code re-selection stage, so whatever panics inside user
-        // code (`P::is_valid`, `SelectionFn::on_insert`), the recorded
-        // outcomes always match the state the membership and commit log
-        // actually reached.
-        fn resolve_batch(batch: &[*const CommitReq], outcomes: &[Option<BlockId>]) {
-            for (i, &req_ptr) in batch.iter().enumerate() {
-                // SAFETY: owners are still polling (they only return
-                // once a status lands), and only this drainer holds the
-                // taken nodes; after `resolve` the node is never touched
-                // again by this thread.
-                let req = unsafe { &*req_ptr };
-                if req.poll().is_none() {
-                    req.resolve(outcomes.get(i).copied().flatten());
-                }
-            }
-        }
+        let t0 = std::time::Instant::now();
         // Feed the adaptive reclamation threshold with this batch's size.
         self.record_batch_size(batch.len());
-        let mut outcomes: Vec<Option<BlockId>> = Vec::new();
+        // A committing request records its outcome *before* its
+        // membership insert runs, and the insert updates membership +
+        // commit log *before* the user-code scoring stage, so whatever
+        // panics inside user code (`P::is_valid`,
+        // `SelectionFn::on_insert`), the recorded outcomes always match
+        // the state the membership and commit log actually reached.
+        let mut outcomes: Vec<Option<BlockId>> = Vec::with_capacity(batch.len());
+        let tip_before = sel.tip;
+        let mut pending_tip = tip_before;
+        let mut inserted: Vec<BlockId> = Vec::new();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut committed_any = false;
             for &req_ptr in &batch {
                 // SAFETY: `take_all` transferred ownership of the node;
                 // its enqueueing appender is blocked polling until we
                 // resolve it.
                 let req = unsafe { &*req_ptr };
-                // Whatever resolves commits under the tip selected at
-                // this instant — record it for the parent-aware insert.
-                let tip = sel.cache.tip();
                 let target = self.resolve_target_locked(
-                    sel,
+                    pending_tip,
                     req.minted,
                     req.parent,
                     req.prevalidated,
@@ -2351,71 +2554,277 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 );
                 outcomes.push(target);
                 if let Some(id) = target {
-                    self.insert_locked(sel, id, tip);
-                    committed_any = true;
+                    self.insert_locked(sel, id, pending_tip);
+                    pending_tip = id;
+                    inserted.push(id);
                 }
             }
-            committed_any
+            // One scoring pass for the whole batch — the user-code slice
+            // the old pipeline paid per insert.
+            self.score_inserts_locked(sel, &inserted, tip_before);
+            debug_assert_eq!(
+                sel.tip, pending_tip,
+                "a committed insert always extends the selected tip"
+            );
         }));
-        match run {
-            Ok(committed_any) => {
-                if committed_any {
-                    self.publish_locked(sel);
+        let panic = match run {
+            Ok(()) => {
+                if !inserted.is_empty() {
+                    self.stage_publication(sel, &inserted);
                 }
-                // Statuses land only now, after the publication swap:
-                // publish-before-respond for every append in the batch.
-                resolve_batch(&batch, &outcomes);
+                None
             }
             Err(payload) => {
-                // User code panicked mid-batch. Membership and commit log
-                // are sound (see above), but the incremental cache may be
-                // mid-update and the batch publication has not run —
-                // delivering a "committed" status now would hand a
-                // healthy appender a response no read can corroborate,
-                // breaking publish-before-respond. Re-derive the cache
-                // from the membership with a full scan and publish, so
-                // every status the unwind delivers is covered by a
-                // publication; this also leaves the tree consistent for
-                // subsequent drains instead of degraded. The rebuild runs
-                // selection user code again, so it is shielded: if it
-                // panics too, publication is skipped and responses fall
-                // back to matching only the commit log (a tree whose
-                // selection panics nondeterministically offers nothing
-                // stronger). Then resolve the batch — recorded outcomes,
-                // untouched tail as rejected — and let the panic continue
-                // on this thread; nobody waits forever.
-                if outcomes.iter().any(Option::is_some) {
-                    let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        sel.cache.rebuild(&self.selection, &self.store, &sel.tree);
-                    }))
-                    .is_ok();
-                    if rebuilt {
-                        self.publish_locked(sel);
-                    }
+                // User code panicked mid-batch. Membership and commit
+                // log are sound (see above), but the selection aux may
+                // be mid-update and nothing is staged — delivering a
+                // "committed" status now would hand a healthy appender
+                // a response no read can corroborate. Re-derive the
+                // selection state from the membership and stage the
+                // batch anyway, so every status the settlement delivers
+                // is covered by a publication; this also leaves the
+                // tree consistent for subsequent drains instead of
+                // degraded.
+                if !inserted.is_empty() {
+                    self.rescue_and_stage(sel, &inserted);
                 }
-                resolve_batch(&batch, &outcomes);
+                Some(payload)
+            }
+        };
+        self.stat_drain_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Some(DrainSettle {
+            batch,
+            outcomes,
+            panic,
+        })
+    }
+
+    /// Settles a commit episode with the selection lock released: runs
+    /// stage 2 ([`publish_staged`](Self::publish_staged)), then delivers
+    /// every status the drain recorded — publish-before-respond: the
+    /// publication covering those commits has swapped in by now — then
+    /// resumes whichever panic stage 1 captured.
+    fn settle_commit(
+        &self,
+        settle: Option<DrainSettle>,
+        own_panic: Option<Box<dyn std::any::Any + Send>>,
+    ) {
+        self.publish_staged();
+        if let Some(DrainSettle {
+            batch,
+            outcomes,
+            panic,
+        }) = settle
+        {
+            for (i, &req_ptr) in batch.iter().enumerate() {
+                // SAFETY: owners are still polling (they only return
+                // once a status lands), and only this settler holds the
+                // taken nodes; after `resolve` the node is never touched
+                // again by this thread.
+                let req = unsafe { &*req_ptr };
+                if req.poll().is_none() {
+                    req.resolve(outcomes.get(i).copied().flatten());
+                }
+            }
+            if let Some(payload) = panic {
                 std::panic::resume_unwind(payload);
             }
         }
+        if let Some(payload) = own_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Folds a batch's newly committed ids into the selection aux and
+    /// advances the authoritative tip: one incremental `on_insert` for a
+    /// single insert; the sharded partition → score → merge → apply
+    /// pipeline of [`batch_score`] for anything larger. Runs user code;
+    /// callers shield it (the stage-1 panic contract).
+    fn score_inserts_locked(&self, sel: &mut SelState, inserted: &[BlockId], tip_before: BlockId) {
+        if inserted.is_empty() {
+            return;
+        }
+        let new_tip = if let [only] = inserted {
+            match self
+                .selection
+                .on_insert(&self.store, &sel.tree, &mut sel.aux, *only, tip_before)
+            {
+                TipUpdate::Unchanged => tip_before,
+                TipUpdate::Extended(t) | TipUpdate::Switched(t) => t,
+            }
+        } else {
+            let t0 = std::time::Instant::now();
+            let tip = batch_score(
+                &self.selection,
+                &self.store,
+                &sel.tree,
+                &mut sel.aux,
+                inserted,
+                tip_before,
+            );
+            self.stat_score_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            tip
+        };
+        sel.tip = new_tip;
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            sel.tip,
+            self.selection.select_tip(&self.store, &sel.tree),
+            "incremental {} selection diverged from the full-scan oracle",
+            self.selection.name()
+        );
+    }
+
+    /// Stage-1 panic recovery: re-derives the selection aux and tip from
+    /// the — always consistent — membership with a full `select_tip`
+    /// scan, then stages the batch so its statuses are covered by a
+    /// publication. The rescan runs selection user code again, so it is
+    /// shielded: if it panics too, staging is skipped and responses fall
+    /// back to matching only the commit log (a tree whose selection
+    /// panics nondeterministically offers nothing stronger).
+    fn rescue_and_stage(&self, sel: &mut SelState, inserted: &[BlockId]) {
+        let rescued = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sel.aux.reset();
+            self.selection.select_tip(&self.store, &sel.tree)
+        }));
+        if let Ok(tip) = rescued {
+            sel.tip = tip;
+            self.stage_publication(sel, inserted);
+        }
+    }
+
+    /// Stages a publication record covering everything committed so far
+    /// — the stage-1 → stage-2 handoff. Runs under the selection lock
+    /// (staging order is commit-log order) in the *same* critical
+    /// section as the batch's inserts: an observer that sees the
+    /// membership change (`is_committed`, a duplicate graft) can rely on
+    /// the covering batch already being staged, so its own
+    /// `publish_staged` suffices to wait the publication in.
+    fn stage_publication(&self, sel: &mut SelState, inserted: &[BlockId]) {
+        let upto = sel.commit_log.len() as u64;
+        let ids = if self.durable {
+            inserted.to_vec()
+        } else {
+            Vec::new()
+        };
+        self.staged.lock().push(PubBatch {
+            upto,
+            tip: sel.tip,
+            ids,
+        });
+        self.staged_upto.store(upto, Ordering::Release);
+    }
+
+    /// [`stage_publication`](Self::stage_publication) with the inline
+    /// claim fast path: one non-blocking try for the publication lock —
+    /// `sel → publ` in *claim* order only, safe because no holder of
+    /// `publ` ever waits on `sel` — and on success the batch never
+    /// touches the staged queue: the caller publishes it directly after
+    /// releasing the selection lock. The uncontended append thereby pays
+    /// one lock pair per stage and zero allocation, while a busy
+    /// publisher (an fsync in flight) degrades gracefully to the queue.
+    fn stage_inline_locked<'t>(
+        &'t self,
+        sel: &mut SelState,
+        inserted: &[BlockId],
+    ) -> Option<ClaimedPub<'t>> {
+        let upto = sel.commit_log.len() as u64;
+        let ids = if self.durable {
+            inserted.to_vec()
+        } else {
+            Vec::new()
+        };
+        let batch = PubBatch {
+            upto,
+            tip: sel.tip,
+            ids,
+        };
+        let Some(mut publ) = self.publ.try_lock() else {
+            self.staged.lock().push(batch);
+            self.staged_upto.store(upto, Ordering::Release);
+            return None;
+        };
+        // Everything already staged publishes ahead of our batch, in the
+        // same run. Untaken staged batches always sit strictly above
+        // `published_upto` (runs are taken whole, in order), so a
+        // caught-up publication proves the queue is empty and the take —
+        // a mutex round trip — can be skipped. Both counters are stable
+        // here: stagers need `sel`, takers need `publ`, and we hold both.
+        let mut batches = std::mem::take(&mut publ.spare);
+        if self.published_upto.load(Ordering::Acquire) < self.staged_upto.load(Ordering::Acquire) {
+            std::mem::swap(&mut *self.staged.lock(), &mut batches);
+        }
+        batches.push(batch);
+        self.staged_upto.store(upto, Ordering::Release);
+        Some(ClaimedPub { publ, batches })
+    }
+
+    /// Stage 2 for a claimed inline publication, entered with the
+    /// selection lock already released. Untimed, like the inline drain:
+    /// per-append clock reads would tax exactly the path the pipeline
+    /// exists to keep cheap ([`PipelineStats`] counts it via
+    /// `inline_appends`).
+    fn publish_claimed(&self, claim: ClaimedPub<'_>) {
+        let ClaimedPub {
+            mut publ,
+            mut batches,
+        } = claim;
+        self.publish_batches_locked(&mut publ, &batches);
+        batches.clear();
+        publ.spare = batches;
+    }
+
+    /// Stage 2 of the commit pipeline: publishes every staged batch —
+    /// WAL group commit, in-place chain advance, boxed-chain pointer
+    /// swap — under the publication lock, with the selection lock
+    /// already released so the next drain proceeds concurrently.
+    ///
+    /// Whoever holds the lock pops *all* staged batches, so batches
+    /// publish strictly in commit-log order no matter which thread ends
+    /// up publishing, and batches staged while a publisher was fsyncing
+    /// collapse into its successor's single publication (one fsync, one
+    /// swap). On return, everything the calling thread staged beforehand
+    /// is covered by a publication — its own or another's.
+    fn publish_staged(&self) {
+        if self.published_upto.load(Ordering::Acquire) >= self.staged_upto.load(Ordering::Acquire) {
+            return;
+        }
+        let mut publ = self.publ.lock();
+        let mut batches = std::mem::take(&mut publ.spare);
+        std::mem::swap(&mut *self.staged.lock(), &mut batches);
+        if batches.is_empty() {
+            // The previous holder popped our batch and published it
+            // before releasing the lock we just acquired.
+            publ.spare = batches;
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        self.publish_batches_locked(&mut publ, &batches);
+        self.stat_publish_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        batches.clear();
+        publ.spare = batches;
     }
 
     /// Decides where a staged mint lands against the authoritative tree
     /// state, *without* touching membership: the original mint when its
-    /// optimistic parent is still the selected tip, else a fresh re-mint
-    /// under the cache tip. Returns the id to commit, or `None` when `P`
-    /// rejects (either mint stays a non-member arena orphan, as a lost
-    /// optimistic race always did). Runs user code (`P::is_valid`);
+    /// optimistic parent is still `tip` (the evolving batch tip), else a
+    /// fresh re-mint under it. Returns the id to commit, or `None` when
+    /// `P` rejects (either mint stays a non-member arena orphan, as a
+    /// lost optimistic race always did). Runs user code (`P::is_valid`);
     /// callers record the outcome before inserting — the panic contract
     /// of the commit paths.
     fn resolve_target_locked(
         &self,
-        sel: &SelState,
+        tip: BlockId,
         minted: BlockId,
         parent: BlockId,
         prevalidated: bool,
         nonce: u64,
     ) -> Option<BlockId> {
-        if parent == sel.cache.tip() {
+        if parent == tip {
             return prevalidated.then_some(minted);
         }
         // The optimistic parent lost the race: re-mint under the current
@@ -2431,74 +2840,92 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         });
         let (producer, merit_index, work, payload) =
             fields.expect("the stale mint is fully minted in the arena");
-        let (id, valid) = self.store.mint_checked(
-            sel.cache.tip(),
-            producer,
-            merit_index,
-            work,
-            nonce,
-            payload,
-            |b| self.predicate.is_valid(&self.store, b),
-        );
+        let (id, valid) =
+            self.store
+                .mint_checked(tip, producer, merit_index, work, nonce, payload, |b| {
+                    self.predicate.is_valid(&self.store, b)
+                });
         valid.then_some(id)
     }
 
-    /// Membership insert + commit log + incremental re-selection, under
-    /// the selection lock. Publication is separate so a batch pays it
-    /// once.
+    /// Membership insert + commit log + position index, under the
+    /// selection lock. Scoring is separate
+    /// ([`score_inserts_locked`](Self::score_inserts_locked)) so a batch
+    /// pays one pass; publication is stage 2.
     fn insert_locked(&self, sel: &mut SelState, id: BlockId, parent: BlockId) {
         sel.tree.insert_with_parent(Some(parent), id);
         sel.commit_log.push(id);
-        sel.cache
-            .on_insert(&self.selection, &self.store, &sel.tree, id);
+        let pos = sel.commit_log.len() as u32;
+        let idx = id.0 as usize;
+        if sel.log_pos.len() <= idx {
+            sel.log_pos.resize(idx + 1, 0);
+        }
+        sel.log_pos[idx] = pos;
     }
 
-    /// Publishes the cached chain: persist any new commits to the WAL
-    /// (durable trees), then box, swap, retire the predecessor into the
-    /// epoch domain (readers may still hold it through stale loads), and
-    /// advance the commit generation.
-    fn publish_locked(&self, sel: &mut SelState) {
+    /// The publication critical section proper — persist, splice, swap,
+    /// retire — for a non-empty run of staged batches in commit-log
+    /// order.
+    fn publish_batches_locked(&self, publ: &mut PubState, batches: &[PubBatch]) {
         // Persist-then-ack: every commit this publication will expose
         // must be durable *before* the pointer swap makes it readable —
         // and the swap itself precedes the generation bump, the condvar
-        // wakeups, and (in the drain) every status store, so nothing
-        // observable ever gets ahead of the fsync. One `append_commits`
-        // call per publication means one fsync covers a whole drained
-        // batch: group commit riding the one-publication-per-batch
-        // cadence. All commit paths — inline, drain, graft, and the
-        // panic-path rebuild — funnel through here, so this is the one
-        // choke point durability needs.
-        if let Some(ws) = sel.wal.as_mut() {
-            let from = ws.wal.logged() as usize;
-            if sel.commit_log.len() > from {
-                let store = &self.store;
-                ws.wal
-                    .append_commits(
-                        sel.commit_log[from..]
-                            .iter()
-                            .map(|&id| wal_record_of(store, id)),
-                    )
-                    .unwrap_or_else(|e| {
-                        // Fail-stop: a tree that cannot persist must not
-                        // ack. Acking an unpersisted commit would let a
-                        // crash forget a response some caller already
-                        // acted on — the one thing the WAL exists to
-                        // prevent.
-                        panic!("WAL append failed; cannot ack unpersisted commits (fail-stop): {e}")
-                    });
+        // wakeups, and every settlement status store, so nothing
+        // observable ever gets ahead of the fsync. One `append_batch`
+        // call per publication means one fsync covers every batch in the
+        // run: group commit riding the pipeline's natural cadence,
+        // encoding borrowed arena data straight into the WAL's reused
+        // scratch buffer — no per-record allocation, no payload clone.
+        // All commit paths — inline, drain, graft, recovery, and the
+        // panic-path rescue — funnel their batches through here, so this
+        // is the one choke point durability needs.
+        if let Some(ws) = publ.wal.as_mut() {
+            let store = &self.store;
+            ws.wal
+                .append_batch(|framer| {
+                    for batch in batches {
+                        for &id in &batch.ids {
+                            store.with_block(id, &mut |b| {
+                                framer.record(RecordRef {
+                                    id,
+                                    parent: b.parent.expect("committed blocks are never genesis"),
+                                    producer: b.producer,
+                                    merit_index: b.merit_index,
+                                    work: b.work,
+                                    digest: b.digest,
+                                    payload: &b.payload,
+                                });
+                            });
+                        }
+                    }
+                })
+                .unwrap_or_else(|e| {
+                    // Fail-stop: a tree that cannot persist must not
+                    // ack. Acking an unpersisted commit would let a
+                    // crash forget a response some caller already
+                    // acted on — the one thing the WAL exists to
+                    // prevent.
+                    panic!("WAL append failed; cannot ack unpersisted commits (fail-stop): {e}")
+                });
+            for batch in batches {
+                publ.logged_ids.extend_from_slice(&batch.ids);
             }
         }
+        let last = batches
+            .last()
+            .expect("publish_batches_locked takes a non-empty run");
+        advance_chain(&self.store, &mut publ.chain, last.tip);
         // Reuse a reclaimed publication box when one is available: the
         // uncontended path retires one box per append, so without the
         // bin every commit paid a malloc here and a free in the sweep.
         let boxed = match self.spares.take() {
             Some(mut spare) => {
-                *spare = sel.cache.chain();
+                *spare = publ.chain.clone();
                 spare
             }
-            None => Box::new(sel.cache.chain()),
+            None => Box::new(publ.chain.clone()),
         };
-        // Watermark advance rides the publication (the batch drainer's
+        // Watermark advance rides the publication (the pipeline's
         // natural cadence): the block `depth` links behind the new tip —
         // and everything below it — is storage-final. `fetch_max` inside
         // keeps the bound monotone across reorgs that shorten the chain.
@@ -2509,14 +2936,16 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         // inside `wants_checkpoint` so it stays amortized O(1) per
         // commit. Runs after the watermark raise so this publication's
         // own finality advance is already visible to the prefix cursor.
-        self.maybe_wal_checkpoint(sel);
+        self.maybe_wal_checkpoint(publ);
         let fresh = Box::into_raw(boxed);
         let old = self.published.swap(fresh, Ordering::AcqRel);
-        self.published_tip
-            .store(sel.cache.tip().0, Ordering::Release);
+        self.published_tip.store(last.tip.0, Ordering::Release);
+        // Published-upto after the swap: `is_committed` may say yes only
+        // once the chain that corroborates it is readable.
+        self.published_upto.store(last.upto, Ordering::Release);
         // Generation-after-publication: the counter moves only once the
         // swap is visible, so a waiter that observes the new generation
-        // can already `read()` the chain that covers this batch.
+        // can already `read()` the chain that covers this batch run.
         self.commit_gen.fetch_add(1, Ordering::SeqCst);
         if self.gen_waiters.load(Ordering::SeqCst) > 0 {
             // Lock-then-notify closes the check-then-park race: a waiter
@@ -2527,7 +2956,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             drop(self.gen_lock.lock());
             self.gen_cv.notify_all();
         }
-        // SAFETY: `old` came from `Box::into_raw` in `with_shards` or a
+        // SAFETY: `old` came from `Box::into_raw` in `with_config` or a
         // previous publication; reconstituting the box moves ownership
         // into the epoch domain, which frees it only after every reader
         // pinned at (or before) the swap has unpinned.
@@ -2543,21 +2972,22 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
 
     /// Advances the storage-final prefix cursor and, when the geometric
     /// gate says it is worth it, *claims* a checkpoint of that prefix.
-    /// The prefix is the longest leading run of the commit log whose ids
-    /// sit below the flatten target — the same
+    /// The prefix is the longest leading run of the durable log whose
+    /// ids sit below the flatten target — the same
     /// [`FinalityWatermark`]-derived bound the slab tier trusts, so
     /// compaction never captures an entry a reorg could still disturb
-    /// in layout. The commit log is *not* id-sorted (grafts commit
+    /// in layout. The log is *not* id-sorted (grafts commit
     /// out-of-mint-order), so the cursor walks entries, not ids.
     ///
     /// Only the claim and an O(prefix) id memcpy happen here, under the
-    /// selection lock; the O(prefix) record encoding and the write +
-    /// fsync + rename run later in
-    /// [`run_pending_checkpoint`](Self::run_pending_checkpoint), off the
-    /// lock — a geometric-gate firing must not stall every parked
-    /// appender for a prefix-sized IO pause.
-    fn maybe_wal_checkpoint(&self, sel: &mut SelState) {
-        let Some(ws) = sel.wal.as_mut() else { return };
+    /// publication lock (the cursor walks `PubState::logged_ids`, the
+    /// published commit-log mirror, so `sel` is never touched); the
+    /// O(prefix) record encoding and the write + fsync + rename run
+    /// later in [`run_pending_checkpoint`](Self::run_pending_checkpoint),
+    /// off both locks — a geometric-gate firing must not stall the
+    /// pipeline for a prefix-sized IO pause.
+    fn maybe_wal_checkpoint(&self, publ: &mut PubState) {
+        let Some(ws) = publ.wal.as_mut() else { return };
         // Without a watermark the membership is still append-only and
         // never retracted, so the entire durable log is final.
         let bound = if self.watermark.is_enabled() {
@@ -2565,12 +2995,13 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         } else {
             u32::MAX
         };
-        while ws.final_prefix < sel.commit_log.len() && sel.commit_log[ws.final_prefix].0 < bound {
+        while ws.final_prefix < publ.logged_ids.len() && publ.logged_ids[ws.final_prefix].0 < bound
+        {
             ws.final_prefix += 1;
         }
         if ws.wal.wants_checkpoint(ws.final_prefix as u64) {
             let job = ws.wal.begin_checkpoint(ws.final_prefix as u64);
-            let ids = sel.commit_log[..ws.final_prefix].to_vec();
+            let ids = publ.logged_ids[..ws.final_prefix].to_vec();
             // The in-flight flag inside the WAL guarantees the slot is
             // free: no second claim can fire until this one settles.
             *self.pending_ckpt.lock() = Some(PendingCheckpoint { job, ids });
@@ -2579,16 +3010,16 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
 
     /// Runs a claimed WAL checkpoint, if one is pending — called on the
     /// commit paths next to [`maybe_reclaim`](Self::maybe_reclaim) and
-    /// [`maybe_flatten`](Self::maybe_flatten), *after* the selection
-    /// lock is released. Record encoding reads the arena lock-free
+    /// [`maybe_flatten`](Self::maybe_flatten), with both pipeline locks
+    /// released. Record encoding reads the arena lock-free
     /// (checkpointed ids are storage-final, their blocks immutable), and
     /// the WAL job writes a temp file and renames — never the active
     /// segment — so concurrent appends and their group-commit fsyncs
     /// proceed unimpeded. Only the coverage bookkeeping at the end
-    /// briefly retakes the selection lock; covered segments are unlinked
-    /// after it is released again. Checkpoint IO failures are non-fatal:
-    /// the claim is aborted and the log keeps its segments, staying
-    /// correct, merely uncompacted.
+    /// briefly retakes the publication lock; covered segments are
+    /// unlinked after it is released again. Checkpoint IO failures are
+    /// non-fatal: the claim is aborted and the log keeps its segments,
+    /// staying correct, merely uncompacted.
     fn run_pending_checkpoint(&self) {
         let Some(PendingCheckpoint { job, ids }) = self.pending_ckpt.lock().take() else {
             return;
@@ -2598,8 +3029,8 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         let outcome = job.run(&records);
         drop(records);
         let dead = {
-            let mut sel = self.sel.lock();
-            let ws = sel
+            let mut publ = self.publ.lock();
+            let ws = publ
                 .wal
                 .as_mut()
                 .expect("a durable tree never loses its WAL");
@@ -2618,15 +3049,15 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
 
     /// Durability counters of the underlying WAL (fsyncs, records,
     /// bytes, compaction activity), or `None` for a volatile tree.
-    /// Takes the selection lock.
+    /// Takes the publication lock.
     pub fn wal_stats(&self) -> Option<WalStats> {
-        self.sel.lock().wal.as_ref().map(|ws| ws.wal.stats())
+        self.publ.lock().wal.as_ref().map(|ws| ws.wal.stats())
     }
 
     /// Whether this tree persists its commits (see
     /// [`open_durable`](Self::open_durable)).
     pub fn is_durable(&self) -> bool {
-        self.sel.lock().wal.is_some()
+        self.durable
     }
 
     /// Opens a **durable** tree backed by the WAL directory in `config`,
@@ -2660,34 +3091,54 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         config: WalConfig,
     ) -> std::io::Result<Self> {
         let (wal, records) = Wal::open(config)?;
-        let tree = ConcurrentBlockTree::with_config(shards, watermark, selection, predicate);
-        let mut sel = tree.sel.lock();
-        for rec in &records {
-            tree.store.install_recovered(rec);
-            let fresh = sel.tree.insert_with_parent(Some(rec.parent), rec.id);
-            assert!(fresh, "durable commit log holds no duplicates");
-            sel.commit_log.push(rec.id);
+        let mut tree = ConcurrentBlockTree::with_config(shards, watermark, selection, predicate);
+        // Owned and unshared here, so the flag needs no synchronization;
+        // it must be set before any commit path can observe the tree.
+        tree.durable = true;
+        let (recovered_upto, recovered_tip, log_mirror) = {
+            let mut sel = tree.sel.lock();
+            for rec in &records {
+                tree.store.install_recovered(rec);
+                let fresh = sel.tree.insert_with_parent(Some(rec.parent), rec.id);
+                assert!(fresh, "durable commit log holds no duplicates");
+                sel.commit_log.push(rec.id);
+                let pos = sel.commit_log.len() as u32;
+                let idx = rec.id.0 as usize;
+                if sel.log_pos.len() <= idx {
+                    sel.log_pos.resize(idx + 1, 0);
+                }
+                sel.log_pos[idx] = pos;
+            }
+            tree.store.fill_recovery_gaps();
+            tree.store.sort_recovered_children();
+            // One full-scan derivation instead of n incremental folds:
+            // replay is offline (nothing is published yet), so the O(n)
+            // oracle scan is both simpler and faster than n× `on_insert`.
+            // The aux stays reset — the first live scoring pass re-seeds
+            // it from the membership.
+            sel.tip = tree.selection.select_tip(&tree.store, &sel.tree);
+            (sel.commit_log.len() as u64, sel.tip, sel.commit_log.clone())
+        };
+        {
+            let mut publ = tree.publ.lock();
+            publ.wal = Some(WalState {
+                wal,
+                final_prefix: 0,
+            });
+            publ.logged_ids = log_mirror;
         }
-        tree.store.fill_recovery_gaps();
-        tree.store.sort_recovered_children();
-        // One full-scan rebuild instead of n incremental folds: replay
-        // is offline (nothing is published yet), so the O(n) oracle scan
-        // is both simpler and faster than n× `on_insert`.
-        let SelState {
-            cache,
-            tree: members,
-            ..
-        } = &mut *sel;
-        cache.rebuild(&tree.selection, &tree.store, members);
-        sel.wal = Some(WalState {
-            wal,
-            final_prefix: 0,
-        });
         if !records.is_empty() {
-            // Publish the recovered chain. The WAL block inside is a
-            // no-op (log length == commit-log length), but the watermark
-            // raise and tip/generation stores all run as on any commit.
-            tree.publish_locked(&mut sel);
+            // Stage the recovered chain with no new ids: the WAL append
+            // in stage 2 frames zero records (everything is already
+            // durable), but the splice, the watermark raise, and the
+            // tip/generation stores all run as on any commit.
+            tree.staged.lock().push(PubBatch {
+                upto: recovered_upto,
+                tip: recovered_tip,
+                ids: Vec::new(),
+            });
+            tree.staged_upto.store(recovered_upto, Ordering::Release);
+            tree.publish_staged();
             // One generation per historical publication keeps recovered
             // counters comparable with the live tree's. A fresh (empty)
             // WAL skips this: a durable tree that never published stays
@@ -2696,7 +3147,6 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             tree.commit_gen
                 .store(records.len() as u64 + 1, Ordering::SeqCst);
         }
-        drop(sel);
         tree.run_pending_checkpoint();
         Ok(tree)
     }
@@ -2776,10 +3226,20 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     }
 
     /// Commit-pipeline counters (batch count, batched appends, largest
-    /// batch, inline fast-path commits).
+    /// batch, inline fast-path commits) plus the stage timing totals:
+    /// `drain_lock_ns` (stage-1 batch drains, selection lock held),
+    /// `score_ns` (the batched-scoring slice of those drains), and
+    /// `publish_ns` (stage 2, publication lock held). Before this
+    /// pipeline split, everything in all three ran under the one
+    /// selection lock. The timings cover the queue paths only —
+    /// inline fast-path appends (counted by `inline_appends`) commit
+    /// and publish unclocked, so the ratios compare like with like.
     pub fn pipeline_stats(&self) -> PipelineStats {
         let mut stats = self.queue.stats();
         stats.inline_appends = self.inline_commits.load(Ordering::Relaxed);
+        stats.drain_lock_ns = self.stat_drain_ns.load(Ordering::Relaxed);
+        stats.score_ns = self.stat_score_ns.load(Ordering::Relaxed);
+        stats.publish_ns = self.stat_publish_ns.load(Ordering::Relaxed);
         stats
     }
 

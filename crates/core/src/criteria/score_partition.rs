@@ -1,0 +1,114 @@
+//! Checker for the sharded-selection contract behind the two-stage drain.
+//!
+//! The concurrent pipeline scores a drained batch by partitioning its
+//! inserts by subtree, scoring each shard to an
+//! [`AuxPartial`](crate::selection::AuxPartial), and folding the shards
+//! with the associative `merge` before applying the result once. That is
+//! only sound if, for the rule in question,
+//!
+//! 1. the merged partial is invariant under re-grouping and re-ordering of
+//!    the shards (associativity + commutativity of `merge`), and
+//! 2. applying the merged partial lands on the same tip as the serial
+//!    per-insert `on_insert` fold, which is itself differential-tested
+//!    against the full-scan `select_tip` oracle.
+//!
+//! Unlike its siblings this module checks an *implementation* refinement
+//! rather than a history-level criterion, but it follows the same
+//! philosophy: a falsifiable property, a checker that reports instead of
+//! panicking, and a differential suite that drives it with randomized
+//! fork-heavy workloads (`tests/selection_differential.rs`,
+//! `tests/proptests.rs`).
+
+use crate::ids::BlockId;
+use crate::selection::{batch_score, AuxPartial, SelectionAux, SelectionFn, TipUpdate};
+use crate::store::{BlockView, TreeMembership};
+
+/// Why a sharded-scoring check failed, with enough context to replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionViolation {
+    /// Two merge orders of the same shard set produced different partials.
+    MergeOrderSensitive {
+        forward: AuxPartial,
+        reversed: AuxPartial,
+    },
+    /// The batched apply landed on a different tip than the serial
+    /// `on_insert` fold over the same inserts.
+    TipMismatch { batched: BlockId, serial: BlockId },
+    /// The serial fold itself disagreed with the full-scan oracle — the
+    /// baseline is broken, so the batched comparison is meaningless.
+    OracleMismatch { serial: BlockId, oracle: BlockId },
+}
+
+/// Checks the sharded-scoring contract for one batch of inserts.
+///
+/// `inserts` must be members of `tree`, parent-closed, and all inserted
+/// after the selection last reported `tip_before`. Both the batched and
+/// the serial path run on clones of `aux`, so the caller's scratch is
+/// untouched. Returns every violation found (empty = the contract holds).
+pub fn check_partition_merge(
+    rule: &dyn SelectionFn,
+    store: &dyn BlockView,
+    tree: &TreeMembership,
+    aux: &SelectionAux,
+    inserts: &[BlockId],
+    tip_before: BlockId,
+) -> Vec<PartitionViolation> {
+    let mut violations = Vec::new();
+    if inserts.is_empty() {
+        return violations;
+    }
+
+    // (1) Merge must not care about shard order.
+    let shards: Vec<AuxPartial> = crate::selection::partition_by_subtree(store, inserts)
+        .into_iter()
+        .map(|shard| rule.score_inserts(store, &shard))
+        .collect();
+    let forward = shards
+        .iter()
+        .cloned()
+        .fold(AuxPartial::empty(), |acc, p| acc.merge(store, p));
+    let reversed = shards
+        .iter()
+        .rev()
+        .cloned()
+        .fold(AuxPartial::empty(), |acc, p| acc.merge(store, p));
+    if forward != reversed {
+        violations.push(PartitionViolation::MergeOrderSensitive { forward, reversed });
+    }
+
+    // (2) Batched apply ≡ serial fold ≡ oracle.
+    let mut batched_aux = aux.clone();
+    let batched = batch_score(rule, store, tree, &mut batched_aux, inserts, tip_before);
+
+    let oracle = rule.select_tip(store, tree);
+
+    // The serial per-insert fold is only replayable here for rules whose
+    // `on_insert` never consults the membership (the chain rules), or for
+    // single-insert batches: this checker holds the *final* tree, and a
+    // weight-walking rule (GHOST) folded against it would descend into
+    // later batch members that serially would not exist yet (and a cold
+    // aux would double-count the batch on its first rebuild). The sound
+    // interleaved-membership serial differential lives in
+    // `tests/selection_differential.rs`; here the oracle stands in.
+    let uses_weights = shards.iter().any(|p| !p.weights().is_empty());
+    let serial = if !uses_weights || inserts.len() == 1 {
+        let mut serial_aux = aux.clone();
+        let mut serial = tip_before;
+        for &id in inserts {
+            match rule.on_insert(store, tree, &mut serial_aux, id, serial) {
+                TipUpdate::Unchanged => {}
+                TipUpdate::Extended(t) | TipUpdate::Switched(t) => serial = t,
+            }
+        }
+        if serial != oracle {
+            violations.push(PartitionViolation::OracleMismatch { serial, oracle });
+        }
+        serial
+    } else {
+        oracle
+    };
+    if batched != serial {
+        violations.push(PartitionViolation::TipMismatch { batched, serial });
+    }
+    violations
+}

@@ -37,6 +37,7 @@
 use crate::ids::BlockId;
 use crate::store::{BlockView, TreeMembership};
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 
 /// How the selected tip changed when one block joined the tree — the
 /// result of the incremental path of a [`SelectionFn`].
@@ -83,6 +84,14 @@ impl SelectionAux {
         self.tip_score = None;
     }
 
+    /// Whether the weight state reflects a tree (false until the first
+    /// GHOST scoring pass, and again after [`reset`](Self::reset)). A cold
+    /// aux rebuilds from the *current* membership on first use, so
+    /// incremental folds are only meaningful once this is true.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
     #[inline]
     fn weight(&self, id: BlockId) -> u64 {
         self.subtree_weight.get(id.index()).copied().unwrap_or(0)
@@ -95,6 +104,172 @@ impl SelectionAux {
         }
         self.subtree_weight[id.index()] += w;
     }
+}
+
+/// A rule's score contribution from one shard of a batch of inserts — the
+/// unit the two-stage drain farms out per subtree and folds back together
+/// with [`AuxPartial::merge`] before touching the shared [`SelectionAux`].
+///
+/// The representation is rule-agnostic so the merge is too:
+///
+/// * `weights` — GHOST-style own-weights of the inserted blocks, sorted by
+///   id (duplicates summed on merge). Chain rules leave this empty.
+/// * `best` — the shard's best `(score, block)` under a chain rule's total
+///   order (score, then path-lexicographic). GHOST leaves this `None`.
+///
+/// `merge` is associative and commutative — summing multisets and taking
+/// the max of a total order both are — so shards can be folded in any
+/// grouping and any order and produce the same value. That is the contract
+/// the drain relies on and the proptests pin down.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuxPartial {
+    weights: Vec<(BlockId, u64)>,
+    best: Option<(u64, BlockId)>,
+}
+
+impl AuxPartial {
+    /// The empty contribution (identity of `merge`).
+    pub fn empty() -> Self {
+        AuxPartial::default()
+    }
+
+    /// A GHOST-style contribution: one own-weight per inserted block.
+    /// Ids are sorted and deduplicated (duplicate weights summed).
+    pub fn from_weights(mut weights: Vec<(BlockId, u64)>) -> Self {
+        weights.sort_unstable_by_key(|&(id, _)| id);
+        weights.dedup_by(|next, keep| {
+            if next.0 == keep.0 {
+                keep.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+        AuxPartial {
+            weights,
+            best: None,
+        }
+    }
+
+    /// A chain-rule contribution: the shard's best-scored block.
+    pub fn from_best(score: u64, id: BlockId) -> Self {
+        AuxPartial {
+            weights: Vec::new(),
+            best: Some((score, id)),
+        }
+    }
+
+    /// Whether this partial carries no contribution at all.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty() && self.best.is_none()
+    }
+
+    /// The inserted-block weights, sorted by id.
+    pub fn weights(&self) -> &[(BlockId, u64)] {
+        &self.weights
+    }
+
+    /// The chain-rule best entry, if any, as `(score, block)`.
+    pub fn best(&self) -> Option<(u64, BlockId)> {
+        self.best
+    }
+
+    /// Folds `other` into `self`. Associative and commutative: `weights`
+    /// merge as a sorted multiset sum, `best` as the max under the rule's
+    /// total order — score first, then the deterministic path-lexicographic
+    /// tie-break every rule already uses, so equal-score shards resolve
+    /// identically regardless of merge order.
+    pub fn merge(mut self, store: &dyn BlockView, other: AuxPartial) -> AuxPartial {
+        if !other.weights.is_empty() {
+            if self.weights.is_empty() {
+                self.weights = other.weights;
+            } else {
+                let a = std::mem::take(&mut self.weights);
+                let mut merged = Vec::with_capacity(a.len() + other.weights.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < other.weights.len() {
+                    match a[i].0.cmp(&other.weights[j].0) {
+                        Ordering::Less => {
+                            merged.push(a[i]);
+                            i += 1;
+                        }
+                        Ordering::Greater => {
+                            merged.push(other.weights[j]);
+                            j += 1;
+                        }
+                        Ordering::Equal => {
+                            merged.push((a[i].0, a[i].1 + other.weights[j].1));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&a[i..]);
+                merged.extend_from_slice(&other.weights[j..]);
+                self.weights = merged;
+            }
+        }
+        self.best = match (self.best, other.best) {
+            (a, None) => a,
+            (None, b) => b,
+            (Some((sa, ia)), Some((sb, ib))) => {
+                let other_wins = sb
+                    .cmp(&sa)
+                    .then_with(|| cmp_paths_lexicographic(store, ib, ia))
+                    == Ordering::Greater;
+                Some(if other_wins { (sb, ib) } else { (sa, ia) })
+            }
+        };
+        self
+    }
+}
+
+/// Partitions a batch of inserted blocks by the genesis-child subtree each
+/// falls under (its ancestor at height 1) — the sharding key the two-stage
+/// drain uses to farm score updates before the associative merge. Shards
+/// appear in first-encounter order; within a shard the batch order is kept.
+pub fn partition_by_subtree(store: &dyn BlockView, inserts: &[BlockId]) -> Vec<Vec<BlockId>> {
+    let mut shards: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+    for &id in inserts {
+        let key = if store.height(id) == 0 {
+            id
+        } else {
+            store.ancestor_at(id, 1)
+        };
+        match shards.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, shard)) => shard.push(id),
+            None => shards.push((key, vec![id])),
+        }
+    }
+    shards.into_iter().map(|(_, shard)| shard).collect()
+}
+
+/// Two-stage batch scoring: partition `inserts` by subtree, score each
+/// shard to an [`AuxPartial`], fold the partials with the associative
+/// [`AuxPartial::merge`], and apply the result to `aux`. Returns the new
+/// selected tip.
+///
+/// `inserts` must be members of `tree`, parent-closed, and all inserted
+/// after the call that reported `current_tip`; the result equals folding
+/// [`SelectionFn::on_insert`] over them serially (differential-tested, and
+/// cross-checked against the full-scan `select_tip` oracle in debug
+/// builds by the concurrent drain).
+pub fn batch_score(
+    rule: &dyn SelectionFn,
+    store: &dyn BlockView,
+    tree: &TreeMembership,
+    aux: &mut SelectionAux,
+    inserts: &[BlockId],
+    current_tip: BlockId,
+) -> BlockId {
+    if inserts.is_empty() {
+        return current_tip;
+    }
+    let merged = partition_by_subtree(store, inserts)
+        .into_iter()
+        .map(|shard| rule.score_inserts(store, &shard))
+        .fold(AuxPartial::empty(), |acc, p| acc.merge(store, p));
+    rule.apply_partial(store, tree, aux, &merged, current_tip)
 }
 
 /// A deterministic selection function `f : BT → BC`, given by the tip of the
@@ -127,6 +302,46 @@ pub trait SelectionFn: Sync {
         } else {
             TipUpdate::Switched(tip)
         }
+    }
+
+    /// Scores one shard of a batch of inserts into an [`AuxPartial`]
+    /// (see [`batch_score`]). Only immutable per-block metadata may be
+    /// read — shard scoring runs before any shared selection state is
+    /// touched, so it must not depend on `aux` or on membership order.
+    ///
+    /// The default carries the shard as unit weights, which the default
+    /// `apply_partial` folds serially — correct before fast.
+    fn score_inserts(&self, _store: &dyn BlockView, inserts: &[BlockId]) -> AuxPartial {
+        AuxPartial::from_weights(inserts.iter().map(|&id| (id, 1)).collect())
+    }
+
+    /// Applies a merged batch contribution to `aux`, returning the new
+    /// selected tip. `partial` is the [`AuxPartial::merge`]-fold of
+    /// `score_inserts` over a partition of blocks that are already members
+    /// of `tree` and were all inserted after the call that reported
+    /// `current_tip`.
+    ///
+    /// The default replays the per-insert path in ascending id order (ids
+    /// are minted parent-first, so that order is parent-closed). Rules
+    /// whose `on_insert` reads membership state beyond the new block's
+    /// own path should override with a true batch step — the serial
+    /// replay sees the *final* membership at every step.
+    fn apply_partial(
+        &self,
+        store: &dyn BlockView,
+        tree: &TreeMembership,
+        aux: &mut SelectionAux,
+        partial: &AuxPartial,
+        current_tip: BlockId,
+    ) -> BlockId {
+        let mut tip = current_tip;
+        for &(id, _) in partial.weights() {
+            match self.on_insert(store, tree, aux, id, tip) {
+                TipUpdate::Unchanged => {}
+                TipUpdate::Extended(t) | TipUpdate::Switched(t) => tip = t,
+            }
+        }
+        tip
     }
 
     /// Human-readable name for reports.
@@ -220,6 +435,68 @@ fn chain_rule_on_insert(
     }
 }
 
+/// Shard scoring for the chain rules: a shard's contribution is just its
+/// best `(score, block)` — scores are immutable per block, so this reads
+/// one meta per insert and no shared state.
+fn chain_rule_score_inserts(
+    store: &dyn BlockView,
+    inserts: &[BlockId],
+    score: impl Fn(&crate::store::BlockMeta) -> u64,
+) -> AuxPartial {
+    let mut best: Option<(u64, BlockId)> = None;
+    for &id in inserts {
+        let s = score(&store.meta(id));
+        best = Some(match best {
+            None => (s, id),
+            Some((bs, bid)) => {
+                if s.cmp(&bs)
+                    .then_with(|| cmp_paths_lexicographic(store, id, bid))
+                    == Ordering::Greater
+                {
+                    (s, id)
+                } else {
+                    (bs, bid)
+                }
+            }
+        });
+    }
+    match best {
+        Some((s, id)) => AuxPartial::from_best(s, id),
+        None => AuxPartial::empty(),
+    }
+}
+
+/// Batch apply for the chain rules: the tip after a batch is the arg-max
+/// over {incumbent} ∪ batch, and the merged partial already holds the
+/// batch's arg-max, so this is one comparison against the memoized tip
+/// score — the batched counterpart of [`chain_rule_on_insert`].
+fn chain_rule_apply_partial(
+    store: &dyn BlockView,
+    aux: &mut SelectionAux,
+    partial: &AuxPartial,
+    current_tip: BlockId,
+    score: impl Fn(&crate::store::BlockMeta) -> u64,
+) -> BlockId {
+    let Some((new_score, new_block)) = partial.best() else {
+        return current_tip;
+    };
+    let tip_score = match aux.tip_score {
+        Some((tip, s)) if tip == current_tip => s,
+        _ => score(&store.meta(current_tip)),
+    };
+    if new_score
+        .cmp(&tip_score)
+        .then_with(|| cmp_paths_lexicographic(store, new_block, current_tip))
+        == Ordering::Greater
+    {
+        aux.tip_score = Some((new_block, new_score));
+        new_block
+    } else {
+        aux.tip_score = Some((current_tip, tip_score));
+        current_tip
+    }
+}
+
 /// The longest-chain rule with lexicographic tie-break (largest wins), as in
 /// the paper's running examples (Figs. 2–4) and Bitcoin's original rule.
 #[derive(Clone, Copy, Debug, Default)]
@@ -259,6 +536,21 @@ impl SelectionFn for LongestChain {
         current_tip: BlockId,
     ) -> TipUpdate {
         chain_rule_on_insert(store, aux, new_block, current_tip, |m| m.height as u64)
+    }
+
+    fn score_inserts(&self, store: &dyn BlockView, inserts: &[BlockId]) -> AuxPartial {
+        chain_rule_score_inserts(store, inserts, |m| m.height as u64)
+    }
+
+    fn apply_partial(
+        &self,
+        store: &dyn BlockView,
+        _tree: &TreeMembership,
+        aux: &mut SelectionAux,
+        partial: &AuxPartial,
+        current_tip: BlockId,
+    ) -> BlockId {
+        chain_rule_apply_partial(store, aux, partial, current_tip, |m| m.height as u64)
     }
 
     fn name(&self) -> &'static str {
@@ -306,6 +598,21 @@ impl SelectionFn for HeaviestWork {
         current_tip: BlockId,
     ) -> TipUpdate {
         chain_rule_on_insert(store, aux, new_block, current_tip, |m| m.cum_work)
+    }
+
+    fn score_inserts(&self, store: &dyn BlockView, inserts: &[BlockId]) -> AuxPartial {
+        chain_rule_score_inserts(store, inserts, |m| m.cum_work)
+    }
+
+    fn apply_partial(
+        &self,
+        store: &dyn BlockView,
+        _tree: &TreeMembership,
+        aux: &mut SelectionAux,
+        partial: &AuxPartial,
+        current_tip: BlockId,
+    ) -> BlockId {
+        chain_rule_apply_partial(store, aux, partial, current_tip, |m| m.cum_work)
     }
 
     fn name(&self) -> &'static str {
@@ -501,6 +808,65 @@ impl SelectionFn for Ghost {
         } else {
             TipUpdate::Switched(self.descend(store, tree, aux, winner))
         }
+    }
+
+    fn score_inserts(&self, store: &dyn BlockView, inserts: &[BlockId]) -> AuxPartial {
+        AuxPartial::from_weights(
+            inserts
+                .iter()
+                .map(|&id| (id, self.own_weight(store, id)))
+                .collect(),
+        )
+    }
+
+    /// Batched GHOST: one converging leaf→root walk propagates every
+    /// inserted weight (entries are processed deepest-first and pushed to
+    /// their parent, so shared ancestor paths are walked once — O(|union
+    /// of the insert paths|) instead of O(batch × depth)), then one
+    /// descent re-selects from the highest fork the batch could have
+    /// flipped.
+    ///
+    /// The descent may start at the old tip's ancestor at `h_min`, the
+    /// minimum height of LCA(old tip, b) over the inserted blocks `b`: a
+    /// flip at a node `v` strictly above every such LCA would need a
+    /// non-chosen child of `v` to gain weight, which would make `v` itself
+    /// an LCA of the old tip and some insert — contradicting minimality.
+    fn apply_partial(
+        &self,
+        store: &dyn BlockView,
+        tree: &TreeMembership,
+        aux: &mut SelectionAux,
+        partial: &AuxPartial,
+        current_tip: BlockId,
+    ) -> BlockId {
+        if partial.weights().is_empty() {
+            return current_tip;
+        }
+        if !aux.ready {
+            // First batch on this tree: the rebuild sees the inserts'
+            // weights already, nothing to propagate on top.
+            self.init_aux(store, tree, aux);
+        } else {
+            let mut pending: BTreeMap<(u32, BlockId), u64> = BTreeMap::new();
+            for &(id, w) in partial.weights() {
+                *pending.entry((store.height(id), id)).or_insert(0) += w;
+            }
+            while let Some((&(h, id), _)) = pending.last_key_value() {
+                let w = pending.remove(&(h, id)).expect("entry just observed");
+                aux.add_weight(id, w);
+                if let Some(p) = store.parent(id) {
+                    *pending.entry((h - 1, p)).or_insert(0) += w;
+                }
+            }
+        }
+        let h_min = partial
+            .weights()
+            .iter()
+            .map(|&(id, _)| store.height(store.common_ancestor(current_tip, id)))
+            .min()
+            .expect("non-empty batch");
+        let start = store.ancestor_at(current_tip, h_min);
+        self.descend(store, tree, aux, start)
     }
 
     fn name(&self) -> &'static str {

@@ -88,17 +88,7 @@ impl ChainCache {
     /// prefix: truncate at the fork, then append the new suffix. Costs
     /// O(log n) for the LCA plus O(|changed suffix|).
     fn splice_to(&mut self, store: &dyn BlockView, new_tip: BlockId) {
-        let lca = store.common_ancestor(self.chain.tip(), new_tip);
-        let keep = store.height(lca) as usize + 1;
-        let mut suffix = Vec::with_capacity(store.height(new_tip) as usize + 1 - keep);
-        let mut cur = new_tip;
-        while cur != lca {
-            suffix.push(cur);
-            cur = store.parent(cur).expect("lca is an ancestor of new_tip");
-        }
-        suffix.reverse();
-        self.chain.splice_in_place(keep, &suffix);
-        debug_assert_eq!(self.chain.tip(), new_tip);
+        advance_chain(store, &mut self.chain, new_tip);
     }
 
     /// The cached tip of `f(bt)` — O(1).
@@ -150,6 +140,34 @@ impl Default for ChainCache {
     fn default() -> Self {
         ChainCache::new()
     }
+}
+
+/// Moves a maintained `{b0}⌢f(bt)` chain to end at `new_tip`, reusing the
+/// shared prefix: a direct child pushes in place (amortized O(1)); anything
+/// else — a multi-block extension or a reorg — splices at the fork
+/// (O(log n) LCA + O(|changed suffix|)). Shared by [`ChainCache`] and the
+/// concurrent pipeline's publication stage, which advances the published
+/// chain by a whole drained batch at a time.
+pub(crate) fn advance_chain(store: &dyn BlockView, chain: &mut Blockchain, new_tip: BlockId) {
+    let old = chain.tip();
+    if new_tip == old {
+        return;
+    }
+    if store.parent(new_tip) == Some(old) {
+        chain.push_in_place(new_tip);
+        return;
+    }
+    let lca = store.common_ancestor(old, new_tip);
+    let keep = store.height(lca) as usize + 1;
+    let mut suffix = Vec::with_capacity(store.height(new_tip) as usize + 1 - keep);
+    let mut cur = new_tip;
+    while cur != lca {
+        suffix.push(cur);
+        cur = store.parent(cur).expect("lca is an ancestor of new_tip");
+    }
+    suffix.reverse();
+    chain.splice_in_place(keep, &suffix);
+    debug_assert_eq!(chain.tip(), new_tip);
 }
 
 #[cfg(test)]

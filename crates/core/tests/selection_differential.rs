@@ -384,6 +384,103 @@ fn mixed_inline_and_staged_commits_replay_identically() {
     }
 }
 
+/// The two-stage drain's sharded scoring: partition each drained batch by
+/// subtree, score the shards independently, fold them with the
+/// associative `merge`, apply once — and land exactly where the serial
+/// per-insert `on_insert` fold lands, which is itself held to the
+/// full-scan `select_tip` oracle. 20 seeds of fork-heavy random batches,
+/// for longest, heaviest, and both GHOST weightings, through the
+/// `check_partition_merge` checker (which also replays the shard fold in
+/// reverse order to catch merge-order sensitivity).
+#[test]
+fn sharded_batch_scoring_matches_serial_fold() {
+    use btadt_core::criteria::score_partition::check_partition_merge;
+    use btadt_core::selection::{batch_score, SelectionAux, TipUpdate};
+
+    for seed in 0..20u64 {
+        // Mint a fork-heavy tree; mint order is parent-closed, so any
+        // consecutive slice of it is a valid drained batch.
+        let n_blocks = 40 + (splitmix64_at(seed, 7) % 50) as usize;
+        let mut store = BlockStore::new();
+        let mut minted = vec![BlockId::GENESIS];
+        for step in 0..n_blocks as u64 {
+            let parent = pick_parent(seed ^ 0x7EA2, step, &minted);
+            let work = 1 + splitmix64_at(seed ^ 0x3054, step) % 4;
+            minted.push(store.mint(
+                parent,
+                ProcessId((step % 4) as u32),
+                (step % 4) as u32,
+                work,
+                step,
+                Payload::Empty,
+            ));
+        }
+
+        for (name, rule) in rules() {
+            // Batched pipeline state vs the serial commit-log fold. The
+            // serial side keeps its own membership and inserts one block
+            // at a time, exactly as the pre-pipeline drain did — so its
+            // incremental state is warmed against the tree-so-far, never
+            // against a tree that already holds the rest of the batch.
+            let mut tree = TreeMembership::genesis_only();
+            let mut aux = SelectionAux::new();
+            let mut tip = BlockId::GENESIS;
+            let mut serial_tree = TreeMembership::genesis_only();
+            let mut serial_aux = SelectionAux::new();
+            let mut serial_tip = BlockId::GENESIS;
+            let mut commit_log: Vec<BlockId> = Vec::new();
+            let mut serial_log: Vec<BlockId> = Vec::new();
+
+            let mut next = 1usize;
+            let mut batch_no = 0u64;
+            while next <= n_blocks {
+                // Drained batches of 1..=6 commits, like a contended drain.
+                let want = 1 + (splitmix64_at(seed ^ 0xBA7C, batch_no) % 6) as usize;
+                let batch: Vec<BlockId> = minted[next..(next + want).min(n_blocks + 1)].to_vec();
+                next += batch.len();
+                batch_no += 1;
+
+                for &id in &batch {
+                    tree.insert(&store, id);
+                }
+                let violations =
+                    check_partition_merge(rule.as_ref(), &store, &tree, &aux, &batch, tip);
+                assert!(
+                    violations.is_empty(),
+                    "seed {seed} batch {batch_no} rule {name}: {violations:?}"
+                );
+                tip = batch_score(rule.as_ref(), &store, &tree, &mut aux, &batch, tip);
+                commit_log.extend_from_slice(&batch);
+
+                // Serial fold over the identical commits, one at a time.
+                for &id in &batch {
+                    serial_tree.insert(&store, id);
+                    match rule.on_insert(&store, &serial_tree, &mut serial_aux, id, serial_tip) {
+                        TipUpdate::Unchanged => {}
+                        TipUpdate::Extended(t) | TipUpdate::Switched(t) => serial_tip = t,
+                    }
+                    serial_log.push(id);
+                }
+                assert_eq!(
+                    tip, serial_tip,
+                    "seed {seed} batch {batch_no} rule {name}: batched tip diverged"
+                );
+            }
+            assert_eq!(commit_log, serial_log, "seed {seed} rule {name}");
+            assert_eq!(
+                tip,
+                rule.select_tip(&store, &tree),
+                "seed {seed} rule {name}: final tip vs oracle"
+            );
+            assert_eq!(
+                Blockchain::from_tip(&store, tip),
+                Blockchain::from_tip(&store, serial_tip),
+                "seed {seed} rule {name}: chains diverged"
+            );
+        }
+    }
+}
+
 /// Repeated reads of an unchanged tip must share one snapshot allocation —
 /// the zero-rewalk guarantee (`path_from_genesis` is off the read path).
 #[test]

@@ -44,6 +44,7 @@
 
 use btadt_core::blocktree::CandidateBlock;
 use btadt_core::chain::Blockchain;
+use btadt_core::commit::PipelineStats;
 use btadt_core::concurrent::ConcurrentBlockTree;
 use btadt_core::history::{History, Invocation, Response};
 use btadt_core::ids::{splitmix64_at, BlockId, ProcessId, Time};
@@ -111,6 +112,11 @@ pub struct MtRun {
     /// Thm. 3.2 k-fork coherence of the shared oracle, when one gated the
     /// run (`None` for un-mined workloads).
     pub fork_coherent: Option<bool>,
+    /// Commit-pipeline counters at the end of the run: how the appends
+    /// split across the inline and queued paths, and how long the two
+    /// pipeline stages held their locks (`drain_lock_ns` / `score_ns` /
+    /// `publish_ns`).
+    pub pipeline: PipelineStats,
 }
 
 /// One thread's private log entry, merged into the [`History`] after join.
@@ -423,6 +429,7 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
         history,
         appended,
         fork_coherent: oracle.as_ref().map(|o| o.fork_coherent()),
+        pipeline: tree.pipeline_stats(),
     }
 }
 
@@ -489,6 +496,9 @@ pub struct ConsensusRun {
     /// snapshot, log merge, history construction) — what a throughput
     /// number should divide by.
     pub threads_wall: std::time::Duration,
+    /// Commit-pipeline counters at the end of the run (inline/queued
+    /// split and the two-stage lock timings).
+    pub pipeline: PipelineStats,
 }
 
 /// Drives `cfg` against a fresh `ConcurrentBlockTree<F, AcceptAll>` +
@@ -663,5 +673,6 @@ pub fn run_consensus_workload<F: SelectionFn>(selection: F, cfg: &ConsensusConfi
         decisions,
         fork_coherent: oracle.fork_coherent(),
         threads_wall,
+        pipeline: tree.pipeline_stats(),
     }
 }

@@ -257,3 +257,88 @@ fn frugal_token_gate_smoke() {
         );
     }
 }
+
+/// Fork-heavy GHOST stress for the two-stage commit pipeline: 4 appenders
+/// extending the selected tip race 2 forkers grafting at random depths of
+/// the published chain, so drained batches regularly span several
+/// subtrees and the sharded scoring path (partition → merge → one apply)
+/// carries real reorg pressure. The oracle is the replay: the commit log
+/// folded serially through the sequential machinery must land on the
+/// published chain bit-for-bit, and the published tip must equal the
+/// full-scan selection.
+#[test]
+fn fork_heavy_ghost_four_appender_stress() {
+    use btadt_core::blocktree::CandidateBlock;
+    use btadt_core::chain::Blockchain;
+    use btadt_core::concurrent::ConcurrentBlockTree;
+    use btadt_core::ids::{splitmix64_at, ProcessId};
+    use btadt_core::selection::{Ghost, GhostWeight, SelectionFn};
+    use btadt_core::store::TreeMembership;
+    use btadt_core::tipcache::ChainCache;
+    use btadt_core::validity::AcceptAll;
+
+    let appenders = 4u32;
+    let appends_each = 50u64;
+    let forkers = 2u32;
+    let grafts_each = 30u64;
+    for seed in 0..6u64 {
+        let rule = Ghost {
+            weight: GhostWeight::BlockCount,
+        };
+        let cbt = ConcurrentBlockTree::new(rule, AcceptAll);
+        std::thread::scope(|s| {
+            for t in 0..appenders {
+                let cbt = &cbt;
+                s.spawn(move || {
+                    for i in 0..appends_each {
+                        let r = splitmix64_at(seed ^ ((t as u64) << 8), i);
+                        let cand = CandidateBlock::simple(ProcessId(t), ((t as u64) << 32) | i)
+                            .with_work(1 + r % 4);
+                        cbt.append(cand).expect("AcceptAll");
+                    }
+                });
+            }
+            for t in appenders..appenders + forkers {
+                let cbt = &cbt;
+                s.spawn(move || {
+                    for i in 0..grafts_each {
+                        let chain = cbt.read();
+                        let ids = chain.ids();
+                        let r = splitmix64_at(seed ^ ((t as u64) << 8), i);
+                        let parent = ids[(r as usize >> 3) % ids.len()];
+                        let cand = CandidateBlock::simple(ProcessId(t), ((t as u64) << 32) | i)
+                            .with_work(1 + r % 4);
+                        cbt.graft(parent, cand).expect("AcceptAll");
+                    }
+                });
+            }
+        });
+
+        let total = (appenders as u64 * appends_each + forkers as u64 * grafts_each) as usize;
+        let store = cbt.snapshot_store();
+        let log = cbt.commit_log();
+        assert_eq!(log.len(), total, "seed {seed}: every commit recorded");
+        assert_eq!(
+            cbt.selected_tip(),
+            cbt.selected_tip_full_scan(),
+            "seed {seed}: published tip vs full-scan oracle"
+        );
+
+        let mut tree = TreeMembership::genesis_only();
+        let mut cache = ChainCache::new();
+        for (step, &id) in log.iter().enumerate() {
+            tree.insert(&store, id);
+            cache.on_insert(&rule, &store, &tree, id);
+            assert_eq!(
+                cache.tip(),
+                rule.select_tip(&store, &tree),
+                "seed {seed} step {step}: replay diverged from full scan"
+            );
+        }
+        assert_eq!(
+            cache.chain(),
+            Blockchain::from_tip(&store, cbt.selected_tip()),
+            "seed {seed}: sequential replay chain ≠ published chain"
+        );
+    }
+}
