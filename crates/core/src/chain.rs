@@ -28,9 +28,9 @@
 use crate::ids::BlockId;
 use crate::score::ScoreFn;
 use crate::store::BlockView;
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Grow-only shared id buffer backing [`Blockchain`] prefix views.
@@ -60,6 +60,8 @@ struct ChainBuf {
 // immutable, the frontier cell is written by exactly one claiming writer
 // before any view covering it exists.
 unsafe impl Send for ChainBuf {}
+// SAFETY: same protocol as Send above — shared references only ever read
+// the immutable below-frontier prefix.
 unsafe impl Sync for ChainBuf {}
 
 impl ChainBuf {
@@ -77,6 +79,8 @@ impl ChainBuf {
     fn from_slice(ids: &[BlockId], cap: usize) -> ChainBuf {
         let buf = ChainBuf::with_capacity(cap.max(ids.len()));
         for (i, &id) in ids.iter().enumerate() {
+            // SAFETY: `buf` is freshly constructed and not yet shared, so
+            // these are exclusive writes to unaliased cells.
             unsafe { *buf.cells[i].get() = id };
         }
         buf.init.store(ids.len(), Ordering::Release);
@@ -88,8 +92,13 @@ impl ChainBuf {
         self.cells.len()
     }
 
-    /// The first `len` cells. Caller must guarantee `len` cells were
-    /// initialized before this view existed (the `Blockchain` invariant).
+    /// The first `len` cells.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `len` cells were initialized before this view
+    /// existed (the `Blockchain` invariant), which also makes them
+    /// immutable for the lifetime of the returned slice.
     #[inline]
     unsafe fn slice(&self, len: usize) -> &[BlockId] {
         std::slice::from_raw_parts(self.cells.as_ptr() as *const BlockId, len)
@@ -187,6 +196,8 @@ impl Blockchain {
         if let Some(buf) = Arc::get_mut(&mut self.buf) {
             // Sole owner: write directly, no frontier coordination needed.
             if self.len < buf.capacity() {
+                // SAFETY: `Arc::get_mut` proved exclusive ownership of the
+                // buffer, so no other view can observe this cell.
                 unsafe { *buf.cells[self.len].get() = b };
                 *buf.init.get_mut() = self.len + 1;
                 self.len += 1;
@@ -196,11 +207,13 @@ impl Blockchain {
             && self
                 .buf
                 .init
+                // relaxed: failure ordering — on a lost race we fall through
+                // to the copy path and never touch the contested cell.
                 .compare_exchange(self.len, self.len + 1, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
         {
-            // Shared buffer, and this view ends exactly at the frontier:
-            // the CAS claimed cell `len` exclusively. Write it; views
+            // SAFETY: shared buffer, and this view ends exactly at the
+            // frontier: the CAS claimed cell `len` exclusively. Views
             // covering the cell are only created from `self` afterwards.
             unsafe { *self.buf.cells[self.len].get() = b };
             self.len += 1;
@@ -209,6 +222,7 @@ impl Blockchain {
         // Out of capacity, or a diverged owner claimed the slot first:
         // copy this view into a doubled buffer.
         let buf = ChainBuf::from_slice(self.ids(), (self.len + 1).next_power_of_two());
+        // SAFETY: `buf` is freshly allocated and still exclusively owned.
         unsafe { *buf.cells[self.len].get() = b };
         buf.init.store(self.len + 1, Ordering::Release);
         self.buf = Arc::new(buf);
@@ -225,6 +239,8 @@ impl Blockchain {
         match Arc::get_mut(&mut self.buf) {
             Some(buf) if new_len <= buf.capacity() => {
                 for (i, &id) in suffix.iter().enumerate() {
+                    // SAFETY: `Arc::get_mut` proved exclusive ownership, so
+                    // rewriting initialized cells cannot race a reader.
                     unsafe { *buf.cells[keep + i].get() = id };
                 }
                 *buf.init.get_mut() = new_len;
@@ -232,6 +248,7 @@ impl Blockchain {
             _ => {
                 let buf = ChainBuf::from_slice(&self.ids()[..keep], new_len.next_power_of_two());
                 for (i, &id) in suffix.iter().enumerate() {
+                    // SAFETY: fresh, exclusively owned buffer.
                     unsafe { *buf.cells[keep + i].get() = id };
                 }
                 buf.init.store(new_len, Ordering::Release);

@@ -52,8 +52,8 @@
 //! stored only after the batch's records are on disk.
 
 use crate::ids::BlockId;
+use crate::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 const PENDING: u32 = 0;
 const COMMITTED: u32 = 1;
@@ -105,6 +105,8 @@ impl CommitReq {
     pub fn resolve(&self, outcome: Option<BlockId>) {
         match outcome {
             Some(id) => {
+                // relaxed: the Release store of `status` below orders this
+                // payload write before any Acquire reader of COMMITTED.
                 self.result.store(id.0, Ordering::Relaxed);
                 self.status.store(COMMITTED, Ordering::Release);
             }
@@ -116,6 +118,8 @@ impl CommitReq {
     pub fn poll(&self) -> Option<Option<BlockId>> {
         match self.status.load(Ordering::Acquire) {
             PENDING => None,
+            // relaxed: the Acquire load of COMMITTED above synchronizes
+            // with resolve()'s Release store, making `result` visible.
             COMMITTED => Some(Some(BlockId(self.result.load(Ordering::Relaxed)))),
             _ => Some(None),
         }
@@ -160,10 +164,14 @@ impl CommitQueue {
     pub unsafe fn push(&self, req: *const CommitReq) {
         let node = req as *mut CommitReq;
         loop {
+            // relaxed: stale head snapshots only cost a CAS retry.
             let head = self.head.load(Ordering::Relaxed);
+            // relaxed: the `next` link is published by the Release CAS.
             (*node).next.store(head, Ordering::Relaxed);
             if self
                 .head
+                // relaxed: failure ordering — a failed attempt publishes
+                // nothing and just retries the loop.
                 .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
                 .is_ok()
             {
@@ -188,24 +196,30 @@ impl CommitQueue {
             // SAFETY: the swap transferred exclusive ownership of the
             // whole list to this caller; nodes are alive per `push`'s
             // contract (their owners are still polling).
+            // relaxed: the Acquire swap above saw each pusher's Release
+            // CAS, which ordered its `next` store before the handoff.
             node = unsafe { (*node).next.load(Ordering::Relaxed) };
         }
         batch.reverse();
         if !batch.is_empty() {
+            // relaxed: observability counters — read only by stats(), no
+            // ordering with the drained payloads required.
             self.drains.fetch_add(1, Ordering::Relaxed);
             self.drained
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                .fetch_add(batch.len() as u64, Ordering::Relaxed); // relaxed: stats counter
             self.max_batch
-                .fetch_max(batch.len() as u64, Ordering::Relaxed);
+                .fetch_max(batch.len() as u64, Ordering::Relaxed); // relaxed: stats counter
         }
         batch
     }
 
     pub fn stats(&self) -> PipelineStats {
         PipelineStats {
+            // relaxed: approximate observability snapshot; counters are
+            // independent and need no ordering with each other.
             batches: self.drains.load(Ordering::Relaxed),
-            batched_appends: self.drained.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
+            batched_appends: self.drained.load(Ordering::Relaxed), // relaxed: stats snapshot
+            max_batch: self.max_batch.load(Ordering::Relaxed),     // relaxed: stats snapshot
             inline_appends: 0,
             score_ns: 0,
             publish_ns: 0,
@@ -327,6 +341,8 @@ mod tests {
     fn take_all_preserves_enqueue_order() {
         let q = CommitQueue::new();
         let (a, b, c) = (req(0), req(1), req(2));
+        // SAFETY: the requests are stack locals that outlive every queue
+        // operation in this test.
         unsafe {
             q.push(&a);
             q.push(&b);
@@ -334,9 +350,10 @@ mod tests {
         }
         let batch = q.take_all();
         assert_eq!(batch.len(), 3);
+        // SAFETY: the pointers come from the live locals pushed above.
         assert_eq!(unsafe { (*batch[0]).minted }, a.minted);
-        assert_eq!(unsafe { (*batch[1]).minted }, b.minted);
-        assert_eq!(unsafe { (*batch[2]).minted }, c.minted);
+        assert_eq!(unsafe { (*batch[1]).minted }, b.minted); // SAFETY: as above
+        assert_eq!(unsafe { (*batch[2]).minted }, c.minted); // SAFETY: as above
         assert!(q.take_all().is_empty(), "queue drained");
         let stats = q.stats();
         assert_eq!(stats.batches, 1);
@@ -356,6 +373,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "yield-loop timing stress; the modelcheck suite covers the push/drain races"
+    )]
     fn concurrent_producers_lose_no_requests() {
         let q = CommitQueue::new();
         let reqs: Vec<Vec<CommitReq>> = (0..4)
@@ -367,6 +388,8 @@ mod tests {
                 let q = &q;
                 s.spawn(move || {
                     for r in thread_reqs {
+                        // SAFETY: `reqs` outlives the scope; nodes stay
+                        // valid for the whole test.
                         unsafe { q.push(r) };
                     }
                 });

@@ -86,12 +86,12 @@ use crate::epoch::{EpochDomain, Guard, RecycleBin};
 use crate::ids::BlockId;
 use crate::selection::{batch_score, SelectionAux, SelectionFn, TipUpdate};
 use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
+use crate::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 use crate::tipcache::advance_chain;
 use crate::validity::ValidityPredicate;
 use crate::wal::{CheckpointJob, CommitRecord, RecordRef, Wal, WalConfig, WalStats};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Default shard count for [`ShardedStore`] (must be a power of two).
 pub const DEFAULT_SHARDS: usize = 16;
@@ -141,7 +141,7 @@ const SPINE: usize = 32;
 /// fold) run **without any lock**: the per-shard `RwLock` this replaces
 /// charged two atomic RMWs per read, several times per append.
 struct Chunk {
-    ready: Box<[std::sync::atomic::AtomicBool]>,
+    ready: Box<[crate::sync::atomic::AtomicBool]>,
     entries: Box<[std::cell::UnsafeCell<std::mem::MaybeUninit<Entry>>]>,
 }
 
@@ -149,7 +149,7 @@ impl Chunk {
     fn new(len: usize) -> Chunk {
         Chunk {
             ready: (0..len)
-                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .map(|_| crate::sync::atomic::AtomicBool::new(false))
                 .collect(),
             entries: (0..len)
                 .map(|_| std::cell::UnsafeCell::new(std::mem::MaybeUninit::uninit()))
@@ -1165,6 +1165,8 @@ impl ShardedStore {
             .target
             .load(Ordering::Acquire)
             .min(self.next_id.load(Ordering::Acquire));
+        // relaxed: pre-ticket probe; a stale low read only means we take
+        // the ticket and re-check, a stale high read skips one call.
         if self.flat.count.load(Ordering::Relaxed) >= bound {
             return 0;
         }
@@ -1172,6 +1174,8 @@ impl ShardedStore {
             return 0; // another thread is flattening right now
         };
         // Sole flattener from here: `count` cannot move under us.
+        // relaxed: only the ticket holder advances `count`, so this
+        // re-read is of our own (or a happens-before) value.
         let start = self.flat.count.load(Ordering::Relaxed);
         let goal = bound.max(start).min(start.saturating_add(budget as u32));
         let mut next = start;
@@ -1315,6 +1319,7 @@ impl ShardedStore {
 // afterwards; (c) child lists and the late-kids table, behind mutexes.
 // All are safe to share across threads.
 unsafe impl Sync for ShardedStore {}
+// SAFETY: same argument as Sync above; no thread-affine state is held.
 unsafe impl Send for ShardedStore {}
 
 impl Default for ShardedStore {
@@ -1782,7 +1787,7 @@ struct PubBatch {
 /// the staged queue held, publishes directly once the selection lock
 /// drops, with no queue push and no second staged-mutex round trip.
 struct ClaimedPub<'t> {
-    publ: parking_lot::MutexGuard<'t, PubState>,
+    publ: crate::sync::MutexGuard<'t, PubState>,
     /// The run to publish, in commit-log order; the claimant's own batch
     /// is last.
     batches: Vec<PubBatch>,
@@ -2274,6 +2279,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 self.score_inserts_locked(sel, &[id], tip_before);
             }
         }));
+        // relaxed: stats counter, read only by pipeline_stats().
         self.inline_commits.fetch_add(1, Ordering::Relaxed);
         self.record_batch_size(1);
         match run {
@@ -2397,10 +2403,12 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// uncontended), pinning the threshold at the floor and sweeping 8×
     /// too often on exactly the path the adaptivity exists for.
     fn record_batch_size(&self, n: usize) {
+        // relaxed: lossy EWMA heuristic — concurrent updates may drop a
+        // sample, which only nudges the sweep threshold.
         let old = self.avg_batch_x8.load(Ordering::Relaxed).max(8) as u64;
         let new = (old * 7 + n as u64 * 8) / 8;
         self.avg_batch_x8
-            .store(new.min(u32::MAX as u64) as u32, Ordering::Relaxed);
+            .store(new.min(u32::MAX as u64) as u32, Ordering::Relaxed); // relaxed: EWMA heuristic
     }
 
     /// The adaptive sweep threshold: inversely proportional to the
@@ -2410,6 +2418,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// roughly constant whether appends publish one by one (inline) or in
     /// batches (see the constants' docs).
     fn reclaim_threshold(&self) -> usize {
+        // relaxed: heuristic read of the EWMA; any recent value will do.
         let avg_x8 = self.avg_batch_x8.load(Ordering::Relaxed).max(8) as usize;
         (RECLAIM_PENDING_MIN * 8 * 8 / avg_x8).clamp(RECLAIM_PENDING_MIN, RECLAIM_PENDING_MAX)
     }
@@ -2592,7 +2601,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             }
         };
         self.stat_drain_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed); // relaxed: stats counter
         Some(DrainSettle {
             batch,
             outcomes,
@@ -2664,7 +2673,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 tip_before,
             );
             self.stat_score_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed); // relaxed: stats counter
             tip
         };
         sel.tip = new_tip;
@@ -2803,7 +2812,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         let t0 = std::time::Instant::now();
         self.publish_batches_locked(&mut publ, &batches);
         self.stat_publish_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed); // relaxed: stats counter
         batches.clear();
         publ.spare = batches;
     }
@@ -3236,10 +3245,12 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// and publish unclocked, so the ratios compare like with like.
     pub fn pipeline_stats(&self) -> PipelineStats {
         let mut stats = self.queue.stats();
+        // relaxed: approximate observability snapshot, counters are
+        // independent of each other and of the pipeline state.
         stats.inline_appends = self.inline_commits.load(Ordering::Relaxed);
-        stats.drain_lock_ns = self.stat_drain_ns.load(Ordering::Relaxed);
-        stats.score_ns = self.stat_score_ns.load(Ordering::Relaxed);
-        stats.publish_ns = self.stat_publish_ns.load(Ordering::Relaxed);
+        stats.drain_lock_ns = self.stat_drain_ns.load(Ordering::Relaxed); // relaxed: stats snapshot
+        stats.score_ns = self.stat_score_ns.load(Ordering::Relaxed); // relaxed: stats snapshot
+        stats.publish_ns = self.stat_publish_ns.load(Ordering::Relaxed); // relaxed: stats snapshot
         stats
     }
 
@@ -3503,9 +3514,9 @@ mod tests {
         let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
         assert_eq!(bt.reclaim_threshold(), RECLAIM_PENDING_MAX, "mean 1.0");
         // Simulate a contended history: fat batches reported by drains.
-        bt.avg_batch_x8.store(8 * 8, Ordering::Relaxed); // mean batch 8
+        bt.avg_batch_x8.store(8 * 8, Ordering::Relaxed); // mean batch 8; relaxed: single-threaded test
         assert_eq!(bt.reclaim_threshold(), RECLAIM_PENDING_MIN);
-        bt.avg_batch_x8.store(8 * 2, Ordering::Relaxed); // mean batch 2
+        bt.avg_batch_x8.store(8 * 2, Ordering::Relaxed); // mean batch 2; relaxed: single-threaded test
         assert_eq!(bt.reclaim_threshold(), RECLAIM_PENDING_MAX / 2);
     }
 

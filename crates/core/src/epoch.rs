@@ -47,11 +47,11 @@
 //! (`wrapping_sub` masked to 63 bits), so the protocol survives a full
 //! wrap — exercised by the unit tests via [`EpochDomain::with_config`].
 
-use parking_lot::Mutex;
+use crate::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 
 /// Reader slots per domain. More slots than the workload has
 /// simultaneously pinned readers costs only idle memory; fewer makes
@@ -65,7 +65,10 @@ pub const DEFAULT_READER_SLOTS: usize = 256;
 /// reclamation bookkeeping off the commit pipeline's drain path (two
 /// appenders finishing simultaneously used to collide on one global
 /// garbage mutex: one retiring, one sweeping).
-pub const LOCAL_BAG_SLOTS: usize = 16;
+/// Model builds shrink the slot count: every bag mutex a sweep visits is
+/// a schedule point, and 16 slots would multiply the explored state
+/// space without adding any interleaving the 2-slot version misses.
+pub const LOCAL_BAG_SLOTS: usize = if cfg!(btadt_model) { 2 } else { 16 };
 
 /// Bags this many epochs old are safe to free (see the module docs).
 pub const GRACE_EPOCHS: u64 = 2;
@@ -94,10 +97,13 @@ enum Deferred {
     /// `Box<T>` turned raw; dropped by the paired shim. The pointer came
     /// from `Box::into_raw` in [`EpochDomain::retire`], which also makes
     /// it safe to send across threads (the boxed `T: Send`).
+    // SAFETY: the unsafe shim is only ever the monomorphized drop for the
+    // exact `T` the pointer was constructed with.
     Ptr(*mut (), unsafe fn(*mut ())),
     /// As `Ptr`, but the shim hands the box to a [`RecycleBin`] (the
     /// third word) instead of the allocator — see
     /// [`EpochDomain::retire_box_recycling`].
+    // SAFETY: as `Ptr`; the third word is the bin the shim was paired with.
     Recycle(*mut (), unsafe fn(*mut (), *const ()), *const ()),
     Closure(Box<dyn FnOnce() + Send>),
 }
@@ -154,17 +160,25 @@ impl<T> RecycleBin<T> {
     }
 }
 
+/// # Safety
+///
+/// `p` must come from `Box::<T>::into_raw` and `ctx` from a
+/// `&RecycleBin<T>` that outlives the call (the
+/// `retire_box_recycling` contract). Called at most once per pointer.
 unsafe fn recycle_shim<T>(p: *mut (), ctx: *const ()) {
-    // SAFETY: `p` came from `Box::<T>::into_raw` and `ctx` from
-    // `&RecycleBin<T>` in `retire_box_recycling`, whose contract keeps
-    // the bin alive until every such deferred item has run.
+    // SAFETY: the function's contract — `p` is an unaliased box of `T`.
     let value = unsafe { Box::from_raw(p as *mut T) };
+    // SAFETY: the function's contract — the bin behind `ctx` is alive.
     let bin = unsafe { &*(ctx as *const RecycleBin<T>) };
     bin.put(value);
 }
 
+/// # Safety
+///
+/// `p` must come from `Box::<T>::into_raw` (see `retire`); called at
+/// most once per pointer.
 unsafe fn drop_box_shim<T>(p: *mut ()) {
-    // SAFETY: `p` came from `Box::<T>::into_raw` (see `retire`).
+    // SAFETY: the function's contract — `p` is an unaliased box of `T`.
     drop(unsafe { Box::from_raw(p as *mut T) });
 }
 
@@ -254,6 +268,8 @@ impl EpochDomain {
         let mut probes = 0usize;
         loop {
             let slot = &self.slots[idx].0;
+            // relaxed: availability probe only — the SeqCst CAS below is
+            // what actually claims the slot (and re-checks it is free).
             if slot.load(Ordering::Relaxed) == 0 {
                 // Register the slot in the scan range *before* claiming
                 // it: a scan whose watermark load misses this slot is
@@ -266,12 +282,16 @@ impl EpochDomain {
                 // epoch advance arbitrarily far past a live pin.) The
                 // watermark never shrinks and steady-state pins re-use
                 // their hinted slot, so the fetch_max runs once per slot
-                // ever; a stale relaxed read just repeats it idempotently.
+                // ever; relaxed: a stale read just repeats it idempotently.
                 if self.slots_high.load(Ordering::Relaxed) < idx + 1 {
                     self.slots_high.fetch_max(idx + 1, Ordering::SeqCst);
                 }
+                // relaxed: an optimistic epoch guess — the re-validation
+                // loop after the SeqCst claim repairs any staleness.
                 let mut e = self.global.load(Ordering::Relaxed) & EPOCH_MASK;
                 if slot
+                    // relaxed: failure ordering — a lost claim publishes
+                    // nothing and moves on to probe the next slot.
                     .compare_exchange(0, (e << 1) | 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
                 {
@@ -417,13 +437,16 @@ impl EpochDomain {
                 }),
             }
         }
+        // relaxed: boundedness accounting only — the bag mutex orders the
+        // garbage itself; these counters feed stats and the sweep trigger.
         let now = self.retired_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         // Load-then-max: the peak only moves on a new high, so the common
-        // case is one relaxed load instead of a cmpxchg loop per retire.
+        // case is one load instead of a cmpxchg loop per retire.
+        // relaxed: stats high-water mark, no ordering needed.
         if self.retired_bytes_peak.load(Ordering::Relaxed) < now {
-            self.retired_bytes_peak.fetch_max(now, Ordering::Relaxed);
+            self.retired_bytes_peak.fetch_max(now, Ordering::Relaxed); // relaxed: stats peak
         }
-        self.pending_items.fetch_add(1, Ordering::Relaxed);
+        self.pending_items.fetch_add(1, Ordering::Relaxed); // relaxed: sweep-trigger counter
     }
 
     /// Tries to advance the global epoch (possible iff every pinned slot
@@ -465,6 +488,7 @@ impl EpochDomain {
         // Run the deferred drops outside the bag lock.
         let mut freed = 0;
         for bag in ripe {
+            // relaxed: boundedness accounting, mirrors the defer-side add.
             self.retired_bytes.fetch_sub(bag.bytes, Ordering::Relaxed);
             freed += bag.items.len();
             for item in bag.items {
@@ -472,9 +496,10 @@ impl EpochDomain {
             }
         }
         if freed > 0 {
+            // relaxed: sweep-trigger/stats counters, no ordering needed.
             self.pending_items.fetch_sub(freed, Ordering::Relaxed);
             self.reclaimed_items
-                .fetch_add(freed as u64, Ordering::Relaxed);
+                .fetch_add(freed as u64, Ordering::Relaxed); // relaxed: stats counter
         }
         freed
     }
@@ -519,6 +544,8 @@ impl EpochDomain {
                 g,
                 g.wrapping_add(1) & EPOCH_MASK,
                 Ordering::SeqCst,
+                // relaxed: failure ordering — a lost advance race changes
+                // nothing; the next sweep simply retries.
                 Ordering::Relaxed,
             )
             .is_ok()
@@ -541,22 +568,22 @@ impl EpochDomain {
 
     /// Items currently awaiting reclamation.
     pub fn pending_items(&self) -> usize {
-        self.pending_items.load(Ordering::Relaxed)
+        self.pending_items.load(Ordering::Relaxed) // relaxed: stats snapshot
     }
 
     /// Bytes currently awaiting reclamation (as reported by retirers).
     pub fn retired_bytes(&self) -> usize {
-        self.retired_bytes.load(Ordering::Relaxed)
+        self.retired_bytes.load(Ordering::Relaxed) // relaxed: stats snapshot
     }
 
     /// High-water mark of [`retired_bytes`](Self::retired_bytes).
     pub fn retired_bytes_peak(&self) -> usize {
-        self.retired_bytes_peak.load(Ordering::Relaxed)
+        self.retired_bytes_peak.load(Ordering::Relaxed) // relaxed: stats snapshot
     }
 
     /// Items freed over the domain's lifetime.
     pub fn reclaimed_items(&self) -> u64 {
-        self.reclaimed_items.load(Ordering::Relaxed)
+        self.reclaimed_items.load(Ordering::Relaxed) // relaxed: stats snapshot
     }
 }
 
@@ -607,6 +634,7 @@ pub struct Guard<'d> {
 impl Guard<'_> {
     /// The epoch this guard pinned.
     pub fn epoch(&self) -> u64 {
+        // relaxed: reading our own slot — the owning thread wrote it.
         self.domain.slots[self.idx].0.load(Ordering::Relaxed) >> 1
     }
 }
@@ -706,10 +734,24 @@ fn live_pins_of(domain: usize) -> usize {
 /// Seeds distinct threads at distinct slots.
 static HINT_SEED: AtomicUsize = AtomicUsize::new(0);
 
+/// Model-checking hook: resets the process-global slot-hint seed.
+///
+/// The explorer runs each interleaving on fresh OS threads (so the
+/// `SLOT_HINT` thread-locals start clean), but `HINT_SEED` is a global
+/// that would otherwise keep growing across executions and hand later
+/// executions different slots — breaking schedule replay. Suites call
+/// this at the top of every explored body.
+#[cfg(btadt_model)]
+pub fn reset_slot_hint_seed() {
+    // relaxed: test-only hook, called before any model thread spawns.
+    HINT_SEED.store(0, Ordering::Relaxed);
+}
+
 fn slot_hint() -> usize {
     SLOT_HINT.with(|h| {
         let v = h.get();
         if v == usize::MAX {
+            // relaxed: unique-id handout; no ordering with anything else.
             let v = HINT_SEED.fetch_add(1, Ordering::Relaxed);
             h.set(v);
             v
@@ -846,6 +888,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "iteration-heavy stress; the modelcheck suite covers this interleaving space"
+    )]
     fn concurrent_pin_unpin_is_exclusive_per_slot() {
         let d = EpochDomain::with_config(4, 0);
         std::thread::scope(|s| {
@@ -909,6 +955,10 @@ mod tests {
     /// first, so a violated grace period fails the reader's assert
     /// instead of passing silently.
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "iteration-heavy stress; the modelcheck suite covers this interleaving space"
+    )]
     fn racing_reclaimers_never_free_inside_the_grace_period() {
         const MAGIC: u64 = 0xA11C_E0FF_C0FF_EE00;
         const POISON: u64 = 0xDEAD_DEAD_DEAD_DEAD;
@@ -921,6 +971,8 @@ mod tests {
                     for _ in 0..3_000 {
                         let fresh = Box::into_raw(Box::new(MAGIC)) as usize;
                         let old = ptr.swap(fresh, Ordering::AcqRel);
+                        // SAFETY: `old` was unlinked by the swap above, so
+                        // this deferred drop owns it once the grace ends.
                         d.defer(8, move || unsafe {
                             let p = old as *mut u64;
                             p.write_volatile(POISON);
@@ -939,6 +991,8 @@ mod tests {
                     for _ in 0..6_000 {
                         let g = d.pin();
                         let p = ptr.load(Ordering::Acquire) as *const u64;
+                        // SAFETY: read under a live pin; the writer defers
+                        // the free past the grace period.
                         let v = unsafe { p.read_volatile() };
                         assert_eq!(v, MAGIC, "grace period violated under a live pin");
                         drop(g);
@@ -949,6 +1003,7 @@ mod tests {
         while d.pending_items() > 0 {
             d.try_reclaim();
         }
+        // SAFETY: all threads joined; the final linked box is still owned.
         drop(unsafe { Box::from_raw(ptr.load(Ordering::Acquire) as *mut u64) });
     }
 
@@ -957,6 +1012,10 @@ mod tests {
     /// item is freed exactly once, and quiescent reclamation drains every
     /// slot to zero.
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "iteration-heavy stress; the modelcheck suite covers this interleaving space"
+    )]
     fn concurrent_retirers_across_bag_slots_drain_fully() {
         let d = EpochDomain::new();
         let freed = Arc::new(AtomicU32::new(0));

@@ -67,6 +67,7 @@ pub mod linearizability;
 pub mod score;
 pub mod selection;
 pub mod store;
+pub mod sync;
 pub mod tipcache;
 pub mod validity;
 pub mod wal;

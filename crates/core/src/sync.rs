@@ -1,0 +1,49 @@
+//! Synchronization facade for the concurrency core.
+//!
+//! Every module that does real synchronization (`concurrent`, `epoch`,
+//! `commit`, `chain`) imports its primitives through this module instead
+//! of naming `parking_lot` or `std::sync::atomic` directly. Normal
+//! builds re-export the usual primitives verbatim — zero cost, identical
+//! types. Building with `RUSTFLAGS="--cfg btadt_model"` swaps in the
+//! instrumented primitives from `btadt_modelcheck`, whose every
+//! operation is a schedule point for the deterministic interleaving
+//! explorer (see `crates/shims/modelcheck` and the
+//! `modelcheck_suites` integration tests).
+//!
+//! The two arms are API-compatible by construction: the offline
+//! `parking_lot` shim already uses the guard-through-`wait` condvar
+//! shape and `try_lock() -> Option`, and the model primitives implement
+//! exactly that same surface. Code written against this facade must not
+//! assume poisoning (neither arm poisons) and must treat `Ordering` as
+//! documentation plus hardware contract — the model arm explores under
+//! sequential consistency, which is why every `Relaxed` in this crate
+//! carries a `// relaxed:` justification enforced by `btadt-lint`.
+
+#[cfg(not(btadt_model))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomic integer/pointer types and fences, `std::sync::atomic` shape.
+#[cfg(not(btadt_model))]
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+/// Thread spawn/join/yield, `std::thread` shape. Model builds route
+/// spawns through the explorer's scheduler; note the model
+/// `JoinHandle::join` returns `T` directly (a panicking model thread
+/// fails the whole execution instead).
+#[cfg(not(btadt_model))]
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(btadt_model)]
+pub use btadt_modelcheck::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(btadt_model)]
+pub use btadt_modelcheck::sync::atomic;
+
+#[cfg(btadt_model)]
+pub use btadt_modelcheck::thread;

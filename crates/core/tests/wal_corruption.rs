@@ -1,0 +1,306 @@
+//! Table-driven bit-flip matrix over the WAL's on-disk artifacts.
+//!
+//! The recovery contract under corruption, by artifact:
+//!
+//! * **Active (last) segment, defective tail** — those records were never
+//!   acked, so recovery *trims* to the last valid frame and keeps going.
+//! * **Sealed segment** — acked data; any defect is a hard
+//!   `InvalidData` error, never a silent skip.
+//! * **Checkpoint** — an optimization over the segment log, not the log:
+//!   a corrupt checkpoint (bad magic, bad CRC, truncation) is ignored
+//!   and recovery replays the full segment chain. But if compaction
+//!   already deleted segments the checkpoint covered, that is real loss
+//!   and `open` must fail.
+
+#![cfg(not(miri))] // exercises real files, fs::read/write, set_len
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io};
+
+use btadt_core::block::{Payload, Tx};
+use btadt_core::ids::{BlockId, ProcessId};
+use btadt_core::wal::{CommitRecord, Wal, WalConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "btadt-walcorrupt-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed) // relaxed: unique-name counter
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn rec(i: u32) -> CommitRecord {
+    CommitRecord {
+        id: BlockId(i),
+        parent: BlockId(i.saturating_sub(1)),
+        producer: ProcessId(i % 3),
+        merit_index: i % 5,
+        work: 1 + i as u64 % 7,
+        digest: 0xC0BB_1E50 ^ i as u64,
+        payload: match i % 3 {
+            0 => Payload::Empty,
+            1 => Payload::Opaque(i as u64 * 17),
+            _ => Payload::Transactions(vec![Tx::new(i as u64, i, i + 1, 9 + i as u64)]),
+        },
+    }
+}
+
+/// Writes `n` records (ids 1..=n) through a fresh WAL at `dir` and
+/// returns them. `segment_bytes` controls how many segments seal.
+fn seed(dir: &PathBuf, n: u32, segment_bytes: u64) -> Vec<CommitRecord> {
+    let mut cfg = WalConfig::new(dir).segment_bytes(segment_bytes);
+    cfg.fsync = false; // crash-consistency is not under test; speed is
+    let (mut wal, replay) = Wal::open(cfg).unwrap();
+    assert!(replay.is_empty());
+    let recs: Vec<CommitRecord> = (1..=n).map(rec).collect();
+    for r in &recs {
+        wal.append_commits(std::iter::once(r.clone())).unwrap();
+    }
+    recs
+}
+
+fn open_at(dir: &PathBuf, segment_bytes: u64) -> io::Result<(Wal, Vec<CommitRecord>)> {
+    let mut cfg = WalConfig::new(dir).segment_bytes(segment_bytes);
+    cfg.fsync = false;
+    Wal::open(cfg)
+}
+
+/// Walks `[len][crc][body]` frames and returns each frame's byte offset.
+fn frame_offsets(data: &[u8]) -> Vec<usize> {
+    let mut offs = Vec::new();
+    let mut off = 0usize;
+    while off + 8 <= data.len() {
+        offs.push(off);
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+        off += 8 + len;
+    }
+    assert_eq!(off, data.len(), "seed log has whole frames only");
+    offs
+}
+
+fn flip(path: &PathBuf, at: usize) {
+    let mut data = fs::read(path).unwrap();
+    data[at] ^= 0xFF;
+    fs::write(path, &data).unwrap();
+}
+
+/// The single (active) segment of a one-segment log.
+fn only_segment(dir: &PathBuf) -> PathBuf {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+        .collect();
+    segs.sort();
+    assert_eq!(segs.len(), 1, "expected exactly one segment");
+    segs.remove(0)
+}
+
+const ONE_SEG: u64 = 1 << 20; // everything stays in the active segment
+
+/// Byte positions to corrupt *within the last frame*, as (label, offset
+/// relative to the frame start, or usize::MAX for "last byte of file").
+const TAIL_FLIPS: &[(&str, usize)] = &[
+    ("length word", 0),
+    ("crc word", 4),
+    ("first body byte", 8),
+    ("last byte", usize::MAX),
+];
+
+/// A defective final frame on the active segment is a torn tail: trimmed,
+/// every earlier record survives, and appending resumes cleanly.
+#[test]
+fn active_segment_tail_flips_are_trimmed() {
+    for (label, rel) in TAIL_FLIPS {
+        let dir = tmp_dir("tail");
+        let recs = seed(&dir, 8, ONE_SEG);
+        let seg = only_segment(&dir);
+        let data_len = fs::read(&seg).unwrap().len();
+        let last = *frame_offsets(&fs::read(&seg).unwrap()).last().unwrap();
+        let at = if *rel == usize::MAX {
+            data_len - 1
+        } else {
+            last + rel
+        };
+        flip(&seg, at);
+
+        let (mut wal, replay) = open_at(&dir, ONE_SEG)
+            .unwrap_or_else(|e| panic!("tail flip at {label}: open must trim, got error {e}"));
+        assert_eq!(
+            replay,
+            recs[..7],
+            "tail flip at {label}: all acked-before-the-tear records survive"
+        );
+        assert_eq!(
+            wal.stats().trimmed_bytes,
+            (data_len - last) as u64,
+            "tail flip at {label}: exactly the defective frame is trimmed"
+        );
+        // The trim point is a valid append position.
+        wal.append_commits(std::iter::once(rec(100))).unwrap();
+        drop(wal);
+        let (_, replay) = open_at(&dir, ONE_SEG).unwrap();
+        assert_eq!(replay.len(), 8);
+        assert_eq!(replay[7], rec(100));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A defect *before* the final frame of the active segment also trims —
+/// everything from the defect on was never made durable-and-acked as a
+/// prefix, and the WAL only promises prefix durability.
+#[test]
+fn active_segment_mid_flip_trims_the_suffix() {
+    let dir = tmp_dir("midtail");
+    let recs = seed(&dir, 8, ONE_SEG);
+    let seg = only_segment(&dir);
+    let offs = frame_offsets(&fs::read(&seg).unwrap());
+    flip(&seg, offs[4] + 4); // crc of frame 4: records 5.. die
+
+    let (_, replay) = open_at(&dir, ONE_SEG).unwrap();
+    assert_eq!(replay, recs[..4], "valid prefix before the defect replays");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Bit flips anywhere in a sealed segment are hard errors — header, crc,
+/// body, or a frame boundary deep in the file.
+#[test]
+fn sealed_segment_flips_are_hard_errors() {
+    // Small segments: 20 records roll into several sealed segments.
+    const SMALL: u64 = 64;
+    for (label, pick) in [
+        ("first byte", 0usize),
+        ("crc of first frame", 4),
+        ("first body byte", 8),
+        ("mid-file", usize::MAX),
+    ] {
+        let dir = tmp_dir("sealed");
+        seed(&dir, 20, SMALL);
+        let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+            .collect();
+        segs.sort();
+        assert!(segs.len() >= 3, "seed must seal at least two segments");
+        let sealed = segs[0].clone(); // never the active (last) one
+        let len = fs::read(&sealed).unwrap().len();
+        let at = if pick == usize::MAX { len / 2 } else { pick };
+        flip(&sealed, at);
+
+        let err = open_at(&dir, SMALL)
+            .err()
+            .unwrap_or_else(|| panic!("sealed flip at {label}: open must fail"));
+        assert_eq!(
+            err.kind(),
+            io::ErrorKind::InvalidData,
+            "sealed flip at {label}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Checkpoint defects are ignored: recovery falls back to the full
+/// segment log and replays identically, flagging the fallback in stats.
+#[test]
+fn checkpoint_flips_are_ignored_when_the_log_survives() {
+    for (label, at) in [
+        ("magic byte", 0usize),
+        ("count word", 8),
+        ("first record crc", 16 + 4),
+        ("last byte", usize::MAX),
+    ] {
+        let dir = tmp_dir("ckpt");
+        let recs = seed(&dir, 8, ONE_SEG);
+        {
+            // Write a checkpoint covering the whole log. Nothing sealed
+            // exists (single active segment), so no segment is deleted
+            // and the full log remains beside the checkpoint.
+            let (mut wal, _) = open_at(&dir, ONE_SEG).unwrap();
+            wal.checkpoint(&recs).unwrap();
+        }
+        let ckpt = dir.join("checkpoint.ckpt");
+        let len = fs::read(&ckpt).unwrap().len();
+        flip(&ckpt, if at == usize::MAX { len - 1 } else { at });
+
+        let (wal, replay) = open_at(&dir, ONE_SEG).unwrap_or_else(|e| {
+            panic!("ckpt flip at {label}: open must fall back to the log, got {e}")
+        });
+        assert_eq!(replay, recs, "ckpt flip at {label}: full log replays");
+        assert!(
+            wal.stats().checkpoint_ignored,
+            "ckpt flip at {label}: the fallback is reported"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Truncated checkpoints (torn short of even the header, or mid-records)
+/// are likewise ignored.
+#[test]
+fn truncated_checkpoints_are_ignored() {
+    for (label, keep) in [("below the header", 7usize), ("mid-records", usize::MAX)] {
+        let dir = tmp_dir("ckpt-trunc");
+        let recs = seed(&dir, 8, ONE_SEG);
+        {
+            let (mut wal, _) = open_at(&dir, ONE_SEG).unwrap();
+            wal.checkpoint(&recs).unwrap();
+        }
+        let ckpt = dir.join("checkpoint.ckpt");
+        let data = fs::read(&ckpt).unwrap();
+        let keep = if keep == usize::MAX {
+            data.len() - 5
+        } else {
+            keep
+        };
+        fs::write(&ckpt, &data[..keep]).unwrap();
+
+        let (wal, replay) = open_at(&dir, ONE_SEG).unwrap();
+        assert_eq!(replay, recs, "ckpt truncation {label}: full log replays");
+        assert!(wal.stats().checkpoint_ignored);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The tolerance is *not* blind: once compaction has deleted segments the
+/// checkpoint covered, a corrupt checkpoint means acked records are gone
+/// — `open` must fail loudly, not resurrect a shorter log.
+#[test]
+fn corrupt_checkpoint_with_compacted_segments_is_real_loss() {
+    const SMALL: u64 = 64;
+    let dir = tmp_dir("ckpt-loss");
+    let recs = seed(&dir, 20, SMALL);
+    {
+        let (mut wal, _) = open_at(&dir, SMALL).unwrap();
+        wal.checkpoint(&recs).unwrap(); // deletes every covered sealed segment
+        assert!(wal.stats().segments_dropped > 0, "compaction happened");
+    }
+    flip(&dir.join("checkpoint.ckpt"), 0);
+
+    let err = open_at(&dir, SMALL)
+        .err()
+        .expect("corrupt checkpoint over a compacted log is unrecoverable");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An intact checkpoint still short-circuits recovery (control case: the
+/// fallback flag stays clear on the happy path).
+#[test]
+fn intact_checkpoint_is_used_and_not_flagged() {
+    const SMALL: u64 = 64;
+    let dir = tmp_dir("ckpt-ok");
+    let recs = seed(&dir, 20, SMALL);
+    {
+        let (mut wal, _) = open_at(&dir, SMALL).unwrap();
+        wal.checkpoint(&recs).unwrap();
+    }
+    let (wal, replay) = open_at(&dir, SMALL).unwrap();
+    assert_eq!(replay, recs);
+    assert!(!wal.stats().checkpoint_ignored);
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,41 @@
+//! CLI for the workspace discipline lint. Run from the workspace root
+//! (or pass it as the first argument):
+//!
+//! ```text
+//! cargo run --release -p btadt-lint [WORKSPACE_ROOT]
+//! ```
+//!
+//! Prints one line per finding (`file:line: [rule] message`) and exits
+//! non-zero if any rule fired — the CI `lint-discipline` job gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "btadt-lint: no `crates/` under {} — run from the workspace \
+             root or pass it as the first argument",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let (findings, scanned) = btadt_lint::lint_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "btadt-lint: {scanned} files scanned, {} finding{}",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1102 @@
+//! A vendored, offline, loom-style **deterministic interleaving
+//! explorer** for the BT-ADT concurrency core.
+//!
+//! The crate provides instrumented drop-in sync primitives
+//! ([`sync::Mutex`], [`sync::Condvar`], [`sync::RwLock`], the
+//! [`sync::atomic`] types) and a model [`thread::spawn`]. Inside
+//! [`explore`], every synchronization operation is a **schedule point**:
+//! the calling thread hands a baton to a cooperative scheduler, which
+//! decides — by depth-first search over the tree of schedules — which
+//! model thread runs next. Outside an exploration the same types degrade
+//! to their `std` equivalents, so a `--cfg btadt_model` build of the
+//! whole workspace still behaves normally when code runs on ordinary
+//! threads.
+//!
+//! # Model
+//!
+//! * **Sequential consistency over interleavings.** Exactly one model
+//!   thread runs at a time; the baton handoff is a real mutex+condvar
+//!   pair, so every write a thread makes is visible to whichever thread
+//!   the scheduler picks next. This explores *interleavings* (lost
+//!   wakeups, lock-order deadlocks, use-after-free windows, atomicity
+//!   violations), not weak-memory reorderings — `Ordering` arguments are
+//!   executed verbatim but do not constrain the search.
+//! * **Bounded preemptions** (CHESS-style). Switching away from a thread
+//!   that could still run costs one unit of the preemption budget;
+//!   switches at blocking points are free. Small bounds hit most real
+//!   bugs while keeping the schedule tree exhaustively enumerable.
+//! * **Deterministic and replayable.** The DFS enumerates schedules in a
+//!   fixed order derived from [`Config::seed`]; a failing run reports
+//!   the exact decision vector, and [`Config::replay`] re-executes it.
+//!   Each branch decision also records a fingerprint of the operation
+//!   it was taken at, so a program that is *not* a deterministic
+//!   function of the schedule is diagnosed instead of silently
+//!   mis-explored.
+//! * **Failure detection.** A panic on any model thread, a global
+//!   deadlock (no thread runnable, counting a timed `wait_timeout` as
+//!   wake-eligible only as a last resort), or a runaway execution
+//!   ([`Config::max_steps`]) aborts the exploration and reports the
+//!   triggering schedule.
+//!
+//! # Adding a model-check target
+//!
+//! A target is an ordinary function that builds shared state, spawns
+//! model threads, joins them, and asserts invariants — using the
+//! instrumented primitives (via the `btadt_core::sync` facade under
+//! `--cfg btadt_model`, or this crate's [`sync`] module directly):
+//!
+//! ```ignore
+//! use btadt_modelcheck::{explore, thread, Config};
+//! use std::sync::Arc;
+//!
+//! let report = explore(Config::new("my-target").preemptions(3), || {
+//!     let v = Arc::new(btadt_modelcheck::sync::atomic::AtomicU64::new(0));
+//!     let w = {
+//!         let v = v.clone();
+//!         thread::spawn(move || v.fetch_add(1, std::sync::atomic::Ordering::SeqCst))
+//!     };
+//!     v.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+//!     w.join();
+//!     assert_eq!(v.load(std::sync::atomic::Ordering::SeqCst), 2);
+//! });
+//! assert!(report.failure.is_none(), "{:?}", report.failure);
+//! assert!(report.complete, "budget too small for exhaustive DFS");
+//! println!("{report}"); // the exploration certificate
+//! ```
+//!
+//! Keep targets *small*: the schedule tree grows combinatorially with
+//! the number of schedule points and threads. Model the protocol kernel
+//! (the lock/CAS/condvar skeleton), not the whole subsystem, unless the
+//! subsystem itself is small enough to enumerate (the epoch domain is;
+//! the full commit pipeline is not). Tune [`Config::preemptions`] until
+//! the run is exhaustive (`report.complete`) at ≥ the schedule count
+//! your certificate asserts.
+
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as StdOrd};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Exploration parameters. Construct with [`Config::new`], then chain
+/// setters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Target name, echoed in certificates and failure reports.
+    pub name: String,
+    /// Preemption budget per execution (CHESS bound). Switches at
+    /// blocking points are always free.
+    pub preemptions: usize,
+    /// Stop (with `complete = false`) after this many schedules.
+    pub max_schedules: usize,
+    /// Per-execution schedule-point budget — a tripwire for livelocks
+    /// in the modeled code, not a tuning knob.
+    pub max_steps: usize,
+    /// Deterministic tie-break seed: permutes the order DFS children are
+    /// visited in. Any value is exhaustive; the certificate prints it so
+    /// a run is reproducible verbatim.
+    pub seed: u64,
+    /// Re-execute exactly this decision vector instead of exploring —
+    /// the replay handle printed by a failure report.
+    pub replay: Option<Vec<u8>>,
+}
+
+impl Config {
+    pub fn new(name: &str) -> Self {
+        Config {
+            name: name.to_string(),
+            preemptions: 2,
+            max_schedules: 1_000_000,
+            max_steps: 100_000,
+            seed: 0,
+            replay: None,
+        }
+    }
+
+    pub fn preemptions(mut self, p: usize) -> Self {
+        self.preemptions = p;
+        self
+    }
+
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    pub fn replay(mut self, schedule: Vec<u8>) -> Self {
+        self.replay = Some(schedule);
+        self
+    }
+}
+
+/// Why an execution failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A model thread panicked; the payload's `Display` if it was a
+    /// string, `"<non-string panic>"` otherwise.
+    Panic(String),
+    /// No thread was runnable and none could be woken: every thread
+    /// blocked on a mutex, condvar, or join.
+    Deadlock,
+    /// An execution exceeded [`Config::max_steps`] schedule points.
+    StepLimit,
+}
+
+/// A failing schedule: the DFS decision vector that reproduces it via
+/// [`Config::replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub schedule: Vec<u8>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sched: Vec<String> = self.schedule.iter().map(|c| c.to_string()).collect();
+        write!(
+            f,
+            "{:?} at schedule [{}] (pin with Config::replay)",
+            self.kind,
+            sched.join(",")
+        )
+    }
+}
+
+/// Exploration certificate: how many distinct schedules ran, whether the
+/// DFS was exhausted within budget, and the first failure (if any).
+#[derive(Debug)]
+pub struct Report {
+    /// Target name from the [`Config`].
+    pub name: String,
+    /// Distinct schedules executed (every DFS leaf reached).
+    pub schedules: usize,
+    /// `true` iff the DFS enumerated *every* schedule within the
+    /// preemption bound before `max_schedules` ran out.
+    pub complete: bool,
+    /// The seed the enumeration order was derived from.
+    pub seed: u64,
+    /// First failing schedule, or `None` if all passed.
+    pub failure: Option<Failure>,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "modelcheck[{}]: {} schedules, complete={}, seed={}{}",
+            self.name,
+            self.schedules,
+            self.complete,
+            self.seed,
+            match &self.failure {
+                Some(fa) => format!(", FAILED: {fa}"),
+                None => ", ok".to_string(),
+            }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler internals
+// ---------------------------------------------------------------------
+
+/// What a blocked thread is waiting for. Ids are stable addresses of the
+/// primitive for the duration of an execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockOn {
+    Mutex(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    Condvar(usize),
+    /// Timed condvar wait: wake-eligible (with `timed_out = true`) when
+    /// the system would otherwise deadlock.
+    CondvarTimed(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Thread {
+    state: TState,
+    /// FIFO ticket for condvar queues.
+    blocked_seq: u64,
+    /// Set when a timed wait was released by the deadlock-avoidance
+    /// timeout rather than a notify.
+    woke_timeout: bool,
+}
+
+/// One branch point: which candidate was taken, out of how many.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: u8,
+    num: u8,
+    /// Fingerprint of (active thread, operation) at the branch — replay
+    /// divergence is detected by comparing these along the forced
+    /// prefix.
+    fp: u64,
+}
+
+/// Operation descriptor, used for fingerprints and diagnostics only.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    Atomic(usize),
+    Fence,
+    MutexLock(usize),
+    MutexTryLock(usize),
+    MutexUnlock(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    RwUnlock(usize),
+    CvWait(usize),
+    CvNotify(usize),
+    Spawn(usize),
+    Join(usize),
+    Yield,
+    Finish,
+}
+
+impl Op {
+    fn fp(&self, tid: usize) -> u64 {
+        let (code, id) = match *self {
+            Op::Atomic(a) => (1u64, a),
+            Op::Fence => (2, 0),
+            Op::MutexLock(a) => (3, a),
+            Op::MutexTryLock(a) => (4, a),
+            Op::MutexUnlock(a) => (5, a),
+            Op::RwRead(a) => (6, a),
+            Op::RwWrite(a) => (7, a),
+            Op::RwUnlock(a) => (8, a),
+            Op::CvWait(a) => (9, a),
+            Op::CvNotify(a) => (10, a),
+            Op::Spawn(t) => (11, t),
+            Op::Join(t) => (12, t),
+            Op::Yield => (13, 0),
+            Op::Finish => (14, 0),
+        };
+        // Addresses vary run to run; fingerprint only the op class and
+        // thread, which is stable for a deterministic program. The id
+        // still disambiguates same-class ops on different primitives
+        // within one run, so fold in a small stable hash of its low
+        // bits' *rank* — omitted: class+tid suffices to catch gross
+        // divergence without false positives from allocator noise.
+        let _ = id;
+        code ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub(crate) struct St {
+    threads: Vec<Thread>,
+    active: usize,
+    seq: u64,
+    steps: usize,
+    used_preemptions: usize,
+    decisions: Vec<Decision>,
+    forced: Vec<u8>,
+    expected_fps: Vec<u64>,
+    failure: Option<FailureKind>,
+    abort: bool,
+    timeouts_fired: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Join-result rendezvous is per-handle (in `thread`); this counts
+    /// live (not Finished) threads for done detection.
+    live: usize,
+    cfg_preemptions: usize,
+    cfg_max_steps: usize,
+    cfg_seed: u64,
+}
+
+pub(crate) struct Exec {
+    mu: StdMutex<St>,
+    cv: StdCondvar,
+}
+
+/// Sentinel unwind payload used to tear model threads down after a
+/// failure was recorded elsewhere.
+struct Abort;
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is a model thread inside an exploration.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+impl Exec {
+    fn new(cfg: &Config, forced: Vec<u8>, expected_fps: Vec<u64>) -> Arc<Exec> {
+        Arc::new(Exec {
+            mu: StdMutex::new(St {
+                threads: vec![Thread {
+                    state: TState::Runnable,
+                    blocked_seq: 0,
+                    woke_timeout: false,
+                }],
+                active: 0,
+                seq: 0,
+                steps: 0,
+                used_preemptions: 0,
+                decisions: Vec::new(),
+                forced,
+                expected_fps,
+                failure: None,
+                abort: false,
+                timeouts_fired: 0,
+                handles: Vec::new(),
+                live: 1,
+                cfg_preemptions: cfg.preemptions,
+                cfg_max_steps: cfg.max_steps,
+                cfg_seed: cfg.seed,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, St> {
+        self.mu.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records a failure, flips the abort flag, and wakes every parked
+    /// model thread so the execution can tear itself down.
+    fn fail(&self, st: &mut St, kind: FailureKind) {
+        if st.failure.is_none() {
+            st.failure = Some(kind);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run. `cur_runnable` says whether the
+    /// thread currently holding the baton could continue (switching away
+    /// from it then costs a preemption). Called with the scheduler lock
+    /// held; updates `st.active`. Returns `false` if the execution is
+    /// over (all finished, or failed).
+    fn advance(&self, st: &mut St, cur_runnable: bool, op: Op) -> bool {
+        if st.abort {
+            return false;
+        }
+        let me = st.active;
+        let mut runnable: Vec<usize> = Vec::with_capacity(st.threads.len());
+        for (t, th) in st.threads.iter().enumerate() {
+            if th.state == TState::Runnable && t != me {
+                runnable.push(t);
+            }
+        }
+        let mut timeout_wake = false;
+        let cands: Vec<usize> = if cur_runnable {
+            if st.used_preemptions < st.cfg_preemptions && !runnable.is_empty() {
+                let mut c = vec![me];
+                c.extend(runnable);
+                c
+            } else {
+                vec![me]
+            }
+        } else if !runnable.is_empty() {
+            runnable
+        } else {
+            // Nothing runnable. Timed condvar waiters are wake-eligible
+            // as a last resort (this is how a `wait_timeout` deadline
+            // "fires" in the model); otherwise this is a deadlock.
+            let timed: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, th)| matches!(th.state, TState::Blocked(BlockOn::CondvarTimed(_))))
+                .map(|(t, _)| t)
+                .collect();
+            if timed.is_empty() {
+                if st.live == 0 {
+                    self.cv.notify_all();
+                    return false;
+                }
+                self.fail(st, FailureKind::Deadlock);
+                return false;
+            }
+            timeout_wake = true;
+            timed
+        };
+        let choice = self.pick(st, &cands, op);
+        let next = cands[choice];
+        if timeout_wake {
+            st.threads[next].state = TState::Runnable;
+            st.threads[next].woke_timeout = true;
+            st.timeouts_fired += 1;
+        }
+        if cur_runnable && next != me {
+            st.used_preemptions += 1;
+        }
+        st.active = next;
+        if next != me {
+            self.cv.notify_all();
+        }
+        true
+    }
+
+    /// DFS branch selection: forced prefix first, then the first child;
+    /// single-candidate points are not branches. The candidate order is
+    /// rotated by a seed-derived offset so different seeds enumerate the
+    /// same tree in different orders.
+    fn pick(&self, st: &mut St, cands: &[usize], op: Op) -> usize {
+        if cands.len() <= 1 {
+            return 0;
+        }
+        let d = st.decisions.len();
+        let fp = op.fp(st.active);
+        let rot = if st.cfg_seed == 0 {
+            0
+        } else {
+            let mut h = st.cfg_seed ^ (d as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+            (h % cands.len() as u64) as usize
+        };
+        let raw = if d < st.forced.len() {
+            if st.expected_fps.len() > d && st.expected_fps[d] != fp {
+                // The modeled program is not a deterministic function of
+                // the schedule — exploring it would be meaningless.
+                self.fail(
+                    st,
+                    FailureKind::Panic(format!(
+                        "nondeterministic target: replay diverged at decision {d} \
+                         (op {op:?} on thread {})",
+                        st.active
+                    )),
+                );
+                return 0;
+            }
+            let f = st.forced[d] as usize;
+            if f >= cands.len() {
+                self.fail(
+                    st,
+                    FailureKind::Panic(format!(
+                        "nondeterministic target: decision {d} has {} candidates, \
+                         schedule wants {f}",
+                        cands.len()
+                    )),
+                );
+                return 0;
+            }
+            f
+        } else {
+            0
+        };
+        st.decisions.push(Decision {
+            chosen: raw as u8,
+            num: cands.len() as u8,
+            fp,
+        });
+        // Apply the seed rotation when *interpreting* the logical choice,
+        // so forced prefixes and reported schedules stay seed-portable
+        // within one run (the same seed must be used to replay).
+        (raw + rot) % cands.len()
+    }
+
+    /// Parks the calling model thread until the scheduler hands it the
+    /// baton again. Must be called with the scheduler lock held; returns
+    /// with it held. Unwinds with [`Abort`] if the execution died.
+    fn wait_for_baton<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, St>,
+        tid: usize,
+    ) -> std::sync::MutexGuard<'a, St> {
+        while st.active != tid || st.threads[tid].state != TState::Runnable {
+            if st.abort {
+                drop(st);
+                resume_unwind(Box::new(Abort));
+            }
+            if st.live == 0 {
+                // Execution completed while we were parked — only
+                // possible during teardown.
+                drop(st);
+                resume_unwind(Box::new(Abort));
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            resume_unwind(Box::new(Abort));
+        }
+        st
+    }
+}
+
+/// The schedule point every instrumented operation funnels through.
+/// Returns `true` if the op should run instrumented (model semantics),
+/// `false` if the caller must degrade to plain `std` behavior (no
+/// exploration in progress, or the execution is aborting).
+pub(crate) fn schedule_op(op: Op) -> bool {
+    schedule_op_with(op, |_| {})
+}
+
+/// [`schedule_op`] with a pre-switch effect run under the scheduler
+/// lock — used by unlock/notify/finish to flip waiters runnable *before*
+/// the next-thread decision, so they are immediately eligible.
+pub(crate) fn schedule_op_with<E: FnOnce(&mut St)>(op: Op, effect: E) -> bool {
+    let Some((exec, tid)) = ctx() else {
+        return false;
+    };
+    let mut st = exec.lock();
+    if st.abort {
+        return false;
+    }
+    debug_assert_eq!(st.active, tid, "baton violation");
+    st.steps += 1;
+    if st.steps > st.cfg_max_steps {
+        exec.fail(&mut st, FailureKind::StepLimit);
+        drop(st);
+        resume_unwind(Box::new(Abort));
+    }
+    effect(&mut st);
+    if !exec.advance(&mut st, true, op) {
+        drop(st);
+        resume_unwind(Box::new(Abort));
+    }
+    if st.active != tid {
+        let st = exec.wait_for_baton(st, tid);
+        drop(st);
+    }
+    true
+}
+
+/// Blocks the calling model thread on `on`, handing the baton away.
+/// Returns whether the wake came from the timeout fallback, or panics
+/// with [`Abort`] on teardown. Calling this outside a model context is
+/// a bug.
+pub(crate) fn block_current(on: BlockOn, op: Op) -> bool {
+    block_current_with(on, op, |_| {})
+}
+
+/// [`block_current`] with a pre-block effect run under the scheduler
+/// lock — the condvar's "atomically release the mutex and wait" needs
+/// the mutex wake and the park in one critical section.
+pub(crate) fn block_current_with<E: FnOnce(&mut St)>(on: BlockOn, op: Op, effect: E) -> bool {
+    let (exec, tid) = ctx().expect("block_current outside a model context");
+    let mut st = exec.lock();
+    if st.abort {
+        drop(st);
+        resume_unwind(Box::new(Abort));
+    }
+    debug_assert_eq!(st.active, tid, "baton violation");
+    st.steps += 1;
+    if st.steps > st.cfg_max_steps {
+        exec.fail(&mut st, FailureKind::StepLimit);
+        drop(st);
+        resume_unwind(Box::new(Abort));
+    }
+    effect(&mut st);
+    st.seq += 1;
+    let seq = st.seq;
+    st.threads[tid].state = TState::Blocked(on);
+    st.threads[tid].blocked_seq = seq;
+    st.threads[tid].woke_timeout = false;
+    if !exec.advance(&mut st, false, op) {
+        drop(st);
+        resume_unwind(Box::new(Abort));
+    }
+    let mut st = exec.wait_for_baton(st, tid);
+    let timed_out = st.threads[tid].woke_timeout;
+    st.threads[tid].woke_timeout = false;
+    drop(st);
+    timed_out
+}
+
+/// Wakes every thread blocked on a predicate (mutex unlock, rwlock
+/// release): they become runnable and re-contend when scheduled.
+pub(crate) fn wake_blocked(st: &mut St, pred: impl Fn(BlockOn) -> bool) {
+    for th in st.threads.iter_mut() {
+        if let TState::Blocked(on) = th.state {
+            if pred(on) {
+                th.state = TState::Runnable;
+            }
+        }
+    }
+}
+
+/// Wakes condvar waiters on `id`: the FIFO head for `notify_one`
+/// (`all = false`), everyone for `notify_all`. Timed and untimed waiters
+/// share the queue.
+pub(crate) fn wake_condvar(st: &mut St, id: usize, all: bool) {
+    if all {
+        wake_blocked(
+            st,
+            |on| matches!(on, BlockOn::Condvar(i) | BlockOn::CondvarTimed(i) if i == id),
+        );
+        return;
+    }
+    let mut best: Option<(u64, usize)> = None;
+    for (t, th) in st.threads.iter().enumerate() {
+        if let TState::Blocked(BlockOn::Condvar(i) | BlockOn::CondvarTimed(i)) = th.state {
+            if i == id && best.map(|(s, _)| th.blocked_seq < s).unwrap_or(true) {
+                best = Some((th.blocked_seq, t));
+            }
+        }
+    }
+    if let Some((_, t)) = best {
+        st.threads[t].state = TState::Runnable;
+    }
+}
+
+// Spawning/joining/finishing live here so `thread` can stay a thin
+// facade over the scheduler.
+
+pub(crate) fn register_thread(exec: &Arc<Exec>) -> usize {
+    let mut st = exec.lock();
+    let tid = st.threads.len();
+    st.threads.push(Thread {
+        state: TState::Runnable,
+        blocked_seq: 0,
+        woke_timeout: false,
+    });
+    st.live += 1;
+    tid
+}
+
+pub(crate) fn push_handle(exec: &Arc<Exec>, h: std::thread::JoinHandle<()>) {
+    exec.lock().handles.push(h);
+}
+
+/// Body wrapper for every model OS thread (root and spawned).
+pub(crate) fn model_thread_main(exec: Arc<Exec>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    // Wait to be scheduled for the first time (the root starts active).
+    {
+        let st = exec.lock();
+        if st.active != tid {
+            match catch_unwind(AssertUnwindSafe(|| {
+                let st = exec.wait_for_baton(st, tid);
+                drop(st);
+            })) {
+                Ok(()) => {}
+                Err(_) => {
+                    finish_thread(&exec, tid, true);
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    return;
+                }
+            }
+        }
+    }
+    let result = catch_unwind(AssertUnwindSafe(body));
+    match result {
+        Ok(()) => finish_thread(&exec, tid, false),
+        Err(p) => {
+            if p.downcast_ref::<Abort>().is_none() {
+                let msg = panic_message(&p);
+                let mut st = exec.lock();
+                exec.fail(&mut st, FailureKind::Panic(msg));
+            }
+            finish_thread(&exec, tid, true);
+        }
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Marks `tid` finished, wakes joiners, and hands the baton on (or
+/// declares the execution done/deadlocked). `teardown` skips scheduling
+/// during an abort.
+pub(crate) fn finish_thread(exec: &Arc<Exec>, tid: usize, teardown: bool) {
+    let mut st = exec.lock();
+    if st.threads[tid].state != TState::Finished {
+        st.threads[tid].state = TState::Finished;
+        st.live -= 1;
+    }
+    wake_blocked(&mut st, |on| on == BlockOn::Join(tid));
+    if st.abort || teardown {
+        exec.cv.notify_all();
+        return;
+    }
+    if st.live == 0 {
+        exec.cv.notify_all();
+        return;
+    }
+    let _ = exec.advance(&mut st, false, Op::Finish);
+}
+
+pub(crate) fn thread_finished(exec: &Arc<Exec>, tid: usize) -> bool {
+    exec.lock().threads[tid].state == TState::Finished
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// One exploration at a time per process: model threads use process-wide
+/// thread-locals and the panic hook, and the suites' schedule counts
+/// assume an otherwise quiet scheduler.
+static EXPLORE_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Model threads panic freely while the DFS probes failing schedules;
+/// keep the default hook from spamming stderr for them. Installed once,
+/// chains to the previous hook for non-model threads. The hook also
+/// records the failure and flips the abort flag *before* the unwind
+/// starts dropping guards, so every parked thread is woken and releases
+/// its locks while the panicking thread's drops degrade to plain `std`
+/// operations — teardown cannot deadlock on a lock a parked thread
+/// still holds.
+static HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn install_hook() {
+    if HOOK_INSTALLED.swap(true, StdOrd::SeqCst) {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some((exec, _)) = ctx() {
+            let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic>".to_string()
+            };
+            let mut st = exec.lock();
+            exec.fail(&mut st, FailureKind::Panic(msg));
+            return;
+        }
+        prev(info);
+    }));
+}
+
+/// Explores every schedule of `body` within the configured preemption
+/// bound, or replays one schedule if [`Config::replay`] is set. The
+/// closure runs once per schedule on a fresh OS thread (so thread-locals
+/// start clean every execution); it must be a deterministic function of
+/// the schedule.
+pub fn explore<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _g = EXPLORE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    install_hook();
+    let body = Arc::new(body);
+    let replay_mode = cfg.replay.is_some();
+    let mut forced: Vec<u8> = cfg.replay.clone().unwrap_or_default();
+    let mut expected_fps: Vec<u64> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let exec = Exec::new(
+            &cfg,
+            std::mem::take(&mut forced),
+            std::mem::take(&mut expected_fps),
+        );
+        run_one(&exec, body.clone());
+        schedules += 1;
+        let mut st = exec.lock();
+        if let Some(kind) = st.failure.take() {
+            let schedule = st.decisions.iter().map(|d| d.chosen).collect();
+            return Report {
+                name: cfg.name.clone(),
+                schedules,
+                complete: false,
+                seed: cfg.seed,
+                failure: Some(Failure { kind, schedule }),
+            };
+        }
+        if replay_mode {
+            return Report {
+                name: cfg.name.clone(),
+                schedules,
+                complete: true,
+                seed: cfg.seed,
+                failure: None,
+            };
+        }
+        // Backtrack: advance the deepest decision with an unvisited
+        // sibling; drop everything below it.
+        let mut dec = std::mem::take(&mut st.decisions);
+        drop(st);
+        while let Some(last) = dec.last() {
+            if (last.chosen as usize) + 1 < last.num as usize {
+                break;
+            }
+            dec.pop();
+        }
+        let Some(last) = dec.last_mut() else {
+            return Report {
+                name: cfg.name.clone(),
+                schedules,
+                complete: true,
+                seed: cfg.seed,
+                failure: None,
+            };
+        };
+        last.chosen += 1;
+        forced = dec.iter().map(|d| d.chosen).collect();
+        expected_fps = dec.iter().map(|d| d.fp).collect();
+        if schedules >= cfg.max_schedules {
+            return Report {
+                name: cfg.name.clone(),
+                schedules,
+                complete: false,
+                seed: cfg.seed,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Replays one schedule (from a failure report) and returns its failure,
+/// if it still fails — the building block for pinned regression tests.
+pub fn replay<F>(name: &str, schedule: Vec<u8>, body: F) -> Option<Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(Config::new(name).replay(schedule), body).failure
+}
+
+fn run_one(exec: &Arc<Exec>, body: Arc<dyn Fn() + Send + Sync>) {
+    let e2 = exec.clone();
+    let root = std::thread::Builder::new()
+        .name("mc-root".into())
+        .spawn(move || model_thread_main(e2.clone(), 0, move || body()))
+        .expect("spawn model root");
+    let _ = root.join();
+    // Children may still be running (or parked); join them all. New
+    // handles can appear while we drain if grandchildren spawn.
+    loop {
+        let mut st = exec.lock();
+        let handles = std::mem::take(&mut st.handles);
+        drop(st);
+        if handles.is_empty() {
+            break;
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    // Belt and braces: an aborted execution must not leave the failure
+    // slot empty if a thread died without recording one.
+    let st = exec.lock();
+    debug_assert!(
+        st.live == 0 || st.failure.is_some() || st.abort,
+        "execution ended with live threads and no failure"
+    );
+}
+
+/// Number of deadline-fallback wakeups the *last completed* schedule
+/// point recorded — exposed for suites that assert a protocol never
+/// relies on its timeout. Only meaningful inside a model thread.
+pub fn timeouts_fired() -> usize {
+    match ctx() {
+        Some((exec, _)) => exec.lock().timeouts_fired,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+
+    #[test]
+    fn atomicity_violation_is_found() {
+        // Classic lost update: load + store instead of fetch_add. Some
+        // schedule interleaves the two read-modify-writes.
+        let report = explore(Config::new("lost-update").preemptions(2), || {
+            let v = Arc::new(AtomicU64::new(0));
+            let v2 = v.clone();
+            let w = thread::spawn(move || {
+                let x = v2.load(Ordering::SeqCst);
+                v2.store(x + 1, Ordering::SeqCst);
+            });
+            let x = v.load(Ordering::SeqCst);
+            v.store(x + 1, Ordering::SeqCst);
+            w.join();
+            assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+        });
+        let failure = report.failure.expect("the race must be found");
+        assert!(matches!(failure.kind, FailureKind::Panic(ref m) if m.contains("lost update")));
+        // And the reported schedule replays to the same failure.
+        let pinned = replay("lost-update-replay", failure.schedule, || {
+            let v = Arc::new(AtomicU64::new(0));
+            let v2 = v.clone();
+            let w = thread::spawn(move || {
+                let x = v2.load(Ordering::SeqCst);
+                v2.store(x + 1, Ordering::SeqCst);
+            });
+            let x = v.load(Ordering::SeqCst);
+            v.store(x + 1, Ordering::SeqCst);
+            w.join();
+            assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(pinned.is_some(), "pinned schedule must still fail");
+    }
+
+    #[test]
+    fn correct_counter_passes_exhaustively() {
+        let report = explore(Config::new("fetch-add").preemptions(3), || {
+            let v = Arc::new(AtomicU64::new(0));
+            let v2 = v.clone();
+            let w = thread::spawn(move || {
+                v2.fetch_add(1, Ordering::SeqCst);
+            });
+            v.fetch_add(1, Ordering::SeqCst);
+            w.join();
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.failure.is_none(), "{}", report);
+        assert!(report.complete);
+        assert!(report.schedules > 1, "{}", report);
+    }
+
+    #[test]
+    fn lock_order_deadlock_is_found() {
+        let report = explore(Config::new("ab-ba").preemptions(2), || {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let (a2, b2) = (a.clone(), b.clone());
+            let w = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop((_ga, _gb));
+            w.join();
+        });
+        let failure = report.failure.expect("AB-BA deadlock must be found");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn mutex_protects_its_data() {
+        let report = explore(Config::new("mutex-incr").preemptions(3), || {
+            let v = Arc::new(Mutex::new(0u64));
+            let v2 = v.clone();
+            let w = thread::spawn(move || {
+                let mut g = v2.lock();
+                *g += 1;
+            });
+            {
+                let mut g = v.lock();
+                *g += 1;
+            }
+            w.join();
+            assert_eq!(*v.lock(), 2);
+        });
+        assert!(report.failure.is_none(), "{}", report);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn missed_wakeup_without_the_lock_bridge_is_found() {
+        // Waiter: check-then-wait under the lock. Notifier: flips the
+        // flag and notifies WITHOUT touching the lock — the notify can
+        // land between the waiter's check and its park.
+        let report = explore(Config::new("missed-wakeup").preemptions(2), || {
+            let flag = Arc::new(AtomicU64::new(0));
+            let lk = Arc::new(Mutex::new(()));
+            let cv = Arc::new(Condvar::new());
+            let (f2, l2, c2) = (flag.clone(), lk.clone(), cv.clone());
+            let w = thread::spawn(move || {
+                let mut g = l2.lock();
+                while f2.load(Ordering::SeqCst) == 0 {
+                    g = c2.wait(g);
+                }
+                drop(g);
+            });
+            flag.store(1, Ordering::SeqCst);
+            cv.notify_all(); // no lock bridge: racy
+            w.join();
+        });
+        let failure = report
+            .failure
+            .expect("missed wakeup must deadlock some schedule");
+        assert_eq!(failure.kind, FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn lock_bridge_fixes_the_missed_wakeup() {
+        let report = explore(Config::new("bridged-wakeup").preemptions(3), || {
+            let flag = Arc::new(AtomicU64::new(0));
+            let lk = Arc::new(Mutex::new(()));
+            let cv = Arc::new(Condvar::new());
+            let (f2, l2, c2) = (flag.clone(), lk.clone(), cv.clone());
+            let w = thread::spawn(move || {
+                let mut g = l2.lock();
+                while f2.load(Ordering::SeqCst) == 0 {
+                    g = c2.wait(g);
+                }
+                drop(g);
+            });
+            flag.store(1, Ordering::SeqCst);
+            drop(lk.lock()); // the bridge: order against check-then-park
+            cv.notify_all();
+            w.join();
+        });
+        assert!(report.failure.is_none(), "{}", report);
+        assert!(report.complete, "{}", report);
+    }
+
+    #[test]
+    fn exploration_is_deterministic_for_a_seed() {
+        let run = |seed| {
+            explore(Config::new("det").preemptions(2).seed(seed), || {
+                let v = Arc::new(AtomicU64::new(0));
+                let v2 = v.clone();
+                let w = thread::spawn(move || {
+                    v2.fetch_add(3, Ordering::SeqCst);
+                    v2.fetch_add(5, Ordering::SeqCst);
+                });
+                v.fetch_add(7, Ordering::SeqCst);
+                w.join();
+                assert_eq!(v.load(Ordering::SeqCst), 15);
+            })
+        };
+        let (a, b) = (run(0), run(0));
+        assert_eq!(a.schedules, b.schedules);
+        assert!(a.complete && b.complete);
+        // A different seed enumerates the same tree (same leaf count).
+        let c = run(42);
+        assert_eq!(a.schedules, c.schedules);
+    }
+
+    #[test]
+    fn degrades_to_std_outside_an_exploration() {
+        let v = Arc::new(AtomicU64::new(0));
+        let m = Arc::new(Mutex::new(0u64));
+        let (v2, m2) = (v.clone(), m.clone());
+        let w = thread::spawn(move || {
+            v2.fetch_add(1, Ordering::SeqCst);
+            *m2.lock() += 1;
+        });
+        v.fetch_add(1, Ordering::SeqCst);
+        *m.lock() += 1;
+        w.join();
+        assert_eq!(v.load(Ordering::SeqCst), 2);
+        assert_eq!(*m.lock(), 2);
+    }
+}

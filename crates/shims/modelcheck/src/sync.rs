@@ -1,0 +1,670 @@
+//! Instrumented sync primitives: the same API surface as the vendored
+//! `parking_lot` shim (plus `std::sync::atomic`), with every operation a
+//! schedule point when an exploration is running and plain `std`
+//! behavior otherwise.
+
+use crate::{block_current, ctx, schedule_op, schedule_op_with, wake_blocked, wake_condvar};
+use crate::{BlockOn, Op};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock};
+use std::time::Duration;
+
+fn addr<T: ?Sized>(t: &T) -> usize {
+    t as *const T as *const u8 as usize
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Instrumented mutex. The inner `std` mutex provides real mutual
+/// exclusion (so degraded, non-explored use is sound); under exploration
+/// the baton serializes threads, `try_lock` on the inner lock can only
+/// fail when a model thread genuinely holds it, and contenders park in
+/// the model scheduler instead of the OS.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    // `Option` so drop and `Condvar::wait` can take the std guard out.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn id(&self) -> usize {
+        addr(self)
+    }
+
+    fn raw_lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn raw_try_lock(&self) -> Option<std::sync::MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        loop {
+            if !schedule_op(Op::MutexLock(self.id())) {
+                return MutexGuard {
+                    lock: self,
+                    inner: Some(self.raw_lock()),
+                };
+            }
+            if let Some(g) = self.raw_try_lock() {
+                return MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                };
+            }
+            block_current(BlockOn::Mutex(self.id()), Op::MutexLock(self.id()));
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if !schedule_op(Op::MutexTryLock(self.id())) {
+            return self.raw_try_lock().map(|g| MutexGuard {
+                lock: self,
+                inner: Some(g),
+            });
+        }
+        self.raw_try_lock().map(|g| MutexGuard {
+            lock: self,
+            inner: Some(g),
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(t) => t,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    fn release(&mut self) {
+        if self.inner.take().is_some() {
+            let id = self.lock.id();
+            // Degraded (or aborting) mode: dropping the std guard above
+            // already released the lock; nothing to schedule.
+            schedule_op_with(Op::MutexUnlock(id), |st| {
+                wake_blocked(st, |on| on == BlockOn::Mutex(id));
+            });
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Instrumented condition variable. Model semantics are deliberately
+/// *strict*: no spurious wakeups, `notify_one` wakes the FIFO head —
+/// the explorer must be able to prove a protocol never needed luck, and
+/// a timed wait's deadline only "fires" when the whole system would
+/// otherwise deadlock (so suites can assert the timeout path was never
+/// load-bearing).
+#[derive(Default)]
+pub struct Condvar {
+    std: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            std: StdCondvar::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        addr(self)
+    }
+
+    pub fn notify_one(&self) {
+        let id = self.id();
+        if schedule_op_with(Op::CvNotify(id), |st| wake_condvar(st, id, false)) {
+            return;
+        }
+        self.std.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        let id = self.id();
+        if schedule_op_with(Op::CvNotify(id), |st| wake_condvar(st, id, true)) {
+            return;
+        }
+        self.std.notify_all();
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        if ctx().is_none() {
+            let std_guard = guard.inner.take().expect("guard already released");
+            let g = self.std.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+            return MutexGuard {
+                lock,
+                inner: Some(g),
+            };
+        }
+        // Two schedule points. First, a pre-park point while we still
+        // hold the mutex: in real code the caller's predicate check and
+        // the wait's enqueue are separate instructions, so a lock-free
+        // notifier can land between them (the classic missed wakeup) —
+        // without this point that window would be inexpressible.
+        let id = self.id();
+        let mid = lock.id();
+        schedule_op(Op::CvWait(id));
+        // Second: atomically (w.r.t. the schedule) release the mutex,
+        // register as a waiter, and park. The guard's std lock is
+        // dropped *before* taking the scheduler lock — no other model
+        // thread runs in between, the baton is still ours.
+        drop(guard.inner.take());
+        // The release wakes mutex contenders; the same schedule point
+        // parks us on the condvar, so notify cannot slip between them.
+        let _ = block_with_unlock(BlockOn::Condvar(id), mid, Op::CvWait(id));
+        lock.lock()
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let lock = guard.lock;
+        if ctx().is_none() {
+            let std_guard = guard.inner.take().expect("guard already released");
+            let (g, res) = self
+                .std
+                .wait_timeout(std_guard, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            return (
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                },
+                res.timed_out(),
+            );
+        }
+        let id = self.id();
+        let mid = lock.id();
+        // Same pre-park point as `wait`: the check-to-enqueue window.
+        schedule_op(Op::CvWait(id));
+        drop(guard.inner.take());
+        let timed_out = block_with_unlock(BlockOn::CondvarTimed(id), mid, Op::CvWait(id));
+        (lock.lock(), timed_out)
+    }
+}
+
+/// Parks on `on` and, under the same scheduler lock, releases waiters of
+/// the mutex `mid` that the caller just dropped — the condvar's
+/// "atomically release and wait".
+fn block_with_unlock(on: BlockOn, mid: usize, op: Op) -> bool {
+    // `block_current` marks us blocked before choosing the next thread;
+    // the mutex waiters must be flipped runnable in that same critical
+    // section. Reuse schedule_op_with for the wake, then block without
+    // an extra decision point in between would be ideal — but a
+    // schedule point *is* due here anyway (the unlock), and the park
+    // must be atomic with it. So: perform the wake inside
+    // `block_current`'s section via a pre-registered effect.
+    crate::block_current_with(on, op, move |st| {
+        wake_blocked(st, |b| b == BlockOn::Mutex(mid));
+    })
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// Instrumented reader-writer lock over `std::sync::RwLock`, same
+/// pattern as [`Mutex`]: real exclusion from the inner lock, contention
+/// routed through the model scheduler.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn id(&self) -> usize {
+        addr(self)
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        loop {
+            if !schedule_op(Op::RwRead(self.id())) {
+                let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+                return RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                };
+            }
+            match self.inner.try_read() {
+                Ok(g) => {
+                    return RwLockReadGuard {
+                        lock: self,
+                        inner: Some(g),
+                    }
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    return RwLockReadGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    }
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    block_current(BlockOn::RwRead(self.id()), Op::RwRead(self.id()));
+                }
+            }
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        loop {
+            if !schedule_op(Op::RwWrite(self.id())) {
+                let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+                return RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                };
+            }
+            match self.inner.try_write() {
+                Ok(g) => {
+                    return RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(g),
+                    }
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    return RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                    }
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    block_current(BlockOn::RwWrite(self.id()), Op::RwWrite(self.id()));
+                }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(t) => t,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+fn rw_release(id: usize) {
+    schedule_op_with(Op::RwUnlock(id), |st| {
+        wake_blocked(st, |on| {
+            on == BlockOn::RwRead(id) || on == BlockOn::RwWrite(id)
+        });
+    });
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            rw_release(self.lock.id());
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            rw_release(self.lock.id());
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+/// Instrumented `std::sync::atomic` stand-ins. Every operation is a
+/// schedule point; the value semantics come from the real `std` atomic
+/// underneath (the baton already guarantees sequential consistency
+/// between model threads, so the user's `Ordering` is forwarded
+/// verbatim but does not affect exploration).
+pub mod atomic {
+    use super::addr;
+    use crate::{schedule_op, Op};
+    pub use std::sync::atomic::Ordering;
+
+    /// An instrumented SC fence: a schedule point plus the real fence.
+    pub fn fence(order: Ordering) {
+        schedule_op(Op::Fence);
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            #[derive(Default, Debug)]
+            #[repr(transparent)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub const fn new(v: $ty) -> Self {
+                    $name {
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                fn pt(&self) {
+                    schedule_op(Op::Atomic(addr(self)));
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, val: $ty, order: Ordering) {
+                    self.pt();
+                    self.inner.store(val, order)
+                }
+
+                pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.swap(val, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.pt();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.pt();
+                    // The model never fails spuriously: weak CAS retry
+                    // loops would otherwise generate schedule points
+                    // with no semantic content.
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.fetch_add(val, order)
+                }
+
+                pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.fetch_sub(val, order)
+                }
+
+                pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.fetch_and(val, order)
+                }
+
+                pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.fetch_or(val, order)
+                }
+
+                pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.fetch_max(val, order)
+                }
+
+                pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                    self.pt();
+                    self.inner.fetch_min(val, order)
+                }
+
+                pub fn into_inner(self) -> $ty {
+                    self.inner.into_inner()
+                }
+
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU32, AtomicU32, u32);
+    int_atomic!(AtomicU64, AtomicU64, u64);
+    int_atomic!(AtomicUsize, AtomicUsize, usize);
+    int_atomic!(AtomicU8, AtomicU8, u8);
+    int_atomic!(AtomicI64, AtomicI64, i64);
+
+    #[derive(Default, Debug)]
+    #[repr(transparent)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        fn pt(&self) {
+            schedule_op(Op::Atomic(addr(self)));
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            self.pt();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, val: bool, order: Ordering) {
+            self.pt();
+            self.inner.store(val, order)
+        }
+
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            self.pt();
+            self.inner.swap(val, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.pt();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            self.pt();
+            self.inner.fetch_or(val, order)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+    }
+
+    #[derive(Debug)]
+    #[repr(transparent)]
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            AtomicPtr::new(std::ptr::null_mut())
+        }
+    }
+
+    impl<T> AtomicPtr<T> {
+        pub const fn new(p: *mut T) -> Self {
+            AtomicPtr {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        fn pt(&self) {
+            schedule_op(Op::Atomic(addr(self)));
+        }
+
+        pub fn load(&self, order: Ordering) -> *mut T {
+            self.pt();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, val: *mut T, order: Ordering) {
+            self.pt();
+            self.inner.store(val, order)
+        }
+
+        pub fn swap(&self, val: *mut T, order: Ordering) -> *mut T {
+            self.pt();
+            self.inner.swap(val, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            self.pt();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn compare_exchange_weak(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            self.pt();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        pub fn into_inner(self) -> *mut T {
+            self.inner.into_inner()
+        }
+
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+    }
+}

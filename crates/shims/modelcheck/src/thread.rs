@@ -1,0 +1,92 @@
+//! Model thread spawn/join. Inside an exploration, spawned closures run
+//! on real (fresh) OS threads serialized by the scheduler baton — so
+//! `thread_local!` state starts clean every execution — and `join`
+//! parks in the model scheduler. Outside an exploration this is plain
+//! `std::thread`.
+
+use crate::{
+    block_current, ctx, model_thread_main, push_handle, register_thread, schedule_op,
+    thread_finished, BlockOn, Op,
+};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a model (or plain) spawned thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Unlike
+    /// `std`, a panicking model thread aborts the whole execution (the
+    /// explorer reports it), so this returns the value directly.
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+            Inner::Model { tid, slot } => {
+                let (exec, _) = ctx().expect("model JoinHandle joined outside the model");
+                loop {
+                    schedule_op(Op::Join(tid));
+                    if thread_finished(&exec, tid) {
+                        break;
+                    }
+                    block_current(BlockOn::Join(tid), Op::Join(tid));
+                }
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Under exploration the child is registered with the
+/// scheduler and starts parked; the spawn itself is a schedule point
+/// (the child becomes a candidate immediately).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((exec, _)) = ctx() else {
+        return JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        };
+    };
+    let tid = register_thread(&exec);
+    let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let slot2 = slot.clone();
+    let e2 = exec.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("mc-{tid}"))
+        .spawn(move || {
+            model_thread_main(e2, tid, move || {
+                let v = f();
+                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            })
+        })
+        .expect("spawn model thread");
+    push_handle(&exec, os);
+    schedule_op(Op::Spawn(tid));
+    JoinHandle {
+        inner: Inner::Model { tid, slot },
+    }
+}
+
+/// A bare schedule point — model equivalent of `std::thread::yield_now`.
+pub fn yield_now() {
+    if !schedule_op(Op::Yield) {
+        std::thread::yield_now();
+    }
+}
