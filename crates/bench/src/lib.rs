@@ -930,7 +930,7 @@ pub fn bench_concurrent() {
                         let start = Instant::now();
                         for i in 0..appends_each {
                             let nonce = ((t as u64) << 40) | i;
-                            tree.append(CandidateBlock::simple(ProcessId(t), nonce));
+                            let _ = tree.append(CandidateBlock::simple(ProcessId(t), nonce));
                         }
                         start.elapsed().as_secs_f64()
                     }));
@@ -1062,7 +1062,7 @@ pub fn bench_concurrent() {
                         barrier.wait();
                         for i in 0..appends_each {
                             let nonce = (1u64 << 50) | ((t as u64) << 40) | i;
-                            tree.append(CandidateBlock::simple(ProcessId(t), nonce));
+                            let _ = tree.append(CandidateBlock::simple(ProcessId(t), nonce));
                         }
                     }));
                 }
@@ -1149,7 +1149,7 @@ pub fn bench_concurrent() {
                         barrier.wait();
                         for i in 0..appends_each {
                             let nonce = (1u64 << 51) | ((t as u64) << 40) | i;
-                            tree.append(CandidateBlock::simple(ProcessId(t), nonce));
+                            let _ = tree.append(CandidateBlock::simple(ProcessId(t), nonce));
                         }
                     }));
                 }
@@ -1165,7 +1165,7 @@ pub fn bench_concurrent() {
                         let ids = chain.ids();
                         let parent = ids[(seed >> 33) as usize % ids.len()];
                         let nonce = (1u64 << 53) | i;
-                        tree.graft(parent, CandidateBlock::simple(ProcessId(9), nonce));
+                        let _ = tree.graft(parent, CandidateBlock::simple(ProcessId(9), nonce));
                     }
                 });
                 let scanner = s.spawn(move || {
@@ -1256,7 +1256,7 @@ pub fn bench_concurrent() {
             let tree = ConcurrentBlockTree::with_config(4, watermark, LongestChain, AcceptAll);
             let start = Instant::now();
             for i in 0..deep_blocks {
-                tree.append(CandidateBlock::simple(ProcessId(0), (1u64 << 52) | i));
+                let _ = tree.append(CandidateBlock::simple(ProcessId(0), (1u64 << 52) | i));
             }
             let rate = deep_blocks as f64 / start.elapsed().as_secs_f64();
             (tree, rate)
@@ -1369,7 +1369,8 @@ pub fn bench_concurrent() {
                                 let start = Instant::now();
                                 for i in 0..appends_each {
                                     let nonce = (1u64 << 54) | ((t as u64) << 40) | i;
-                                    tree.append(CandidateBlock::simple(ProcessId(t), nonce));
+                                    let _ =
+                                        tree.append(CandidateBlock::simple(ProcessId(t), nonce));
                                 }
                                 start.elapsed().as_secs_f64()
                             })
@@ -1382,6 +1383,23 @@ pub fn bench_concurrent() {
                 });
                 assert_eq!(tree.read().len() as u64, done_appends + 1);
                 let stats = tree.wal_stats().expect("durable tree reports stats");
+                // Seam sanity: these rows run through the default StdVfs,
+                // which must be a pure passthrough — every append logged
+                // exactly once, no injected-failure machinery engaged. A
+                // regression here (missing records, surprise retries or
+                // failure counts on a healthy disk) means the VFS seam
+                // changed the durable path, not just its timing.
+                assert_eq!(
+                    stats.records, done_appends,
+                    "StdVfs seam must log exactly one record per append"
+                );
+                assert!(
+                    stats.checkpoint_failures == 0
+                        && stats.segment_unlink_failures == 0
+                        && stats.rotation_failures == 0
+                        && stats.last_error.is_none(),
+                    "StdVfs seam recorded IO failures on a healthy disk: {stats:?}"
+                );
                 // Group commit's cadence check: stage 2 fsyncs once per
                 // publication (a publication may cover several staged
                 // batches, never the reverse), so the fsync count must

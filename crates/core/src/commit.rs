@@ -58,6 +58,22 @@ use std::ptr;
 const PENDING: u32 = 0;
 const COMMITTED: u32 = 1;
 const REJECTED: u32 = 2;
+/// The tree's WAL was poisoned before this request's batch persisted:
+/// the commit was *not* made durable and must not be reported as
+/// committed — the owner surfaces a `DurabilityError` instead.
+const POISONED: u32 = 3;
+
+/// Outcome of a resolved [`CommitReq`], as seen by its polling owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Polled {
+    /// Committed (and, on a durable tree, persisted) as this id.
+    Committed(BlockId),
+    /// Rejected by the validity predicate (a legitimate answer).
+    Rejected,
+    /// Never persisted: the tree degraded before this batch's group
+    /// commit. The owner must report a durability error, not an ack.
+    Poisoned,
+}
 
 /// One in-flight append: the optimistic mint plus the race context the
 /// drainer resolves it against.
@@ -114,14 +130,23 @@ impl CommitReq {
         }
     }
 
+    /// Resolves the request as never-persisted (see [`Polled::Poisoned`]).
+    /// Same touch-nothing-after contract as [`resolve`](Self::resolve).
+    pub fn resolve_poisoned(&self) {
+        self.status.store(POISONED, Ordering::Release);
+    }
+
     /// `None` while pending, `Some(outcome)` once resolved.
-    pub fn poll(&self) -> Option<Option<BlockId>> {
+    pub fn poll(&self) -> Option<Polled> {
         match self.status.load(Ordering::Acquire) {
             PENDING => None,
             // relaxed: the Acquire load of COMMITTED above synchronizes
             // with resolve()'s Release store, making `result` visible.
-            COMMITTED => Some(Some(BlockId(self.result.load(Ordering::Relaxed)))),
-            _ => Some(None),
+            COMMITTED => Some(Polled::Committed(BlockId(
+                self.result.load(Ordering::Relaxed),
+            ))),
+            POISONED => Some(Polled::Poisoned),
+            _ => Some(Polled::Rejected),
         }
     }
 }
@@ -366,10 +391,13 @@ mod tests {
         let r = req(7);
         assert_eq!(r.poll(), None);
         r.resolve(Some(BlockId(42)));
-        assert_eq!(r.poll(), Some(Some(BlockId(42))));
+        assert_eq!(r.poll(), Some(Polled::Committed(BlockId(42))));
         let r2 = req(8);
         r2.resolve(None);
-        assert_eq!(r2.poll(), Some(None));
+        assert_eq!(r2.poll(), Some(Polled::Rejected));
+        let r3 = req(9);
+        r3.resolve_poisoned();
+        assert_eq!(r3.poll(), Some(Polled::Poisoned));
     }
 
     #[test]

@@ -77,20 +77,39 @@
 //! batch's `append`s return, so any read invoked after an append's
 //! response observes that append's chain (or a later one) — the property
 //! the recorded-history linearizability suite checks from the outside.
+//!
+//! # Degraded mode (durable trees)
+//!
+//! A durable tree whose WAL suffers a data-path write or fsync failure
+//! **poisons** rather than panics: the failed publication is not acked,
+//! the error latches, and every later `append`/`graft` returns the same
+//! typed [`DurabilityError`] without touching the disk (a failed fsync
+//! may have dropped dirty pages, so retrying it proves nothing — see
+//! `crate::wal`). Poisoning is one-way and observable via
+//! [`ConcurrentBlockTree::is_poisoned`] /
+//! [`ConcurrentBlockTree::durability_error`]. Reads stay valid in
+//! degraded mode: the published chain is exactly the acked durable
+//! prefix, so readers drain gracefully while the operator fails over to
+//! recovery (`open_durable` on the surviving directory). The crash-point
+//! matrix (`tests/wal_crashpoints.rs`) and the mtrun fault lane hold
+//! this to "no ack a crash could forget", per-operation and under real
+//! thread contention.
 
 use crate::block::{Block, Payload};
 use crate::blocktree::CandidateBlock;
 use crate::chain::Blockchain;
-use crate::commit::{CommitQueue, CommitReq, FinalityWatermark, PipelineStats};
+use crate::commit::{CommitQueue, CommitReq, FinalityWatermark, PipelineStats, Polled};
 use crate::epoch::{EpochDomain, Guard, RecycleBin};
 use crate::ids::BlockId;
 use crate::selection::{batch_score, SelectionAux, SelectionFn, TipUpdate};
 use crate::store::{BlockMeta, BlockStore, BlockView, TreeMembership};
-use crate::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Condvar, Mutex};
 use crate::tipcache::advance_chain;
 use crate::validity::ValidityPredicate;
-use crate::wal::{CheckpointJob, CommitRecord, RecordRef, Wal, WalConfig, WalStats};
+use crate::wal::{
+    CheckpointJob, CommitRecord, DurabilityError, RecordRef, Wal, WalConfig, WalStats,
+};
 use std::collections::{HashMap, VecDeque};
 
 /// Default shard count for [`ShardedStore`] (must be a power of two).
@@ -1971,6 +1990,17 @@ pub struct ConcurrentBlockTree<F: SelectionFn, P: ValidityPredicate> {
     ///
     /// [`run_pending_checkpoint`]: Self::run_pending_checkpoint
     pending_ckpt: Mutex<Option<PendingCheckpoint>>,
+    /// Degraded-mode latch (durable trees only): set — never cleared —
+    /// when a data-path WAL append fails, because a failed fsync may
+    /// have silently dropped the dirty pages it claimed to cover and a
+    /// retry that "succeeds" proves nothing (the fsyncgate rule).
+    /// Commit paths fail fast with a [`DurabilityError`] once this is
+    /// up; reads of the already-published prefix keep working.
+    poisoned: AtomicBool,
+    /// The first [`DurabilityError`] that poisoned the tree, kept for
+    /// every subsequent degraded-mode response. A leaf lock (taken
+    /// alone, never while waiting on another).
+    poison_err: Mutex<Option<DurabilityError>>,
 }
 
 /// A claimed WAL checkpoint awaiting its off-lock IO: the detached job
@@ -2063,6 +2093,64 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             stat_score_ns: AtomicU64::new(0),
             stat_publish_ns: AtomicU64::new(0),
             pending_ckpt: Mutex::new(None),
+            poisoned: AtomicBool::new(false),
+            poison_err: Mutex::new(None),
+        }
+    }
+
+    /// Whether the tree has entered degraded (read-only) mode after a
+    /// data-path persistence failure. Monotone: once poisoned, every
+    /// commit path returns [`DurabilityError`] and only reads of the
+    /// already-published prefix keep working. Always `false` on
+    /// volatile trees.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The error that poisoned the tree, or `None` while healthy.
+    pub fn durability_error(&self) -> Option<DurabilityError> {
+        if self.is_poisoned() {
+            Some(self.poison_error())
+        } else {
+            None
+        }
+    }
+
+    /// Latches degraded mode: records the first error, raises the flag,
+    /// and wakes every parked decide-path waiter — a poisoned tree
+    /// publishes no further generations, so without the wakeup they
+    /// would sleep until their deadlines.
+    fn poison_with(&self, err: DurabilityError) {
+        {
+            let mut slot = self.poison_err.lock();
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+        // Same lock-then-notify shape as publication: a waiter between
+        // its poison recheck (under `gen_lock`) and its park either sees
+        // the flag there or is already parked when this notify fires.
+        drop(self.gen_lock.lock());
+        self.gen_cv.notify_all();
+    }
+
+    /// The stored poisoning error (or the generic marker if the flag
+    /// won the race to a caller before the slot was filled).
+    fn poison_error(&self) -> DurabilityError {
+        (*self.poison_err.lock()).unwrap_or(DurabilityError::Poisoned)
+    }
+
+    /// The degraded-mode exit check every commit path runs on its own
+    /// outcome: an id may be acked only if some publication covers it —
+    /// on a poisoned tree that means a publication that succeeded
+    /// *before* the poisoning. Anything else (an uncovered insert, or a
+    /// commit skipped outright) surfaces the poisoning error instead of
+    /// a status the durable log cannot corroborate.
+    fn guard_outcome(&self, outcome: Option<BlockId>) -> Result<Option<BlockId>, DurabilityError> {
+        match outcome {
+            Some(id) if self.is_poisoned() && !self.is_committed(id) => Err(self.poison_error()),
+            o => Ok(o),
         }
     }
 
@@ -2132,7 +2220,16 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// resolution under the selection lock; the recorded-history suites
     /// check both paths from the outside (the inline path is
     /// indistinguishable from a batch of one).
-    pub fn append(&self, candidate: CandidateBlock) -> Option<BlockId> {
+    ///
+    /// `Ok(None)` means the validity predicate `P` rejected the block —
+    /// the Def. 3.1 rejection, tree unchanged. `Err` means the tree is
+    /// [poisoned](Self::is_poisoned): a data-path persistence failure
+    /// degraded it to read-only and this append was **not** durably
+    /// committed (volatile trees never return `Err`).
+    pub fn append(&self, candidate: CandidateBlock) -> Result<Option<BlockId>, DurabilityError> {
+        if self.is_poisoned() {
+            return Err(self.poison_error());
+        }
         let CandidateBlock {
             producer,
             merit_index,
@@ -2162,7 +2259,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             // above, where staleness costs a re-mint, never an outcome.)
             let published = self.read();
             if published.tip() == parent {
-                return None;
+                return Ok(None);
             }
             // The tip moved under us: re-decide under the authoritative
             // tip (inline or in the drain).
@@ -2179,12 +2276,17 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             let mut outcome = None;
             let mut own_panic = None;
             let mut claimed = None;
-            if settle.as_ref().is_none_or(|s| s.panic.is_none()) {
+            let mut resolved = false;
+            // A tree poisoned since the entry check commits nothing
+            // further: membership (hence stage-1 insert order) must not
+            // grow past what the durable log can ever corroborate.
+            if settle.as_ref().is_none_or(|s| s.panic.is_none()) && !self.is_poisoned() {
                 let (o, c, p) =
                     self.commit_inline_locked(&mut sel, minted, parent, prevalidated, nonce);
                 outcome = o;
                 claimed = c;
                 own_panic = p;
+                resolved = true;
             }
             drop(sel);
             // A claimed publication covers everything staged before it —
@@ -2197,7 +2299,12 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             self.maybe_reclaim();
             self.maybe_flatten();
             self.run_pending_checkpoint();
-            return outcome;
+            if !resolved {
+                // Only reachable poisoned: a drain panic resumed inside
+                // `settle_commit` above and never returns here.
+                return Err(self.poison_error());
+            }
+            return self.guard_outcome(outcome);
         }
         let req = CommitReq::new(minted, parent, prevalidated, nonce);
         // SAFETY: `req` lives on this stack frame, and we do not return
@@ -2212,8 +2319,11 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         // the scheduler happens to preempt a lock holder.
         std::thread::yield_now();
         loop {
-            if let Some(outcome) = req.poll() {
-                return outcome;
+            match req.poll() {
+                Some(Polled::Committed(id)) => return self.guard_outcome(Some(id)),
+                Some(Polled::Rejected) => return Ok(None),
+                Some(Polled::Poisoned) => return Err(self.poison_error()),
+                None => {}
             }
             // The drain ticket is the mutex acquisition itself: a
             // *parked* waiter — not a spinning one — while a drainer is
@@ -2302,8 +2412,13 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// Mints `candidate` under an explicit committed `parent` (the refined
     /// append of Def. 3.7, where the oracle fixes the parent — and the
     /// fork-builder for adversarial workloads). Returns the new id if `P`
-    /// accepted the block.
-    pub fn graft(&self, parent: BlockId, candidate: CandidateBlock) -> Option<BlockId> {
+    /// accepted the block; `Err` once the tree is
+    /// [poisoned](Self::is_poisoned) (see [`append`](Self::append)).
+    pub fn graft(
+        &self,
+        parent: BlockId,
+        candidate: CandidateBlock,
+    ) -> Result<Option<BlockId>, DurabilityError> {
         let id = self.store.mint(
             parent,
             candidate.producer,
@@ -2332,13 +2447,21 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// (`btadt-registers`' `TreeConsensus`), so the same block is
     /// routinely grafted by several racing processes and only the first
     /// may mutate the tree.
-    pub fn graft_minted(&self, id: BlockId) -> Option<BlockId> {
+    ///
+    /// On a [poisoned](Self::is_poisoned) tree the idempotent half
+    /// survives — a block covered by a pre-poisoning publication still
+    /// acks `Ok(Some(id))` — but nothing new commits: everything else
+    /// returns `Err`.
+    pub fn graft_minted(&self, id: BlockId) -> Result<Option<BlockId>, DurabilityError> {
+        if self.is_poisoned() {
+            return self.guard_outcome(Some(id));
+        }
         let valid = {
             let block = self.store.block(id);
             self.predicate.is_valid(&self.store, &block)
         };
         if !valid {
-            return None;
+            return Ok(None);
         }
         let parent = self
             .store
@@ -2352,7 +2475,10 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             // on it.
             let settle = self.drain_locked(&mut sel);
             let drain_panicked = settle.as_ref().is_some_and(|s| s.panic.is_some());
-            if !drain_panicked && sel.tree.contains(id) {
+            // Like the inline append: a tree poisoned since the entry
+            // check inserts nothing further.
+            let halted = drain_panicked || self.is_poisoned();
+            if !halted && sel.tree.contains(id) {
                 // Duplicate graft: someone committed this block first
                 // (`P` is deterministic, so their validity verdict was
                 // the same one we just computed). Nothing to insert and
@@ -2362,9 +2488,9 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
                 // below returns only once that publication is in.
                 drop(sel);
                 self.settle_commit(settle, None);
-                return Some(id);
+                return self.guard_outcome(Some(id));
             }
-            if !drain_panicked {
+            if !halted {
                 assert!(
                     sel.tree.contains(parent),
                     "graft parent {parent} not committed to the tree"
@@ -2391,7 +2517,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         self.maybe_reclaim();
         self.maybe_flatten();
         self.run_pending_checkpoint();
-        Some(id)
+        self.guard_outcome(Some(id))
     }
 
     /// Feeds the batch-size EWMA behind the adaptive reclamation
@@ -2504,7 +2630,9 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             if self.is_committed(id) {
                 return true;
             }
-            if std::time::Instant::now() >= deadline {
+            // Poisoned: no further commit can land, so the probes above
+            // already gave the final answer.
+            if self.is_poisoned() || std::time::Instant::now() >= deadline {
                 return self.is_committed(id);
             }
             self.wait_commit_past(gen, deadline);
@@ -2534,6 +2662,19 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         let batch = self.queue.take_all();
         if batch.is_empty() {
             return None;
+        }
+        if self.is_poisoned() {
+            // Degraded mode: the requests still get settled (owners are
+            // parked on these very statuses), but nothing is resolved or
+            // inserted — membership must not grow past what the durable
+            // log can corroborate. The empty outcomes vector makes
+            // settlement poison every request a prior publication does
+            // not already cover.
+            return Some(DrainSettle {
+                batch,
+                outcomes: Vec::new(),
+                panic: None,
+            });
         }
         let t0 = std::time::Instant::now();
         // Feed the adaptive reclamation threshold with this batch's size.
@@ -2626,14 +2767,30 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             panic,
         }) = settle
         {
+            let poisoned = self.is_poisoned();
             for (i, &req_ptr) in batch.iter().enumerate() {
                 // SAFETY: owners are still polling (they only return
                 // once a status lands), and only this settler holds the
                 // taken nodes; after `resolve` the node is never touched
                 // again by this thread.
                 let req = unsafe { &*req_ptr };
-                if req.poll().is_none() {
+                if req.poll().is_some() {
+                    continue;
+                }
+                if !poisoned {
                     req.resolve(outcomes.get(i).copied().flatten());
+                    continue;
+                }
+                // Degraded mode: only statuses the durable log can
+                // corroborate may still be delivered — a commit covered
+                // by a pre-poisoning publication, or a volatile
+                // `P`-rejection (no durability claim to break). An
+                // uncovered insert, or a request the poisoned drain
+                // skipped outright, gets the poison status instead.
+                match outcomes.get(i).copied() {
+                    Some(Some(id)) if self.is_committed(id) => req.resolve(Some(id)),
+                    Some(None) => req.resolve(None),
+                    _ => req.resolve_poisoned(),
                 }
             }
             if let Some(payload) = panic {
@@ -2780,7 +2937,9 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             mut publ,
             mut batches,
         } = claim;
-        self.publish_batches_locked(&mut publ, &batches);
+        // A persistence failure latched the poison flag inside; the
+        // claimant's own exit check surfaces it as `DurabilityError`.
+        let _ = self.publish_batches_locked(&mut publ, &batches);
         batches.clear();
         publ.spare = batches;
     }
@@ -2810,7 +2969,9 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
             return;
         }
         let t0 = std::time::Instant::now();
-        self.publish_batches_locked(&mut publ, &batches);
+        // Failure latches the poison flag inside; every settlement and
+        // exit check downstream reads it.
+        let _ = self.publish_batches_locked(&mut publ, &batches);
         self.stat_publish_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed); // relaxed: stats counter
         batches.clear();
@@ -2875,7 +3036,18 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
     /// The publication critical section proper — persist, splice, swap,
     /// retire — for a non-empty run of staged batches in commit-log
     /// order.
-    fn publish_batches_locked(&self, publ: &mut PubState, batches: &[PubBatch]) {
+    ///
+    /// `Err` means the WAL append failed (or the WAL was already
+    /// poisoned): the run is **not** published — no chain advance, no
+    /// `published_upto`/tip store, no generation bump — so nothing any
+    /// reader or waiter can observe ever gets ahead of durability. The
+    /// tree is poisoned before this returns; callers surface the error
+    /// through their own exit checks and settlement.
+    fn publish_batches_locked(
+        &self,
+        publ: &mut PubState,
+        batches: &[PubBatch],
+    ) -> Result<(), DurabilityError> {
         // Persist-then-ack: every commit this publication will expose
         // must be durable *before* the pointer swap makes it readable —
         // and the swap itself precedes the generation bump, the condvar
@@ -2890,32 +3062,34 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         // is the one choke point durability needs.
         if let Some(ws) = publ.wal.as_mut() {
             let store = &self.store;
-            ws.wal
-                .append_batch(|framer| {
-                    for batch in batches {
-                        for &id in &batch.ids {
-                            store.with_block(id, &mut |b| {
-                                framer.record(RecordRef {
-                                    id,
-                                    parent: b.parent.expect("committed blocks are never genesis"),
-                                    producer: b.producer,
-                                    merit_index: b.merit_index,
-                                    work: b.work,
-                                    digest: b.digest,
-                                    payload: &b.payload,
-                                });
+            let appended = ws.wal.append_batch(|framer| {
+                for batch in batches {
+                    for &id in &batch.ids {
+                        store.with_block(id, &mut |b| {
+                            framer.record(RecordRef {
+                                id,
+                                parent: b.parent.expect("committed blocks are never genesis"),
+                                producer: b.producer,
+                                merit_index: b.merit_index,
+                                work: b.work,
+                                digest: b.digest,
+                                payload: &b.payload,
                             });
-                        }
+                        });
                     }
-                })
-                .unwrap_or_else(|e| {
-                    // Fail-stop: a tree that cannot persist must not
-                    // ack. Acking an unpersisted commit would let a
-                    // crash forget a response some caller already
-                    // acted on — the one thing the WAL exists to
-                    // prevent.
-                    panic!("WAL append failed; cannot ack unpersisted commits (fail-stop): {e}")
-                });
+                }
+            });
+            if let Err(e) = appended {
+                // A tree that cannot persist must not ack: acking an
+                // unpersisted commit would let a crash forget a response
+                // some caller already acted on — the one thing the WAL
+                // exists to prevent. The WAL poisoned itself (fsyncgate:
+                // no retry can prove the dirty pages survived); latch
+                // the tree-level flag and abandon the run unpublished.
+                let err = DurabilityError::PersistFailed { kind: e.kind() };
+                self.poison_with(err);
+                return Err(self.poison_error());
+            }
             for batch in batches {
                 publ.logged_ids.extend_from_slice(&batch.ids);
             }
@@ -2977,6 +3151,7 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         // stays valid even if the tree struct is moved before the item
         // runs.
         unsafe { self.epochs.retire_box_recycling(bytes, old, &self.spares) };
+        Ok(())
     }
 
     /// Advances the storage-final prefix cursor and, when the geometric
@@ -3037,22 +3212,39 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         let records: Vec<CommitRecord> = ids.iter().map(|&id| wal_record_of(store, id)).collect();
         let outcome = job.run(&records);
         drop(records);
-        let dead = {
+        let (dead, vfs) = {
             let mut publ = self.publ.lock();
             let ws = publ
                 .wal
                 .as_mut()
                 .expect("a durable tree never loses its WAL");
-            match outcome {
+            let vfs = ws.wal.vfs();
+            let dead = match outcome {
                 Ok(done) => ws.wal.finish_checkpoint(done),
-                Err(_) => {
-                    ws.wal.abort_checkpoint();
+                Err(e) => {
+                    // Non-fatal: the claim is released and the failure
+                    // counted; the log keeps its segments — correct,
+                    // merely uncompacted.
+                    ws.wal.fail_checkpoint(&e);
                     Vec::new()
                 }
-            }
+            };
+            (dead, vfs)
         };
+        // Covered segments are unlinked off the lock, through the same
+        // VFS seam as every other WAL IO. A failed unlink is harmless
+        // (replay skips fully checkpointed segments by start index) but
+        // counted, so leaks are observable.
+        let mut failed = 0u64;
         for path in dead {
-            let _ = std::fs::remove_file(path);
+            if vfs.remove_file(&path).is_err() {
+                failed += 1;
+            }
+        }
+        if failed > 0 {
+            if let Some(ws) = self.publ.lock().wal.as_mut() {
+                ws.wal.note_unlink_failures(failed);
+            }
         }
     }
 
@@ -3180,6 +3372,12 @@ impl<F: SelectionFn, P: ValidityPredicate> ConcurrentBlockTree<F, P> {
         let mut guard = self.gen_lock.lock();
         loop {
             if self.commit_gen.load(Ordering::SeqCst) != seen {
+                break;
+            }
+            // A poisoned tree publishes no further generations — waiters
+            // must not sleep out their deadlines waiting for one
+            // (`poison_with` notifies under this same lock).
+            if self.is_poisoned() {
                 break;
             }
             let now = std::time::Instant::now();
@@ -3386,7 +3584,8 @@ mod tests {
                 let bt = &bt;
                 s.spawn(move || {
                     for i in 0..60u64 {
-                        bt.append(CandidateBlock::simple(ProcessId(t), (t as u64) << 32 | i));
+                        let _ =
+                            bt.append(CandidateBlock::simple(ProcessId(t), (t as u64) << 32 | i));
                     }
                 });
             }
@@ -3431,7 +3630,10 @@ mod tests {
     fn sequential_appends_extend_the_chain() {
         let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
         for i in 0..10 {
-            assert!(bt.append(CandidateBlock::simple(ProcessId(0), i)).is_some());
+            assert!(bt
+                .append(CandidateBlock::simple(ProcessId(0), i))
+                .unwrap()
+                .is_some());
         }
         assert_eq!(bt.read().len(), 11);
         assert_eq!(bt.len(), 11);
@@ -3441,7 +3643,10 @@ mod tests {
     #[test]
     fn rejected_append_leaves_tree_unchanged() {
         let bt = ConcurrentBlockTree::new(LongestChain, DigestPrefix { zero_bits: 64 });
-        assert!(bt.append(CandidateBlock::simple(ProcessId(0), 1)).is_none());
+        assert!(bt
+            .append(CandidateBlock::simple(ProcessId(0), 1))
+            .unwrap()
+            .is_none());
         assert_eq!(bt.read(), Blockchain::genesis());
         assert_eq!(bt.len(), 1);
         // The rejected mint still occupies an arena slot, as on BlockTree.
@@ -3453,15 +3658,18 @@ mod tests {
         let bt = ConcurrentBlockTree::new(HeaviestWork, AcceptAll);
         let a = bt
             .graft(BlockId::GENESIS, CandidateBlock::simple(ProcessId(0), 1))
+            .unwrap()
             .unwrap();
         let _a2 = bt
             .graft(a, CandidateBlock::simple(ProcessId(0), 2))
+            .unwrap()
             .unwrap();
         let heavy = bt
             .graft(
                 BlockId::GENESIS,
                 CandidateBlock::simple(ProcessId(1), 3).with_work(10),
             )
+            .unwrap()
             .unwrap();
         assert_eq!(bt.selected_tip(), heavy, "work 10 beats work 2");
         assert_eq!(bt.read().ids(), &[BlockId::GENESIS, heavy]);
@@ -3526,7 +3734,10 @@ mod tests {
     fn uncontended_appends_commit_inline() {
         let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
         for i in 0..50 {
-            assert!(bt.append(CandidateBlock::simple(ProcessId(0), i)).is_some());
+            assert!(bt
+                .append(CandidateBlock::simple(ProcessId(0), i))
+                .unwrap()
+                .is_some());
         }
         let stats = bt.pipeline_stats();
         assert_eq!(stats.inline_appends, 50, "single appender never queues");
@@ -3547,7 +3758,7 @@ mod tests {
         let txs = vec![Tx::new(0, 1, 2, 17)];
         let data_ptr = txs.as_ptr();
         let cand = CandidateBlock::simple(ProcessId(0), 1).with_payload(Payload::Transactions(txs));
-        let id = bt.append(cand).expect("AcceptAll");
+        let id = bt.append(cand).unwrap().expect("AcceptAll");
         bt.store().with_block(id, &mut |b| match &b.payload {
             Payload::Transactions(v) => {
                 assert_eq!(v.as_ptr(), data_ptr, "payload moved, not cloned")
@@ -3561,7 +3772,10 @@ mod tests {
         let txs = vec![Tx::new(1, 3, 4, 5)];
         let data_ptr = txs.as_ptr();
         let cand = CandidateBlock::simple(ProcessId(0), 2).with_payload(Payload::Transactions(txs));
-        assert!(bt.append(cand).is_none(), "64 zero bits rejects everything");
+        assert!(
+            bt.append(cand).unwrap().is_none(),
+            "64 zero bits rejects everything"
+        );
         let orphan = BlockId(1); // sole non-genesis mint
         bt.store().with_block(orphan, &mut |b| match &b.payload {
             Payload::Transactions(v) => {
@@ -3589,7 +3803,7 @@ mod tests {
             });
             // Give the waiter time to park, then commit.
             std::thread::sleep(std::time::Duration::from_millis(20));
-            bt.graft_minted(minted).expect("AcceptAll");
+            bt.graft_minted(minted).unwrap().expect("AcceptAll");
             assert!(waiter.join().expect("waiter"), "woken by the graft");
         });
         // An orphan that never commits: the deadline answer is `false`.
@@ -3613,6 +3827,7 @@ mod tests {
                         let nonce = (t as u64) << 32 | i;
                         assert!(bt
                             .append(CandidateBlock::simple(ProcessId(t), nonce))
+                            .unwrap()
                             .is_some());
                     }
                 });
@@ -3683,7 +3898,7 @@ mod tests {
                         let r = crate::ids::splitmix64_at((t as u64) << 8, i);
                         let parent = ids[(r as usize) % ids.len()];
                         drop(chain);
-                        bt.graft(
+                        let _ = bt.graft(
                             parent,
                             CandidateBlock::simple(ProcessId(t), (t as u64) << 32 | i),
                         );
@@ -3772,7 +3987,7 @@ mod tests {
                                     (t as u64) << 32 | i,
                                 ))
                             }));
-                            if let Ok(Some(id)) = r {
+                            if let Ok(Ok(Some(id))) = r {
                                 // Publish-before-respond must survive the
                                 // panic path: a committed response, even
                                 // one delivered by the drainer's unwind
@@ -3812,12 +4027,12 @@ mod tests {
         let bt = ConcurrentBlockTree::new(LongestChain, AcceptAll);
         for i in 0..12 {
             if i % 3 == 0 {
-                bt.graft(
+                let _ = bt.graft(
                     BlockId::GENESIS,
                     CandidateBlock::simple(ProcessId(1), 100 + i),
                 );
             } else {
-                bt.append(CandidateBlock::simple(ProcessId(0), i));
+                let _ = bt.append(CandidateBlock::simple(ProcessId(0), i));
             }
         }
         let snap = bt.snapshot_store();

@@ -26,6 +26,7 @@
 //! | Epoch-based reclamation (grace periods for lock-free readers) | [`epoch`] |
 //! | Staged commit pipeline (batched appends) | [`commit`] |
 //! | Durable commit log (segmented WAL, group-commit fsync, crash recovery) | [`wal`] |
+//! | Storage-fault injection (VFS seam, deterministic power-loss model) | [`vfs`] |
 //!
 //! The literal Def. 3.1 semantics (full `f(bt)` rescans) remain available
 //! as `select_tip` / `selected_tip_full_scan` and serve as the
@@ -70,6 +71,7 @@ pub mod store;
 pub mod sync;
 pub mod tipcache;
 pub mod validity;
+pub mod vfs;
 pub mod wal;
 
 /// Convenient single-import surface.
@@ -102,5 +104,6 @@ pub mod prelude {
     pub use crate::validity::{
         AcceptAll, DigestPrefix, NoDoubleSpend, RejectAll, ValidityPredicate,
     };
-    pub use crate::wal::{CommitRecord, Wal, WalConfig, WalStats};
+    pub use crate::vfs::{FaultConfig, FaultKind, FaultRule, FaultVfs, StdVfs, TornTail, Vfs};
+    pub use crate::wal::{CommitRecord, DurabilityError, Wal, WalConfig, WalStats};
 }

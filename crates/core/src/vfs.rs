@@ -1,0 +1,1008 @@
+//! The VFS seam: every byte the durability layer moves goes through
+//! [`Vfs`], so storage faults become an *injectable input* instead of an
+//! act of God.
+//!
+//! [`crate::wal`] performs no direct `std::fs` IO (the discipline lint
+//! enforces this): it opens, writes, syncs, renames, and unlinks through
+//! a `Vfs` carried by [`WalConfig`](crate::wal::WalConfig). Two
+//! implementations exist:
+//!
+//! * [`StdVfs`] — a zero-cost passthrough to `std::fs`. Every method is a
+//!   direct delegation with no state, no locks, no extra syscalls; the
+//!   durable bench rows run through it unchanged.
+//! * [`FaultVfs`] — a deterministic in-memory filesystem with a fault
+//!   injector and a buffered power-loss model. It tracks, per file, both
+//!   the *live* bytes (what reads and appends see — the page cache) and
+//!   the *durable* bytes (what survives power loss — advanced only by
+//!   `sync_data`/`sync_all`), and per directory both live and durable
+//!   entry maps (advanced only by `sync_dir`). A simulated crash point
+//!   drops or truncates every unsynced suffix, exactly the failure the
+//!   WAL's torn-tail trimming and directory-fsync ordering exist to
+//!   survive.
+//!
+//! # Fault schedules
+//!
+//! A [`FaultConfig`] is a list of [`FaultRule`]s — "the `nth` operation
+//! of kind `op` fails with `kind`" — plus an optional global crash
+//! point. To make, say, the third data fsync fail with `EIO` and assert
+//! the tree degrades instead of panicking:
+//!
+//! ```
+//! use btadt_core::vfs::{FaultConfig, FaultKind, FaultRule, FaultVfs, OpKind};
+//! use btadt_core::wal::{Wal, WalConfig};
+//!
+//! let vfs = FaultVfs::new(
+//!     FaultConfig::new().rule(FaultRule::new(OpKind::SyncData, 3, FaultKind::Eio)),
+//! );
+//! let cfg = WalConfig::new("/wal").vfs(vfs.as_dyn());
+//! let (mut wal, _) = Wal::open(cfg).unwrap();
+//! // First two group commits hit fsyncs 2 and 3 (open's directory sync
+//! // is a SyncDir op, but the trim/creation path costs one SyncData on
+//! // some layouts — count from the trace when precision matters).
+//! # let _ = &mut wal;
+//! ```
+//!
+//! Every operation is recorded in an order-stable trace
+//! ([`FaultVfs::trace`]), which is how the crash-point matrix
+//! (`crates/core/tests/wal_crashpoints.rs`) enumerates each IO site a
+//! workload performs and re-runs it with a crash injected at every index.
+//! All scheduling is deterministic: the same workload over the same
+//! [`FaultConfig`] produces the same trace, the same failure, and the
+//! same post-recovery state — a failing seed reproduces exactly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Raw OS error codes used by the injector: preserved via
+/// `io::Error::from_raw_os_error` so callers can classify with
+/// `raw_os_error()` (stable across `io::ErrorKind` additions).
+pub const EINTR: i32 = 4;
+/// See [`EINTR`].
+pub const EIO: i32 = 5;
+/// See [`EINTR`].
+pub const ENOSPC: i32 = 28;
+
+/// An open file handle behind the seam. Mirrors the `std::fs::File`
+/// surface the WAL actually uses — nothing more (hence no `is_empty`:
+/// `len()` here is fallible IO, not a container query).
+#[allow(clippy::len_without_is_empty)]
+pub trait VfsFile: Send {
+    /// Appends (files are opened in append mode) or writes at the
+    /// current position.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// `fdatasync`: makes previously written data durable.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// `fsync`: data + metadata.
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncates (or zero-extends) to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Current file length in bytes.
+    fn len(&self) -> io::Result<u64>;
+}
+
+/// The filesystem operations the durability layer needs. All WAL and
+/// checkpoint IO flows through one of these; see the module docs.
+pub trait Vfs: fmt::Debug + Send + Sync {
+    /// `fs::create_dir_all`.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Reads a whole file (`fs::read`).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// File names (not paths) in `dir`, in unspecified order.
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Opens an existing file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Creates a fresh file for appending; fails if it exists
+    /// (`create_new`).
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Creates (truncating any previous content) for writing
+    /// (`File::create`).
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomic rename within the same directory.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Unlinks a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs a directory, making its entry list durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production seam: direct passthrough to `std::fs`. Stateless and
+/// zero-cost — each method compiles to the same syscalls `wal.rs` issued
+/// before the seam existed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdVfs;
+
+impl VfsFile for File {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        File::set_len(self, len)
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.metadata().map(|m| m.len())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new().append(true).open(path)?;
+        Ok(Box::new(f))
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(f))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(File::create(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+/// The kind of VFS operation, for fault rules, traces, and histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    CreateDirAll,
+    Read,
+    ReadDir,
+    OpenAppend,
+    CreateNew,
+    CreateTruncate,
+    Rename,
+    RemoveFile,
+    SyncDir,
+    Write,
+    SyncData,
+    SyncAll,
+    SetLen,
+    Len,
+}
+
+/// What an injected fault does to its operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `EIO` — the canonical unretryable data-path failure.
+    Eio,
+    /// `ENOSPC` — out of space; transient for segment rotation.
+    Enospc,
+    /// `EINTR` — interrupted; always retryable. Injected *before* any
+    /// effect, matching `std`'s no-partial-progress EINTR surface.
+    Eintr,
+    /// A torn write: the first `written` bytes reach the (volatile) file
+    /// before the op fails with `EIO`. Only meaningful on
+    /// [`OpKind::Write`]; on other ops it degrades to plain `EIO`.
+    ShortWrite {
+        /// Bytes that land before the failure.
+        written: usize,
+    },
+}
+
+/// One scheduled fault: the `nth` (1-based, counted per kind) operation
+/// of kind `op` fails with `kind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    pub op: OpKind,
+    pub nth: u64,
+    pub kind: FaultKind,
+}
+
+impl FaultRule {
+    pub fn new(op: OpKind, nth: u64, kind: FaultKind) -> Self {
+        FaultRule { op, nth, kind }
+    }
+}
+
+/// A deterministic fault schedule for a [`FaultVfs`]. See the module
+/// docs for a worked example.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// The seed this schedule was derived from (0 for hand-built
+    /// schedules) — carried so failures report a replayable identity.
+    pub seed: u64,
+    /// Scheduled per-op faults.
+    pub rules: Vec<FaultRule>,
+    /// Simulated power loss: the operation at this global 0-based index
+    /// (see [`FaultVfs::trace`]) fails with `EIO` *before* taking
+    /// effect, and every operation after it fails too — the device is
+    /// gone until [`FaultVfs::power_loss`] (which also decides the fate
+    /// of unsynced bytes) or [`FaultVfs::arm`].
+    pub crash_at_op: Option<u64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultConfig {
+    /// An empty schedule: no faults, no crash.
+    pub fn new() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Power loss at global op index `op` (see
+    /// [`crash_at_op`](Self::crash_at_op)).
+    pub fn crash_at(op: u64) -> Self {
+        FaultConfig {
+            crash_at_op: Some(op),
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Single-rule schedule: the `nth` op of kind `op` fails with `kind`.
+    pub fn fail_nth(op: OpKind, nth: u64, kind: FaultKind) -> Self {
+        FaultConfig::new().rule(FaultRule::new(op, nth, kind))
+    }
+
+    /// A seed-derived schedule: one data-path fsync failure at a
+    /// pseudorandom (but seed-determined) position with a seed-chosen
+    /// error kind. The same seed always produces the same schedule, so a
+    /// failure under `seeded(s)` replays from `s` alone.
+    pub fn seeded(seed: u64) -> Self {
+        let mut s = seed;
+        let nth = 1 + splitmix64(&mut s) % 13;
+        let kind = if splitmix64(&mut s).is_multiple_of(2) {
+            FaultKind::Eio
+        } else {
+            FaultKind::Enospc
+        };
+        FaultConfig {
+            seed,
+            rules: vec![FaultRule::new(OpKind::SyncData, nth, kind)],
+            crash_at_op: None,
+        }
+    }
+
+    /// Appends one rule (builder style).
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// One recorded VFS operation (see [`FaultVfs::trace`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord {
+    pub kind: OpKind,
+    pub path: PathBuf,
+}
+
+/// What happens to each file's unsynced tail at a simulated power loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TornTail {
+    /// Every unsynced byte is lost (the whole page-cache tail dropped).
+    DropAll,
+    /// The first `n` unsynced bytes survive (a torn write: the device
+    /// persisted part of the tail before dying).
+    Keep(usize),
+    /// Like `Keep(n)`, but the last surviving byte is bit-flipped — a
+    /// torn *and* mangled sector, the worst case CRC framing must catch.
+    KeepScrambled(usize),
+}
+
+#[derive(Clone, Debug, Default)]
+struct MemFile {
+    /// Live content — what reads and appends observe (the page cache).
+    data: Vec<u8>,
+    /// Content as of the last `sync_data`/`sync_all` — what survives
+    /// power loss.
+    durable: Vec<u8>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MemDir {
+    /// Live name → file index.
+    live: BTreeMap<String, usize>,
+    /// Entries as of the last `sync_dir`.
+    durable: BTreeMap<String, usize>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MemFs {
+    dirs: BTreeMap<PathBuf, MemDir>,
+    files: Vec<MemFile>,
+}
+
+fn split(path: &Path) -> io::Result<(PathBuf, String)> {
+    let parent = path.parent().map(Path::to_path_buf).unwrap_or_default();
+    let name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    Ok((parent, name))
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{}: no such file or directory", path.display()),
+    )
+}
+
+impl MemFs {
+    fn dir_mut(&mut self, dir: &Path) -> io::Result<&mut MemDir> {
+        self.dirs.get_mut(dir).ok_or_else(|| not_found(dir))
+    }
+
+    fn resolve(&mut self, path: &Path) -> io::Result<usize> {
+        let (parent, name) = split(path)?;
+        let dir = self.dir_mut(&parent)?;
+        dir.live.get(&name).copied().ok_or_else(|| not_found(path))
+    }
+
+    fn create(&mut self, path: &Path, exclusive: bool) -> io::Result<usize> {
+        let (parent, name) = split(path)?;
+        let id = self.files.len();
+        let dir = self.dir_mut(&parent)?;
+        if exclusive && dir.live.contains_key(&name) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{}: file exists", path.display()),
+            ));
+        }
+        // `create_truncate` allocates a fresh inode even when the name
+        // existed: the durable dirent (if any) keeps pointing at the old
+        // content, which is exactly the conservative power-loss model —
+        // an unsynced truncate must not destroy durable bytes.
+        dir.live.insert(name, id);
+        self.files.push(MemFile::default());
+        Ok(id)
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    fs: MemFs,
+    /// Global operation counter (0-based indices into `trace`).
+    ops: u64,
+    /// Per-kind 1-based occurrence counters, for rule matching.
+    per_kind: BTreeMap<OpKind, u64>,
+    trace: Vec<OpRecord>,
+    config: FaultConfig,
+    /// Set when `crash_at_op` fires: every later op fails until
+    /// `power_loss` or `arm`.
+    crashed: bool,
+}
+
+/// Outcome of the fault check for one operation.
+enum Inject {
+    /// No fault: the op proceeds normally.
+    None,
+    /// Torn write: apply this many bytes, then fail with `EIO`.
+    Short(usize),
+}
+
+impl FaultState {
+    /// Counts, traces, and adjudicates one operation. `Err` means the op
+    /// fails *without* taking effect (except [`Inject::Short`], which the
+    /// write path applies partially).
+    fn check(&mut self, kind: OpKind, path: &Path) -> io::Result<Inject> {
+        let index = self.ops;
+        self.ops += 1;
+        let nth = {
+            let c = self.per_kind.entry(kind).or_insert(0);
+            *c += 1;
+            *c
+        };
+        self.trace.push(OpRecord {
+            kind,
+            path: path.to_path_buf(),
+        });
+        if self.crashed {
+            return Err(io::Error::from_raw_os_error(EIO));
+        }
+        if self.config.crash_at_op == Some(index) {
+            self.crashed = true;
+            return Err(io::Error::from_raw_os_error(EIO));
+        }
+        for rule in &self.config.rules {
+            if rule.op == kind && rule.nth == nth {
+                return match rule.kind {
+                    FaultKind::Eio => Err(io::Error::from_raw_os_error(EIO)),
+                    FaultKind::Enospc => Err(io::Error::from_raw_os_error(ENOSPC)),
+                    FaultKind::Eintr => Err(io::Error::from_raw_os_error(EINTR)),
+                    FaultKind::ShortWrite { written } if kind == OpKind::Write => {
+                        Ok(Inject::Short(written))
+                    }
+                    FaultKind::ShortWrite { .. } => Err(io::Error::from_raw_os_error(EIO)),
+                };
+            }
+        }
+        Ok(Inject::None)
+    }
+}
+
+/// A deterministic in-memory VFS with fault injection and a buffered
+/// power-loss model. Cheap to clone (shared state); convert to the trait
+/// object the [`WalConfig`](crate::wal::WalConfig) wants with
+/// [`as_dyn`](Self::as_dyn) while keeping a handle for control
+/// (schedules, crashes, traces). See the module docs.
+#[derive(Clone, Debug)]
+pub struct FaultVfs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    pub fn new(config: FaultConfig) -> Self {
+        FaultVfs {
+            state: Arc::new(Mutex::new(FaultState {
+                config,
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// This injector as the trait object `WalConfig::vfs` carries. The
+    /// returned handle shares state with `self`.
+    pub fn as_dyn(&self) -> Arc<dyn Vfs> {
+        Arc::new(self.clone())
+    }
+
+    /// Operations performed so far (equals `trace().len()`).
+    pub fn op_count(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// The full operation trace since construction (or the last
+    /// [`arm`](Self::arm)/[`power_loss`](Self::power_loss)).
+    pub fn trace(&self) -> Vec<OpRecord> {
+        self.state.lock().unwrap().trace.clone()
+    }
+
+    /// Whether a `crash_at_op` point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Total unsynced tail bytes across all files whose live content
+    /// extends their durable content — the byte positions a torn-tail
+    /// [`TornTail::Keep`] sweep should cover.
+    pub fn unsynced_tail_len(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.fs
+            .files
+            .iter()
+            .filter(|f| f.data.len() > f.durable.len() && f.data.starts_with(&f.durable))
+            .map(|f| f.data.len() - f.durable.len())
+            .sum()
+    }
+
+    /// Deep-copies the filesystem *and* injector state into an
+    /// independent `FaultVfs` — so one crashed workload image can be
+    /// power-lossed several ways (every torn-tail byte boundary).
+    pub fn fork(&self) -> FaultVfs {
+        let st = self.state.lock().unwrap();
+        FaultVfs {
+            state: Arc::new(Mutex::new(FaultState {
+                fs: st.fs.clone(),
+                ops: st.ops,
+                per_kind: st.per_kind.clone(),
+                trace: st.trace.clone(),
+                config: st.config.clone(),
+                crashed: st.crashed,
+            })),
+        }
+    }
+
+    /// Simulates the power actually going out: every file keeps its
+    /// durable prefix plus whatever `torn` says of its unsynced tail;
+    /// every directory reverts to its durable entry list. Fault rules and
+    /// the crash point are cleared and the op counter/trace reset, so the
+    /// recovery that follows runs on a clean device.
+    pub fn power_loss(&self, torn: TornTail) {
+        let mut st = self.state.lock().unwrap();
+        for f in &mut st.fs.files {
+            let tail_ok = f.data.len() > f.durable.len() && f.data.starts_with(&f.durable);
+            if !tail_ok {
+                // Live content that is not a durable extension (e.g. an
+                // unsynced truncate) reverts wholesale.
+                f.data = f.durable.clone();
+                continue;
+            }
+            let keep = match torn {
+                TornTail::DropAll => 0,
+                TornTail::Keep(n) | TornTail::KeepScrambled(n) => {
+                    n.min(f.data.len() - f.durable.len())
+                }
+            };
+            f.data.truncate(f.durable.len() + keep);
+            if let TornTail::KeepScrambled(_) = torn {
+                if keep > 0 {
+                    let last = f.data.len() - 1;
+                    f.data[last] ^= 0x80;
+                }
+            }
+        }
+        for dir in st.fs.dirs.values_mut() {
+            dir.live = dir.durable.clone();
+        }
+        st.config = FaultConfig::new();
+        st.crashed = false;
+        st.ops = 0;
+        st.trace.clear();
+        st.per_kind.clear();
+    }
+
+    /// Replaces the fault schedule and resets the op counter, trace, and
+    /// crashed flag — for injecting a *second* fault into recovery
+    /// (double-crash coverage) with indices counted from the re-arm.
+    pub fn arm(&self, config: FaultConfig) {
+        let mut st = self.state.lock().unwrap();
+        st.config = config;
+        st.crashed = false;
+        st.ops = 0;
+        st.trace.clear();
+        st.per_kind.clear();
+    }
+
+    /// Live content of `path`, bypassing fault injection (test oracle).
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        let mut st = self.state.lock().unwrap();
+        let id = st.fs.resolve(path).ok()?;
+        Some(st.fs.files[id].data.clone())
+    }
+
+    fn with<R>(
+        &self,
+        kind: OpKind,
+        path: &Path,
+        f: impl FnOnce(&mut MemFs, Inject) -> io::Result<R>,
+    ) -> io::Result<R> {
+        let mut st = self.state.lock().unwrap();
+        let inject = st.check(kind, path)?;
+        f(&mut st.fs, inject)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.with(OpKind::CreateDirAll, dir, |fs, _| {
+            // Directory creation is modeled as immediately durable (the
+            // WAL recreates its directory on open anyway, so an undurable
+            // mkdir is indistinguishable from a fresh start).
+            let mut cur = PathBuf::new();
+            for comp in dir.components() {
+                cur.push(comp);
+                fs.dirs.entry(cur.clone()).or_default();
+            }
+            fs.dirs.entry(dir.to_path_buf()).or_default();
+            Ok(())
+        })
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.with(OpKind::Read, path, |fs, _| {
+            let id = fs.resolve(path)?;
+            Ok(fs.files[id].data.clone())
+        })
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.with(OpKind::ReadDir, dir, |fs, _| {
+            Ok(fs.dir_mut(dir)?.live.keys().cloned().collect())
+        })
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let id = self.with(OpKind::OpenAppend, path, |fs, _| fs.resolve(path))?;
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            id,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let id = self.with(OpKind::CreateNew, path, |fs, _| fs.create(path, true))?;
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            id,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let id = self.with(OpKind::CreateTruncate, path, |fs, _| fs.create(path, false))?;
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            id,
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.with(OpKind::Rename, from, |fs, _| {
+            let id = fs.resolve(from)?;
+            let (fparent, fname) = split(from)?;
+            let (tparent, tname) = split(to)?;
+            fs.dir_mut(&fparent)?.live.remove(&fname);
+            fs.dir_mut(&tparent)?.live.insert(tname, id);
+            Ok(())
+        })
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.with(OpKind::RemoveFile, path, |fs, _| {
+            let (parent, name) = split(path)?;
+            let dir = fs.dir_mut(&parent)?;
+            // Unlink touches the live entry list only; durability of the
+            // removal (like any dirent change) waits for sync_dir. A
+            // power loss can resurrect a removed-but-unsynced segment —
+            // which the WAL's replay skips by start index.
+            dir.live
+                .remove(&name)
+                .map(|_| ())
+                .ok_or_else(|| not_found(path))
+        })
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.with(OpKind::SyncDir, dir, |fs, _| {
+            let d = fs.dir_mut(dir)?;
+            d.durable = d.live.clone();
+            Ok(())
+        })
+    }
+}
+
+/// An open handle into a [`FaultVfs`] file. The inode index stays valid
+/// across renames (content follows the file, not the name), matching
+/// POSIX fd semantics.
+#[derive(Debug)]
+struct FaultFile {
+    state: Arc<Mutex<FaultState>>,
+    id: usize,
+    path: PathBuf,
+}
+
+impl FaultFile {
+    fn with<R>(
+        &self,
+        kind: OpKind,
+        f: impl FnOnce(&mut MemFile, Inject) -> io::Result<R>,
+    ) -> io::Result<R> {
+        let mut st = self.state.lock().unwrap();
+        let inject = st.check(kind, &self.path)?;
+        let id = self.id;
+        f(&mut st.fs.files[id], inject)
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.with(OpKind::Write, |file, inject| match inject {
+            Inject::None => {
+                file.data.extend_from_slice(buf);
+                Ok(())
+            }
+            Inject::Short(written) => {
+                // The torn write: a prefix reaches the page cache, then
+                // the op fails. The caller must treat the file as dirty
+                // with unknown content — exactly the fsyncgate hazard.
+                file.data.extend_from_slice(&buf[..written.min(buf.len())]);
+                Err(io::Error::from_raw_os_error(EIO))
+            }
+        })
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.with(OpKind::SyncData, |file, _| {
+            file.durable = file.data.clone();
+            Ok(())
+        })
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.with(OpKind::SyncAll, |file, _| {
+            file.durable = file.data.clone();
+            Ok(())
+        })
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.with(OpKind::SetLen, |file, _| {
+            file.data.resize(len as usize, 0);
+            Ok(())
+        })
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        self.with(OpKind::Len, |file, _| Ok(file.data.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(vfs: &FaultVfs) -> PathBuf {
+        let dir = PathBuf::from("/w");
+        vfs.create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_write_sync_read() {
+        let vfs = FaultVfs::new(FaultConfig::new());
+        let dir = w(&vfs);
+        let p = dir.join("a");
+        let mut f = vfs.create_new(&p).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&p).unwrap(), b"hello");
+        assert_eq!(vfs.read_dir_names(&dir).unwrap(), vec!["a".to_string()]);
+        let mut g = vfs.open_append(&p).unwrap();
+        g.write_all(b" world").unwrap();
+        assert_eq!(g.len().unwrap(), 11);
+        assert_eq!(vfs.read(&p).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn create_new_refuses_existing_and_open_refuses_missing() {
+        let vfs = FaultVfs::new(FaultConfig::new());
+        let dir = w(&vfs);
+        let p = dir.join("a");
+        vfs.create_new(&p).unwrap();
+        let err = vfs
+            .create_new(&p)
+            .err()
+            .expect("duplicate create must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        let err = vfs
+            .open_append(&dir.join("nope"))
+            .err()
+            .expect("missing file must fail");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let err = vfs.read(&dir.join("nope")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn power_loss_drops_unsynced_bytes_and_dirents() {
+        let vfs = FaultVfs::new(FaultConfig::new());
+        let dir = w(&vfs);
+        let a = dir.join("a");
+        let mut f = vfs.create_new(&a).unwrap();
+        f.write_all(b"durable").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        f.write_all(b"-lost").unwrap(); // never synced
+        let b = dir.join("b");
+        vfs.create_new(&b).unwrap(); // dirent never synced
+        drop(f);
+        assert_eq!(vfs.unsynced_tail_len(), 5);
+        vfs.power_loss(TornTail::DropAll);
+        assert_eq!(vfs.read(&a).unwrap(), b"durable");
+        assert_eq!(vfs.read_dir_names(&dir).unwrap(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn power_loss_torn_keep_preserves_a_prefix_of_the_tail() {
+        let vfs = FaultVfs::new(FaultConfig::new());
+        let dir = w(&vfs);
+        let a = dir.join("a");
+        vfs.sync_dir(&dir).unwrap();
+        let mut f = vfs.create_new(&a).unwrap();
+        f.write_all(b"base").unwrap();
+        f.sync_data().unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        f.write_all(b"XYZ").unwrap();
+        drop(f);
+        let forked = vfs.fork();
+        forked.power_loss(TornTail::Keep(2));
+        assert_eq!(forked.read(&a).unwrap(), b"baseXY");
+        let scrambled = vfs.fork();
+        scrambled.power_loss(TornTail::KeepScrambled(2));
+        assert_eq!(
+            scrambled.read(&a).unwrap(),
+            [b'b', b'a', b's', b'e', b'X', b'Y' ^ 0x80]
+        );
+        vfs.power_loss(TornTail::Keep(99)); // clamped to the tail
+        assert_eq!(vfs.read(&a).unwrap(), b"baseXYZ");
+    }
+
+    #[test]
+    fn rename_moves_dirents_but_durability_waits_for_sync_dir() {
+        let vfs = FaultVfs::new(FaultConfig::new());
+        let dir = w(&vfs);
+        let (a, b) = (dir.join("a"), dir.join("b"));
+        let mut f = vfs.create_new(&a).unwrap();
+        f.write_all(b"x").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        vfs.sync_dir(&dir).unwrap();
+        vfs.rename(&a, &b).unwrap();
+        assert_eq!(vfs.read(&b).unwrap(), b"x");
+        assert!(vfs.read(&a).is_err());
+        let lost = vfs.fork();
+        lost.power_loss(TornTail::DropAll);
+        // The rename was never made durable: the old name returns.
+        assert_eq!(lost.read(&a).unwrap(), b"x");
+        vfs.sync_dir(&dir).unwrap();
+        vfs.power_loss(TornTail::DropAll);
+        assert_eq!(vfs.read(&b).unwrap(), b"x");
+    }
+
+    #[test]
+    fn fault_rules_fire_on_the_nth_op_of_their_kind() {
+        let vfs = FaultVfs::new(FaultConfig::fail_nth(OpKind::SyncData, 2, FaultKind::Eio));
+        let dir = w(&vfs);
+        let mut f = vfs.create_new(&dir.join("a")).unwrap();
+        f.write_all(b"1").unwrap();
+        f.sync_data().unwrap(); // 1st: fine
+        f.write_all(b"2").unwrap();
+        let err = f.sync_data().unwrap_err(); // 2nd: injected
+        assert_eq!(err.raw_os_error(), Some(EIO));
+        f.sync_data().unwrap(); // 3rd: fine again (single-shot rule)
+    }
+
+    #[test]
+    fn injected_errors_carry_classifiable_codes() {
+        let vfs = FaultVfs::new(
+            FaultConfig::new()
+                .rule(FaultRule::new(OpKind::Write, 1, FaultKind::Eintr))
+                .rule(FaultRule::new(OpKind::Write, 2, FaultKind::Enospc)),
+        );
+        let dir = w(&vfs);
+        let mut f = vfs.create_new(&dir.join("a")).unwrap();
+        let e1 = f.write_all(b"x").unwrap_err();
+        assert_eq!(e1.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(e1.raw_os_error(), Some(EINTR));
+        let e2 = f.write_all(b"x").unwrap_err();
+        assert_eq!(e2.raw_os_error(), Some(ENOSPC));
+        f.write_all(b"x").unwrap();
+        // EINTR injects before any effect: only the final write landed.
+        assert_eq!(f.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn short_write_applies_a_prefix_then_fails() {
+        let vfs = FaultVfs::new(FaultConfig::fail_nth(
+            OpKind::Write,
+            1,
+            FaultKind::ShortWrite { written: 3 },
+        ));
+        let dir = w(&vfs);
+        let p = dir.join("a");
+        let mut f = vfs.create_new(&p).unwrap();
+        let err = f.write_all(b"abcdef").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(EIO));
+        assert_eq!(vfs.peek(&p).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn crash_at_op_fails_everything_from_that_index_on() {
+        let probe = FaultVfs::new(FaultConfig::new());
+        let dir = w(&probe);
+        let mut f = probe.create_new(&dir.join("a")).unwrap();
+        f.write_all(b"x").unwrap();
+        f.sync_data().unwrap();
+        let total = probe.op_count();
+        assert_eq!(total, 4, "mkdir, create, write, sync");
+        for at in 0..total {
+            let vfs = FaultVfs::new(FaultConfig::crash_at(at));
+            let mut failed = false;
+            failed |= vfs.create_dir_all(&PathBuf::from("/w")).is_err();
+            match vfs.create_new(&PathBuf::from("/w/a")) {
+                Err(_) => failed = true,
+                Ok(mut f) => {
+                    failed |= f.write_all(b"x").is_err();
+                    failed |= f.sync_data().is_err();
+                }
+            }
+            assert!(failed, "crash at {at} surfaced");
+            assert!(vfs.crashed());
+            // Once crashed, every op fails.
+            assert!(vfs.read(&PathBuf::from("/w/a")).is_err());
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_reset_by_arm() {
+        let run = || {
+            let vfs = FaultVfs::new(FaultConfig::new());
+            let dir = w(&vfs);
+            let mut f = vfs.create_new(&dir.join("a")).unwrap();
+            f.write_all(b"abc").unwrap();
+            f.sync_data().unwrap();
+            vfs.sync_dir(&dir).unwrap();
+            vfs.trace()
+        };
+        assert_eq!(run(), run(), "identical workloads trace identically");
+        let vfs = FaultVfs::new(FaultConfig::new());
+        w(&vfs);
+        assert_eq!(vfs.op_count(), 1);
+        vfs.arm(FaultConfig::crash_at(7));
+        assert_eq!(vfs.op_count(), 0);
+        assert!(vfs.trace().is_empty());
+    }
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        assert_eq!(FaultConfig::seeded(42), FaultConfig::seeded(42));
+        let c = FaultConfig::seeded(42);
+        assert_eq!(c.rules.len(), 1);
+        assert_eq!(c.rules[0].op, OpKind::SyncData);
+        assert!(c.rules[0].nth >= 1);
+        // Different seeds eventually differ (sanity, not a distribution
+        // claim).
+        assert!((0..64).any(|s| FaultConfig::seeded(s) != c));
+    }
+
+    #[test]
+    fn std_vfs_round_trips_through_real_files() {
+        let dir = std::env::temp_dir().join(format!("btadt-vfs-std-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let vfs = StdVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let p = dir.join("f");
+        let mut f = vfs.create_new(&p).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&p).unwrap(), b"abc");
+        assert!(vfs.read_dir_names(&dir).unwrap().contains(&"f".to_string()));
+        let q = dir.join("g");
+        vfs.rename(&p, &q).unwrap();
+        let mut g = vfs.open_append(&q).unwrap();
+        g.write_all(b"def").unwrap();
+        assert_eq!(g.len().unwrap(), 6);
+        g.set_len(2).unwrap();
+        drop(g);
+        assert_eq!(vfs.read(&q).unwrap(), b"ab");
+        vfs.sync_dir(&dir).unwrap();
+        vfs.remove_file(&q).unwrap();
+        assert!(vfs.read(&q).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

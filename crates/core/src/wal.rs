@@ -51,14 +51,42 @@
 //!   flatten target: only storage-final entries are checkpointed, so
 //!   compaction never races the live suffix.
 //!
-//! IO errors from the append path are surfaced to the caller, which
-//! treats them as fail-stop (a tree that cannot persist must not ack).
+//! # Failure semantics
+//!
+//! Every byte this module moves goes through the [`crate::vfs`] seam
+//! (carried by [`WalConfig::vfs`]); the discipline lint rejects direct
+//! `std::fs` IO here outside the test module. Failures are classified,
+//! not panicked on:
+//!
+//! * **Data-path persist failures poison the log.** After a failed
+//!   `write` (other than EINTR) or *any* failed fsync on the append
+//!   path, [`Wal::poisoned`] turns true and every further append is
+//!   refused. The fsync rule is deliberate ("fsyncgate"): a failed
+//!   fsync may have dropped the dirty pages and cleared the kernel
+//!   error state, so a retry that succeeds proves nothing about the
+//!   bytes that mattered — retrying fsync on a dirty file and calling
+//!   it durable is how databases lose acked data. The owning tree
+//!   surfaces this as [`DurabilityError`] and degrades to read-only.
+//! * **EINTR is transient**: the write is retried (bounded, with
+//!   backoff, counted in [`WalStats::eintr_retries`]).
+//! * **Segment rotation failures are non-fatal**: ENOSPC/EINTR on the
+//!   `create_new` + directory-fsync pair is retried a bounded number of
+//!   times; persistent failure leaves the log appending to the
+//!   oversized active segment (counted, retried at the next batch).
+//! * **Checkpoint failures are non-fatal**: the log merely stays
+//!   uncompacted. They are counted in [`WalStats::checkpoint_failures`]
+//!   (and failed segment unlinks in
+//!   [`WalStats::segment_unlink_failures`]) with the last error kind
+//!   queryable via [`WalStats::last_error`].
 
 use crate::block::{Payload, Tx};
 use crate::ids::{BlockId, ProcessId};
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use crate::vfs::{StdVfs, Vfs, VfsFile, ENOSPC};
+use std::fmt;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Default segment roll threshold (bytes).
 pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
@@ -73,6 +101,64 @@ const CKPT_MAGIC: &[u8; 8] = b"BTWALCK1";
 /// Upper bound on a single record body — anything larger is a corrupt
 /// length field, not a block.
 const MAX_RECORD_BYTES: usize = 1 << 28;
+
+/// Bounded retry policy for transient errors (EINTR on writes).
+const MAX_EINTR_RETRIES: u32 = 8;
+/// Attempts per segment rotation before giving up (non-fatally).
+const MAX_ROLL_ATTEMPTS: u32 = 3;
+
+fn backoff(attempt: u32) -> Duration {
+    Duration::from_micros(50u64 << attempt.min(6))
+}
+
+/// Errors worth retrying on the *rotation* path. Classified by raw OS
+/// code where the kind is unstable across toolchains.
+fn is_transient(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted || e.raw_os_error() == Some(ENOSPC)
+}
+
+/// Why a durable tree refused (or failed) to persist: the typed,
+/// non-panicking surface of storage failure. Returned by
+/// `ConcurrentBlockTree::append`/`graft` (and `propose` downstream) on a
+/// durable tree whose WAL can no longer guarantee persist-then-ack.
+///
+/// Once poisoned, the tree is read-only: reads keep serving the last
+/// published (and persisted) state, but no new commit is ever
+/// acknowledged — an unpersistable ack would break Thm. 4.2's durability
+/// story outright.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// An earlier persist failure already poisoned the log; this
+    /// operation was refused without touching storage.
+    Poisoned,
+    /// The persist attempt covering this operation failed (the recorded
+    /// kind is also queryable via [`WalStats::last_error`]).
+    PersistFailed {
+        /// Kind of the underlying IO error.
+        kind: io::ErrorKind,
+    },
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Poisoned => {
+                write!(
+                    f,
+                    "wal poisoned by an earlier persist failure; tree is read-only"
+                )
+            }
+            DurabilityError::PersistFailed { kind } => {
+                write!(
+                    f,
+                    "wal persist failed ({kind:?}); tree degraded to read-only"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
 
 /// Configuration of a WAL directory.
 #[derive(Clone, Debug)]
@@ -89,6 +175,10 @@ pub struct WalConfig {
     /// geometric (`max(interval, covered/2)` new records), so rewriting
     /// the prefix stays amortized O(1) per record over the log's life.
     pub checkpoint_interval: u64,
+    /// The VFS seam every IO operation flows through. [`StdVfs`] (a
+    /// zero-cost passthrough) by default; swap in a
+    /// [`FaultVfs`](crate::vfs::FaultVfs) to inject storage faults.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl WalConfig {
@@ -99,7 +189,14 @@ impl WalConfig {
             segment_bytes: DEFAULT_SEGMENT_BYTES,
             fsync: true,
             checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            vfs: Arc::new(StdVfs),
         }
+    }
+
+    /// Routes all WAL IO through `vfs` (see [`crate::vfs`]).
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
     }
 
     /// Sets the segment roll threshold.
@@ -142,6 +239,23 @@ pub struct WalStats {
     /// Whether the last `open` found a corrupt checkpoint and fell back
     /// to replaying the full segment log.
     pub checkpoint_ignored: bool,
+    /// Checkpoint attempts whose IO failed (non-fatal: the log stays
+    /// uncompacted; see [`Wal::fail_checkpoint`]).
+    pub checkpoint_failures: u64,
+    /// Pruned-segment unlinks that failed (non-fatal: a leftover covered
+    /// segment only costs replay skips).
+    pub segment_unlink_failures: u64,
+    /// Transient rotation errors retried within [`MAX_ROLL_ATTEMPTS`].
+    pub rotation_retries: u64,
+    /// Rotations abandoned after retries ran out (non-fatal: the active
+    /// segment keeps growing and the roll is retried next batch).
+    pub rotation_failures: u64,
+    /// EINTR write retries on the append path.
+    pub eintr_retries: u64,
+    /// Kind of the most recent recorded IO failure (append poisoning,
+    /// abandoned rotation, or checkpoint failure), `None` while
+    /// failure-free.
+    pub last_error: Option<io::ErrorKind>,
 }
 
 /// Everything a commit-log entry must carry to be replayed exactly: the
@@ -359,16 +473,16 @@ fn seg_name(start: u64) -> String {
     format!("{start:012}.wal")
 }
 
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    File::open(dir)?.sync_all()
-}
-
 /// Scans a segment file. For the active (last) segment `may_be_torn`
 /// permits a defective final frame — scanning stops there and the valid
 /// byte length is returned for the caller to truncate to. A defect in a
 /// sealed segment is corruption.
-fn scan_segment(path: &Path, may_be_torn: bool) -> io::Result<(Vec<CommitRecord>, u64)> {
-    let data = fs::read(path)?;
+fn scan_segment(
+    vfs: &dyn Vfs,
+    path: &Path,
+    may_be_torn: bool,
+) -> io::Result<(Vec<CommitRecord>, u64)> {
+    let data = vfs.read(path)?;
     let mut recs = Vec::new();
     let mut off = 0usize;
     while off < data.len() {
@@ -389,8 +503,8 @@ fn scan_segment(path: &Path, may_be_torn: bool) -> io::Result<(Vec<CommitRecord>
     Ok((recs, off as u64))
 }
 
-fn read_checkpoint(path: &Path) -> io::Result<Option<Vec<CommitRecord>>> {
-    let data = match fs::read(path) {
+fn read_checkpoint(vfs: &dyn Vfs, path: &Path) -> io::Result<Option<Vec<CommitRecord>>> {
+    let data = match vfs.read(path) {
         Ok(d) => d,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
@@ -432,7 +546,7 @@ fn read_checkpoint(path: &Path) -> io::Result<Option<Vec<CommitRecord>>> {
 pub struct Wal {
     config: WalConfig,
     /// Active segment (append mode: writes land at EOF).
-    file: File,
+    file: Box<dyn VfsFile>,
     /// Global index of the active segment's first record.
     seg_start: u64,
     /// Valid bytes in the active segment.
@@ -447,6 +561,9 @@ pub struct Wal {
     /// [`wants_checkpoint`](Self::wants_checkpoint) so only one
     /// checkpoint runs at a time.
     ckpt_inflight: bool,
+    /// Set by any data-path persist failure (see the module docs):
+    /// every further append is refused.
+    poisoned: bool,
     stats: WalStats,
     /// Scratch encode buffer, reused across batches.
     buf: Vec<u8>,
@@ -478,9 +595,10 @@ impl Wal {
     /// error. Returns the WAL positioned to append plus the replayed
     /// records (empty for a fresh directory).
     pub fn open(config: WalConfig) -> io::Result<(Wal, Vec<CommitRecord>)> {
-        fs::create_dir_all(&config.dir)?;
+        let vfs = Arc::clone(&config.vfs);
+        vfs.create_dir_all(&config.dir)?;
         // A temp file is a checkpoint that never made its rename: stale.
-        let _ = fs::remove_file(config.dir.join(CKPT_TMP));
+        let _ = vfs.remove_file(&config.dir.join(CKPT_TMP));
         let mut stats = WalStats::default();
         // The checkpoint is an *optimization* over the segment log, not
         // the log itself: a corrupt one (bad magic, CRC mismatch, frame
@@ -489,7 +607,7 @@ impl Wal {
         // already dropped segments the checkpoint covered, the first
         // surviving segment starts past record 0 and the missing-segment
         // check fires. I/O errors other than corruption still propagate.
-        let mut records = match read_checkpoint(&config.dir.join(CKPT_NAME)) {
+        let mut records = match read_checkpoint(vfs.as_ref(), &config.dir.join(CKPT_NAME)) {
             Ok(recs) => recs.unwrap_or_default(),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 stats.checkpoint_ignored = true;
@@ -499,13 +617,10 @@ impl Wal {
         };
         let ckpt_upto = records.len() as u64;
         let mut segs: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in fs::read_dir(&config.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        for name in vfs.read_dir_names(&config.dir)? {
             if let Some(stem) = name.strip_suffix(".wal") {
                 if let Ok(start) = stem.parse::<u64>() {
-                    segs.push((start, entry.path()));
+                    segs.push((start, config.dir.join(&name)));
                 }
             }
         }
@@ -522,7 +637,7 @@ impl Wal {
                     records.len()
                 )));
             }
-            let (recs, valid_len) = scan_segment(&path, last)?;
+            let (recs, valid_len) = scan_segment(vfs.as_ref(), &path, last)?;
             // Records below the running count are duplicates the
             // checkpoint (or an overlapping predecessor) already covers.
             let skip = (records.len() as u64 - start) as usize;
@@ -537,8 +652,8 @@ impl Wal {
         }
         let (file, seg_start, seg_bytes) = match active {
             Some((start, path, valid_len)) => {
-                let file = OpenOptions::new().append(true).open(&path)?;
-                let disk_len = file.metadata()?.len();
+                let mut file = vfs.open_append(&path)?;
+                let disk_len = file.len()?;
                 if disk_len > valid_len {
                     // The torn tail: a crash mid-append left a partial
                     // frame. Its records were never acked — trim, don't
@@ -555,12 +670,9 @@ impl Wal {
             None => {
                 let start = records.len() as u64;
                 let path = config.dir.join(seg_name(start));
-                let file = OpenOptions::new()
-                    .create_new(true)
-                    .append(true)
-                    .open(&path)?;
+                let file = vfs.create_new(&path)?;
                 if config.fsync {
-                    sync_dir(&config.dir)?;
+                    vfs.sync_dir(&config.dir)?;
                     stats.fsyncs += 1;
                 }
                 (file, start, 0)
@@ -577,6 +689,7 @@ impl Wal {
                 logged,
                 ckpt_upto,
                 ckpt_inflight: false,
+                poisoned: false,
                 stats,
                 buf: Vec::new(),
             },
@@ -604,6 +717,34 @@ impl Wal {
         &self.config.dir
     }
 
+    /// The VFS this log performs IO through.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.config.vfs)
+    }
+
+    /// Whether a data-path persist failure has poisoned this log (see
+    /// the module docs). A poisoned log refuses every further append.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal poisoned by an earlier persist failure",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Records a data-path persist failure: marks the log poisoned and
+    /// remembers the error kind. Returns the error for propagation.
+    fn poison(&mut self, e: io::Error) -> io::Error {
+        self.poisoned = true;
+        self.stats.last_error = Some(e.kind());
+        e
+    }
+
     /// Appends a batch of commit records and makes them durable with a
     /// single `fdatasync` — the group commit. Records are durable (and
     /// may be acked) only once this returns `Ok`.
@@ -611,6 +752,7 @@ impl Wal {
     where
         I: IntoIterator<Item = CommitRecord>,
     {
+        self.check_poisoned()?;
         let mut buf = std::mem::take(&mut self.buf);
         buf.clear();
         let mut n = 0u64;
@@ -626,7 +768,7 @@ impl Wal {
         self.buf = buf;
         res?;
         if self.seg_bytes >= self.config.segment_bytes {
-            self.roll()?;
+            self.try_roll();
         }
         Ok(n as usize)
     }
@@ -642,6 +784,7 @@ impl Wal {
     where
         F: FnOnce(&mut BatchFramer<'_>),
     {
+        self.check_poisoned()?;
         let mut buf = std::mem::take(&mut self.buf);
         buf.clear();
         let mut framer = BatchFramer {
@@ -658,15 +801,41 @@ impl Wal {
         self.buf = buf;
         res?;
         if self.seg_bytes >= self.config.segment_bytes {
-            self.roll()?;
+            self.try_roll();
         }
         Ok(n as usize)
     }
 
     fn write_batch(&mut self, buf: &[u8], n: u64) -> io::Result<()> {
-        self.file.write_all(buf)?;
+        let mut attempt = 0u32;
+        loop {
+            match self.file.write_all(buf) {
+                Ok(()) => break,
+                // EINTR is the one genuinely transient write error, and
+                // std's write_all never surfaces it with partial
+                // progress — so the whole buffer retries verbatim
+                // (bounded, with backoff).
+                Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt < MAX_EINTR_RETRIES => {
+                    attempt += 1;
+                    self.stats.eintr_retries += 1;
+                    std::thread::sleep(backoff(attempt));
+                }
+                // Any other write failure (short write, EIO, ENOSPC mid
+                // batch) leaves the active segment dirty with unknown
+                // content: poison — stage-1 membership is never
+                // retracted, so appending past a gap would break
+                // parent-closure on replay.
+                Err(e) => return Err(self.poison(e)),
+            }
+        }
         if self.config.fsync {
-            self.file.sync_data()?;
+            // fsyncgate: a failed fsync may have dropped the dirty pages
+            // and cleared the kernel error state, so retrying (and
+            // succeeding) proves nothing about THESE bytes. Never retry
+            // a data-path fsync — poison instead.
+            if let Err(e) = self.file.sync_data() {
+                return Err(self.poison(e));
+            }
             self.stats.fsyncs += 1;
         }
         self.seg_bytes += buf.len() as u64;
@@ -680,23 +849,52 @@ impl Wal {
     /// current record count. The directory fsync makes the new name
     /// durable *before* any record lands in it — otherwise a crash could
     /// recover a listing that misses a segment full of acked records.
-    fn roll(&mut self) -> io::Result<()> {
+    ///
+    /// Rotation failure is **non-fatal**: transient errors (EINTR,
+    /// ENOSPC) retry with backoff up to [`MAX_ROLL_ATTEMPTS`]; if the
+    /// roll still fails, the log keeps appending to the oversized active
+    /// segment and re-attempts after the next batch. A half-made attempt
+    /// leaves at worst an *empty* stray segment file, which replay
+    /// absorbs (zero records, start index already covered).
+    fn try_roll(&mut self) {
         let old = self.config.dir.join(seg_name(self.seg_start));
         let path = self.config.dir.join(seg_name(self.logged));
-        let file = OpenOptions::new()
-            .create_new(true)
-            .append(true)
-            .open(&path)?;
-        if self.config.fsync {
-            sync_dir(&self.config.dir)?;
-            self.stats.fsyncs += 1;
-        }
+        let mut attempt = 0u32;
+        let file = loop {
+            if attempt > 0 {
+                // A previous attempt (this call or an earlier batch's)
+                // may have created the file before its directory sync
+                // failed; the leftover is empty but blocks create_new.
+                let _ = self.config.vfs.remove_file(&path);
+            }
+            let res = self.config.vfs.create_new(&path).and_then(|file| {
+                if self.config.fsync {
+                    self.config.vfs.sync_dir(&self.config.dir)?;
+                    self.stats.fsyncs += 1;
+                }
+                Ok(file)
+            });
+            match res {
+                Ok(file) => break file,
+                Err(e) => {
+                    attempt += 1;
+                    let retryable = is_transient(&e) || e.kind() == io::ErrorKind::AlreadyExists;
+                    if retryable && attempt < MAX_ROLL_ATTEMPTS {
+                        self.stats.rotation_retries += 1;
+                        std::thread::sleep(backoff(attempt));
+                    } else {
+                        self.stats.rotation_failures += 1;
+                        self.stats.last_error = Some(e.kind());
+                        return;
+                    }
+                }
+            }
+        };
         self.sealed.push((self.seg_start, old));
         self.file = file;
         self.seg_start = self.logged;
         self.seg_bytes = 0;
         self.stats.segments_rolled += 1;
-        Ok(())
     }
 
     /// Whether a checkpoint covering `upto` records is due. The gate is
@@ -706,6 +904,7 @@ impl Wal {
     /// `false` while a claimed checkpoint is still in flight.
     pub fn wants_checkpoint(&self, upto: u64) -> bool {
         !self.ckpt_inflight
+            && !self.poisoned
             && upto <= self.logged
             && upto > self.ckpt_upto
             && upto - self.ckpt_upto >= self.config.checkpoint_interval.max(self.ckpt_upto / 2)
@@ -736,6 +935,7 @@ impl Wal {
             dir: self.config.dir.clone(),
             fsync: self.config.fsync,
             upto,
+            vfs: Arc::clone(&self.config.vfs),
         }
     }
 
@@ -781,6 +981,23 @@ impl Wal {
         self.ckpt_inflight = false;
     }
 
+    /// [`abort_checkpoint`](Self::abort_checkpoint) plus bookkeeping:
+    /// counts the failure and records its kind. Checkpoint IO failures
+    /// stay non-fatal — the log keeps its segments and is merely
+    /// uncompacted — but they are no longer silent.
+    pub fn fail_checkpoint(&mut self, err: &io::Error) {
+        self.abort_checkpoint();
+        self.stats.checkpoint_failures += 1;
+        self.stats.last_error = Some(err.kind());
+    }
+
+    /// Records `n` failed pruned-segment unlinks (the caller deletes
+    /// them off the append lock). Non-fatal: replay skips covered
+    /// segments by start index.
+    pub fn note_unlink_failures(&mut self, n: u64) {
+        self.stats.segment_unlink_failures += n;
+    }
+
     /// Writes a checkpoint covering `records` (the first `records.len()`
     /// entries of the commit log — the caller's finalized prefix), then
     /// deletes every sealed segment that prefix fully covers. The
@@ -791,13 +1008,17 @@ impl Wal {
         let job = self.begin_checkpoint(records.len() as u64);
         match job.run(records) {
             Ok(done) => {
+                let mut failed = 0;
                 for path in self.finish_checkpoint(done) {
-                    let _ = fs::remove_file(path);
+                    if self.config.vfs.remove_file(&path).is_err() {
+                        failed += 1;
+                    }
                 }
+                self.note_unlink_failures(failed);
                 Ok(())
             }
             Err(e) => {
-                self.abort_checkpoint();
+                self.fail_checkpoint(&e);
                 Err(e)
             }
         }
@@ -812,6 +1033,7 @@ pub struct CheckpointJob {
     dir: PathBuf,
     fsync: bool,
     upto: u64,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// Proof of a completed checkpoint write, consumed by
@@ -843,16 +1065,20 @@ impl CheckpointJob {
         }
         let mut fsyncs = 0;
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = self.vfs.create_truncate(&tmp)?;
             f.write_all(&buf)?;
             if self.fsync {
                 f.sync_all()?;
                 fsyncs += 1;
             }
         }
-        fs::rename(&tmp, self.dir.join(CKPT_NAME))?;
+        self.vfs.rename(&tmp, &self.dir.join(CKPT_NAME))?;
         if self.fsync {
-            sync_dir(&self.dir)?;
+            // If this sync fails the job must NOT complete: the rename
+            // might not survive power loss, and advancing the covered
+            // prefix (then pruning segments) against an undurable
+            // checkpoint could lose acked records.
+            self.vfs.sync_dir(&self.dir)?;
             fsyncs += 1;
         }
         Ok(CheckpointDone {
@@ -865,6 +1091,8 @@ impl CheckpointJob {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultConfig, FaultKind, FaultRule, FaultVfs, OpKind, TornTail};
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp_wal_dir(tag: &str) -> PathBuf {
@@ -1092,6 +1320,178 @@ mod tests {
         // 9 new < max(interval, 20/2) = 10: not yet.
         assert!(!wal.wants_checkpoint(29));
         fs::remove_dir_all(wal.dir()).unwrap();
+    }
+
+    /// A fault-injected WAL over a fresh in-memory directory.
+    fn fault_wal(config: FaultConfig) -> (Wal, FaultVfs, WalConfig) {
+        let vfs = FaultVfs::new(config);
+        let cfg = WalConfig::new("/fw/wal").vfs(vfs.as_dyn());
+        let (wal, replay) = Wal::open(cfg.clone()).unwrap();
+        assert!(replay.is_empty());
+        (wal, vfs, cfg)
+    }
+
+    #[test]
+    fn fsync_failure_poisons_and_refuses_further_appends() {
+        // The open path costs no SyncData (fresh dir: create + SyncDir),
+        // so the first data fsync belongs to the first batch.
+        let (mut wal, vfs, _) =
+            fault_wal(FaultConfig::fail_nth(OpKind::SyncData, 1, FaultKind::Eio));
+        let err = wal.append_commits((1..4).map(rec)).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(crate::vfs::EIO));
+        assert!(wal.poisoned());
+        assert_eq!(wal.stats().last_error, Some(err.kind()));
+        assert!(
+            !wal.wants_checkpoint(u64::MAX),
+            "poisoned log never compacts"
+        );
+        let ops = vfs.op_count();
+        wal.append_commits((4..6).map(rec)).unwrap_err();
+        assert_eq!(vfs.op_count(), ops, "poisoned appends never touch storage");
+    }
+
+    #[test]
+    fn short_write_poisons_and_recovery_trims_the_torn_tail() {
+        let (mut wal, vfs, cfg) = fault_wal(FaultConfig::fail_nth(
+            OpKind::Write,
+            2,
+            FaultKind::ShortWrite { written: 5 },
+        ));
+        wal.append_commits((1..4).map(rec)).unwrap();
+        wal.append_commits((4..6).map(rec)).unwrap_err();
+        assert!(wal.poisoned());
+        drop(wal);
+        vfs.power_loss(TornTail::Keep(usize::MAX));
+        let (wal, replay) = Wal::open(cfg).unwrap();
+        let expect: Vec<CommitRecord> = (1..4).map(rec).collect();
+        assert_eq!(replay, expect, "exactly the acked batch survives");
+        assert_eq!(wal.stats().trimmed_bytes, 5, "the torn 5 bytes were cut");
+    }
+
+    #[test]
+    fn eintr_on_write_is_retried_and_counted() {
+        let (mut wal, _, _) = fault_wal(FaultConfig::fail_nth(OpKind::Write, 1, FaultKind::Eintr));
+        wal.append_commits((1..4).map(rec)).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.eintr_retries, 1);
+        assert_eq!(stats.records, 3);
+        assert!(!wal.poisoned());
+    }
+
+    #[test]
+    fn transient_rotation_errors_retry_and_count() {
+        // CreateNew #1 is open's fresh segment; #2 is the first roll.
+        let vfs = FaultVfs::new(FaultConfig::fail_nth(
+            OpKind::CreateNew,
+            2,
+            FaultKind::Enospc,
+        ));
+        let cfg = WalConfig::new("/fw/wal")
+            .vfs(vfs.as_dyn())
+            .segment_bytes(64);
+        let (mut wal, _) = Wal::open(cfg).unwrap();
+        for i in 1..8 {
+            wal.append_commits(std::iter::once(rec(i))).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.rotation_retries, 1, "ENOSPC retried once");
+        assert_eq!(stats.rotation_failures, 0);
+        assert!(stats.segments_rolled >= 1, "the retry succeeded");
+        assert!(!wal.poisoned());
+    }
+
+    #[test]
+    fn abandoned_rotation_is_nonfatal_and_retried_next_batch() {
+        // Enough consecutive ENOSPC to exhaust MAX_ROLL_ATTEMPTS once.
+        let mut config = FaultConfig::new();
+        for nth in 2..2 + MAX_ROLL_ATTEMPTS as u64 {
+            config = config.rule(FaultRule::new(OpKind::CreateNew, nth, FaultKind::Enospc));
+        }
+        let vfs = FaultVfs::new(config);
+        let cfg = WalConfig::new("/fw/wal")
+            .vfs(vfs.as_dyn())
+            .segment_bytes(64);
+        let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+        let mut appended = 0u32;
+        while wal.stats().rotation_failures == 0 {
+            appended += 1;
+            wal.append_commits(std::iter::once(rec(appended))).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.rotation_failures, 1);
+        let enospc_kind = io::Error::from_raw_os_error(ENOSPC).kind();
+        assert_eq!(stats.last_error, Some(enospc_kind));
+        assert_eq!(stats.segments_rolled, 0, "the first roll was abandoned");
+        // The log keeps appending (oversized segment) and the next
+        // batch's roll succeeds.
+        for i in 0..4 {
+            wal.append_commits(std::iter::once(rec(appended + 1 + i)))
+                .unwrap();
+        }
+        assert!(
+            wal.stats().segments_rolled >= 1,
+            "roll re-attempted and won"
+        );
+        assert!(!wal.poisoned());
+        let total = wal.logged();
+        drop(wal);
+        let (_, replay) = Wal::open(cfg).unwrap();
+        assert_eq!(replay.len() as u64, total, "nothing lost across the stall");
+    }
+
+    #[test]
+    fn checkpoint_failure_is_counted_and_nonfatal() {
+        let (mut wal, _, _) = fault_wal(FaultConfig::fail_nth(OpKind::Rename, 1, FaultKind::Eio));
+        wal.append_commits((1..30).map(rec)).unwrap();
+        let recs: Vec<CommitRecord> = (1..21).map(rec).collect();
+        let err = wal.checkpoint(&recs).unwrap_err();
+        let stats = wal.stats();
+        assert_eq!(stats.checkpoint_failures, 1);
+        assert_eq!(stats.checkpoints, 0);
+        assert_eq!(stats.last_error, Some(err.kind()));
+        assert!(!wal.poisoned(), "checkpoint failure never poisons");
+        // The claim was released: a retry succeeds (the rule was
+        // single-shot).
+        wal.checkpoint(&recs).unwrap();
+        assert_eq!(wal.stats().checkpoints, 1);
+        wal.append_commits((30..33).map(rec)).unwrap();
+    }
+
+    #[test]
+    fn failed_tmp_fsync_aborts_the_checkpoint_safely() {
+        let (mut wal, _, _) = fault_wal(FaultConfig::fail_nth(OpKind::SyncAll, 1, FaultKind::Eio));
+        wal.append_commits((1..30).map(rec)).unwrap();
+        let recs: Vec<CommitRecord> = (1..21).map(rec).collect();
+        wal.checkpoint(&recs).unwrap_err();
+        assert_eq!(wal.stats().checkpoint_failures, 1);
+        assert_eq!(wal.checkpointed(), 0, "coverage never advanced");
+        assert!(!wal.poisoned());
+    }
+
+    #[test]
+    fn segment_unlink_failures_are_counted_and_harmless() {
+        // RemoveFile #1 is open's stale-tmp cleanup; #2 is the first
+        // pruned segment.
+        let vfs = FaultVfs::new(FaultConfig::fail_nth(OpKind::RemoveFile, 2, FaultKind::Eio));
+        let cfg = WalConfig::new("/fw/wal")
+            .vfs(vfs.as_dyn())
+            .segment_bytes(64)
+            .checkpoint_interval(4);
+        let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+        let recs: Vec<CommitRecord> = (1..40).map(rec).collect();
+        for chunk in recs.chunks(5) {
+            wal.append_commits(chunk.iter().cloned()).unwrap();
+        }
+        let upto = wal.logged() as usize - 5;
+        assert!(wal.wants_checkpoint(upto as u64));
+        wal.checkpoint(&recs[..upto]).unwrap();
+        let stats = wal.stats();
+        assert!(stats.segments_dropped >= 1);
+        assert_eq!(stats.segment_unlink_failures, 1);
+        drop(wal);
+        // The leftover covered segment is skipped on replay.
+        let (_, replay) = Wal::open(cfg).unwrap();
+        assert_eq!(replay, recs);
     }
 
     #[test]

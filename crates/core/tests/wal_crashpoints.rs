@@ -1,0 +1,378 @@
+//! The crash-point matrix: every VFS operation a durable workload
+//! performs is a place the power can go out, and at every single one of
+//! them the tree must come back with the acked prefix intact.
+//!
+//! The suite runs one canonical deterministic workload (fixed appends,
+//! forks via graft, segment rotation, watermark-driven checkpoints)
+//! over a [`FaultVfs`] and then:
+//!
+//! 1. **pins the enumeration** — the total op count and per-kind
+//!    histogram are asserted as constants, so adding (or removing) an
+//!    IO site in `wal.rs` fails this test and forces the matrix to be
+//!    re-audited;
+//! 2. **crashes at every op index** — the op fails and the device is
+//!    dead from there on; the workload must degrade (typed
+//!    [`DurabilityError`], never a panic, never an ack the log cannot
+//!    back), and recovery after power loss must reproduce exactly the
+//!    acked prefix;
+//! 3. **sweeps every torn-tail byte boundary** — at each crash point
+//!    the unsynced tail is kept at every possible length, plus a
+//!    bit-flipped worst case, and recovery must still trim to the
+//!    acked prefix;
+//! 4. **double-crashes** — a second crash injected at every op of
+//!    *recovery itself* (checkpoint rewrite, torn-tail trim, segment
+//!    unlink), then a clean second recovery; and recovery is
+//!    idempotent (recovering twice answers identically);
+//! 5. **replays from a seed** — `FaultConfig::seeded(s)` mid-workload
+//!    fsync failures poison the tree deterministically: same seed,
+//!    same acks, same error, twice.
+
+use btadt_core::prelude::*;
+use btadt_core::vfs::OpKind;
+
+/// WAL directory inside the in-memory [`FaultVfs`].
+const WAL_DIR: &str = "/cp/wal";
+
+/// Appends (and grafts) the canonical workload performs.
+const WORKLOAD_BLOCKS: u64 = 14;
+
+/// Total VFS operations the canonical workload performs on a fresh
+/// directory, healthy device. **Pinned**: if this changes, an IO site
+/// was added or removed in the WAL/checkpoint path — re-audit the
+/// matrix (the other tests enumerate `0..WORKLOAD_OPS`), then update
+/// the constant and [`WORKLOAD_HISTOGRAM`].
+const WORKLOAD_OPS: u64 = 46;
+
+/// Per-kind op counts of the canonical workload, sorted by kind.
+/// Pinned for the same reason as [`WORKLOAD_OPS`]. Reading the trace:
+/// one mkdir + stale-tmp unlink + checkpoint read (`NotFound`) +
+/// segment listing on open; one `create_new`+`sync_dir` per segment
+/// (the initial segment plus one rotation); one write+`sync_data` per
+/// publication (14 blocks, group commit) plus one frame write per
+/// record sharing a batch; two checkpoints, each a
+/// truncate+write+`sync_all`+rename+`sync_dir`.
+const WORKLOAD_HISTOGRAM: &[(OpKind, u64)] = &[
+    (OpKind::CreateDirAll, 1),
+    (OpKind::Read, 1),
+    (OpKind::ReadDir, 1),
+    (OpKind::CreateNew, 2),
+    (OpKind::CreateTruncate, 2),
+    (OpKind::Rename, 2),
+    (OpKind::RemoveFile, 1),
+    (OpKind::SyncDir, 4),
+    (OpKind::Write, 16),
+    (OpKind::SyncData, 14),
+    (OpKind::SyncAll, 2),
+];
+
+type Tree = ConcurrentBlockTree<LongestChain, AcceptAll>;
+
+/// Small segments force rotation; a shallow watermark plus a short
+/// checkpoint interval forces checkpoint rewrites and segment trims —
+/// together the workload exercises every IO site the WAL has.
+fn open_tree(vfs: &FaultVfs) -> std::io::Result<Tree> {
+    ConcurrentBlockTree::open_durable(
+        2,
+        FinalityWatermark::new(2),
+        LongestChain,
+        AcceptAll,
+        WalConfig::new(WAL_DIR)
+            .segment_bytes(512)
+            .checkpoint_interval(4)
+            .vfs(vfs.as_dyn()),
+    )
+}
+
+/// Runs the canonical workload. Returns the ids acked (in ack order ==
+/// commit-log order: the workload is single-threaded) and the first
+/// durability error observed, if any. Panics if an ack arrives *after*
+/// an error — the one thing a degraded tree must never do.
+fn run_workload(bt: &Tree) -> (Vec<BlockId>, Option<DurabilityError>) {
+    let mut acked = Vec::new();
+    let mut first_err: Option<DurabilityError> = None;
+    for i in 0..WORKLOAD_BLOCKS {
+        let cand =
+            CandidateBlock::simple(ProcessId((i % 3) as u32), 0xA000 + i).with_work(1 + i % 4);
+        let res = if i % 5 == 3 && !acked.is_empty() {
+            // Fork off an already-committed block: exercises the graft
+            // publication path alongside the append fast path.
+            let parent = acked[(i as usize * 7) % acked.len()];
+            bt.graft(parent, cand)
+        } else {
+            bt.append(cand)
+        };
+        match res {
+            Ok(Some(id)) => {
+                assert!(
+                    first_err.is_none(),
+                    "block {i} acked after durability error {first_err:?}"
+                );
+                acked.push(id);
+            }
+            Ok(None) => panic!("AcceptAll rejects nothing (block {i})"),
+            Err(e) => {
+                assert!(
+                    bt.is_poisoned(),
+                    "append returned {e:?} but the tree is not poisoned"
+                );
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    (acked, first_err)
+}
+
+/// Opens the tree and runs the workload, tolerating a crash anywhere:
+/// open itself may fail (crash during open/recovery), and the workload
+/// may degrade mid-way. Returns whatever was acked.
+fn run_to_crash(vfs: &FaultVfs) -> Vec<BlockId> {
+    match open_tree(vfs) {
+        Err(_) => Vec::new(),
+        Ok(bt) => run_workload(&bt).0,
+    }
+}
+
+/// The durability contract, checked from the outside: after power loss
+/// and recovery, the commit log starts with exactly the acked sequence.
+/// (It may be longer — records written and synced but whose covering
+/// publication never acked are allowed to survive; they were valid.)
+fn assert_acked_prefix(recovered: &Tree, acked: &[BlockId], ctx: &str) {
+    let log = recovered.commit_log();
+    assert!(
+        log.len() >= acked.len(),
+        "{ctx}: recovered log ({} records) lost acked records ({})",
+        log.len(),
+        acked.len()
+    );
+    assert_eq!(&log[..acked.len()], acked, "{ctx}: acked prefix mutated");
+}
+
+fn recover(vfs: &FaultVfs, ctx: &str) -> Tree {
+    open_tree(vfs).unwrap_or_else(|e| panic!("{ctx}: recovery must succeed, got {e}"))
+}
+
+#[test]
+fn enumeration_is_pinned_and_covers_every_wal_io_site() {
+    let vfs = FaultVfs::new(FaultConfig::new());
+    let bt = open_tree(&vfs).expect("healthy open");
+    let (acked, err) = run_workload(&bt);
+    assert_eq!(err, None, "healthy device cannot poison");
+    assert_eq!(acked.len(), WORKLOAD_BLOCKS as usize);
+    drop(bt);
+
+    let trace = vfs.trace();
+    let mut histogram: std::collections::BTreeMap<OpKind, u64> = std::collections::BTreeMap::new();
+    for rec in &trace {
+        *histogram.entry(rec.kind).or_insert(0) += 1;
+    }
+    let got: Vec<(OpKind, u64)> = histogram.into_iter().collect();
+    let mut want = WORKLOAD_HISTOGRAM.to_vec();
+    want.sort();
+    assert_eq!(
+        got, want,
+        "WAL IO sites changed: update WORKLOAD_OPS/WORKLOAD_HISTOGRAM and re-audit the matrix"
+    );
+    assert_eq!(
+        vfs.op_count(),
+        WORKLOAD_OPS,
+        "trace length drifted from pin"
+    );
+    assert_eq!(trace.len() as u64, WORKLOAD_OPS);
+
+    // Group commit means exactly one data fsync per publication: every
+    // acked block is covered by a sync that happened before its ack.
+    let syncs = want.iter().find(|(k, _)| *k == OpKind::SyncData).unwrap().1;
+    assert!(
+        syncs >= WORKLOAD_BLOCKS,
+        "fewer data fsyncs than publications"
+    );
+}
+
+#[test]
+fn crash_at_every_op_preserves_the_acked_prefix() {
+    for at in 0..WORKLOAD_OPS {
+        let vfs = FaultVfs::new(FaultConfig::crash_at(at));
+        let acked = run_to_crash(&vfs);
+        assert!(vfs.crashed(), "crash point {at} never fired");
+        vfs.power_loss(TornTail::DropAll);
+        let rec = recover(&vfs, &format!("crash at op {at}"));
+        assert_acked_prefix(&rec, &acked, &format!("crash at op {at}"));
+        // The recovered tree is live, not read-only: degradation ends
+        // with the incarnation that hit the fault.
+        let id = rec
+            .append(CandidateBlock::simple(ProcessId(9), 0xF00D + at))
+            .expect("recovered tree is healthy")
+            .expect("AcceptAll admits everything");
+        assert!(rec.is_committed(id));
+    }
+}
+
+#[test]
+fn torn_tail_byte_sweep_preserves_the_acked_prefix() {
+    for at in 0..WORKLOAD_OPS {
+        let vfs = FaultVfs::new(FaultConfig::crash_at(at));
+        let acked = run_to_crash(&vfs);
+        let tail = vfs.unsynced_tail_len();
+        // Every byte boundary of the unsynced tail: the device persisted
+        // 0..=tail bytes past the last fsync before dying.
+        for keep in 0..=tail {
+            let img = vfs.fork();
+            img.power_loss(TornTail::Keep(keep));
+            let ctx = format!("crash at op {at}, torn tail keep {keep}/{tail}");
+            let rec = recover(&img, &ctx);
+            assert_acked_prefix(&rec, &acked, &ctx);
+        }
+        // Worst case: the tail survives torn *and* the last sector is
+        // mangled — CRC framing must reject it, not replay garbage.
+        for keep in [1, tail.max(1)] {
+            if tail == 0 {
+                break;
+            }
+            let img = vfs.fork();
+            img.power_loss(TornTail::KeepScrambled(keep));
+            let ctx = format!("crash at op {at}, scrambled tail keep {keep}/{tail}");
+            let rec = recover(&img, &ctx);
+            assert_acked_prefix(&rec, &acked, &ctx);
+        }
+    }
+}
+
+#[test]
+fn double_crash_during_recovery_then_recovery_is_idempotent() {
+    // Phase 1: the workload with every checkpoint attempt failed (a
+    // checkpoint failure is non-fatal and merely counted), then power
+    // loss. The durable image therefore carries an uncompacted log
+    // whose checkpoint *recovery* must rewrite — putting the rewrite
+    // and the segment trim inside the double-crash window.
+    let mut no_checkpoints = FaultConfig::new();
+    for nth in 1..=16 {
+        no_checkpoints =
+            no_checkpoints.rule(FaultRule::new(OpKind::CreateTruncate, nth, FaultKind::Eio));
+    }
+    let vfs = FaultVfs::new(no_checkpoints);
+    let bt = open_tree(&vfs).expect("healthy open");
+    let (acked, err) = run_workload(&bt);
+    assert_eq!(err, None, "checkpoint failures must not poison");
+    let stats = bt.wal_stats().expect("durable tree has stats");
+    assert!(
+        stats.checkpoint_failures >= 1,
+        "the injected checkpoint faults were never attempted"
+    );
+    drop(bt);
+    vfs.power_loss(TornTail::DropAll);
+    let base = vfs.fork();
+
+    // Probe: count recovery's own IO and check it exercises the sites
+    // the double-crash is about — the checkpoint rewrite (truncate +
+    // rename) and segment trim (unlink) that recovery performs after
+    // replay.
+    let probe = base.fork();
+    let rec = recover(&probe, "probe recovery");
+    assert_acked_prefix(&rec, &acked, "probe recovery");
+    drop(rec);
+    let recovery_ops = probe.op_count();
+    let kinds: std::collections::BTreeSet<OpKind> = probe.trace().iter().map(|r| r.kind).collect();
+    for k in [OpKind::CreateTruncate, OpKind::Rename, OpKind::RemoveFile] {
+        assert!(
+            kinds.contains(&k),
+            "recovery does not exercise {k:?}; the double-crash matrix lost coverage"
+        );
+    }
+
+    // Phase 2: crash recovery at every one of its own ops, then recover
+    // again cleanly. The acked prefix must survive both crashes.
+    for at in 0..recovery_ops {
+        let img = base.fork();
+        img.arm(FaultConfig::crash_at(at));
+        match open_tree(&img) {
+            Err(_) => {}
+            Ok(bt) => {
+                // Recovery survived the fault (it hit a non-fatal site,
+                // e.g. a checkpoint rewrite or an unlink); the tree may
+                // be degraded but must still hold the acked prefix.
+                assert_acked_prefix(&bt, &acked, &format!("recovery crash at op {at}"));
+            }
+        }
+        img.power_loss(TornTail::DropAll);
+        let ctx = format!("second recovery after recovery crash at op {at}");
+        let rec = recover(&img, &ctx);
+        assert_acked_prefix(&rec, &acked, &ctx);
+    }
+
+    // Phase 3: recovery is idempotent — two clean recoveries in a row
+    // answer identically.
+    let img = base.fork();
+    let first = recover(&img, "idempotence, first recovery");
+    let (log1, tip1) = (first.commit_log(), first.read_owned().tip());
+    drop(first);
+    let second = recover(&img, "idempotence, second recovery");
+    assert_eq!(second.commit_log(), log1, "second recovery changed the log");
+    assert_eq!(
+        second.read_owned().tip(),
+        tip1,
+        "second recovery moved the tip"
+    );
+}
+
+#[test]
+fn seeded_fsync_failures_poison_deterministically() {
+    for seed in 1..=8u64 {
+        let run = || {
+            let vfs = FaultVfs::new(FaultConfig::seeded(seed));
+            let bt = open_tree(&vfs).expect("seeded faults hit data fsyncs, not open");
+            let (acked, err) = run_workload(&bt);
+            let poisoned = bt.is_poisoned();
+            let tree_err = bt.durability_error();
+            drop(bt);
+            (acked, err, poisoned, tree_err, vfs)
+        };
+        let (acked, err, poisoned, tree_err, vfs) = run();
+
+        // The workload publishes more batches than the seeded rule's
+        // maximum position, so the fault always fires: a typed error,
+        // a poisoned tree, never a panic.
+        let e = err.unwrap_or_else(|| panic!("seed {seed}: fault never surfaced"));
+        assert!(
+            matches!(e, DurabilityError::PersistFailed { .. }),
+            "seed {seed}: {e:?}"
+        );
+        assert!(poisoned, "seed {seed}: error without poisoning");
+        assert_eq!(tree_err, Some(e), "seed {seed}: first error not retained");
+
+        // Replay: the same seed reproduces the same run, ack for ack.
+        let (acked2, err2, _, _, _) = run();
+        assert_eq!(acked2, acked, "seed {seed}: acks diverged on replay");
+        assert_eq!(err2, Some(e), "seed {seed}: error diverged on replay");
+
+        // And the degraded incarnation still honored the contract: its
+        // acked prefix survives power loss.
+        vfs.power_loss(TornTail::DropAll);
+        let rec = recover(&vfs, &format!("seed {seed}"));
+        assert_acked_prefix(&rec, &acked, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn short_write_mid_record_poisons_and_recovery_trims() {
+    // Tear the 7th data write after 3 bytes: a record frame lands
+    // partially in the page cache, then the op fails. fsyncgate rule:
+    // the file is dirty with unknown content — poison, never retry.
+    let vfs = FaultVfs::new(FaultConfig::fail_nth(
+        OpKind::Write,
+        7,
+        FaultKind::ShortWrite { written: 3 },
+    ));
+    let bt = open_tree(&vfs).expect("open performs no data writes");
+    let (acked, err) = run_workload(&bt);
+    let e = err.expect("the torn write must surface");
+    assert!(matches!(e, DurabilityError::PersistFailed { .. }));
+    assert!(bt.is_poisoned());
+    drop(bt);
+
+    // Keep the whole torn tail: recovery must trim the partial frame
+    // (CRC framing), not replay it, and the acked prefix survives.
+    let tail = vfs.unsynced_tail_len();
+    vfs.power_loss(TornTail::Keep(tail));
+    let rec = recover(&vfs, "short write");
+    assert_acked_prefix(&rec, &acked, "short write");
+}

@@ -109,7 +109,7 @@ fn run_workload(bt: &Tree, seed0: u64, threads: u64, per_thread: u64) {
                         let chain = bt.read_owned();
                         let ids = chain.ids();
                         let parent = ids[(lcg(&mut seed) as usize) % ids.len()];
-                        bt.graft(parent, cand);
+                        let _ = bt.graft(parent, cand).expect("healthy WAL cannot poison");
                     } else {
                         bt.append(cand).expect("AcceptAll admits everything");
                     }

@@ -1,6 +1,6 @@
 //! Token-level source-discipline lint for the BT-ADT workspace.
 //!
-//! Four rules, each guarding an invariant the model checker and the
+//! Five rules, each guarding an invariant the model checker and the
 //! commit pipeline's correctness argument lean on but the compiler
 //! cannot see:
 //!
@@ -28,6 +28,12 @@
 //!    publication-order guarantee recovery replays by. Scope:
 //!    `crates/core/src/concurrent.rs` (the `wal` module itself and its
 //!    tests are the implementation, not call sites).
+//! 5. **`vfs-confinement`** — `wal.rs` performs no raw `std::fs` IO
+//!    (`std::fs`, `File::`, `OpenOptions::` tokens): every byte the
+//!    durability layer moves goes through the `Vfs` seam, so the fault
+//!    injector and the crash-point matrix
+//!    (`crates/core/tests/wal_crashpoints.rs`) enumerate *all* of it.
+//!    Scope: `crates/core/src/wal.rs` above `mod tests`.
 //!
 //! The scanner is deliberately token-level, not syntactic: it strips
 //! comments, strings, and char literals with a small lexer and then
@@ -512,6 +518,41 @@ pub fn check_wal_confinement(file: &Path, s: &Stripped) -> Vec<Finding> {
     out
 }
 
+/// Rule 5: `wal.rs` performs no raw `std::fs` IO — every byte the
+/// durability layer moves goes through the `Vfs` seam
+/// (`crates/core/src/vfs.rs`), so the fault injector and the
+/// crash-point matrix see *all* of it. A direct `std::fs` call is an IO
+/// site power loss can hit but the matrix cannot enumerate. Scoped to
+/// code above `mod tests` (tests may touch real files).
+pub fn check_vfs_confinement(file: &Path, s: &Stripped) -> Vec<Finding> {
+    const RAW_IO: [&str; 3] = ["std::fs", "File::", "OpenOptions::"];
+    let mut out = Vec::new();
+    let boundary = s
+        .code
+        .iter()
+        .position(|l| l.trim_start().starts_with("mod tests"))
+        .unwrap_or(s.code.len());
+    for (ln, line) in s.code[..boundary].iter().enumerate() {
+        let hit = RAW_IO.iter().any(|tok| {
+            line.match_indices(tok).any(|(i, _)| {
+                // Token boundary: `VfsFile::` must not match `File::`.
+                i == 0 || !is_ident_char(line.as_bytes()[i - 1] as char)
+            })
+        });
+        if hit {
+            out.push(Finding {
+                file: file.to_path_buf(),
+                line: ln + 1,
+                rule: "vfs-confinement",
+                msg: "raw std::fs IO in wal.rs — route it through the Vfs seam \
+                      so fault injection and the crash-point matrix cover it"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Applies every rule at its scope to one file (path decides scope).
 pub fn lint_file(path: &Path, src: &str) -> Vec<Finding> {
     let s = strip(src);
@@ -523,6 +564,9 @@ pub fn lint_file(path: &Path, src: &str) -> Vec<Finding> {
     if p.ends_with("crates/core/src/concurrent.rs") {
         out.extend(check_lock_order(path, &s));
         out.extend(check_wal_confinement(path, &s));
+    }
+    if p.ends_with("crates/core/src/wal.rs") {
+        out.extend(check_vfs_confinement(path, &s));
     }
     out
 }
@@ -718,6 +762,7 @@ mod tests {
             "commit.rs",
             "chain.rs",
             "wal.rs",
+            "vfs.rs",
         ] {
             let (path, src) = core_src(name);
             let findings = lint_file(&path, &src);
@@ -731,6 +776,43 @@ mod tests {
                     .join("\n")
             );
         }
+    }
+
+    #[test]
+    fn mutation_raw_fs_io_in_wal_is_flagged() {
+        // Sneak a raw unlink into wal.rs above the test module, as a
+        // shortcut refactor might: the VFS seam no longer sees that IO,
+        // the crash-point matrix cannot enumerate it, so the lint must
+        // fire.
+        let (path, src) = core_src("wal.rs");
+        let needle = "impl Wal {";
+        assert!(
+            src.contains(needle),
+            "wal.rs lost `impl Wal`; update the lint mutation test"
+        );
+        let sneaky = "fn sneaky(p: &std::path::Path) {\n    \
+                      let _ = std::fs::remove_file(p);\n}\n\nimpl Wal {";
+        let mutated = src.replacen(needle, sneaky, 1);
+        let before = lint_file(&path, &src).len();
+        let after = lint_file(&path, &mutated);
+        assert!(
+            after.len() > before,
+            "raw std::fs IO in wal.rs not flagged: {after:?}"
+        );
+        assert!(after.iter().any(|f| f.rule == "vfs-confinement"));
+        // The same token *below* `mod tests` stays legal: tests touch
+        // real files by design.
+        let test_mutated = src.replacen(
+            "mod tests {",
+            "mod tests {\n    fn sneaky(p: &std::path::Path) {\n        \
+             let _ = std::fs::remove_file(p);\n    }",
+            1,
+        );
+        assert_eq!(
+            lint_file(&path, &test_mutated).len(),
+            before,
+            "test-module fs IO wrongly flagged"
+        );
     }
 
     #[test]

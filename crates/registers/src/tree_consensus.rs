@@ -65,6 +65,7 @@ use btadt_core::concurrent::ConcurrentBlockTree;
 use btadt_core::ids::BlockId;
 use btadt_core::selection::SelectionFn;
 use btadt_core::validity::ValidityPredicate;
+use btadt_core::wal::DurabilityError;
 use btadt_oracle::{KBound, SharedOracle};
 use std::time::{Duration, Instant};
 
@@ -189,6 +190,12 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
     /// committed-K winner itself (see the module's dead-winner recovery
     /// section).
     ///
+    /// On a durable tree that has degraded after a persistence failure
+    /// (see [`ConcurrentBlockTree::is_poisoned`]) the decide path
+    /// propagates the [`DurabilityError`] instead of deciding a value
+    /// the tree could not durably commit. Volatile trees never return
+    /// `Err`.
+    ///
     /// # Panics
     ///
     /// * after [`stall_limit`](Self::with_stall_limit) when the oracle
@@ -196,7 +203,11 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
     ///   needs a live oracle);
     /// * when `P` rejects an oracle-admitted block — the oracle is "the
     ///   only generator of valid blocks", so the pair is misconfigured.
-    pub fn propose(&self, who: usize, candidate: CandidateBlock) -> ProposeOutcome {
+    pub fn propose(
+        &self,
+        who: usize,
+        candidate: CandidateBlock,
+    ) -> Result<ProposeOutcome, DurabilityError> {
         let deadline = Instant::now() + self.stall_limit;
         // Backoff ladder for a token-less proposer: the first few denials
         // just yield (a solo proposer's tape is its only wake source —
@@ -227,13 +238,13 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
                 .decided()
                 .or_else(|| self.oracle.first_consumed(self.anchor))
             {
-                self.adopt_committed(d);
+                self.adopt_committed(d)?;
                 self.decided.compare_and_swap(EMPTY, d.0 as u64 + 1);
-                return ProposeOutcome {
+                return Ok(ProposeOutcome {
                     decided: d,
                     minted: None,
                     grafted: false,
-                };
+                });
             }
             if let Some(g) = self.oracle.get_token(who, self.anchor) {
                 break g;
@@ -278,7 +289,7 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
             // Our mint is K[anchor]'s singleton: graft-before-decide — the
             // block must be a committed member before anyone (us included)
             // returns it as the decision.
-            let committed = self.tree.graft_minted(minted).unwrap_or_else(|| {
+            let committed = self.tree.graft_minted(minted)?.unwrap_or_else(|| {
                 panic!(
                     "validity predicate rejected oracle-admitted block \
                      {minted}: the oracle must be the only generator of \
@@ -290,15 +301,15 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
             // Someone else's mint won. Its owner normally grafts it; wait
             // briefly for that, then graft it ourselves if it never comes
             // (graft-before-decide, loser half + dead-winner recovery).
-            self.adopt_committed(winner);
+            self.adopt_committed(winner)?;
         }
         // Publish the (committed) decision for late proposers.
         self.decided.compare_and_swap(EMPTY, winner.0 as u64 + 1);
-        ProposeOutcome {
+        Ok(ProposeOutcome {
             decided: winner,
             minted: Some(minted),
             grafted,
-        }
+        })
     }
 
     /// Ensures the K-set winner `d` is a committed tree member before the
@@ -309,23 +320,26 @@ impl<'t, F: SelectionFn, P: ValidityPredicate> TreeConsensus<'t, F, P> {
     /// is in `K[anchor]`, so *any* process may graft it, and we do. The
     /// graft is idempotent (a racing re-graft is a no-op returning the
     /// id), so this is safe even when the winner is merely slow rather
-    /// than dead. The only way out without a committed `d` is the `P`/Θ
-    /// misconfiguration panic — a crashed winner no longer wedges anyone.
-    fn adopt_committed(&self, d: BlockId) {
+    /// than dead. The only ways out without a committed `d` are the
+    /// `P`/Θ misconfiguration panic and the degraded-mode `Err` (the
+    /// tree can no longer durably commit anything) — a crashed winner no
+    /// longer wedges anyone.
+    fn adopt_committed(&self, d: BlockId) -> Result<(), DurabilityError> {
         let grace = Instant::now() + self.graft_grace;
         if self.tree.wait_committed(d, grace) {
-            return;
+            return Ok(());
         }
         // Grace expired with the winner's graft absent — its proposer
         // likely died between consumeToken and graft_minted. Graft the
         // committed-K winner ourselves (first graft wins; a duplicate is
         // a no-op re-graft either way).
         assert!(
-            self.tree.graft_minted(d).is_some(),
+            self.tree.graft_minted(d)?.is_some(),
             "validity predicate rejected oracle-admitted block {d}: the \
              oracle must be the only generator of valid blocks (Def. 3.5), \
              so P and Θ disagree"
         );
+        Ok(())
     }
 
     /// Crash-injection hook for the recovery tests: runs Protocol A up to
@@ -450,7 +464,9 @@ pub fn run_tree_trial<F: SelectionFn, P: ValidityPredicate>(
                 s.spawn(move || {
                     let cand =
                         CandidateBlock::simple(ProcessId(who as u32), nonce_base + who as u64);
-                    consensus.propose(who, cand)
+                    consensus
+                        .propose(who, cand)
+                        .expect("trial tree degraded mid-propose")
                 })
             })
             .collect::<Vec<_>>()
@@ -484,7 +500,9 @@ mod tests {
         let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
         let oracle = shared_oracle(1, 1);
         let c = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
-        let out = c.propose(0, CandidateBlock::simple(ProcessId(0), 7));
+        let out = c
+            .propose(0, CandidateBlock::simple(ProcessId(0), 7))
+            .expect("volatile trees cannot poison");
         assert_eq!(out.minted, Some(out.decided));
         assert!(out.grafted);
         assert!(tree.is_committed(out.decided), "graft-before-decide");
@@ -539,8 +557,12 @@ mod tests {
         let tree = ConcurrentBlockTree::new(LongestChain, AcceptAll);
         let oracle = shared_oracle(2, 4);
         let c = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
-        let first = c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
-        let late = c.propose(1, CandidateBlock::simple(ProcessId(1), 2));
+        let first = c
+            .propose(0, CandidateBlock::simple(ProcessId(0), 1))
+            .expect("volatile trees cannot poison");
+        let late = c
+            .propose(1, CandidateBlock::simple(ProcessId(1), 2))
+            .expect("volatile trees cannot poison");
         assert_eq!(late.decided, first.decided, "decisions are sticky");
         assert!(!late.grafted);
         assert_eq!(late.minted, None, "published decision short-circuits");
@@ -577,7 +599,7 @@ mod tests {
             BlockId::GENESIS,
             Duration::from_millis(50),
         );
-        c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
+        let _ = c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
     }
 
     #[test]
@@ -615,6 +637,7 @@ mod tests {
                     .map(|who| {
                         s.spawn(move || {
                             c.propose(who, CandidateBlock::simple(ProcessId(who as u32), 10))
+                                .expect("volatile trees cannot poison")
                         })
                     })
                     .collect::<Vec<_>>()
@@ -666,7 +689,7 @@ mod tests {
         assert_eq!(tree.len(), 2, "re-grafts inserted nothing");
         // And an explicit duplicate graft on the tree is a visible no-op.
         let log_before = tree.commit_log();
-        assert_eq!(tree.graft_minted(d), Some(d));
+        assert_eq!(tree.graft_minted(d), Ok(Some(d)));
         assert_eq!(tree.commit_log(), log_before);
     }
 
@@ -679,6 +702,6 @@ mod tests {
         let tree = ConcurrentBlockTree::new(LongestChain, DigestPrefix { zero_bits: 64 });
         let oracle = shared_oracle(1, 3);
         let c = TreeConsensus::new(&tree, &oracle, BlockId::GENESIS);
-        c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
+        let _ = c.propose(0, CandidateBlock::simple(ProcessId(0), 1));
     }
 }

@@ -35,6 +35,18 @@ pub fn crash_dir_from_env() -> Option<PathBuf> {
     std::env::var_os(CRASH_DIR_ENV).map(PathBuf::from)
 }
 
+/// Environment variable overriding the base seed of the fault-injected
+/// durability lanes (decimal `u64`). A failing CI seed replays locally
+/// with `BTADT_FAULT_SEED=<seed> cargo test -p btadt-sim fault` — the
+/// whole schedule ([`FaultConfig::seeded`](btadt_core::vfs::FaultConfig))
+/// derives from the seed alone.
+pub const FAULT_SEED_ENV: &str = "BTADT_FAULT_SEED";
+
+/// The fault-seed override, if set and parsable.
+pub fn fault_seed_from_env() -> Option<u64> {
+    std::env::var(FAULT_SEED_ENV).ok()?.trim().parse().ok()
+}
+
 /// Append-only log of acked ids, one per line, each a single unbuffered
 /// `write` issued strictly after the corresponding tree append returned.
 pub struct AckLog {

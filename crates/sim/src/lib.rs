@@ -36,10 +36,13 @@ pub use counterexamples::{
     lemma_4_4, lemma_4_5, theorem_4_8, update_agreement_positive, RunOutcome, SimpleMiner,
 };
 pub use crashsim::{
-    crash_dir_from_env, read_acked, read_all_acked, spawn_self_test, AckLog, CRASH_DIR_ENV,
+    crash_dir_from_env, fault_seed_from_env, read_acked, read_all_acked, spawn_self_test, AckLog,
+    CRASH_DIR_ENV, FAULT_SEED_ENV,
 };
 pub use lrc::{check_lrc, gossip_applied, LrcReport};
-pub use mtrun::{run_concurrent_workload, MtConfig, MtRun};
+pub use mtrun::{
+    recover_durable, run_concurrent_workload, run_durable_fault_workload, FaultRun, MtConfig, MtRun,
+};
 pub use network::{DropPolicy, NetworkModel, Partition, Synchrony};
 pub use replica::Replica;
 pub use trace::{Trace, TraceEvent};

@@ -44,13 +44,15 @@
 
 use btadt_core::blocktree::CandidateBlock;
 use btadt_core::chain::Blockchain;
-use btadt_core::commit::PipelineStats;
+use btadt_core::commit::{FinalityWatermark, PipelineStats};
 use btadt_core::concurrent::ConcurrentBlockTree;
 use btadt_core::history::{History, Invocation, Response};
 use btadt_core::ids::{splitmix64_at, BlockId, ProcessId, Time};
 use btadt_core::selection::SelectionFn;
 use btadt_core::store::BlockStore;
 use btadt_core::validity::AcceptAll;
+use btadt_core::vfs::{FaultConfig, FaultVfs};
+use btadt_core::wal::{DurabilityError, WalConfig, WalStats};
 use btadt_oracle::{Merits, SharedOracle, ThetaOracle};
 use btadt_registers::{TreeConsensus, TreeConsensusReport};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -279,6 +281,7 @@ fn frugal_append<F: SelectionFn>(
             );
             return tree
                 .graft_minted(id)
+                .expect("volatile trees cannot poison")
                 .expect("AcceptAll admits every oracle-approved block");
         }
         // K[parent] is full: the feedback step. Adopt one of the winners
@@ -360,7 +363,7 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
                             }
                             let cand = CandidateBlock::simple(me, nonce).with_work(work);
                             let t0 = tick(clock);
-                            let id = tree.append(cand);
+                            let id = tree.append(cand).expect("volatile trees cannot poison");
                             let t1 = tick(clock);
                             (t0, id.expect("AcceptAll appends always succeed"), t1)
                         };
@@ -431,6 +434,180 @@ pub fn run_concurrent_workload<F: SelectionFn>(selection: F, cfg: &MtConfig) -> 
         fork_coherent: oracle.as_ref().map(|o| o.fork_coherent()),
         pipeline: tree.pipeline_stats(),
     }
+}
+
+/// Everything a checker needs from one fault-injected durable run (see
+/// [`run_durable_fault_workload`]).
+pub struct FaultRun {
+    /// Ids whose append returned `Ok(Some(_))`, across all threads. Each
+    /// is provably covered by a pre-poisoning publication
+    /// (persist-then-ack), so after any crash + recovery every one of
+    /// them must be in the recovered commit log.
+    pub acked: Vec<BlockId>,
+    /// Appends attempted across all threads.
+    pub attempts: usize,
+    /// The first [`DurabilityError`] any thread observed, if the fault
+    /// schedule fired.
+    pub error: Option<DurabilityError>,
+    /// Whether the tree ended the run poisoned (degraded read-only).
+    pub poisoned: bool,
+    /// WAL counters at the end of the run (retries, failures,
+    /// `last_error`) — the observability satellite's surface.
+    pub stats: WalStats,
+}
+
+/// Geometry shared by the fault workload and [`recover_durable`]: small
+/// segments and a short checkpoint interval keep rotation and
+/// compaction inside the fault schedule's reach.
+fn fault_wal_config(wal_dir: &str, vfs: &FaultVfs) -> WalConfig {
+    WalConfig::new(wal_dir)
+        .segment_bytes(2048)
+        .checkpoint_interval(8)
+        .vfs(vfs.as_dyn())
+}
+
+/// Drives `cfg`'s appender/reader threads against a **durable** tree
+/// whose storage is a [`FaultVfs`] running `fault` — the multithreaded
+/// degraded-mode check. Appends tolerate [`DurabilityError`]; each
+/// thread asserts the poisoning discipline locally (once it has seen an
+/// error, no later append of its own may ack — the poison flag is
+/// latched before any `Err` returns). The tree is dropped before
+/// returning; the caller owns the `FaultVfs` and typically follows with
+/// [`FaultVfs::power_loss`] + [`recover_durable`] to check
+/// `acked ⊆ recovered`.
+pub fn run_durable_fault_workload<F: SelectionFn>(
+    selection: F,
+    cfg: &MtConfig,
+    wal_dir: &str,
+    fault: FaultConfig,
+) -> (FaultRun, FaultVfs) {
+    let vfs = FaultVfs::new(fault);
+    let tree = ConcurrentBlockTree::open_durable(
+        4,
+        FinalityWatermark::new(2),
+        selection,
+        AcceptAll,
+        fault_wal_config(wal_dir, &vfs),
+    )
+    .expect("fault schedules target the workload, not the fresh open");
+    let barrier = Barrier::new(cfg.appenders + cfg.readers);
+
+    type Lane = (Vec<BlockId>, usize, Option<DurabilityError>);
+    let mut lanes: Vec<Lane> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for a in 0..cfg.appenders {
+            let (tree, barrier) = (&tree, &barrier);
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move || {
+                let me = ProcessId(a as u32);
+                let mut acked = Vec::new();
+                let mut attempts = 0usize;
+                let mut first_err: Option<DurabilityError> = None;
+                for round in 0..cfg.rounds {
+                    barrier.wait();
+                    for i in 0..cfg.appends_per_round {
+                        let step = (round * cfg.appends_per_round + i) as u64;
+                        let nonce = ((a as u64) << 40) | step;
+                        let work = 1 + splitmix64_at(cfg.seed ^ ((a as u64) << 16), step) % 4;
+                        let cand = CandidateBlock::simple(me, nonce).with_work(work);
+                        attempts += 1;
+                        match tree.append(cand) {
+                            Ok(Some(id)) => {
+                                assert!(
+                                    first_err.is_none(),
+                                    "p{a} acked {id} after durability error {first_err:?}"
+                                );
+                                acked.push(id);
+                            }
+                            Ok(None) => panic!("AcceptAll rejects nothing"),
+                            Err(e) => {
+                                assert!(
+                                    tree.is_poisoned(),
+                                    "p{a} got {e:?} from an unpoisoned tree"
+                                );
+                                first_err.get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+                (acked, attempts, first_err)
+            }));
+        }
+        for _r in 0..cfg.readers {
+            let (tree, barrier) = (&tree, &barrier);
+            let cfg = cfg.clone();
+            handles.push(s.spawn(move || {
+                // Readers race the degrading tree: `read()` stays valid
+                // (the published chain is always fsync-covered) before,
+                // during, and after poisoning — and selection score is
+                // monotone across publications, so with `LongestChain`
+                // the observed length never shrinks.
+                let mut last_len = 0usize;
+                for _ in 0..cfg.rounds {
+                    barrier.wait();
+                    for _ in 0..cfg.reads_per_round {
+                        let chain = tree.read_owned();
+                        assert!(
+                            chain.len() >= last_len,
+                            "published chain regressed under faults"
+                        );
+                        last_len = chain.len();
+                    }
+                }
+                (Vec::new(), 0, None)
+            }));
+        }
+        for h in handles {
+            lanes.push(h.join().expect("fault-workload threads do not panic"));
+        }
+    });
+
+    let poisoned = tree.is_poisoned();
+    let tree_err = tree.durability_error();
+    let stats = tree.wal_stats().expect("durable tree has stats");
+    drop(tree);
+    let mut acked = Vec::new();
+    let mut attempts = 0;
+    let mut error = None;
+    for (ids, n, err) in lanes {
+        acked.extend(ids);
+        attempts += n;
+        if error.is_none() {
+            error = err;
+        }
+    }
+    // Any thread-observed error implies (and matches) the latched one.
+    if let Some(e) = error {
+        assert_eq!(tree_err, Some(e), "latched error diverged from observed");
+    }
+    (
+        FaultRun {
+            acked,
+            attempts,
+            error,
+            poisoned,
+            stats,
+        },
+        vfs,
+    )
+}
+
+/// Re-opens the durable tree a [`run_durable_fault_workload`] left
+/// behind (typically after [`FaultVfs::power_loss`]), with the same WAL
+/// geometry.
+pub fn recover_durable<F: SelectionFn>(
+    selection: F,
+    wal_dir: &str,
+    vfs: &FaultVfs,
+) -> std::io::Result<ConcurrentBlockTree<F, AcceptAll>> {
+    ConcurrentBlockTree::open_durable(
+        4,
+        FinalityWatermark::new(2),
+        selection,
+        AcceptAll,
+        fault_wal_config(wal_dir, vfs),
+    )
 }
 
 /// Shape of a multi-threaded *consensus* run: `rounds` chained Protocol-A
@@ -574,7 +751,7 @@ pub fn run_consensus_workload<F: SelectionFn>(selection: F, cfg: &ConsensusConfi
                     let guard = instances.read().expect("slot lock");
                     let cons = &guard[round];
                     let t0 = tick(clock);
-                    let out = cons.propose(p, cand);
+                    let out = cons.propose(p, cand).expect("volatile trees cannot poison");
                     let t1 = tick(clock);
                     drop(guard);
                     log.push((

@@ -121,7 +121,7 @@ fn crash_child_workload() {
                     } else {
                         bt.append(cand)
                     };
-                    if let Some(id) = acked {
+                    if let Ok(Some(id)) = acked {
                         ack.record(id);
                     }
                     i += 1;
@@ -266,6 +266,7 @@ fn dead_winner_round_on_a_recovered_tree_is_durable() {
                                 who,
                                 CandidateBlock::simple(ProcessId(who as u32), 0xFEED + who as u64),
                             )
+                            .expect("healthy durable tree cannot poison")
                         })
                     })
                     .collect::<Vec<_>>()
@@ -296,5 +297,76 @@ fn dead_winner_round_on_a_recovered_tree_is_durable() {
             "seed {seed}: the survivors' graft survived a second crash"
         );
         assert_eq!(bt2.selected_tip(), bt2.selected_tip_full_scan());
+    }
+}
+
+/// Fault-injected degraded mode under real concurrency: a seeded fsync
+/// failure fires mid-workload while appender threads race; every thread
+/// must observe a typed [`DurabilityError`] (no panic), no thread may
+/// ack past its own first error (no-ack-after-poisoning, asserted
+/// inside the harness), and after power loss + recovery every acked id
+/// — from any thread, in any interleaving — must be in the durable
+/// commit log. `BTADT_FAULT_SEED` replays a failing base seed exactly.
+#[test]
+fn fault_injected_fsync_failure_degrades_without_acks_under_concurrency() {
+    use btadt_core::vfs::{FaultConfig, TornTail};
+    use btadt_sim::{fault_seed_from_env, recover_durable, run_durable_fault_workload, MtConfig};
+
+    let base = fault_seed_from_env().unwrap_or(0x0D15_C0DE);
+    for s in 0..4u64 {
+        let seed = base.wrapping_add(s);
+        let cfg = MtConfig {
+            seed,
+            appenders: 4,
+            readers: 2,
+            appends_per_round: 10,
+            reads_per_round: 6,
+            rounds: 3,
+            ..MtConfig::default()
+        };
+        let (run, vfs) =
+            run_durable_fault_workload(LongestChain, &cfg, "/fault/wal", FaultConfig::seeded(seed));
+        // The seeded schedule fails a data fsync within the first 13
+        // group commits; 120 racing appends publish far more than that,
+        // so the fault always fires and the tree always degrades.
+        let err = run
+            .error
+            .unwrap_or_else(|| panic!("seed {seed}: fault never surfaced"));
+        assert!(
+            matches!(err, DurabilityError::PersistFailed { .. }),
+            "seed {seed}: {err:?}"
+        );
+        assert!(run.poisoned, "seed {seed}: error without poisoning");
+        assert!(
+            run.acked.len() < run.attempts,
+            "seed {seed}: every append acked despite a poisoned WAL"
+        );
+        assert!(
+            run.stats.last_error.is_some(),
+            "seed {seed}: WalStats did not record the failure kind"
+        );
+
+        // Power loss, then recovery: acked ⊆ recovered, exactly the
+        // persist-then-ack promise under the worst interleaving.
+        vfs.power_loss(TornTail::DropAll);
+        let rec = recover_durable(LongestChain, "/fault/wal", &vfs)
+            .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+        let log: std::collections::HashSet<BlockId> = rec.commit_log().into_iter().collect();
+        for id in &run.acked {
+            assert!(
+                log.contains(id),
+                "seed {seed}: acked {id} missing from the recovered log"
+            );
+        }
+        // The recovered incarnation is healthy: degradation does not
+        // outlive the process that hit the fault.
+        let id = rec
+            .append(CandidateBlock::simple(ProcessId(9), 0xFA117 + seed))
+            .expect("recovered tree is healthy")
+            .expect("AcceptAll admits everything");
+        assert!(
+            rec.is_committed(id),
+            "seed {seed}: post-recovery append lost"
+        );
     }
 }
